@@ -1,0 +1,22 @@
+"""Shared state for the benchmark harness.
+
+One :class:`ExperimentContext` per session, at the paper's (scaled) default
+problem size, so the GPU-baseline runs, workloads, and FP64 references are
+computed once and shared across every figure's benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentContext, ExperimentSettings
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return ExperimentContext(ExperimentSettings(seed=0))
+
+
+@pytest.fixture(scope="session")
+def settings(ctx):
+    return ctx.settings

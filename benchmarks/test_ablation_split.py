@@ -1,0 +1,56 @@
+"""Ablation: HLOP re-partitioning on steal (paper section 3.4).
+
+The paper notes that stealing across devices with mismatched granularity
+"may need to further fuse or partition HLOPs".  This ablation measures
+what that granularity adaptation buys: with coarse partitions (few HLOPs
+per device), the endgame leaves a whole HLOP stranded on a slow device;
+splitting it rate-proportionally shortens the tail.
+"""
+
+import pytest
+
+from repro.core.partition import PartitionConfig
+from repro.core.runtime import RuntimeConfig, SHMTRuntime
+from repro.core.schedulers.base import make_scheduler
+from repro.devices.platform import gpu_only_platform, jetson_nano_platform
+from repro.metrics.stats import geometric_mean
+from repro.workloads.generator import generate
+
+KERNELS = ("fft", "srad", "dct8x8", "sobel")
+
+
+def _speedups(split_on_steal: bool, target_partitions: int):
+    config = RuntimeConfig(
+        partition=PartitionConfig(target_partitions=target_partitions),
+        split_on_steal=split_on_steal,
+    )
+    speedups = []
+    for kernel in KERNELS:
+        call = generate(kernel, size=1024 * 1024, seed=0)
+        base = SHMTRuntime(
+            gpu_only_platform(), make_scheduler("gpu-baseline"), config
+        ).execute(call)
+        shmt = SHMTRuntime(
+            jetson_nano_platform(), make_scheduler("work-stealing"), config
+        ).execute(call)
+        speedups.append(base.makespan / shmt.makespan)
+    return geometric_mean(speedups)
+
+
+@pytest.mark.parametrize("target_partitions", [4, 8])
+def test_split_on_steal_improves_coarse_grain_endgame(benchmark, target_partitions):
+    def run_pair():
+        return (
+            _speedups(False, target_partitions),
+            _speedups(True, target_partitions),
+        )
+
+    without, with_split = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    print(
+        f"\n{target_partitions} partitions: "
+        f"speedup {without:.3f}x -> {with_split:.3f}x with split-on-steal"
+    )
+    # Granularity adaptation never hurts and helps at coarse grain.
+    assert with_split >= without * 0.99
+    if target_partitions <= 4:
+        assert with_split > without

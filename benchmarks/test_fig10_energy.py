@@ -1,0 +1,27 @@
+"""Benchmark: regenerate paper Figure 10 (energy and EDP).
+
+Paper headline: SHMT with QAWS-TS cuts energy 51.0% and EDP 78.0% versus
+the GPU baseline (GMEAN normalized energy 0.490, EDP 0.220).
+"""
+
+from repro.experiments import fig10
+
+
+def test_fig10_energy(benchmark, settings, ctx):
+    result = benchmark.pedantic(
+        lambda: fig10.run(settings, ctx=ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.format_table())
+    agg = result.aggregates
+
+    # Energy drops, by roughly the paper's factor.
+    assert 0.35 < agg["SHMT energy"] < 0.75  # paper: 0.490
+    assert 0.12 < agg["SHMT EDP"] < 0.5  # paper: 0.220
+    assert agg["SHMT EDP"] < agg["SHMT energy"]  # EDP compounds the speedup
+
+    # The biggest winners (FFT, SRAD) save the most energy.
+    assert result.value("SHMT energy", "fft") < result.value(
+        "SHMT energy", "blackscholes"
+    )
+    assert result.value("SHMT energy", "srad") < 0.5

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate paper Figure 11 (memory footprint ratio).
+
+Paper headline: GMEAN 0.986 -- near parity, with Sobel (0.714) and SRAD
+(0.750) *below* 1.0 because Edge TPU on-chip buffers replace their GPU
+implementations' large intermediate allocations.
+"""
+
+from repro.experiments import fig11
+
+
+def test_fig11_memory(benchmark, settings, ctx):
+    result = benchmark.pedantic(
+        lambda: fig11.run(settings, ctx=ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.format_table())
+
+    ratios = {k: result.value("footprint ratio", k) for k in result.kernels}
+    assert 0.9 < result.aggregates["footprint ratio"] < 1.1  # paper: 0.986
+    assert ratios["sobel"] < 0.9  # paper: 0.714
+    assert ratios["srad"] < 0.9  # paper: 0.750
+    for kernel in ("dct8x8", "dwt", "fft", "histogram", "hotspot", "mean_filter"):
+        assert 0.95 < ratios[kernel] < 1.2  # paper: 1.0 - 1.12

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate paper Figure 12 (speedup vs problem size).
+
+Paper shape: QAWS-TS speedup grows with problem size across 4K..64M
+elements -- small problems leave devices starved and fixed costs dominant.
+The harness sweeps 4K..16M by default (64M moves multi-GB arrays through
+the numeric kernels; pass max_elements=64*2**20 to fig12.run for the full
+range).
+"""
+
+from repro.experiments import fig12
+from repro.experiments.common import ExperimentSettings
+
+
+def test_fig12_problem_size(benchmark, settings):
+    result = benchmark.pedantic(
+        lambda: fig12.run(ExperimentSettings(seed=settings.seed)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format_table())
+
+    labels = list(result.series)
+    gmeans = [result.aggregates[label] for label in labels]
+
+    # Monotone-ish growth: every doubling is >= 0.92x the previous point,
+    # and the ends are strongly ordered.
+    for earlier, later in zip(gmeans, gmeans[1:]):
+        assert later > 0.92 * earlier
+    assert gmeans[0] < 1.2  # tiny problems: no real benefit
+    assert gmeans[-1] > 1.6  # large problems: the calibrated plateau
+    assert gmeans[-1] > 1.5 * gmeans[0]

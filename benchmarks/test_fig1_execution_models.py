@@ -1,0 +1,31 @@
+"""Benchmark: measure paper Figure 1 (execution-model comparison).
+
+Figure 1 is the paper's motivating schematic: conventional delegation
+leaves most devices idle; SHMT fills them.  This benchmark quantifies the
+schematic on a five-function program and asserts its story: utilization
+climbs and time falls from conventional -> SHMT-serial -> SHMT-concurrent.
+"""
+
+from repro.experiments import fig1
+
+
+def test_fig1_execution_models(benchmark, settings):
+    result = benchmark.pedantic(lambda: fig1.run(settings), rounds=1, iterations=1)
+    print()
+    print(result.format_table())
+
+    time_conventional = result.value("time (ms)", "conventional")
+    time_serial = result.value("time (ms)", "SHMT-serial")
+    time_concurrent = result.value("time (ms)", "SHMT-concurrent")
+    assert time_concurrent < time_serial < time_conventional
+
+    util = [
+        result.value("mean device utilization", style)
+        for style in ("conventional", "SHMT-serial", "SHMT-concurrent")
+    ]
+    assert util[0] < util[1] < util[2] <= 1.0
+    # Conventional delegation idles ~2 of 3 devices.
+    assert util[0] < 0.45
+    # The full SHMT model keeps the platform mostly busy.
+    assert util[2] > 0.6
+    assert result.value("speedup", "SHMT-concurrent") > 1.4

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate paper Figure 2 (theoretical potential of SHMT)."""
+
+from repro.experiments import fig2
+from repro.devices.perf_model import PAPER_TARGETS
+
+
+def test_fig2_potential(benchmark, settings, ctx):
+    result = benchmark.pedantic(
+        lambda: fig2.run(settings, ctx=ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.format_table())
+
+    # Shape: measured TPU-relative speed tracks the paper's Figure 2 ratios
+    # within a factor, and the ranking of TPU affinity across kernels is
+    # preserved (FFT/SRAD/DCT at the top, DWT/MF at the bottom).
+    for kernel in result.kernels:
+        measured = result.value("edge TPU (measured)", kernel)
+        paper = PAPER_TARGETS[kernel]["tpu"]
+        assert paper / 2 < measured < paper * 2, kernel
+    measured_order = sorted(
+        result.kernels, key=lambda k: result.value("edge TPU (measured)", k)
+    )
+    paper_order = sorted(result.kernels, key=lambda k: PAPER_TARGETS[k]["tpu"])
+    assert set(measured_order[-3:]) == set(paper_order[-3:])
+    assert set(measured_order[:2]) == set(paper_order[:2])
+    # Conventional-best averages modestly above 1; SHMT's bound far above.
+    assert result.aggregates["conventional best"] > 1.0
+    assert result.aggregates["SHMT theoretical"] > 2.0

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate paper Figure 6 (speedup of every policy).
+
+Paper headline numbers (GMEAN over ten kernels): work-stealing 2.07x,
+QAWS-TS 1.95x, QAWS-TU 1.92x, QAWS-LR 1.45x, software pipelining 1.25x,
+even distribution 0.99x, IRA-sampling 0.55x.
+"""
+
+from repro.experiments import fig6
+
+
+def test_fig6_speedup(benchmark, settings, ctx):
+    result = benchmark.pedantic(
+        lambda: fig6.run(settings, ctx=ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.format_table())
+    agg = result.aggregates
+
+    # Who wins, by roughly what factor.
+    assert 1.7 < agg["work-stealing"] < 2.4  # paper: 2.07
+    assert 1.6 < agg["QAWS-TS"] < 2.2  # paper: 1.95
+    assert agg["IRA-sampling"] < 0.8  # paper: 0.55 (a slowdown)
+    assert 1.0 < agg["sw-pipelining"] < 1.5  # paper: 1.25
+
+    # Orderings the paper calls out.
+    assert agg["work-stealing"] >= agg["QAWS-TS"]
+    assert agg["QAWS-TS"] >= agg["QAWS-TU"] * 0.98  # striding <= uniform cost
+    assert agg["QAWS-TR"] < agg["QAWS-TS"]  # reduction sampling is costly
+    assert agg["QAWS-LS"] < agg["QAWS-TS"]  # top-K beats device limits
+    assert agg["even-distribution"] < agg["work-stealing"]
+
+    # Per-kernel crossover: FFT is the biggest winner, Blackscholes ~flat.
+    assert result.value("work-stealing", "fft") > 3.0
+    assert result.value("work-stealing", "blackscholes") < 1.3

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate paper Figure 7 (MAPE of every quality policy).
+
+Paper headline (GMEAN): Edge-TPU-only 5.15%, work-stealing 2.85%, all QAWS
+variants < 2%, IRA 1.85%, oracle 1.77%.
+"""
+
+from repro.experiments import fig7
+
+
+def test_fig7_mape(benchmark, settings, ctx):
+    result = benchmark.pedantic(
+        lambda: fig7.run(settings, ctx=ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.format_table())
+    agg = result.aggregates
+
+    # The central quality ordering: TPU-only >> work stealing > QAWS ~ oracle.
+    assert agg["edge-tpu-only"] > 1.5 * agg["work-stealing"]
+    assert agg["work-stealing"] > agg["QAWS-TS"]
+    assert agg["oracle"] <= agg["QAWS-TS"] * 1.1
+    for variant in ("QAWS-TU", "QAWS-TR", "QAWS-LS", "QAWS-LU", "QAWS-LR"):
+        assert agg[variant] < agg["edge-tpu-only"]
+
+    # Cross-kernel pattern (section 5.3): near-zero-output edge detectors
+    # dominate the error; dense-output kernels stay low.
+    tpu = {k: result.value("edge-tpu-only", k) for k in result.kernels}
+    assert tpu["sobel"] > 10.0 and tpu["laplacian"] > 10.0
+    assert tpu["blackscholes"] > 10.0
+    assert tpu["srad"] < 5.0 and tpu["mean_filter"] < 5.0 and tpu["histogram"] < 8.0

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate paper Figure 9 (quality/speedup vs sampling rate).
+
+Paper shape: MAPE decreases monotonically with sampling rate until the
+sweet spot, then plateaus; speedup is essentially flat across rates.  Our
+rate axis is shifted by the partition-size ratio (see fig9 docstring).
+"""
+
+from repro.experiments import fig9
+
+
+def test_fig9_sampling_rate(benchmark, settings, ctx):
+    results = benchmark.pedantic(
+        lambda: fig9.run(settings, ctx=ctx), rounds=1, iterations=1
+    )
+    print()
+    print(results["mape"].format_table())
+    print()
+    print(results["speedup"].format_table())
+
+    mape = results["mape"].aggregates
+    speedup = results["speedup"].aggregates
+    labels = list(results["mape"].series)
+
+    # Coarse-to-fine improvement, then plateau.
+    assert mape[labels[-1]] <= mape[labels[0]]
+    plateau = mape[labels[-2]]
+    assert abs(mape[labels[-1]] - plateau) < 0.35 * plateau + 0.2
+
+    # Speedup roughly flat: the cheapest and densest rates within ~15%.
+    flat_band = 0.15 * speedup[labels[0]]
+    assert abs(speedup[labels[-1]] - speedup[labels[0]]) < flat_band

@@ -1,0 +1,38 @@
+"""Benchmark: accelerator-scaling study (extension beyond the paper).
+
+Sweeps platform compositions from GPU-only to GPU+2×TPU+CPU+DSP under
+work stealing and checks the Amdahl-style shape: every added accelerator
+helps, with diminishing returns bounded by each kernel's calibrated
+serial fractions.
+"""
+
+from repro.experiments import scaling
+from repro.experiments.common import ExperimentSettings
+
+KERNELS = ["fft", "sobel", "dct8x8", "srad", "histogram"]
+
+
+def test_accelerator_scaling(benchmark):
+    settings = ExperimentSettings(kernels=KERNELS)
+
+    result = benchmark.pedantic(lambda: scaling.run(settings), rounds=1, iterations=1)
+    print()
+    print(result.format_table())
+
+    gmeans = [result.aggregates[label] for label in result.series]
+    # Monotone improvement as accelerators are added...
+    for earlier, later in zip(gmeans, gmeans[1:]):
+        assert later >= earlier * 0.98
+    # ...the first TPU is the big win...
+    first_tpu_gain = gmeans[1] - gmeans[0]
+    second_tpu_gain = gmeans[3] - gmeans[2]
+    assert first_tpu_gain > second_tpu_gain
+    # ...and the platform never beats the calibrated serial bound.
+    from repro.analysis import theoretical_speedup_bound
+    from repro.devices.perf_model import CALIBRATION
+
+    for kernel in KERNELS:
+        # Bound with unlimited devices: serial overhead only.
+        cal = CALIBRATION[kernel]
+        ceiling = 1.0 / cal.shmt_overhead_fraction
+        assert result.value(list(result.series)[-1], kernel) < ceiling

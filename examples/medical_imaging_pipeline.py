@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Medical-imaging pipeline: a multi-VOP SHMT program.
+
+Reproduces the paper's Figure 1 scenario in its medical-imaging domain
+(Table 2 lists SRAD as the medical-imaging benchmark): an ultrasound frame
+goes through despeckling, diffusion, and edge extraction, each function
+executing as one VOP whose HLOPs spread across every device concurrently.
+
+The same program is run under three policies to show the latency/quality
+trade the paper's evaluation is about.
+
+Run:  python examples/medical_imaging_pipeline.py
+"""
+
+import numpy as np
+
+from repro import (
+    Program,
+    SHMTRuntime,
+    gpu_only_platform,
+    jetson_nano_platform,
+    make_scheduler,
+)
+from repro.metrics import ssim
+from repro.workloads import generate
+
+
+def build_program(frame: np.ndarray) -> Program:
+    """Despeckle -> anisotropic diffusion -> edge map."""
+    return (
+        Program()
+        .add("despeckle", "Mean_Filter", frame)
+        .add("diffuse", "SRAD", "despeckle")
+        .add("edges", "Sobel", "diffuse")
+    )
+
+
+def main() -> None:
+    frame = generate("srad", size=(1024, 1024), seed=11).data
+
+    print("=== Ultrasound pipeline: mean-filter -> SRAD -> Sobel (1024x1024) ===")
+    print(f"{'policy':16s} {'latency':>10s} {'energy':>9s} {'edge SSIM':>10s}")
+
+    reference_edges = None
+    for policy in ("gpu-baseline", "work-stealing", "QAWS-TS"):
+        platform = (
+            gpu_only_platform() if policy == "gpu-baseline" else jetson_nano_platform()
+        )
+        runtime = SHMTRuntime(platform, make_scheduler(policy))
+        result = build_program(frame).run(runtime)
+        edges = result.output("edges")
+        if policy == "gpu-baseline":
+            reference_edges = edges
+        quality = ssim(reference_edges, edges)
+        print(
+            f"{policy:16s} {result.total_time * 1e3:8.2f} ms "
+            f"{result.total_energy:7.3f} J {quality:10.4f}"
+        )
+
+    print()
+    print("Work stealing is fastest but lets the Edge TPU touch critical")
+    print("high-contrast regions; QAWS-TS keeps the edge map's SSIM near")
+    print("the exact result at almost the same speed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Option-pricing desk: quality control on a finance workload.
+
+Prices a large book of European options (the paper's Blackscholes
+benchmark, Table 2's finance domain).  Most of the book is routine -- the
+Edge TPU's INT8 NPU path prices it fine -- but volatility-spike clusters
+produce exactly the wide value distributions QAWS flags as critical and
+routes to exact devices.
+
+The example compares quality-blind work stealing against QAWS on the
+worst-case pricing error of the critical cluster.
+
+Run:  python examples/option_pricing.py
+"""
+
+import numpy as np
+
+from repro import SHMTRuntime, jetson_nano_platform, make_scheduler
+from repro.metrics import mape_percent
+from repro.workloads import generate
+
+
+def main() -> None:
+    book = generate("blackscholes", size=1 << 20, seed=23)
+    reference = book.spec.reference(book.data.astype("float64"), None)
+    vol = book.data[4]
+    # The risk desk cares most about the high-volatility names.
+    risky = vol > np.percentile(vol, 95)
+
+    print(f"=== Pricing {book.data.shape[1]:,} European options ===")
+    print(f"{'policy':16s} {'latency':>10s} {'book MAPE':>10s} {'risky MAPE':>11s}")
+
+    platform = jetson_nano_platform()
+    for policy in ("work-stealing", "QAWS-TS", "QAWS-LS", "oracle"):
+        report = SHMTRuntime(platform, make_scheduler(policy)).execute(book)
+        overall = mape_percent(reference, report.output)
+        risky_error = mape_percent(reference[:, risky], report.output[:, risky])
+        print(
+            f"{policy:16s} {report.makespan * 1e3:8.2f} ms "
+            f"{overall:9.2f}% {risky_error:10.2f}%"
+        )
+
+    print()
+    print("Option prices are sensitive everywhere, so pinning budgets buy")
+    print("only modest improvements here -- the paper's Figure 7 shows the")
+    print("same for Blackscholes (42% TPU-only error only drops to ~11%")
+    print("under any policy).  The device-limit policy, whose threshold is")
+    print("absolute rather than a fixed budget, excludes the most extreme")
+    print("volatility clusters and edges out the others on the risky tail.")
+
+
+if __name__ == "__main__":
+    main()

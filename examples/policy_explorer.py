@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Policy explorer: sweep every scheduling policy on one kernel.
+
+A small CLI for poking at the trade space: pick a benchmark kernel and a
+problem size, and see latency, speedup, quality, energy, and work split
+for every registered policy -- the row-level view behind Figures 6/7/10.
+
+Run:  python examples/policy_explorer.py [kernel] [side]
+      python examples/policy_explorer.py fft 1024
+"""
+
+import sys
+
+from repro import (
+    SHMTRuntime,
+    gpu_only_platform,
+    make_scheduler,
+    scheduler_names,
+)
+from repro.experiments.common import platform_for
+from repro.metrics import mape_percent
+from repro.workloads import generate
+
+
+def main() -> None:
+    kernel = sys.argv[1] if len(sys.argv) > 1 else "srad"
+    side = int(sys.argv[2]) if len(sys.argv) > 2 else 1024
+    vector_kernels = ("blackscholes", "histogram")
+    size = side * side if kernel in vector_kernels else (side, side)
+
+    call = generate(kernel, size=size, seed=1)
+    reference = call.spec.reference(call.data.astype("float64"), call.resolve_context())
+    baseline = SHMTRuntime(gpu_only_platform(), make_scheduler("gpu-baseline")).execute(call)
+
+    print(f"=== {kernel} @ {side}x{side}: every policy ===")
+    print(
+        f"{'policy':18s} {'latency':>10s} {'speedup':>8s} {'MAPE':>8s} "
+        f"{'energy':>8s} {'steals':>7s}  work split"
+    )
+    for policy in scheduler_names():
+        runtime = SHMTRuntime(platform_for(policy), make_scheduler(policy))
+        report = runtime.execute(call)
+        shares = " ".join(
+            f"{cls}:{share:.0%}" for cls, share in sorted(report.work_shares.items())
+        )
+        print(
+            f"{policy:18s} {report.makespan * 1e3:8.2f} ms "
+            f"{report.speedup_over(baseline):7.2f}x "
+            f"{mape_percent(reference, report.output):7.2f}% "
+            f"{report.energy.total_joules:7.3f}J "
+            f"{report.steal_count:7d}  {shares}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Calibration report: paper-vs-measured for the headline experiments.
+
+Run after any change to the performance model, NPU surrogate, or
+schedulers.  Prints per-kernel speedup (Figure 6 columns) and MAPE
+(Figure 7 columns) against the paper's numbers so calibration drift is
+visible at a glance.
+
+Usage: python scripts/calibration_report.py [kernel ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import SHMTRuntime, gpu_only_platform, jetson_nano_platform, make_scheduler
+from repro.devices import EdgeTPUDevice, Platform
+from repro.devices.perf_model import PAPER_TARGETS
+from repro.metrics import geometric_mean, mape_percent
+from repro.workloads import generate
+
+from repro.paperdata import FIG6_SPEEDUP, FIG7_MAPE
+
+PAPER_TPU_MAPE = FIG7_MAPE["edge-tpu-only"]
+PAPER_WS_MAPE = FIG7_MAPE["work-stealing"]
+PAPER_TS_MAPE = FIG7_MAPE["QAWS-TS"]
+PAPER_TS_SPEEDUP = FIG6_SPEEDUP["QAWS-TS"]
+
+
+def main() -> None:
+    kernels = sys.argv[1:] or list(PAPER_TARGETS)
+    nano = jetson_nano_platform()
+    gpu = gpu_only_platform()
+    tpu_platform = Platform(devices=[EdgeTPUDevice()])
+    rows = []
+    for kernel in kernels:
+        call = generate(kernel)
+        spec = call.spec
+        ref = spec.reference(call.data.astype("float64"), call.resolve_context())
+        base = SHMTRuntime(gpu, make_scheduler("gpu-baseline")).execute(call)
+        tpu = SHMTRuntime(tpu_platform, make_scheduler("edge-tpu-only")).execute(call)
+        ws = SHMTRuntime(nano, make_scheduler("work-stealing")).execute(call)
+        ts = SHMTRuntime(nano, make_scheduler("QAWS-TS")).execute(call)
+        orc = SHMTRuntime(nano, make_scheduler("oracle")).execute(call)
+        rows.append(
+            dict(
+                kernel=kernel,
+                ws_spd=base.makespan / ws.makespan,
+                ts_spd=base.makespan / ts.makespan,
+                tpu_mape=mape_percent(ref, tpu.output),
+                ws_mape=mape_percent(ref, ws.output),
+                ts_mape=mape_percent(ref, ts.output),
+                orc_mape=mape_percent(ref, orc.output),
+            )
+        )
+    header = (
+        f"{'kernel':13s} {'WSspd':>6s}/{ 'paper':>5s} {'TSspd':>6s}/{'paper':>5s} "
+        f"{'TPUmape':>8s}/{'paper':>6s} {'WSmape':>7s}/{'paper':>6s} "
+        f"{'TSmape':>7s}/{'paper':>6s} {'oracle':>7s}"
+    )
+    print(header)
+    for r in rows:
+        k = r["kernel"]
+        print(
+            f"{k:13s} {r['ws_spd']:6.2f}/{PAPER_TARGETS[k]['ws']:5.2f} "
+            f"{r['ts_spd']:6.2f}/{PAPER_TS_SPEEDUP[k]:5.2f} "
+            f"{r['tpu_mape']:8.2f}/{PAPER_TPU_MAPE[k]:6.2f} "
+            f"{r['ws_mape']:7.2f}/{PAPER_WS_MAPE[k]:6.2f} "
+            f"{r['ts_mape']:7.2f}/{PAPER_TS_MAPE[k]:6.2f} "
+            f"{r['orc_mape']:7.2f}"
+        )
+    if len(rows) == len(PAPER_TARGETS):
+        print(
+            f"GMEAN ws_spd {geometric_mean([r['ws_spd'] for r in rows]):.2f} (paper 2.07)  "
+            f"ts_spd {geometric_mean([r['ts_spd'] for r in rows]):.2f} (paper 1.95)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""repro: a reproduction of "Simultaneous and Heterogenous Multithreading"
+(Hsu & Tseng, MICRO '23) on a simulated heterogeneous platform.
+
+Quick start::
+
+    from repro import SHMTRuntime, VOPCall, jetson_nano_platform, make_scheduler
+    from repro.workloads import generate
+
+    runtime = SHMTRuntime(jetson_nano_platform(), make_scheduler("QAWS-TS"))
+    report = runtime.execute(generate("sobel", size=(512, 512)))
+    print(report.makespan, report.work_shares)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced figure and table.
+"""
+
+from repro.core import (
+    BatchReport,
+    ExecutionReport,
+    VirtualDevice,
+    PartitionConfig,
+    Program,
+    ProgramResult,
+    RuntimeConfig,
+    SHMTRuntime,
+    VOPCall,
+    make_scheduler,
+    scheduler_names,
+    vop_catalog,
+)
+from repro.devices import (
+    CPUDevice,
+    EdgeTPUDevice,
+    GPUDevice,
+    Platform,
+    gpu_only_platform,
+    gpu_tpu_platform,
+    jetson_nano_platform,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BatchReport",
+    "ExecutionReport",
+    "VirtualDevice",
+    "PartitionConfig",
+    "Program",
+    "ProgramResult",
+    "RuntimeConfig",
+    "SHMTRuntime",
+    "VOPCall",
+    "make_scheduler",
+    "scheduler_names",
+    "vop_catalog",
+    "CPUDevice",
+    "EdgeTPUDevice",
+    "GPUDevice",
+    "Platform",
+    "gpu_only_platform",
+    "gpu_tpu_platform",
+    "jetson_nano_platform",
+    "__version__",
+]

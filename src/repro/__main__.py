@@ -1,0 +1,127 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``        -- show available kernels, VOPs, policies, platforms.
+* ``run``         -- execute one kernel under one policy and print the
+                     report (optionally with an ASCII Gantt of the run).
+* ``experiments`` -- regenerate the paper's evaluation (delegates to
+                     :mod:`repro.experiments.runner`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.runtime import SHMTRuntime
+from repro.core.schedulers.base import make_scheduler, scheduler_names
+from repro.core.vop import vop_catalog
+from repro.devices.perf_model import benchmark_names
+from repro.experiments.common import platform_for
+from repro.metrics.mape import mape_percent
+from repro.sim.gantt import render_gantt, utilization_summary
+from repro.workloads.generator import generate, workload_names
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("Benchmark kernels (paper Table 2):")
+    for name in benchmark_names():
+        print(f"  {name}")
+    print("\nScheduling policies:")
+    for name in scheduler_names():
+        print(f"  {name}")
+    print("\nVOP catalog (paper Table 1):")
+    print("  " + ", ".join(vop_catalog()))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.kernel not in workload_names():
+        print(f"unknown kernel {args.kernel!r}; try: {', '.join(workload_names())}")
+        return 2
+    vector_kernels = ("blackscholes", "histogram")
+    size = args.side**2 if args.kernel in vector_kernels else (args.side, args.side)
+    call = generate(args.kernel, size=size, seed=args.seed)
+
+    baseline_runtime = SHMTRuntime(
+        platform_for("gpu-baseline"), make_scheduler("gpu-baseline")
+    )
+    baseline = baseline_runtime.execute(call)
+    runtime = SHMTRuntime(platform_for(args.policy), make_scheduler(args.policy))
+    report = runtime.execute(call)
+
+    print(f"kernel    : {args.kernel} @ {args.side}x{args.side} (seed {args.seed})")
+    print(f"policy    : {args.policy}")
+    print(f"latency   : {report.makespan * 1e3:.3f} ms "
+          f"(baseline {baseline.makespan * 1e3:.3f} ms, "
+          f"speedup {report.speedup_over(baseline):.2f}x)")
+    print(f"energy    : {report.energy.total_joules:.4f} J "
+          f"({report.energy.total_joules / baseline.energy.total_joules:.0%} of baseline)")
+    shares = ", ".join(f"{k}={v:.0%}" for k, v in sorted(report.work_shares.items()))
+    print(f"work split: {shares}  (steals: {report.steal_count})")
+    if args.quality:
+        reference = call.spec.reference(
+            call.data.astype("float64"), call.resolve_context()
+        )
+        print(f"MAPE      : {mape_percent(reference, report.output):.3f} %")
+    if args.gantt:
+        print()
+        print(render_gantt(report.trace, width=args.gantt_width))
+        print()
+        print(utilization_summary(report.trace))
+    if args.export_trace:
+        from repro.sim.trace_export import write_chrome_trace
+
+        write_chrome_trace(
+            report.trace, args.export_trace, process_name=f"{args.kernel}/{args.policy}"
+        )
+        print(f"trace written to {args.export_trace} (open in chrome://tracing)")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.common import ExperimentSettings
+    from repro.experiments.runner import run_all
+
+    settings = ExperimentSettings(seed=args.seed)
+    if args.quick:
+        settings.size = 512 * 512
+    run_all(settings)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show kernels, policies, and VOPs").set_defaults(
+        handler=_cmd_list
+    )
+
+    run_parser = sub.add_parser("run", help="run one kernel under one policy")
+    run_parser.add_argument("kernel", help="benchmark kernel name (see `list`)")
+    run_parser.add_argument("--policy", default="QAWS-TS", help="scheduling policy")
+    run_parser.add_argument("--side", type=int, default=1024, help="problem side length")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--quality", action="store_true", help="also compute MAPE")
+    run_parser.add_argument("--gantt", action="store_true", help="print an ASCII Gantt")
+    run_parser.add_argument("--gantt-width", type=int, default=80)
+    run_parser.add_argument(
+        "--export-trace",
+        metavar="PATH",
+        help="write the timeline as Chrome-trace JSON (chrome://tracing)",
+    )
+    run_parser.set_defaults(handler=_cmd_run)
+
+    exp_parser = sub.add_parser("experiments", help="regenerate the paper's evaluation")
+    exp_parser.add_argument("--quick", action="store_true")
+    exp_parser.add_argument("--seed", type=int, default=0)
+    exp_parser.set_defaults(handler=_cmd_experiments)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Post-run performance analysis for SHMT executions."""
+
+from repro.analysis.performance import (
+    BoundAnalysis,
+    RunAnalysis,
+    analyze,
+    theoretical_speedup_bound,
+)
+
+__all__ = ["BoundAnalysis", "RunAnalysis", "analyze", "theoretical_speedup_bound"]

@@ -1,0 +1,128 @@
+"""Performance diagnostics for executed VOPs.
+
+Answers the questions a performance engineer asks after a run: how busy
+was each device, how balanced was the work, what bounded the runtime
+(host overhead vs device compute vs transfer waits), and how close the
+schedule came to the platform's theoretical limit for that kernel.
+
+Everything is derived from the :class:`~repro.core.result.ExecutionReport`
+-- no re-execution -- so `analyze` is cheap enough to run after every
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.result import ExecutionReport
+from repro.devices.perf_model import KernelCalibration, calibration_for
+
+
+@dataclass(frozen=True)
+class BoundAnalysis:
+    """Decomposition of a run's end-to-end time into its bounding parts."""
+
+    host_seconds: float
+    device_span_seconds: float
+    transfer_wait_seconds: float
+
+    @property
+    def total(self) -> float:
+        return self.host_seconds + self.device_span_seconds
+
+    @property
+    def host_bound_fraction(self) -> float:
+        """Share of the makespan spent in serial host phases."""
+        if self.total <= 0:
+            return 0.0
+        return self.host_seconds / self.total
+
+
+@dataclass(frozen=True)
+class RunAnalysis:
+    """Everything :func:`analyze` derives from one report."""
+
+    kernel: str
+    scheduler: str
+    makespan: float
+    utilization: Dict[str, float]
+    #: max device busy / mean device busy; 1.0 = perfectly balanced.
+    load_imbalance: float
+    bounds: BoundAnalysis
+    achieved_speedup_bound_fraction: float
+
+    def summary(self) -> str:
+        rows = [f"{self.kernel} under {self.scheduler}:"]
+        rows.append(f"  makespan          : {self.makespan * 1e3:.3f} ms")
+        for resource, value in sorted(self.utilization.items()):
+            rows.append(f"  {resource:<18s}: {value:6.1%} busy")
+        rows.append(f"  load imbalance    : {self.load_imbalance:.3f} (1.0 = perfect)")
+        rows.append(f"  host-bound share  : {self.bounds.host_bound_fraction:6.1%}")
+        rows.append(
+            f"  of theoretical max: {self.achieved_speedup_bound_fraction:6.1%}"
+        )
+        return "\n".join(rows)
+
+
+def theoretical_speedup_bound(calibration: KernelCalibration) -> float:
+    """Upper bound on SHMT speedup for a kernel on the calibrated platform.
+
+    With transfers fully overlapped and the SHMT host overhead x paid, the
+    best possible time relative to the baseline is
+    ``x + (1 - alpha) / P`` where P is the aggregate relative throughput --
+    the inversion of the calibration identity in devices/perf_model.py.
+    """
+    alpha = calibration.transfer_fraction
+    x = calibration.shmt_overhead_fraction
+    return 1.0 / (x + (1.0 - alpha) / calibration.aggregate_throughput)
+
+
+def analyze(report: ExecutionReport, baseline: ExecutionReport = None) -> RunAnalysis:
+    """Derive performance diagnostics from a report.
+
+    Args:
+        report: the run to analyze.
+        baseline: the GPU-baseline run of the same workload; when given,
+            the achieved speedup is compared against the calibrated
+            theoretical bound.
+    """
+    trace = report.trace
+    utilization = {
+        resource: trace.busy_time(resource, category="compute") / report.makespan
+        for resource in trace.resources()
+        if resource != "host"
+    }
+    device_busy = [
+        trace.busy_time(resource, category="compute")
+        for resource in trace.resources()
+        if resource != "host"
+    ]
+    positive = [b for b in device_busy if b > 0]
+    if positive:
+        load_imbalance = max(positive) / (sum(positive) / len(positive))
+    else:
+        load_imbalance = 1.0
+
+    host_seconds = trace.busy_time("host")
+    bounds = BoundAnalysis(
+        host_seconds=host_seconds,
+        device_span_seconds=max(report.makespan - host_seconds, 0.0),
+        transfer_wait_seconds=report.transfer_wait_seconds,
+    )
+
+    bound_fraction = 0.0
+    if baseline is not None and report.makespan > 0:
+        achieved = baseline.makespan / report.makespan
+        bound = theoretical_speedup_bound(calibration_for(report.kernel))
+        bound_fraction = achieved / bound if bound > 0 else 0.0
+
+    return RunAnalysis(
+        kernel=report.kernel,
+        scheduler=report.scheduler,
+        makespan=report.makespan,
+        utilization=utilization,
+        load_imbalance=load_imbalance,
+        bounds=bounds,
+        achieved_speedup_bound_fraction=bound_fraction,
+    )

@@ -1,0 +1,62 @@
+"""SHMT core: VOPs, HLOPs, partitioning, runtime, and scheduling policies."""
+
+from repro.core.driver import CommandHandle, Completion, VirtualDevice
+from repro.core.hlop import HLOP, HLOPStatus
+from repro.core.iterative import IterativeResult, run_iterative
+from repro.core.partition import Partition, PartitionConfig, plan_partitions
+from repro.core.program import Program, ProgramResult
+from repro.core.quality import CriticalityEstimate, estimate_criticality
+from repro.core.result import BatchReport, ExecutionReport
+from repro.core.runtime import RuntimeConfig, SHMTRuntime
+from repro.core.sampling import (
+    DEFAULT_SAMPLING_RATE,
+    ReductionSampler,
+    Sampler,
+    StridingSampler,
+    UniformSampler,
+    make_sampler,
+)
+from repro.core.schedulers import (
+    Plan,
+    PlanContext,
+    Scheduler,
+    make_scheduler,
+    scheduler_names,
+)
+from repro.core.vop import VOP_TABLE, VOPCall, kernel_for_vop, vop_catalog
+
+__all__ = [
+    "CommandHandle",
+    "Completion",
+    "VirtualDevice",
+    "HLOP",
+    "HLOPStatus",
+    "IterativeResult",
+    "run_iterative",
+    "Partition",
+    "PartitionConfig",
+    "plan_partitions",
+    "Program",
+    "ProgramResult",
+    "CriticalityEstimate",
+    "estimate_criticality",
+    "BatchReport",
+    "ExecutionReport",
+    "RuntimeConfig",
+    "SHMTRuntime",
+    "DEFAULT_SAMPLING_RATE",
+    "Sampler",
+    "StridingSampler",
+    "UniformSampler",
+    "ReductionSampler",
+    "make_sampler",
+    "Plan",
+    "PlanContext",
+    "Scheduler",
+    "make_scheduler",
+    "scheduler_names",
+    "VOP_TABLE",
+    "VOPCall",
+    "kernel_for_vop",
+    "vop_catalog",
+]

@@ -1,0 +1,129 @@
+"""The virtual-device driver interface (paper Figure 3).
+
+The paper frames SHMT's runtime as "a kernel driver of a virtual device":
+software submits VOPs as commands to one big virtual accelerator, and
+results come back through a completion queue.  :class:`VirtualDevice` is
+that facade over :class:`~repro.core.runtime.SHMTRuntime` -- a
+submit/poll command interface with per-command handles, so a user program
+can enqueue a batch of VOPs and drain completions, exactly the usage
+pattern of a real device driver.
+
+Execution remains deterministic and simulated: commands run at ``poll``
+time in submission order, and each completion carries the full
+:class:`~repro.core.result.ExecutionReport`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.core.result import ExecutionReport
+from repro.core.runtime import SHMTRuntime
+from repro.core.vop import VOPCall
+
+
+@dataclass(frozen=True)
+class CommandHandle:
+    """Opaque ticket returned by :meth:`VirtualDevice.submit`."""
+
+    command_id: int
+    label: str
+
+
+@dataclass
+class Completion:
+    """One finished command from the completion queue."""
+
+    handle: CommandHandle
+    report: ExecutionReport
+
+    @property
+    def output(self):
+        return self.report.output
+
+
+@dataclass
+class _PendingCommand:
+    handle: CommandHandle
+    call: VOPCall
+
+
+class VirtualDevice:
+    """Submit/poll facade over the SHMT runtime.
+
+    Usage::
+
+        device = VirtualDevice(runtime)
+        h1 = device.submit(VOPCall("Sobel", image))
+        h2 = device.submit(VOPCall("FFT", signal))
+        for completion in device.poll():
+            ...use completion.output...
+    """
+
+    def __init__(self, runtime: SHMTRuntime) -> None:
+        self.runtime = runtime
+        self._incoming: Deque[_PendingCommand] = deque()
+        self._completions: Deque[Completion] = deque()
+        self._in_flight: Dict[int, CommandHandle] = {}
+        self._ids = itertools.count()
+        #: Simulated seconds accumulated across all completed commands.
+        self.elapsed_simulated_seconds = 0.0
+
+    # ----------------------------------------------------------------- submit
+
+    def submit(self, call: VOPCall) -> CommandHandle:
+        """Enqueue a VOP command; returns its handle immediately."""
+        handle = CommandHandle(command_id=next(self._ids), label=call.label)
+        self._incoming.append(_PendingCommand(handle=handle, call=call))
+        self._in_flight[handle.command_id] = handle
+        return handle
+
+    @property
+    def pending(self) -> int:
+        """Commands submitted but not yet executed."""
+        return len(self._incoming)
+
+    # ------------------------------------------------------------------- poll
+
+    def poll(self, max_commands: Optional[int] = None) -> List[Completion]:
+        """Execute queued commands (in order) and drain the completion queue.
+
+        Args:
+            max_commands: execute at most this many queued commands before
+                returning (``None`` = drain everything).
+        """
+        executed = 0
+        while self._incoming and (max_commands is None or executed < max_commands):
+            pending = self._incoming.popleft()
+            report = self.runtime.execute(pending.call)
+            self.elapsed_simulated_seconds += report.makespan
+            self._completions.append(Completion(handle=pending.handle, report=report))
+            del self._in_flight[pending.handle.command_id]
+            executed += 1
+        drained = list(self._completions)
+        self._completions.clear()
+        return drained
+
+    def wait(self, handle: CommandHandle) -> Completion:
+        """Execute until ``handle`` completes; return its completion.
+
+        Other completions drained along the way stay queued for ``poll``.
+        """
+        if handle.command_id not in self._in_flight:
+            already = [c for c in self._completions if c.handle == handle]
+            if already:
+                self._completions.remove(already[0])
+                return already[0]
+            raise KeyError(f"unknown or already-consumed command {handle}")
+        while True:
+            pending = self._incoming.popleft()
+            report = self.runtime.execute(pending.call)
+            self.elapsed_simulated_seconds += report.makespan
+            completion = Completion(handle=pending.handle, report=report)
+            del self._in_flight[pending.handle.command_id]
+            if pending.handle == handle:
+                return completion
+            self._completions.append(completion)

@@ -1,0 +1,75 @@
+"""High-level operations (HLOPs) -- SHMT's basic scheduling unit.
+
+An HLOP is one partition's worth of a VOP (paper section 3.2.2): it shares
+the VOP's opcode but fixes data size and shape, and it carries the
+scheduling state the runtime and QAWS policies act on -- criticality
+estimates, accuracy constraints, and the execution record once a device
+has run it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.partition import Partition
+
+
+class HLOPStatus(enum.Enum):
+    PENDING = "pending"
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+
+
+@dataclass
+class HLOP:
+    """One schedulable partition of a VOP."""
+
+    hlop_id: int
+    opcode: str
+    partition: Partition
+    #: Which call of a batched execution this HLOP belongs to (0 for
+    #: single-VOP runs); see :meth:`SHMTRuntime.execute_batch`.
+    unit_id: int = 0
+    #: Sampled criticality statistic (None until a QAWS policy samples it).
+    criticality: Optional[float] = None
+    #: Exact full-data criticality (filled by the oracle policy / analyses).
+    true_criticality: Optional[float] = None
+    #: Most permissive accuracy rank allowed to execute this HLOP; ``None``
+    #: means any device.  0 pins the HLOP to the exact class (CPU/GPU).
+    max_accuracy_rank: Optional[int] = None
+    status: HLOPStatus = HLOPStatus.PENDING
+    #: Simulated time the HLOP entered its current queue (for transfer
+    #: prefetch modelling).
+    enqueue_time: float = 0.0
+    #: Filled in at completion.
+    device_name: Optional[str] = None
+    start_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    transfer_wait: float = 0.0
+    result: Optional[np.ndarray] = field(default=None, repr=False)
+    steals: int = 0
+
+    @property
+    def n_items(self) -> int:
+        return self.partition.n_items
+
+    @property
+    def pinned_exact(self) -> bool:
+        """True if quality control restricted this HLOP to exact devices."""
+        return self.max_accuracy_rank is not None and self.max_accuracy_rank <= 0
+
+    def allows_rank(self, accuracy_rank: int) -> bool:
+        """Can a device with this accuracy rank execute the HLOP?"""
+        return self.max_accuracy_rank is None or accuracy_rank <= self.max_accuracy_rank
+
+    def mark_done(self, device_name: str, start: float, finish: float, result: np.ndarray) -> None:
+        self.status = HLOPStatus.DONE
+        self.device_name = device_name
+        self.start_time = start
+        self.finish_time = finish
+        self.result = result

@@ -1,0 +1,259 @@
+"""Partition planning: how a VOP's data splits into HLOP-sized pieces.
+
+Implements the paper's partitioning rules (section 3.4):
+
+* data partitions should be page-granular -- with 4 KB pages and float32
+  elements, vector chunks hold multiples of 1,024 consecutive elements;
+* tile-model VOPs split the last two axes into 2D tiles, optionally padded
+  with a halo so stencils stay independent;
+* kernels with internal block structure (DCT8x8, block DWT) constrain tile
+  sides to multiples of their block size.
+
+The planner is a pure function of (spec, shape, config), which makes it
+easy to property-test: partitions always cover the index space exactly
+once, respect granularity, and never fall below the page floor unless the
+whole input does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.kernels.registry import KernelSpec, ParallelModel
+
+
+@dataclass(frozen=True)
+class PartitionConfig:
+    """Partitioning knobs; defaults follow the paper's rules scaled to RAM."""
+
+    target_partitions: int = 64
+    page_bytes: int = 4096
+    element_bytes: int = 4
+    min_tile_side: int = 32
+
+    @property
+    def min_vector_elements(self) -> int:
+        """Page-granularity floor for vector chunks (1,024 for fp32/4 KB)."""
+        return self.page_bytes // self.element_bytes
+
+    def __post_init__(self) -> None:
+        if self.target_partitions < 1:
+            raise ValueError("target_partitions must be >= 1")
+        if self.page_bytes % self.element_bytes:
+            raise ValueError("page_bytes must be a multiple of element_bytes")
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One HLOP's slice of the VOP's data.
+
+    ``in_slices``/``out_slices`` apply to the trailing axes of the (padded)
+    input and the output respectively; leading axes are carried whole.
+    ``n_items`` counts logical work items (options, pixels, rows x cols) and
+    drives both timing and work-share accounting.
+    """
+
+    index: int
+    n_items: int
+    in_slices: Tuple[slice, ...]
+    out_slices: Tuple[slice, ...]
+
+    def input_block(self, padded_input: np.ndarray) -> np.ndarray:
+        return padded_input[(Ellipsis,) + self.in_slices]
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return ((value + multiple - 1) // multiple) * multiple
+
+
+def plan_partitions(
+    spec: KernelSpec, input_shape: Tuple[int, ...], config: PartitionConfig = None
+) -> List[Partition]:
+    """Split ``input_shape`` into partitions per the spec's parallel model."""
+    config = config or PartitionConfig()
+    if spec.model is ParallelModel.VECTOR:
+        return _plan_vector(input_shape, config)
+    if spec.model is ParallelModel.ROWS:
+        return _plan_rows(input_shape, config)
+    if spec.model is ParallelModel.TILE:
+        return _plan_tiles(spec, input_shape, config)
+    raise ValueError(f"unsupported parallel model {spec.model}")
+
+
+def _plan_vector(input_shape: Tuple[int, ...], config: PartitionConfig) -> List[Partition]:
+    n = input_shape[-1]
+    floor = config.min_vector_elements
+    chunk = max(floor, math.ceil(n / config.target_partitions))
+    chunk = _round_up(chunk, floor) if n >= floor else n
+    partitions: List[Partition] = []
+    start = 0
+    while start < n:
+        stop = min(start + chunk, n)
+        sl = slice(start, stop)
+        partitions.append(
+            Partition(
+                index=len(partitions),
+                n_items=stop - start,
+                in_slices=(sl,),
+                out_slices=(sl,),
+            )
+        )
+        start = stop
+    return partitions
+
+
+def _plan_rows(input_shape: Tuple[int, ...], config: PartitionConfig) -> List[Partition]:
+    if len(input_shape) < 2:
+        raise ValueError(f"ROWS model needs a 2D input, got shape {input_shape}")
+    height, width = input_shape[-2], input_shape[-1]
+    min_rows = max(1, math.ceil(config.min_vector_elements / width))
+    rows_per = max(min_rows, math.ceil(height / config.target_partitions))
+    partitions: List[Partition] = []
+    start = 0
+    while start < height:
+        stop = min(start + rows_per, height)
+        sl = slice(start, stop)
+        partitions.append(
+            Partition(
+                index=len(partitions),
+                n_items=(stop - start) * width,
+                in_slices=(sl, slice(None)),
+                out_slices=(sl, slice(None)),
+            )
+        )
+        start = stop
+    return partitions
+
+
+def _plan_tiles(
+    spec: KernelSpec, input_shape: Tuple[int, ...], config: PartitionConfig
+) -> List[Partition]:
+    if len(input_shape) < 2:
+        raise ValueError(f"TILE model needs a 2D input, got shape {input_shape}")
+    height, width = input_shape[-2], input_shape[-1]
+    multiple = max(spec.tile_multiple, 1)
+    if height % multiple or width % multiple:
+        raise ValueError(
+            f"{spec.name}: input {height}x{width} must be a multiple of {multiple}"
+        )
+    side_floor = max(config.min_tile_side, multiple)
+    grid = max(1, int(math.isqrt(config.target_partitions)))
+    tile_h = _round_up(max(side_floor, math.ceil(height / grid)), multiple)
+    tile_w = _round_up(max(side_floor, math.ceil(width / grid)), multiple)
+    tile_h = min(tile_h, height)
+    tile_w = min(tile_w, width)
+    halo = spec.halo
+
+    partitions: List[Partition] = []
+    for r0 in range(0, height, tile_h):
+        r1 = min(r0 + tile_h, height)
+        for c0 in range(0, width, tile_w):
+            c1 = min(c0 + tile_w, width)
+            # Input slices index the halo-padded array: padded coordinates
+            # are shifted by +halo, so [r0, r1 + 2*halo) grabs the tile plus
+            # its halo ring (replicated at the global border by the pad).
+            in_slices = (slice(r0, r1 + 2 * halo), slice(c0, c1 + 2 * halo))
+            out_slices = (slice(r0, r1), slice(c0, c1))
+            partitions.append(
+                Partition(
+                    index=len(partitions),
+                    n_items=(r1 - r0) * (c1 - c0),
+                    in_slices=in_slices,
+                    out_slices=out_slices,
+                )
+            )
+    return partitions
+
+
+def split_partition(
+    spec: KernelSpec,
+    partition: Partition,
+    fraction: float,
+    config: PartitionConfig = None,
+) -> "Optional[Tuple[Partition, Partition]]":
+    """Split one partition into two, the first holding ~``fraction`` of it.
+
+    Implements the granularity adaptation of paper section 3.4: "the
+    granularities can mismatch between different devices, so the runtime
+    system may need to further fuse or partition HLOPs."  The split point
+    respects the model's alignment rules (page granularity for vector
+    chunks, the kernel's tile multiple for tiles); returns ``None`` when no
+    legal split point exists.
+
+    The two children keep the parent's ``index`` (identity for reporting);
+    callers give them distinct HLOP ids.
+    """
+    config = config or PartitionConfig()
+    if not 0.0 < fraction < 1.0:
+        raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+    if spec.model is ParallelModel.VECTOR:
+        return _split_vector(partition, fraction, config)
+    return _split_rows_or_tile(spec, partition, fraction, config)
+
+
+def _split_vector(
+    partition: Partition, fraction: float, config: PartitionConfig
+) -> "Optional[Tuple[Partition, Partition]]":
+    sl = partition.out_slices[0]
+    n = sl.stop - sl.start
+    floor = config.min_vector_elements
+    cut = _round_up(max(1, int(round(n * fraction))), floor)
+    if cut <= 0 or cut >= n or n - cut < floor or cut < floor:
+        return None
+    left_sl = slice(sl.start, sl.start + cut)
+    right_sl = slice(sl.start + cut, sl.stop)
+    left = Partition(partition.index, cut, (left_sl,), (left_sl,))
+    right = Partition(partition.index, n - cut, (right_sl,), (right_sl,))
+    return left, right
+
+
+def _split_rows_or_tile(
+    spec: KernelSpec,
+    partition: Partition,
+    fraction: float,
+    config: PartitionConfig,
+) -> "Optional[Tuple[Partition, Partition]]":
+    out_rows = partition.out_slices[0]
+    height = out_rows.stop - out_rows.start
+    multiple = max(spec.tile_multiple, 1)
+    cut = max(multiple, _round_up(int(round(height * fraction)), multiple))
+    if cut >= height or (height - cut) < multiple:
+        return None
+    halo = spec.halo
+    width_items = partition.n_items // height
+
+    def _child(row_start: int, row_stop: int) -> Partition:
+        out = (slice(row_start, row_stop),) + partition.out_slices[1:]
+        if spec.model is ParallelModel.ROWS:
+            in_slices = out
+        else:
+            # TILE: input slices index the halo-padded array (shifted +halo).
+            in_slices = (
+                slice(row_start, row_stop + 2 * halo),
+            ) + partition.in_slices[1:]
+        return Partition(
+            index=partition.index,
+            n_items=(row_stop - row_start) * width_items,
+            in_slices=in_slices,
+            out_slices=out,
+        )
+
+    left = _child(out_rows.start, out_rows.start + cut)
+    right = _child(out_rows.start + cut, out_rows.stop)
+    floor = config.min_vector_elements
+    if left.n_items < floor or right.n_items < floor:
+        return None
+    return left, right
+
+
+def partition_bytes(partition: Partition, input_shape: Tuple[int, ...], config: PartitionConfig) -> int:
+    """Host bytes a partition's input occupies (leading axes included)."""
+    leading = 1
+    trailing_axes = len(partition.in_slices)
+    for extent in input_shape[:-trailing_axes] if trailing_axes < len(input_shape) else ():
+        leading *= extent
+    return partition.n_items * leading * config.element_bytes

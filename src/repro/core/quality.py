@@ -1,0 +1,63 @@
+"""Criticality estimation -- the quality-control half of QAWS.
+
+The paper (section 3.5) borrows the *canary input* insight from IRA [58]:
+a partition's sensitivity to approximation can be judged from cheap input
+statistics.  SHMT uses two metrics -- the data range and the standard
+deviation within the region -- and treats partitions with the widest value
+distributions as critical.
+
+Why this works mechanically in this reproduction (and on the real Edge
+TPU): symmetric INT8 quantization's step size is ``range / 254``, so a
+partition mixing large outliers with small values gets a coarse grid and
+its small values suffer huge *relative* error.  Range+stddev is exactly
+the signal that predicts that blow-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CriticalityEstimate:
+    """Input statistics for one partition, from samples or the full block."""
+
+    value_range: float
+    std: float
+    mean_abs: float
+    n_observations: int
+
+    @property
+    def score(self) -> float:
+        """Scalar ranking score: wide + dispersed partitions rank high.
+
+        Used by the top-K policy (Algorithm 2), which only needs a total
+        order, so the mixed units of range and stddev are harmless.
+        """
+        return self.value_range + self.std
+
+    @property
+    def relative_int8_error(self) -> float:
+        """Estimated relative error of INT8 quantization on this partition.
+
+        Half a quantization step (``range / 254 / 2``) relative to the
+        typical value magnitude.  The device-limit policy (Algorithm 1)
+        compares this against each device's acceptable limit.
+        """
+        step = self.value_range / 254.0
+        return 0.5 * step / (self.mean_abs + 1e-12)
+
+
+def estimate_criticality(values: np.ndarray) -> CriticalityEstimate:
+    """Build a :class:`CriticalityEstimate` from sampled (or full) values."""
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    if values.size == 0:
+        return CriticalityEstimate(0.0, 0.0, 0.0, 0)
+    return CriticalityEstimate(
+        value_range=float(values.max() - values.min()),
+        std=float(values.std()),
+        mean_abs=float(np.abs(values).mean()),
+        n_observations=int(values.size),
+    )

@@ -1,0 +1,110 @@
+"""Execution reports: everything one simulated VOP run produced."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.core.hlop import HLOP
+from repro.devices.energy import EnergyBreakdown
+from repro.sim.trace import Trace
+
+
+@dataclass
+class ExecutionReport:
+    """The outcome of executing one VOP under one scheduling policy.
+
+    Everything the paper's evaluation reports is derivable from here:
+    end-to-end latency (Figure 6/9/12), result arrays for MAPE/SSIM
+    (Figures 7/8), energy and EDP (Figure 10), work shares for the memory
+    model (Figure 11), and transfer-wait accounting (Table 3).
+    """
+
+    kernel: str
+    scheduler: str
+    output: np.ndarray
+    makespan: float
+    trace: Trace
+    energy: EnergyBreakdown
+    hlops: List[HLOP] = field(repr=False, default_factory=list)
+    work_items: Dict[str, int] = field(default_factory=dict)
+    total_items: int = 0
+    sampling_seconds: float = 0.0
+    extra_host_seconds: float = 0.0
+    dispatch_seconds: float = 0.0
+    transfer_wait_seconds: float = 0.0
+    device_busy_seconds: float = 0.0
+    steal_count: int = 0
+    plan_notes: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def work_shares(self) -> Dict[str, float]:
+        """Fraction of work items executed per device class."""
+        if not self.total_items:
+            return {}
+        return {cls: items / self.total_items for cls, items in self.work_items.items()}
+
+    @property
+    def communication_overhead(self) -> float:
+        """Fraction of device time spent waiting on data exchange (Table 3)."""
+        denominator = self.device_busy_seconds + self.transfer_wait_seconds
+        if denominator <= 0:
+            return 0.0
+        return self.transfer_wait_seconds / denominator
+
+    def speedup_over(self, baseline: "ExecutionReport") -> float:
+        """End-to-end speedup of this run relative to ``baseline``."""
+        if self.makespan <= 0:
+            raise ValueError("run has no duration")
+        return baseline.makespan / self.makespan
+
+    def summary(self) -> Dict[str, Any]:
+        """Flat dict for tabular reporting."""
+        return {
+            "kernel": self.kernel,
+            "scheduler": self.scheduler,
+            "makespan_s": self.makespan,
+            "energy_j": self.energy.total_joules,
+            "edp": self.energy.edp,
+            "comm_overhead": self.communication_overhead,
+            "steals": self.steal_count,
+            "shares": self.work_shares,
+        }
+
+
+@dataclass
+class BatchReport:
+    """The outcome of executing several VOPs concurrently (Figure 1 style).
+
+    ``reports`` carries one :class:`ExecutionReport` per submitted call, in
+    submission order; each call's ``makespan`` is the time *that call*
+    finished (its results aggregated), while :attr:`makespan` here is the
+    end-to-end time of the whole batch.  ``energy`` integrates the full
+    shared timeline and is the authoritative total (per-call energies
+    attribute idle draw over each call's own window, so they overlap).
+    """
+
+    reports: List[ExecutionReport]
+    makespan: float
+    trace: Trace
+    energy: EnergyBreakdown
+    steal_count: int = 0
+
+    def __getitem__(self, index: int) -> ExecutionReport:
+        return self.reports[index]
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    @property
+    def outputs(self) -> List[np.ndarray]:
+        return [report.output for report in self.reports]
+
+    def speedup_over_serial(self, serial_reports: List[ExecutionReport]) -> float:
+        """Batch concurrency benefit: sum of standalone times / batch time."""
+        serial_total = sum(r.makespan for r in serial_reports)
+        if self.makespan <= 0:
+            raise ValueError("batch has no duration")
+        return serial_total / self.makespan

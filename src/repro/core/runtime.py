@@ -1,0 +1,684 @@
+"""The SHMT runtime system: the "driver" of the virtual hardware device.
+
+This is the paper's section 3.3 component.  Given one or more
+:class:`VOPCall`\\ s and a :class:`Scheduler`, the runtime:
+
+1. builds host context and partitions each VOP's data per its
+   parallelization model (page-granular, section 3.4);
+2. asks the scheduler for an initial HLOP-to-queue assignment (charging
+   any sampling/canary cost to the host timeline);
+3. replays execution on the discrete-event engine -- one incoming queue
+   per device, a transfer engine per device that double-buffers data
+   movement, work stealing when a device idles (the completion-queue
+   bookkeeping of the paper collapses into completion events here);
+4. actually computes every HLOP's numbers through its device's precision
+   path, then aggregates partition outputs (or merges reduction partials)
+   into each call's final result;
+5. returns an :class:`ExecutionReport` per call (plus a
+   :class:`BatchReport` for multi-call runs) with the timeline, energy,
+   work shares, and result arrays.
+
+:meth:`SHMTRuntime.execute` runs one VOP; :meth:`SHMTRuntime.execute_batch`
+runs several *concurrently* on the same devices -- the paper's Figure 1
+picture, where HLOPs from different functions interleave across the
+hardware and the host's dispatch work for later calls overlaps with device
+execution of earlier ones.
+
+Simulated timing and real numerics advance together, so a policy's speedup
+and its result quality come from the same schedule.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.hlop import HLOP, HLOPStatus
+from repro.core.partition import (
+    Partition,
+    PartitionConfig,
+    plan_partitions,
+    split_partition,
+)
+from repro.core.result import BatchReport, ExecutionReport
+from repro.core.schedulers.base import Plan, PlanContext, Scheduler
+from repro.core.vop import VOPCall
+from repro.devices.base import Device
+from repro.devices.energy import EnergyBreakdown
+from repro.devices.platform import Platform
+from repro.kernels.common import replicate_pad
+from repro.kernels.registry import KernelSpec, ParallelModel
+from repro.sim.engine import Engine
+from repro.sim.events import EventKind
+from repro.sim.trace import Trace
+
+#: HLOP count at which the calibrated SHMT overhead splits between fixed
+#: per-HLOP and per-element components (see RuntimeConfig.fixed_share).
+REFERENCE_HLOP_COUNT = 64
+REFERENCE_ITEM_COUNT = 2048 * 2048
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Runtime knobs; defaults reproduce the paper's default setup."""
+
+    partition: PartitionConfig = field(default_factory=PartitionConfig)
+    seed: int = 2023
+    #: Share of the calibrated SHMT overhead that is a fixed per-HLOP cost
+    #: (queue management, command submission); the rest scales per element
+    #: (quantization, aggregation copies).  Fixed costs are what make tiny
+    #: problem sizes unprofitable (paper Figure 12).
+    fixed_share: float = 0.3
+    #: Granularity adaptation (paper section 3.4): when a thief steals the
+    #: last eligible HLOP from a victim, re-partition it so each side gets
+    #: a rate-proportional piece instead of moving it wholesale.  Off by
+    #: default so the headline figures use the exact calibrated setup; the
+    #: endgame-balance benefit is measured in
+    #: benchmarks/test_ablation_split.py.
+    split_on_steal: bool = False
+
+
+@dataclass
+class _DeviceState:
+    """Mutable per-device bookkeeping during one simulated run."""
+
+    device: Device
+    queue: Deque[HLOP] = field(default_factory=deque)
+    running: bool = False
+    transfer_free: float = 0.0
+    busy_seconds: float = 0.0
+    wait_seconds: float = 0.0
+    items_done: int = 0
+
+
+@dataclass
+class _CallUnit:
+    """One VOPCall's slice of a (possibly batched) run."""
+
+    index: int
+    call: VOPCall
+    spec: KernelSpec
+    calibration: Any
+    host_context: Any
+    padded_input: np.ndarray
+    plan: Plan
+    hlops: List[HLOP]
+    total_items: int
+    dispatch_seconds: float = 0.0
+    ready_time: float = 0.0
+    finish_time: float = 0.0
+    #: Per device-class accounting for this call only.
+    items_by_class: Dict[str, int] = field(default_factory=dict)
+    busy_by_class: Dict[str, float] = field(default_factory=dict)
+    wait_seconds: float = 0.0
+    busy_seconds: float = 0.0
+    steal_count: int = 0
+
+
+class SHMTRuntime:
+    """Executes VOPs on a platform under a scheduling policy."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        scheduler: Scheduler,
+        config: Optional[RuntimeConfig] = None,
+    ) -> None:
+        self.platform = platform
+        self.scheduler = scheduler
+        self.config = config or RuntimeConfig()
+
+    # ------------------------------------------------------------------ public
+
+    def execute(self, call: VOPCall) -> ExecutionReport:
+        """Run one VOP end to end and report everything about the run."""
+        return self.execute_batch([call]).reports[0]
+
+    def execute_batch(self, calls: Sequence[VOPCall]) -> BatchReport:
+        """Run several VOPs concurrently on the shared devices.
+
+        HLOPs of all calls share the device queues: devices drain and steal
+        across calls, and the host's partition/dispatch work for later
+        calls overlaps with device execution of earlier ones (the paper's
+        Figure 1 execution picture).
+        """
+        if not calls:
+            raise ValueError("execute_batch needs at least one call")
+        devices = self.scheduler.participating(self.platform.devices)
+        rng = np.random.default_rng(self.config.seed)
+        units: List[_CallUnit] = []
+        next_hlop_id = 0
+        for index, call in enumerate(calls):
+            unit, next_hlop_id = self._build_unit(
+                index, call, devices, rng, next_hlop_id
+            )
+            units.append(unit)
+        run = _BatchRun(runtime=self, units=units, devices=devices)
+        return run.execute()
+
+    # ----------------------------------------------------------------- helpers
+
+    def _build_unit(
+        self,
+        index: int,
+        call: VOPCall,
+        devices: List[Device],
+        rng: np.random.Generator,
+        next_hlop_id: int,
+    ) -> "tuple[_CallUnit, int]":
+        spec = call.spec
+        calibration = spec.calibration
+        data = call.data
+        partitions = plan_partitions(spec, data.shape, self.config.partition)
+        padded = self._padded_input(spec, data)
+        total_items = sum(p.n_items for p in partitions)
+        ctx = PlanContext(
+            spec=spec,
+            calibration=calibration,
+            partitions=partitions,
+            block_for=lambda idx: partitions[idx].input_block(padded),
+            devices=devices,
+            rng=rng,
+            total_items=total_items,
+        )
+        plan = self.scheduler.plan(ctx)
+        self._validate_plan(plan, partitions, devices)
+        hlops = []
+        for partition in partitions:
+            idx = partition.index
+            hlops.append(
+                HLOP(
+                    hlop_id=next_hlop_id + idx,
+                    opcode=spec.vop,
+                    partition=partition,
+                    unit_id=index,
+                    criticality=plan.criticalities[idx],
+                    max_accuracy_rank=plan.max_accuracy_ranks[idx],
+                )
+            )
+        unit = _CallUnit(
+            index=index,
+            call=call,
+            spec=spec,
+            calibration=calibration,
+            host_context=call.resolve_context(),
+            padded_input=padded,
+            plan=plan,
+            hlops=hlops,
+            total_items=total_items,
+        )
+        return unit, next_hlop_id + len(partitions)
+
+    def _padded_input(self, spec: KernelSpec, data: np.ndarray) -> np.ndarray:
+        if spec.model is ParallelModel.TILE and spec.halo:
+            return replicate_pad(data, spec.halo)
+        return data
+
+    def _validate_plan(
+        self, plan: Plan, partitions: List[Partition], devices: List[Device]
+    ) -> None:
+        if len(plan.assignment) != len(partitions):
+            raise ValueError(
+                f"plan covers {len(plan.assignment)} partitions, "
+                f"expected {len(partitions)}"
+            )
+        known = {d.name for d in devices}
+        unknown = set(plan.assignment) - known
+        if unknown:
+            raise ValueError(f"plan assigns to unknown devices: {sorted(unknown)}")
+
+    def dispatch_overhead(self, calibration, n_hlops: int, total_items: int) -> float:
+        """Total SHMT host overhead (dispatch + aggregation) for one VOP.
+
+        The calibrated ``shmt_overhead_fraction`` (x) is anchored at the
+        paper's default configuration (2048^2 elements, 64 HLOPs); it is
+        split into a per-element component and a fixed per-HLOP component
+        so that problem-size sweeps behave mechanistically.
+        """
+        x = calibration.shmt_overhead_fraction
+        fixed_share = self.config.fixed_share
+        per_element_total = (1.0 - fixed_share) * x * calibration.baseline_time(total_items)
+        reference_baseline = calibration.baseline_time(REFERENCE_ITEM_COUNT)
+        fixed_per_hlop = fixed_share * x * reference_baseline / REFERENCE_HLOP_COUNT
+        return per_element_total + fixed_per_hlop * n_hlops
+
+
+class _BatchRun:
+    """One simulated run: owns the event loop and per-device state."""
+
+    def __init__(
+        self,
+        runtime: SHMTRuntime,
+        units: List[_CallUnit],
+        devices: List[Device],
+    ) -> None:
+        self.runtime = runtime
+        self.units = units
+        self.devices = devices
+        self.engine = Engine()
+        self.trace = Trace()
+        self.states: Dict[str, _DeviceState] = {
+            d.name: _DeviceState(device=d) for d in devices
+        }
+        self.steal_count = 0
+        self._hlop_units: Dict[int, _CallUnit] = {}
+        for unit in units:
+            for hlop in unit.hlops:
+                self._hlop_units[hlop.hlop_id] = unit
+
+    def _unit_of(self, hlop: HLOP) -> _CallUnit:
+        return self._hlop_units[hlop.hlop_id]
+
+    # ------------------------------------------------------------------- run
+
+    def execute(self) -> BatchReport:
+        host_free = 0.0
+        for unit in self.units:
+            host_free = self._charge_unit_prologue(unit, host_free)
+            unit.ready_time = host_free
+            self._enqueue_unit(unit)
+        self.engine.run()
+        self._charge_epilogues()
+        return self._report()
+
+    def _enqueue_unit(self, unit: _CallUnit) -> None:
+        for hlop in unit.hlops:
+            state = self.states[unit.plan.assignment[hlop.partition.index]]
+            hlop.status = HLOPStatus.QUEUED
+            hlop.enqueue_time = unit.ready_time
+            state.queue.append(hlop)
+        for state in self.states.values():
+            state.transfer_free = max(state.transfer_free, 0.0)
+            self.engine.schedule_at(
+                unit.ready_time,
+                lambda s=state: self._try_start(s),
+                kind=EventKind.DISPATCH,
+            )
+
+    def _charge_unit_prologue(self, unit: _CallUnit, start: float) -> float:
+        """Serial host work before a unit's HLOPs become available."""
+        t = start
+        plan = unit.plan
+        tag = f"u{unit.index}:" if len(self.units) > 1 else ""
+        if plan.sampling_seconds > 0:
+            self.trace.add_span("host", t, t + plan.sampling_seconds, f"{tag}sampling", "host")
+            t += plan.sampling_seconds
+        if plan.extra_host_seconds > 0:
+            self.trace.add_span(
+                "host", t, t + plan.extra_host_seconds, f"{tag}canary-execution", "host"
+            )
+            t += plan.extra_host_seconds
+        if self.runtime.scheduler.charges_runtime_overhead:
+            total = self.runtime.dispatch_overhead(
+                unit.calibration, len(unit.hlops), unit.total_items
+            )
+            unit.dispatch_seconds = total
+            pre = total / 2.0
+            self.trace.add_span("host", t, t + pre, f"{tag}hlop-dispatch", "host")
+            t += pre
+        return t
+
+    def _charge_epilogues(self) -> None:
+        """Per-unit aggregation on the (serial) host, in completion order."""
+        host_free = max(
+            (u.ready_time for u in self.units), default=0.0
+        )
+        device_finish = {
+            unit.index: max(
+                (h.finish_time for h in unit.hlops if h.finish_time is not None),
+                default=self.engine.now,
+            )
+            for unit in self.units
+        }
+        for unit in sorted(self.units, key=lambda u: device_finish[u.index]):
+            start = max(device_finish[unit.index], host_free)
+            if self.runtime.scheduler.charges_runtime_overhead:
+                post = unit.dispatch_seconds / 2.0
+                tag = f"u{unit.index}:" if len(self.units) > 1 else ""
+                self.trace.add_span("host", start, start + post, f"{tag}aggregation", "host")
+                unit.finish_time = start + post
+                host_free = unit.finish_time
+            else:
+                unit.finish_time = start
+                host_free = max(host_free, start)
+
+    # ------------------------------------------------------------- scheduling
+
+    def _try_start(self, state: _DeviceState) -> None:
+        if state.running:
+            return
+        hlop = self._next_hlop(state)
+        if hlop is None:
+            return
+        self._run_hlop(state, hlop)
+
+    def _next_hlop(self, state: _DeviceState) -> Optional[HLOP]:
+        while state.queue:
+            candidate = state.queue.popleft()
+            if self._device_eligible(state.device, candidate):
+                return candidate
+            # The device cannot legally run its own queued HLOP (e.g. an
+            # over-sized partition for the TPU): bounce it to an exact device.
+            fallback = self._fallback_state(state)
+            candidate.enqueue_time = self.engine.now
+            fallback.queue.append(candidate)
+            self.engine.schedule(
+                0.0, lambda s=fallback: self._try_start(s), kind=EventKind.DISPATCH
+            )
+        if self.runtime.scheduler.steals:
+            return self._steal_for(state)
+        return None
+
+    def _fallback_state(self, state: _DeviceState) -> _DeviceState:
+        exact = [
+            s
+            for s in self.states.values()
+            if s.device.accuracy_rank == 0 and s is not state
+        ]
+        if not exact:
+            raise RuntimeError(
+                f"no device can execute an HLOP rejected by {state.device.name}"
+            )
+        return min(exact, key=lambda s: len(s.queue))
+
+    def _device_eligible(self, device: Device, hlop: HLOP) -> bool:
+        if not hlop.allows_rank(device.accuracy_rank):
+            return False
+        device_memory = getattr(device, "device_memory_bytes", None)
+        if device_memory is not None:
+            unit = self._unit_of(hlop)
+            bytes_needed = hlop.n_items * unit.call.data.itemsize
+            if bytes_needed > device_memory:
+                return False
+        return True
+
+    def _steal_for(self, state: _DeviceState) -> Optional[HLOP]:
+        """Steal a rate-proportional batch from the most-loaded legal victim.
+
+        Two departures from textbook steal-half, both forced by this
+        platform:
+
+        * A *batch* is taken (not one HLOP) so the thief's transfer engine
+          can prefetch the rest of the batch while the first stolen HLOP
+          computes; stealing singles would serialize a transfer stall in
+          front of every stolen HLOP.
+        * The batch size is proportional to the thief's relative
+          throughput, not half the queue.  QAWS steals are one-directional
+          (an approximate device may never re-steal from an exact one), so
+          an exact device that over-steals strands work it is slow at --
+          rate-proportional splitting is the stable division the paper's
+          stealing converges to.
+        """
+        thief = state.device
+        victims = sorted(
+            (s for s in self.states.values() if s is not state and s.queue),
+            key=lambda s: len(s.queue),
+            reverse=True,
+        )
+        for victim in victims:
+            eligible = [
+                position
+                for position in range(len(victim.queue))
+                if self._device_eligible(thief, victim.queue[position])
+                and self.runtime.scheduler.can_steal(
+                    thief, victim.device, victim.queue[position]
+                )
+            ]
+            if not eligible:
+                continue
+            # Rate the share by the kernel the thief is most likely to take.
+            calibration = self._unit_of(victim.queue[eligible[-1]]).calibration
+            thief_rate = calibration.device_rate(thief.device_class)
+            victim_rate = calibration.device_rate(victim.device.device_class)
+            share = thief_rate / (thief_rate + victim_rate)
+            if self.runtime.config.split_on_steal and len(eligible) == 1:
+                # Endgame: one stealable HLOP left on this victim --
+                # re-partition it rate-proportionally (section 3.4) instead
+                # of moving it wholesale.
+                split = self._split_steal(state, victim, eligible[0], share)
+                if split is not None:
+                    return split
+            take = min(len(eligible), max(1, int(round(len(eligible) * share))))
+            # Take from the tail: work farthest from execution on the victim.
+            taken_positions = eligible[-take:]
+            stolen = [victim.queue[position] for position in taken_positions]
+            for position in reversed(taken_positions):
+                del victim.queue[position]
+            now = self.engine.now
+            for hlop in stolen:
+                hlop.steals += 1
+                hlop.enqueue_time = now
+                self.steal_count += 1
+                self._unit_of(hlop).steal_count += 1
+            self.trace.add_marker(
+                thief.name,
+                now,
+                f"steal:{len(stolen)}<-{victim.device.name}",
+            )
+            first, rest = stolen[0], stolen[1:]
+            state.queue.extend(rest)
+            return first
+        return None
+
+    def _split_steal(
+        self,
+        state: _DeviceState,
+        victim: _DeviceState,
+        position: int,
+        share: float,
+    ) -> Optional[HLOP]:
+        """Re-partition a queued HLOP so the thief takes ``share`` of it.
+
+        Returns the thief's child HLOP, leaving the victim's child in
+        place, or ``None`` when the partition admits no legal split.
+        """
+        parent = victim.queue[position]
+        unit = self._unit_of(parent)
+        pieces = split_partition(
+            unit.spec, parent.partition, share, self.runtime.config.partition
+        )
+        if pieces is None:
+            return None
+        thief_part, victim_part = pieces
+        now = self.engine.now
+
+        def _child(part: Partition, hlop_id: int) -> HLOP:
+            child = HLOP(
+                hlop_id=hlop_id,
+                opcode=parent.opcode,
+                partition=part,
+                unit_id=parent.unit_id,
+                criticality=parent.criticality,
+                true_criticality=parent.true_criticality,
+                max_accuracy_rank=parent.max_accuracy_rank,
+            )
+            child.status = HLOPStatus.QUEUED
+            child.enqueue_time = now
+            child.steals = parent.steals + 1
+            return child
+
+        next_id = max(self._hlop_units) + 1
+        thief_child = _child(thief_part, next_id)
+        victim_child = _child(victim_part, next_id + 1)
+        unit.hlops.remove(parent)
+        unit.hlops.extend([thief_child, victim_child])
+        del self._hlop_units[parent.hlop_id]
+        self._hlop_units[thief_child.hlop_id] = unit
+        self._hlop_units[victim_child.hlop_id] = unit
+        del victim.queue[position]
+        victim.queue.append(victim_child)
+        self.steal_count += 1
+        unit.steal_count += 1
+        self.trace.add_marker(
+            state.device.name,
+            now,
+            f"split-steal:{parent.hlop_id}<-{victim.device.name}",
+        )
+        self.engine.schedule(
+            0.0, lambda s=victim: self._try_start(s), kind=EventKind.DISPATCH
+        )
+        return thief_child
+
+    # -------------------------------------------------------------- execution
+
+    def _run_hlop(self, state: _DeviceState, hlop: HLOP) -> None:
+        device = state.device
+        unit = self._unit_of(hlop)
+        now = self.engine.now
+        transfer = self.runtime.platform.interconnect.transfer_time(
+            unit.calibration, device.device_class, hlop.n_items
+        )
+        if self.runtime.scheduler.overlap_transfers:
+            transfer_start = max(hlop.enqueue_time, state.transfer_free)
+            transfer_done = transfer_start + transfer
+            state.transfer_free = transfer_done
+            compute_start = max(now, transfer_done)
+        else:
+            transfer_start = now
+            transfer_done = now + transfer
+            compute_start = transfer_done
+        if transfer > 0:
+            self.trace.add_span(
+                device.name,
+                transfer_start,
+                transfer_done,
+                f"xfer:{hlop.hlop_id}",
+                "transfer",
+            )
+        wait = compute_start - now
+        hlop.transfer_wait = wait
+        state.wait_seconds += wait
+        unit.wait_seconds += wait
+
+        service = device.service_time(unit.calibration, hlop.n_items, now=compute_start)
+        compute_done = compute_start + service
+        state.running = True
+        hlop.status = HLOPStatus.RUNNING
+
+        result = self._execute_numeric(device, hlop, unit)
+        self.engine.schedule_at(
+            compute_done,
+            lambda: self._on_complete(state, hlop, compute_start, compute_done, result),
+            kind=EventKind.COMPUTE_DONE,
+        )
+
+    def _execute_numeric(
+        self, device: Device, hlop: HLOP, unit: _CallUnit
+    ) -> np.ndarray:
+        block = hlop.partition.input_block(unit.padded_input)
+        seed = (self.runtime.config.seed * 1_000_003 + hlop.hlop_id) % (2**31 - 1)
+        return device.execute_numeric(
+            unit.spec.compute,
+            block,
+            unit.host_context,
+            error_scale=unit.calibration.npu_error_scale,
+            seed=seed,
+            channel_axis=unit.spec.channel_axis,
+            quantize_output=not unit.spec.reduces,
+            tensor_compute=unit.spec.tensor_compute,
+        )
+
+    def _on_complete(
+        self,
+        state: _DeviceState,
+        hlop: HLOP,
+        start: float,
+        finish: float,
+        result: np.ndarray,
+    ) -> None:
+        device = state.device
+        unit = self._unit_of(hlop)
+        self.trace.add_span(device.name, start, finish, f"hlop:{hlop.hlop_id}", "compute")
+        state.busy_seconds += finish - start
+        state.items_done += hlop.n_items
+        cls = device.device_class
+        unit.busy_seconds += finish - start
+        unit.busy_by_class[cls] = unit.busy_by_class.get(cls, 0.0) + (finish - start)
+        unit.items_by_class[cls] = unit.items_by_class.get(cls, 0) + hlop.n_items
+        state.running = False
+        hlop.mark_done(device.name, start, finish, result)
+        self._try_start(state)
+
+    # ------------------------------------------------------------- reporting
+
+    def _report(self) -> BatchReport:
+        energy_model = self.runtime.platform.energy_model
+        batch_makespan = max(unit.finish_time for unit in self.units)
+        reports = []
+        for unit in self.units:
+            if len(self.units) == 1:
+                energy = energy_model.measure(self.trace, duration=unit.finish_time)
+            else:
+                energy = self._unit_energy(unit, energy_model)
+            reports.append(self._unit_report(unit, energy))
+        batch_energy = energy_model.measure(self.trace, duration=batch_makespan)
+        return BatchReport(
+            reports=reports,
+            makespan=batch_makespan,
+            trace=self.trace,
+            energy=batch_energy,
+            steal_count=self.steal_count,
+        )
+
+    def _unit_energy(self, unit: _CallUnit, energy_model) -> EnergyBreakdown:
+        """Energy attributable to one call of a batch: its own active
+        joules plus the platform idle draw over its own makespan."""
+        per_device = {
+            cls: busy * energy_model.active_watts.get(cls, 0.0)
+            for cls, busy in unit.busy_by_class.items()
+        }
+        return EnergyBreakdown(
+            active_joules=sum(per_device.values()),
+            idle_joules=energy_model.idle_watts * unit.finish_time,
+            duration=unit.finish_time,
+            per_device_active=per_device,
+        )
+
+    def _unit_report(self, unit: _CallUnit, energy: EnergyBreakdown) -> ExecutionReport:
+        output = self._assemble_output(unit)
+        return ExecutionReport(
+            kernel=unit.spec.name,
+            scheduler=self.runtime.scheduler.name,
+            output=output,
+            makespan=unit.finish_time,
+            trace=self.trace,
+            energy=energy,
+            hlops=unit.hlops,
+            work_items=dict(unit.items_by_class),
+            total_items=unit.total_items,
+            sampling_seconds=unit.plan.sampling_seconds,
+            extra_host_seconds=unit.plan.extra_host_seconds,
+            dispatch_seconds=unit.dispatch_seconds,
+            transfer_wait_seconds=unit.wait_seconds,
+            device_busy_seconds=unit.busy_seconds,
+            steal_count=unit.steal_count,
+            plan_notes=dict(unit.plan.notes),
+        )
+
+    def _assemble_output(self, unit: _CallUnit) -> np.ndarray:
+        incomplete = [h.hlop_id for h in unit.hlops if h.status is not HLOPStatus.DONE]
+        if incomplete:
+            raise RuntimeError(f"HLOPs never executed: {incomplete}")
+        spec = unit.spec
+        if spec.reduces:
+            partials = [h.result for h in sorted(unit.hlops, key=lambda h: h.hlop_id)]
+            return np.asarray(spec.merge(partials), dtype=np.float32)
+        first = unit.hlops[0]
+        out = np.empty(self._output_shape(unit, first.result), dtype=np.float32)
+        for hlop in unit.hlops:
+            out[(Ellipsis,) + hlop.partition.out_slices] = hlop.result
+        return out
+
+    def _output_shape(self, unit: _CallUnit, first_result: np.ndarray) -> tuple:
+        shape = unit.call.data.shape
+        if unit.spec.model is ParallelModel.VECTOR:
+            leading = first_result.shape[:-1]
+            return leading + (shape[-1],)
+        if unit.spec.model is ParallelModel.ROWS:
+            leading = first_result.shape[:-2]
+            return leading + (shape[-2], first_result.shape[-1])
+        leading = first_result.shape[:-2]
+        return leading + (shape[-2], shape[-1])

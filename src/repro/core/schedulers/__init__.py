@@ -1,0 +1,19 @@
+"""Scheduling policies: baselines, work stealing, QAWS variants, oracle."""
+
+from repro.core.schedulers.base import (
+    Plan,
+    PlanContext,
+    Scheduler,
+    make_scheduler,
+    register_scheduler,
+    scheduler_names,
+)
+
+__all__ = [
+    "Plan",
+    "PlanContext",
+    "Scheduler",
+    "make_scheduler",
+    "register_scheduler",
+    "scheduler_names",
+]

@@ -1,0 +1,167 @@
+"""Scheduler protocol and registry.
+
+A scheduler decides (1) the initial HLOP-to-queue assignment for a VOP,
+(2) which steals are legal while the run executes, and (3) what host-side
+cost its decision process charges to the simulated timeline.  The runtime
+(see :mod:`repro.core.runtime`) is policy-agnostic, matching the paper's
+claim that SHMT "allows flexibility in scheduling policies".
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Type
+
+import numpy as np
+
+from repro.core.hlop import HLOP
+from repro.core.partition import Partition
+from repro.devices.base import Device
+from repro.devices.perf_model import KernelCalibration
+from repro.kernels.registry import KernelSpec
+
+
+@dataclass
+class PlanContext:
+    """Everything a scheduler may inspect while planning one VOP."""
+
+    spec: KernelSpec
+    calibration: KernelCalibration
+    partitions: Sequence[Partition]
+    #: Accessor for a partition's input block (halo included for TILE).
+    block_for: Callable[[int], np.ndarray]
+    devices: Sequence[Device]
+    rng: np.random.Generator
+    total_items: int
+
+    def device_named(self, name: str) -> Device:
+        for dev in self.devices:
+            if dev.name == name:
+                return dev
+        raise KeyError(name)
+
+    def most_accurate_device(self) -> Device:
+        """The fastest device in the best accuracy class (the GPU here)."""
+        best_rank = min(d.accuracy_rank for d in self.devices)
+        candidates = [d for d in self.devices if d.accuracy_rank == best_rank]
+        return max(
+            candidates, key=lambda d: self.calibration.device_rate(d.device_class)
+        )
+
+    def least_accurate_device(self) -> Device:
+        return max(self.devices, key=lambda d: d.accuracy_rank)
+
+
+@dataclass
+class Plan:
+    """A scheduler's initial decision for one VOP."""
+
+    #: Device name per partition index.
+    assignment: List[str]
+    #: Per-partition accuracy constraint (``None`` = unconstrained).
+    max_accuracy_ranks: List[Optional[int]] = field(default_factory=list)
+    #: Sampled criticality score per partition (``None`` if not sampled).
+    criticalities: List[Optional[float]] = field(default_factory=list)
+    #: Host seconds spent sampling inputs (charged before dispatch).
+    sampling_seconds: float = 0.0
+    #: Extra serial host seconds (e.g. IRA's canary executions).
+    extra_host_seconds: float = 0.0
+    notes: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        n = len(self.assignment)
+        if not self.max_accuracy_ranks:
+            self.max_accuracy_ranks = [None] * n
+        if not self.criticalities:
+            self.criticalities = [None] * n
+        if len(self.max_accuracy_ranks) != n or len(self.criticalities) != n:
+            raise ValueError("plan lists must all cover every partition")
+
+
+class Scheduler(abc.ABC):
+    """Base scheduler; subclasses set the class attributes and `plan`."""
+
+    #: Registry/reporting name (e.g. "work-stealing", "QAWS-TS").
+    name: str = "base"
+    #: Device classes this policy schedules onto; ``None`` = every device.
+    device_classes: Optional[Sequence[str]] = None
+    #: Whether transfers overlap compute (double buffering).  The naive GPU
+    #: baseline is the only policy that runs transfers serially.
+    overlap_transfers: bool = True
+    #: Whether the run pays the SHMT runtime's dispatch/aggregation cost.
+    charges_runtime_overhead: bool = True
+    #: Whether idle devices may steal queued HLOPs.
+    steals: bool = True
+
+    @abc.abstractmethod
+    def plan(self, ctx: PlanContext) -> Plan:
+        """Produce the initial assignment for one VOP."""
+
+    def can_steal(self, thief: Device, victim: Device, hlop: HLOP) -> bool:
+        """Is moving ``hlop`` from ``victim``'s queue to ``thief`` legal?
+
+        The default (plain work stealing) only enforces the HLOP's own
+        accuracy constraint; QAWS policies also restrict the steal
+        direction (section 3.5).
+        """
+        del victim
+        return hlop.allows_rank(thief.accuracy_rank)
+
+    def participating(self, devices: Sequence[Device]) -> List[Device]:
+        """Filter the platform's devices to the ones this policy uses."""
+        if self.device_classes is None:
+            return list(devices)
+        allowed = set(self.device_classes)
+        chosen = [d for d in devices if d.device_class in allowed]
+        if not chosen:
+            raise ValueError(
+                f"{self.name}: no devices of classes {sorted(allowed)} available"
+            )
+        return chosen
+
+
+_SCHEDULERS: Dict[str, Callable[[], Scheduler]] = {}
+
+
+def register_scheduler(name: str, factory: Callable[[], Scheduler]) -> None:
+    if name in _SCHEDULERS:
+        raise ValueError(f"scheduler {name!r} already registered")
+    _SCHEDULERS[name] = factory
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Instantiate a scheduler by its registry name."""
+    _ensure_loaded()
+    try:
+        return _SCHEDULERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; known: {sorted(_SCHEDULERS)}"
+        ) from None
+
+
+def scheduler_names() -> List[str]:
+    _ensure_loaded()
+    return sorted(_SCHEDULERS)
+
+
+_loaded = False
+
+
+def _ensure_loaded() -> None:
+    global _loaded
+    if _loaded:
+        return
+    from repro.core.schedulers import (  # noqa: F401  (register side effects)
+        even,
+        heft,
+        ira,
+        oracle,
+        pipeline,
+        qaws,
+        qos,
+        work_stealing,
+    )
+
+    _loaded = True

@@ -1,0 +1,67 @@
+"""Static policies: the GPU-only baseline and naive even distribution.
+
+* :class:`GPUBaseline` reproduces the paper's baseline: the whole kernel on
+  the GPU with serial (non-overlapped) transfers and no SHMT runtime cost.
+  Every speedup in the evaluation is relative to this run.
+* :class:`EvenDistribution` reproduces the quality-blind reference policy
+  of section 5.2: HLOPs split evenly between the GPU and the Edge TPU with
+  no stealing, so the slower device for the kernel bounds the runtime --
+  the paper sees it *lose* to the baseline on 6 of 10 benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.schedulers.base import Plan, PlanContext, Scheduler, register_scheduler
+
+
+class GPUBaseline(Scheduler):
+    """Everything on the GPU, transfers serialized: the paper's baseline."""
+
+    name = "gpu-baseline"
+    device_classes = ("gpu",)
+    overlap_transfers = False
+    charges_runtime_overhead = False
+    steals = False
+
+    def plan(self, ctx: PlanContext) -> Plan:
+        gpu = ctx.devices[0].name
+        return Plan(assignment=[gpu] * len(ctx.partitions))
+
+
+class EvenDistribution(Scheduler):
+    """Round-robin across GPU and Edge TPU, no stealing, no quality control."""
+
+    name = "even-distribution"
+    device_classes = ("gpu", "tpu")
+    steals = False
+
+    def plan(self, ctx: PlanContext) -> Plan:
+        cycle = itertools.cycle([d.name for d in ctx.devices])
+        return Plan(assignment=[next(cycle) for _ in ctx.partitions])
+
+
+class EdgeTPUOnly(Scheduler):
+    """Everything on the Edge TPU: the "edge TPU" reference column of the
+    paper's Figures 2, 7, and 8 (all kernels offloaded to the NPU).
+
+    Like the naive GPU baseline, this conventional offload serializes its
+    transfers -- it is the "just use the accelerator" implementation, not
+    an SHMT-managed run.
+    """
+
+    name = "edge-tpu-only"
+    device_classes = ("tpu",)
+    steals = False
+    overlap_transfers = False
+    charges_runtime_overhead = False
+
+    def plan(self, ctx: PlanContext) -> Plan:
+        tpu = ctx.devices[0].name
+        return Plan(assignment=[tpu] * len(ctx.partitions))
+
+
+register_scheduler("gpu-baseline", GPUBaseline)
+register_scheduler("even-distribution", EvenDistribution)
+register_scheduler("edge-tpu-only", EdgeTPUOnly)

@@ -1,0 +1,73 @@
+"""HEFT-style static list scheduling, as a literature baseline.
+
+Heterogeneous Earliest Finish Time (Topcuoglu et al., 2002) is the
+classic static scheduler for heterogeneous platforms: tasks are ranked
+and greedily placed on whichever processor finishes them earliest,
+accounting for communication.  The paper's related-work section groups
+such "task distribution solutions" as method (1)/(2) -- partition and map,
+no dynamic adaptation.
+
+For SHMT's independent HLOPs, HEFT degenerates to greedy
+earliest-finish-time placement over the calibrated service and transfer
+times.  Comparing it against work stealing isolates what the *dynamic*
+part of SHMT buys: with a perfect performance model HEFT matches
+stealing, but it has no way to recover when its model is wrong (the
+mis-calibration test in tests/core/test_heft.py), which is exactly the
+paper's argument for runtime adaptation ("the relative performance ratio
+... change[s] as data sizes or system dynamics change", section 2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.schedulers.base import Plan, PlanContext, Scheduler, register_scheduler
+
+
+class HEFTStatic(Scheduler):
+    """Static earliest-finish-time placement; no stealing at runtime."""
+
+    name = "heft-static"
+    steals = False
+
+    #: Multiplier applied to the model's device rates while planning;
+    #: 1.0 = oracle-quality model.  Tests use this to mis-calibrate the
+    #: planner and show static schedules cannot recover.
+    def __init__(self, model_bias: Dict[str, float] = None) -> None:
+        self.model_bias = dict(model_bias or {})
+
+    def plan(self, ctx: PlanContext) -> Plan:
+        from repro.devices.interconnect import LinkConfig
+
+        link = LinkConfig()
+        per_element_transfer = ctx.calibration.transfer_time_per_element()
+        ready: Dict[str, float] = {device.name: 0.0 for device in ctx.devices}
+        # Rank: largest partitions first (upward rank for independent tasks
+        # reduces to descending cost).
+        order = sorted(ctx.partitions, key=lambda p: p.n_items, reverse=True)
+        placed: Dict[int, str] = {}
+        for partition in order:
+            best_name, best_finish = None, None
+            for device in ctx.devices:
+                rate = ctx.calibration.device_rate(device.device_class)
+                rate *= self.model_bias.get(device.device_class, 1.0)
+                service = device.launch_latency + partition.n_items / (
+                    rate * ctx.calibration.gpu_elements_per_second
+                )
+                # Transfers are double-buffered: a device is bottlenecked by
+                # whichever of its two engines is slower for this HLOP.
+                transfer = (
+                    per_element_transfer
+                    * partition.n_items
+                    * getattr(link, device.device_class, 1.0)
+                )
+                finish = ready[device.name] + max(service, transfer)
+                if best_finish is None or finish < best_finish:
+                    best_name, best_finish = device.name, finish
+            placed[partition.index] = best_name
+            ready[best_name] = best_finish
+        assignment = [placed[p.index] for p in ctx.partitions]
+        return Plan(assignment=assignment)
+
+
+register_scheduler("heft-static", HEFTStatic)

@@ -1,0 +1,48 @@
+"""Oracle assignment (paper section 5.3's "oracle" reference).
+
+The paper builds an oracle by *manually* identifying critical input
+regions and assigning HLOPs accordingly, ignoring the cost of doing so.
+Here the oracle computes exact criticality from every partition's full
+data (no sampling error) and pins the true top-K% globally, charging zero
+host time.  It upper-bounds what any QAWS sampling policy can achieve on
+quality.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.quality import estimate_criticality
+from repro.core.schedulers.base import Plan, PlanContext, register_scheduler
+from repro.core.schedulers.qaws import DEFAULT_TOP_K_FRACTION, QAWS
+
+
+class OracleAssignment(QAWS):
+    """Exact global top-K criticality assignment with zero modelled cost."""
+
+    def __init__(self, top_k_fraction: float = DEFAULT_TOP_K_FRACTION) -> None:
+        super().__init__(policy="topk", top_k_fraction=top_k_fraction)
+        self.name = "oracle"
+
+    def plan(self, ctx: PlanContext) -> Plan:
+        accurate = ctx.most_accurate_device()
+        relaxed = ctx.least_accurate_device()
+        n = len(ctx.partitions)
+        scores: List[float] = []
+        for partition in ctx.partitions:
+            block = ctx.block_for(partition.index)
+            scores.append(estimate_criticality(block).score)
+        pinned_count = int(round(self.top_k_fraction * n))
+        by_criticality = sorted(range(n), key=lambda i: scores[i], reverse=True)
+        assignment = [relaxed.name] * n
+        ranks: List[Optional[int]] = [None] * n
+        for pid in by_criticality[:pinned_count]:
+            assignment[pid] = accurate.name
+            ranks[pid] = accurate.accuracy_rank
+        plan = Plan(assignment=assignment, max_accuracy_ranks=ranks)
+        plan.criticalities = scores
+        plan.notes["policy"] = "oracle"
+        return plan
+
+
+register_scheduler("oracle", OracleAssignment)

@@ -1,0 +1,222 @@
+"""Quality-Aware Work-Stealing (QAWS) -- paper section 3.5.
+
+QAWS layers a quality-control pass over basic work stealing: before
+dispatch it samples every input partition (with one of the three samplers
+of Algorithms 3-5), estimates criticality from the samples' range and
+standard deviation, and constrains where critical partitions may run.
+
+Two assignment policies:
+
+* **Device-dependent limits** (Algorithm 1): each device advertises an
+  acceptable criticality limit derived from its precision; a partition
+  goes to the least-accurate device whose limit admits it.  Stealing is
+  restricted so a device may only steal from a victim with the same or a
+  lower (stricter) limit -- i.e. inaccurate devices never acquire work that
+  was routed away from them.
+* **Application-dependent top-K%** (Algorithm 2): within a sliding window
+  of W partitions, the top K% by sampled criticality are pinned to the
+  most accurate device class; the rest start on the least accurate device.
+  Stealing is restricted to equal-or-more-accurate thieves.
+
+Policy x sampler gives the paper's six variants: QAWS-TS, -TU, -TR
+(top-K x striding/uniform/reduction) and QAWS-LS, -LU, -LR (limits x same).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.hlop import HLOP
+from repro.core.quality import CriticalityEstimate, estimate_criticality
+from repro.core.sampling import DEFAULT_SAMPLING_RATE, Sampler, make_sampler
+from repro.core.schedulers.base import (
+    Plan,
+    PlanContext,
+    Scheduler,
+    register_scheduler,
+)
+from repro.devices.base import Device
+
+#: Default top-K fraction pinned to the accurate class (application knob).
+DEFAULT_TOP_K_FRACTION = 0.25
+#: Default criticality window size W (Algorithm 2).
+DEFAULT_WINDOW = 16
+#: Default acceptable relative INT8 error for the Edge TPU (Algorithm 1's
+#: device limit): partitions whose estimated quantization error exceeds
+#: this are kept on exact devices.  Tuned so that, like the paper's
+#: device-limit runs, ordinary partitions are admitted (LS speedups track
+#: TS closely) and only wide-distribution partitions are excluded.
+DEFAULT_TPU_RELATIVE_ERROR_LIMIT = 0.02
+
+
+class QAWS(Scheduler):
+    """Quality-aware work stealing, parameterized by policy and sampler."""
+
+    def __init__(
+        self,
+        policy: str = "topk",
+        sampler: str = "striding",
+        sampling_rate: float = DEFAULT_SAMPLING_RATE,
+        top_k_fraction: float = DEFAULT_TOP_K_FRACTION,
+        second_fraction: float = 0.0,
+        window: int = DEFAULT_WINDOW,
+        tpu_error_limit: float = DEFAULT_TPU_RELATIVE_ERROR_LIMIT,
+    ) -> None:
+        """Args mirror section 3.5's knobs.
+
+        ``second_fraction`` is the paper's "second-L%": on platforms with a
+        middle accuracy tier (e.g. an FP16 DSP), the next L% of partitions
+        by criticality go to the second-most accurate class.  It is 0 on
+        the two-tier prototype platform.
+        """
+        if policy not in ("topk", "limit"):
+            raise ValueError(f"policy must be 'topk' or 'limit', got {policy!r}")
+        if not 0.0 <= top_k_fraction <= 1.0:
+            raise ValueError("top_k_fraction must be in [0, 1]")
+        if not 0.0 <= second_fraction <= 1.0 - top_k_fraction:
+            raise ValueError("second_fraction must fit in [0, 1 - top_k_fraction]")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.policy = policy
+        self.sampler: Sampler = make_sampler(sampler, rate=sampling_rate)
+        self.top_k_fraction = top_k_fraction
+        self.second_fraction = second_fraction
+        self.window = window
+        self.tpu_error_limit = tpu_error_limit
+        policy_code = "T" if policy == "topk" else "L"
+        sampler_code = self.sampler.name[0].upper()
+        self.name = f"QAWS-{policy_code}{sampler_code}"
+
+    # ------------------------------------------------------------------ plan
+
+    def plan(self, ctx: PlanContext) -> Plan:
+        estimates, sampling_seconds = self._sample_all(ctx)
+        if self.policy == "topk":
+            plan = self._plan_top_k(ctx, estimates)
+        else:
+            plan = self._plan_device_limits(ctx, estimates)
+        plan.sampling_seconds = sampling_seconds
+        plan.criticalities = [est.score for est in estimates]
+        plan.notes["policy"] = self.policy
+        plan.notes["sampler"] = self.sampler.name
+        return plan
+
+    def _sample_all(self, ctx: PlanContext) -> "tuple[List[CriticalityEstimate], float]":
+        estimates: List[CriticalityEstimate] = []
+        total_cost = 0.0
+        for partition in ctx.partitions:
+            block = ctx.block_for(partition.index)
+            result = self.sampler.sample(block, ctx.rng)
+            total_cost += result.host_seconds
+            estimates.append(estimate_criticality(result.samples))
+        return estimates, total_cost
+
+    def _plan_top_k(self, ctx: PlanContext, estimates: List[CriticalityEstimate]) -> Plan:
+        """Algorithm 2: rank within windows of W; pin the top K% to the most
+        accurate class, the next L% to the second-most accurate class (when
+        the platform has one), the rest to the least accurate device."""
+        accurate = ctx.most_accurate_device()
+        relaxed = ctx.least_accurate_device()
+        middle = self._middle_device(ctx)
+        n = len(ctx.partitions)
+        assignment: List[str] = [relaxed.name] * n
+        ranks: List[Optional[int]] = [None] * n
+        for window_start in range(0, n, self.window):
+            window_ids = list(range(window_start, min(window_start + self.window, n)))
+            # Partial final window: scale the budgets down proportionally
+            # (the paper's algorithm flushes the window at i == N-1).
+            width = len(window_ids)
+            k_here = max(0, int(round(self.top_k_fraction * width)))
+            l_here = max(0, int(round(self.second_fraction * width))) if middle else 0
+            by_criticality = sorted(
+                window_ids, key=lambda i: estimates[i].score, reverse=True
+            )
+            for position, pid in enumerate(by_criticality):
+                if position < k_here:
+                    assignment[pid] = accurate.name
+                    ranks[pid] = accurate.accuracy_rank
+                elif position < k_here + l_here:
+                    assignment[pid] = middle.name
+                    ranks[pid] = middle.accuracy_rank
+        return Plan(assignment=assignment, max_accuracy_ranks=ranks)
+
+    def _middle_device(self, ctx: PlanContext) -> Optional[Device]:
+        """The second-most accurate device class, if the platform has three."""
+        if self.second_fraction <= 0.0:
+            return None
+        ranks = sorted({d.accuracy_rank for d in ctx.devices})
+        if len(ranks) < 3:
+            return None
+        middle_rank = ranks[1]
+        return next(d for d in ctx.devices if d.accuracy_rank == middle_rank)
+
+    def _plan_device_limits(
+        self, ctx: PlanContext, estimates: List[CriticalityEstimate]
+    ) -> Plan:
+        """Algorithm 1: route each partition by device-dependent limits.
+
+        ``limits`` pairs (limit, device), sorted by limit descending, with
+        the most accurate device as the default choice; a partition goes to
+        the first (least accurate) device whose limit admits its sampled
+        relative-error estimate.
+        """
+        accurate = ctx.most_accurate_device()
+        limits = self._device_limits(ctx)
+        assignment: List[str] = []
+        ranks: List[Optional[int]] = []
+        for estimate in estimates:
+            chosen = accurate
+            for limit, device in limits:
+                if estimate.relative_int8_error < limit:
+                    chosen = device
+                    break
+            assignment.append(chosen.name)
+            ranks.append(chosen.accuracy_rank)
+        return Plan(assignment=assignment, max_accuracy_ranks=ranks)
+
+    def _device_limits(self, ctx: PlanContext) -> "List[tuple[float, Device]]":
+        """(limit, device) pairs for approximate devices, laxest probed first.
+
+        Exact devices have an infinite limit and act as the default choice
+        (Algorithm 1's "your default choice" line), so only approximate
+        devices appear in the probe list.  Each device's limit scales with
+        its precision: an 8-bit device gets the configured limit; a 16-bit
+        device tolerates ~2^8 more resolution, so its limit is scaled up
+        (capped well below "anything goes").
+        """
+        pairs = []
+        for device in ctx.devices:
+            if device.accuracy_rank <= 0:
+                continue
+            if device.precision.bits <= 8:
+                limit = self.tpu_error_limit
+            else:
+                limit = min(0.5, self.tpu_error_limit * 2 ** (device.precision.bits - 8))
+            pairs.append((limit, device))
+        pairs.sort(key=lambda pair: -pair[1].accuracy_rank)
+        return pairs
+
+    # ----------------------------------------------------------------- steal
+
+    def can_steal(self, thief: Device, victim: Device, hlop: HLOP) -> bool:
+        """QAWS steal rule: accuracy may only improve when work moves."""
+        if not hlop.allows_rank(thief.accuracy_rank):
+            return False
+        return thief.accuracy_rank <= victim.accuracy_rank
+
+
+def _register_variants() -> None:
+    for policy_code, policy in (("T", "topk"), ("L", "limit")):
+        for sampler_code in "SUR":
+            name = f"QAWS-{policy_code}{sampler_code}"
+            register_scheduler(
+                name,
+                lambda policy=policy, sampler_code=sampler_code: QAWS(
+                    policy=policy, sampler=sampler_code
+                ),
+            )
+
+
+_register_variants()

@@ -1,0 +1,103 @@
+"""Quality-budget scheduling: maximize quality within a latency budget.
+
+The paper's QAWS policies fix the *quality* knob (top-K%, device limits)
+and accept whatever latency falls out.  Deployments usually have it the
+other way around: a latency budget (QoS target) and a desire for the best
+quality that fits.  This scheduler inverts QAWS accordingly:
+
+1. sample criticality like QAWS (striding sampler);
+2. predict the run time as a function of the pinned fraction ``f`` using
+   the calibrated model: pinned work must run on the exact class (rate
+   ``1 + c``), so compute time is bounded by
+   ``max(f / (1 + c), 1 / P) * (1 - alpha) * T_base``;
+3. greedily pin partitions in descending criticality while the predicted
+   time stays within ``budget_factor x`` the work-stealing prediction.
+
+``budget_factor = 1.0`` asks for work-stealing speed (few pins, quality
+close to plain stealing); larger budgets buy monotonically more pinning
+and therefore more quality; ``inf`` pins everything (exact results).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.hlop import HLOP
+from repro.core.quality import estimate_criticality
+from repro.core.sampling import DEFAULT_SAMPLING_RATE, make_sampler
+from repro.core.schedulers.base import Plan, PlanContext, Scheduler, register_scheduler
+from repro.devices.base import Device
+
+
+class QualityBudget(Scheduler):
+    """Pin as much criticality as the latency budget affords."""
+
+    def __init__(
+        self,
+        budget_factor: float = 1.15,
+        sampler: str = "striding",
+        sampling_rate: float = DEFAULT_SAMPLING_RATE,
+    ) -> None:
+        if budget_factor < 1.0:
+            raise ValueError("budget_factor must be >= 1.0 (1.0 = work-stealing speed)")
+        self.budget_factor = budget_factor
+        self.sampler = make_sampler(sampler, rate=sampling_rate)
+        self.name = f"quality-budget({budget_factor:g})"
+
+    def plan(self, ctx: PlanContext) -> Plan:
+        estimates = []
+        sampling_seconds = 0.0
+        for partition in ctx.partitions:
+            sample = self.sampler.sample(ctx.block_for(partition.index), ctx.rng)
+            sampling_seconds += sample.host_seconds
+            estimates.append(estimate_criticality(sample.samples))
+
+        calibration = ctx.calibration
+        exact_rate = sum(
+            calibration.device_rate(d.device_class)
+            for d in ctx.devices
+            if d.accuracy_rank == 0
+        )
+        aggregate = sum(
+            calibration.device_rate(d.device_class) for d in ctx.devices
+        )
+        free_floor = 1.0 / aggregate  # perfectly-shared compute fraction
+
+        total_items = ctx.total_items or 1
+        accurate = ctx.most_accurate_device()
+        relaxed = ctx.least_accurate_device()
+        order = sorted(
+            range(len(ctx.partitions)),
+            key=lambda i: estimates[i].score,
+            reverse=True,
+        )
+        pinned: List[int] = []
+        pinned_items = 0
+        for index in order:
+            candidate_items = pinned_items + ctx.partitions[index].n_items
+            fraction = candidate_items / total_items
+            predicted = max(fraction / exact_rate, free_floor)
+            if predicted > self.budget_factor * free_floor:
+                break
+            pinned.append(index)
+            pinned_items = candidate_items
+
+        assignment = [relaxed.name] * len(ctx.partitions)
+        ranks: List[Optional[int]] = [None] * len(ctx.partitions)
+        for index in pinned:
+            assignment[index] = accurate.name
+            ranks[index] = accurate.accuracy_rank
+        plan = Plan(assignment=assignment, max_accuracy_ranks=ranks)
+        plan.sampling_seconds = sampling_seconds
+        plan.criticalities = [est.score for est in estimates]
+        plan.notes["policy"] = "quality-budget"
+        plan.notes["pinned_fraction"] = pinned_items / total_items
+        return plan
+
+    def can_steal(self, thief: Device, victim: Device, hlop: HLOP) -> bool:
+        if not hlop.allows_rank(thief.accuracy_rank):
+            return False
+        return thief.accuracy_rank <= victim.accuracy_rank
+
+
+register_scheduler("quality-budget", QualityBudget)

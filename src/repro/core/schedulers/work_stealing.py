@@ -1,0 +1,53 @@
+"""The basic work-stealing scheduler (paper section 3.4).
+
+The initial plan spreads partitions round-robin across every device; while
+the run executes, any idle device steals queued HLOPs from the most-loaded
+queue.  No quality control: this is the paper's upper reference for SHMT
+speedup (2.07x average) and its quality numbers show why QAWS exists.
+
+:class:`ProportionalWorkStealing` is the natural refinement the paper's
+runtime description suggests (section 3.3.1: the runtime "gauges the
+ability of hardware resources to make scheduling decisions"): the initial
+plan already matches each device's calibrated throughput, so stealing only
+has to correct drift rather than fix a uniform split.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List
+
+from repro.core.schedulers.base import Plan, PlanContext, Scheduler, register_scheduler
+
+
+class WorkStealing(Scheduler):
+    """Quality-blind work stealing across CPU + GPU + Edge TPU."""
+
+    name = "work-stealing"
+
+    def plan(self, ctx: PlanContext) -> Plan:
+        cycle = itertools.cycle([d.name for d in ctx.devices])
+        return Plan(assignment=[next(cycle) for _ in ctx.partitions])
+
+
+class ProportionalWorkStealing(Scheduler):
+    """Work stealing seeded with a throughput-proportional initial plan."""
+
+    name = "proportional-stealing"
+
+    def plan(self, ctx: PlanContext) -> Plan:
+        rates = [ctx.calibration.device_rate(d.device_class) for d in ctx.devices]
+        total_rate = sum(rates)
+        n = len(ctx.partitions)
+        quotas = [max(0, int(round(n * rate / total_rate))) for rate in rates]
+        # Rounding drift: trim/extend against the fastest device.
+        fastest = max(range(len(rates)), key=lambda i: rates[i])
+        quotas[fastest] += n - sum(quotas)
+        assignment: List[str] = []
+        for device, quota in zip(ctx.devices, quotas):
+            assignment.extend([device.name] * quota)
+        return Plan(assignment=assignment[:n])
+
+
+register_scheduler("work-stealing", WorkStealing)
+register_scheduler("proportional-stealing", ProportionalWorkStealing)

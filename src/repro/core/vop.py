@@ -1,0 +1,118 @@
+"""Virtual operations (VOPs) -- the hardware-independent computation layer.
+
+A VOP describes *what* to compute with no assumption about which device(s)
+will run it or how data will be partitioned (paper section 3.2.1).  The
+SHMT runtime decomposes each VOP into HLOPs at schedule time.
+
+:data:`VOP_TABLE` reproduces the paper's Table 1: the prototype's VOP set,
+split by parallelization model (element-wise "vector" VOPs vs tile-wise
+"matrix tiling" VOPs).  Every entry maps to a registered kernel; the few
+Table 1 rows that are aliases of the same numeric kernel (e.g. ``conv`` and
+``stencil``) share one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.kernels.registry import KernelSpec, get_kernel
+
+#: Paper Table 1, mapped to registered kernel names.
+VOP_TABLE: Dict[str, Dict[str, str]] = {
+    "vector": {
+        "add": "add",
+        "sub": "sub",
+        "multiply": "multiply",
+        "log": "log",
+        "max": "max",
+        "min": "min",
+        "relu": "relu",
+        "rsqrt": "rsqrt",
+        "sqrt": "sqrt",
+        "tanh": "tanh",
+        "reduce_sum": "reduce_sum",
+        "reduce_average": "reduce_average",
+        "reduce_max": "reduce_max",
+        "reduce_min": "reduce_min",
+        "reduce_hist256": "histogram",
+        "scan": "scan",
+        "blackscholes": "blackscholes",
+    },
+    "tiling": {
+        "conv": "stencil",
+        "stencil": "stencil",
+        "DCT8x8": "dct8x8",
+        "FDWT97": "dwt",
+        "FFT": "fft",
+        "GEMM": "gemm",
+        "Laplacian": "laplacian",
+        "Mean_Filter": "mean_filter",
+        "Sobel": "sobel",
+        "SRAD": "srad",
+        "parabolic_PDE": "hotspot",
+    },
+}
+
+
+def vop_catalog() -> List[str]:
+    """Every VOP opcode the prototype supports, across both models."""
+    names: List[str] = []
+    for group in VOP_TABLE.values():
+        names.extend(group)
+    return sorted(set(names))
+
+
+def kernel_for_vop(opcode: str) -> KernelSpec:
+    """Resolve a Table 1 opcode to its kernel spec."""
+    for group in VOP_TABLE.values():
+        if opcode in group:
+            return get_kernel(group[opcode])
+    raise KeyError(f"unknown VOP opcode {opcode!r}; catalog: {vop_catalog()}")
+
+
+@dataclass
+class VOPCall:
+    """One VOP invocation: opcode (or kernel name) plus its input data.
+
+    This is what a user program "offloads" to SHMT's virtual device.  The
+    optional ``context`` overrides the kernel's host-context builder (e.g.
+    supplying the B operand of a GEMM); ``label`` names the call in traces.
+    """
+
+    opcode: str
+    data: np.ndarray
+    context: Any = None
+    label: Optional[str] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.data = np.ascontiguousarray(self.data, dtype=np.float32)
+        if self.data.size == 0:
+            raise ValueError(f"{self.opcode}: empty input data")
+        if not np.all(np.isfinite(self.data)):
+            # Non-finite values would silently poison the approximate
+            # devices' quantization calibration (percentiles of NaN).
+            raise ValueError(f"{self.opcode}: input contains NaN or infinity")
+        if self.label is None:
+            self.label = self.opcode
+
+    @property
+    def spec(self) -> KernelSpec:
+        try:
+            return kernel_for_vop(self.opcode)
+        except KeyError:
+            return get_kernel(self.opcode)
+
+    def resolve_context(self) -> Any:
+        """The host context for this call: explicit override or kernel default.
+
+        The default is built from the *full-precision* input, mirroring the
+        host-side preprocessing the paper's runtime performs before
+        partitioning (section 3.3.2).
+        """
+        if self.context is not None:
+            return self.context
+        return self.spec.make_context(self.data.astype(np.float64))

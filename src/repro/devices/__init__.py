@@ -1,0 +1,77 @@
+"""Simulated heterogeneous devices: CPU, GPU, Edge TPU, and shared models."""
+
+from repro.devices.base import Device, ExactDevice
+from repro.devices.cpu import CPUDevice
+from repro.devices.dsp import DSPDevice
+from repro.devices.edgetpu import EdgeTPUDevice
+from repro.devices.energy import EnergyBreakdown, EnergyModel
+from repro.devices.gpu import GPUDevice
+from repro.devices.interconnect import Interconnect, LinkConfig
+from repro.devices.memory import FootprintReport, footprint_report
+from repro.devices.perf_model import (
+    CALIBRATION,
+    PAPER_TARGETS,
+    KernelCalibration,
+    benchmark_names,
+    calibration_for,
+    generic_calibration,
+)
+from repro.devices.platform import (
+    Platform,
+    dsp_extended_platform,
+    gpu_only_platform,
+    gpu_tpu_platform,
+    jetson_nano_platform,
+)
+from repro.devices.precision import (
+    FP16,
+    FP32,
+    FP64,
+    INT8,
+    INT16,
+    Precision,
+    dequantize,
+    precision_by_name,
+    quantization_error_bound,
+    quantization_scale,
+    quantize,
+    round_trip,
+)
+
+__all__ = [
+    "Device",
+    "ExactDevice",
+    "CPUDevice",
+    "DSPDevice",
+    "GPUDevice",
+    "EdgeTPUDevice",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "Interconnect",
+    "LinkConfig",
+    "FootprintReport",
+    "footprint_report",
+    "CALIBRATION",
+    "PAPER_TARGETS",
+    "KernelCalibration",
+    "benchmark_names",
+    "calibration_for",
+    "generic_calibration",
+    "Platform",
+    "jetson_nano_platform",
+    "dsp_extended_platform",
+    "gpu_only_platform",
+    "gpu_tpu_platform",
+    "FP16",
+    "FP32",
+    "FP64",
+    "INT8",
+    "INT16",
+    "Precision",
+    "quantize",
+    "dequantize",
+    "round_trip",
+    "quantization_scale",
+    "quantization_error_bound",
+    "precision_by_name",
+]

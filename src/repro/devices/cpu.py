@@ -1,0 +1,26 @@
+"""Host CPU device (quad-core ARM Cortex-A57 analogue)."""
+
+from __future__ import annotations
+
+from repro.devices.base import ExactDevice
+from repro.devices.precision import FP32
+
+
+class CPUDevice(ExactDevice):
+    """The host processor as a compute resource.
+
+    The paper's Figure 6 work-stealing speedups exceed the GPU+TPU pair
+    bound ``1 + r`` on several kernels, which is only possible when the
+    host cores contribute HLOPs too; the calibrated model gives the CPU
+    half the GPU's throughput (see :mod:`repro.devices.perf_model`).
+    The CPU computes in full FP32 and shares host memory, so it has no
+    transfer cost and no approximation error.
+    """
+
+    device_class = "cpu"
+    accuracy_rank = 0
+    launch_latency = 1e-6
+    precision = FP32
+
+    def __init__(self, name: str = "cpu0") -> None:
+        super().__init__(name)

@@ -1,0 +1,65 @@
+"""DSP device (image/signal DSP analogue, FP16).
+
+The paper's background (section 2.1) surveys DSPs as the third big
+accelerator family -- image DSPs compute in 16/24-bit -- and notes that
+"SHMT can easily extend the support to DSPs" because they accelerate the
+same mathematical functions.  This device realizes that extension: a
+16-bit float unit with an accuracy rank *between* the exact class and the
+Edge TPU, demonstrating SHMT's three-level quality hierarchy ("top-K% to
+the most accurate device, second-L% to the second-most accurate device,
+and so on", section 3.5).
+
+Timing uses the performance model's generic DSP rate (see
+:meth:`rate_multiplier`): no paper measurement exists to calibrate
+against, so the DSP runs at a configurable fraction of GPU speed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.devices.base import ComputeFn, Device
+from repro.devices.precision import FP16, round_trip
+
+
+class DSPDevice(Device):
+    """A half-precision signal processor: faster than CPU, safer than TPU."""
+
+    device_class = "dsp"
+    accuracy_rank = 1
+    launch_latency = 15e-6
+    precision = FP16
+
+    #: Relative throughput vs the GPU (no per-kernel calibration source
+    #: exists; image DSPs typically land below GPUs on these kernels).
+    rate_multiplier = 0.6
+
+    def __init__(self, name: str = "dsp0") -> None:
+        super().__init__(name)
+
+    def service_time(self, calibration, n_elements: int, now: float = 0.0) -> float:
+        gpu_time = calibration.compute_time("gpu", n_elements)
+        base = self.launch_latency + gpu_time / self.rate_multiplier
+        return base / self.speed_multiplier(now)
+
+    def execute_numeric(
+        self,
+        compute: ComputeFn,
+        block: np.ndarray,
+        ctx: Any,
+        *,
+        error_scale: float = 0.0,
+        seed: Optional[int] = None,
+        channel_axis: Optional[int] = None,
+        quantize_output: bool = True,
+        tensor_compute: Optional[ComputeFn] = None,
+    ) -> np.ndarray:
+        # FP16 in, FP32 math, FP16 out: the DSP's numeric signature.
+        del error_scale, seed, channel_axis, tensor_compute
+        narrowed = round_trip(np.asarray(block, dtype=np.float32), FP16)
+        out = np.asarray(compute(narrowed, ctx), dtype=np.float32)
+        if quantize_output:
+            out = round_trip(out, FP16)
+        return out

@@ -1,0 +1,109 @@
+"""Energy model for the simulated platform.
+
+The paper measures wall-plug power on the prototype (section 5.5):
+
+* platform idle: 3.02 W
+* GPU baseline running: 4.67 W peak
+* SHMT (GPU + Edge TPU active): 5.23 W peak
+
+We decompose those measurements into additive device contributions --
+``4.67 - 3.02 = 1.65 W`` for an active GPU and ``5.23 - 4.67 = 0.56 W`` for
+an active Edge TPU -- and integrate power over each device's busy time on
+the simulated timeline.  The CPU's compute contribution is small on the
+A57 (it is already partly counted in platform idle); we model it at 0.35 W
+when executing HLOPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.sim.trace import Trace
+
+PLATFORM_IDLE_WATTS = 3.02
+GPU_ACTIVE_WATTS = 4.67 - PLATFORM_IDLE_WATTS
+TPU_ACTIVE_WATTS = 5.23 - 4.67
+CPU_ACTIVE_WATTS = 0.35
+
+DSP_ACTIVE_WATTS = 0.45
+
+DEFAULT_ACTIVE_WATTS: Dict[str, float] = {
+    "gpu": GPU_ACTIVE_WATTS,
+    "tpu": TPU_ACTIVE_WATTS,
+    "cpu": CPU_ACTIVE_WATTS,
+    "dsp": DSP_ACTIVE_WATTS,
+}
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules consumed during one run, split the way paper Figure 10 splits it."""
+
+    active_joules: float
+    idle_joules: float
+    duration: float
+    per_device_active: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def total_joules(self) -> float:
+        return self.active_joules + self.idle_joules
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (J * s)."""
+        return self.total_joules * self.duration
+
+    def peak_watts(self) -> float:
+        """Idle power plus every device that was ever active."""
+        return PLATFORM_IDLE_WATTS + sum(
+            DEFAULT_ACTIVE_WATTS.get(dev, 0.0)
+            for dev, joules in self.per_device_active.items()
+            if joules > 0
+        )
+
+
+class EnergyModel:
+    """Integrates device activity from a :class:`Trace` into joules."""
+
+    def __init__(
+        self,
+        idle_watts: float = PLATFORM_IDLE_WATTS,
+        active_watts: Mapping[str, float] = None,
+    ) -> None:
+        self.idle_watts = idle_watts
+        self.active_watts = dict(DEFAULT_ACTIVE_WATTS if active_watts is None else active_watts)
+
+    def _device_class(self, resource: str) -> str:
+        # Trace resources are named like "gpu0", "tpu0", "cpu0", "host".
+        for cls in self.active_watts:
+            if resource.startswith(cls):
+                return cls
+        return "other"
+
+    def measure(self, trace: Trace, duration: float = None) -> EnergyBreakdown:
+        """Integrate energy over a run's trace.
+
+        Args:
+            trace: the run's execution trace.
+            duration: end-to-end simulated seconds; defaults to the trace
+                makespan.
+        """
+        if duration is None:
+            duration = trace.makespan()
+        per_device: Dict[str, float] = {}
+        for resource in trace.resources():
+            cls = self._device_class(resource)
+            watts = self.active_watts.get(cls)
+            if watts is None:
+                continue
+            busy = trace.busy_time(resource, category="compute")
+            per_device[cls] = per_device.get(cls, 0.0) + busy * watts
+        active = sum(per_device.values())
+        idle = self.idle_watts * duration
+        return EnergyBreakdown(
+            active_joules=active,
+            idle_joules=idle,
+            duration=duration,
+            per_device_active=per_device,
+        )

@@ -1,0 +1,25 @@
+"""GPU device (128-core Maxwell analogue, FP32)."""
+
+from __future__ import annotations
+
+from repro.devices.base import ExactDevice
+from repro.devices.precision import FP32
+
+
+class GPUDevice(ExactDevice):
+    """The platform's fastest exact device and the paper's baseline.
+
+    All speedups in the reproduction (as in the paper) are relative to
+    running the whole kernel on this device with serial transfers.  The
+    GPU computes natively in FP32 (section 2.1), so its results match the
+    FP32 reference and its only quality impact versus the FP64 oracle
+    reference is float rounding.
+    """
+
+    device_class = "gpu"
+    accuracy_rank = 0
+    launch_latency = 5e-6
+    precision = FP32
+
+    def __init__(self, name: str = "gpu0") -> None:
+        super().__init__(name)

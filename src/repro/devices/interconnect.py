@@ -1,0 +1,56 @@
+"""Interconnect (PCIe-like) transfer model.
+
+Hardware accelerators on the prototype are peripheral devices: the Edge TPU
+hangs off an M.2/PCIe link and even the integrated GPU pays a staging cost
+to move partitions between the host's shared buffer and its working set
+(section 3.3.2).  The SHMT runtime hides most of that latency with double
+buffering (section 5.6); the naive GPU baseline does not.
+
+Each device owns a *transfer engine* that serializes its own transfers but
+runs concurrently with the device's compute engine and with other devices'
+transfers.  ``Interconnect.transfer_time`` converts an HLOP's element count
+into seconds using the kernel's calibrated per-element transfer cost
+(see :mod:`repro.devices.perf_model`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.perf_model import KernelCalibration
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Per-device-class multipliers over the kernel's calibrated transfer cost.
+
+    The Edge TPU moves quantized INT8 payloads -- a quarter of the float32
+    bytes the GPU stages -- so its effective per-element transfer cost is
+    0.25x the calibrated GPU cost; the CPU computes directly in host memory
+    and moves nothing.
+    """
+
+    gpu: float = 1.0
+    tpu: float = 0.25
+    cpu: float = 0.0
+    dsp: float = 0.5  # FP16 payload: half the float32 bytes
+
+
+class Interconnect:
+    """Computes transfer durations for HLOP data movement."""
+
+    def __init__(self, link: LinkConfig = None) -> None:
+        self.link = link if link is not None else LinkConfig()
+
+    def multiplier(self, device_class: str) -> float:
+        try:
+            return getattr(self.link, device_class)
+        except AttributeError:
+            raise KeyError(f"unknown device class {device_class!r}") from None
+
+    def transfer_time(
+        self, calibration: KernelCalibration, device_class: str, n_elements: int
+    ) -> float:
+        """Seconds to move an ``n_elements`` partition to+from a device."""
+        per_element = calibration.transfer_time_per_element()
+        return per_element * n_elements * self.multiplier(device_class)

@@ -1,0 +1,87 @@
+"""Process-memory footprint accounting (paper Figure 11).
+
+The paper reports each application's virtual-memory footprint under SHMT
+relative to the GPU baseline, and observes the counter-intuitive result
+that offloading to the Edge TPU can *shrink* the footprint: the TPU's
+on-chip buffers (8 MB device memory, not mapped into the process) replace
+the intermediate buffers a GPU implementation materializes in host-visible
+memory.
+
+The accounting model here:
+
+* baseline footprint  = input + output + g * input
+  where ``g`` is the kernel's GPU intermediate-buffer factor
+  (:attr:`KernelCalibration.gpu_intermediate_factor`).
+* SHMT footprint      = input + output
+                      + g * (non-TPU work share) * input   (GPU/CPU scratch)
+                      + INT8_RATIO * (TPU work share) * input  (quantized copies)
+                      + STAGING_FACTOR * input              (double buffers)
+
+Work shares come from the actual simulated schedule, so the ratio responds
+to the scheduling policy the same way the paper's measurement does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.devices.perf_model import KernelCalibration
+
+INT8_RATIO = 0.25
+STAGING_FACTOR = 0.05
+TPU_DEVICE_MEMORY_BYTES = 8 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class FootprintReport:
+    """Bytes of host-visible memory for one run."""
+
+    baseline_bytes: float
+    shmt_bytes: float
+
+    @property
+    def ratio(self) -> float:
+        """SHMT footprint / GPU-baseline footprint (Figure 11's metric)."""
+        return self.shmt_bytes / self.baseline_bytes
+
+
+def baseline_footprint(calibration: KernelCalibration, input_bytes: float, output_bytes: float) -> float:
+    """Host-visible bytes for the naive GPU-only run."""
+    return input_bytes + output_bytes + calibration.gpu_intermediate_factor * input_bytes
+
+
+def shmt_footprint(
+    calibration: KernelCalibration,
+    input_bytes: float,
+    output_bytes: float,
+    work_shares: Mapping[str, float],
+) -> float:
+    """Host-visible bytes for an SHMT run.
+
+    Args:
+        work_shares: fraction of elements computed per device class
+            (``{"gpu": ..., "tpu": ..., "cpu": ...}``); must sum to ~1.
+    """
+    total_share = sum(work_shares.values())
+    if total_share > 0 and abs(total_share - 1.0) > 1e-6:
+        raise ValueError(f"work shares must sum to 1, got {total_share}")
+    tpu_share = work_shares.get("tpu", 0.0)
+    non_tpu_share = max(0.0, 1.0 - tpu_share)
+    scratch = calibration.gpu_intermediate_factor * non_tpu_share * input_bytes
+    quantized = INT8_RATIO * tpu_share * input_bytes
+    staging = STAGING_FACTOR * input_bytes
+    return input_bytes + output_bytes + scratch + quantized + staging
+
+
+def footprint_report(
+    calibration: KernelCalibration,
+    input_bytes: float,
+    output_bytes: float,
+    work_shares: Mapping[str, float],
+) -> FootprintReport:
+    """Compute both footprints and wrap them in a :class:`FootprintReport`."""
+    return FootprintReport(
+        baseline_bytes=baseline_footprint(calibration, input_bytes, output_bytes),
+        shmt_bytes=shmt_footprint(calibration, input_bytes, output_bytes, work_shares),
+    )

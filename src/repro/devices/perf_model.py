@@ -1,0 +1,225 @@
+"""Calibrated performance model for the simulated heterogeneous platform.
+
+The paper evaluates SHMT on real hardware (Jetson Nano GPU + Edge TPU); we
+have neither, so device timing comes from a calibrated analytical model and
+all *behaviour* (scheduling, stealing, overlap, quality) is simulated on top
+of it.  Calibration sources, per kernel:
+
+* ``tpu_speedup`` (r) -- the Edge TPU bar of paper Figure 2: whole-kernel
+  Edge TPU speed relative to the GPU.
+* ``transfer_fraction`` (alpha) -- the share of the *naive GPU baseline*
+  runtime spent in non-overlapped host<->device transfers.  Derived from the
+  paper's software-pipelining speedups (Figure 6): pipelining's only lever
+  is overlapping transfers with compute, so ``S_pipe ~= 1 / max(alpha, 1-alpha)``
+  and therefore ``alpha = 1 - 1/S_pipe``.
+* ``shmt_overhead_fraction`` (x) -- host-side SHMT runtime cost
+  (partitioning, quantization/data transformation, aggregation) as a share
+  of baseline runtime.  Derived from the paper's work-stealing speedups:
+  with transfers overlapped, ``1/S_ws = x + (1-alpha)/P`` where
+  ``P = 1 + r + c`` is the aggregate relative throughput of GPU+TPU+CPU.
+* ``cpu_speedup`` (c) -- relative CPU throughput; the paper does not report
+  it directly, but its Figure 6 work-stealing results exceed the GPU+TPU
+  pair bound ``1 + r`` for several kernels (Laplacian, MF, Sobel), which is
+  only possible if the host CPU contributes.  We use c = 0.5 throughout.
+* ``ira_overhead_fraction`` -- extra serial canary-execution cost of the
+  full IRA-sampling baseline, derived from its Figure 6 slowdowns via
+  ``o = 1/S_ira - 1/S_ws``.
+
+Absolute throughput numbers are arbitrary (they cancel in every reported
+speedup); they are chosen so a 2048x2048 kernel takes tens of simulated
+milliseconds, matching the flavour of the paper's platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+
+@dataclass(frozen=True)
+class KernelCalibration:
+    """Per-kernel timing/quality/memory calibration constants."""
+
+    name: str
+    tpu_speedup: float
+    cpu_speedup: float
+    transfer_fraction: float
+    shmt_overhead_fraction: float
+    ira_overhead_fraction: float
+    gpu_elements_per_second: float
+    npu_error_scale: float
+    gpu_intermediate_factor: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.transfer_fraction < 1.0:
+            raise ValueError(f"{self.name}: transfer_fraction must be in [0, 1)")
+        if self.tpu_speedup <= 0 or self.cpu_speedup < 0:
+            raise ValueError(f"{self.name}: speedups must be positive")
+
+    @property
+    def aggregate_throughput(self) -> float:
+        """P = 1 + r + c: combined relative throughput of GPU+TPU+CPU."""
+        return 1.0 + self.tpu_speedup + self.cpu_speedup
+
+    def gpu_compute_time(self, n_elements: int) -> float:
+        """Pure GPU compute seconds for ``n_elements`` (no launch overhead)."""
+        return n_elements / self.gpu_elements_per_second
+
+    def baseline_time(self, n_elements: int) -> float:
+        """Naive GPU baseline: serial transfers + compute.
+
+        compute = (1 - alpha) of the total, so total = compute / (1 - alpha).
+        """
+        return self.gpu_compute_time(n_elements) / (1.0 - self.transfer_fraction)
+
+    def transfer_time_per_element(self) -> float:
+        """Host<->device transfer seconds per element (input + output combined)."""
+        alpha = self.transfer_fraction
+        return (alpha / (1.0 - alpha)) / self.gpu_elements_per_second
+
+    def device_rate(self, device_class: str) -> float:
+        """Relative throughput of a device class (GPU == 1.0)."""
+        if device_class == "gpu":
+            return 1.0
+        if device_class == "tpu":
+            return self.tpu_speedup
+        if device_class == "cpu":
+            return self.cpu_speedup
+        if device_class == "dsp":
+            # No paper measurement to calibrate against; see devices/dsp.py.
+            return 0.6
+        raise KeyError(f"unknown device class {device_class!r}")
+
+    def compute_time(self, device_class: str, n_elements: int) -> float:
+        """Compute seconds for ``n_elements`` on a device class."""
+        return self.gpu_compute_time(n_elements) / self.device_rate(device_class)
+
+
+# Paper-reported targets used for the calibration below, assembled from
+# the central transcription in repro.paperdata (Figures 2 and 6).
+# Columns: r (Fig 2 Edge TPU), S_pipe, S_ws, S_ira (Fig 6).
+from repro import paperdata as _paper
+
+PAPER_TARGETS: Dict[str, Dict[str, float]] = {
+    kernel: {
+        "tpu": _paper.FIG2_TPU_SPEEDUP[kernel],
+        "pipe": _paper.FIG6_SPEEDUP["sw-pipelining"][kernel],
+        "ws": _paper.FIG6_SPEEDUP["work-stealing"][kernel],
+        "ira": _paper.FIG6_SPEEDUP["IRA-sampling"][kernel],
+    }
+    for kernel in _paper.KERNELS
+}
+
+_DEFAULT_CPU_SPEEDUP = 0.5
+
+# Absolute GPU throughputs (elements/second); arbitrary scale, varied per
+# kernel to reflect arithmetic intensity (FFT/SRAD heavy, histogram light).
+_GPU_EPS: Dict[str, float] = {
+    "blackscholes": 1.2e8,
+    "dct8x8": 1.5e8,
+    "dwt": 1.0e8,
+    "fft": 0.8e8,
+    "histogram": 2.5e8,
+    "hotspot": 1.8e8,
+    "laplacian": 2.2e8,
+    "mean_filter": 2.0e8,
+    "sobel": 2.1e8,
+    "srad": 0.9e8,
+}
+
+# Quality knob for the NPU surrogate (see kernels/npu.py): scales the
+# model-approximation residual on top of intrinsic INT8 quantization error.
+# Calibrated so Edge-TPU-only MAPE lands near the paper's Figure 7 column.
+_NPU_ERROR_SCALE: Dict[str, float] = {
+    "blackscholes": 0.05,
+    "dct8x8": 0.002,
+    "dwt": 0.002,
+    "fft": 0.04,
+    "histogram": 0.01,
+    "hotspot": 2.5,
+    "laplacian": 0.08,
+    "mean_filter": 0.003,
+    "sobel": 0.25,
+    "srad": 0.002,
+}
+
+# GPU-side intermediate-buffer factor (bytes of scratch per input byte) for
+# the Figure 11 memory-footprint model.  Solved from the paper's reported
+# footprint ratios under the accounting model in devices/memory.py: the
+# paper's 29% footprint *reduction* for Sobel (and 25% for SRAD) implies the
+# baseline GPU implementation's scratch dominates its footprint, matching
+# the paper's explanation that Edge TPU on-chip buffers replace GPU
+# intermediate storage.
+_GPU_INTERMEDIATE_FACTOR: Dict[str, float] = {
+    "blackscholes": 0.40,
+    "dct8x8": 0.05,
+    "dwt": 0.05,
+    "fft": 0.05,
+    "histogram": 0.05,
+    "hotspot": 0.10,
+    "laplacian": 0.45,
+    "mean_filter": 0.05,
+    "sobel": 20.0,
+    "srad": 2.0,
+}
+
+
+def _derive(name: str) -> KernelCalibration:
+    targets = PAPER_TARGETS[name]
+    r = targets["tpu"]
+    c = _DEFAULT_CPU_SPEEDUP
+    alpha = 1.0 - 1.0 / targets["pipe"]
+    aggregate = 1.0 + r + c
+    x = 1.0 / targets["ws"] - (1.0 - alpha) / aggregate
+    if x < 0.005:
+        x = 0.005
+    ira = 1.0 / targets["ira"] - 1.0 / targets["ws"]
+    return KernelCalibration(
+        name=name,
+        tpu_speedup=r,
+        cpu_speedup=c,
+        transfer_fraction=alpha,
+        shmt_overhead_fraction=x,
+        ira_overhead_fraction=max(ira, 0.0),
+        gpu_elements_per_second=_GPU_EPS[name],
+        npu_error_scale=_NPU_ERROR_SCALE[name],
+        gpu_intermediate_factor=_GPU_INTERMEDIATE_FACTOR[name],
+    )
+
+
+CALIBRATION: Dict[str, KernelCalibration] = {name: _derive(name) for name in PAPER_TARGETS}
+
+
+def calibration_for(kernel_name: str) -> KernelCalibration:
+    """Calibration for a benchmark kernel; defaults for non-benchmark VOPs."""
+    if kernel_name in CALIBRATION:
+        return CALIBRATION[kernel_name]
+    return generic_calibration(kernel_name)
+
+
+def generic_calibration(
+    name: str,
+    tpu_speedup: float = 1.0,
+    cpu_speedup: float = _DEFAULT_CPU_SPEEDUP,
+    transfer_fraction: float = 0.15,
+    shmt_overhead_fraction: float = 0.05,
+    gpu_elements_per_second: float = 1.5e8,
+    npu_error_scale: float = 0.02,
+) -> KernelCalibration:
+    """A reasonable calibration for VOPs outside the paper's benchmark set."""
+    return KernelCalibration(
+        name=name,
+        tpu_speedup=tpu_speedup,
+        cpu_speedup=cpu_speedup,
+        transfer_fraction=transfer_fraction,
+        shmt_overhead_fraction=shmt_overhead_fraction,
+        ira_overhead_fraction=1.0,
+        gpu_elements_per_second=gpu_elements_per_second,
+        npu_error_scale=npu_error_scale,
+        gpu_intermediate_factor=1.0,
+    )
+
+
+def benchmark_names() -> Iterable[str]:
+    """The ten benchmark kernels in the paper's presentation order."""
+    return list(PAPER_TARGETS)

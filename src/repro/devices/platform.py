@@ -1,0 +1,80 @@
+"""Platform assembly: the set of devices the SHMT runtime schedules onto.
+
+Mirrors the paper's prototype (section 4.1): a quad-core ARM CPU, a
+128-core Maxwell GPU, and an M.2 Edge TPU sharing data through host memory
+over a PCIe-like interconnect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.devices.base import Device
+from repro.devices.cpu import CPUDevice
+from repro.devices.edgetpu import EdgeTPUDevice
+from repro.devices.energy import EnergyModel
+from repro.devices.gpu import GPUDevice
+from repro.devices.interconnect import Interconnect
+
+
+@dataclass
+class Platform:
+    """A named collection of devices plus shared interconnect/energy models."""
+
+    devices: List[Device]
+    interconnect: Interconnect = field(default_factory=Interconnect)
+    energy_model: EnergyModel = field(default_factory=EnergyModel)
+
+    def __post_init__(self) -> None:
+        names = [d.name for d in self.devices]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate device names: {names}")
+
+    def by_name(self) -> Dict[str, Device]:
+        return {d.name: d for d in self.devices}
+
+    def device(self, name: str) -> Device:
+        for dev in self.devices:
+            if dev.name == name:
+                return dev
+        raise KeyError(f"no device named {name!r}")
+
+    def of_class(self, device_class: str) -> List[Device]:
+        return [d for d in self.devices if d.device_class == device_class]
+
+    def first_of_class(self, device_class: str) -> Optional[Device]:
+        matches = self.of_class(device_class)
+        return matches[0] if matches else None
+
+    @property
+    def most_accurate_rank(self) -> int:
+        return min(d.accuracy_rank for d in self.devices)
+
+
+def jetson_nano_platform() -> Platform:
+    """The paper's prototype: CPU + GPU + Edge TPU (section 4.1)."""
+    return Platform(devices=[CPUDevice("cpu0"), GPUDevice("gpu0"), EdgeTPUDevice("tpu0")])
+
+
+def gpu_only_platform() -> Platform:
+    """Baseline platform: just the GPU (for the paper's GPU baseline runs)."""
+    return Platform(devices=[GPUDevice("gpu0")])
+
+
+def gpu_tpu_platform() -> Platform:
+    """GPU + Edge TPU, the pair used by the paper's even-distribution policy."""
+    return Platform(devices=[GPUDevice("gpu0"), EdgeTPUDevice("tpu0")])
+
+
+def dsp_extended_platform() -> Platform:
+    """CPU + GPU + DSP + Edge TPU: the paper's section 2.1 DSP extension.
+
+    Demonstrates SHMT's three-level accuracy hierarchy: exact (CPU/GPU),
+    half-precision (DSP), and INT8 (Edge TPU).
+    """
+    from repro.devices.dsp import DSPDevice
+
+    return Platform(
+        devices=[CPUDevice("cpu0"), GPUDevice("gpu0"), DSPDevice("dsp0"), EdgeTPUDevice("tpu0")]
+    )

@@ -1,0 +1,187 @@
+"""Numeric precision models for heterogeneous devices.
+
+The paper's central quality problem is that heterogeneous devices compute in
+different precisions: the Maxwell GPU in FP32, NVIDIA tensor cores in
+FP16/BF16, and the Edge TPU in INT8 (section 2.1).  SHMT's runtime must
+quantize data on dispatch and restore it on completion (section 3.3.2), and
+the QAWS scheduler reasons about how much error each device would introduce
+on a given data partition.
+
+This module implements those numeric paths from scratch:
+
+* :class:`Precision` descriptors for FP64/FP32/FP16/INT8/INT16.
+* Symmetric linear quantization (the scheme used by TFLite post-training
+  quantization that the paper's Edge TPU models go through, section 4.2).
+* ``apply``/``round_trip`` helpers that push an array through a device's
+  numeric representation, which is exactly what happens when the SHMT
+  runtime casts a partition for a device.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+class PrecisionKind(enum.Enum):
+    FLOAT = "float"
+    INTEGER = "integer"
+
+
+@dataclass(frozen=True)
+class Precision:
+    """A numeric representation a device computes in."""
+
+    name: str
+    kind: PrecisionKind
+    bits: int
+    dtype: np.dtype
+
+    @property
+    def is_exact_for_fp32(self) -> bool:
+        """True if round-tripping an FP32 array through this precision is lossless."""
+        return self.kind is PrecisionKind.FLOAT and self.bits >= 32
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+FP64 = Precision("fp64", PrecisionKind.FLOAT, 64, np.dtype(np.float64))
+FP32 = Precision("fp32", PrecisionKind.FLOAT, 32, np.dtype(np.float32))
+FP16 = Precision("fp16", PrecisionKind.FLOAT, 16, np.dtype(np.float16))
+INT16 = Precision("int16", PrecisionKind.INTEGER, 16, np.dtype(np.int16))
+INT8 = Precision("int8", PrecisionKind.INTEGER, 8, np.dtype(np.int8))
+
+_BY_NAME = {p.name: p for p in (FP64, FP32, FP16, INT16, INT8)}
+
+
+def precision_by_name(name: str) -> Precision:
+    """Look up a precision descriptor; raises ``KeyError`` for unknown names."""
+    return _BY_NAME[name]
+
+
+def quantization_scale(
+    data: np.ndarray, bits: int, clip_percentile: float = None
+) -> float:
+    """Symmetric per-tensor scale: the calibrated |value| maps to the top level.
+
+    Matches TFLite's symmetric signed quantization.  ``clip_percentile``
+    reproduces TFLite post-training *calibration*: the scale comes from
+    that percentile of |value| instead of the absolute max, so a handful
+    of outliers don't coarsen the whole tensor's grid (they saturate
+    instead).  A zero-range input gets scale 1.0 so quantization is a
+    no-op rather than a divide-by-zero.
+    """
+    if bits < 2:
+        raise ValueError("quantization needs at least 2 bits")
+    if data.size == 0:
+        return 1.0
+    magnitudes = np.abs(data)
+    if clip_percentile is None:
+        max_abs = float(magnitudes.max())
+    else:
+        max_abs = float(np.percentile(magnitudes, clip_percentile))
+        if max_abs == 0.0:
+            max_abs = float(magnitudes.max())
+    if max_abs == 0.0:
+        return 1.0
+    qmax = 2 ** (bits - 1) - 1
+    return max_abs / qmax
+
+
+def quantize(
+    data: np.ndarray, bits: int, clip_percentile: float = None
+) -> Tuple[np.ndarray, float]:
+    """Quantize to signed ``bits``-bit integers; returns (codes, scale).
+
+    Values beyond the calibrated range saturate, as on real hardware.
+    """
+    scale = quantization_scale(data, bits, clip_percentile)
+    qmax = 2 ** (bits - 1) - 1
+    codes = np.clip(np.round(data / scale), -qmax - 1, qmax)
+    dtype = np.int8 if bits <= 8 else (np.int16 if bits <= 16 else np.int32)
+    return codes.astype(dtype), scale
+
+
+def dequantize(codes: np.ndarray, scale: float) -> np.ndarray:
+    """Map integer codes back to float32 values."""
+    return codes.astype(np.float32) * np.float32(scale)
+
+
+def affine_range(
+    data: np.ndarray, clip_percentile: float = None
+) -> Tuple[float, float]:
+    """Calibrated (low, high) range for affine quantization.
+
+    With ``clip_percentile`` = p, the range covers the [100-p, p] percentile
+    span (TFLite histogram calibration); values outside saturate.
+    """
+    if data.size == 0:
+        return 0.0, 0.0
+    if clip_percentile is None:
+        return float(data.min()), float(data.max())
+    low = float(np.percentile(data, 100.0 - clip_percentile))
+    high = float(np.percentile(data, clip_percentile))
+    if low == high:
+        return float(data.min()), float(data.max())
+    return low, high
+
+
+def round_trip_affine(
+    data: np.ndarray, bits: int = 8, clip_percentile: float = None
+) -> np.ndarray:
+    """Affine (zero-point) quantization round trip, TFLite's default scheme.
+
+    The quantization grid covers [low, high] of the calibrated range rather
+    than the symmetric [-max|x|, +max|x|], so offset data (temperatures
+    around 323 K, pixel windows around 180) keeps full resolution.
+    """
+    data = np.asarray(data, dtype=np.float32)
+    low, high = affine_range(data, clip_percentile)
+    span = float(high) - float(low)
+    levels = 2**bits - 1
+    # Degenerate or denormal spans: quantization is a no-op (the grid step
+    # would underflow float32).
+    if span <= 0.0 or span / levels < np.finfo(np.float32).tiny:
+        return data.copy()
+    scale = span / levels
+    codes = np.clip(np.round((data.astype(np.float64) - low) / scale), 0, levels)
+    return (codes * scale + low).astype(np.float32)
+
+
+def round_trip(
+    data: np.ndarray, precision: Precision, clip_percentile: float = None
+) -> np.ndarray:
+    """Push ``data`` through ``precision`` and return it as float32.
+
+    This is the numeric distortion a partition suffers when the runtime
+    casts it for a device (section 3.3.2): lossless for FP32+, half-precision
+    rounding for FP16, symmetric quantization (with optional calibrated
+    clipping) for integer devices.
+    """
+    data = np.asarray(data, dtype=np.float32)
+    if precision.kind is PrecisionKind.FLOAT:
+        if precision.bits >= 32:
+            return data
+        return data.astype(precision.dtype).astype(np.float32)
+    codes, scale = quantize(data, precision.bits, clip_percentile)
+    return dequantize(codes, scale)
+
+
+def quantization_error_bound(data: np.ndarray, precision: Precision) -> float:
+    """Worst-case absolute round-trip error for ``data`` under ``precision``.
+
+    For integer precisions this is half a quantization step; the QAWS
+    device-limit policy compares sampled partition statistics against bounds
+    derived from this quantity.
+    """
+    if precision.kind is PrecisionKind.FLOAT:
+        if precision.bits >= 32:
+            return 0.0
+        # Half-float: ~2^-11 relative precision over the data's magnitude.
+        max_abs = float(np.max(np.abs(data))) if data.size else 0.0
+        return max_abs * 2.0 ** -11
+    return 0.5 * quantization_scale(np.asarray(data), precision.bits)

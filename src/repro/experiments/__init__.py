@@ -1,0 +1,21 @@
+"""Reproductions of every figure and table in the paper's evaluation."""
+
+from repro.experiments.common import (
+    BASELINE,
+    FIG6_POLICIES,
+    QUALITY_POLICIES,
+    ExperimentContext,
+    ExperimentSettings,
+    FigureResult,
+    platform_for,
+)
+
+__all__ = [
+    "BASELINE",
+    "FIG6_POLICIES",
+    "QUALITY_POLICIES",
+    "ExperimentContext",
+    "ExperimentSettings",
+    "FigureResult",
+    "platform_for",
+]

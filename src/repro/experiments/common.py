@@ -1,0 +1,156 @@
+"""Shared machinery for reproducing the paper's figures and tables.
+
+Every ``figN.py`` module builds on :func:`run_policy`: it constructs the
+right platform for a policy (GPU-only for the baseline and software
+pipelining, TPU-only for the "edge TPU" reference, the full Jetson-Nano
+analogue otherwise), executes the kernel's workload, and caches results so
+one experiment sweep never re-runs an identical (kernel, policy, size,
+seed) combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.result import ExecutionReport
+from repro.core.runtime import RuntimeConfig, SHMTRuntime
+from repro.core.schedulers.base import make_scheduler
+from repro.core.vop import VOPCall
+from repro.devices.perf_model import benchmark_names
+from repro.devices.platform import (
+    Platform,
+    gpu_only_platform,
+    gpu_tpu_platform,
+    jetson_nano_platform,
+)
+from repro.devices.edgetpu import EdgeTPUDevice
+from repro.metrics.stats import geometric_mean
+from repro.workloads.generator import Size, generate
+
+#: The Figure 6 policy lineup, in the paper's presentation order.
+FIG6_POLICIES = (
+    "IRA-sampling",
+    "sw-pipelining",
+    "even-distribution",
+    "work-stealing",
+    "QAWS-TS",
+    "QAWS-TU",
+    "QAWS-TR",
+    "QAWS-LS",
+    "QAWS-LU",
+    "QAWS-LR",
+)
+
+#: Figure 7/8 policy lineup (quality figures).
+QUALITY_POLICIES = (
+    "edge-tpu-only",
+    "IRA-sampling",
+    "work-stealing",
+    "QAWS-TS",
+    "QAWS-TU",
+    "QAWS-TR",
+    "QAWS-LS",
+    "QAWS-LU",
+    "QAWS-LR",
+    "oracle",
+)
+
+BASELINE = "gpu-baseline"
+
+
+def platform_for(policy: str) -> Platform:
+    """The hardware a policy runs on (mirrors the paper's setups)."""
+    if policy in ("gpu-baseline", "sw-pipelining"):
+        return gpu_only_platform()
+    if policy == "edge-tpu-only":
+        return Platform(devices=[EdgeTPUDevice()])
+    if policy == "even-distribution":
+        return gpu_tpu_platform()
+    return jetson_nano_platform()
+
+
+@dataclass
+class ExperimentSettings:
+    """Knobs shared by every experiment run."""
+
+    size: Optional[Size] = None
+    seed: int = 0
+    kernels: Sequence[str] = field(default_factory=lambda: list(benchmark_names()))
+    runtime_config: RuntimeConfig = field(default_factory=RuntimeConfig)
+
+
+class ExperimentContext:
+    """Caches workloads, references, and policy runs for one settings set."""
+
+    def __init__(self, settings: Optional[ExperimentSettings] = None) -> None:
+        self.settings = settings or ExperimentSettings()
+        self._calls: Dict[str, VOPCall] = {}
+        self._references: Dict[str, np.ndarray] = {}
+        self._runs: Dict[Tuple[str, str], ExecutionReport] = {}
+
+    def call(self, kernel: str) -> VOPCall:
+        if kernel not in self._calls:
+            self._calls[kernel] = generate(
+                kernel, size=self.settings.size, seed=self.settings.seed
+            )
+        return self._calls[kernel]
+
+    def reference(self, kernel: str) -> np.ndarray:
+        """FP64 full-input reference output for quality metrics."""
+        if kernel not in self._references:
+            call = self.call(kernel)
+            spec = call.spec
+            self._references[kernel] = np.asarray(
+                spec.reference(call.data.astype(np.float64), call.resolve_context())
+            )
+        return self._references[kernel]
+
+    def run(self, kernel: str, policy: str) -> ExecutionReport:
+        key = (kernel, policy)
+        if key not in self._runs:
+            runtime = SHMTRuntime(
+                platform_for(policy),
+                make_scheduler(policy),
+                config=self.settings.runtime_config,
+            )
+            self._runs[key] = runtime.execute(self.call(kernel))
+        return self._runs[key]
+
+    def speedup(self, kernel: str, policy: str) -> float:
+        """End-to-end speedup over the GPU baseline (the paper's y-axis)."""
+        return self.run(kernel, policy).speedup_over(self.run(kernel, BASELINE))
+
+
+@dataclass
+class FigureResult:
+    """One reproduced figure/table: named rows of per-kernel values."""
+
+    name: str
+    kernels: List[str]
+    #: row label -> per-kernel values (same order as ``kernels``).
+    series: "Dict[str, List[float]]"
+    #: row label -> cross-kernel aggregate (GMEAN unless noted).
+    aggregates: Dict[str, float] = field(default_factory=dict)
+
+    def value(self, row: str, kernel: str) -> float:
+        return self.series[row][self.kernels.index(kernel)]
+
+    def compute_gmeans(self) -> None:
+        for row, values in self.series.items():
+            positives = [v for v in values if v > 0]
+            if positives:
+                self.aggregates[row] = geometric_mean(positives)
+
+    def format_table(self, unit: str = "", width: int = 9) -> str:
+        header = f"{'policy':18s}" + "".join(f"{k[:width - 1]:>{width}s}" for k in self.kernels)
+        header += f"{'GMEAN':>{width}s}"
+        lines = [f"== {self.name} {unit}".rstrip(), header]
+        for row, values in self.series.items():
+            cells = "".join(f"{v:>{width}.3f}" for v in values)
+            aggregate = self.aggregates.get(row)
+            tail = f"{aggregate:>{width}.3f}" if aggregate is not None else " " * width
+            lines.append(f"{row:18s}{cells}{tail}")
+        return "\n".join(lines)

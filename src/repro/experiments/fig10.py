@@ -1,0 +1,52 @@
+"""Figure 10: energy consumption and energy-delay product.
+
+The paper splits each run's wall-plug energy into active and idle
+components, normalizes to the GPU baseline's total, and also reports the
+relative EDP.  Headline: SHMT with QAWS-TS consumes 51.0% less energy and
+78% less EDP than the GPU baseline, because the 1.95x speedup more than
+pays for the Edge TPU's extra 0.56 W.
+
+Every value here is integrated from the simulated timeline with the
+paper's measured power levels (idle 3.02 W, GPU +1.65 W, TPU +0.56 W).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.common import ExperimentContext, ExperimentSettings, FigureResult
+
+SHMT_POLICY = "QAWS-TS"
+
+
+def run(
+    settings: Optional[ExperimentSettings] = None,
+    ctx: Optional[ExperimentContext] = None,
+) -> FigureResult:
+    ctx = ctx or ExperimentContext(settings)
+    kernels = list(ctx.settings.kernels)
+    series = {
+        "baseline active": [],
+        "baseline idle": [],
+        "SHMT active": [],
+        "SHMT idle": [],
+        "SHMT energy": [],
+        "SHMT EDP": [],
+    }
+    for kernel in kernels:
+        baseline = ctx.run(kernel, "gpu-baseline")
+        shmt = ctx.run(kernel, SHMT_POLICY)
+        base_total = baseline.energy.total_joules
+        series["baseline active"].append(baseline.energy.active_joules / base_total)
+        series["baseline idle"].append(baseline.energy.idle_joules / base_total)
+        series["SHMT active"].append(shmt.energy.active_joules / base_total)
+        series["SHMT idle"].append(shmt.energy.idle_joules / base_total)
+        series["SHMT energy"].append(shmt.energy.total_joules / base_total)
+        series["SHMT EDP"].append(shmt.energy.edp / baseline.energy.edp)
+    result = FigureResult(
+        name="Figure 10: energy and EDP normalized to GPU baseline",
+        kernels=kernels,
+        series=series,
+    )
+    result.compute_gmeans()
+    return result

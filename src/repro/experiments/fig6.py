@@ -1,0 +1,38 @@
+"""Figure 6: end-to-end speedup of every scheduling policy.
+
+Reproduces the paper's headline result: per-kernel speedup over the GPU
+baseline for IRA-sampling, software pipelining, even distribution, basic
+work stealing, and the six QAWS variants.  The paper's geometric means are
+work-stealing 2.07x, QAWS-TS 1.95x, QAWS-TU 1.92x, with the reduction
+sampler variants trailing and IRA-sampling a 45% *slowdown*.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.common import (
+    FIG6_POLICIES,
+    ExperimentContext,
+    ExperimentSettings,
+    FigureResult,
+)
+
+
+def run(
+    settings: Optional[ExperimentSettings] = None,
+    ctx: Optional[ExperimentContext] = None,
+) -> FigureResult:
+    ctx = ctx or ExperimentContext(settings)
+    kernels = list(ctx.settings.kernels)
+    series = {
+        policy: [ctx.speedup(kernel, policy) for kernel in kernels]
+        for policy in FIG6_POLICIES
+    }
+    result = FigureResult(
+        name="Figure 6: speedup over GPU baseline",
+        kernels=kernels,
+        series=series,
+    )
+    result.compute_gmeans()
+    return result

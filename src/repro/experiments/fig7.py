@@ -1,0 +1,43 @@
+"""Figure 7: result quality (MAPE) of every quality policy.
+
+Reproduces the per-kernel Mean Absolute Percentage Error for: the
+Edge-TPU-only offload (the quality floor SHMT must avoid), IRA-sampling,
+quality-blind work stealing, the six QAWS variants, and the oracle
+assignment.  The paper's shape: TPU-only is by far the worst (5.15% GMEAN),
+work stealing in between (2.85%), every QAWS variant below 2% and close to
+the oracle (1.77%).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.common import (
+    QUALITY_POLICIES,
+    ExperimentContext,
+    ExperimentSettings,
+    FigureResult,
+)
+from repro.metrics.mape import mape_percent
+
+
+def run(
+    settings: Optional[ExperimentSettings] = None,
+    ctx: Optional[ExperimentContext] = None,
+) -> FigureResult:
+    ctx = ctx or ExperimentContext(settings)
+    kernels = list(ctx.settings.kernels)
+    series = {}
+    for policy in QUALITY_POLICIES:
+        values = []
+        for kernel in kernels:
+            report = ctx.run(kernel, policy)
+            values.append(mape_percent(ctx.reference(kernel), report.output))
+        series[policy] = values
+    result = FigureResult(
+        name="Figure 7: MAPE (%) vs FP64 reference",
+        kernels=kernels,
+        series=series,
+    )
+    result.compute_gmeans()
+    return result

@@ -1,0 +1,56 @@
+"""Markdown/CSV export of experiment results.
+
+Converts :class:`~repro.experiments.common.FigureResult` objects into
+GitHub-flavoured markdown tables and CSV rows so regenerated evaluations
+can be pasted into docs (EXPERIMENTS.md was seeded this way) or consumed
+by external tooling.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Optional
+
+from repro.experiments.common import FigureResult
+
+
+def to_markdown(result: FigureResult, float_format: str = "{:.3f}") -> str:
+    """Render a FigureResult as a markdown table (kernels as columns)."""
+    header = ["policy", *result.kernels, "GMEAN"]
+    lines = [
+        "### " + result.name,
+        "",
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join(["---"] * len(header)) + "|",
+    ]
+    for row, values in result.series.items():
+        cells = [float_format.format(v) for v in values]
+        aggregate = result.aggregates.get(row)
+        tail = float_format.format(aggregate) if aggregate is not None else ""
+        lines.append("| " + " | ".join([row, *cells, tail]) + " |")
+    return "\n".join(lines)
+
+
+def to_csv(result: FigureResult) -> str:
+    """Render a FigureResult as CSV (one row per policy)."""
+    buffer = io.StringIO()
+    buffer.write("policy," + ",".join(result.kernels) + ",gmean\n")
+    for row, values in result.series.items():
+        aggregate = result.aggregates.get(row, "")
+        cells = ",".join(repr(v) for v in values)
+        buffer.write(f"{row},{cells},{aggregate}\n")
+    return buffer.getvalue()
+
+
+def write_markdown_report(
+    results: Iterable[FigureResult],
+    path: str,
+    title: Optional[str] = None,
+) -> None:
+    """Write several figures into one markdown file."""
+    sections = [to_markdown(result) for result in results]
+    body = "\n\n".join(sections)
+    if title:
+        body = f"# {title}\n\n{body}"
+    with open(path, "w") as handle:
+        handle.write(body + "\n")

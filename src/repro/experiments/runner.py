@@ -1,0 +1,66 @@
+"""Run every reproduced experiment and print the full evaluation.
+
+``python -m repro.experiments.runner`` regenerates all of section 5:
+Figures 2, 6, 7, 8, 9, 10, 11, 12 and Table 3, printing each as a table.
+Pass ``--quick`` for a reduced-size sanity sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional
+
+from repro.experiments import fig1, fig2, fig6, fig7, fig8, fig9, fig10, fig11, fig12, table3
+from repro.experiments.common import ExperimentSettings
+
+
+def run_all(settings: Optional[ExperimentSettings] = None, out=sys.stdout) -> None:
+    # One shared context so the GPU-baseline runs, workloads, and FP64
+    # references are computed once across all figures.
+    from repro.experiments.common import ExperimentContext
+
+    shared = ExperimentContext(settings)
+    experiments = [
+        ("Figure 1", lambda: fig1.run(settings)),
+        ("Figure 2", lambda: fig2.run(settings, ctx=shared)),
+        ("Figure 6", lambda: fig6.run(settings, ctx=shared)),
+        ("Figure 7", lambda: fig7.run(settings, ctx=shared)),
+        ("Figure 8", lambda: fig8.run(settings, ctx=shared)),
+        ("Figure 9", lambda: fig9.run(settings, ctx=shared)),
+        ("Figure 10", lambda: fig10.run(settings, ctx=shared)),
+        ("Figure 11", lambda: fig11.run(settings, ctx=shared)),
+        ("Figure 12", lambda: fig12.run(settings)),
+        ("Table 3", lambda: table3.run(settings, ctx=shared)),
+    ]
+    for name, thunk in experiments:
+        start = time.time()
+        result = thunk()
+        elapsed = time.time() - start
+        if isinstance(result, dict):
+            for sub in result.values():
+                print(sub.format_table(), file=out)
+                print(file=out)
+        else:
+            print(result.format_table(), file=out)
+        print(f"[{name} regenerated in {elapsed:.1f}s]\n", file=out)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use 512x512 workloads for a fast sanity sweep",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    settings = ExperimentSettings(seed=args.seed)
+    if args.quick:
+        settings.size = 512 * 512
+    run_all(settings)
+
+
+if __name__ == "__main__":
+    main()

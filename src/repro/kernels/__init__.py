@@ -1,0 +1,21 @@
+"""Benchmark and library kernels: the numeric payload of every VOP."""
+
+from repro.kernels.registry import (
+    KernelSpec,
+    ParallelModel,
+    all_kernels,
+    benchmark_kernels,
+    get_kernel,
+    kernel_names,
+    register_kernel,
+)
+
+__all__ = [
+    "KernelSpec",
+    "ParallelModel",
+    "all_kernels",
+    "benchmark_kernels",
+    "get_kernel",
+    "kernel_names",
+    "register_kernel",
+]

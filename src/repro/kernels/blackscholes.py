@@ -1,0 +1,66 @@
+"""Black-Scholes European option pricing (CUDA Samples analogue).
+
+Input layout: a (5, N) array of option parameters --
+row 0: spot price S, row 1: strike K, row 2: time to expiry T (years),
+row 3: risk-free rate r, row 4: volatility sigma.
+Output: a (2, N) array -- row 0 call prices, row 1 put prices.
+
+This is the suite's element-wise VOP: every option is independent, so the
+partitioner slices along the option axis (paper's "vector" parallelization
+model).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+import numpy as np
+from scipy.special import erf
+
+from repro.kernels.registry import KernelSpec, ParallelModel, register_kernel
+
+_SQRT2 = np.sqrt(2.0)
+
+
+def _norm_cdf(x: np.ndarray) -> np.ndarray:
+    """Standard normal CDF via the error function (device-friendly form)."""
+    return 0.5 * (1.0 + erf(x / _SQRT2))
+
+
+def blackscholes(params: np.ndarray, _ctx: Any = None) -> np.ndarray:
+    """Price calls and puts for a (5, N) parameter block."""
+    spot, strike, expiry, rate, vol = (params[i] for i in range(5))
+    # Guard the closed form against degenerate expiries/vols from quantization.
+    expiry = np.maximum(expiry, 1e-4)
+    vol = np.maximum(vol, 1e-4)
+    spot = np.maximum(spot, 1e-4)
+    strike = np.maximum(strike, 1e-4)
+    sqrt_t = np.sqrt(expiry)
+    d1 = (np.log(spot / strike) + (rate + 0.5 * vol * vol) * expiry) / (vol * sqrt_t)
+    d2 = d1 - vol * sqrt_t
+    discount = strike * np.exp(-rate * expiry)
+    call = spot * _norm_cdf(d1) - discount * _norm_cdf(d2)
+    put = discount * _norm_cdf(-d2) - spot * _norm_cdf(-d1)
+    return np.stack([call, put]).astype(params.dtype)
+
+
+def _reference(params: np.ndarray, ctx: Any) -> np.ndarray:
+    return blackscholes(params.astype(np.float64), ctx)
+
+
+def _output_shape(input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+    return (2, input_shape[-1])
+
+
+SPEC = register_kernel(
+    KernelSpec(
+        name="blackscholes",
+        vop="blackscholes",
+        model=ParallelModel.VECTOR,
+        reference=_reference,
+        compute=blackscholes,
+        output_shape=_output_shape,
+        channel_axis=0,
+        description="European option pricing, element-wise over options",
+    )
+)

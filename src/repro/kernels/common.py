@@ -1,0 +1,58 @@
+"""Shared numeric helpers for kernel implementations.
+
+All stencil kernels in the suite use *replicate* (edge-clamp) boundary
+handling, applied identically by the full-input reference path and the
+per-partition path, so partitioning never changes the math -- only the
+device precision does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def replicate_pad(grid: np.ndarray, halo: int) -> np.ndarray:
+    """Edge-clamp pad the last two axes of ``grid`` by ``halo`` cells."""
+    if halo == 0:
+        return grid
+    pad = [(0, 0)] * (grid.ndim - 2) + [(halo, halo), (halo, halo)]
+    return np.pad(grid, pad, mode="edge")
+
+
+def conv3x3(block: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """Valid-mode 3x3 convolution on a halo-padded 2D block.
+
+    ``block`` has shape (h + 2, w + 2); the result has shape (h, w).
+    Implemented as an explicit 9-term sum so it vectorizes in any dtype.
+    """
+    if block.ndim != 2:
+        raise ValueError("conv3x3 expects a 2D block")
+    if kernel.shape != (3, 3):
+        raise ValueError("kernel must be 3x3")
+    h, w = block.shape[0] - 2, block.shape[1] - 2
+    out = np.zeros((h, w), dtype=block.dtype)
+    for dr in range(3):
+        for dc in range(3):
+            out += kernel[dr, dc] * block[dr : dr + h, dc : dc + w]
+    return out
+
+
+def as_blocks(image: np.ndarray, size: int) -> np.ndarray:
+    """View a (H, W) array as (H/size, W/size, size, size) blocks."""
+    height, width = image.shape
+    if height % size or width % size:
+        raise ValueError(f"image {image.shape} not divisible into {size}x{size} blocks")
+    blocked = image.reshape(height // size, size, width // size, size)
+    return blocked.transpose(0, 2, 1, 3)
+
+
+def from_blocks(blocks: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`as_blocks`."""
+    n_rows, n_cols, size, _ = blocks.shape
+    return blocks.transpose(0, 2, 1, 3).reshape(n_rows * size, n_cols * size)
+
+
+def require_pow2(n: int, what: str) -> None:
+    """Raise ``ValueError`` unless ``n`` is a power of two."""
+    if n <= 0 or (n & (n - 1)) != 0:
+        raise ValueError(f"{what} must be a power of two, got {n}")

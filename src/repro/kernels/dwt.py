@@ -1,0 +1,142 @@
+"""Block-based CDF 9/7 Discrete Wavelet Transform (Rodinia DWT2D analogue).
+
+Implements the forward CDF 9/7 transform (the lossy JPEG2000 wavelet, the
+paper's ``FDWT97`` VOP) with the standard lifting scheme: two predict and
+two update steps plus scaling, using symmetric boundary extension.
+
+To keep partitions independent -- the property SHMT's tiling model needs --
+the transform is applied *block-wise* on 64x64 blocks (one 2D lifting pass
+per block, rows then columns), the same strategy tiled GPU DWT
+implementations use.  The reference path uses the identical block
+decomposition in FP64, so partitioning itself introduces no error.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.kernels.registry import KernelSpec, ParallelModel, register_kernel
+
+BLOCK = 64
+
+# CDF 9/7 lifting coefficients.
+ALPHA = -1.586134342
+BETA = -0.05298011854
+GAMMA = 0.8829110762
+DELTA = 0.4435068522
+KAPPA = 1.230174104914
+
+
+def _lift_last_axis(data: np.ndarray) -> np.ndarray:
+    """Forward 9/7 lifting along the last axis (length must be even).
+
+    Returns the [approximation | detail] concatenation along that axis.
+    """
+    n = data.shape[-1]
+    if n % 2:
+        raise ValueError("9/7 lifting needs an even length")
+    s = data[..., 0::2].copy()
+    d = data[..., 1::2].copy()
+
+    # Predict 1: d[i] += alpha * (s[i] + s[i+1]), symmetric at the end.
+    s_next = np.concatenate([s[..., 1:], s[..., -1:]], axis=-1)
+    d += ALPHA * (s + s_next)
+    # Update 1: s[i] += beta * (d[i-1] + d[i]), symmetric at the start.
+    d_prev = np.concatenate([d[..., :1], d[..., :-1]], axis=-1)
+    s += BETA * (d_prev + d)
+    # Predict 2.
+    s_next = np.concatenate([s[..., 1:], s[..., -1:]], axis=-1)
+    d += GAMMA * (s + s_next)
+    # Update 2.
+    d_prev = np.concatenate([d[..., :1], d[..., :-1]], axis=-1)
+    s += DELTA * (d_prev + d)
+
+    s *= KAPPA
+    d /= KAPPA
+    return np.concatenate([s, d], axis=-1)
+
+
+def _unlift_last_axis(coeffs: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_lift_last_axis`: undo scaling and lifting steps."""
+    n = coeffs.shape[-1]
+    if n % 2:
+        raise ValueError("9/7 unlifting needs an even length")
+    half = n // 2
+    s = coeffs[..., :half] / KAPPA
+    d = coeffs[..., half:] * KAPPA
+
+    # Undo update 2.
+    d_prev = np.concatenate([d[..., :1], d[..., :-1]], axis=-1)
+    s -= DELTA * (d_prev + d)
+    # Undo predict 2.
+    s_next = np.concatenate([s[..., 1:], s[..., -1:]], axis=-1)
+    d -= GAMMA * (s + s_next)
+    # Undo update 1.
+    d_prev = np.concatenate([d[..., :1], d[..., :-1]], axis=-1)
+    s -= BETA * (d_prev + d)
+    # Undo predict 1.
+    s_next = np.concatenate([s[..., 1:], s[..., -1:]], axis=-1)
+    d -= ALPHA * (s + s_next)
+
+    out = np.empty_like(coeffs)
+    out[..., 0::2] = s
+    out[..., 1::2] = d
+    return out
+
+
+def fdwt97_block(block: np.ndarray) -> np.ndarray:
+    """One 2D forward 9/7 level on a single block: rows, then columns."""
+    rows_done = _lift_last_axis(block)
+    cols_done = _lift_last_axis(rows_done.swapaxes(-1, -2)).swapaxes(-1, -2)
+    return cols_done
+
+
+def idwt97_block(coeffs: np.ndarray) -> np.ndarray:
+    """Inverse 2D 9/7 level on a single block: columns, then rows."""
+    cols_undone = _unlift_last_axis(coeffs.swapaxes(-1, -2)).swapaxes(-1, -2)
+    return _unlift_last_axis(cols_undone)
+
+
+def idwt97(coeffs: np.ndarray) -> np.ndarray:
+    """Block-wise inverse transform (the reconstruction filter bank)."""
+    height, width = coeffs.shape
+    if height % BLOCK or width % BLOCK:
+        raise ValueError(f"coeffs {coeffs.shape} must tile into {BLOCK}x{BLOCK} blocks")
+    out = np.empty_like(coeffs)
+    for r in range(0, height, BLOCK):
+        for c in range(0, width, BLOCK):
+            out[r : r + BLOCK, c : c + BLOCK] = idwt97_block(
+                coeffs[r : r + BLOCK, c : c + BLOCK]
+            )
+    return out
+
+
+def fdwt97(image: np.ndarray, _ctx: Any = None) -> np.ndarray:
+    """Block-wise 2D forward CDF 9/7 transform of a (H, W) image."""
+    height, width = image.shape
+    if height % BLOCK or width % BLOCK:
+        raise ValueError(f"image {image.shape} must tile into {BLOCK}x{BLOCK} blocks")
+    out = np.empty_like(image)
+    for r in range(0, height, BLOCK):
+        for c in range(0, width, BLOCK):
+            out[r : r + BLOCK, c : c + BLOCK] = fdwt97_block(image[r : r + BLOCK, c : c + BLOCK])
+    return out
+
+
+def _reference(image: np.ndarray, ctx: Any) -> np.ndarray:
+    return fdwt97(image.astype(np.float64), ctx)
+
+
+SPEC = register_kernel(
+    KernelSpec(
+        name="dwt",
+        vop="FDWT97",
+        model=ParallelModel.TILE,
+        tile_multiple=BLOCK,
+        reference=_reference,
+        compute=fdwt97,
+        description="block-based CDF 9/7 forward wavelet transform",
+    )
+)

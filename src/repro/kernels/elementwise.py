@@ -1,0 +1,265 @@
+"""The rest of the paper's Table 1 VOP set.
+
+Beyond the ten evaluation benchmarks, the paper's prototype exposes a
+library of element-wise vector VOPs (add, log, relu, ...), reductions
+(reduce_sum, reduce_max, ...), and tiled matrix VOPs (GEMM, stencil/conv).
+This module registers them all so SHMT programs can be written against the
+full abstraction, not just the benchmark suite.
+
+Conventions:
+
+* unary ops take a flat (N,) array;
+* binary ops take a (2, N) stack (operand A in row 0, operand B in row 1);
+* reductions emit single-element partials merged by the matching fold;
+* ``gemm`` partitions the rows of A, with B shared through host context;
+* ``stencil`` is a generic 3x3 convolution with the filter in host context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence, Tuple
+
+import numpy as np
+
+from repro.kernels.common import conv3x3, replicate_pad
+from repro.kernels.registry import KernelSpec, ParallelModel, register_kernel
+from repro.kernels.tensorizer import conv3x3_tc, gemm_tc, reduce_sum_tc
+
+# --------------------------------------------------------------------- unary
+
+
+def _unary_spec(name: str, fn: Callable[[np.ndarray], np.ndarray], description: str) -> KernelSpec:
+    def compute(chunk: np.ndarray, _ctx: Any = None) -> np.ndarray:
+        return fn(chunk).astype(chunk.dtype)
+
+    def reference(data: np.ndarray, _ctx: Any = None) -> np.ndarray:
+        return fn(data.astype(np.float64))
+
+    return register_kernel(
+        KernelSpec(
+            name=name,
+            vop=name,
+            model=ParallelModel.VECTOR,
+            reference=reference,
+            compute=compute,
+            description=description,
+        )
+    )
+
+
+LOG = _unary_spec("log", lambda x: np.log(np.maximum(x, 1e-12)), "element-wise natural log")
+RELU = _unary_spec("relu", lambda x: np.maximum(x, 0.0), "element-wise ReLU")
+SQRT = _unary_spec("sqrt", lambda x: np.sqrt(np.maximum(x, 0.0)), "element-wise square root")
+RSQRT = _unary_spec(
+    "rsqrt", lambda x: 1.0 / np.sqrt(np.maximum(x, 1e-12)), "element-wise reciprocal sqrt"
+)
+TANH = _unary_spec("tanh", np.tanh, "element-wise hyperbolic tangent")
+
+# -------------------------------------------------------------------- binary
+
+
+def _binary_spec(name: str, fn: Callable[[np.ndarray, np.ndarray], np.ndarray], description: str) -> KernelSpec:
+    def compute(stack: np.ndarray, _ctx: Any = None) -> np.ndarray:
+        return fn(stack[0], stack[1]).astype(stack.dtype)
+
+    def reference(stack: np.ndarray, _ctx: Any = None) -> np.ndarray:
+        data = stack.astype(np.float64)
+        return fn(data[0], data[1])
+
+    def output_shape(input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return (input_shape[-1],)
+
+    return register_kernel(
+        KernelSpec(
+            name=name,
+            vop=name,
+            model=ParallelModel.VECTOR,
+            reference=reference,
+            compute=compute,
+            output_shape=output_shape,
+            description=description,
+        )
+    )
+
+
+ADD = _binary_spec("add", np.add, "element-wise addition of two vectors")
+SUB = _binary_spec("sub", np.subtract, "element-wise subtraction")
+MULTIPLY = _binary_spec("multiply", np.multiply, "element-wise multiplication")
+MAX = _binary_spec("max", np.maximum, "element-wise maximum")
+MIN = _binary_spec("min", np.minimum, "element-wise minimum")
+
+# ---------------------------------------------------------------- reductions
+
+
+def _reduce_spec(
+    name: str,
+    partial_fn: Callable[[np.ndarray], float],
+    fold: Callable[[np.ndarray], float],
+    description: str,
+    tensor_partial: Callable[[np.ndarray], float] = None,
+) -> KernelSpec:
+    def compute(chunk: np.ndarray, _ctx: Any = None) -> np.ndarray:
+        return np.asarray([partial_fn(chunk)], dtype=chunk.dtype)
+
+    def reference(data: np.ndarray, _ctx: Any = None) -> np.ndarray:
+        return np.asarray([partial_fn(data.astype(np.float64))], dtype=np.float64)
+
+    def merge(partials: Sequence[np.ndarray]) -> np.ndarray:
+        stacked = np.concatenate([np.atleast_1d(p) for p in partials])
+        return np.asarray([fold(stacked.astype(np.float64))], dtype=np.float32)
+
+    def output_shape(_input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return (1,)
+
+    tensor_compute = None
+    if tensor_partial is not None:
+
+        def tensor_compute(chunk: np.ndarray, _ctx: Any = None) -> np.ndarray:
+            return np.asarray([tensor_partial(chunk)], dtype=np.float32)
+
+    return register_kernel(
+        KernelSpec(
+            name=name,
+            vop=name,
+            model=ParallelModel.VECTOR,
+            reduces=True,
+            merge=merge,
+            reference=reference,
+            compute=compute,
+            tensor_compute=tensor_compute,
+            output_shape=output_shape,
+            description=description,
+        )
+    )
+
+
+# reduce_sum carries the TCUSCAN-style matrix-unit partial (section 2.2.1).
+REDUCE_SUM = _reduce_spec(
+    "reduce_sum", np.sum, np.sum, "global sum reduction", tensor_partial=reduce_sum_tc
+)
+REDUCE_MAX = _reduce_spec("reduce_max", np.max, np.max, "global max reduction")
+REDUCE_MIN = _reduce_spec("reduce_min", np.min, np.min, "global min reduction")
+
+# reduce_average needs weighted merging, so it carries (sum, count) partials.
+
+
+def _avg_compute(chunk: np.ndarray, _ctx: Any = None) -> np.ndarray:
+    return np.asarray([np.sum(chunk), chunk.size], dtype=chunk.dtype)
+
+
+def _avg_reference(data: np.ndarray, _ctx: Any = None) -> np.ndarray:
+    return np.asarray([float(np.mean(data.astype(np.float64)))], dtype=np.float64)
+
+
+def _avg_merge(partials: Sequence[np.ndarray]) -> np.ndarray:
+    total = sum(float(p[0]) for p in partials)
+    count = sum(float(p[1]) for p in partials)
+    return np.asarray([total / count if count else 0.0], dtype=np.float32)
+
+
+REDUCE_AVERAGE = register_kernel(
+    KernelSpec(
+        name="reduce_average",
+        vop="reduce_average",
+        model=ParallelModel.VECTOR,
+        reduces=True,
+        merge=_avg_merge,
+        reference=_avg_reference,
+        compute=_avg_compute,
+        output_shape=lambda _shape: (1,),
+        description="global mean reduction via (sum, count) partials",
+    )
+)
+
+# -------------------------------------------------------------------- matrix
+
+
+@dataclass(frozen=True)
+class GemmContext:
+    """The shared right-hand operand of C = A @ B."""
+
+    rhs: np.ndarray
+
+
+def make_gemm_context(rhs: np.ndarray) -> GemmContext:
+    return GemmContext(rhs=np.asarray(rhs))
+
+
+def _gemm_compute(a_rows: np.ndarray, ctx: GemmContext) -> np.ndarray:
+    rhs = ctx.rhs.astype(a_rows.dtype)
+    return (a_rows @ rhs).astype(a_rows.dtype)
+
+
+def _gemm_tensor(a_rows: np.ndarray, ctx: GemmContext) -> np.ndarray:
+    """Native matrix-unit GEMM: INT8 operands, INT32 accumulation."""
+    return gemm_tc(a_rows, ctx.rhs.astype(np.float32))
+
+
+def _gemm_reference(a: np.ndarray, ctx: GemmContext) -> np.ndarray:
+    return a.astype(np.float64) @ ctx.rhs.astype(np.float64)
+
+
+def _gemm_context_from_input(full_input: np.ndarray) -> GemmContext:
+    # Default self-multiply when no explicit B is supplied: C = A @ A.T-free
+    # benchmarks provide their own context through VOPCall.context.
+    return GemmContext(rhs=np.asarray(full_input, dtype=np.float64).T.copy())
+
+
+def _gemm_output_shape(input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+    return (input_shape[0], input_shape[0])
+
+
+GEMM = register_kernel(
+    KernelSpec(
+        name="gemm",
+        vop="GEMM",
+        model=ParallelModel.ROWS,
+        reference=_gemm_reference,
+        compute=_gemm_compute,
+        tensor_compute=_gemm_tensor,
+        make_context=_gemm_context_from_input,
+        output_shape=_gemm_output_shape,
+        description="general matrix multiply, row-partitioned over A",
+    )
+)
+
+
+@dataclass(frozen=True)
+class StencilContext:
+    """The 3x3 filter of a generic stencil VOP."""
+
+    filter: np.ndarray
+
+
+def _stencil_compute(block: np.ndarray, ctx: StencilContext) -> np.ndarray:
+    return conv3x3(block, ctx.filter.astype(block.dtype))
+
+
+def _stencil_tensor(block: np.ndarray, ctx: StencilContext) -> np.ndarray:
+    """Matrix-unit formulation: im2col + INT8 matmul (section 2.2.1)."""
+    return conv3x3_tc(block, ctx.filter.astype(np.float32))
+
+
+def _stencil_reference(image: np.ndarray, ctx: StencilContext) -> np.ndarray:
+    return conv3x3(replicate_pad(image.astype(np.float64), 1), ctx.filter.astype(np.float64))
+
+
+def _stencil_default_context(_full_input: np.ndarray) -> StencilContext:
+    sharpen = np.array([[0.0, -1.0, 0.0], [-1.0, 5.0, -1.0], [0.0, -1.0, 0.0]])
+    return StencilContext(filter=sharpen)
+
+
+STENCIL = register_kernel(
+    KernelSpec(
+        name="stencil",
+        vop="stencil",
+        model=ParallelModel.TILE,
+        halo=1,
+        reference=_stencil_reference,
+        compute=_stencil_compute,
+        tensor_compute=_stencil_tensor,
+        make_context=_stencil_default_context,
+        description="generic 3x3 stencil with a caller-provided filter",
+    )
+)

@@ -1,0 +1,76 @@
+"""Row-batched radix-2 FFT magnitude spectrum (CUDA Samples FFT analogue).
+
+Computes the magnitude of the 1D DFT of every row of a (H, W) input, with
+W a power of two.  Rows are independent, so the partitioner splits the
+image into row blocks (the ROWS parallelization model).
+
+The transform is implemented from scratch as an iterative Cooley-Tukey
+radix-2 FFT, vectorized across the row batch: bit-reversal permutation
+followed by log2(W) butterfly stages.  ``numpy.fft`` appears only in the
+test suite as an independent check.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.kernels.common import require_pow2
+from repro.kernels.registry import KernelSpec, ParallelModel, register_kernel
+
+
+def bit_reversal_permutation(n: int) -> np.ndarray:
+    """Index permutation that bit-reverses positions 0..n-1 (n a power of 2)."""
+    require_pow2(n, "FFT length")
+    bits = n.bit_length() - 1
+    indices = np.arange(n)
+    reversed_indices = np.zeros(n, dtype=np.int64)
+    for _ in range(bits):
+        reversed_indices = (reversed_indices << 1) | (indices & 1)
+        indices >>= 1
+    return reversed_indices
+
+
+def fft_rows(rows: np.ndarray) -> np.ndarray:
+    """Complex DFT of every row via iterative radix-2 Cooley-Tukey."""
+    rows = np.atleast_2d(rows)
+    n = rows.shape[-1]
+    require_pow2(n, "FFT length")
+    complex_dtype = np.complex128 if rows.dtype == np.float64 else np.complex64
+    data = np.ascontiguousarray(rows[..., bit_reversal_permutation(n)].astype(complex_dtype))
+    original_shape = data.shape
+    half = 1
+    while half < n:
+        span = half * 2
+        angles = -2j * np.pi * np.arange(half) / span
+        twiddle = np.exp(angles).astype(complex_dtype)
+        view = data.reshape(-1, n // span, span)
+        even = view[..., :half].copy()
+        odd = view[..., half:] * twiddle
+        view[..., :half] = even + odd
+        view[..., half:] = even - odd
+        half = span
+    return data.reshape(original_shape)
+
+
+def fft_magnitude(rows: np.ndarray, _ctx: Any = None) -> np.ndarray:
+    """Magnitude spectrum |FFT(row)| for every row of a 2D block."""
+    spectrum = fft_rows(np.atleast_2d(rows))
+    return np.abs(spectrum).astype(rows.dtype)
+
+
+def _reference(image: np.ndarray, ctx: Any) -> np.ndarray:
+    return fft_magnitude(image.astype(np.float64), ctx)
+
+
+SPEC = register_kernel(
+    KernelSpec(
+        name="fft",
+        vop="FFT",
+        model=ParallelModel.ROWS,
+        reference=_reference,
+        compute=fft_magnitude,
+        description="row-batched radix-2 FFT magnitude spectrum",
+    )
+)

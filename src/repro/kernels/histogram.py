@@ -1,0 +1,75 @@
+"""256-bin histogram (OpenCV calcHist analogue) -- the suite's reduction VOP.
+
+Each partition computes a *partial* 256-bin histogram of its chunk; the
+runtime merges partials by summation (the paper's ``reduce_hist256`` VOP).
+The bin edges come from host context built once from the full input (global
+min/max), so every device bins against the same range and partitioning
+never changes the exact result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence, Tuple
+
+import numpy as np
+
+from repro.kernels.registry import KernelSpec, ParallelModel, register_kernel
+
+BINS = 256
+
+
+@dataclass(frozen=True)
+class HistogramContext:
+    """Global binning range, computed on the host before dispatch."""
+
+    low: float
+    high: float
+
+    @property
+    def width(self) -> float:
+        return (self.high - self.low) or 1.0
+
+
+def make_context(full_input: np.ndarray) -> HistogramContext:
+    return HistogramContext(low=float(full_input.min()), high=float(full_input.max()))
+
+
+def partial_histogram(chunk: np.ndarray, ctx: HistogramContext) -> np.ndarray:
+    """256-bin partial histogram of a 1D chunk against the global range."""
+    scaled = (chunk.astype(np.float64) - ctx.low) / ctx.width * BINS
+    bins = np.clip(scaled.astype(np.int64), 0, BINS - 1)
+    counts = np.bincount(bins.ravel(), minlength=BINS)
+    return counts.astype(chunk.dtype)
+
+
+def merge_partials(partials: Sequence[np.ndarray]) -> np.ndarray:
+    """Sum partial histograms into the final one (reduce_hist256 semantics)."""
+    total = np.zeros(BINS, dtype=np.float64)
+    for partial in partials:
+        total += partial.astype(np.float64)
+    return total.astype(np.float32)
+
+
+def _reference(data: np.ndarray, ctx: HistogramContext) -> np.ndarray:
+    return partial_histogram(data.astype(np.float64), ctx)
+
+
+def _output_shape(_input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+    return (BINS,)
+
+
+SPEC = register_kernel(
+    KernelSpec(
+        name="histogram",
+        vop="reduce_hist256",
+        model=ParallelModel.VECTOR,
+        reduces=True,
+        merge=merge_partials,
+        make_context=make_context,
+        reference=_reference,
+        compute=partial_histogram,
+        output_shape=_output_shape,
+        description="256-bin histogram with partial-merge reduction",
+    )
+)

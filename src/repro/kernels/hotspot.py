@@ -1,0 +1,82 @@
+"""Hotspot thermal simulation step (Rodinia analogue).
+
+One explicit time step of the Rodinia "hotspot" chip thermal model: each
+cell's temperature is updated from its four neighbours, its power
+dissipation, and the ambient sink.
+
+Input layout: a (2, H, W) stack -- channel 0 is the temperature grid,
+channel 1 the per-cell power grid.  Output: the (H, W) updated temperature.
+A 1-cell halo makes tiles independent (paper's matrix tiling model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+import numpy as np
+
+from repro.kernels.common import replicate_pad
+from repro.kernels.registry import KernelSpec, ParallelModel, register_kernel
+
+
+@dataclass(frozen=True)
+class HotspotParams:
+    """Physical constants of the explicit update (Rodinia defaults, scaled)."""
+
+    rx_inv: float = 0.2
+    ry_inv: float = 0.2
+    rz_inv: float = 0.05
+    step: float = 0.8
+    ambient: float = 80.0
+
+
+DEFAULT_PARAMS = HotspotParams()
+
+
+def hotspot_step(stack: np.ndarray, ctx: HotspotParams = None) -> np.ndarray:
+    """One thermal step on a halo-padded (2, h+2, w+2) stack -> (h, w)."""
+    params = ctx if ctx is not None else DEFAULT_PARAMS
+    temp = stack[0]
+    power = stack[1]
+    center = temp[1:-1, 1:-1]
+    north = temp[:-2, 1:-1]
+    south = temp[2:, 1:-1]
+    west = temp[1:-1, :-2]
+    east = temp[1:-1, 2:]
+    delta = (
+        power[1:-1, 1:-1]
+        + (north + south - 2.0 * center) * params.ry_inv
+        + (east + west - 2.0 * center) * params.rx_inv
+        + (params.ambient - center) * params.rz_inv
+    )
+    return (center + params.step * delta).astype(stack.dtype)
+
+
+def _reference(stack: np.ndarray, ctx: Any) -> np.ndarray:
+    padded = replicate_pad(stack.astype(np.float64), 1)
+    return hotspot_step(padded, ctx)
+
+
+def _make_context(_full_input: np.ndarray) -> HotspotParams:
+    return DEFAULT_PARAMS
+
+
+def _output_shape(input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+    return input_shape[-2:]
+
+
+SPEC = register_kernel(
+    KernelSpec(
+        name="hotspot",
+        vop="parabolic_PDE",
+        model=ParallelModel.TILE,
+        halo=1,
+        reference=_reference,
+        compute=hotspot_step,
+        make_context=_make_context,
+        channel_axis=0,
+        output_shape=_output_shape,
+        description="one explicit step of the Rodinia chip thermal model",
+    )
+)

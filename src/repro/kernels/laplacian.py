@@ -1,0 +1,53 @@
+"""Laplacian edge filter (OpenCV cv::Laplacian analogue).
+
+3x3 discrete Laplacian convolution with replicate borders.  Output images
+are dominated by near-zero values in smooth regions, which is why the
+paper's MAPE for this kernel is large (section 5.3) -- small absolute
+errors on near-zero references blow up the percentage metric.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.kernels.common import conv3x3, replicate_pad
+from repro.kernels.registry import KernelSpec, ParallelModel, register_kernel
+from repro.kernels.tensorizer import conv3x3_tc
+
+LAPLACIAN_KERNEL = np.array(
+    [
+        [0.0, 1.0, 0.0],
+        [1.0, -4.0, 1.0],
+        [0.0, 1.0, 0.0],
+    ]
+)
+
+
+def laplacian(block: np.ndarray, _ctx: Any = None) -> np.ndarray:
+    """Laplacian of a halo-padded (h+2, w+2) block -> (h, w)."""
+    return conv3x3(block, LAPLACIAN_KERNEL.astype(block.dtype))
+
+
+def _reference(image: np.ndarray, ctx: Any) -> np.ndarray:
+    return laplacian(replicate_pad(image.astype(np.float64), 1), ctx)
+
+
+def _tensor_laplacian(block: np.ndarray, _ctx: Any = None) -> np.ndarray:
+    """Matrix-unit formulation: im2col + INT8 matmul (section 2.2.1)."""
+    return conv3x3_tc(block, LAPLACIAN_KERNEL.astype(np.float32))
+
+
+SPEC = register_kernel(
+    KernelSpec(
+        name="laplacian",
+        vop="Laplacian",
+        model=ParallelModel.TILE,
+        halo=1,
+        reference=_reference,
+        compute=laplacian,
+        tensor_compute=_tensor_laplacian,
+        description="3x3 Laplacian edge filter",
+    )
+)

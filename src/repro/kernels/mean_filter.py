@@ -1,0 +1,41 @@
+"""3x3 mean (box) filter (OpenCV cv::blur analogue)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.kernels.common import conv3x3, replicate_pad
+from repro.kernels.registry import KernelSpec, ParallelModel, register_kernel
+from repro.kernels.tensorizer import conv3x3_tc
+
+MEAN_KERNEL = np.full((3, 3), 1.0 / 9.0)
+
+
+def mean_filter(block: np.ndarray, _ctx: Any = None) -> np.ndarray:
+    """3x3 box mean of a halo-padded (h+2, w+2) block -> (h, w)."""
+    return conv3x3(block, MEAN_KERNEL.astype(block.dtype))
+
+
+def _reference(image: np.ndarray, ctx: Any) -> np.ndarray:
+    return mean_filter(replicate_pad(image.astype(np.float64), 1), ctx)
+
+
+def _tensor_mean(block: np.ndarray, _ctx: Any = None) -> np.ndarray:
+    """Matrix-unit formulation: im2col + INT8 matmul (section 2.2.1)."""
+    return conv3x3_tc(block, MEAN_KERNEL.astype(np.float32))
+
+
+SPEC = register_kernel(
+    KernelSpec(
+        name="mean_filter",
+        vop="Mean_Filter",
+        model=ParallelModel.TILE,
+        halo=1,
+        reference=_reference,
+        compute=mean_filter,
+        tensor_compute=_tensor_mean,
+        description="3x3 mean (box) smoothing filter",
+    )
+)

@@ -1,0 +1,166 @@
+"""Kernel specifications and the global kernel registry.
+
+A :class:`KernelSpec` is the bridge between a VOP (the abstract operation a
+program requests) and the numeric code every device runs.  It declares:
+
+* the **parallelization model** (paper section 3.2: element-wise vector
+  tiling or tile-wise matrix tiling; we add ROWS for row-batched 1D
+  transforms like FFT), which tells the partitioner how to split data;
+* the **reference** implementation (FP64, full input) that quality metrics
+  compare against;
+* the **partition compute** function every device executes on its blocks
+  (exactly on CPU/GPU, through the INT8 NPU surrogate on the Edge TPU);
+* optional **host context** built once from the full input (e.g. the global
+  histogram range, SRAD's q0), mirroring host-side preprocessing;
+* a **merge** function for reduction-style VOPs (histogram).
+
+Kernels self-register at import time; :func:`get_kernel` /
+:func:`all_kernels` are the lookup API.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.devices.perf_model import KernelCalibration, calibration_for
+
+
+class ParallelModel(enum.Enum):
+    """How a VOP's data may be split into independent HLOPs."""
+
+    VECTOR = "vector"  # contiguous chunks along the last axis
+    ROWS = "rows"  # contiguous row blocks of a 2D array
+    TILE = "tile"  # 2D tiles (with optional halo) of the last two axes
+
+
+ComputeFn = Callable[[np.ndarray, Any], np.ndarray]
+ReferenceFn = Callable[[np.ndarray, Any], np.ndarray]
+ContextFn = Callable[[np.ndarray], Any]
+MergeFn = Callable[[Sequence[np.ndarray]], np.ndarray]
+ShapeFn = Callable[[Tuple[int, ...]], Tuple[int, ...]]
+
+
+def _identity_shape(shape: Tuple[int, ...]) -> Tuple[int, ...]:
+    return shape
+
+
+def _no_context(_full_input: np.ndarray) -> Any:
+    return None
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Everything the runtime needs to partition, execute, and check a VOP."""
+
+    name: str
+    vop: str
+    model: ParallelModel
+    reference: ReferenceFn
+    compute: ComputeFn
+    halo: int = 0
+    tile_multiple: int = 1
+    reduces: bool = False
+    merge: Optional[MergeFn] = None
+    make_context: ContextFn = _no_context
+    output_shape: ShapeFn = _identity_shape
+    #: Axis of the input carrying heterogeneous channels (e.g. the 5
+    #: parameter rows of Black-Scholes); approximate devices quantize each
+    #: channel with its own scale (TFLite per-channel quantization).
+    channel_axis: Optional[int] = None
+    #: Optional matrix-unit formulation (paper section 2.2.1): a partition
+    #: function computing the same result through INT8 matmuls with INT32
+    #: accumulation (see kernels/tensorizer.py).  Used by the Edge TPU's
+    #: "matmul" mode instead of the NPU surrogate.
+    tensor_compute: Optional[ComputeFn] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.reduces and self.merge is None:
+            raise ValueError(f"{self.name}: reduction kernels need a merge function")
+        if self.halo and self.model is not ParallelModel.TILE:
+            raise ValueError(f"{self.name}: halo only makes sense for TILE kernels")
+
+    @property
+    def calibration(self) -> KernelCalibration:
+        return calibration_for(self.name)
+
+
+_REGISTRY: Dict[str, KernelSpec] = {}
+
+
+def register_kernel(spec: KernelSpec) -> KernelSpec:
+    """Add a spec to the global registry (idempotent for identical re-imports)."""
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and existing is not spec:
+        raise ValueError(f"kernel {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_kernel(name: str) -> KernelSpec:
+    """Look up a registered kernel; imports the suite on first use."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_kernels() -> List[KernelSpec]:
+    _ensure_loaded()
+    return list(_REGISTRY.values())
+
+
+def kernel_names() -> List[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+_loaded = False
+
+
+def _ensure_loaded() -> None:
+    # Import kernel modules lazily to avoid import cycles; each module
+    # registers its spec(s) at import time.
+    global _loaded
+    if _loaded:
+        return
+    from repro.kernels import (  # noqa: F401  (imported for side effects)
+        blackscholes,
+        dct8x8,
+        dwt,
+        elementwise,
+        fft,
+        histogram,
+        hotspot,
+        laplacian,
+        mean_filter,
+        scan,
+        sobel,
+        srad,
+    )
+
+    _loaded = True
+
+
+def benchmark_kernels() -> List[KernelSpec]:
+    """The ten paper benchmarks (Table 2), in presentation order."""
+    order = [
+        "blackscholes",
+        "dct8x8",
+        "dwt",
+        "fft",
+        "histogram",
+        "hotspot",
+        "laplacian",
+        "mean_filter",
+        "sobel",
+        "srad",
+    ]
+    return [get_kernel(name) for name in order]

@@ -1,0 +1,70 @@
+"""Inclusive prefix sum (scan) -- the flagship operation of TCUSCAN [20].
+
+The paper's section 2.2.1 cites accelerating "database query operations
+like reduction, scan, and join" through matrix units; this module adds
+``scan`` to the VOP set with both paths:
+
+* exact partition compute: ``np.cumsum`` per chunk;
+* matrix-unit form: blocked lower-triangular INT8 matmuls
+  (:func:`repro.kernels.tensorizer.scan_tc`).
+
+Scan is *almost* embarrassingly parallel: each chunk scans independently
+and the merge adds each chunk's running offset -- a textbook two-phase
+parallel scan, expressed through SHMT's reduction machinery (per-chunk
+partials plus a merge).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Tuple
+
+import numpy as np
+
+from repro.kernels.registry import KernelSpec, ParallelModel, register_kernel
+from repro.kernels.tensorizer import scan_tc
+
+
+def scan_chunk(chunk: np.ndarray, _ctx: Any = None) -> np.ndarray:
+    """Inclusive prefix sum of one chunk (chunk-local, offset applied at merge)."""
+    return np.cumsum(chunk.astype(np.float64)).astype(chunk.dtype)
+
+
+def scan_chunk_tc(chunk: np.ndarray, _ctx: Any = None) -> np.ndarray:
+    """Matrix-unit chunk scan: blocked lower-triangular INT8 matmuls."""
+    return scan_tc(chunk)
+
+
+def merge_scans(partials: Sequence[np.ndarray]) -> np.ndarray:
+    """Two-phase parallel scan: concatenate chunk scans + running offsets."""
+    pieces = []
+    offset = 0.0
+    for partial in partials:
+        partial = np.atleast_1d(partial).astype(np.float64)
+        pieces.append(partial + offset)
+        if partial.size:
+            offset += float(partial[-1])
+    return np.concatenate(pieces).astype(np.float32)
+
+
+def _reference(data: np.ndarray, _ctx: Any = None) -> np.ndarray:
+    return np.cumsum(data.astype(np.float64))
+
+
+def _output_shape(input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+    return (input_shape[-1],)
+
+
+SPEC = register_kernel(
+    KernelSpec(
+        name="scan",
+        vop="scan",
+        model=ParallelModel.VECTOR,
+        reduces=True,
+        merge=merge_scans,
+        reference=_reference,
+        compute=scan_chunk,
+        tensor_compute=scan_chunk_tc,
+        output_shape=_output_shape,
+        description="inclusive prefix sum via two-phase parallel scan",
+    )
+)

@@ -1,0 +1,137 @@
+"""Tensor-accelerator formulations of general-purpose operations.
+
+The paper's section 2.2.1 surveys the *other* way to use an AI accelerator:
+instead of approximating a function with a trained NPU model, reduce the
+function to the accelerator's native matrix operations -- the approach of
+GPTPU [39] (tensor-operator programming for Edge TPUs), TCUSCAN [20]
+(reductions and scans on tensor cores), and TCUDB [40].  Section 4.2 notes
+the prototype supports this mode too: "Edge TPU can either serve as a
+matrix function accelerator ... or implement an NPU".
+
+This module implements that mode from scratch:
+
+* :func:`int8_matmul` -- the accelerator's primitive: both operands
+  quantized to symmetric INT8, products accumulated exactly in INT32
+  (what systolic MAC arrays do), result dequantized by the product of
+  scales.  Error comes *only* from input quantization.
+* :func:`reduce_sum_tc` -- sum as a matrix-vector product with ones
+  (TCUSCAN's reduction formulation).
+* :func:`scan_tc` -- prefix sum as blocked lower-triangular matmuls with
+  carry propagation (TCUSCAN's scan formulation).
+* :func:`gemm_tc` -- GEMM runs natively.
+* :func:`conv3x3_tc` -- 3x3 convolution via im2col + matmul.
+
+:class:`~repro.devices.edgetpu.EdgeTPUDevice` in ``"matmul"`` mode routes
+kernels that declare a ``tensor_compute`` through these formulations.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.devices.precision import quantize
+
+#: Calibration percentile for operand quantization (TFLite-style clipping).
+OPERAND_PERCENTILE = 99.9
+
+
+def _quantize_operand(values: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Symmetric INT8 quantization of a matmul operand.
+
+    Matmul needs *symmetric* quantization (a zero-point would add
+    cross-terms the MAC array does not compute); the scale is percentile
+    calibrated so outliers saturate instead of coarsening the whole grid.
+    """
+    codes, scale = quantize(
+        np.asarray(values, dtype=np.float32), bits=8, clip_percentile=OPERAND_PERCENTILE
+    )
+    return codes.astype(np.int32), scale
+
+
+def int8_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Quantized matrix multiply with exact INT32 accumulation.
+
+    ``a @ b`` computed the way a systolic array does: INT8 x INT8 products
+    summed in wide integer accumulators, then dequantized once by
+    ``scale_a * scale_b``.  Accumulation itself is exact; all error is
+    input quantization.
+    """
+    a = np.atleast_2d(np.asarray(a, dtype=np.float32))
+    b = np.atleast_2d(np.asarray(b, dtype=np.float32))
+    if a.shape[-1] != b.shape[0]:
+        raise ValueError(f"shape mismatch for matmul: {a.shape} @ {b.shape}")
+    codes_a, scale_a = _quantize_operand(a)
+    codes_b, scale_b = _quantize_operand(b)
+    # int32 codes; int64 accumulation guards numpy overflow for huge K.
+    accumulated = codes_a.astype(np.int64) @ codes_b.astype(np.int64)
+    return (accumulated * (scale_a * scale_b)).astype(np.float32)
+
+
+def reduce_sum_tc(values: np.ndarray) -> float:
+    """Global sum as a (1, N) x (N, 1) matmul with a ones vector."""
+    flat = np.asarray(values, dtype=np.float32).reshape(1, -1)
+    ones = np.ones((flat.shape[1], 1), dtype=np.float32)
+    return float(int8_matmul(flat, ones)[0, 0])
+
+
+def reduce_average_tc(values: np.ndarray) -> float:
+    """Mean via the matmul sum."""
+    flat = np.asarray(values).reshape(-1)
+    if flat.size == 0:
+        return 0.0
+    return reduce_sum_tc(flat) / flat.size
+
+
+def scan_tc(values: np.ndarray, block: int = 256) -> np.ndarray:
+    """Inclusive prefix sum via blocked lower-triangular matmuls.
+
+    Each length-``block`` chunk is scanned with one (block x block)
+    lower-triangular ones matrix (a single matrix op on the accelerator);
+    inter-block carries propagate serially, as in TCUSCAN.
+    """
+    flat = np.asarray(values, dtype=np.float32).reshape(-1)
+    if flat.size == 0:
+        return flat.copy()
+    lower = np.tril(np.ones((block, block), dtype=np.float32))
+    out = np.empty_like(flat)
+    carry = 0.0
+    for start in range(0, flat.size, block):
+        chunk = flat[start : start + block]
+        if chunk.size == block:
+            scanned = int8_matmul(lower, chunk.reshape(-1, 1)).reshape(-1)
+        else:
+            tail = np.tril(np.ones((chunk.size, chunk.size), dtype=np.float32))
+            scanned = int8_matmul(tail, chunk.reshape(-1, 1)).reshape(-1)
+        out[start : start + chunk.size] = scanned + carry
+        carry = out[start + chunk.size - 1]
+    return out
+
+
+def gemm_tc(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """GEMM runs natively on the matrix unit."""
+    return int8_matmul(a, b)
+
+
+def conv3x3_tc(block: np.ndarray, filter3x3: np.ndarray) -> np.ndarray:
+    """Valid-mode 3x3 convolution as im2col + matmul.
+
+    ``block`` is halo-padded (h+2, w+2); the result is (h, w) -- the same
+    contract as :func:`repro.kernels.common.conv3x3`, computed on the
+    matrix unit instead of vector lanes.
+    """
+    block = np.asarray(block, dtype=np.float32)
+    if block.ndim != 2:
+        raise ValueError("conv3x3_tc expects a 2D block")
+    if filter3x3.shape != (3, 3):
+        raise ValueError("filter must be 3x3")
+    h, w = block.shape[0] - 2, block.shape[1] - 2
+    columns = np.empty((h * w, 9), dtype=np.float32)
+    index = 0
+    for dr in range(3):
+        for dc in range(3):
+            columns[:, index] = block[dr : dr + h, dc : dc + w].reshape(-1)
+            index += 1
+    weights = np.asarray(filter3x3, dtype=np.float32).reshape(9, 1)
+    return int8_matmul(columns, weights).reshape(h, w)

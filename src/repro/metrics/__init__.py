@@ -1,0 +1,15 @@
+"""Quality and summary metrics: MAPE, SSIM, geometric means."""
+
+from repro.metrics.mape import mape, mape_percent
+from repro.metrics.ssim import gaussian_window, ssim
+from repro.metrics.stats import arithmetic_mean, geometric_mean, relative_difference
+
+__all__ = [
+    "mape",
+    "mape_percent",
+    "ssim",
+    "gaussian_window",
+    "geometric_mean",
+    "arithmetic_mean",
+    "relative_difference",
+]

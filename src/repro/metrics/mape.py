@@ -1,0 +1,52 @@
+"""Mean Absolute Percentage Error (paper Figures 7 and 9).
+
+The paper's primary quality metric.  It also inherits MAPE's well-known
+weakness (section 5.3, citing Kim & Kim [53]): outputs dominated by
+near-zero values -- edge maps from Sobel/Laplacian -- produce large
+percentage errors from small absolute ones.
+
+Practical MAPE implementations guard the division; we use a *relative*
+epsilon -- a small fraction of the reference's typical magnitude -- so the
+metric is scale-invariant.  A near-zero reference element can still
+contribute up to ``1/RELATIVE_EPSILON`` times the typical relative error,
+which preserves the paper's qualitative story (edge detectors report large
+MAPEs from their near-zero backgrounds) without degenerating to infinity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+#: Epsilon as a fraction of ``mean(|reference|)``.
+RELATIVE_EPSILON = 0.01
+
+
+def mape(
+    reference: np.ndarray, measured: np.ndarray, epsilon: Optional[float] = None
+) -> float:
+    """Mean of |measured - reference| / (|reference| + epsilon), as a fraction.
+
+    ``epsilon`` defaults to ``RELATIVE_EPSILON * mean(|reference|)``.
+    Multiply by 100 for the paper's percentage presentation.
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    measured = np.asarray(measured, dtype=np.float64)
+    if reference.shape != measured.shape:
+        raise ValueError(f"shape mismatch: {reference.shape} vs {measured.shape}")
+    if reference.size == 0:
+        return 0.0
+    if epsilon is None:
+        epsilon = RELATIVE_EPSILON * float(np.mean(np.abs(reference)))
+        if epsilon == 0.0:
+            epsilon = np.finfo(np.float64).tiny
+    errors = np.abs(measured - reference) / (np.abs(reference) + epsilon)
+    return float(errors.mean())
+
+
+def mape_percent(
+    reference: np.ndarray, measured: np.ndarray, epsilon: Optional[float] = None
+) -> float:
+    """MAPE scaled to percent, the unit of the paper's Figure 7."""
+    return 100.0 * mape(reference, measured, epsilon)

@@ -1,0 +1,31 @@
+"""Summary statistics used by the evaluation (GMEAN columns, etc.)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, the paper's cross-benchmark aggregate."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("geometric mean of no values")
+    if np.any(array <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(array))))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("mean of no values")
+    return float(array.mean())
+
+
+def relative_difference(measured: float, expected: float) -> float:
+    """|measured - expected| / |expected|; used for paper-vs-measured checks."""
+    if expected == 0:
+        raise ValueError("expected value must be nonzero")
+    return abs(measured - expected) / abs(expected)

@@ -1,0 +1,18 @@
+"""Discrete-event simulation substrate for the SHMT reproduction."""
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.gantt import render_gantt, utilization_summary
+from repro.sim.events import Event, EventKind
+from repro.sim.trace import Marker, Span, Trace
+
+__all__ = [
+    "Engine",
+    "SimulationError",
+    "Event",
+    "EventKind",
+    "Marker",
+    "Span",
+    "Trace",
+    "render_gantt",
+    "utilization_summary",
+]

@@ -1,0 +1,110 @@
+"""Discrete-event simulation engine.
+
+A minimal but complete event-heap simulator: callers schedule callbacks at
+future simulated times and :meth:`Engine.run` fires them in order.  The
+engine owns the simulated clock; nothing in the SHMT runtime reads wall-clock
+time, which makes every experiment deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.sim.events import Event, EventKind
+
+
+class SimulationError(RuntimeError):
+    """Raised when the engine is used inconsistently (e.g. scheduling in the past)."""
+
+
+class Engine:
+    """Event-heap discrete-event simulator with a monotonic simulated clock."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._now = 0.0
+        self._running = False
+        self._fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._fired
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        kind: EventKind = EventKind.GENERIC,
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which the caller may :meth:`Event.cancel`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = Event(time=self._now + delay, callback=callback, kind=kind, payload=payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        kind: EventKind = EventKind.GENERIC,
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        return self.schedule(time - self._now, callback, kind=kind, payload=payload)
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Drain the event heap; return the final simulated time.
+
+        Args:
+            until: stop once the clock would pass this time (events at later
+                times stay queued).
+            max_events: safety valve against runaway event loops.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                if self._heap[0].cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and self._heap[0].time > until:
+                    self._now = until
+                    break
+                event = heapq.heappop(self._heap)
+                if event.time < self._now - 1e-12:
+                    raise SimulationError(
+                        f"event at t={event.time} fired after clock reached {self._now}"
+                    )
+                self._now = max(self._now, event.time)
+                self._fired += 1
+                if self._fired > max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+                if event.callback is not None:
+                    event.callback()
+            return self._now
+        finally:
+            self._running = False
+
+    def reset(self) -> None:
+        """Clear all pending events and rewind the clock to zero."""
+        self._heap.clear()
+        self._now = 0.0
+        self._fired = 0

@@ -1,0 +1,81 @@
+"""ASCII Gantt rendering of execution traces.
+
+Turns a :class:`~repro.sim.trace.Trace` into the kind of timeline picture
+the paper's Figure 1 draws: one row per resource, time flowing left to
+right, compute dense, transfers light, host phases hatched.  Useful for
+eyeballing why a schedule behaves the way it does::
+
+    from repro.sim.gantt import render_gantt
+    print(render_gantt(report.trace))
+
+    host |SSShhh..................................hhh|
+    cpu0 |......CCCCCCCCCCCCCCCCCCCCCCCCCCCCCC.......|
+    gpu0 |......CCCCCCCCCCCCCCCCCCCCCCCCCCCC.........|
+    tpu0 |......xCCCCxCCCCxCCCCxCCCCxCCCC............|
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sim.trace import Trace
+
+#: Cell glyph per span category (later entries win ties within a cell).
+CATEGORY_GLYPHS: Dict[str, str] = {
+    "host": "h",
+    "transfer": "x",
+    "compute": "C",
+}
+SAMPLING_GLYPH = "S"
+IDLE_GLYPH = "."
+
+
+def render_gantt(
+    trace: Trace,
+    width: int = 80,
+    end_time: Optional[float] = None,
+) -> str:
+    """Render the trace as one fixed-width ASCII row per resource.
+
+    Args:
+        trace: the execution trace to draw.
+        width: number of time cells per row.
+        end_time: timeline extent; defaults to the trace makespan.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    total = end_time if end_time is not None else trace.makespan()
+    resources = trace.resources()
+    if total <= 0 or not resources:
+        return "(empty trace)"
+
+    label_width = max(len(r) for r in resources)
+    cell = total / width
+    rows: List[str] = []
+    for resource in resources:
+        cells = [IDLE_GLYPH] * width
+        for span in trace.spans:
+            if span.resource != resource:
+                continue
+            glyph = CATEGORY_GLYPHS.get(span.category, "?")
+            if span.category == "host" and span.label == "sampling":
+                glyph = SAMPLING_GLYPH
+            first = min(width - 1, int(span.start / cell))
+            last = min(width - 1, max(first, int((span.end - 1e-15) / cell)))
+            for index in range(first, last + 1):
+                cells[index] = glyph
+        rows.append(f"{resource:>{label_width}s} |{''.join(cells)}|")
+    legend = (
+        f"{'':>{label_width}s}  C=compute x=transfer h=host S=sampling .=idle "
+        f"({total * 1e3:.2f} ms total)"
+    )
+    rows.append(legend)
+    return "\n".join(rows)
+
+
+def utilization_summary(trace: Trace) -> str:
+    """One line per resource: busy fraction over the makespan."""
+    lines = []
+    for resource in trace.resources():
+        lines.append(f"{resource}: {trace.utilization(resource):6.1%} busy")
+    return "\n".join(lines)

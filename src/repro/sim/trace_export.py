@@ -1,0 +1,85 @@
+"""Export execution traces to the Chrome Trace Event format.
+
+``chrome://tracing`` / Perfetto / Speedscope all read the JSON "trace
+event" format; exporting SHMT timelines lets users inspect a schedule
+with real tooling instead of the ASCII Gantt.  Complete ("X") duration
+events are emitted per span -- one track per resource, compute/transfer/
+host colored by category -- plus instant events for steal markers.
+
+Times are exported in microseconds, the format's native unit.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.sim.trace import Trace
+
+#: Trace-viewer color names per span category.
+CATEGORY_COLORS = {
+    "compute": "thread_state_running",
+    "transfer": "thread_state_iowait",
+    "host": "thread_state_runnable",
+}
+
+_SECONDS_TO_MICROS = 1e6
+
+
+def to_chrome_trace(trace: Trace, process_name: str = "SHMT") -> Dict[str, Any]:
+    """Build the Chrome trace JSON object for a run's trace."""
+    events: List[Dict[str, Any]] = []
+    resources = trace.resources()
+    tids = {resource: index + 1 for index, resource in enumerate(resources)}
+
+    events.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": process_name},
+        }
+    )
+    for resource, tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": resource},
+            }
+        )
+
+    for span in trace.spans:
+        events.append(
+            {
+                "name": span.label,
+                "cat": span.category,
+                "ph": "X",
+                "pid": 1,
+                "tid": tids[span.resource],
+                "ts": span.start * _SECONDS_TO_MICROS,
+                "dur": span.duration * _SECONDS_TO_MICROS,
+                "cname": CATEGORY_COLORS.get(span.category),
+            }
+        )
+    for marker in trace.markers:
+        events.append(
+            {
+                "name": marker.label,
+                "cat": "marker",
+                "ph": "i",
+                "s": "t",
+                "pid": 1,
+                "tid": tids.get(marker.resource, 0),
+                "ts": marker.time * _SECONDS_TO_MICROS,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(trace: Trace, path: str, process_name: str = "SHMT") -> None:
+    """Write the trace to ``path`` as Chrome-trace JSON."""
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(trace, process_name), handle)

@@ -1,0 +1,27 @@
+"""Synthetic workload generation for the benchmark suite."""
+
+from repro.workloads.generator import (
+    DEFAULT_SIDE,
+    generate,
+    heterogeneous_field,
+    workload_names,
+)
+from repro.workloads.suite import (
+    BENCHMARK_INFO,
+    IMAGE_KERNELS,
+    BenchmarkCase,
+    benchmark_suite,
+    image_suite,
+)
+
+__all__ = [
+    "DEFAULT_SIDE",
+    "generate",
+    "heterogeneous_field",
+    "workload_names",
+    "BENCHMARK_INFO",
+    "IMAGE_KERNELS",
+    "BenchmarkCase",
+    "benchmark_suite",
+    "image_suite",
+]

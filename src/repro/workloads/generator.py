@@ -1,0 +1,238 @@
+"""Synthetic workload generators (paper section 5.1).
+
+The paper feeds every benchmark "randomly generated floating-point
+numbers".  For the quality experiments to be meaningful the random inputs
+must be *heterogeneous across partitions* -- the paper's oracle "manually
+identifies critical input data regions", which only exists if regions
+differ.  Real inputs (images with edges, markets with volatility
+clusters, chips with hot blocks) have exactly that structure.
+
+Every generator therefore builds data from :func:`heterogeneous_field`:
+a smooth random background plus a minority of "spiky" blocks carrying
+large-magnitude outliers.  Spiky blocks have wide value ranges, so INT8
+quantization hurts them disproportionately -- they are the critical
+regions QAWS exists to protect.
+
+All generators are deterministic in (kernel, shape, seed).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.vop import VOPCall
+
+#: Default problem size: 2048x2048 (paper default is 8192x8192; the size is
+#: a parameter everywhere and Figure 12 sweeps it).
+DEFAULT_SIDE = 2048
+
+Size = Union[int, Tuple[int, ...]]
+
+
+def heterogeneous_field(
+    shape: Tuple[int, ...],
+    rng: np.random.Generator,
+    base_scale: float = 1.0,
+    spike_fraction: float = 0.25,
+    spike_scale: float = 30.0,
+    spike_density: float = 0.02,
+    grid: int = 8,
+) -> np.ndarray:
+    """Random field whose blocks differ widely in value range.
+
+    A smooth Gaussian background everywhere; ``spike_fraction`` of the
+    blocks in a ``grid x grid`` decomposition additionally receive sparse
+    large-magnitude outliers (``spike_scale`` x the base, on
+    ``spike_density`` of their elements).
+    """
+    field = rng.standard_normal(shape) * base_scale
+    blocks = _block_slices(shape, grid)
+    n_spiky = max(1, int(round(spike_fraction * len(blocks))))
+    spiky_ids = rng.choice(len(blocks), size=n_spiky, replace=False)
+    for block_id in spiky_ids:
+        region = field[blocks[block_id]]
+        mask = rng.random(region.shape) < spike_density
+        spikes = rng.standard_normal(region.shape) * spike_scale * base_scale
+        field[blocks[block_id]] = np.where(mask, spikes, region)
+    return field.astype(np.float32)
+
+
+def _block_slices(shape: Tuple[int, ...], grid: int):
+    """Decompose the trailing (1 or 2) axes into a grid of block slices."""
+    if len(shape) == 1:
+        n = shape[0]
+        step = max(1, n // (grid * grid))
+        return [
+            (slice(start, min(start + step, n)),) for start in range(0, n, step)
+        ]
+    height, width = shape[-2], shape[-1]
+    step_r = max(1, height // grid)
+    step_c = max(1, width // grid)
+    slices = []
+    for r in range(0, height, step_r):
+        for c in range(0, width, step_c):
+            leading = (slice(None),) * (len(shape) - 2)
+            slices.append(
+                leading
+                + (slice(r, min(r + step_r, height)), slice(c, min(c + step_c, width)))
+            )
+    return slices
+
+
+def _normalize_size(size: Optional[Size], square: bool) -> Tuple[int, ...]:
+    if size is None:
+        return (DEFAULT_SIDE, DEFAULT_SIDE) if square else (DEFAULT_SIDE * DEFAULT_SIDE,)
+    if isinstance(size, int):
+        if square:
+            side = int(round(size**0.5))
+            side = max(64, (side // 64) * 64)
+            return (side, side)
+        return (size,)
+    return tuple(size)
+
+
+# ------------------------------------------------------------------ kernels
+
+
+def blackscholes_input(size: Optional[Size] = None, seed: int = 0) -> VOPCall:
+    """(5, N) option parameters with volatility/price clusters."""
+    (n,) = _normalize_size(size, square=False)
+    rng = np.random.default_rng(seed)
+    spot = 50.0 + 20.0 * np.abs(heterogeneous_field((n,), rng, spike_scale=8.0))
+    strike = spot * rng.uniform(0.7, 1.3, size=n).astype(np.float32)
+    expiry = rng.uniform(0.1, 2.0, size=n).astype(np.float32)
+    rate = np.full(n, 0.02, dtype=np.float32)
+    vol = 0.15 + 0.05 * np.abs(heterogeneous_field((n,), rng, spike_scale=20.0))
+    vol = np.clip(vol, 0.05, 4.0)
+    params = np.stack([spot, strike, expiry, rate, vol]).astype(np.float32)
+    return VOPCall(opcode="blackscholes", data=params, label="blackscholes")
+
+
+def image_input(
+    opcode: str, size: Optional[Size] = None, seed: int = 0, offset: float = 128.0
+) -> VOPCall:
+    """Generic heterogeneous 2D image for the image/stencil kernels.
+
+    Pixel-like: positive values around ``offset`` (a mid-gray DC level)
+    with moderate texture, plus spiky high-contrast blocks.  The DC level
+    matters for quality metrics: transforms of positive images concentrate
+    energy in approximation/DC terms (so DCT/DWT/mean-filter MAPEs stay
+    small), while derivative kernels (Sobel, Laplacian) cancel it and keep
+    their well-known near-zero-output MAPE inflation -- the exact pattern
+    the paper reports in section 5.3.
+    """
+    shape = _normalize_size(size, square=True)
+    rng = np.random.default_rng(seed)
+    image = heterogeneous_field(shape, rng, base_scale=16.0) + offset
+    return VOPCall(opcode=opcode, data=image.astype(np.float32), label=opcode)
+
+
+def dct8x8_input(size: Optional[Size] = None, seed: int = 0) -> VOPCall:
+    # Zero-centered (DC-removed) input, standard practice for transform
+    # codecs: a large DC term would otherwise dominate every 8x8 block's
+    # output quantization grid.
+    return image_input("DCT8x8", size, seed, offset=0.0)
+
+
+def dwt_input(size: Optional[Size] = None, seed: int = 0) -> VOPCall:
+    # Zero-centered for the same reason as DCT8x8.
+    return image_input("FDWT97", size, seed, offset=0.0)
+
+
+def fft_input(size: Optional[Size] = None, seed: int = 0) -> VOPCall:
+    """Rows mixing quiet signals with high-amplitude bursts."""
+    shape = _normalize_size(size, square=True)
+    rng = np.random.default_rng(seed)
+    signal = heterogeneous_field(shape, rng, spike_scale=8.0, spike_density=0.01)
+    return VOPCall(opcode="FFT", data=signal, label="fft")
+
+
+def histogram_input(size: Optional[Size] = None, seed: int = 0) -> VOPCall:
+    """Pixel-like values in [0, 256): windowed chunks plus full-range chunks.
+
+    Most chunks concentrate in a narrow random window (INT8-friendly:
+    small range, small quantization step); a minority span the whole
+    intensity range and are the critical regions.  The window centers
+    roam, so the global 256-bin histogram stays well populated -- MAPE over
+    mostly-empty bins would be meaningless.
+    """
+    (n,) = _normalize_size(size, square=False)
+    rng = np.random.default_rng(seed)
+    chunk = max(1, n // 64)
+    values = np.empty(n, dtype=np.float32)
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        if rng.random() < 0.25:
+            values[start:stop] = rng.uniform(0.0, 256.0, size=stop - start)
+        else:
+            center = rng.uniform(32.0, 224.0)
+            width = rng.uniform(8.0, 24.0)
+            low = max(0.0, center - width)
+            high = min(256.0, center + width)
+            values[start:stop] = rng.uniform(low, high, size=stop - start)
+    return VOPCall(opcode="reduce_hist256", data=values, label="histogram")
+
+
+def hotspot_input(size: Optional[Size] = None, seed: int = 0) -> VOPCall:
+    """(2, H, W): ambient-ish temperature grid plus spiky power map."""
+    height, width = _normalize_size(size, square=True)
+    rng = np.random.default_rng(seed)
+    temp = 323.0 + 4.0 * rng.standard_normal((height, width))
+    power = np.abs(heterogeneous_field((height, width), rng, spike_scale=60.0))
+    stack = np.stack([temp, power]).astype(np.float32)
+    return VOPCall(opcode="parabolic_PDE", data=stack, label="hotspot")
+
+
+def laplacian_input(size: Optional[Size] = None, seed: int = 0) -> VOPCall:
+    return image_input("Laplacian", size, seed)
+
+
+def mean_filter_input(size: Optional[Size] = None, seed: int = 0) -> VOPCall:
+    return image_input("Mean_Filter", size, seed)
+
+
+def sobel_input(size: Optional[Size] = None, seed: int = 0) -> VOPCall:
+    return image_input("Sobel", size, seed)
+
+
+def srad_input(size: Optional[Size] = None, seed: int = 0) -> VOPCall:
+    """Positive speckle image (ultrasound-like): lognormal with hot blocks."""
+    shape = _normalize_size(size, square=True)
+    rng = np.random.default_rng(seed)
+    log_intensity = 0.4 * heterogeneous_field(shape, rng, spike_scale=8.0)
+    # Bound the dynamic range like a real log-compressed ultrasound image:
+    # bright speckle up to ~12x the mean, never astronomically saturated.
+    log_intensity = np.clip(log_intensity, -2.0, 2.5)
+    image = np.exp(log_intensity).astype(np.float32)
+    return VOPCall(opcode="SRAD", data=image, label="srad")
+
+
+_GENERATORS = {
+    "blackscholes": blackscholes_input,
+    "dct8x8": dct8x8_input,
+    "dwt": dwt_input,
+    "fft": fft_input,
+    "histogram": histogram_input,
+    "hotspot": hotspot_input,
+    "laplacian": laplacian_input,
+    "mean_filter": mean_filter_input,
+    "sobel": sobel_input,
+    "srad": srad_input,
+}
+
+
+def generate(kernel_name: str, size: Optional[Size] = None, seed: int = 0) -> VOPCall:
+    """Build the default workload for a benchmark kernel."""
+    try:
+        factory = _GENERATORS[kernel_name]
+    except KeyError:
+        raise KeyError(
+            f"no workload generator for {kernel_name!r}; known: {sorted(_GENERATORS)}"
+        ) from None
+    return factory(size=size, seed=seed)
+
+
+def workload_names():
+    return sorted(_GENERATORS)

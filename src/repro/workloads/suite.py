@@ -1,0 +1,55 @@
+"""The benchmark suite: Table 2's ten applications with default workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.vop import VOPCall
+from repro.devices.perf_model import benchmark_names
+from repro.workloads.generator import Size, generate
+
+#: Paper Table 2 metadata, for reporting.
+BENCHMARK_INFO = {
+    "blackscholes": {"category": "Finance", "baseline": "CUDA Examples"},
+    "dct8x8": {"category": "Image Processing", "baseline": "CUDA Examples"},
+    "dwt": {"category": "Signal Processing", "baseline": "Rodinia 3.1"},
+    "fft": {"category": "Signal Processing", "baseline": "CUDA Examples"},
+    "histogram": {"category": "Statistical", "baseline": "OpenCV 4.5.5"},
+    "hotspot": {"category": "Physics Simulation", "baseline": "Rodinia 3.1"},
+    "laplacian": {"category": "Image Processing", "baseline": "OpenCV 4.5.5"},
+    "mean_filter": {"category": "Image Processing", "baseline": "OpenCV 4.5.5"},
+    "sobel": {"category": "Image Processing", "baseline": "OpenCV 4.5.5"},
+    "srad": {"category": "Medical Imaging", "baseline": "CUDA Examples"},
+}
+
+#: The six image-producing kernels SSIM applies to (paper Figure 8).
+IMAGE_KERNELS = ("dct8x8", "dwt", "laplacian", "mean_filter", "sobel", "srad")
+
+
+@dataclass(frozen=True)
+class BenchmarkCase:
+    """One benchmark: its kernel name and a concrete workload."""
+
+    kernel: str
+    call: VOPCall
+
+    @property
+    def category(self) -> str:
+        return BENCHMARK_INFO[self.kernel]["category"]
+
+
+def benchmark_suite(size: Optional[Size] = None, seed: int = 0) -> List[BenchmarkCase]:
+    """All ten benchmarks with freshly generated workloads."""
+    return [
+        BenchmarkCase(kernel=name, call=generate(name, size=size, seed=seed))
+        for name in benchmark_names()
+    ]
+
+
+def image_suite(size: Optional[Size] = None, seed: int = 0) -> List[BenchmarkCase]:
+    """The six image kernels used by the SSIM experiment."""
+    return [
+        BenchmarkCase(kernel=name, call=generate(name, size=size, seed=seed))
+        for name in IMAGE_KERNELS
+    ]

@@ -1,0 +1,74 @@
+"""Unit tests for the performance analysis module."""
+
+import pytest
+
+from repro.analysis import analyze, theoretical_speedup_bound
+from repro.core.runtime import SHMTRuntime
+from repro.core.schedulers.base import make_scheduler
+from repro.devices.perf_model import CALIBRATION, PAPER_TARGETS
+from repro.devices.platform import gpu_only_platform, jetson_nano_platform
+from repro.workloads.generator import generate
+
+
+@pytest.fixture(scope="module")
+def reports():
+    # The calibrated bound is an asymptotic (large-size) quantity, so use
+    # the paper-default 2048x2048 workload.
+    call = generate("fft", seed=0)
+    baseline = SHMTRuntime(gpu_only_platform(), make_scheduler("gpu-baseline")).execute(call)
+    shmt = SHMTRuntime(jetson_nano_platform(), make_scheduler("work-stealing")).execute(call)
+    return baseline, shmt
+
+
+def test_theoretical_bound_matches_paper_ws_targets():
+    """The bound inverts the calibration, so it reproduces the WS targets."""
+    for kernel, targets in PAPER_TARGETS.items():
+        bound = theoretical_speedup_bound(CALIBRATION[kernel])
+        assert bound == pytest.approx(targets["ws"], rel=0.06)
+
+
+def test_utilization_in_unit_range(reports):
+    _, shmt = reports
+    analysis = analyze(shmt)
+    assert set(analysis.utilization) == {"cpu0", "gpu0", "tpu0"}
+    for value in analysis.utilization.values():
+        assert 0.0 < value <= 1.0
+
+
+def test_load_imbalance_at_least_one(reports):
+    _, shmt = reports
+    assert analyze(shmt).load_imbalance >= 1.0
+
+
+def test_bounds_partition_makespan(reports):
+    _, shmt = reports
+    analysis = analyze(shmt)
+    assert analysis.bounds.total == pytest.approx(shmt.makespan, rel=1e-6)
+    assert 0.0 <= analysis.bounds.host_bound_fraction < 1.0
+
+
+def test_achieved_fraction_close_to_bound(reports):
+    baseline, shmt = reports
+    analysis = analyze(shmt, baseline)
+    # Work stealing should achieve most of the theoretical maximum.
+    assert 0.7 < analysis.achieved_speedup_bound_fraction <= 1.05
+
+
+def test_no_baseline_means_zero_fraction(reports):
+    _, shmt = reports
+    assert analyze(shmt).achieved_speedup_bound_fraction == 0.0
+
+
+def test_summary_renders(reports):
+    baseline, shmt = reports
+    text = analyze(shmt, baseline).summary()
+    assert "makespan" in text
+    assert "gpu0" in text
+    assert "%" in text
+
+
+def test_baseline_run_is_host_and_gpu_only(reports):
+    baseline, _ = reports
+    analysis = analyze(baseline)
+    assert set(analysis.utilization) == {"gpu0"}
+    assert analysis.load_imbalance == 1.0

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite.
+
+Tests run on reduced problem sizes (64x64 .. 256x256) so the whole suite
+stays fast; experiment-level shape checks that need realistic sizes live
+in tests/experiments and use 512x512.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.partition import PartitionConfig
+from repro.core.runtime import RuntimeConfig, SHMTRuntime
+from repro.core.schedulers.base import make_scheduler
+from repro.devices.platform import (
+    gpu_only_platform,
+    gpu_tpu_platform,
+    jetson_nano_platform,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def nano():
+    return jetson_nano_platform()
+
+
+@pytest.fixture
+def gpu_platform():
+    return gpu_only_platform()
+
+
+@pytest.fixture
+def pair_platform():
+    return gpu_tpu_platform()
+
+
+@pytest.fixture
+def small_runtime_config():
+    """Partitioning tuned for small test inputs (keeps >= 8 partitions)."""
+    return RuntimeConfig(
+        partition=PartitionConfig(target_partitions=16, page_bytes=1024)
+    )
+
+
+@pytest.fixture
+def ws_runtime(nano, small_runtime_config):
+    return SHMTRuntime(nano, make_scheduler("work-stealing"), small_runtime_config)
+
+
+@pytest.fixture
+def baseline_runtime(gpu_platform, small_runtime_config):
+    return SHMTRuntime(gpu_platform, make_scheduler("gpu-baseline"), small_runtime_config)

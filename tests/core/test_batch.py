@@ -1,0 +1,126 @@
+"""Tests for concurrent multi-VOP batch execution (paper Figure 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import PartitionConfig
+from repro.core.runtime import RuntimeConfig, SHMTRuntime
+from repro.core.schedulers.base import make_scheduler
+from repro.devices.platform import jetson_nano_platform
+from repro.metrics.mape import mape
+from repro.workloads.generator import generate
+
+CONFIG = RuntimeConfig(partition=PartitionConfig(target_partitions=16, page_bytes=1024))
+
+
+@pytest.fixture
+def runtime():
+    return SHMTRuntime(jetson_nano_platform(), make_scheduler("work-stealing"), CONFIG)
+
+
+@pytest.fixture
+def calls():
+    return [
+        generate("sobel", size=(256, 256), seed=1),
+        generate("mean_filter", size=(256, 256), seed=2),
+        generate("dct8x8", size=(256, 256), seed=3),
+    ]
+
+
+def test_batch_returns_one_report_per_call(runtime, calls):
+    batch = runtime.execute_batch(calls)
+    assert len(batch) == 3
+    assert [r.kernel for r in batch.reports] == ["sobel", "mean_filter", "dct8x8"]
+
+
+def test_batch_outputs_match_standalone_quality(runtime, calls):
+    batch = runtime.execute_batch(calls)
+    for call, report in zip(calls, batch.reports):
+        reference = call.spec.reference(
+            call.data.astype(np.float64), call.resolve_context()
+        )
+        assert report.output.shape == np.asarray(reference).shape
+        assert mape(reference, report.output) < 0.5
+
+
+def test_batch_beats_serial_execution(runtime, calls):
+    serial = [runtime.execute(call) for call in calls]
+    batch = runtime.execute_batch(calls)
+    assert batch.makespan < sum(r.makespan for r in serial)
+    assert batch.speedup_over_serial(serial) > 1.0
+
+
+def test_batch_call_finish_times_ordered_sensibly(runtime, calls):
+    batch = runtime.execute_batch(calls)
+    for report in batch.reports:
+        assert 0 < report.makespan <= batch.makespan + 1e-12
+
+
+def test_batch_work_items_per_call(runtime, calls):
+    batch = runtime.execute_batch(calls)
+    for report in batch.reports:
+        assert sum(report.work_items.values()) == report.total_items == 256 * 256
+
+
+def test_batch_energy_is_authoritative_total(runtime, calls):
+    batch = runtime.execute_batch(calls)
+    # The batch idle energy covers one window; per-call idle windows overlap,
+    # so summing per-call totals over-counts idle but not active joules.
+    total_active = sum(r.energy.active_joules for r in batch.reports)
+    assert batch.energy.active_joules == pytest.approx(total_active, rel=1e-6)
+    assert batch.energy.duration == pytest.approx(batch.makespan)
+
+
+def test_batch_devices_interleave_calls(runtime, calls):
+    """Compute spans from different calls interleave on the same device."""
+    batch = runtime.execute_batch(calls)
+    hlop_unit = {h.hlop_id: h.unit_id for r in batch.reports for h in r.hlops}
+    for resource, spans in batch.trace.spans_by_resource().items():
+        compute = [s for s in spans if s.category == "compute"]
+        units_seen = {
+            hlop_unit[int(s.label.split(":")[1])] for s in compute if "hlop" in s.label
+        }
+        if len(compute) > 5:
+            assert len(units_seen) > 1, resource
+
+
+def test_empty_batch_rejected(runtime):
+    with pytest.raises(ValueError):
+        runtime.execute_batch([])
+
+
+def test_single_call_batch_equals_execute(runtime, calls):
+    solo = runtime.execute(calls[0])
+    batch = runtime.execute_batch([calls[0]])
+    assert batch.reports[0].makespan == solo.makespan
+    np.testing.assert_array_equal(batch.reports[0].output, solo.output)
+
+
+def test_batch_deterministic(runtime, calls):
+    a = runtime.execute_batch(calls)
+    b = runtime.execute_batch(calls)
+    assert a.makespan == b.makespan
+    for ra, rb in zip(a.reports, b.reports):
+        np.testing.assert_array_equal(ra.output, rb.output)
+
+
+def test_batch_with_qaws_respects_pinning(calls):
+    runtime = SHMTRuntime(jetson_nano_platform(), make_scheduler("QAWS-TS"), CONFIG)
+    batch = runtime.execute_batch(calls)
+    for report in batch.reports:
+        for hlop in report.hlops:
+            if hlop.pinned_exact:
+                assert not hlop.device_name.startswith("tpu")
+
+
+def test_batch_mixed_parallel_models(runtime):
+    batch = runtime.execute_batch(
+        [
+            generate("blackscholes", size=65_536, seed=4),
+            generate("fft", size=(128, 128), seed=5),
+            generate("histogram", size=65_536, seed=6),
+        ]
+    )
+    assert batch.reports[0].output.shape == (2, 65_536)
+    assert batch.reports[1].output.shape == (128, 128)
+    assert batch.reports[2].output.shape == (256,)

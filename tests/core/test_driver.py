@@ -1,0 +1,85 @@
+"""Unit tests for the virtual-device driver facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.driver import VirtualDevice
+from repro.core.vop import VOPCall
+from repro.workloads.generator import generate
+
+
+@pytest.fixture
+def device(ws_runtime):
+    return VirtualDevice(ws_runtime)
+
+
+@pytest.fixture
+def image_call():
+    return generate("sobel", size=(128, 128), seed=1)
+
+
+def test_submit_returns_handles_immediately(device, image_call):
+    h1 = device.submit(image_call)
+    h2 = device.submit(image_call)
+    assert h1.command_id != h2.command_id
+    assert device.pending == 2
+
+
+def test_poll_drains_in_submission_order(device, image_call):
+    h1 = device.submit(image_call)
+    h2 = device.submit(generate("mean_filter", size=(128, 128), seed=2))
+    completions = device.poll()
+    assert [c.handle for c in completions] == [h1, h2]
+    assert device.pending == 0
+
+
+def test_poll_max_commands(device, image_call):
+    device.submit(image_call)
+    device.submit(image_call)
+    first = device.poll(max_commands=1)
+    assert len(first) == 1
+    assert device.pending == 1
+    second = device.poll()
+    assert len(second) == 1
+
+
+def test_completion_carries_report_and_output(device, image_call):
+    device.submit(image_call)
+    (completion,) = device.poll()
+    assert completion.report.makespan > 0
+    assert completion.output.shape == (128, 128)
+    assert np.all(np.isfinite(completion.output))
+
+
+def test_wait_for_specific_command(device, image_call):
+    h1 = device.submit(image_call)
+    h2 = device.submit(generate("laplacian", size=(128, 128), seed=3))
+    completion = device.wait(h2)
+    assert completion.handle == h2
+    # h1 completed along the way and is still available via poll().
+    remaining = device.poll()
+    assert [c.handle for c in remaining] == [h1]
+
+
+def test_wait_unknown_handle_raises(device, image_call):
+    handle = device.submit(image_call)
+    device.poll()
+    with pytest.raises(KeyError):
+        device.wait(handle)  # already consumed
+
+
+def test_elapsed_time_accumulates(device, image_call):
+    device.submit(image_call)
+    device.submit(image_call)
+    device.poll()
+    assert device.elapsed_simulated_seconds > 0
+
+
+def test_mixed_vops_through_one_device(device, rng):
+    vector = VOPCall("relu", rng.standard_normal(8192).astype(np.float32))
+    image = generate("dct8x8", size=(128, 128), seed=4)
+    device.submit(vector)
+    device.submit(image)
+    completions = device.poll()
+    assert completions[0].output.shape == (8192,)
+    assert completions[1].output.shape == (128, 128)

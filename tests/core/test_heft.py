@@ -1,0 +1,89 @@
+"""Tests for the HEFT-style static scheduling baseline."""
+
+import pytest
+
+from repro.core.runtime import SHMTRuntime
+from repro.core.schedulers.base import make_scheduler
+from repro.core.schedulers.heft import HEFTStatic
+from repro.devices.platform import gpu_only_platform, jetson_nano_platform
+from repro.workloads.generator import generate
+from tests.core.test_schedulers import _context
+
+
+def test_registered():
+    assert isinstance(make_scheduler("heft-static"), HEFTStatic)
+    assert not make_scheduler("heft-static").steals
+
+
+def test_plan_favors_the_fast_device_at_realistic_granularity():
+    """With realistically-sized partitions (64K items) the TPU's 3.22x rate
+    dominates its launch latency and EFT routes most work there.  (At the
+    tiny 1K-item test partitions launch latency rightly flips the choice.)"""
+    import numpy as np
+
+    from repro.core.partition import PartitionConfig, plan_partitions
+    from repro.core.schedulers.base import PlanContext
+    from repro.devices.cpu import CPUDevice
+    from repro.devices.edgetpu import EdgeTPUDevice
+    from repro.devices.gpu import GPUDevice
+    from repro.devices.perf_model import calibration_for
+    from repro.kernels.registry import get_kernel
+
+    spec = get_kernel("fft")
+    shape = (1024, 1024)
+    partitions = plan_partitions(spec, shape, PartitionConfig(target_partitions=16))
+    ctx = PlanContext(
+        spec=spec,
+        calibration=calibration_for("fft"),
+        partitions=partitions,
+        block_for=lambda idx: np.zeros(4),
+        devices=[CPUDevice(), GPUDevice(), EdgeTPUDevice()],
+        rng=np.random.default_rng(0),
+        total_items=1024 * 1024,
+    )
+    plan = HEFTStatic().plan(ctx)
+    counts = {name: plan.assignment.count(name) for name in set(plan.assignment)}
+    assert counts.get("tpu0", 0) > counts.get("gpu0", 0) > counts.get("cpu0", 0)
+
+
+def test_plan_covers_all_partitions():
+    plan = HEFTStatic().plan(_context())
+    assert len(plan.assignment) == len(_context().partitions)
+
+
+def test_accurate_model_matches_work_stealing():
+    """With a perfect performance model, static EFT ~ dynamic stealing."""
+    call = generate("fft", size=(1024, 1024), seed=0)
+    nano = jetson_nano_platform()
+    base = SHMTRuntime(gpu_only_platform(), make_scheduler("gpu-baseline")).execute(call)
+    ws = SHMTRuntime(nano, make_scheduler("work-stealing")).execute(call)
+    heft = SHMTRuntime(nano, make_scheduler("heft-static")).execute(call)
+    ws_speedup = base.makespan / ws.makespan
+    heft_speedup = base.makespan / heft.makespan
+    assert heft_speedup > 0.9 * ws_speedup
+
+
+def test_miscalibrated_model_hurts_static_but_not_stealing():
+    """The paper's section 2.3 argument for dynamic adaptation: a static
+    plan built on a wrong performance model cannot recover; stealing can."""
+    call = generate("fft", size=(1024, 1024), seed=0)
+    nano = jetson_nano_platform()
+    base = SHMTRuntime(gpu_only_platform(), make_scheduler("gpu-baseline")).execute(call)
+    # Planner believes the slow CPU is 8x faster than it is: it floods the
+    # CPU queue with work the CPU cannot drain in time.
+    biased = HEFTStatic(model_bias={"cpu": 8.0})
+    heft_biased = SHMTRuntime(nano, biased).execute(call)
+    heft_true = SHMTRuntime(nano, make_scheduler("heft-static")).execute(call)
+    assert heft_biased.makespan > heft_true.makespan * 1.2
+    # Dynamic stealing with the same wrong *initial* plan recovers: build a
+    # stealing scheduler on top of the biased static plan.
+
+    class BiasedPlanWithStealing(HEFTStatic):
+        name = "heft-biased-stealing"
+        steals = True
+
+    recovered = SHMTRuntime(nano, BiasedPlanWithStealing(model_bias={"cpu": 8.0})).execute(call)
+    assert recovered.makespan < heft_biased.makespan * 0.95
+    assert base.makespan / recovered.makespan > 0.85 * (
+        base.makespan / heft_true.makespan
+    )

@@ -1,0 +1,56 @@
+"""Unit tests for HLOP state and constraints."""
+
+import numpy as np
+import pytest
+
+from repro.core.hlop import HLOP, HLOPStatus
+from repro.core.partition import Partition
+
+
+def _hlop(**kwargs):
+    partition = Partition(0, 1024, (slice(0, 1024),), (slice(0, 1024),))
+    return HLOP(hlop_id=0, opcode="Sobel", partition=partition, **kwargs)
+
+
+def test_initial_state():
+    hlop = _hlop()
+    assert hlop.status is HLOPStatus.PENDING
+    assert hlop.n_items == 1024
+    assert hlop.device_name is None
+
+
+def test_unconstrained_allows_every_rank():
+    hlop = _hlop()
+    assert hlop.allows_rank(0)
+    assert hlop.allows_rank(1)
+    assert not hlop.pinned_exact
+
+
+def test_pinned_to_exact_class():
+    hlop = _hlop(max_accuracy_rank=0)
+    assert hlop.pinned_exact
+    assert hlop.allows_rank(0)
+    assert not hlop.allows_rank(1)
+
+
+def test_intermediate_rank_constraint():
+    hlop = _hlop(max_accuracy_rank=1)
+    assert hlop.allows_rank(1)
+    assert not hlop.allows_rank(2)
+    assert not hlop.pinned_exact
+
+
+def test_mark_done_records_execution():
+    hlop = _hlop()
+    result = np.ones(4)
+    hlop.mark_done("gpu0", 1.0, 2.5, result)
+    assert hlop.status is HLOPStatus.DONE
+    assert hlop.device_name == "gpu0"
+    assert hlop.finish_time == 2.5
+    assert hlop.result is result
+
+
+def test_criticality_defaults_none():
+    hlop = _hlop()
+    assert hlop.criticality is None
+    assert hlop.true_criticality is None

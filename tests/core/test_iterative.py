@@ -1,0 +1,77 @@
+"""Tests for the iterative solver wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core.iterative import run_iterative
+from repro.core.partition import PartitionConfig
+from repro.core.runtime import RuntimeConfig, SHMTRuntime
+from repro.core.schedulers.base import make_scheduler
+from repro.devices.platform import gpu_only_platform, jetson_nano_platform
+from repro.workloads.generator import generate
+
+CONFIG = RuntimeConfig(partition=PartitionConfig(target_partitions=8, page_bytes=1024))
+
+
+@pytest.fixture
+def gpu_runtime():
+    return SHMTRuntime(gpu_only_platform(), make_scheduler("gpu-baseline"), CONFIG)
+
+
+def test_srad_iterations_despeckle(gpu_runtime):
+    image = generate("srad", size=(128, 128), seed=1).data
+    result = run_iterative(gpu_runtime, "SRAD", image, steps=5)
+    assert result.steps == 5
+    assert np.var(result.final) < np.var(image)
+    assert result.total_time > 0
+    assert result.total_energy > 0
+
+
+def test_hotspot_iterations_cool_toward_ambient(gpu_runtime):
+    stack = generate("hotspot", size=(128, 128), seed=2).data
+    stack[1] = 0.0  # no power: temperatures must relax toward ambient (80)
+    start_gap = float(np.abs(stack[0] - 80.0).mean())
+    result = run_iterative(gpu_runtime, "parabolic_PDE", stack, steps=8)
+    end_gap = float(np.abs(result.final - 80.0).mean())
+    assert end_gap < start_gap
+
+
+def test_convergence_tolerance_stops_early(gpu_runtime):
+    image = np.full((128, 128), 2.0, dtype=np.float32)  # already uniform
+    result = run_iterative(
+        gpu_runtime, "SRAD", image, steps=10, convergence_tol=1e-6
+    )
+    assert result.steps == 1
+
+
+def test_invalid_steps(gpu_runtime):
+    with pytest.raises(ValueError):
+        run_iterative(gpu_runtime, "SRAD", np.ones((64, 64)), steps=0)
+
+
+def test_error_compounds_without_quality_control():
+    """Across iterations, TPU error accumulates; QAWS contains it."""
+    image = generate("srad", size=(256, 256), seed=3).data
+    gpu = SHMTRuntime(gpu_only_platform(), make_scheduler("gpu-baseline"), CONFIG)
+    exact = run_iterative(gpu, "SRAD", image, steps=6).final.astype(np.float64)
+
+    def drift(policy: str) -> float:
+        runtime = SHMTRuntime(jetson_nano_platform(), make_scheduler(policy), CONFIG)
+        result = run_iterative(runtime, "SRAD", image, steps=6)
+        return float(np.abs(result.final - exact).mean())
+
+    ws_drift = drift("work-stealing")
+    qaws_drift = drift("QAWS-TS")
+    assert qaws_drift <= ws_drift * 1.1
+    assert ws_drift > 0
+
+
+def test_custom_advance_function(gpu_runtime):
+    image = generate("srad", size=(128, 128), seed=4).data
+
+    def renormalize(_previous, output):
+        return (output / output.mean()).astype(np.float32)
+
+    result = run_iterative(gpu_runtime, "SRAD", image, steps=3, advance=renormalize)
+    assert result.steps == 3
+    assert np.all(np.isfinite(result.final))

@@ -1,0 +1,150 @@
+"""Unit tests for partition planning."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import Partition, PartitionConfig, partition_bytes, plan_partitions
+from repro.kernels.registry import get_kernel
+
+
+@pytest.fixture
+def config():
+    return PartitionConfig(target_partitions=16)
+
+
+def _covers_exactly_once(partitions, shape, model):
+    """Every output index is written by exactly one partition."""
+    coverage = np.zeros(shape[-2:] if len(shape) >= 2 else shape[-1:], dtype=int)
+    for p in partitions:
+        coverage[p.out_slices] += 1
+    return np.all(coverage == 1)
+
+
+def test_vector_partitions_cover_input(config):
+    spec = get_kernel("blackscholes")
+    partitions = plan_partitions(spec, (5, 100_000), config)
+    assert _covers_exactly_once(partitions, (100_000,), spec.model)
+    assert sum(p.n_items for p in partitions) == 100_000
+
+
+def test_vector_page_granularity(config):
+    spec = get_kernel("blackscholes")
+    partitions = plan_partitions(spec, (5, 65_536), config)
+    floor = config.min_vector_elements
+    for p in partitions[:-1]:
+        assert p.n_items % floor == 0
+        assert p.n_items >= floor
+
+
+def test_vector_input_smaller_than_page(config):
+    spec = get_kernel("relu")
+    partitions = plan_partitions(spec, (100,), config)
+    assert len(partitions) == 1
+    assert partitions[0].n_items == 100
+
+
+def test_rows_partitions_cover(config):
+    spec = get_kernel("fft")
+    partitions = plan_partitions(spec, (256, 512), config)
+    assert _covers_exactly_once(partitions, (256, 512), spec.model)
+    assert sum(p.n_items for p in partitions) == 256 * 512
+
+
+def test_rows_minimum_page_rows(config):
+    spec = get_kernel("fft")
+    partitions = plan_partitions(spec, (1024, 64), config)
+    min_rows = config.min_vector_elements // 64
+    for p in partitions[:-1]:
+        rows = p.out_slices[0].stop - p.out_slices[0].start
+        assert rows >= min_rows
+
+
+def test_tile_partitions_cover(config):
+    spec = get_kernel("sobel")
+    partitions = plan_partitions(spec, (256, 256), config)
+    assert _covers_exactly_once(partitions, (256, 256), spec.model)
+
+
+def test_tile_halo_extends_input_slices(config):
+    spec = get_kernel("sobel")  # halo 1
+    partitions = plan_partitions(spec, (128, 128), config)
+    p = partitions[0]
+    in_rows = p.in_slices[0].stop - p.in_slices[0].start
+    out_rows = p.out_slices[0].stop - p.out_slices[0].start
+    assert in_rows == out_rows + 2
+
+
+def test_tile_halo_block_extraction(config):
+    """Input blocks from the padded array have halo on all sides."""
+    from repro.kernels.common import replicate_pad
+
+    spec = get_kernel("sobel")
+    image = np.arange(64 * 64, dtype=np.float32).reshape(64, 64)
+    padded = replicate_pad(image, spec.halo)
+    partitions = plan_partitions(spec, image.shape, PartitionConfig(target_partitions=4))
+    for p in partitions:
+        block = p.input_block(padded)
+        out_rows = p.out_slices[0].stop - p.out_slices[0].start
+        out_cols = p.out_slices[1].stop - p.out_slices[1].start
+        assert block.shape == (out_rows + 2, out_cols + 2)
+
+
+def test_tile_multiple_respected(config):
+    spec = get_kernel("dwt")  # tile multiple 64
+    partitions = plan_partitions(spec, (256, 256), config)
+    for p in partitions:
+        assert (p.out_slices[0].stop - p.out_slices[0].start) % 64 == 0
+        assert (p.out_slices[1].stop - p.out_slices[1].start) % 64 == 0
+
+
+def test_tile_rejects_non_multiple_input(config):
+    spec = get_kernel("dwt")
+    with pytest.raises(ValueError, match="multiple"):
+        plan_partitions(spec, (100, 256), config)
+
+
+def test_tile_needs_2d(config):
+    spec = get_kernel("sobel")
+    with pytest.raises(ValueError, match="2D"):
+        plan_partitions(spec, (256,), config)
+
+
+def test_rows_needs_2d(config):
+    spec = get_kernel("fft")
+    with pytest.raises(ValueError):
+        plan_partitions(spec, (256,), config)
+
+
+def test_target_partitions_approximately_hit():
+    spec = get_kernel("sobel")
+    partitions = plan_partitions(
+        spec, (2048, 2048), PartitionConfig(target_partitions=64)
+    )
+    assert 32 <= len(partitions) <= 96
+
+
+def test_leading_dims_carried_whole(config):
+    spec = get_kernel("hotspot")
+    partitions = plan_partitions(spec, (2, 128, 128), config)
+    stack = np.zeros((2, 130, 130), dtype=np.float32)
+    block = partitions[0].input_block(stack)
+    assert block.shape[0] == 2
+
+
+def test_partition_indices_sequential(config):
+    spec = get_kernel("sobel")
+    partitions = plan_partitions(spec, (256, 256), config)
+    assert [p.index for p in partitions] == list(range(len(partitions)))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        PartitionConfig(target_partitions=0)
+    with pytest.raises(ValueError):
+        PartitionConfig(page_bytes=4097, element_bytes=4)
+
+
+def test_partition_bytes(config):
+    spec = get_kernel("blackscholes")
+    partitions = plan_partitions(spec, (5, 10_000), config)
+    assert partition_bytes(partitions[0], (5, 10_000), config) == partitions[0].n_items * 5 * 4

@@ -1,0 +1,119 @@
+"""Unit tests for multi-VOP programs."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import PartitionConfig
+from repro.core.program import Program
+from repro.core.runtime import RuntimeConfig, SHMTRuntime
+from repro.core.schedulers.base import make_scheduler
+from repro.devices.platform import jetson_nano_platform
+
+
+@pytest.fixture
+def runtime():
+    return SHMTRuntime(
+        jetson_nano_platform(),
+        make_scheduler("work-stealing"),
+        RuntimeConfig(partition=PartitionConfig(target_partitions=8, page_bytes=1024)),
+    )
+
+
+def test_two_step_pipeline(rng, runtime):
+    image = (128 + 8 * rng.standard_normal((128, 128))).astype(np.float32)
+    program = Program()
+    program.add("smooth", "Mean_Filter", image)
+    program.add("edges", "Sobel", "smooth")
+    result = program.run(runtime)
+    assert result.order == ["smooth", "edges"]
+    assert result.output().shape == (128, 128)
+    assert result.output("smooth").shape == (128, 128)
+    assert result.total_time > 0
+    assert result.total_energy > 0
+
+
+def test_step_output_feeds_next(rng, runtime):
+    image = (10 + rng.standard_normal((128, 128))).astype(np.float32)
+    program = Program().add("a", "Mean_Filter", image).add("b", "Mean_Filter", "a")
+    result = program.run(runtime)
+    # Two smoothing passes reduce variance more than one.
+    assert np.var(result.output("b")) < np.var(result.output("a"))
+
+
+def test_duplicate_step_names_rejected(rng):
+    program = Program().add("x", "Sobel", np.zeros((64, 64)))
+    with pytest.raises(ValueError, match="duplicate"):
+        program.add("x", "Sobel", np.zeros((64, 64)))
+
+
+def test_unknown_reference_rejected():
+    program = Program()
+    with pytest.raises(ValueError, match="unknown step"):
+        program.add("y", "Sobel", "nonexistent")
+
+
+def test_empty_program_rejected(runtime):
+    with pytest.raises(ValueError, match="no steps"):
+        Program().run(runtime)
+
+
+def test_total_time_is_sum_of_steps(rng, runtime):
+    image = (128 + rng.standard_normal((128, 128))).astype(np.float32)
+    program = Program().add("a", "Sobel", image).add("b", "Laplacian", image)
+    result = program.run(runtime)
+    assert result.total_time == pytest.approx(
+        result.reports["a"].makespan + result.reports["b"].makespan
+    )
+
+
+def test_levels_group_independent_steps(rng):
+    image = np.zeros((64, 64), dtype=np.float32)
+    program = (
+        Program()
+        .add("a", "Mean_Filter", image)
+        .add("b", "Sobel", image)
+        .add("c", "Laplacian", "a")
+        .add("d", "DCT8x8", "c")
+    )
+    levels = program.levels()
+    assert [sorted(s.name for s in level) for level in levels] == [
+        ["a", "b"],
+        ["c"],
+        ["d"],
+    ]
+
+
+def test_concurrent_run_matches_serial_quality(rng, runtime):
+    """Concurrent execution reshuffles which device runs which HLOP (and
+    the per-HLOP noise seeds), so outputs are not bitwise identical --
+    but both runs must be equally faithful to the exact result."""
+    from repro.metrics.mape import mape
+
+    image = (128 + 8 * rng.standard_normal((128, 128))).astype(np.float32)
+    program = (
+        Program()
+        .add("smooth", "Mean_Filter", image)
+        .add("edges", "Sobel", image)
+        .add("coeffs", "DCT8x8", "smooth")
+    )
+    serial = program.run(runtime, concurrent=False)
+    concurrent = program.run(runtime, concurrent=True)
+    for name in ("smooth", "edges", "coeffs"):
+        assert serial.output(name).shape == concurrent.output(name).shape
+        err = mape(serial.output(name), concurrent.output(name))
+        assert err < 0.5
+
+
+def test_concurrent_run_is_faster_with_parallel_branches(rng, runtime):
+    image = (128 + 8 * rng.standard_normal((512, 512))).astype(np.float32)
+    program = (
+        Program()
+        .add("smooth", "Mean_Filter", image)
+        .add("edges", "Sobel", image)
+        .add("sharp", "stencil", image)
+    )
+    serial = program.run(runtime, concurrent=False)
+    concurrent = program.run(runtime, concurrent=True)
+    serial_time = sum(serial.reports[n].makespan for n in serial.order)
+    concurrent_time = max(concurrent.reports[n].makespan for n in concurrent.order)
+    assert concurrent_time < serial_time

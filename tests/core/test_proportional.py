@@ -1,0 +1,46 @@
+"""Unit tests for the throughput-proportional work-stealing variant."""
+
+import pytest
+
+from repro.core.runtime import SHMTRuntime
+from repro.core.schedulers.base import make_scheduler
+from repro.core.schedulers.work_stealing import ProportionalWorkStealing
+from repro.devices.platform import gpu_only_platform, jetson_nano_platform
+from repro.workloads.generator import generate
+from tests.core.test_schedulers import _context
+
+
+def test_registered():
+    assert isinstance(make_scheduler("proportional-stealing"), ProportionalWorkStealing)
+
+
+def test_quotas_track_device_rates():
+    scheduler = ProportionalWorkStealing()
+    ctx = _context(kernel="fft")  # tpu rate 3.22, cpu 0.5, gpu 1.0
+    plan = scheduler.plan(ctx)
+    counts = {name: plan.assignment.count(name) for name in set(plan.assignment)}
+    assert counts["tpu0"] > counts["gpu0"] > counts["cpu0"]
+
+
+def test_quotas_cover_every_partition():
+    scheduler = ProportionalWorkStealing()
+    ctx = _context(kernel="sobel")
+    plan = scheduler.plan(ctx)
+    assert len(plan.assignment) == len(ctx.partitions)
+
+
+def test_needs_far_fewer_steals_than_round_robin():
+    call = generate("fft", size=(1024, 1024), seed=0)
+    nano = jetson_nano_platform()
+    ws = SHMTRuntime(nano, make_scheduler("work-stealing")).execute(call)
+    prop = SHMTRuntime(nano, make_scheduler("proportional-stealing")).execute(call)
+    assert prop.steal_count < ws.steal_count / 3
+
+
+def test_matches_work_stealing_speed():
+    call = generate("dct8x8", size=(1024, 1024), seed=0)
+    base = SHMTRuntime(gpu_only_platform(), make_scheduler("gpu-baseline")).execute(call)
+    nano = jetson_nano_platform()
+    ws = SHMTRuntime(nano, make_scheduler("work-stealing")).execute(call)
+    prop = SHMTRuntime(nano, make_scheduler("proportional-stealing")).execute(call)
+    assert base.makespan / prop.makespan >= 0.97 * (base.makespan / ws.makespan)

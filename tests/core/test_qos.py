@@ -1,0 +1,75 @@
+"""Tests for the quality-budget (QoS) scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core.runtime import SHMTRuntime
+from repro.core.schedulers.base import make_scheduler
+from repro.core.schedulers.qos import QualityBudget
+from repro.devices.platform import gpu_only_platform, jetson_nano_platform
+from repro.metrics.mape import mape
+from repro.workloads.generator import generate
+
+
+@pytest.fixture(scope="module")
+def setting():
+    call = generate("sobel", size=(1024, 1024), seed=0)
+    reference = np.asarray(
+        call.spec.reference(call.data.astype(np.float64), call.resolve_context())
+    )
+    nano = jetson_nano_platform()
+    baseline = SHMTRuntime(gpu_only_platform(), make_scheduler("gpu-baseline")).execute(call)
+    return call, reference, nano, baseline
+
+
+def _run(setting, factor):
+    call, reference, nano, baseline = setting
+    report = SHMTRuntime(nano, QualityBudget(budget_factor=factor)).execute(call)
+    return {
+        "speedup": report.speedup_over(baseline),
+        "mape": mape(reference, report.output),
+        "pinned": report.plan_notes["pinned_fraction"],
+    }
+
+
+def test_registered():
+    scheduler = make_scheduler("quality-budget")
+    assert isinstance(scheduler, QualityBudget)
+
+
+def test_budget_factor_validation():
+    with pytest.raises(ValueError):
+        QualityBudget(budget_factor=0.5)
+
+
+def test_quality_monotone_in_budget(setting):
+    tight = _run(setting, 1.0)
+    loose = _run(setting, 1.5)
+    assert loose["pinned"] >= tight["pinned"]
+    assert loose["mape"] <= tight["mape"] * 1.05
+
+
+def test_speed_monotone_in_budget(setting):
+    tight = _run(setting, 1.0)
+    loose = _run(setting, 1.5)
+    assert tight["speedup"] >= loose["speedup"] * 0.95
+
+
+def test_unbounded_budget_pins_everything(setting):
+    result = _run(setting, 1000.0)
+    assert result["pinned"] == pytest.approx(1.0)
+    assert result["mape"] < 1e-3  # exact devices only
+
+
+def test_tight_budget_still_faster_than_baseline(setting):
+    result = _run(setting, 1.0)
+    assert result["speedup"] > 1.3
+
+
+def test_pins_the_most_critical_partitions_first(setting):
+    call, _reference, nano, _baseline = setting
+    report = SHMTRuntime(nano, QualityBudget(budget_factor=1.0)).execute(call)
+    pinned_scores = [h.criticality for h in report.hlops if h.pinned_exact]
+    free_scores = [h.criticality for h in report.hlops if not h.pinned_exact]
+    if pinned_scores and free_scores:
+        assert min(pinned_scores) >= max(free_scores) * 0.999

@@ -1,0 +1,73 @@
+"""Unit tests for criticality estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.quality import CriticalityEstimate, estimate_criticality
+
+
+def test_estimate_fields(rng):
+    values = np.array([-2.0, 0.0, 2.0])
+    est = estimate_criticality(values)
+    assert est.value_range == pytest.approx(4.0)
+    assert est.mean_abs == pytest.approx(4.0 / 3.0)
+    assert est.n_observations == 3
+
+
+def test_score_ranks_wide_above_narrow(rng):
+    narrow = estimate_criticality(rng.uniform(-1, 1, 1000))
+    wide = estimate_criticality(rng.uniform(-50, 50, 1000))
+    assert wide.score > narrow.score
+
+
+def test_score_ranks_spiky_above_smooth(rng):
+    smooth = rng.standard_normal(1000)
+    spiky = smooth.copy()
+    spiky[::50] *= 40.0
+    assert estimate_criticality(spiky).score > estimate_criticality(smooth).score
+
+
+def test_relative_int8_error_tracks_quantization():
+    """Estimated error ~ actual symmetric-INT8 round-trip relative error."""
+    rng = np.random.default_rng(0)
+    values = rng.uniform(-10, 10, 10_000)
+    est = estimate_criticality(values)
+    from repro.devices.precision import INT8, round_trip
+
+    actual = np.mean(
+        np.abs(round_trip(values.astype(np.float32), INT8) - values)
+        / (np.abs(values) + 1e-9)
+    )
+    # Same order of magnitude is all the scheduler needs.
+    assert est.relative_int8_error == pytest.approx(actual, rel=5.0)
+
+
+def test_relative_error_higher_for_heavy_tailed(rng):
+    compact = estimate_criticality(rng.uniform(0.9, 1.1, 1000))
+    heavy = estimate_criticality(
+        np.concatenate([rng.uniform(0.9, 1.1, 990), rng.uniform(90, 110, 10)])
+    )
+    assert heavy.relative_int8_error > 10 * compact.relative_int8_error
+
+
+def test_empty_input():
+    est = estimate_criticality(np.array([]))
+    assert est.score == 0.0
+    assert est.n_observations == 0
+
+
+def test_constant_input_zero_score():
+    est = estimate_criticality(np.full(100, 5.0))
+    assert est.score == 0.0
+    assert est.relative_int8_error == 0.0
+
+
+def test_multidimensional_input_flattened(rng):
+    data = rng.standard_normal((10, 10))
+    assert estimate_criticality(data).n_observations == 100
+
+
+def test_estimate_is_frozen():
+    est = CriticalityEstimate(1.0, 0.5, 0.7, 10)
+    with pytest.raises(AttributeError):
+        est.std = 2.0

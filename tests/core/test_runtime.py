@@ -1,0 +1,179 @@
+"""Integration-grade unit tests for the SHMT runtime."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import PartitionConfig
+from repro.core.runtime import RuntimeConfig, SHMTRuntime
+from repro.core.schedulers.base import make_scheduler
+from repro.core.vop import VOPCall
+from repro.devices.platform import gpu_only_platform, jetson_nano_platform
+from repro.kernels.registry import get_kernel
+from repro.workloads.generator import generate
+
+SMALL = RuntimeConfig(partition=PartitionConfig(target_partitions=16, page_bytes=1024))
+
+
+def _run(policy, call, platform=None, config=SMALL):
+    if platform is None:
+        platform = gpu_only_platform() if policy in ("gpu-baseline", "sw-pipelining") else jetson_nano_platform()
+    return SHMTRuntime(platform, make_scheduler(policy), config).execute(call)
+
+
+@pytest.fixture
+def sobel_call():
+    return generate("sobel", size=(128, 128), seed=1)
+
+
+def test_gpu_only_output_matches_fp32_reference(sobel_call):
+    """Exact devices + partitioning must reproduce the kernel bit-for-bit
+    at FP32 accuracy, proving partitioning itself adds no error."""
+    report = _run("gpu-baseline", sobel_call)
+    spec = sobel_call.spec
+    expected = spec.reference(
+        sobel_call.data.astype(np.float64), sobel_call.resolve_context()
+    )
+    np.testing.assert_allclose(report.output, expected, rtol=1e-4, atol=1e-3)
+
+
+def test_work_stealing_output_close_to_reference(sobel_call):
+    report = _run("work-stealing", sobel_call)
+    spec = sobel_call.spec
+    expected = spec.reference(
+        sobel_call.data.astype(np.float64), sobel_call.resolve_context()
+    )
+    # TPU partitions are approximate; error bounded but nonzero.
+    err = np.abs(report.output - expected).mean()
+    assert 0 < err < np.abs(expected).mean()
+
+
+def test_all_hlops_complete(sobel_call):
+    report = _run("work-stealing", sobel_call)
+    assert all(h.status.value == "done" for h in report.hlops)
+    assert all(h.device_name is not None for h in report.hlops)
+
+
+def test_work_items_partition_total(sobel_call):
+    report = _run("work-stealing", sobel_call)
+    assert sum(report.work_items.values()) == report.total_items == 128 * 128
+
+
+def test_stealing_happens_and_is_traced(sobel_call):
+    report = _run("work-stealing", sobel_call)
+    assert report.steal_count > 0
+    assert report.trace.count("steal:") > 0
+
+
+def test_even_distribution_never_steals(sobel_call):
+    report = _run("even-distribution", sobel_call)
+    assert report.steal_count == 0
+
+
+def test_baseline_is_slowest_reasonable_policy(sobel_call):
+    base = _run("gpu-baseline", sobel_call)
+    ws = _run("work-stealing", sobel_call)
+    # At this small size speedup is modest, but WS must not be absurdly off.
+    assert 0.3 < base.makespan / ws.makespan < 5.0
+
+
+def test_compute_spans_never_overlap_per_device(sobel_call):
+    report = _run("work-stealing", sobel_call)
+    for resource, spans in report.trace.spans_by_resource().items():
+        compute = sorted(
+            (s for s in spans if s.category == "compute"), key=lambda s: s.start
+        )
+        for a, b in zip(compute, compute[1:]):
+            assert b.start >= a.end - 1e-12, f"overlap on {resource}"
+
+
+def test_makespan_at_least_trace_extent(sobel_call):
+    report = _run("work-stealing", sobel_call)
+    assert report.makespan >= report.trace.makespan() - 1e-12
+
+
+def test_deterministic_given_seed(sobel_call):
+    a = _run("QAWS-TS", sobel_call)
+    b = _run("QAWS-TS", sobel_call)
+    assert a.makespan == b.makespan
+    np.testing.assert_array_equal(a.output, b.output)
+
+
+def test_reduction_kernel_merges_partials():
+    call = generate("histogram", size=32_768, seed=2)
+    report = _run("work-stealing", call)
+    assert report.output.shape == (256,)
+    assert report.output.sum() == pytest.approx(32_768, rel=0.01)
+
+
+def test_vector_kernel_output_shape():
+    call = generate("blackscholes", size=16_384, seed=3)
+    report = _run("work-stealing", call)
+    assert report.output.shape == (2, 16_384)
+
+
+def test_rows_kernel_output_shape():
+    call = generate("fft", size=(64, 128), seed=4)
+    report = _run("work-stealing", call)
+    assert report.output.shape == (64, 128)
+
+
+def test_multichannel_tile_kernel_output_shape():
+    call = generate("hotspot", size=(128, 128), seed=5)
+    report = _run("work-stealing", call)
+    assert report.output.shape == (128, 128)
+
+
+def test_pinned_hlops_never_run_on_tpu(sobel_call):
+    report = _run("QAWS-TS", sobel_call)
+    for hlop in report.hlops:
+        if hlop.pinned_exact:
+            assert not hlop.device_name.startswith("tpu")
+
+
+def test_oversized_partition_bounced_off_tpu():
+    """Partitions beyond the TPU's 8 MB device memory fall back to exact."""
+    call = generate("sobel", size=(2048, 2048), seed=6)
+    config = RuntimeConfig(partition=PartitionConfig(target_partitions=1))
+    report = SHMTRuntime(
+        jetson_nano_platform(), make_scheduler("work-stealing"), config
+    ).execute(call)
+    # One 16 MB partition: whoever ran it, it cannot have been the TPU.
+    for hlop in report.hlops:
+        assert not hlop.device_name.startswith("tpu")
+
+
+def test_sampling_cost_included_in_makespan(sobel_call):
+    ws = _run("work-stealing", sobel_call)
+    qaws = _run("QAWS-TR", sobel_call)  # reduction: the expensive sampler
+    assert qaws.sampling_seconds > 0
+    assert ws.sampling_seconds == 0
+
+
+def test_host_overhead_charged_for_shmt_not_baseline(sobel_call):
+    base = _run("gpu-baseline", sobel_call)
+    ws = _run("work-stealing", sobel_call)
+    assert base.dispatch_seconds == 0.0
+    assert ws.dispatch_seconds > 0.0
+
+
+def test_energy_breakdown_present(sobel_call):
+    report = _run("work-stealing", sobel_call)
+    assert report.energy.total_joules > 0
+    assert report.energy.duration == pytest.approx(report.makespan)
+
+
+def test_communication_overhead_bounded(sobel_call):
+    report = _run("work-stealing", sobel_call)
+    assert 0.0 <= report.communication_overhead < 0.5
+
+
+def test_speedup_over_self_is_one(sobel_call):
+    report = _run("work-stealing", sobel_call)
+    assert report.speedup_over(report) == pytest.approx(1.0)
+
+
+def test_summary_dict(sobel_call):
+    summary = _run("work-stealing", sobel_call).summary()
+    assert summary["kernel"] == "sobel"
+    assert summary["scheduler"] == "work-stealing"
+    assert summary["makespan_s"] > 0

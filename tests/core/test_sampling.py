@@ -1,0 +1,115 @@
+"""Unit tests for the QAWS samplers (Algorithms 3-5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import (
+    DEFAULT_SAMPLING_RATE,
+    ReductionSampler,
+    StridingSampler,
+    UniformSampler,
+    make_sampler,
+)
+
+
+@pytest.fixture
+def block(rng):
+    return rng.standard_normal(65536).astype(np.float32)
+
+
+def test_striding_sample_count(block, rng):
+    sampler = StridingSampler(rate=2.0**-9)
+    result = sampler.sample(block, rng)
+    assert result.n_samples == 128
+
+
+def test_striding_takes_evenly_spaced(rng):
+    data = np.arange(1000, dtype=np.float32)
+    sampler = StridingSampler(rate=0.01)
+    result = sampler.sample(data, rng)
+    diffs = np.diff(result.samples)
+    assert np.all(diffs == diffs[0])  # constant stride
+
+
+def test_uniform_sample_count(block, rng):
+    sampler = UniformSampler(rate=2.0**-9)
+    result = sampler.sample(block, rng)
+    assert result.n_samples == 128
+
+
+def test_uniform_samples_come_from_block(rng):
+    data = np.full(4096, 7.0, dtype=np.float32)
+    result = UniformSampler(rate=0.01).sample(data, rng)
+    assert np.all(result.samples == 7.0)
+
+
+def test_reduction_takes_denser_sample(block, rng):
+    reduction = ReductionSampler(rate=2.0**-9)
+    striding = StridingSampler(rate=2.0**-9)
+    assert (
+        reduction.sample(block, rng).n_samples
+        > 2 * striding.sample(block, rng).n_samples
+    )
+
+
+def test_reduction_2d_sweep(rng):
+    data = rng.standard_normal((256, 256)).astype(np.float32)
+    result = ReductionSampler(rate=2.0**-9).sample(data, rng)
+    assert result.samples.ndim == 1
+    assert result.n_samples > 100
+
+
+def test_cost_ordering_per_paper(block, rng):
+    """Reduction is the most expensive sampler, striding the cheapest."""
+    rate = 2.0**-9
+    costs = {
+        name: make_sampler(name, rate).sample(block, rng).host_seconds
+        for name in ("striding", "uniform", "reduction")
+    }
+    assert costs["striding"] < costs["uniform"] < costs["reduction"]
+
+
+def test_cost_grows_with_rate(block, rng):
+    low = StridingSampler(rate=2.0**-12).sample(block, rng).host_seconds
+    high = StridingSampler(rate=2.0**-6).sample(block, rng).host_seconds
+    assert high > low
+
+
+def test_make_sampler_by_code_letter():
+    assert make_sampler("S").name == "striding"
+    assert make_sampler("U").name == "uniform"
+    assert make_sampler("R").name == "reduction"
+
+
+def test_make_sampler_by_full_name():
+    assert isinstance(make_sampler("reduction"), ReductionSampler)
+
+
+def test_make_sampler_unknown():
+    with pytest.raises(KeyError):
+        make_sampler("sobol")
+
+
+def test_invalid_rate_rejected():
+    with pytest.raises(ValueError):
+        StridingSampler(rate=0.0)
+    with pytest.raises(ValueError):
+        StridingSampler(rate=1.5)
+
+
+def test_minimum_two_samples(rng):
+    """Even absurdly low rates keep >= 2 samples (range needs two points)."""
+    data = rng.standard_normal(100).astype(np.float32)
+    result = StridingSampler(rate=1e-9).sample(data, rng)
+    assert result.n_samples >= 2
+
+
+def test_default_rate_has_enough_samples_per_partition():
+    sampler = StridingSampler(rate=DEFAULT_SAMPLING_RATE)
+    assert sampler.target_count(256 * 256) >= 64
+
+
+def test_sample_never_exceeds_block(rng):
+    data = rng.standard_normal(10).astype(np.float32)
+    result = UniformSampler(rate=1.0).sample(data, rng)
+    assert result.n_samples <= 10

@@ -1,0 +1,206 @@
+"""Unit tests for scheduling policies: plans and steal rules."""
+
+import numpy as np
+import pytest
+
+from repro.core.hlop import HLOP
+from repro.core.partition import PartitionConfig, plan_partitions
+from repro.core.schedulers.base import PlanContext, make_scheduler, scheduler_names
+from repro.core.schedulers.qaws import QAWS
+from repro.devices.cpu import CPUDevice
+from repro.devices.edgetpu import EdgeTPUDevice
+from repro.devices.gpu import GPUDevice
+from repro.devices.perf_model import calibration_for
+from repro.kernels.registry import get_kernel
+
+
+def _context(kernel="sobel", data=None, devices=None, seed=0):
+    spec = get_kernel(kernel)
+    if data is None:
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((128, 128)).astype(np.float32)
+        # Make the first tiles clearly critical.
+        data[:32, :32] *= 50.0
+    if devices is None:
+        devices = [CPUDevice(), GPUDevice(), EdgeTPUDevice()]
+    partitions = plan_partitions(spec, data.shape, PartitionConfig(target_partitions=16))
+    return PlanContext(
+        spec=spec,
+        calibration=calibration_for(kernel),
+        partitions=partitions,
+        block_for=lambda idx: data[partitions[idx].in_slices],
+        devices=devices,
+        rng=np.random.default_rng(seed),
+        total_items=sum(p.n_items for p in partitions),
+    )
+
+
+def _hlop(max_rank=None):
+    from repro.core.partition import Partition
+
+    return HLOP(
+        hlop_id=0,
+        opcode="x",
+        partition=Partition(0, 100, (slice(0, 100),), (slice(0, 100),)),
+        max_accuracy_rank=max_rank,
+    )
+
+
+def test_all_expected_policies_registered():
+    names = set(scheduler_names())
+    expected = {
+        "gpu-baseline", "even-distribution", "edge-tpu-only", "work-stealing",
+        "sw-pipelining", "IRA-sampling", "oracle",
+        "QAWS-TS", "QAWS-TU", "QAWS-TR", "QAWS-LS", "QAWS-LU", "QAWS-LR",
+    }
+    assert expected <= names
+
+
+def test_unknown_scheduler_raises():
+    with pytest.raises(KeyError):
+        make_scheduler("round-robin-9000")
+
+
+def test_gpu_baseline_puts_everything_on_gpu():
+    scheduler = make_scheduler("gpu-baseline")
+    ctx = _context(devices=[GPUDevice()])
+    plan = scheduler.plan(ctx)
+    assert set(plan.assignment) == {"gpu0"}
+    assert not scheduler.overlap_transfers
+    assert not scheduler.charges_runtime_overhead
+
+
+def test_even_distribution_splits_gpu_tpu_evenly():
+    scheduler = make_scheduler("even-distribution")
+    devices = scheduler.participating([CPUDevice(), GPUDevice(), EdgeTPUDevice()])
+    assert {d.device_class for d in devices} == {"gpu", "tpu"}
+    ctx = _context(devices=devices)
+    plan = scheduler.plan(ctx)
+    counts = {name: plan.assignment.count(name) for name in set(plan.assignment)}
+    assert abs(counts["gpu0"] - counts["tpu0"]) <= 1
+
+
+def test_work_stealing_round_robins_all_devices():
+    scheduler = make_scheduler("work-stealing")
+    ctx = _context()
+    plan = scheduler.plan(ctx)
+    assert set(plan.assignment) == {"cpu0", "gpu0", "tpu0"}
+
+
+def test_work_stealing_allows_any_legal_steal():
+    scheduler = make_scheduler("work-stealing")
+    assert scheduler.can_steal(EdgeTPUDevice(), GPUDevice(), _hlop())
+    assert not scheduler.can_steal(EdgeTPUDevice(), GPUDevice(), _hlop(max_rank=0))
+
+
+def test_qaws_topk_pins_expected_fraction():
+    scheduler = QAWS(policy="topk", top_k_fraction=0.25, window=16)
+    ctx = _context()
+    plan = scheduler.plan(ctx)
+    pinned = sum(1 for r in plan.max_accuracy_ranks if r == 0)
+    assert pinned == pytest.approx(0.25 * len(plan.assignment), abs=2)
+
+
+def test_qaws_topk_pins_the_critical_partitions():
+    """The widened tiles (first block) must end up pinned to the GPU."""
+    scheduler = QAWS(policy="topk", top_k_fraction=0.25, window=16)
+    ctx = _context()
+    plan = scheduler.plan(ctx)
+    scores = plan.criticalities
+    pinned_scores = [s for s, r in zip(scores, plan.max_accuracy_ranks) if r == 0]
+    free_scores = [s for s, r in zip(scores, plan.max_accuracy_ranks) if r is None]
+    assert min(pinned_scores) >= max(free_scores) * 0.5  # windowed, not global
+
+
+def test_qaws_charges_sampling_cost():
+    plan = QAWS(policy="topk").plan(_context())
+    assert plan.sampling_seconds > 0
+
+
+def test_qaws_steal_direction_constraint():
+    scheduler = QAWS(policy="topk")
+    gpu, cpu, tpu = GPUDevice(), CPUDevice(), EdgeTPUDevice()
+    assert scheduler.can_steal(gpu, tpu, _hlop())  # accurate from lax: OK
+    assert not scheduler.can_steal(tpu, gpu, _hlop())  # lax from accurate: NO
+    assert scheduler.can_steal(gpu, cpu, _hlop())  # same rank: OK
+
+
+def test_qaws_limit_policy_routes_by_estimated_error():
+    # Test partitions hold only 1024 elements, so sample at a high rate to
+    # get a usable criticality estimate (the production default assumes
+    # 256x256 partitions).
+    scheduler = QAWS(policy="limit", tpu_error_limit=0.012, sampling_rate=2.0**-4)
+    ctx = _context()
+    plan = scheduler.plan(ctx)
+    assert "tpu0" in plan.assignment  # compact partitions go to the TPU
+    assert "gpu0" in plan.assignment  # wide partitions stay exact
+
+
+def test_qaws_limit_stricter_limit_pins_more():
+    ctx = _context()
+    lax = QAWS(policy="limit", tpu_error_limit=1.0).plan(ctx)
+    strict = QAWS(policy="limit", tpu_error_limit=1e-9).plan(_context())
+    assert strict.assignment.count("gpu0") > lax.assignment.count("gpu0")
+
+
+def test_qaws_invalid_parameters():
+    with pytest.raises(ValueError):
+        QAWS(policy="banana")
+    with pytest.raises(ValueError):
+        QAWS(top_k_fraction=1.5)
+    with pytest.raises(ValueError):
+        QAWS(window=0)
+
+
+def test_qaws_name_codes():
+    assert QAWS(policy="topk", sampler="striding").name == "QAWS-TS"
+    assert QAWS(policy="limit", sampler="reduction").name == "QAWS-LR"
+    assert QAWS(policy="topk", sampler="uniform").name == "QAWS-TU"
+
+
+def test_oracle_pins_exactly_global_top_k():
+    scheduler = make_scheduler("oracle")
+    ctx = _context()
+    plan = scheduler.plan(ctx)
+    n = len(plan.assignment)
+    pinned_ids = [i for i, r in enumerate(plan.max_accuracy_ranks) if r == 0]
+    by_true_score = sorted(range(n), key=lambda i: plan.criticalities[i], reverse=True)
+    assert set(pinned_ids) == set(by_true_score[: len(pinned_ids)])
+    assert plan.sampling_seconds == 0.0  # the oracle is free
+
+
+def test_ira_charges_calibrated_overhead():
+    scheduler = make_scheduler("IRA-sampling")
+    ctx = _context()
+    plan = scheduler.plan(ctx)
+    cal = calibration_for("sobel")
+    expected = cal.ira_overhead_fraction * cal.baseline_time(ctx.total_items)
+    assert plan.extra_host_seconds == pytest.approx(expected)
+
+
+def test_ira_pins_high_error_partitions():
+    scheduler = make_scheduler("IRA-sampling")
+    plan = scheduler.plan(_context())
+    pinned = [i for i, r in enumerate(plan.max_accuracy_ranks) if r == 0]
+    assert pinned  # the widened tiles should fail the canary check
+
+
+def test_participating_filters_classes():
+    scheduler = make_scheduler("sw-pipelining")
+    devices = scheduler.participating([CPUDevice(), GPUDevice(), EdgeTPUDevice()])
+    assert [d.device_class for d in devices] == ["gpu"]
+
+
+def test_participating_raises_when_no_match():
+    scheduler = make_scheduler("sw-pipelining")
+    with pytest.raises(ValueError):
+        scheduler.participating([CPUDevice()])
+
+
+def test_plan_context_device_helpers():
+    ctx = _context()
+    assert ctx.most_accurate_device().device_class == "gpu"
+    assert ctx.least_accurate_device().device_class == "tpu"
+    assert ctx.device_named("cpu0").device_class == "cpu"
+    with pytest.raises(KeyError):
+        ctx.device_named("npu7")

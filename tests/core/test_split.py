@@ -1,0 +1,123 @@
+"""Unit tests for HLOP re-partitioning (paper section 3.4 granularity adaptation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import PartitionConfig, plan_partitions, split_partition
+from repro.core.runtime import RuntimeConfig, SHMTRuntime
+from repro.core.schedulers.base import make_scheduler
+from repro.devices.platform import jetson_nano_platform
+from repro.kernels.registry import get_kernel
+from repro.metrics.mape import mape
+from repro.workloads.generator import generate
+
+CONFIG = PartitionConfig(target_partitions=4, page_bytes=1024)
+
+
+def _single_partition(kernel, shape):
+    spec = get_kernel(kernel)
+    return spec, plan_partitions(spec, shape, PartitionConfig(target_partitions=1))[0]
+
+
+def test_vector_split_is_page_aligned():
+    spec, partition = _single_partition("relu", (10_000,))
+    left, right = split_partition(spec, partition, 0.3, CONFIG)
+    assert left.n_items + right.n_items == partition.n_items
+    assert left.n_items % CONFIG.min_vector_elements == 0
+    assert left.out_slices[0].stop == right.out_slices[0].start
+
+
+def test_vector_split_fraction_respected():
+    spec, partition = _single_partition("relu", (100_000,))
+    left, right = split_partition(spec, partition, 0.25, CONFIG)
+    assert left.n_items == pytest.approx(25_000, abs=CONFIG.min_vector_elements)
+
+
+def test_vector_split_too_small_returns_none():
+    spec, partition = _single_partition("relu", (300,))
+    assert split_partition(spec, partition, 0.5, CONFIG) is None
+
+
+def test_rows_split_covers_rows():
+    spec, partition = _single_partition("fft", (64, 256))
+    left, right = split_partition(spec, partition, 0.5, CONFIG)
+    assert left.out_slices[0] == slice(0, 32)
+    assert right.out_slices[0] == slice(32, 64)
+    assert left.n_items + right.n_items == 64 * 256
+
+
+def test_tile_split_keeps_halo():
+    spec, partition = _single_partition("sobel", (64, 64))
+    left, right = split_partition(spec, partition, 0.5, CONFIG)
+    for child in (left, right):
+        in_rows = child.in_slices[0].stop - child.in_slices[0].start
+        out_rows = child.out_slices[0].stop - child.out_slices[0].start
+        assert in_rows == out_rows + 2 * spec.halo
+
+
+def test_tile_split_respects_multiple():
+    spec, partition = _single_partition("dwt", (256, 128))
+    left, right = split_partition(spec, partition, 0.4, CONFIG)
+    assert (left.out_slices[0].stop - left.out_slices[0].start) % 64 == 0
+    assert (right.out_slices[0].stop - right.out_slices[0].start) % 64 == 0
+
+
+def test_tile_split_impossible_when_multiple_blocks():
+    spec, partition = _single_partition("dwt", (64, 128))  # one block row
+    assert split_partition(spec, partition, 0.5, CONFIG) is None
+
+
+def test_invalid_fraction_rejected():
+    spec, partition = _single_partition("relu", (10_000,))
+    with pytest.raises(ValueError):
+        split_partition(spec, partition, 1.0, CONFIG)
+
+
+def test_split_children_recompute_correctly():
+    """Numerics through split partitions equal the unsplit computation."""
+    from repro.kernels.common import replicate_pad
+
+    spec, partition = _single_partition("sobel", (64, 64))
+    rng = np.random.default_rng(0)
+    image = rng.standard_normal((64, 64)).astype(np.float32)
+    padded = replicate_pad(image, spec.halo)
+    whole = spec.compute(partition.input_block(padded), None)
+    left, right = split_partition(spec, partition, 0.5, CONFIG)
+    out = np.empty((64, 64), dtype=np.float32)
+    for child in (left, right):
+        out[child.out_slices] = spec.compute(child.input_block(padded), None)
+    np.testing.assert_allclose(out, whole, rtol=1e-5)
+
+
+def test_runtime_split_on_steal_end_to_end():
+    """With split-on-steal enabled the run completes, output stays correct,
+    and the endgame is never slower."""
+    call = generate("srad", size=(512, 512), seed=1)
+    spec = call.spec
+    reference = spec.reference(call.data.astype(np.float64), call.resolve_context())
+    results = {}
+    for split in (False, True):
+        config = RuntimeConfig(
+            partition=PartitionConfig(target_partitions=8), split_on_steal=split
+        )
+        runtime = SHMTRuntime(
+            jetson_nano_platform(), make_scheduler("work-stealing"), config
+        )
+        report = runtime.execute(call)
+        assert mape(reference, report.output) < 0.2
+        assert sum(report.work_items.values()) == report.total_items
+        results[split] = report.makespan
+    assert results[True] <= results[False] * 1.02
+
+
+def test_split_marker_traced_when_it_happens():
+    call = generate("srad", size=(512, 512), seed=1)
+    config = RuntimeConfig(
+        partition=PartitionConfig(target_partitions=4), split_on_steal=True
+    )
+    report = SHMTRuntime(
+        jetson_nano_platform(), make_scheduler("work-stealing"), config
+    ).execute(call)
+    # With only ~4 coarse partitions on 3 devices, at least one endgame
+    # steal should have split.
+    assert report.trace.count("split-steal:") >= 1

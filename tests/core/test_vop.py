@@ -1,0 +1,83 @@
+"""Unit tests for VOP definitions and VOPCall."""
+
+import numpy as np
+import pytest
+
+from repro.core.vop import VOP_TABLE, VOPCall, kernel_for_vop, vop_catalog
+
+
+def test_catalog_covers_table1():
+    catalog = vop_catalog()
+    for opcode in (
+        "add", "log", "relu", "reduce_hist256", "DCT8x8", "FDWT97",
+        "FFT", "GEMM", "Sobel", "SRAD", "parabolic_PDE", "stencil",
+    ):
+        assert opcode in catalog
+
+
+def test_table_groups_by_parallel_model():
+    assert "add" in VOP_TABLE["vector"]
+    assert "GEMM" in VOP_TABLE["tiling"]
+
+
+def test_kernel_for_vop_resolves():
+    assert kernel_for_vop("Sobel").name == "sobel"
+    assert kernel_for_vop("parabolic_PDE").name == "hotspot"
+    assert kernel_for_vop("conv").name == "stencil"  # alias
+
+
+def test_kernel_for_vop_unknown():
+    with pytest.raises(KeyError):
+        kernel_for_vop("ray_trace")
+
+
+def test_vopcall_coerces_to_float32():
+    call = VOPCall("Sobel", np.zeros((64, 64), dtype=np.float64))
+    assert call.data.dtype == np.float32
+    assert call.data.flags["C_CONTIGUOUS"]
+
+
+def test_vopcall_default_label():
+    call = VOPCall("Sobel", np.zeros((64, 64)))
+    assert call.label == "Sobel"
+
+
+def test_vopcall_spec_resolves_opcode_or_kernel_name():
+    by_opcode = VOPCall("Mean_Filter", np.zeros((64, 64)))
+    by_kernel = VOPCall("mean_filter", np.zeros((64, 64)))
+    assert by_opcode.spec is by_kernel.spec
+
+
+def test_vopcall_context_override(rng):
+    from repro.kernels.elementwise import GemmContext
+
+    b = rng.standard_normal((8, 4)).astype(np.float32)
+    call = VOPCall("GEMM", rng.standard_normal((4, 8)), context=GemmContext(rhs=b))
+    assert call.resolve_context().rhs is b
+
+
+def test_vopcall_default_context_built_from_input(rng):
+    data = rng.uniform(0, 10, 1000)
+    call = VOPCall("reduce_hist256", data)
+    ctx = call.resolve_context()
+    assert ctx.low == pytest.approx(call.data.min())
+    assert ctx.high == pytest.approx(call.data.max())
+
+
+def test_vopcall_rejects_nan_input():
+    data = np.ones((64, 64), dtype=np.float32)
+    data[3, 3] = np.nan
+    with pytest.raises(ValueError, match="NaN"):
+        VOPCall("Sobel", data)
+
+
+def test_vopcall_rejects_infinite_input():
+    data = np.ones((64, 64), dtype=np.float32)
+    data[0, 0] = np.inf
+    with pytest.raises(ValueError, match="infinity|NaN"):
+        VOPCall("Sobel", data)
+
+
+def test_vopcall_rejects_empty_input():
+    with pytest.raises(ValueError, match="empty"):
+        VOPCall("Sobel", np.zeros((0, 0)))

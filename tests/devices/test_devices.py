@@ -1,0 +1,94 @@
+"""Unit tests for device behaviour and platform assembly."""
+
+import numpy as np
+import pytest
+
+from repro.devices.cpu import CPUDevice
+from repro.devices.edgetpu import EdgeTPUDevice
+from repro.devices.gpu import GPUDevice
+from repro.devices.perf_model import CALIBRATION
+from repro.devices.platform import (
+    Platform,
+    gpu_only_platform,
+    gpu_tpu_platform,
+    jetson_nano_platform,
+)
+
+
+def _double(block, _ctx):
+    return block * 2.0
+
+
+def test_exact_devices_compute_exactly():
+    data = np.linspace(-1, 1, 100, dtype=np.float32)
+    for device in (CPUDevice(), GPUDevice()):
+        out = device.execute_numeric(_double, data, None)
+        np.testing.assert_allclose(out, data * 2.0, rtol=1e-6)
+
+
+def test_tpu_output_is_approximate():
+    data = np.linspace(-1, 1, 1000, dtype=np.float32)
+    out = EdgeTPUDevice().execute_numeric(_double, data, None, seed=7)
+    assert not np.array_equal(out, data * 2.0)
+    assert np.max(np.abs(out - data * 2.0)) < 0.1  # but close
+
+
+def test_tpu_deterministic_per_seed():
+    data = np.random.default_rng(0).standard_normal(500).astype(np.float32)
+    tpu = EdgeTPUDevice()
+    a = tpu.execute_numeric(_double, data, None, error_scale=0.05, seed=1)
+    b = tpu.execute_numeric(_double, data, None, error_scale=0.05, seed=1)
+    c = tpu.execute_numeric(_double, data, None, error_scale=0.05, seed=2)
+    np.testing.assert_array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_service_time_ordering():
+    """GPU fastest, CPU slowest on a GPU-friendly kernel."""
+    cal = CALIBRATION["sobel"]  # r = 0.71 < 1
+    n = 100_000
+    gpu = GPUDevice().service_time(cal, n)
+    tpu = EdgeTPUDevice().service_time(cal, n)
+    cpu = CPUDevice().service_time(cal, n)
+    assert gpu < tpu < cpu
+
+
+def test_service_time_includes_launch_latency():
+    cal = CALIBRATION["sobel"]
+    tpu = EdgeTPUDevice()
+    assert tpu.service_time(cal, 0) == pytest.approx(tpu.launch_latency)
+
+
+def test_accuracy_ranks():
+    assert GPUDevice().accuracy_rank == 0
+    assert CPUDevice().accuracy_rank == 0
+    assert EdgeTPUDevice().accuracy_rank == 2  # below the DSP's 1
+
+
+def test_platform_lookup():
+    platform = jetson_nano_platform()
+    assert platform.device("gpu0").device_class == "gpu"
+    assert {d.device_class for d in platform.devices} == {"cpu", "gpu", "tpu"}
+    with pytest.raises(KeyError):
+        platform.device("dsp0")
+
+
+def test_platform_of_class():
+    platform = jetson_nano_platform()
+    assert len(platform.of_class("tpu")) == 1
+    assert platform.first_of_class("dsp") is None
+
+
+def test_platform_rejects_duplicate_names():
+    with pytest.raises(ValueError):
+        Platform(devices=[GPUDevice("x"), CPUDevice("x")])
+
+
+def test_prebuilt_platforms():
+    assert len(gpu_only_platform().devices) == 1
+    assert len(gpu_tpu_platform().devices) == 2
+    assert gpu_tpu_platform().most_accurate_rank == 0
+
+
+def test_tpu_device_memory_advertised():
+    assert EdgeTPUDevice().device_memory_bytes == 8 * 1024 * 1024

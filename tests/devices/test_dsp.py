@@ -1,0 +1,122 @@
+"""Unit tests for the DSP device extension (paper section 2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.devices.dsp import DSPDevice
+from repro.devices.edgetpu import EdgeTPUDevice
+from repro.devices.gpu import GPUDevice
+from repro.devices.perf_model import CALIBRATION
+from repro.devices.platform import dsp_extended_platform
+
+
+def _double(block, _ctx):
+    return block * 2.0
+
+
+def test_dsp_sits_between_exact_and_tpu_in_accuracy():
+    assert GPUDevice().accuracy_rank < DSPDevice().accuracy_rank < EdgeTPUDevice().accuracy_rank
+
+
+def test_dsp_numeric_path_is_fp16(rng):
+    data = rng.uniform(-1, 1, 1000).astype(np.float32)
+    out = DSPDevice().execute_numeric(_double, data, None)
+    exact = data * 2.0
+    err = np.abs(out - exact).max()
+    assert 0 < err < 1e-2  # fp16 rounding: small but nonzero
+
+
+def test_dsp_much_more_accurate_than_tpu(rng):
+    data = rng.uniform(-100, 100, 4096).astype(np.float32)
+    exact = data * 2.0
+    dsp_err = np.abs(DSPDevice().execute_numeric(_double, data, None) - exact).mean()
+    tpu_err = np.abs(
+        EdgeTPUDevice().execute_numeric(_double, data, None, seed=1) - exact
+    ).mean()
+    assert dsp_err < tpu_err / 5
+
+
+def test_dsp_service_time_uses_rate_multiplier():
+    cal = CALIBRATION["sobel"]
+    dsp = DSPDevice()
+    expected = dsp.launch_latency + cal.gpu_compute_time(10_000) / dsp.rate_multiplier
+    assert dsp.service_time(cal, 10_000) == pytest.approx(expected)
+
+
+def test_dsp_deterministic(rng):
+    data = rng.standard_normal(512).astype(np.float32)
+    dsp = DSPDevice()
+    a = dsp.execute_numeric(_double, data, None, seed=1)
+    b = dsp.execute_numeric(_double, data, None, seed=99)
+    np.testing.assert_array_equal(a, b)  # no stochastic residual
+
+
+def test_extended_platform_has_three_accuracy_tiers():
+    platform = dsp_extended_platform()
+    ranks = sorted({d.accuracy_rank for d in platform.devices})
+    assert ranks == [0, 1, 2]
+
+
+def test_extended_platform_end_to_end(rng):
+    """The full stack accepts a four-device platform unchanged."""
+    from repro.core.partition import PartitionConfig
+    from repro.core.runtime import RuntimeConfig, SHMTRuntime
+    from repro.core.schedulers.base import make_scheduler
+    from repro.workloads.generator import generate
+
+    call = generate("sobel", size=(128, 128), seed=2)
+    config = RuntimeConfig(partition=PartitionConfig(target_partitions=16, page_bytes=1024))
+    report = SHMTRuntime(
+        dsp_extended_platform(), make_scheduler("work-stealing"), config
+    ).execute(call)
+    assert set(report.work_items) <= {"cpu", "gpu", "dsp", "tpu"}
+    assert report.work_items.get("dsp", 0) > 0  # the DSP really contributes
+    assert np.all(np.isfinite(report.output))
+
+
+def test_tiered_top_k_uses_the_middle_class(rng):
+    """Paper section 3.5: top-K% to most accurate, second-L% to the DSP."""
+    from repro.core.partition import PartitionConfig
+    from repro.core.runtime import RuntimeConfig, SHMTRuntime
+    from repro.core.schedulers.qaws import QAWS
+    from repro.workloads.generator import generate
+
+    call = generate("sobel", size=(256, 256), seed=4)
+    config = RuntimeConfig(partition=PartitionConfig(target_partitions=16, page_bytes=1024))
+    scheduler = QAWS(
+        policy="topk",
+        top_k_fraction=0.25,
+        second_fraction=0.25,
+        sampling_rate=2.0**-6,
+    )
+    report = SHMTRuntime(dsp_extended_platform(), scheduler, config).execute(call)
+    ranks = [h.max_accuracy_rank for h in report.hlops]
+    assert ranks.count(0) == 4  # top-K pinned exact
+    assert ranks.count(1) == 4  # second-L allowed up to the DSP
+    assert ranks.count(None) == 8
+    # Rank-1 HLOPs must never have executed on the TPU.
+    for hlop in report.hlops:
+        if hlop.max_accuracy_rank == 1:
+            assert not hlop.device_name.startswith("tpu")
+
+
+def test_second_fraction_validation():
+    from repro.core.schedulers.qaws import QAWS
+
+    with pytest.raises(ValueError):
+        QAWS(top_k_fraction=0.5, second_fraction=0.6)
+
+
+def test_second_fraction_ignored_on_two_tier_platform(rng):
+    """On the paper's prototype (no DSP) second-L% silently collapses."""
+    from repro.core.partition import PartitionConfig
+    from repro.core.runtime import RuntimeConfig, SHMTRuntime
+    from repro.core.schedulers.qaws import QAWS
+    from repro.devices.platform import jetson_nano_platform
+    from repro.workloads.generator import generate
+
+    call = generate("sobel", size=(128, 128), seed=5)
+    config = RuntimeConfig(partition=PartitionConfig(target_partitions=16, page_bytes=1024))
+    scheduler = QAWS(policy="topk", second_fraction=0.25)
+    report = SHMTRuntime(jetson_nano_platform(), scheduler, config).execute(call)
+    assert all(h.max_accuracy_rank in (0, None) for h in report.hlops)

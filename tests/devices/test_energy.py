@@ -1,0 +1,78 @@
+"""Unit tests for the energy model."""
+
+import pytest
+
+from repro.devices.energy import (
+    CPU_ACTIVE_WATTS,
+    GPU_ACTIVE_WATTS,
+    PLATFORM_IDLE_WATTS,
+    TPU_ACTIVE_WATTS,
+    EnergyModel,
+)
+from repro.sim.trace import Trace
+
+
+def test_power_levels_match_paper_section_5_5():
+    assert PLATFORM_IDLE_WATTS == pytest.approx(3.02)
+    # GPU baseline peak 4.67 W; SHMT (GPU + TPU) peak 5.23 W.
+    assert PLATFORM_IDLE_WATTS + GPU_ACTIVE_WATTS == pytest.approx(4.67)
+    assert PLATFORM_IDLE_WATTS + GPU_ACTIVE_WATTS + TPU_ACTIVE_WATTS == pytest.approx(5.23)
+
+
+def _trace(gpu_busy=2.0, tpu_busy=0.0, cpu_busy=0.0, end=4.0):
+    trace = Trace()
+    if gpu_busy:
+        trace.add_span("gpu0", 0.0, gpu_busy, "hlop", "compute")
+    if tpu_busy:
+        trace.add_span("tpu0", 0.0, tpu_busy, "hlop", "compute")
+    if cpu_busy:
+        trace.add_span("cpu0", 0.0, cpu_busy, "hlop", "compute")
+    trace.add_span("host", end - 0.01, end, "aggregation", "host")
+    return trace
+
+
+def test_idle_energy_integrates_over_duration():
+    breakdown = EnergyModel().measure(_trace(gpu_busy=0.0), duration=10.0)
+    assert breakdown.idle_joules == pytest.approx(10.0 * PLATFORM_IDLE_WATTS)
+    assert breakdown.active_joules == 0.0
+
+
+def test_active_energy_per_device_class():
+    breakdown = EnergyModel().measure(_trace(gpu_busy=2.0, tpu_busy=1.0, cpu_busy=0.5))
+    assert breakdown.per_device_active["gpu"] == pytest.approx(2.0 * GPU_ACTIVE_WATTS)
+    assert breakdown.per_device_active["tpu"] == pytest.approx(1.0 * TPU_ACTIVE_WATTS)
+    assert breakdown.per_device_active["cpu"] == pytest.approx(0.5 * CPU_ACTIVE_WATTS)
+
+
+def test_transfer_spans_do_not_burn_active_power():
+    trace = Trace()
+    trace.add_span("gpu0", 0.0, 1.0, "xfer", "transfer")
+    breakdown = EnergyModel().measure(trace, duration=1.0)
+    assert breakdown.active_joules == 0.0
+
+
+def test_total_and_edp():
+    breakdown = EnergyModel().measure(_trace(gpu_busy=2.0), duration=4.0)
+    expected_total = 2.0 * GPU_ACTIVE_WATTS + 4.0 * PLATFORM_IDLE_WATTS
+    assert breakdown.total_joules == pytest.approx(expected_total)
+    assert breakdown.edp == pytest.approx(expected_total * 4.0)
+
+
+def test_peak_watts_counts_engaged_devices():
+    gpu_only = EnergyModel().measure(_trace(gpu_busy=1.0))
+    both = EnergyModel().measure(_trace(gpu_busy=1.0, tpu_busy=1.0))
+    assert gpu_only.peak_watts() == pytest.approx(4.67)
+    assert both.peak_watts() == pytest.approx(5.23)
+
+
+def test_duration_defaults_to_makespan():
+    trace = _trace(gpu_busy=2.0, end=3.0)
+    breakdown = EnergyModel().measure(trace)
+    assert breakdown.duration == pytest.approx(3.0)
+
+
+def test_custom_power_table():
+    model = EnergyModel(idle_watts=1.0, active_watts={"gpu": 10.0})
+    breakdown = model.measure(_trace(gpu_busy=1.0, tpu_busy=1.0), duration=2.0)
+    assert breakdown.active_joules == pytest.approx(10.0)  # tpu not in table
+    assert breakdown.idle_joules == pytest.approx(2.0)

@@ -1,0 +1,61 @@
+"""Unit tests for the interconnect transfer model."""
+
+import pytest
+
+from repro.devices.interconnect import Interconnect, LinkConfig
+from repro.devices.perf_model import CALIBRATION
+
+
+@pytest.fixture
+def link():
+    return Interconnect()
+
+
+def test_transfer_time_linear_in_elements(link):
+    cal = CALIBRATION["sobel"]
+    one = link.transfer_time(cal, "gpu", 1000)
+    two = link.transfer_time(cal, "gpu", 2000)
+    assert two == pytest.approx(2 * one)
+
+
+def test_cpu_moves_nothing(link):
+    cal = CALIBRATION["sobel"]
+    assert link.transfer_time(cal, "cpu", 10_000) == 0.0
+
+
+def test_tpu_moves_quantized_payload(link):
+    """INT8 payload = a quarter of the float32 bytes."""
+    cal = CALIBRATION["sobel"]
+    gpu = link.transfer_time(cal, "gpu", 4096)
+    tpu = link.transfer_time(cal, "tpu", 4096)
+    assert tpu == pytest.approx(gpu / 4)
+
+
+def test_unknown_device_class_rejected(link):
+    with pytest.raises(KeyError):
+        link.multiplier("npu")
+
+
+def test_dsp_moves_half_precision_payload(link):
+    cal = CALIBRATION["sobel"]
+    assert link.transfer_time(cal, "dsp", 4096) == pytest.approx(
+        link.transfer_time(cal, "gpu", 4096) / 2
+    )
+
+
+def test_custom_link_config():
+    slow_tpu = Interconnect(LinkConfig(tpu=2.0))
+    cal = CALIBRATION["fft"]
+    assert slow_tpu.transfer_time(cal, "tpu", 100) == pytest.approx(
+        2.0 * cal.transfer_time_per_element() * 100
+    )
+
+
+def test_transfer_consistent_with_calibrated_alpha(link):
+    """Total baseline transfer time equals alpha/(1-alpha) of compute time."""
+    cal = CALIBRATION["fft"]
+    n = 1_000_000
+    transfer = link.transfer_time(cal, "gpu", n)
+    compute = cal.gpu_compute_time(n)
+    alpha = cal.transfer_fraction
+    assert transfer / compute == pytest.approx(alpha / (1 - alpha))

@@ -1,0 +1,66 @@
+"""Unit tests for the memory-footprint accounting model."""
+
+import pytest
+
+from repro.devices.memory import (
+    INT8_RATIO,
+    STAGING_FACTOR,
+    baseline_footprint,
+    footprint_report,
+    shmt_footprint,
+)
+from repro.devices.perf_model import CALIBRATION, generic_calibration
+
+
+def test_baseline_includes_intermediates():
+    cal = generic_calibration("k", )
+    assert baseline_footprint(cal, 100.0, 50.0) == pytest.approx(100 + 50 + 100 * cal.gpu_intermediate_factor)
+
+
+def test_shmt_all_gpu_adds_staging_only():
+    cal = generic_calibration("k")
+    base = baseline_footprint(cal, 100.0, 50.0)
+    shmt = shmt_footprint(cal, 100.0, 50.0, {"gpu": 1.0})
+    assert shmt == pytest.approx(base + STAGING_FACTOR * 100.0)
+
+
+def test_tpu_share_trades_scratch_for_quantized_buffers():
+    cal = generic_calibration("k")  # intermediate factor 1.0
+    all_gpu = shmt_footprint(cal, 100.0, 50.0, {"gpu": 1.0})
+    half_tpu = shmt_footprint(cal, 100.0, 50.0, {"gpu": 0.5, "tpu": 0.5})
+    # Half the scratch (50) replaced by quarter-size INT8 copies (12.5).
+    assert half_tpu == pytest.approx(all_gpu - 50.0 + INT8_RATIO * 0.5 * 100.0)
+
+
+def test_sobel_like_kernel_shrinks_under_tpu_offload():
+    """Big-scratch kernels (Sobel) fall below 1.0, as in paper Figure 11."""
+    cal = CALIBRATION["sobel"]
+    report = footprint_report(cal, 100.0, 100.0, {"gpu": 0.5, "cpu": 0.2, "tpu": 0.3})
+    assert report.ratio < 1.0
+
+
+def test_small_scratch_kernel_slightly_above_one():
+    cal = CALIBRATION["dct8x8"]
+    report = footprint_report(cal, 100.0, 100.0, {"gpu": 0.4, "cpu": 0.2, "tpu": 0.4})
+    assert 1.0 < report.ratio < 1.2
+
+
+def test_shares_must_sum_to_one():
+    cal = generic_calibration("k")
+    with pytest.raises(ValueError):
+        shmt_footprint(cal, 100.0, 50.0, {"gpu": 0.5, "tpu": 0.2})
+
+
+def test_empty_shares_allowed():
+    # Degenerate but legal: no devices recorded work (e.g. empty input).
+    cal = generic_calibration("k")
+    assert shmt_footprint(cal, 100.0, 50.0, {}) > 0
+
+
+def test_ratio_monotone_in_tpu_share_for_big_scratch():
+    cal = CALIBRATION["srad"]
+    ratios = [
+        footprint_report(cal, 100.0, 100.0, {"gpu": 1 - s, "tpu": s}).ratio
+        for s in (0.0, 0.3, 0.6)
+    ]
+    assert ratios[0] > ratios[1] > ratios[2]

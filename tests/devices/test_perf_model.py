@@ -1,0 +1,98 @@
+"""Unit tests for the calibrated performance model."""
+
+import pytest
+
+from repro.devices.perf_model import (
+    CALIBRATION,
+    PAPER_TARGETS,
+    KernelCalibration,
+    benchmark_names,
+    calibration_for,
+    generic_calibration,
+)
+
+
+def test_every_benchmark_calibrated():
+    assert set(CALIBRATION) == set(PAPER_TARGETS)
+    assert len(CALIBRATION) == 10
+
+
+def test_tpu_speedups_match_figure2():
+    assert CALIBRATION["fft"].tpu_speedup == pytest.approx(3.22)
+    assert CALIBRATION["dwt"].tpu_speedup == pytest.approx(0.31)
+
+
+def test_transfer_fraction_derived_from_pipelining():
+    # alpha = 1 - 1/S_pipe (see module docstring).
+    for name, targets in PAPER_TARGETS.items():
+        expected = 1.0 - 1.0 / targets["pipe"]
+        assert CALIBRATION[name].transfer_fraction == pytest.approx(expected)
+
+
+def test_overhead_consistent_with_ws_target():
+    # 1/S_ws = x + (1 - alpha) / P must hold for the derived x.
+    for name, targets in PAPER_TARGETS.items():
+        cal = CALIBRATION[name]
+        implied = cal.shmt_overhead_fraction + (1 - cal.transfer_fraction) / cal.aggregate_throughput
+        assert implied == pytest.approx(1.0 / targets["ws"], rel=0.05)
+
+
+def test_baseline_time_includes_transfer_share():
+    cal = CALIBRATION["sobel"]
+    n = 1_000_000
+    assert cal.baseline_time(n) == pytest.approx(
+        cal.gpu_compute_time(n) / (1 - cal.transfer_fraction)
+    )
+
+
+def test_device_rates():
+    cal = CALIBRATION["fft"]
+    assert cal.device_rate("gpu") == 1.0
+    assert cal.device_rate("tpu") == pytest.approx(3.22)
+    assert cal.device_rate("cpu") == pytest.approx(0.5)
+    assert cal.device_rate("dsp") == pytest.approx(0.6)  # uncalibrated default
+    with pytest.raises(KeyError):
+        cal.device_rate("npu")
+
+
+def test_compute_time_scales_inversely_with_rate():
+    cal = CALIBRATION["fft"]
+    assert cal.compute_time("tpu", 1000) == pytest.approx(
+        cal.compute_time("gpu", 1000) / 3.22
+    )
+
+
+def test_transfer_time_per_element_positive():
+    for cal in CALIBRATION.values():
+        assert cal.transfer_time_per_element() > 0
+
+
+def test_ira_overhead_positive_everywhere():
+    # The paper's IRA runs are slower than work stealing on every kernel.
+    for cal in CALIBRATION.values():
+        assert cal.ira_overhead_fraction > 0.5
+
+
+def test_calibration_for_unknown_kernel_gets_generic():
+    cal = calibration_for("gemm")
+    assert isinstance(cal, KernelCalibration)
+    assert cal.name == "gemm"
+
+
+def test_generic_calibration_validation():
+    with pytest.raises(ValueError):
+        generic_calibration("bad", tpu_speedup=-1.0)
+    with pytest.raises(ValueError):
+        generic_calibration("bad", transfer_fraction=1.0)
+
+
+def test_benchmark_names_order():
+    names = list(benchmark_names())
+    assert names[0] == "blackscholes"
+    assert names[-1] == "srad"
+    assert len(names) == 10
+
+
+def test_aggregate_throughput():
+    cal = CALIBRATION["dct8x8"]
+    assert cal.aggregate_throughput == pytest.approx(1.0 + 1.99 + 0.5)

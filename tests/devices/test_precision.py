@@ -1,0 +1,150 @@
+"""Unit tests for the numeric precision models."""
+
+import numpy as np
+import pytest
+
+from repro.devices.precision import (
+    FP16,
+    FP32,
+    FP64,
+    INT8,
+    INT16,
+    affine_range,
+    dequantize,
+    precision_by_name,
+    quantization_error_bound,
+    quantization_scale,
+    quantize,
+    round_trip,
+    round_trip_affine,
+)
+
+
+def test_precision_lookup():
+    assert precision_by_name("int8") is INT8
+    assert precision_by_name("fp32") is FP32
+    with pytest.raises(KeyError):
+        precision_by_name("fp8")
+
+
+def test_exactness_flags():
+    assert FP32.is_exact_for_fp32
+    assert FP64.is_exact_for_fp32
+    assert not FP16.is_exact_for_fp32
+    assert not INT8.is_exact_for_fp32
+
+
+def test_quantization_scale_maps_max_to_top_level():
+    data = np.array([-4.0, 2.0, 3.81])
+    scale = quantization_scale(data, 8)
+    assert scale == pytest.approx(4.0 / 127)
+
+
+def test_quantization_scale_zero_input():
+    assert quantization_scale(np.zeros(10), 8) == 1.0
+
+
+def test_quantization_scale_percentile_ignores_outliers():
+    data = np.concatenate([np.ones(999), [100.0]])
+    full = quantization_scale(data, 8)
+    clipped = quantization_scale(data, 8, clip_percentile=99.5)
+    assert clipped < full / 10
+
+
+def test_quantize_dequantize_roundtrip_error_bound():
+    rng = np.random.default_rng(0)
+    data = rng.uniform(-5, 5, size=1000).astype(np.float32)
+    codes, scale = quantize(data, 8)
+    restored = dequantize(codes, scale)
+    assert np.max(np.abs(restored - data)) <= scale / 2 + 1e-6
+
+
+def test_quantize_saturates_clipped_values():
+    data = np.array([1.0] * 100 + [50.0], dtype=np.float32)
+    codes, scale = quantize(data, 8, clip_percentile=95.0)
+    # The outlier saturates at the top code rather than scaling the grid.
+    assert codes[-1] == 127
+
+
+def test_quantize_dtype_by_bits():
+    data = np.linspace(-1, 1, 16)
+    assert quantize(data, 8)[0].dtype == np.int8
+    assert quantize(data, 16)[0].dtype == np.int16
+
+
+def test_quantize_rejects_tiny_bit_widths():
+    with pytest.raises(ValueError):
+        quantization_scale(np.ones(4), 1)
+
+
+def test_round_trip_fp32_is_identity():
+    data = np.random.default_rng(1).standard_normal(100).astype(np.float32)
+    assert np.array_equal(round_trip(data, FP32), data)
+
+
+def test_round_trip_fp16_loses_precision_boundedly():
+    data = np.array([1.0001], dtype=np.float32)
+    restored = round_trip(data, FP16)
+    assert restored != data
+    assert abs(restored[0] - data[0]) < 1e-3
+
+
+def test_round_trip_int8_error_scales_with_range():
+    rng = np.random.default_rng(2)
+    narrow = rng.uniform(-1, 1, 1000).astype(np.float32)
+    wide = rng.uniform(-100, 100, 1000).astype(np.float32)
+    narrow_err = np.abs(round_trip(narrow, INT8) - narrow).max()
+    wide_err = np.abs(round_trip(wide, INT8) - wide).max()
+    assert wide_err > 10 * narrow_err
+
+
+def test_round_trip_int16_much_finer_than_int8():
+    rng = np.random.default_rng(3)
+    data = rng.uniform(-10, 10, 1000).astype(np.float32)
+    err8 = np.abs(round_trip(data, INT8) - data).mean()
+    err16 = np.abs(round_trip(data, INT16) - data).mean()
+    assert err16 < err8 / 100
+
+
+def test_error_bound_zero_for_fp32():
+    assert quantization_error_bound(np.ones(10), FP32) == 0.0
+
+
+def test_error_bound_half_step_for_int8():
+    data = np.array([-2.0, 2.0])
+    bound = quantization_error_bound(data, INT8)
+    assert bound == pytest.approx(0.5 * 2.0 / 127)
+
+
+def test_affine_range_full():
+    data = np.array([1.0, 5.0, 3.0])
+    assert affine_range(data) == (1.0, 5.0)
+
+
+def test_affine_range_percentile_clips_both_tails():
+    data = np.concatenate([[-100.0], np.linspace(0, 1, 998), [100.0]])
+    low, high = affine_range(data, clip_percentile=99.5)
+    assert -1.0 < low <= 0.1
+    assert 0.9 <= high < 2.0
+
+
+def test_round_trip_affine_preserves_offset_data():
+    """Affine quantization keeps resolution for data far from zero."""
+    rng = np.random.default_rng(4)
+    data = (323.0 + 4.0 * rng.standard_normal(1000)).astype(np.float32)
+    affine_err = np.abs(round_trip_affine(data, bits=8) - data).max()
+    symmetric_err = np.abs(round_trip(data, INT8) - data).max()
+    assert affine_err < symmetric_err / 10
+
+
+def test_round_trip_affine_constant_input_unchanged():
+    data = np.full(64, 7.5, dtype=np.float32)
+    assert np.array_equal(round_trip_affine(data), data)
+
+
+def test_round_trip_affine_error_bound():
+    rng = np.random.default_rng(5)
+    data = rng.uniform(10, 20, 1000).astype(np.float32)
+    restored = round_trip_affine(data, bits=8)
+    step = (data.max() - data.min()) / 255
+    assert np.max(np.abs(restored - data)) <= step / 2 + 1e-5

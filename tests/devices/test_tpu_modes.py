@@ -1,0 +1,99 @@
+"""Tests for the Edge TPU's two operating modes (paper section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import PartitionConfig
+from repro.core.runtime import RuntimeConfig, SHMTRuntime
+from repro.core.schedulers.base import make_scheduler
+from repro.core.vop import VOPCall
+from repro.devices import CPUDevice, EdgeTPUDevice, GPUDevice, Platform
+from repro.kernels.elementwise import GemmContext
+from repro.kernels.registry import get_kernel
+from repro.metrics.mape import mape
+
+CONFIG = RuntimeConfig(partition=PartitionConfig(target_partitions=8, page_bytes=1024))
+
+
+def _platform(mode: str) -> Platform:
+    return Platform(devices=[CPUDevice(), GPUDevice(), EdgeTPUDevice(mode=mode)])
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        EdgeTPUDevice(mode="quantum")
+
+
+def test_matmul_mode_uses_tensor_form(rng):
+    spec = get_kernel("gemm")
+    a = rng.uniform(-1, 1, (16, 32)).astype(np.float32)
+    ctx = GemmContext(rhs=rng.uniform(-1, 1, (32, 8)).astype(np.float32))
+    npu = EdgeTPUDevice(mode="npu").execute_numeric(
+        spec.compute, a, ctx, error_scale=0.02, seed=1, tensor_compute=spec.tensor_compute
+    )
+    matmul = EdgeTPUDevice(mode="matmul").execute_numeric(
+        spec.compute, a, ctx, error_scale=0.02, seed=1, tensor_compute=spec.tensor_compute
+    )
+    exact = a.astype(np.float64) @ ctx.rhs.astype(np.float64)
+    assert mape(exact, matmul) < mape(exact, npu)
+
+
+def test_matmul_mode_falls_back_without_tensor_form(rng):
+    """Kernels with no matrix formulation still run (through the NPU path)."""
+    spec = get_kernel("tanh")
+    data = rng.standard_normal(1024).astype(np.float32)
+    out = EdgeTPUDevice(mode="matmul").execute_numeric(
+        spec.compute, data, None, error_scale=0.01, seed=2, tensor_compute=None
+    )
+    assert out.shape == data.shape
+    assert not np.array_equal(out, np.tanh(data))  # still approximate
+
+
+def test_matmul_mode_deterministic_without_seed(rng):
+    """The matrix path has no stochastic residual: seed-independent."""
+    spec = get_kernel("sobel")
+    block = rng.uniform(0, 255, (34, 34)).astype(np.float32)
+    device = EdgeTPUDevice(mode="matmul")
+    a = device.execute_numeric(
+        spec.compute, block, None, error_scale=0.25, seed=1, tensor_compute=spec.tensor_compute
+    )
+    b = device.execute_numeric(
+        spec.compute, block, None, error_scale=0.25, seed=999, tensor_compute=spec.tensor_compute
+    )
+    np.testing.assert_array_equal(a, b)
+
+
+def test_matmul_mode_end_to_end_gemm(rng):
+    a = rng.uniform(-1, 1, (64, 48)).astype(np.float32)
+    b = rng.uniform(-1, 1, (48, 32)).astype(np.float32)
+    call = VOPCall("GEMM", a, context=GemmContext(rhs=b))
+    exact = a.astype(np.float64) @ b.astype(np.float64)
+    errors = {}
+    for mode in ("npu", "matmul"):
+        runtime = SHMTRuntime(_platform(mode), make_scheduler("work-stealing"), CONFIG)
+        report = runtime.execute(call)
+        errors[mode] = mape(exact, report.output)
+    assert errors["matmul"] < errors["npu"]
+
+
+def test_matmul_mode_end_to_end_scan(rng):
+    values = rng.uniform(0, 1, 32_768).astype(np.float32)
+    call = VOPCall("scan", values)
+    expected = np.cumsum(values.astype(np.float64))
+    runtime = SHMTRuntime(_platform("matmul"), make_scheduler("work-stealing"), CONFIG)
+    report = runtime.execute(call)
+    assert report.output.shape == values.shape
+    rel = np.abs(report.output - expected) / (np.abs(expected) + 1e-6)
+    assert np.median(rel) < 0.05
+
+
+def test_scan_exact_on_exact_devices(rng):
+    values = rng.uniform(0, 1, 16_384).astype(np.float32)
+    call = VOPCall("scan", values)
+    runtime = SHMTRuntime(
+        Platform(devices=[GPUDevice()]), make_scheduler("gpu-baseline"), CONFIG
+    )
+    report = runtime.execute(call)
+    np.testing.assert_allclose(
+        report.output, np.cumsum(values.astype(np.float64)), rtol=1e-4
+    )

@@ -1,0 +1,50 @@
+"""Unit tests for markdown/CSV experiment reporting."""
+
+import pytest
+
+from repro.experiments.common import FigureResult
+from repro.experiments.reporting import to_csv, to_markdown, write_markdown_report
+
+
+@pytest.fixture
+def result():
+    r = FigureResult(
+        name="Demo figure",
+        kernels=["fft", "sobel"],
+        series={"work-stealing": [3.6, 1.9], "QAWS-TS": [3.5, 1.8]},
+    )
+    r.compute_gmeans()
+    return r
+
+
+def test_markdown_structure(result):
+    md = to_markdown(result)
+    lines = md.splitlines()
+    assert lines[0] == "### Demo figure"
+    assert lines[2].startswith("| policy | fft | sobel | GMEAN |")
+    assert any("work-stealing" in line for line in lines)
+    separator_lines = [line for line in lines if line and set(line) <= {"|", "-"}]
+    assert len(separator_lines) == 1
+
+
+def test_markdown_values_formatted(result):
+    md = to_markdown(result)
+    assert "3.600" in md
+    assert "1.800" in md
+
+
+def test_csv_round_trips_values(result):
+    csv = to_csv(result)
+    lines = csv.strip().splitlines()
+    assert lines[0] == "policy,fft,sobel,gmean"
+    row = lines[1].split(",")
+    assert row[0] == "work-stealing"
+    assert float(row[1]) == 3.6
+
+
+def test_write_markdown_report(tmp_path, result):
+    path = tmp_path / "report.md"
+    write_markdown_report([result, result], str(path), title="Evaluation")
+    content = path.read_text()
+    assert content.startswith("# Evaluation")
+    assert content.count("### Demo figure") == 2

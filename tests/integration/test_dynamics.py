@@ -1,0 +1,91 @@
+"""System-dynamics tests: throttling devices mid-run (paper section 2.3).
+
+The paper motivates runtime adaptation with the observation that "the
+relative performance ratio ... change[s] as data sizes or system dynamics
+change".  These tests throttle the GPU mid-run (thermal-throttling style)
+and verify that work stealing adapts -- shifting work to the unthrottled
+devices -- while a static plan built for the nominal rates cannot.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.runtime import SHMTRuntime
+from repro.core.schedulers.base import make_scheduler
+from repro.core.schedulers.heft import HEFTStatic
+from repro.devices.cpu import CPUDevice
+from repro.devices.edgetpu import EdgeTPUDevice
+from repro.devices.gpu import GPUDevice
+from repro.devices.platform import Platform
+from repro.metrics.mape import mape
+from repro.workloads.generator import generate
+
+
+def _platform(throttle_at=None, factor=0.25):
+    gpu = GPUDevice()
+    if throttle_at is not None:
+        gpu.throttle_profile = lambda t: factor if t > throttle_at else 1.0
+    return Platform(devices=[CPUDevice(), gpu, EdgeTPUDevice()])
+
+
+@pytest.fixture(scope="module")
+def call():
+    return generate("dct8x8", size=(1024, 1024), seed=0)
+
+
+def test_throttle_profile_validation():
+    gpu = GPUDevice()
+    gpu.throttle_profile = lambda t: 0.0
+    from repro.devices.perf_model import CALIBRATION
+
+    with pytest.raises(ValueError):
+        gpu.service_time(CALIBRATION["sobel"], 1000, now=1.0)
+
+
+def test_service_time_scales_with_throttle():
+    from repro.devices.perf_model import CALIBRATION
+
+    gpu = GPUDevice()
+    nominal = gpu.service_time(CALIBRATION["sobel"], 100_000, now=0.0)
+    gpu.throttle_profile = lambda t: 0.5
+    throttled = gpu.service_time(CALIBRATION["sobel"], 100_000, now=0.0)
+    assert throttled == pytest.approx(2 * nominal)
+
+
+def test_throttling_slows_the_run(call):
+    nominal = SHMTRuntime(_platform(), make_scheduler("work-stealing")).execute(call)
+    throttled = SHMTRuntime(
+        _platform(throttle_at=nominal.makespan * 0.3),
+        make_scheduler("work-stealing"),
+    ).execute(call)
+    assert throttled.makespan > nominal.makespan
+
+
+def test_stealing_shifts_work_off_the_throttled_gpu(call):
+    nominal = SHMTRuntime(_platform(), make_scheduler("work-stealing")).execute(call)
+    throttled = SHMTRuntime(
+        _platform(throttle_at=nominal.makespan * 0.2),
+        make_scheduler("work-stealing"),
+    ).execute(call)
+    assert throttled.work_shares["gpu"] < nominal.work_shares["gpu"]
+    assert throttled.work_shares["tpu"] > nominal.work_shares["tpu"] * 0.95
+
+
+def test_dynamic_stealing_beats_static_plan_under_throttle(call):
+    nominal = SHMTRuntime(_platform(), make_scheduler("work-stealing")).execute(call)
+    throttle_at = nominal.makespan * 0.2
+    stealing = SHMTRuntime(
+        _platform(throttle_at=throttle_at), make_scheduler("work-stealing")
+    ).execute(call)
+    static = SHMTRuntime(_platform(throttle_at=throttle_at), HEFTStatic()).execute(call)
+    assert stealing.makespan < static.makespan
+
+
+def test_results_stay_correct_under_throttle(call):
+    reference = np.asarray(
+        call.spec.reference(call.data.astype(np.float64), call.resolve_context())
+    )
+    report = SHMTRuntime(
+        _platform(throttle_at=1e-4), make_scheduler("QAWS-TS")
+    ).execute(call)
+    assert mape(reference, report.output) < 0.2

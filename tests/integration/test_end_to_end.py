@@ -1,0 +1,119 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import PartitionConfig
+from repro.core.program import Program
+from repro.core.runtime import RuntimeConfig, SHMTRuntime
+from repro.core.schedulers.base import make_scheduler
+from repro.core.vop import VOPCall
+from repro.devices.platform import gpu_only_platform, jetson_nano_platform
+from repro.kernels.elementwise import GemmContext
+from repro.metrics.mape import mape
+from repro.workloads.generator import generate
+
+CONFIG = RuntimeConfig(partition=PartitionConfig(target_partitions=16, page_bytes=1024))
+
+
+@pytest.mark.parametrize(
+    "kernel",
+    [
+        "blackscholes", "dct8x8", "dwt", "fft", "histogram",
+        "hotspot", "laplacian", "mean_filter", "sobel", "srad",
+    ],
+)
+def test_every_benchmark_runs_under_every_headline_policy(kernel):
+    vector_kernels = ("blackscholes", "histogram")
+    size = 16_384 if kernel in vector_kernels else (128, 128)
+    call = generate(kernel, size=size, seed=0)
+    reference = np.asarray(
+        call.spec.reference(call.data.astype(np.float64), call.resolve_context())
+    )
+    nano = jetson_nano_platform()
+    for policy in ("work-stealing", "QAWS-TS", "QAWS-LU", "oracle"):
+        report = SHMTRuntime(nano, make_scheduler(policy), CONFIG).execute(call)
+        assert report.makespan > 0
+        assert report.output.shape == reference.shape
+        assert np.all(np.isfinite(report.output))
+        # Result must be recognizably the right computation.
+        assert mape(reference, report.output) < 2.0
+
+
+def test_gemm_vop_end_to_end(rng):
+    a = rng.standard_normal((64, 48)).astype(np.float32)
+    b = rng.standard_normal((48, 32)).astype(np.float32)
+    call = VOPCall("GEMM", a, context=GemmContext(rhs=b))
+    report = SHMTRuntime(
+        jetson_nano_platform(), make_scheduler("work-stealing"), CONFIG
+    ).execute(call)
+    assert report.output.shape == (64, 32)
+    assert mape(a.astype(np.float64) @ b.astype(np.float64), report.output) < 0.5
+
+
+def test_elementwise_vops_end_to_end(rng):
+    data = rng.uniform(0.1, 2.0, 8192).astype(np.float32)
+    runtime = SHMTRuntime(jetson_nano_platform(), make_scheduler("work-stealing"), CONFIG)
+    for opcode in ("relu", "sqrt", "tanh", "log"):
+        report = runtime.execute(VOPCall(opcode, data))
+        assert report.output.shape == data.shape
+        assert np.all(np.isfinite(report.output))
+
+
+def test_reduction_vops_end_to_end(rng):
+    data = rng.uniform(0.0, 1.0, 65_536).astype(np.float32)
+    runtime = SHMTRuntime(jetson_nano_platform(), make_scheduler("QAWS-TS"), CONFIG)
+    result = runtime.execute(VOPCall("reduce_average", data))
+    assert result.output[0] == pytest.approx(data.mean(), abs=0.05)
+
+
+def test_figure1_style_program(rng):
+    """The paper's Figure 1 scenario: a five-function application."""
+    image = (128 + 16 * rng.standard_normal((128, 128))).astype(np.float32)
+    runtime = SHMTRuntime(jetson_nano_platform(), make_scheduler("QAWS-TS"), CONFIG)
+    program = (
+        Program()
+        .add("A-denoise", "Mean_Filter", image)
+        .add("B-diffuse", "SRAD", "A-denoise")
+        .add("C-edges", "Sobel", "B-diffuse")
+        .add("D-sharpen", "stencil", "A-denoise")
+        .add("E-transform", "DCT8x8", "D-sharpen")
+    )
+    result = program.run(runtime)
+    assert len(result.reports) == 5
+    assert result.total_time > 0
+    for report in result.reports.values():
+        assert np.all(np.isfinite(report.output))
+
+
+def test_energy_accounting_consistency():
+    """Active energy must never exceed every-device-busy-the-whole-time."""
+    call = generate("fft", size=(128, 128), seed=1)
+    report = SHMTRuntime(
+        jetson_nano_platform(), make_scheduler("work-stealing"), CONFIG
+    ).execute(call)
+    max_active_watts = sum((1.65, 0.56, 0.35))
+    assert report.energy.active_joules <= max_active_watts * report.makespan * 1.0001
+    assert report.energy.idle_joules == pytest.approx(3.02 * report.makespan)
+
+
+def test_shmt_beats_baseline_at_scale():
+    """At a realistic size the TPU-friendly kernels must show real speedup."""
+    call = generate("fft", size=(1024, 1024), seed=2)
+    config = RuntimeConfig()
+    base = SHMTRuntime(gpu_only_platform(), make_scheduler("gpu-baseline"), config).execute(call)
+    ws = SHMTRuntime(jetson_nano_platform(), make_scheduler("work-stealing"), config).execute(call)
+    assert base.makespan / ws.makespan > 2.0
+
+
+def test_speedup_grows_with_problem_size():
+    """Figure 12 mechanism, end to end."""
+    config = RuntimeConfig()
+    speedups = []
+    for side in (128, 512, 1024):
+        call = generate("srad", size=(side, side), seed=3)
+        base = SHMTRuntime(gpu_only_platform(), make_scheduler("gpu-baseline"), config).execute(call)
+        shmt = SHMTRuntime(jetson_nano_platform(), make_scheduler("QAWS-TS"), config).execute(call)
+        speedups.append(base.makespan / shmt.makespan)
+    assert speedups[0] < speedups[-1]
+    assert speedups[1] < speedups[2] * 1.1

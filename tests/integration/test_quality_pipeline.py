@@ -1,0 +1,159 @@
+"""Integration tests for the quality pipeline.
+
+These verify the central causal chain of the reproduction (and the paper):
+result error comes from the *approximate device's numeric path*, partitions
+with wide value distributions suffer disproportionately, and QAWS's
+criticality routing recovers most of the loss.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import PartitionConfig
+from repro.core.runtime import RuntimeConfig, SHMTRuntime
+from repro.core.schedulers.base import make_scheduler
+from repro.core.vop import VOPCall
+from repro.devices.base import ExactDevice
+from repro.devices.cpu import CPUDevice
+from repro.devices.gpu import GPUDevice
+from repro.devices.platform import Platform
+from repro.devices.platform import jetson_nano_platform
+from repro.metrics.mape import mape
+from repro.workloads.generator import generate
+
+CONFIG = RuntimeConfig(partition=PartitionConfig(target_partitions=16, page_bytes=1024))
+
+
+class ExactTPU(ExactDevice):
+    """Ablation device: TPU timing/rank, but exact FP32 numerics."""
+
+    device_class = "tpu"
+    accuracy_rank = 1
+    launch_latency = 25e-6
+
+    def __init__(self) -> None:
+        super().__init__("tpu0")
+
+
+def _reference(call: VOPCall) -> np.ndarray:
+    return np.asarray(
+        call.spec.reference(call.data.astype(np.float64), call.resolve_context())
+    )
+
+
+def _mape_for(call, platform, policy):
+    runtime = SHMTRuntime(platform, make_scheduler(policy), CONFIG)
+    report = runtime.execute(call)
+    return mape(_reference(call), report.output), report
+
+
+@pytest.fixture(scope="module")
+def sobel_call():
+    """A 256x256 Sobel workload whose critical regions align with the test
+    partition grid (16 tiles of 64x64; exactly 4 tiles carry outliers).
+
+    The stock generator targets the production partition size (256x256);
+    at test scale its spike blocks would straddle partitions and blur the
+    criticality signal the routing tests rely on.
+    """
+    rng = np.random.default_rng(3)
+    yy, xx = np.meshgrid(np.linspace(0, 4 * np.pi, 256), np.linspace(0, 4 * np.pi, 256))
+    smooth = 128.0 + 20.0 * np.sin(yy) * np.cos(xx)
+    data = (smooth + 0.5 * rng.standard_normal((256, 256))).astype(np.float32)
+    # Tiles 2, 5, 8, 11 in row-major order: the ones a 3-device round-robin
+    # hands to the TPU, so quality-blind stealing runs them approximately
+    # and quality-aware routing has real errors to prevent.
+    for row, col in ((0, 128), (64, 64), (128, 0), (128, 192)):
+        tile = data[row : row + 64, col : col + 64]
+        mask = rng.random(tile.shape) < 0.02
+        spikes = (128.0 + 600.0 * rng.standard_normal(tile.shape)).astype(np.float32)
+        data[row : row + 64, col : col + 64] = np.where(mask, spikes, tile)
+    return VOPCall("Sobel", data)
+
+
+def test_ablation_exact_tpu_removes_all_error(sobel_call):
+    """Swap the INT8 path for an exact one -> every policy converges to
+    (near) zero error.  Proves error originates in device numerics, not in
+    partitioning, scheduling, or aggregation."""
+    exact_platform = Platform(devices=[CPUDevice(), GPUDevice(), ExactTPU()])
+    exact_error, _ = _mape_for(sobel_call, exact_platform, "work-stealing")
+    real_error, _ = _mape_for(sobel_call, jetson_nano_platform(), "work-stealing")
+    assert exact_error < 1e-3
+    assert real_error > 10 * exact_error
+
+
+def test_qaws_recovers_most_of_work_stealing_loss(sobel_call):
+    from repro.core.schedulers.qaws import QAWS
+
+    nano = jetson_nano_platform()
+    reference = _reference(sobel_call)
+    ws_error, _ = _mape_for(sobel_call, nano, "work-stealing")
+    # Test partitions are 64x64, far smaller than the production 256x256,
+    # so sample densely enough for the criticality estimate to be usable.
+    qaws = QAWS(policy="topk", sampling_rate=2.0**-6)
+    qaws_report = SHMTRuntime(nano, qaws, CONFIG).execute(sobel_call)
+    qaws_error = mape(reference, qaws_report.output)
+    oracle_error, _ = _mape_for(sobel_call, nano, "oracle")
+    assert qaws_error < ws_error
+    assert oracle_error <= qaws_error * 1.05
+
+
+def test_error_concentrates_on_tpu_partitions(sobel_call):
+    """Per-partition error is higher for TPU-executed HLOPs."""
+    nano = jetson_nano_platform()
+    _, report = _mape_for(sobel_call, nano, "work-stealing")
+    reference = _reference(sobel_call)
+    tpu_errors, exact_errors = [], []
+    for hlop in report.hlops:
+        ref_block = reference[hlop.partition.out_slices]
+        err = float(np.abs(np.asarray(hlop.result) - ref_block).mean())
+        if hlop.device_name.startswith("tpu"):
+            tpu_errors.append(err)
+        else:
+            exact_errors.append(err)
+    assert tpu_errors and exact_errors
+    assert np.mean(tpu_errors) > 10 * np.mean(exact_errors)
+
+
+def test_criticality_predicts_partition_error(sobel_call):
+    """Partitions the oracle ranks critical really do err more on the TPU."""
+    from repro.core.quality import estimate_criticality
+    from repro.devices.edgetpu import EdgeTPUDevice
+    from repro.core.partition import plan_partitions
+    from repro.kernels.common import replicate_pad
+
+    spec = sobel_call.spec
+    data = sobel_call.data
+    padded = replicate_pad(data, spec.halo)
+    partitions = plan_partitions(spec, data.shape, CONFIG.partition)
+    tpu = EdgeTPUDevice()
+    ctx = sobel_call.resolve_context()
+    reference = _reference(sobel_call)
+    scores, errors = [], []
+    for p in partitions:
+        block = p.input_block(padded)
+        scores.append(estimate_criticality(block).score)
+        approx = tpu.execute_numeric(
+            spec.compute, block, ctx, error_scale=spec.calibration.npu_error_scale, seed=p.index
+        )
+        ref_block = reference[p.out_slices]
+        errors.append(float(np.abs(approx - ref_block).mean()))
+    order = np.argsort(scores)
+    low_half = [errors[i] for i in order[: len(order) // 2]]
+    high_half = [errors[i] for i in order[len(order) // 2 :]]
+    assert np.mean(high_half) > np.mean(low_half)
+
+
+def test_sampling_rate_improves_quality_until_plateau():
+    """Fig 9 mechanism: more samples -> better routing -> lower error."""
+    from repro.core.schedulers.qaws import QAWS
+
+    call = generate("sobel", size=(256, 256), seed=9)
+    nano = jetson_nano_platform()
+    reference = _reference(call)
+    errors = {}
+    for exponent in (-12, -6):
+        scheduler = QAWS(policy="topk", sampling_rate=2.0**exponent)
+        report = SHMTRuntime(nano, scheduler, CONFIG).execute(call)
+        errors[exponent] = mape(reference, report.output)
+    assert errors[-6] <= errors[-12] * 1.1

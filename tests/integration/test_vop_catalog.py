@@ -1,0 +1,87 @@
+"""End-to-end coverage of the full VOP catalog (paper Table 1 + scan).
+
+Every opcode the virtual device advertises must partition, execute on the
+heterogeneous platform, and aggregate into a numerically faithful result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import PartitionConfig
+from repro.core.runtime import RuntimeConfig, SHMTRuntime
+from repro.core.schedulers.base import make_scheduler
+from repro.core.vop import VOPCall, kernel_for_vop, vop_catalog
+from repro.devices.platform import jetson_nano_platform
+from repro.kernels.registry import ParallelModel, get_kernel, kernel_names
+from repro.metrics.mape import mape
+
+CONFIG = RuntimeConfig(partition=PartitionConfig(target_partitions=8, page_bytes=1024))
+
+#: Opcode -> input builder for the element-wise catalog sweep.
+VECTOR_INPUTS = {
+    "add": lambda rng: rng.standard_normal((2, 8192)),
+    "sub": lambda rng: rng.standard_normal((2, 8192)),
+    "multiply": lambda rng: rng.standard_normal((2, 8192)),
+    "max": lambda rng: rng.standard_normal((2, 8192)),
+    "min": lambda rng: rng.standard_normal((2, 8192)),
+    "log": lambda rng: rng.uniform(0.1, 10, 8192),
+    "relu": lambda rng: rng.standard_normal(8192),
+    "sqrt": lambda rng: rng.uniform(0, 10, 8192),
+    "rsqrt": lambda rng: rng.uniform(0.1, 10, 8192),
+    "tanh": lambda rng: rng.standard_normal(8192),
+    "reduce_sum": lambda rng: rng.uniform(0, 1, 8192),
+    "reduce_average": lambda rng: rng.uniform(0, 1, 8192),
+    "reduce_max": lambda rng: rng.standard_normal(8192),
+    "reduce_min": lambda rng: rng.standard_normal(8192),
+    "scan": lambda rng: rng.uniform(0, 1, 8192),
+}
+
+
+def test_every_catalog_opcode_resolves_to_a_registered_kernel():
+    for opcode in vop_catalog():
+        spec = kernel_for_vop(opcode)
+        assert spec.name in kernel_names()
+
+
+def test_catalog_covers_both_parallel_model_families():
+    models = {kernel_for_vop(op).model for op in vop_catalog()}
+    assert ParallelModel.VECTOR in models
+    assert ParallelModel.TILE in models
+
+
+@pytest.mark.parametrize("opcode", sorted(VECTOR_INPUTS))
+def test_vector_catalog_end_to_end(opcode, rng):
+    data = VECTOR_INPUTS[opcode](rng).astype(np.float32)
+    call = VOPCall(opcode, data)
+    spec = call.spec
+    reference = np.asarray(
+        spec.reference(call.data.astype(np.float64), call.resolve_context())
+    )
+    runtime = SHMTRuntime(jetson_nano_platform(), make_scheduler("work-stealing"), CONFIG)
+    report = runtime.execute(call)
+    assert report.output.shape == reference.shape
+    assert np.all(np.isfinite(report.output))
+    assert mape(reference, report.output) < 0.6
+
+
+@pytest.mark.parametrize("opcode", sorted(VECTOR_INPUTS))
+def test_vector_catalog_exact_on_baseline(opcode, rng):
+    """On the exact GPU baseline every catalog op matches its reference."""
+    from repro.devices.platform import gpu_only_platform
+
+    data = VECTOR_INPUTS[opcode](rng).astype(np.float32)
+    call = VOPCall(opcode, data)
+    spec = call.spec
+    reference = np.asarray(
+        spec.reference(call.data.astype(np.float64), call.resolve_context())
+    )
+    runtime = SHMTRuntime(gpu_only_platform(), make_scheduler("gpu-baseline"), CONFIG)
+    report = runtime.execute(call)
+    np.testing.assert_allclose(report.output, reference, rtol=1e-3, atol=1e-3)
+
+
+def test_generic_kernels_have_generic_calibration():
+    for name in ("add", "scan", "gemm", "stencil"):
+        calibration = get_kernel(name).calibration
+        assert calibration.name == name
+        assert calibration.tpu_speedup > 0

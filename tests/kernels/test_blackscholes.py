@@ -1,0 +1,107 @@
+"""Unit tests for the Black-Scholes kernel."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.blackscholes import SPEC, blackscholes
+
+
+def _params(spot, strike, expiry, rate, vol):
+    return np.array([[spot], [strike], [expiry], [rate], [vol]], dtype=np.float64)
+
+
+def test_known_value():
+    """Canonical textbook case: S=100, K=100, T=1, r=5%, sigma=20%."""
+    out = blackscholes(_params(100.0, 100.0, 1.0, 0.05, 0.2))
+    call, put = out[0, 0], out[1, 0]
+    assert call == pytest.approx(10.4506, abs=1e-3)
+    assert put == pytest.approx(5.5735, abs=1e-3)
+
+
+def test_put_call_parity():
+    """C - P = S - K * exp(-rT) must hold exactly for European options."""
+    rng = np.random.default_rng(0)
+    n = 500
+    spot = rng.uniform(20, 200, n)
+    strike = rng.uniform(20, 200, n)
+    expiry = rng.uniform(0.1, 2.0, n)
+    rate = np.full(n, 0.03)
+    vol = rng.uniform(0.1, 0.8, n)
+    out = blackscholes(np.stack([spot, strike, expiry, rate, vol]))
+    lhs = out[0] - out[1]
+    rhs = spot - strike * np.exp(-rate * expiry)
+    np.testing.assert_allclose(lhs, rhs, rtol=1e-6, atol=1e-8)
+
+
+def test_call_price_monotone_in_spot():
+    spots = np.linspace(50, 150, 20)
+    params = np.stack([
+        spots,
+        np.full(20, 100.0),
+        np.full(20, 1.0),
+        np.full(20, 0.02),
+        np.full(20, 0.3),
+    ])
+    calls = blackscholes(params)[0]
+    assert np.all(np.diff(calls) > 0)
+
+
+def test_price_monotone_in_volatility():
+    vols = np.linspace(0.1, 1.0, 20)
+    params = np.stack([
+        np.full(20, 100.0),
+        np.full(20, 100.0),
+        np.full(20, 1.0),
+        np.full(20, 0.02),
+        vols,
+    ])
+    out = blackscholes(params)
+    assert np.all(np.diff(out[0]) > 0)
+    assert np.all(np.diff(out[1]) > 0)
+
+
+def test_deep_in_the_money_call_approaches_intrinsic():
+    out = blackscholes(_params(1000.0, 10.0, 0.5, 0.02, 0.2))
+    intrinsic = 1000.0 - 10.0 * np.exp(-0.02 * 0.5)
+    assert out[0, 0] == pytest.approx(intrinsic, rel=1e-6)
+
+
+def test_prices_nonnegative():
+    rng = np.random.default_rng(1)
+    n = 1000
+    params = np.stack([
+        rng.uniform(1, 300, n),
+        rng.uniform(1, 300, n),
+        rng.uniform(0.01, 3, n),
+        rng.uniform(0.0, 0.1, n),
+        rng.uniform(0.05, 2.0, n),
+    ])
+    out = blackscholes(params)
+    assert np.all(out >= -1e-8)
+
+
+def test_guards_degenerate_inputs():
+    """Quantized inputs can hit zero expiry/vol; the kernel must not NaN."""
+    out = blackscholes(_params(100.0, 100.0, 0.0, 0.02, 0.0))
+    assert np.all(np.isfinite(out))
+
+
+def test_spec_shape_mapping():
+    assert SPEC.output_shape((5, 1024)) == (2, 1024)
+    assert SPEC.model.value == "vector"
+    assert SPEC.channel_axis == 0
+
+
+def test_float32_close_to_float64():
+    rng = np.random.default_rng(2)
+    n = 200
+    params64 = np.stack([
+        rng.uniform(50, 150, n),
+        rng.uniform(50, 150, n),
+        rng.uniform(0.2, 2, n),
+        np.full(n, 0.02),
+        rng.uniform(0.1, 0.5, n),
+    ])
+    out64 = blackscholes(params64)
+    out32 = blackscholes(params64.astype(np.float32))
+    np.testing.assert_allclose(out32, out64, rtol=1e-3, atol=1e-3)

@@ -1,0 +1,73 @@
+"""Unit tests for the 8x8 blockwise DCT kernel."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.dct8x8 import BLOCK, dct8x8, dct_matrix, idct8x8
+
+
+def test_basis_is_orthonormal():
+    basis = dct_matrix()
+    np.testing.assert_allclose(basis @ basis.T, np.eye(BLOCK), atol=1e-12)
+
+
+def test_inverse_recovers_image(rng):
+    image = rng.standard_normal((64, 64))
+    np.testing.assert_allclose(idct8x8(dct8x8(image)), image, atol=1e-10)
+
+
+def test_energy_preserved(rng):
+    """Orthonormal transform: Parseval's theorem per block."""
+    image = rng.standard_normal((32, 32))
+    coeffs = dct8x8(image)
+    assert np.sum(coeffs**2) == pytest.approx(np.sum(image**2), rel=1e-10)
+
+
+def test_constant_block_concentrates_in_dc():
+    image = np.full((8, 8), 3.0)
+    coeffs = dct8x8(image)
+    assert coeffs[0, 0] == pytest.approx(8 * 3.0)
+    others = coeffs.copy()
+    others[0, 0] = 0.0
+    np.testing.assert_allclose(others, 0.0, atol=1e-12)
+
+
+def test_linearity(rng):
+    a = rng.standard_normal((16, 16))
+    b = rng.standard_normal((16, 16))
+    np.testing.assert_allclose(
+        dct8x8(2.0 * a + 3.0 * b), 2.0 * dct8x8(a) + 3.0 * dct8x8(b), atol=1e-10
+    )
+
+
+def test_blocks_independent(rng):
+    """Changing one 8x8 block only changes that block's coefficients."""
+    image = rng.standard_normal((24, 24))
+    modified = image.copy()
+    modified[8:16, 8:16] += 1.0
+    diff = dct8x8(modified) - dct8x8(image)
+    mask = np.zeros_like(diff, dtype=bool)
+    mask[8:16, 8:16] = True
+    assert np.any(diff[mask] != 0)
+    np.testing.assert_allclose(diff[~mask], 0.0, atol=1e-12)
+
+
+def test_rejects_non_multiple_of_8():
+    with pytest.raises(ValueError):
+        dct8x8(np.zeros((12, 16)))
+
+
+def test_matches_scipy_dct(rng):
+    """Cross-check one block against scipy's orthonormal DCT-II."""
+    from scipy.fft import dctn
+
+    block = rng.standard_normal((8, 8))
+    expected = dctn(block, type=2, norm="ortho")
+    np.testing.assert_allclose(dct8x8(block), expected, atol=1e-10)
+
+
+def test_float32_path(rng):
+    image = rng.standard_normal((16, 16)).astype(np.float32)
+    out = dct8x8(image)
+    assert out.dtype == np.float32
+    np.testing.assert_allclose(out, dct8x8(image.astype(np.float64)), atol=1e-4)

@@ -1,0 +1,127 @@
+"""Unit tests for the block-based CDF 9/7 wavelet transform."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.dwt import BLOCK, _lift_last_axis, fdwt97, fdwt97_block
+
+
+def test_lifting_splits_into_halves(rng):
+    signal = rng.standard_normal((4, 64))
+    out = _lift_last_axis(signal)
+    assert out.shape == signal.shape
+
+
+def test_lifting_rejects_odd_length():
+    with pytest.raises(ValueError):
+        _lift_last_axis(np.zeros(7))
+
+
+def test_constant_signal_has_vanishing_details():
+    """The 9/7 wavelet annihilates constants: detail half ~ 0."""
+    signal = np.full(64, 5.0)
+    out = _lift_last_axis(signal)
+    details = out[32:]
+    # Truncated lifting coefficients leave ~1e-8 residuals.
+    np.testing.assert_allclose(details, 0.0, atol=1e-6)
+
+
+def test_linear_ramp_has_vanishing_details():
+    """9/7 has (at least) two vanishing moments: linears annihilate too.
+
+    Boundary handling breaks the polynomial at the edges, so check the
+    interior coefficients only.
+    """
+    signal = np.arange(64, dtype=np.float64)
+    details = _lift_last_axis(signal)[32:]
+    np.testing.assert_allclose(details[2:-2], 0.0, atol=1e-5)
+
+
+def test_lifting_is_linear(rng):
+    a = rng.standard_normal(64)
+    b = rng.standard_normal(64)
+    np.testing.assert_allclose(
+        _lift_last_axis(2 * a - b), 2 * _lift_last_axis(a) - _lift_last_axis(b), atol=1e-10
+    )
+
+
+def test_2d_block_constant_energy_in_approx_quadrant():
+    block = np.full((BLOCK, BLOCK), 2.0)
+    out = fdwt97_block(block)
+    half = BLOCK // 2
+    assert np.all(np.abs(out[:half, :half]) > 1.0)  # LL quadrant carries it
+    np.testing.assert_allclose(out[half:, half:], 0.0, atol=1e-9)  # HH empty
+
+
+def test_full_image_blocks_independent(rng):
+    image = rng.standard_normal((128, 128))
+    modified = image.copy()
+    modified[64:128, 0:64] += 1.0
+    diff = fdwt97(modified) - fdwt97(image)
+    assert np.any(diff[64:128, 0:64] != 0)
+    np.testing.assert_allclose(diff[0:64, :], 0.0, atol=1e-12)
+    np.testing.assert_allclose(diff[64:128, 64:128], 0.0, atol=1e-12)
+
+
+def test_rejects_non_block_multiple():
+    with pytest.raises(ValueError):
+        fdwt97(np.zeros((100, 128)))
+
+
+def test_full_image_matches_per_block(rng):
+    image = rng.standard_normal((128, 64))
+    out = fdwt97(image)
+    np.testing.assert_allclose(
+        out[:64, :64], fdwt97_block(image[:64, :64]), atol=1e-12
+    )
+
+
+def test_energy_roughly_preserved(rng):
+    """The 9/7 transform is near-orthogonal (k-normalized biorthogonal)."""
+    image = rng.standard_normal((64, 64))
+    out = fdwt97(image)
+    ratio = np.sum(out**2) / np.sum(image**2)
+    assert 0.7 < ratio < 1.4
+
+
+def test_inverse_recovers_signal(rng):
+    from repro.kernels.dwt import _lift_last_axis, _unlift_last_axis
+
+    signal = rng.standard_normal((4, 64))
+    np.testing.assert_allclose(
+        _unlift_last_axis(_lift_last_axis(signal)), signal, atol=1e-10
+    )
+
+
+def test_inverse_2d_roundtrip(rng):
+    from repro.kernels.dwt import fdwt97, idwt97
+
+    image = rng.standard_normal((128, 128))
+    np.testing.assert_allclose(idwt97(fdwt97(image)), image, atol=1e-9)
+
+
+def test_inverse_block_roundtrip(rng):
+    from repro.kernels.dwt import fdwt97_block, idwt97_block
+
+    block = rng.standard_normal((64, 64))
+    np.testing.assert_allclose(idwt97_block(fdwt97_block(block)), block, atol=1e-10)
+
+
+def test_inverse_rejects_odd_length():
+    from repro.kernels.dwt import _unlift_last_axis
+
+    with pytest.raises(ValueError):
+        _unlift_last_axis(np.zeros(9))
+
+
+def test_compression_use_case(rng):
+    """The lossy-codec path: transform, quantize coefficients, reconstruct."""
+    from repro.devices.precision import round_trip_affine
+    from repro.kernels.dwt import fdwt97, idwt97
+
+    image = (128 + 16 * rng.standard_normal((128, 128))).astype(np.float64)
+    coeffs = fdwt97(image)
+    quantized = round_trip_affine(coeffs.astype(np.float32), bits=8)
+    restored = idwt97(quantized.astype(np.float64))
+    relative_error = np.abs(restored - image).mean() / np.abs(image).mean()
+    assert relative_error < 0.05  # recognizable reconstruction

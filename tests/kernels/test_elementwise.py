@@ -1,0 +1,126 @@
+"""Unit tests for the Table 1 element-wise / reduction / matrix VOP kernels."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.elementwise import (
+    GemmContext,
+    StencilContext,
+    make_gemm_context,
+)
+from repro.kernels.registry import get_kernel
+
+
+@pytest.fixture
+def vec(rng):
+    return rng.standard_normal(1000).astype(np.float32)
+
+
+@pytest.fixture
+def pair(rng):
+    return rng.standard_normal((2, 1000)).astype(np.float32)
+
+
+@pytest.mark.parametrize(
+    "name,fn",
+    [
+        ("relu", lambda x: np.maximum(x, 0)),
+        ("tanh", np.tanh),
+    ],
+)
+def test_unary_ops_match_numpy(vec, name, fn):
+    spec = get_kernel(name)
+    np.testing.assert_allclose(spec.compute(vec, None), fn(vec), rtol=1e-6)
+
+
+def test_log_guards_nonpositive():
+    spec = get_kernel("log")
+    out = spec.compute(np.array([-1.0, 0.0, np.e], dtype=np.float32), None)
+    assert np.all(np.isfinite(out))
+    assert out[2] == pytest.approx(1.0)
+
+
+def test_sqrt_and_rsqrt_consistent(vec):
+    positive = np.abs(vec) + 0.1
+    sqrt = get_kernel("sqrt").compute(positive, None)
+    rsqrt = get_kernel("rsqrt").compute(positive, None)
+    np.testing.assert_allclose(sqrt * rsqrt, np.ones_like(positive), rtol=1e-5)
+
+
+@pytest.mark.parametrize(
+    "name,fn",
+    [
+        ("add", np.add),
+        ("sub", np.subtract),
+        ("multiply", np.multiply),
+        ("max", np.maximum),
+        ("min", np.minimum),
+    ],
+)
+def test_binary_ops_match_numpy(pair, name, fn):
+    spec = get_kernel(name)
+    np.testing.assert_allclose(spec.compute(pair, None), fn(pair[0], pair[1]), rtol=1e-6)
+
+
+def test_binary_output_shape():
+    spec = get_kernel("add")
+    assert spec.output_shape((2, 512)) == (512,)
+
+
+@pytest.mark.parametrize(
+    "name,fold",
+    [("reduce_sum", np.sum), ("reduce_max", np.max), ("reduce_min", np.min)],
+)
+def test_reductions_merge_to_global(vec, name, fold):
+    spec = get_kernel(name)
+    partials = [spec.compute(chunk, None) for chunk in np.split(vec, 10)]
+    merged = spec.merge(partials)
+    assert merged[0] == pytest.approx(fold(vec), rel=1e-4)
+
+
+def test_reduce_average_weighted_merge(rng):
+    spec = get_kernel("reduce_average")
+    a = rng.standard_normal(100).astype(np.float32)
+    b = rng.standard_normal(900).astype(np.float32)
+    merged = spec.merge([spec.compute(a, None), spec.compute(b, None)])
+    expected = np.concatenate([a, b]).mean()
+    assert merged[0] == pytest.approx(expected, abs=1e-4)
+
+
+def test_gemm_matches_matmul(rng):
+    spec = get_kernel("gemm")
+    a = rng.standard_normal((16, 32)).astype(np.float32)
+    b = rng.standard_normal((32, 8)).astype(np.float32)
+    out = spec.compute(a, GemmContext(rhs=b))
+    np.testing.assert_allclose(out, a @ b, rtol=1e-4)
+
+
+def test_gemm_row_partitioning_consistent(rng):
+    spec = get_kernel("gemm")
+    a = rng.standard_normal((16, 32)).astype(np.float32)
+    ctx = make_gemm_context(rng.standard_normal((32, 8)).astype(np.float32))
+    whole = spec.compute(a, ctx)
+    top = spec.compute(a[:8], ctx)
+    np.testing.assert_allclose(whole[:8], top, rtol=1e-5)
+
+
+def test_gemm_default_context_is_self_transpose(rng):
+    spec = get_kernel("gemm")
+    a = rng.standard_normal((8, 8))
+    ctx = spec.make_context(a)
+    np.testing.assert_allclose(ctx.rhs, a.T)
+
+
+def test_stencil_with_custom_filter(rng):
+    spec = get_kernel("stencil")
+    block = rng.standard_normal((10, 10)).astype(np.float32)
+    identity = np.zeros((3, 3), dtype=np.float32)
+    identity[1, 1] = 1.0
+    out = spec.compute(block, StencilContext(filter=identity))
+    np.testing.assert_allclose(out, block[1:-1, 1:-1], rtol=1e-6)
+
+
+def test_stencil_default_context_sharpens(rng):
+    spec = get_kernel("stencil")
+    ctx = spec.make_context(np.zeros((4, 4)))
+    assert ctx.filter[1, 1] == 5.0

@@ -1,0 +1,81 @@
+"""Unit tests for the from-scratch radix-2 FFT kernel."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.fft import bit_reversal_permutation, fft_magnitude, fft_rows
+
+
+def test_bit_reversal_known_case():
+    np.testing.assert_array_equal(
+        bit_reversal_permutation(8), [0, 4, 2, 6, 1, 5, 3, 7]
+    )
+
+
+def test_bit_reversal_is_involution():
+    perm = bit_reversal_permutation(64)
+    np.testing.assert_array_equal(perm[perm], np.arange(64))
+
+
+def test_bit_reversal_rejects_non_pow2():
+    with pytest.raises(ValueError):
+        bit_reversal_permutation(12)
+
+
+@pytest.mark.parametrize("width", [2, 8, 64, 256, 1024])
+def test_matches_numpy_fft(rng, width):
+    rows = rng.standard_normal((4, width))
+    ours = fft_rows(rows)
+    theirs = np.fft.fft(rows, axis=-1)
+    np.testing.assert_allclose(ours, theirs, atol=1e-8 * width)
+
+
+def test_single_row_input(rng):
+    row = rng.standard_normal(128)
+    np.testing.assert_allclose(fft_rows(row)[0], np.fft.fft(row), atol=1e-9)
+
+
+def test_impulse_has_flat_spectrum():
+    row = np.zeros(64)
+    row[0] = 1.0
+    np.testing.assert_allclose(fft_magnitude(row)[0], np.ones(64), atol=1e-12)
+
+
+def test_constant_signal_concentrates_in_dc():
+    row = np.full((1, 64), 2.0)
+    mag = fft_magnitude(row)[0]
+    assert mag[0] == pytest.approx(128.0)
+    np.testing.assert_allclose(mag[1:], 0.0, atol=1e-10)
+
+
+def test_pure_tone_peaks_at_its_bin():
+    n = 256
+    k = 17
+    t = np.arange(n)
+    row = np.cos(2 * np.pi * k * t / n)
+    mag = fft_magnitude(row)[0]
+    assert mag[k] == pytest.approx(n / 2, rel=1e-6)
+    assert mag[n - k] == pytest.approx(n / 2, rel=1e-6)
+
+
+def test_parseval(rng):
+    row = rng.standard_normal(512)
+    mag = fft_magnitude(row)[0]
+    assert np.sum(mag**2) / 512 == pytest.approx(np.sum(row**2), rel=1e-9)
+
+
+def test_rows_independent(rng):
+    rows = rng.standard_normal((8, 128))
+    full = fft_magnitude(rows)
+    np.testing.assert_allclose(full[3], fft_magnitude(rows[3:4])[0], atol=1e-10)
+
+
+def test_rejects_non_pow2_width():
+    with pytest.raises(ValueError):
+        fft_rows(np.zeros((2, 100)))
+
+
+def test_float32_uses_complex64(rng):
+    rows = rng.standard_normal((2, 64)).astype(np.float32)
+    assert fft_rows(rows).dtype == np.complex64
+    assert fft_magnitude(rows).dtype == np.float32

@@ -1,0 +1,74 @@
+"""Unit tests for the 256-bin histogram reduction kernel."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.histogram import (
+    BINS,
+    HistogramContext,
+    make_context,
+    merge_partials,
+    partial_histogram,
+)
+
+
+def test_context_captures_global_range(rng):
+    data = rng.uniform(-3, 7, 1000)
+    ctx = make_context(data)
+    assert ctx.low == pytest.approx(data.min())
+    assert ctx.high == pytest.approx(data.max())
+
+
+def test_counts_sum_to_input_size(rng):
+    data = rng.standard_normal(10_000)
+    counts = partial_histogram(data, make_context(data))
+    assert counts.sum() == 10_000
+    assert counts.shape == (BINS,)
+
+
+def test_uniform_data_fills_bins_evenly(rng):
+    data = rng.uniform(0, 1, 256_000)
+    counts = partial_histogram(data, make_context(data))
+    assert counts.min() > 600  # expectation 1000 per bin
+    assert counts.max() < 1400
+
+
+def test_extremes_land_in_end_bins():
+    ctx = HistogramContext(low=0.0, high=1.0)
+    counts = partial_histogram(np.array([0.0, 1.0]), ctx)
+    assert counts[0] == 1
+    assert counts[BINS - 1] == 1  # top edge clamps into the last bin
+
+
+def test_out_of_range_values_clamp():
+    ctx = HistogramContext(low=0.0, high=1.0)
+    counts = partial_histogram(np.array([-5.0, 5.0]), ctx)
+    assert counts[0] == 1
+    assert counts[BINS - 1] == 1
+
+
+def test_merge_equals_whole(rng):
+    data = rng.standard_normal(8192)
+    ctx = make_context(data)
+    whole = partial_histogram(data, ctx)
+    parts = [partial_histogram(chunk, ctx) for chunk in np.split(data, 8)]
+    np.testing.assert_allclose(merge_partials(parts), whole)
+
+
+def test_merge_of_single_partial_is_identity(rng):
+    data = rng.standard_normal(1000)
+    ctx = make_context(data)
+    partial = partial_histogram(data, ctx)
+    np.testing.assert_allclose(merge_partials([partial]), partial)
+
+
+def test_degenerate_constant_input():
+    data = np.full(100, 3.0)
+    ctx = make_context(data)
+    counts = partial_histogram(data, ctx)
+    assert counts.sum() == 100
+    assert counts[0] == 100  # zero-width range maps everything to bin 0
+
+
+def test_context_width_guards_zero():
+    assert HistogramContext(low=1.0, high=1.0).width == 1.0

@@ -1,0 +1,111 @@
+"""Unit tests for the INT8 NPU execution surrogate."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.npu import npu_execute
+
+
+def _identity(block, _ctx):
+    return block
+
+
+def _double(block, _ctx):
+    return block * 2.0
+
+
+def test_identity_round_trip_error_bounded(rng):
+    data = rng.uniform(-1, 1, 4096).astype(np.float32)
+    out = npu_execute(_identity, data, None)
+    # Two 8-bit affine round trips: error within a few quantization steps.
+    step = (data.max() - data.min()) / 255
+    assert np.max(np.abs(out - data)) < 4 * step
+
+
+def test_error_grows_with_value_range(rng):
+    narrow = rng.uniform(-1, 1, 4096).astype(np.float32)
+    wide = narrow.copy()
+    wide[::100] *= 200.0  # sparse outliers widen the range
+    narrow_err = np.abs(npu_execute(_identity, narrow, None) - narrow).mean()
+    wide_err = np.abs(npu_execute(_identity, wide, None) - wide).mean()
+    assert wide_err > 3 * narrow_err
+
+
+def test_outliers_saturate_not_dominate(rng):
+    """Calibrated clipping: the bulk keeps fine resolution despite outliers."""
+    bulk = rng.uniform(-1, 1, 10_000).astype(np.float32)
+    data = bulk.copy()
+    data[:20] = 500.0
+    out = npu_execute(_identity, data, None)
+    bulk_err = np.abs(out[20:] - data[20:]).max()
+    assert bulk_err < 0.1  # bulk grid unaffected by the 500s
+    assert np.abs(out[0] - 500.0) > 100  # outliers saturate hard
+
+
+def test_deterministic_given_seed(rng):
+    data = rng.standard_normal(1024).astype(np.float32)
+    a = npu_execute(_double, data, None, error_scale=0.1, seed=3)
+    b = npu_execute(_double, data, None, error_scale=0.1, seed=3)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_different_seeds_differ(rng):
+    data = rng.standard_normal(1024).astype(np.float32)
+    a = npu_execute(_double, data, None, error_scale=0.1, seed=3)
+    b = npu_execute(_double, data, None, error_scale=0.1, seed=4)
+    assert not np.array_equal(a, b)
+
+
+def test_error_scale_monotonic(rng):
+    data = rng.standard_normal(4096).astype(np.float32)
+    exact = data * 2.0
+    errs = []
+    for scale in (0.0, 0.05, 0.5):
+        out = npu_execute(_double, data, None, error_scale=scale, seed=1)
+        errs.append(np.abs(out - exact).mean())
+    assert errs[0] < errs[1] < errs[2]
+
+
+def test_per_channel_quantization_isolates_scales(rng):
+    """A huge channel must not destroy a tiny channel's resolution."""
+    tiny = rng.uniform(0.01, 0.02, 1000).astype(np.float32)
+    huge = rng.uniform(900, 1000, 1000).astype(np.float32)
+    stacked = np.stack([tiny, huge])
+    per_tensor = npu_execute(_identity, stacked, None)
+    per_channel = npu_execute(_identity, stacked, None, channel_axis=0)
+    tensor_err = np.abs(per_tensor[0] - tiny).mean()
+    channel_err = np.abs(per_channel[0] - tiny).mean()
+    assert channel_err < tensor_err / 10
+
+
+def test_quantize_output_false_keeps_exact_partials(rng):
+    """Reduction partials live in INT32 accumulators: no output re-quantization."""
+    data = rng.uniform(0, 1, 4096).astype(np.float32)
+
+    def count_positive(block, _ctx):
+        return np.asarray([np.sum(block > 0.5)], dtype=np.float32)
+
+    out = npu_execute(count_positive, data, None, quantize_output=False)
+    # Input quantization may flip values right at the threshold, but the
+    # count itself is not re-quantized (no giant int8 steps).
+    exact = float(np.sum(data > 0.5))
+    assert abs(float(out[0]) - exact) < 64
+
+
+def test_output_channel_structure_dropped_when_shape_changes(rng):
+    """(2, H, W) -> (H, W) output must not treat rows as channels."""
+    stack = rng.standard_normal((2, 16, 16)).astype(np.float32)
+
+    def first_channel(block, _ctx):
+        return block[0]
+
+    out = npu_execute(first_channel, stack, None, channel_axis=0, seed=5)
+    assert out.shape == (16, 16)
+    assert np.all(np.isfinite(out))
+
+
+def test_empty_error_scale_zero_no_noise(rng):
+    data = rng.standard_normal(512).astype(np.float32)
+    a = npu_execute(_identity, data, None, error_scale=0.0, seed=1)
+    b = npu_execute(_identity, data, None, error_scale=0.0, seed=99)
+    np.testing.assert_array_equal(a, b)  # no seed dependence without noise

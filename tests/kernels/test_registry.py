@@ -1,0 +1,127 @@
+"""Unit tests for the kernel registry and spec validation."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.registry import (
+    KernelSpec,
+    ParallelModel,
+    all_kernels,
+    benchmark_kernels,
+    get_kernel,
+    kernel_names,
+    register_kernel,
+)
+
+
+def test_benchmark_suite_is_complete_and_ordered():
+    names = [spec.name for spec in benchmark_kernels()]
+    assert names == [
+        "blackscholes",
+        "dct8x8",
+        "dwt",
+        "fft",
+        "histogram",
+        "hotspot",
+        "laplacian",
+        "mean_filter",
+        "sobel",
+        "srad",
+    ]
+
+
+def test_get_kernel_unknown_raises_with_suggestions():
+    with pytest.raises(KeyError, match="unknown kernel"):
+        get_kernel("not-a-kernel")
+
+
+def test_all_kernels_include_table1_extras():
+    names = set(kernel_names())
+    for extra in ("add", "relu", "reduce_sum", "gemm", "stencil"):
+        assert extra in names
+
+
+def test_reduction_specs_have_merge():
+    assert get_kernel("histogram").merge is not None
+    assert get_kernel("reduce_sum").reduces
+
+
+def test_spec_validation_reduction_needs_merge():
+    with pytest.raises(ValueError, match="merge"):
+        KernelSpec(
+            name="bad",
+            vop="bad",
+            model=ParallelModel.VECTOR,
+            reference=lambda d, c: d,
+            compute=lambda d, c: d,
+            reduces=True,
+        )
+
+
+def test_spec_validation_halo_only_for_tiles():
+    with pytest.raises(ValueError, match="halo"):
+        KernelSpec(
+            name="bad2",
+            vop="bad2",
+            model=ParallelModel.VECTOR,
+            reference=lambda d, c: d,
+            compute=lambda d, c: d,
+            halo=1,
+        )
+
+
+def test_duplicate_registration_rejected():
+    spec = KernelSpec(
+        name="temp-dup",
+        vop="temp-dup",
+        model=ParallelModel.VECTOR,
+        reference=lambda d, c: d,
+        compute=lambda d, c: d,
+    )
+    register_kernel(spec)
+    clone = KernelSpec(
+        name="temp-dup",
+        vop="temp-dup",
+        model=ParallelModel.VECTOR,
+        reference=lambda d, c: d,
+        compute=lambda d, c: d,
+    )
+    with pytest.raises(ValueError, match="already registered"):
+        register_kernel(clone)
+
+
+def test_reregistering_same_object_is_idempotent():
+    spec = get_kernel("sobel")
+    assert register_kernel(spec) is spec
+
+
+def test_specs_carry_calibration():
+    spec = get_kernel("fft")
+    assert spec.calibration.tpu_speedup == pytest.approx(3.22)
+
+
+def test_stencil_kernels_declare_halo():
+    for name in ("sobel", "laplacian", "mean_filter", "hotspot", "srad"):
+        spec = get_kernel(name)
+        assert spec.model is ParallelModel.TILE
+        assert spec.halo == 1
+
+
+def test_blocked_kernels_declare_tile_multiple():
+    assert get_kernel("dct8x8").tile_multiple == 8
+    assert get_kernel("dwt").tile_multiple == 64
+
+
+def test_reference_matches_compute_for_exact_path(rng):
+    """For every benchmark kernel, FP64 reference == compute on FP64 + pad."""
+    from repro.kernels.common import replicate_pad
+
+    for spec in benchmark_kernels():
+        if spec.model is ParallelModel.TILE and spec.halo:
+            data = rng.standard_normal((2, 16, 16)) if spec.name == "hotspot" else np.abs(
+                rng.standard_normal((16, 16))
+            ) + 0.5
+            ctx = spec.make_context(data)
+            ref = spec.reference(data, ctx)
+            direct = spec.compute(replicate_pad(data.astype(np.float64), 1), ctx)
+            np.testing.assert_allclose(ref, direct, rtol=1e-10)

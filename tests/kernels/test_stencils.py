@@ -1,0 +1,169 @@
+"""Unit tests for the stencil kernels: Hotspot, Laplacian, Mean Filter, Sobel, SRAD."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.common import replicate_pad
+from repro.kernels.hotspot import DEFAULT_PARAMS, HotspotParams, hotspot_step
+from repro.kernels.laplacian import laplacian
+from repro.kernels.mean_filter import mean_filter
+from repro.kernels.sobel import sobel
+from repro.kernels.srad import make_context, srad_step
+
+# ------------------------------------------------------------------ hotspot
+
+
+def _hotspot_stack(temp, power):
+    return replicate_pad(np.stack([temp, power]), 1)
+
+
+def test_hotspot_uniform_ambient_no_power_is_steady():
+    temp = np.full((16, 16), DEFAULT_PARAMS.ambient)
+    power = np.zeros((16, 16))
+    out = hotspot_step(_hotspot_stack(temp, power))
+    np.testing.assert_allclose(out, DEFAULT_PARAMS.ambient, atol=1e-10)
+
+
+def test_hotspot_cools_toward_ambient():
+    temp = np.full((16, 16), DEFAULT_PARAMS.ambient + 50.0)
+    power = np.zeros((16, 16))
+    out = hotspot_step(_hotspot_stack(temp, power))
+    assert np.all(out < DEFAULT_PARAMS.ambient + 50.0)
+    assert np.all(out > DEFAULT_PARAMS.ambient)
+
+
+def test_hotspot_power_heats_its_cell():
+    temp = np.full((16, 16), DEFAULT_PARAMS.ambient)
+    power = np.zeros((16, 16))
+    power[8, 8] = 10.0
+    out = hotspot_step(_hotspot_stack(temp, power))
+    assert out[8, 8] > DEFAULT_PARAMS.ambient
+    assert out[0, 0] == pytest.approx(DEFAULT_PARAMS.ambient)
+
+
+def test_hotspot_diffusion_smooths_gradient(rng):
+    temp = np.full((16, 16), 80.0)
+    temp[8, 8] = 120.0
+    out = hotspot_step(_hotspot_stack(temp, np.zeros((16, 16))), DEFAULT_PARAMS)
+    assert out[8, 8] < 120.0
+    assert out[7, 8] > 80.0  # neighbour warmed
+
+
+def test_hotspot_custom_params():
+    params = HotspotParams(step=0.0)
+    temp = np.full((8, 8), 100.0)
+    out = hotspot_step(_hotspot_stack(temp, np.ones((8, 8))), params)
+    np.testing.assert_allclose(out, 100.0)  # zero step => unchanged
+
+
+# ---------------------------------------------------------------- laplacian
+
+
+def test_laplacian_constant_is_zero():
+    out = laplacian(np.full((10, 10), 7.0))
+    np.testing.assert_allclose(out, 0.0, atol=1e-12)
+
+
+def test_laplacian_linear_ramp_is_zero():
+    image = np.add.outer(np.arange(10.0), 2 * np.arange(12.0))
+    out = laplacian(image)
+    np.testing.assert_allclose(out, 0.0, atol=1e-10)
+
+
+def test_laplacian_impulse_response():
+    image = np.zeros((9, 9))
+    image[4, 4] = 1.0
+    out = laplacian(image)
+    assert out[3, 3] == pytest.approx(-4.0)  # center of valid output
+    assert out[2, 3] == pytest.approx(1.0)
+
+
+# -------------------------------------------------------------- mean filter
+
+
+def test_mean_filter_constant_preserved():
+    out = mean_filter(np.full((8, 8), 3.0))
+    np.testing.assert_allclose(out, 3.0, atol=1e-12)
+
+
+def test_mean_filter_is_local_average(rng):
+    block = rng.standard_normal((6, 6))
+    out = mean_filter(block)
+    assert out[0, 0] == pytest.approx(block[:3, :3].mean())
+
+
+def test_mean_filter_bounded_by_input(rng):
+    block = rng.uniform(-5, 5, (12, 12))
+    out = mean_filter(block)
+    assert np.all(out >= block.min() - 1e-9)
+    assert np.all(out <= block.max() + 1e-9)
+
+
+# -------------------------------------------------------------------- sobel
+
+
+def test_sobel_constant_is_zero():
+    np.testing.assert_allclose(sobel(np.full((10, 10), 2.0)), 0.0, atol=1e-12)
+
+
+def test_sobel_nonnegative(rng):
+    out = sobel(rng.standard_normal((20, 20)))
+    assert np.all(out >= 0)
+
+
+def test_sobel_detects_vertical_edge():
+    image = np.zeros((10, 10))
+    image[:, 5:] = 10.0
+    out = sobel(image)
+    edge_cols = out[:, 3:6]
+    flat_cols = out[:, 0:2]
+    assert edge_cols.max() > 10.0
+    np.testing.assert_allclose(flat_cols, 0.0, atol=1e-10)
+
+
+def test_sobel_rotation_symmetry():
+    """A horizontal edge scores the same magnitude as a vertical one."""
+    image = np.zeros((12, 12))
+    image[6:, :] = 5.0
+    horizontal = sobel(image)
+    vertical = sobel(image.T)
+    np.testing.assert_allclose(horizontal, vertical.T, atol=1e-10)
+
+
+# --------------------------------------------------------------------- srad
+
+
+def test_srad_uniform_image_unchanged():
+    image = np.full((16, 16), 2.0)
+    ctx = make_context(image)
+    out = srad_step(replicate_pad(image, 1), ctx)
+    np.testing.assert_allclose(out, 2.0, atol=1e-9)
+
+
+def test_srad_smooths_speckle(rng):
+    image = np.exp(0.3 * rng.standard_normal((32, 32)))
+    ctx = make_context(image)
+    out = srad_step(replicate_pad(image, 1), ctx)
+    assert np.var(out) < np.var(image)
+
+
+def test_srad_preserves_mean_roughly(rng):
+    image = np.exp(0.3 * rng.standard_normal((32, 32)))
+    ctx = make_context(image)
+    out = srad_step(replicate_pad(image, 1), ctx)
+    assert out.mean() == pytest.approx(image.mean(), rel=0.05)
+
+
+def test_srad_context_q0():
+    image = np.full((8, 8), 4.0)
+    ctx = make_context(image)
+    assert ctx.q0_squared == pytest.approx(1e-8)  # zero variance clamps
+
+
+def test_srad_diffusion_coefficient_clamped(rng):
+    """Extreme gradients must not produce negative/overshooting updates."""
+    image = np.ones((16, 16))
+    image[8, 8] = 1000.0
+    ctx = make_context(image)
+    out = srad_step(replicate_pad(image, 1), ctx)
+    assert np.all(np.isfinite(out))

@@ -1,0 +1,113 @@
+"""Unit tests for the tensor-accelerator formulations (paper section 2.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.tensorizer import (
+    conv3x3_tc,
+    gemm_tc,
+    int8_matmul,
+    reduce_average_tc,
+    reduce_sum_tc,
+    scan_tc,
+)
+
+
+def test_int8_matmul_close_to_fp(rng):
+    a = rng.uniform(-1, 1, (32, 64)).astype(np.float32)
+    b = rng.uniform(-1, 1, (64, 16)).astype(np.float32)
+    exact = a.astype(np.float64) @ b.astype(np.float64)
+    approx = int8_matmul(a, b)
+    rel = np.abs(approx - exact) / (np.abs(exact) + 1e-3)
+    assert np.median(rel) < 0.05
+
+
+def test_int8_matmul_accumulation_is_exact(rng):
+    """Error must not grow with the contraction length K: accumulation is
+    exact in INT32, so only the per-element input quantization matters."""
+    errors = []
+    for k in (64, 4096):
+        a = rng.uniform(0.5, 1.0, (4, k)).astype(np.float32)
+        b = rng.uniform(0.5, 1.0, (k, 4)).astype(np.float32)
+        exact = a.astype(np.float64) @ b.astype(np.float64)
+        rel = np.abs(int8_matmul(a, b) - exact) / np.abs(exact)
+        errors.append(float(rel.mean()))
+    assert errors[1] < errors[0] * 3  # no K-proportional blow-up
+
+
+def test_int8_matmul_shape_mismatch():
+    with pytest.raises(ValueError):
+        int8_matmul(np.ones((2, 3)), np.ones((4, 2)))
+
+
+def test_int8_matmul_large_k_no_overflow():
+    """127 * 127 * 1M overflows int32 -- accumulation must use wider ints."""
+    n = 1_000_000
+    a = np.full((1, n), 1.0, dtype=np.float32)
+    b = np.full((n, 1), 1.0, dtype=np.float32)
+    result = float(int8_matmul(a, b)[0, 0])
+    assert result == pytest.approx(n, rel=0.01)
+
+
+def test_reduce_sum_tc(rng):
+    values = rng.uniform(0, 2, 10_000).astype(np.float32)
+    assert reduce_sum_tc(values) == pytest.approx(float(values.sum()), rel=0.01)
+
+
+def test_reduce_sum_tc_signed(rng):
+    values = rng.standard_normal(10_000).astype(np.float32)
+    assert reduce_sum_tc(values) == pytest.approx(float(values.sum()), abs=0.02 * 10_000**0.5 * 3)
+
+
+def test_reduce_average_tc(rng):
+    values = rng.uniform(5, 6, 4096).astype(np.float32)
+    assert reduce_average_tc(values) == pytest.approx(float(values.mean()), rel=0.01)
+
+
+def test_reduce_average_empty():
+    assert reduce_average_tc(np.array([])) == 0.0
+
+
+def test_scan_tc_matches_cumsum(rng):
+    values = rng.uniform(0, 1, 1000).astype(np.float32)
+    expected = np.cumsum(values.astype(np.float64))
+    result = scan_tc(values, block=128)
+    rel = np.abs(result - expected) / (np.abs(expected) + 1e-6)
+    assert rel.max() < 0.05
+
+
+def test_scan_tc_carries_across_blocks(rng):
+    values = np.ones(700, dtype=np.float32)
+    result = scan_tc(values, block=256)
+    assert result[-1] == pytest.approx(700, rel=0.01)
+    assert np.all(np.diff(result) > 0)
+
+
+def test_scan_tc_empty():
+    assert scan_tc(np.array([], dtype=np.float32)).size == 0
+
+
+def test_gemm_tc_matches_matmul(rng):
+    a = rng.uniform(-2, 2, (16, 24)).astype(np.float32)
+    b = rng.uniform(-2, 2, (24, 8)).astype(np.float32)
+    exact = a.astype(np.float64) @ b.astype(np.float64)
+    rel = np.abs(gemm_tc(a, b) - exact) / (np.abs(exact) + 1e-2)
+    assert np.median(rel) < 0.05
+
+
+def test_conv3x3_tc_matches_vector_conv(rng):
+    from repro.kernels.common import conv3x3
+
+    block = rng.uniform(0, 10, (18, 18)).astype(np.float32)
+    kernel = np.array([[0, 1, 0], [1, -4, 1], [0, 1, 0]], dtype=np.float32)
+    exact = conv3x3(block.astype(np.float64), kernel.astype(np.float64))
+    approx = conv3x3_tc(block, kernel)
+    assert approx.shape == (16, 16)
+    assert np.abs(approx - exact).mean() < 0.2
+
+
+def test_conv3x3_tc_validates_inputs():
+    with pytest.raises(ValueError):
+        conv3x3_tc(np.zeros(10), np.zeros((3, 3)))
+    with pytest.raises(ValueError):
+        conv3x3_tc(np.zeros((10, 10)), np.zeros((5, 5)))

@@ -1,0 +1,69 @@
+"""Unit tests for the MAPE metric."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.mape import mape, mape_percent
+
+
+def test_identical_arrays_zero_error(rng):
+    data = rng.standard_normal(100)
+    assert mape(data, data) == 0.0
+
+
+def test_known_relative_error():
+    ref = np.array([100.0, 200.0])
+    measured = np.array([110.0, 180.0])
+    expected = (10 / 100 + 20 / 200) / 2
+    assert mape(ref, measured, epsilon=0.0) == pytest.approx(expected)
+
+
+def test_percent_scaling():
+    ref = np.array([100.0])
+    measured = np.array([90.0])
+    assert mape_percent(ref, measured, epsilon=0.0) == pytest.approx(10.0)
+
+
+def test_default_epsilon_is_relative_to_magnitude():
+    """Scaling both arrays by a constant leaves MAPE unchanged."""
+    rng = np.random.default_rng(0)
+    ref = rng.standard_normal(1000)
+    measured = ref + 0.01 * rng.standard_normal(1000)
+    assert mape(ref, measured) == pytest.approx(mape(ref * 1e6, measured * 1e6))
+
+
+def test_near_zero_references_inflate_but_stay_finite():
+    ref = np.zeros(100)
+    measured = np.full(100, 0.001)
+    value = mape(ref, measured)
+    assert np.isfinite(value)
+    assert value > 0
+
+
+def test_edge_detector_pattern():
+    """Mostly-zero outputs (edge maps) blow MAPE up -- the paper's caveat."""
+    rng = np.random.default_rng(1)
+    edge_map = np.zeros(10_000)
+    edge_map[::100] = 50.0  # sparse edges
+    noisy = edge_map + 0.05 * rng.standard_normal(10_000)
+    dense = rng.uniform(40, 60, 10_000)
+    dense_noisy = dense + 0.05 * rng.standard_normal(10_000)
+    assert mape(edge_map, noisy) > 20 * mape(dense, dense_noisy)
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        mape(np.zeros(3), np.zeros(4))
+
+
+def test_empty_arrays():
+    assert mape(np.array([]), np.array([])) == 0.0
+
+
+def test_explicit_epsilon_overrides_default():
+    ref = np.array([0.0])
+    measured = np.array([1.0])
+    # |1 - 0| / (|0| + 1.0) = 1.0; the default (relative) epsilon would be
+    # tiny here and give a much larger value.
+    assert mape(ref, measured, epsilon=1.0) == pytest.approx(1.0)
+    assert mape(ref, measured) > 100.0

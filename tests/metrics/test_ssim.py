@@ -1,0 +1,66 @@
+"""Unit tests for the SSIM metric."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.ssim import gaussian_window, ssim
+
+
+def test_gaussian_window_normalized():
+    window = gaussian_window()
+    assert window.sum() == pytest.approx(1.0)
+    assert window.shape == (11, 11)
+
+
+def test_gaussian_window_peak_at_center():
+    window = gaussian_window()
+    assert window[5, 5] == window.max()
+    np.testing.assert_allclose(window, window.T)  # symmetric
+
+
+def test_identical_images_score_one(rng):
+    image = rng.uniform(0, 255, (64, 64))
+    assert ssim(image, image) == pytest.approx(1.0)
+
+
+def test_scale_invariance_of_perfect_match(rng):
+    image = rng.uniform(0, 1, (64, 64))
+    assert ssim(image * 1000, image * 1000) == pytest.approx(1.0)
+
+
+def test_noise_reduces_ssim(rng):
+    image = rng.uniform(0, 255, (64, 64))
+    mild = image + 5 * rng.standard_normal((64, 64))
+    harsh = image + 50 * rng.standard_normal((64, 64))
+    assert 1.0 > ssim(image, mild) > ssim(image, harsh)
+
+
+def test_constant_images():
+    flat = np.full((32, 32), 7.0)
+    assert ssim(flat, flat) == 1.0
+    assert ssim(flat, flat + 1.0) == 0.0
+
+
+def test_inverted_image_scores_low(rng):
+    image = rng.uniform(0, 255, (64, 64))
+    assert ssim(image, 255 - image) < 0.2
+
+
+def test_quantization_degrades_gracefully(rng):
+    """INT8-style quantization should keep SSIM high -- the paper's Fig 8
+    scores sit above 0.89 even for TPU-only runs."""
+    from repro.devices.precision import round_trip_affine
+
+    image = rng.uniform(0, 255, (128, 128)).astype(np.float32)
+    quantized = round_trip_affine(image, bits=8)
+    assert ssim(image, quantized) > 0.95
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        ssim(np.zeros((4, 4)), np.zeros((4, 5)))
+
+
+def test_requires_2d():
+    with pytest.raises(ValueError):
+        ssim(np.zeros(16), np.zeros(16))

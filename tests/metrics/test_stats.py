@@ -1,0 +1,35 @@
+"""Unit tests for summary statistics."""
+
+import pytest
+
+from repro.metrics.stats import arithmetic_mean, geometric_mean, relative_difference
+
+
+def test_geometric_mean_known():
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+
+def test_geometric_mean_below_arithmetic():
+    values = [1.0, 2.0, 10.0]
+    assert geometric_mean(values) < arithmetic_mean(values)
+
+
+def test_geometric_mean_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+    with pytest.raises(ValueError):
+        geometric_mean([])
+
+
+def test_arithmetic_mean():
+    assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        arithmetic_mean([])
+
+
+def test_relative_difference():
+    assert relative_difference(1.1, 1.0) == pytest.approx(0.1)
+    assert relative_difference(0.9, 1.0) == pytest.approx(0.1)
+    with pytest.raises(ValueError):
+        relative_difference(1.0, 0.0)

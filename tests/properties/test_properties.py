@@ -1,0 +1,199 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These pin down the structural guarantees the rest of the system assumes:
+partition plans tile the index space exactly, quantization error is
+bounded by its step size, the event engine is order-preserving, and the
+quality metrics are metamorphically sane.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import PartitionConfig, plan_partitions
+from repro.core.quality import estimate_criticality
+from repro.core.sampling import ReductionSampler, StridingSampler, UniformSampler
+from repro.devices.precision import (
+    INT8,
+    dequantize,
+    quantization_scale,
+    quantize,
+    round_trip,
+    round_trip_affine,
+)
+from repro.kernels.registry import get_kernel
+from repro.metrics.mape import mape
+from repro.metrics.stats import geometric_mean
+from repro.sim.engine import Engine
+
+# ----------------------------------------------------------------- partition
+
+
+@given(
+    n=st.integers(min_value=1, max_value=500_000),
+    target=st.integers(min_value=1, max_value=128),
+)
+@settings(max_examples=60, deadline=None)
+def test_vector_partitions_tile_exactly(n, target):
+    spec = get_kernel("relu")
+    partitions = plan_partitions(spec, (n,), PartitionConfig(target_partitions=target))
+    covered = 0
+    previous_stop = 0
+    for p in partitions:
+        sl = p.out_slices[0]
+        assert sl.start == previous_stop  # contiguous, in order
+        previous_stop = sl.stop
+        covered += p.n_items
+    assert previous_stop == n
+    assert covered == n
+
+
+@given(
+    height=st.integers(min_value=1, max_value=64).map(lambda k: k * 32),
+    width=st.integers(min_value=1, max_value=64).map(lambda k: k * 32),
+    target=st.integers(min_value=1, max_value=100),
+)
+@settings(max_examples=40, deadline=None)
+def test_tile_partitions_tile_exactly(height, width, target):
+    spec = get_kernel("sobel")
+    partitions = plan_partitions(
+        spec, (height, width), PartitionConfig(target_partitions=target)
+    )
+    coverage = np.zeros((height, width), dtype=np.int8)
+    for p in partitions:
+        coverage[p.out_slices] += 1
+    assert np.all(coverage == 1)
+    assert sum(p.n_items for p in partitions) == height * width
+
+
+@given(
+    rows=st.integers(min_value=1, max_value=2048),
+    width=st.sampled_from([64, 128, 256, 512]),
+)
+@settings(max_examples=40, deadline=None)
+def test_rows_partitions_tile_exactly(rows, width):
+    spec = get_kernel("fft")
+    partitions = plan_partitions(spec, (rows, width), PartitionConfig())
+    covered_rows = sum(p.out_slices[0].stop - p.out_slices[0].start for p in partitions)
+    assert covered_rows == rows
+
+
+# -------------------------------------------------------------- quantization
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=32),
+        min_size=1,
+        max_size=200,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_symmetric_quantization_error_bounded_by_half_step(values):
+    data = np.asarray(values, dtype=np.float32)
+    codes, scale = quantize(data, 8)
+    restored = dequantize(codes, scale)
+    assert np.all(np.abs(restored - data) <= scale * 0.5 * 1.0001 + 1e-12)
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, width=32),
+        min_size=2,
+        max_size=200,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_affine_round_trip_error_bounded_by_step(values):
+    data = np.asarray(values, dtype=np.float32)
+    restored = round_trip_affine(data, bits=8)
+    span = float(data.max() - data.min())
+    step = span / 255 if span else 0.0
+    assert np.all(np.abs(restored - data) <= step * 0.5 + 1e-5 + 1e-6 * np.abs(data))
+
+
+@given(scale_factor=st.floats(min_value=0.01, max_value=100.0))
+@settings(max_examples=40, deadline=None)
+def test_quantization_scale_is_homogeneous(scale_factor):
+    rng = np.random.default_rng(0)
+    data = rng.standard_normal(100)
+    base = quantization_scale(data, 8)
+    scaled = quantization_scale(data * scale_factor, 8)
+    assert scaled == pytest.approx(base * scale_factor, rel=1e-6)
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_int8_round_trip_idempotent(seed):
+    """Quantizing an already-quantized tensor changes nothing."""
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(-10, 10, 100).astype(np.float32)
+    once = round_trip(data, INT8)
+    twice = round_trip(once, INT8)
+    np.testing.assert_allclose(twice, once, atol=1e-6)
+
+
+# ------------------------------------------------------------------- engine
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_engine_fires_in_nondecreasing_time_order(delays):
+    engine = Engine()
+    fired = []
+    for delay in delays:
+        engine.schedule(delay, lambda d=delay: fired.append(engine.now))
+    engine.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+# ------------------------------------------------------------------ sampling
+
+
+@given(
+    size=st.integers(min_value=4, max_value=100_000),
+    rate_exp=st.integers(min_value=-15, max_value=-2),
+    sampler_cls=st.sampled_from([StridingSampler, UniformSampler, ReductionSampler]),
+)
+@settings(max_examples=60, deadline=None)
+def test_samples_always_drawn_from_block(size, rate_exp, sampler_cls):
+    rng = np.random.default_rng(7)
+    block = rng.uniform(5.0, 6.0, size).astype(np.float32)
+    result = sampler_cls(rate=2.0**rate_exp).sample(block, rng)
+    assert 0 < result.n_samples <= size
+    assert np.all((result.samples >= 5.0) & (result.samples <= 6.0))
+    assert result.host_seconds > 0
+
+
+# ------------------------------------------------------------------- metrics
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_mape_nonnegative_and_zero_iff_equal(seed):
+    rng = np.random.default_rng(seed)
+    ref = rng.standard_normal(50)
+    assert mape(ref, ref) == 0.0
+    perturbed = ref + rng.standard_normal(50) * 0.1
+    assert mape(ref, perturbed) >= 0.0
+
+
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=20)
+)
+@settings(max_examples=50, deadline=None)
+def test_geometric_mean_bounded_by_extremes(values):
+    gmean = geometric_mean(values)
+    assert min(values) * 0.999 <= gmean <= max(values) * 1.001
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_criticality_score_monotone_under_scaling(seed):
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal(200)
+    small = estimate_criticality(data)
+    big = estimate_criticality(data * 10)
+    assert big.score >= small.score

@@ -1,0 +1,81 @@
+"""Property-based tests for HLOP splitting and the tensorizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import PartitionConfig, plan_partitions, split_partition
+from repro.kernels.registry import get_kernel
+from repro.kernels.tensorizer import int8_matmul, scan_tc
+
+CONFIG = PartitionConfig(target_partitions=4, page_bytes=1024)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=300_000),
+    fraction=st.floats(min_value=0.05, max_value=0.95),
+)
+@settings(max_examples=60, deadline=None)
+def test_vector_split_conserves_items_and_alignment(n, fraction):
+    spec = get_kernel("relu")
+    partition = plan_partitions(spec, (n,), PartitionConfig(target_partitions=1))[0]
+    result = split_partition(spec, partition, fraction, CONFIG)
+    if result is None:
+        return
+    left, right = result
+    assert left.n_items + right.n_items == n
+    assert left.out_slices[0].stop == right.out_slices[0].start
+    assert left.n_items % CONFIG.min_vector_elements == 0
+
+
+@given(
+    height=st.integers(min_value=1, max_value=32).map(lambda k: k * 32),
+    width=st.sampled_from([32, 64, 128]),
+    fraction=st.floats(min_value=0.1, max_value=0.9),
+)
+@settings(max_examples=40, deadline=None)
+def test_tile_split_conserves_rows_and_halo(height, width, fraction):
+    spec = get_kernel("sobel")
+    partition = plan_partitions(
+        spec, (height, width), PartitionConfig(target_partitions=1)
+    )[0]
+    result = split_partition(spec, partition, fraction, CONFIG)
+    if result is None:
+        return
+    left, right = result
+    assert left.n_items + right.n_items == height * width
+    for child in (left, right):
+        in_rows = child.in_slices[0].stop - child.in_slices[0].start
+        out_rows = child.out_slices[0].stop - child.out_slices[0].start
+        assert in_rows == out_rows + 2
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_int8_matmul_scale_equivariant(seed):
+    """Scaling an operand scales the product (quantization is homogeneous)."""
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1, 1, (8, 16)).astype(np.float32)
+    b = rng.uniform(-1, 1, (16, 4)).astype(np.float32)
+    base = int8_matmul(a, b)
+    scaled = int8_matmul(a * 4.0, b)
+    np.testing.assert_allclose(scaled, base * 4.0, rtol=1e-4, atol=1e-4)
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=600)
+)
+@settings(max_examples=40, deadline=None)
+def test_scan_tc_monotone_for_nonnegative(values):
+    data = np.asarray(values, dtype=np.float32)
+    result = scan_tc(data, block=128)
+    assert result.shape == data.shape
+    assert np.all(np.diff(result) >= -1e-3 * (1 + np.abs(result[:-1])))
+
+
+@given(st.integers(min_value=1, max_value=2000))
+@settings(max_examples=30, deadline=None)
+def test_scan_tc_of_ones_counts(n):
+    result = scan_tc(np.ones(n, dtype=np.float32), block=256)
+    assert result[-1] == pytest.approx(n, rel=0.02)

@@ -1,0 +1,66 @@
+"""Unit tests for the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.sim.gantt import render_gantt, utilization_summary
+from repro.sim.trace import Trace
+
+
+@pytest.fixture
+def trace():
+    t = Trace()
+    t.add_span("host", 0.0, 1.0, "sampling", "host")
+    t.add_span("gpu0", 1.0, 9.0, "hlop:0", "compute")
+    t.add_span("tpu0", 1.0, 2.0, "xfer:1", "transfer")
+    t.add_span("tpu0", 2.0, 10.0, "hlop:1", "compute")
+    return t
+
+
+def test_renders_one_row_per_resource_plus_legend(trace):
+    out = render_gantt(trace, width=20)
+    lines = out.splitlines()
+    assert len(lines) == 4  # host, gpu0, tpu0, legend
+    assert lines[0].lstrip().startswith("host")
+
+
+def test_rows_have_fixed_width(trace):
+    out = render_gantt(trace, width=40)
+    bars = [line.split("|")[1] for line in out.splitlines()[:-1]]
+    assert all(len(bar) == 40 for bar in bars)
+
+
+def test_glyphs_by_category(trace):
+    out = render_gantt(trace, width=20)
+    host_row, gpu_row, tpu_row, _ = out.splitlines()
+    assert "S" in host_row  # sampling phase
+    assert "C" in gpu_row
+    assert "x" in tpu_row and "C" in tpu_row
+
+
+def test_idle_time_rendered_as_dots(trace):
+    out = render_gantt(trace, width=20)
+    gpu_row = out.splitlines()[1]
+    assert gpu_row.split("|")[1][-1] == "."  # gpu idle at the very end
+
+
+def test_empty_trace():
+    assert render_gantt(Trace()) == "(empty trace)"
+
+
+def test_invalid_width(trace):
+    with pytest.raises(ValueError):
+        render_gantt(trace, width=0)
+
+
+def test_runtime_trace_renders(ws_runtime):
+    from repro.workloads.generator import generate
+
+    report = ws_runtime.execute(generate("sobel", size=(128, 128), seed=1))
+    out = render_gantt(report.trace, width=60)
+    assert "gpu0" in out
+    assert "C" in out
+
+
+def test_utilization_summary(trace):
+    out = utilization_summary(trace)
+    assert "gpu0" in out and "%" in out

@@ -1,0 +1,76 @@
+"""Unit tests for trace recording and derived statistics."""
+
+import pytest
+
+from repro.sim.trace import Trace
+
+
+@pytest.fixture
+def trace():
+    t = Trace()
+    t.add_span("gpu0", 0.0, 2.0, "hlop:0", "compute")
+    t.add_span("gpu0", 2.0, 3.0, "xfer:1", "transfer")
+    t.add_span("tpu0", 0.5, 4.0, "hlop:1", "compute")
+    t.add_marker("tpu0", 4.0, "steal:2<-gpu0")
+    return t
+
+
+def test_busy_time_per_resource(trace):
+    assert trace.busy_time("gpu0") == pytest.approx(3.0)
+    assert trace.busy_time("tpu0") == pytest.approx(3.5)
+
+
+def test_busy_time_by_category(trace):
+    assert trace.busy_time("gpu0", category="compute") == pytest.approx(2.0)
+    assert trace.busy_time("gpu0", category="transfer") == pytest.approx(1.0)
+
+
+def test_category_time_across_resources(trace):
+    assert trace.category_time("compute") == pytest.approx(5.5)
+
+
+def test_makespan(trace):
+    assert trace.makespan() == pytest.approx(4.0)
+
+
+def test_makespan_empty():
+    assert Trace().makespan() == 0.0
+
+
+def test_utilization(trace):
+    assert trace.utilization("gpu0") == pytest.approx(3.0 / 4.0)
+
+
+def test_utilization_empty_trace():
+    assert Trace().utilization("gpu0") == 0.0
+
+
+def test_resources_first_seen_order(trace):
+    assert trace.resources() == ["gpu0", "tpu0"]
+
+
+def test_marker_count(trace):
+    assert trace.count("steal:") == 1
+    assert trace.count("nothing") == 0
+
+
+def test_negative_span_rejected():
+    with pytest.raises(ValueError):
+        Trace().add_span("gpu0", 2.0, 1.0, "bad")
+
+
+def test_spans_by_resource(trace):
+    grouped = trace.spans_by_resource()
+    assert len(grouped["gpu0"]) == 2
+    assert len(grouped["tpu0"]) == 1
+
+
+def test_timeline_sorted(trace):
+    times = [row[0] for row in trace.timeline()]
+    assert times == sorted(times)
+
+
+def test_span_duration():
+    trace = Trace()
+    trace.add_span("cpu0", 1.0, 2.5, "work")
+    assert trace.spans[0].duration == pytest.approx(1.5)

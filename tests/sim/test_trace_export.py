@@ -1,0 +1,63 @@
+"""Unit tests for Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.sim.trace import Trace
+from repro.sim.trace_export import to_chrome_trace, write_chrome_trace
+
+
+@pytest.fixture
+def trace():
+    t = Trace()
+    t.add_span("gpu0", 0.0, 0.002, "hlop:0", "compute")
+    t.add_span("tpu0", 0.001, 0.0015, "xfer:1", "transfer")
+    t.add_marker("tpu0", 0.0015, "steal:1<-gpu0")
+    return t
+
+
+def test_events_structure(trace):
+    doc = to_chrome_trace(trace)
+    assert "traceEvents" in doc
+    kinds = {event["ph"] for event in doc["traceEvents"]}
+    assert {"M", "X", "i"} <= kinds
+
+
+def test_durations_in_microseconds(trace):
+    doc = to_chrome_trace(trace)
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    gpu_span = next(e for e in spans if e["name"] == "hlop:0")
+    assert gpu_span["ts"] == pytest.approx(0.0)
+    assert gpu_span["dur"] == pytest.approx(2000.0)
+
+
+def test_thread_names_map_resources(trace):
+    doc = to_chrome_trace(trace, process_name="demo")
+    metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    names = {e["args"]["name"] for e in metas}
+    assert {"demo", "gpu0", "tpu0"} <= names
+
+
+def test_marker_becomes_instant_event(trace):
+    doc = to_chrome_trace(trace)
+    instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+    assert len(instants) == 1
+    assert instants[0]["name"].startswith("steal:")
+
+
+def test_write_produces_valid_json(tmp_path, trace):
+    path = tmp_path / "trace.json"
+    write_chrome_trace(trace, str(path))
+    loaded = json.loads(path.read_text())
+    assert loaded["displayTimeUnit"] == "ms"
+
+
+def test_real_run_exports(ws_runtime, tmp_path):
+    from repro.workloads.generator import generate
+
+    report = ws_runtime.execute(generate("sobel", size=(128, 128), seed=1))
+    doc = to_chrome_trace(report.trace)
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert len(spans) > 10
+    json.dumps(doc)  # must serialize cleanly

@@ -1,0 +1,51 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "blackscholes" in out
+    assert "QAWS-TS" in out
+    assert "GEMM" in out
+
+
+def test_run_command(capsys):
+    assert main(["run", "sobel", "--side", "256", "--policy", "work-stealing"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "work split" in out
+
+
+def test_run_with_quality_and_gantt(capsys):
+    code = main(
+        ["run", "mean_filter", "--side", "256", "--quality", "--gantt", "--gantt-width", "40"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "MAPE" in out
+    assert "C=compute" in out
+    assert "busy" in out
+
+
+def test_run_unknown_kernel(capsys):
+    assert main(["run", "raytrace"]) == 2
+    assert "unknown kernel" in capsys.readouterr().out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_run_export_trace(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "trace.json"
+    code = main(["run", "sobel", "--side", "256", "--export-trace", str(path)])
+    assert code == 0
+    doc = json.loads(path.read_text())
+    assert doc["traceEvents"]

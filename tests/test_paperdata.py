@@ -1,0 +1,72 @@
+"""Consistency checks on the central paper-number transcription."""
+
+import pytest
+
+from repro import paperdata
+from repro.devices.perf_model import CALIBRATION, PAPER_TARGETS
+from repro.metrics.stats import geometric_mean
+
+
+def test_every_table_covers_all_kernels():
+    for name, table in (
+        ("FIG2", paperdata.FIG2_TPU_SPEEDUP),
+        ("FIG11", paperdata.FIG11_FOOTPRINT_RATIO),
+        ("TABLE3", paperdata.TABLE3_COMM_OVERHEAD),
+    ):
+        assert set(table) == set(paperdata.KERNELS), name
+    for policy, row in paperdata.FIG6_SPEEDUP.items():
+        assert set(row) == set(paperdata.KERNELS), policy
+    for policy, row in paperdata.FIG7_MAPE.items():
+        assert set(row) == set(paperdata.KERNELS), policy
+
+
+def test_fig8_covers_the_image_kernels():
+    image_kernels = {"dct8x8", "dwt", "laplacian", "mean_filter", "sobel", "srad"}
+    for policy, row in paperdata.FIG8_SSIM.items():
+        assert set(row) == image_kernels, policy
+        assert all(0.0 < v <= 1.0 for v in row.values())
+
+
+def test_headline_gmeans_match_per_kernel_tables():
+    """The paper's quoted averages must agree with its per-kernel bars."""
+    for policy in ("work-stealing", "QAWS-TS", "IRA-sampling", "sw-pipelining"):
+        per_kernel = geometric_mean(paperdata.FIG6_SPEEDUP[policy].values())
+        assert per_kernel == pytest.approx(
+            paperdata.HEADLINE_GMEAN[policy], abs=0.03
+        ), policy
+
+
+def test_fig7_gmeans_match_headlines():
+    for policy, key in (
+        ("edge-tpu-only", "edge-tpu-only-mape"),
+        ("work-stealing", "work-stealing-mape"),
+        ("QAWS-TS", "QAWS-TS-mape"),
+        ("oracle", "oracle-mape"),
+    ):
+        per_kernel = geometric_mean(paperdata.FIG7_MAPE[policy].values())
+        assert per_kernel == pytest.approx(
+            paperdata.HEADLINE_GMEAN[key], rel=0.05
+        ), policy
+
+
+def test_power_levels_consistent():
+    assert paperdata.POWER_GPU_BASELINE_WATTS > paperdata.POWER_IDLE_WATTS
+    assert paperdata.POWER_SHMT_PEAK_WATTS > paperdata.POWER_GPU_BASELINE_WATTS
+
+
+def test_calibration_derived_from_paperdata():
+    for kernel in paperdata.KERNELS:
+        assert PAPER_TARGETS[kernel]["tpu"] == paperdata.FIG2_TPU_SPEEDUP[kernel]
+        assert CALIBRATION[kernel].tpu_speedup == paperdata.FIG2_TPU_SPEEDUP[kernel]
+
+
+def test_policy_orderings_in_the_paper_itself():
+    """Sanity on the transcription: the orderings the paper narrates."""
+    gmeans = {
+        policy: geometric_mean(row.values())
+        for policy, row in paperdata.FIG6_SPEEDUP.items()
+    }
+    assert gmeans["work-stealing"] > gmeans["QAWS-TS"] > gmeans["QAWS-TU"]
+    assert gmeans["QAWS-TS"] > gmeans["QAWS-LS"]
+    assert gmeans["QAWS-TR"] < gmeans["QAWS-TU"]
+    assert gmeans["IRA-sampling"] < 1.0

@@ -1,0 +1,119 @@
+"""Unit tests for workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.quality import estimate_criticality
+from repro.workloads.generator import (
+    generate,
+    heterogeneous_field,
+    workload_names,
+)
+from repro.workloads.suite import (
+    BENCHMARK_INFO,
+    IMAGE_KERNELS,
+    benchmark_suite,
+    image_suite,
+)
+
+
+def test_every_benchmark_has_a_generator():
+    assert set(workload_names()) == set(BENCHMARK_INFO)
+
+
+def test_generation_deterministic():
+    a = generate("sobel", size=(128, 128), seed=5)
+    b = generate("sobel", size=(128, 128), seed=5)
+    np.testing.assert_array_equal(a.data, b.data)
+
+
+def test_different_seeds_differ():
+    a = generate("sobel", size=(128, 128), seed=5)
+    b = generate("sobel", size=(128, 128), seed=6)
+    assert not np.array_equal(a.data, b.data)
+
+
+def test_unknown_kernel_raises():
+    with pytest.raises(KeyError):
+        generate("raytrace")
+
+
+def test_heterogeneous_field_has_spiky_blocks(rng):
+    field = heterogeneous_field((512, 512), rng)
+    block_ranges = [
+        estimate_criticality(field[r : r + 64, c : c + 64]).value_range
+        for r in range(0, 512, 64)
+        for c in range(0, 512, 64)
+    ]
+    block_ranges.sort()
+    # Spiky blocks have far wider ranges than smooth ones.
+    assert block_ranges[-1] > 5 * block_ranges[0]
+
+
+def test_field_dtype_and_shape(rng):
+    field = heterogeneous_field((64, 128), rng)
+    assert field.shape == (64, 128)
+    assert field.dtype == np.float32
+
+
+def test_field_1d(rng):
+    field = heterogeneous_field((10_000,), rng)
+    assert field.shape == (10_000,)
+
+
+def test_blackscholes_parameter_sanity():
+    call = generate("blackscholes", size=4096)
+    spot, strike, expiry, rate, vol = call.data
+    assert call.data.shape == (5, 4096)
+    assert np.all(spot > 0)
+    assert np.all(strike > 0)
+    assert np.all((expiry >= 0.1) & (expiry <= 2.0))
+    assert np.all((vol >= 0.05) & (vol <= 4.0))
+    assert np.all(rate == np.float32(0.02))
+
+
+def test_histogram_values_in_pixel_range():
+    call = generate("histogram", size=65_536)
+    assert call.data.min() >= 0.0
+    assert call.data.max() <= 256.0
+
+
+def test_histogram_has_mixed_chunk_widths():
+    call = generate("histogram", size=65_536)
+    chunks = np.split(call.data, 64)
+    ranges = sorted(np.ptp(c) for c in chunks)
+    assert ranges[-1] > 4 * ranges[0]  # full-range vs windowed chunks
+
+
+def test_hotspot_stack_layout():
+    call = generate("hotspot", size=(128, 128))
+    assert call.data.shape == (2, 128, 128)
+    temp, power = call.data
+    assert 300 < temp.mean() < 350
+    assert np.all(power >= 0)
+
+
+def test_srad_image_positive_and_bounded():
+    call = generate("srad", size=(128, 128))
+    assert np.all(call.data > 0)
+    assert call.data.max() < 20.0
+
+
+def test_fft_width_power_of_two():
+    call = generate("fft", size=(256, 256))
+    width = call.data.shape[-1]
+    assert width & (width - 1) == 0
+
+
+def test_image_sizes_rounded_to_block_multiple():
+    call = generate("dwt", size=100 * 100)
+    assert call.data.shape[0] % 64 == 0
+    assert call.data.shape[1] % 64 == 0
+
+
+def test_suite_builders():
+    suite = benchmark_suite(size=64 * 64, seed=1)
+    assert len(suite) == 10
+    assert suite[0].category == "Finance"
+    images = image_suite(size=64 * 64, seed=1)
+    assert [c.kernel for c in images] == list(IMAGE_KERNELS)
