@@ -1,0 +1,85 @@
+"""Benchmark: fault-recovery overhead of the fault-tolerant runtime.
+
+Measures three things the fault framework promises:
+
+* attaching a fault-free plan costs *nothing* (bit-identical output,
+  identical makespan);
+* a chaos plan (GPU death mid-run + 5% transient failures) still yields
+  complete, finite output on every headline policy, with the recovery
+  machinery (retries / re-queues) visibly engaged;
+* the makespan under chaos stays within a small factor of the fault-free
+  run -- recovery degrades performance, never correctness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import PartitionConfig
+from repro.core.runtime import RuntimeConfig, SHMTRuntime
+from repro.core.schedulers.base import make_scheduler
+from repro.devices.platform import jetson_nano_platform
+from repro.faults import DeviceDeath, FaultPlan, TransientFaults
+from repro.workloads.generator import generate
+
+POLICIES = ["even-distribution", "work-stealing", "QAWS-TS"]
+PARTITION = PartitionConfig(target_partitions=16)
+
+
+def _execute(policy, call, fault_plan=None):
+    runtime = SHMTRuntime(
+        jetson_nano_platform(),
+        make_scheduler(policy),
+        RuntimeConfig(partition=PARTITION, fault_plan=fault_plan),
+    )
+    return runtime.execute(call)
+
+
+def _chaos_plan(clean_makespan):
+    return FaultPlan(
+        transient=(TransientFaults("*", probability=0.05),),
+        deaths=(DeviceDeath("gpu0", at_time=clean_makespan * 0.5),),
+    )
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_fault_recovery_overhead(benchmark, policy):
+    call = generate("sobel", size=(512, 512), seed=3)
+    clean = _execute(policy, call)
+    plan = _chaos_plan(clean.makespan)
+    chaos = benchmark.pedantic(
+        lambda: _execute(policy, call, fault_plan=plan), rounds=1, iterations=1
+    )
+
+    # Correctness under chaos: complete, finite, recovery engaged.
+    assert chaos.output.shape == clean.output.shape
+    assert np.all(np.isfinite(chaos.output))
+    assert chaos.retry_count + chaos.requeue_count > 0
+
+    # Recovery costs time, bounded: losing the fastest device and 5% of
+    # attempts cannot blow the makespan up by an order of magnitude.
+    overhead = chaos.makespan / clean.makespan
+    print(
+        f"\n{policy}: clean={clean.makespan * 1e3:.3f}ms "
+        f"chaos={chaos.makespan * 1e3:.3f}ms overhead={overhead:.2f}x "
+        f"retries={chaos.retry_count} requeues={chaos.requeue_count} "
+        f"faults={len(chaos.fault_events)}"
+    )
+    assert 1.0 <= overhead < 10.0
+
+
+def test_fault_framework_is_free_when_quiet(benchmark):
+    """Fault-free plan attached: bit-identical output, identical makespan."""
+    call = generate("srad", size=(512, 512), seed=4)
+    clean = _execute("work-stealing", call)
+    quiet = benchmark.pedantic(
+        lambda: _execute(
+            "work-stealing",
+            call,
+            fault_plan=FaultPlan(transient=(TransientFaults("*", 0.0),)),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert np.array_equal(clean.output, quiet.output)
+    assert quiet.makespan == clean.makespan
+    assert quiet.fault_events == []

@@ -37,6 +37,15 @@ from repro.devices import (
     gpu_tpu_platform,
     jetson_nano_platform,
 )
+from repro.faults import (
+    DeviceDeath,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    OutputCorruption,
+    Straggler,
+    TransientFaults,
+)
 
 __version__ = "1.0.0"
 
@@ -60,5 +69,12 @@ __all__ = [
     "gpu_only_platform",
     "gpu_tpu_platform",
     "jetson_nano_platform",
+    "DeviceDeath",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "OutputCorruption",
+    "Straggler",
+    "TransientFaults",
     "__version__",
 ]

@@ -44,6 +44,22 @@ class Completion:
     def output(self):
         return self.report.output
 
+    @property
+    def faulted(self) -> bool:
+        """True when the command's run observed any device faults."""
+        return self.report.faulted
+
+    @property
+    def degraded(self) -> bool:
+        """True when the result completed at reduced quality (see
+        :attr:`~repro.core.result.ExecutionReport.degraded`)."""
+        return self.report.degraded
+
+    @property
+    def fault_events(self):
+        """The run's fault log (empty on a clean run)."""
+        return self.report.fault_events
+
 
 @dataclass
 class _PendingCommand:
@@ -119,6 +135,15 @@ class VirtualDevice:
                 return already[0]
             raise KeyError(f"unknown or already-consumed command {handle}")
         while True:
+            if not self._incoming:
+                # The handle is tracked as in flight but its command is no
+                # longer queued (lost to a cancel/reset path): fail with a
+                # clear error instead of an IndexError from the deque.
+                del self._in_flight[handle.command_id]
+                raise KeyError(
+                    f"command {handle} is in flight but no longer queued; "
+                    "it was cancelled or lost before execution"
+                )
             pending = self._incoming.popleft()
             report = self.runtime.execute(pending.call)
             self.elapsed_simulated_seconds += report.makespan

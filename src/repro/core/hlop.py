@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Set
 
 import numpy as np
 
@@ -53,6 +53,32 @@ class HLOP:
     transfer_wait: float = 0.0
     result: Optional[np.ndarray] = field(default=None, repr=False)
     steals: int = 0
+    #: Execution attempts started so far (1 on a fault-free run).
+    attempts: int = 0
+    #: Same-device retries after a transient failure or timeout.
+    retries: int = 0
+    #: Migrations to another device after retries were exhausted or the
+    #: original device died.
+    requeues: int = 0
+    #: True once quality control was relaxed to keep this HLOP runnable
+    #: (e.g. its exact-device pin was lifted after the last exact device
+    #: died); the owning report carries the matching quality warning.
+    degraded: bool = False
+    #: Set when a corrupted result forced a recompute on an exact device;
+    #: suppresses further fault injection on this HLOP so the recovery
+    #: path terminates.
+    exact_recompute: bool = False
+    #: Watchdog timeouts observed across all attempts.  Each timeout
+    #: doubles the next attempt's deadline (progressive escalation), so a
+    #: run whose only surviving device is slow degrades to slow progress
+    #: instead of timing out forever.
+    timeout_count: int = 0
+    #: Devices that exhausted this HLOP's retry budget (by timing out or
+    #: by failing every retry).  Re-queueing and stealing avoid these
+    #: devices for this HLOP -- without the memory an idle faulty device
+    #: steals its victim straight back, a livelock.  They remain a
+    #: last-resort target when nothing else survives.
+    failed_devices: Set[str] = field(default_factory=set)
 
     @property
     def n_items(self) -> int:

@@ -9,6 +9,7 @@ import numpy as np
 
 from repro.core.hlop import HLOP
 from repro.devices.energy import EnergyBreakdown
+from repro.faults.plan import FaultEvent
 from repro.sim.trace import Trace
 
 
@@ -38,6 +39,21 @@ class ExecutionReport:
     device_busy_seconds: float = 0.0
     steal_count: int = 0
     plan_notes: Dict[str, Any] = field(default_factory=dict)
+    #: Faults observed (and recovery actions taken) while running this call.
+    fault_events: List[FaultEvent] = field(default_factory=list)
+    #: Same-device retries after transient failures/timeouts.
+    retry_count: int = 0
+    #: HLOP migrations to a surviving device.
+    requeue_count: int = 0
+    #: True when quality control had to be relaxed to finish the call
+    #: (e.g. exact-only HLOPs ran approximately after the last exact
+    #: device died); the output is complete but may be lower fidelity.
+    degraded: bool = False
+
+    @property
+    def faulted(self) -> bool:
+        """True when any fault events were observed during this call."""
+        return bool(self.fault_events)
 
     @property
     def work_shares(self) -> Dict[str, float]:
@@ -71,6 +87,10 @@ class ExecutionReport:
             "comm_overhead": self.communication_overhead,
             "steals": self.steal_count,
             "shares": self.work_shares,
+            "faults": len(self.fault_events),
+            "retries": self.retry_count,
+            "requeues": self.requeue_count,
+            "degraded": self.degraded,
         }
 
 
@@ -91,6 +111,12 @@ class BatchReport:
     trace: Trace
     energy: EnergyBreakdown
     steal_count: int = 0
+    #: Every fault observed across the batch, in time order.
+    fault_events: List[FaultEvent] = field(default_factory=list)
+    retry_count: int = 0
+    requeue_count: int = 0
+    #: True when any call in the batch had to degrade quality to finish.
+    degraded: bool = False
 
     def __getitem__(self, index: int) -> ExecutionReport:
         return self.reports[index]

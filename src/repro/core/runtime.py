@@ -49,10 +49,12 @@ from repro.core.vop import VOPCall
 from repro.devices.base import Device
 from repro.devices.energy import EnergyBreakdown
 from repro.devices.platform import Platform
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
 from repro.kernels.common import replicate_pad
 from repro.kernels.registry import KernelSpec, ParallelModel
 from repro.sim.engine import Engine
-from repro.sim.events import EventKind
+from repro.sim.events import Event, EventKind
 from repro.sim.trace import Trace
 
 #: HLOP count at which the calibrated SHMT overhead splits between fixed
@@ -79,6 +81,37 @@ class RuntimeConfig:
     #: endgame-balance benefit is measured in
     #: benchmarks/test_ablation_split.py.
     split_on_steal: bool = False
+    #: Optional fault plan (see :mod:`repro.faults`).  ``None`` -- and an
+    #: empty plan -- keep the runtime on the exact seed behaviour with
+    #: zero overhead: no watchdogs, no result guards, bit-identical
+    #: output.  A platform may also carry a plan; the config's wins.
+    fault_plan: Optional[FaultPlan] = None
+    #: Watchdog deadline per HLOP attempt, as a multiple of the device's
+    #: *predicted* service time (legitimate throttling included).  An
+    #: attempt still running at the deadline is declared timed out and
+    #: retried/re-queued.  Only armed when a fault plan is active.
+    watchdog_factor: float = 4.0
+    #: Same-device retries after a transient failure or timeout before
+    #: the HLOP is re-queued to another device.
+    max_retries: int = 2
+    #: Base of the capped exponential backoff (simulated seconds) between
+    #: same-device retries: delay = min(cap, base * 2**(retry - 1)).
+    retry_backoff: float = 100e-6
+    retry_backoff_cap: float = 10e-3
+    #: Hard ceiling on cross-device migrations per HLOP.  A plan under
+    #: which no device can ever finish an HLOP (e.g. every device hung)
+    #: fails with a clear error instead of bouncing work forever.
+    max_requeues: int = 32
+
+
+@dataclass
+class _Running:
+    """The attempt currently occupying a device's compute engine."""
+
+    hlop: HLOP
+    start: float
+    done_event: Event
+    watchdog_event: Optional[Event] = None
 
 
 @dataclass
@@ -92,6 +125,9 @@ class _DeviceState:
     busy_seconds: float = 0.0
     wait_seconds: float = 0.0
     items_done: int = 0
+    #: Permanently failed (fault plan device death); accepts no more work.
+    dead: bool = False
+    current: Optional[_Running] = None
 
 
 @dataclass
@@ -116,6 +152,9 @@ class _CallUnit:
     wait_seconds: float = 0.0
     busy_seconds: float = 0.0
     steal_count: int = 0
+    retry_count: int = 0
+    requeue_count: int = 0
+    degraded: bool = False
 
 
 class SHMTRuntime:
@@ -147,6 +186,8 @@ class SHMTRuntime:
         """
         if not calls:
             raise ValueError("execute_batch needs at least one call")
+        for index, call in enumerate(calls):
+            self._validate_call(index, call)
         devices = self.scheduler.participating(self.platform.devices)
         rng = np.random.default_rng(self.config.seed)
         units: List[_CallUnit] = []
@@ -160,6 +201,24 @@ class SHMTRuntime:
         return run.execute()
 
     # ----------------------------------------------------------------- helpers
+
+    def _validate_call(self, index: int, call: VOPCall) -> None:
+        """Reject unusable inputs before any partition planning happens.
+
+        :class:`VOPCall` validates at construction, but ``data`` is a
+        plain attribute a caller may have replaced since; re-checking here
+        keeps user errors (empty or NaN/Inf inputs) from surfacing later
+        as kernel faults or quality anomalies mid-run.
+        """
+        data = np.asarray(call.data)
+        where = f"call {index} ({call.label})"
+        if data.size == 0:
+            raise ValueError(f"{where}: input array is empty; nothing to partition")
+        if not np.all(np.isfinite(data)):
+            raise ValueError(
+                f"{where}: input contains NaN or infinity; SHMT requires finite "
+                "inputs (non-finite values would poison quantization calibration)"
+            )
 
     def _build_unit(
         self,
@@ -268,6 +327,20 @@ class _BatchRun:
         for unit in units:
             for hlop in unit.hlops:
                 self._hlop_units[hlop.hlop_id] = unit
+        plan = runtime.config.fault_plan
+        if plan is None:
+            plan = getattr(runtime.platform, "fault_plan", None)
+        #: ``None`` when no (non-empty) fault plan is active; every fault
+        #: branch in the run loop is gated on this so fault-free runs are
+        #: bit-identical to the fault-unaware runtime.
+        self.faults: Optional[FaultInjector] = (
+            FaultInjector(plan, runtime.config.seed)
+            if plan is not None and not plan.empty
+            else None
+        )
+        self.fault_events: List[FaultEvent] = []
+        self.retry_count = 0
+        self.requeue_count = 0
 
     def _unit_of(self, hlop: HLOP) -> _CallUnit:
         return self._hlop_units[hlop.hlop_id]
@@ -280,6 +353,15 @@ class _BatchRun:
             host_free = self._charge_unit_prologue(unit, host_free)
             unit.ready_time = host_free
             self._enqueue_unit(unit)
+        if self.faults is not None:
+            for state in self.states.values():
+                death = self.faults.death_time(state.device.name)
+                if death is not None:
+                    self.engine.schedule_at(
+                        death,
+                        lambda s=state: self._on_device_death(s),
+                        kind=EventKind.DEVICE_DEATH,
+                    )
         self.engine.run()
         self._charge_epilogues()
         return self._report()
@@ -348,7 +430,7 @@ class _BatchRun:
     # ------------------------------------------------------------- scheduling
 
     def _try_start(self, state: _DeviceState) -> None:
-        if state.running:
+        if state.running or state.dead:
             return
         hlop = self._next_hlop(state)
         if hlop is None:
@@ -362,7 +444,7 @@ class _BatchRun:
                 return candidate
             # The device cannot legally run its own queued HLOP (e.g. an
             # over-sized partition for the TPU): bounce it to an exact device.
-            fallback = self._fallback_state(state)
+            fallback = self._fallback_state(state, candidate)
             candidate.enqueue_time = self.engine.now
             fallback.queue.append(candidate)
             self.engine.schedule(
@@ -372,28 +454,33 @@ class _BatchRun:
             return self._steal_for(state)
         return None
 
-    def _fallback_state(self, state: _DeviceState) -> _DeviceState:
+    def _fallback_state(self, state: _DeviceState, hlop: HLOP) -> _DeviceState:
         exact = [
             s
             for s in self.states.values()
-            if s.device.accuracy_rank == 0 and s is not state
+            if s.device.accuracy_rank == 0 and s is not state and not s.dead
         ]
-        if not exact:
-            raise RuntimeError(
-                f"no device can execute an HLOP rejected by {state.device.name}"
-            )
-        return min(exact, key=lambda s: len(s.queue))
+        if exact:
+            return min(exact, key=lambda s: len(s.queue))
+        if self.faults is not None:
+            # No exact device left: degrade instead of crashing the run.
+            survivors = [s for s in self.states.values() if not s.dead and s is not state]
+            relaxed = self._degrade_for(hlop, survivors)
+            if relaxed:
+                return min(relaxed, key=lambda s: len(s.queue))
+        raise RuntimeError(
+            f"no device can execute an HLOP rejected by {state.device.name}"
+        )
 
     def _device_eligible(self, device: Device, hlop: HLOP) -> bool:
-        if not hlop.allows_rank(device.accuracy_rank):
-            return False
+        return hlop.allows_rank(device.accuracy_rank) and self._memory_ok(device, hlop)
+
+    def _memory_ok(self, device: Device, hlop: HLOP) -> bool:
         device_memory = getattr(device, "device_memory_bytes", None)
-        if device_memory is not None:
-            unit = self._unit_of(hlop)
-            bytes_needed = hlop.n_items * unit.call.data.itemsize
-            if bytes_needed > device_memory:
-                return False
-        return True
+        if device_memory is None:
+            return True
+        unit = self._unit_of(hlop)
+        return hlop.n_items * unit.call.data.itemsize <= device_memory
 
     def _steal_for(self, state: _DeviceState) -> Optional[HLOP]:
         """Steal a rate-proportional batch from the most-loaded legal victim.
@@ -414,7 +501,7 @@ class _BatchRun:
         """
         thief = state.device
         victims = sorted(
-            (s for s in self.states.values() if s is not state and s.queue),
+            (s for s in self.states.values() if s is not state and s.queue and not s.dead),
             key=lambda s: len(s.queue),
             reverse=True,
         )
@@ -423,6 +510,13 @@ class _BatchRun:
                 position
                 for position in range(len(victim.queue))
                 if self._device_eligible(thief, victim.queue[position])
+                and thief.name not in victim.queue[position].failed_devices
+                # An HLOP awaiting an exact recompute of a corrupted
+                # result may not bounce back to an approximate device.
+                and not (
+                    victim.queue[position].exact_recompute
+                    and thief.accuracy_rank > 0
+                )
                 and self.runtime.scheduler.can_steal(
                     thief, victim.device, victim.queue[position]
                 )
@@ -553,16 +647,56 @@ class _BatchRun:
         state.wait_seconds += wait
         unit.wait_seconds += wait
 
-        service = device.service_time(unit.calibration, hlop.n_items, now=compute_start)
+        predicted = device.service_time(unit.calibration, hlop.n_items, now=compute_start)
+        service = predicted
+        if self.faults is not None:
+            # Injected straggler slowdown is invisible to the prediction,
+            # which is exactly what makes the watchdog necessary.
+            service *= self.faults.slowdown(device.name, compute_start)
         compute_done = compute_start + service
         state.running = True
         hlop.status = HLOPStatus.RUNNING
+        hlop.attempts += 1
 
-        result = self._execute_numeric(device, hlop, unit)
-        self.engine.schedule_at(
-            compute_done,
-            lambda: self._on_complete(state, hlop, compute_start, compute_done, result),
-            kind=EventKind.COMPUTE_DONE,
+        inject = self.faults is not None and not hlop.exact_recompute
+        if inject and self.faults.attempt_fails(device.name, hlop.hlop_id, hlop.attempts):
+            # The device burns the full service time, then reports failure.
+            done_event = self.engine.schedule_at(
+                compute_done,
+                lambda: self._on_attempt_failed(state, hlop, compute_start, compute_done),
+                kind=EventKind.FAULT,
+            )
+        else:
+            result = self._execute_numeric(device, hlop, unit)
+            if inject and self.faults.corrupts(device.name, hlop.hlop_id, hlop.attempts):
+                result = self.faults.corrupt_output(
+                    result, device.name, hlop.hlop_id, hlop.attempts
+                )
+            done_event = self.engine.schedule_at(
+                compute_done,
+                lambda: self._on_complete(state, hlop, compute_start, compute_done, result),
+                kind=EventKind.COMPUTE_DONE,
+            )
+        watchdog = None
+        if self.faults is not None:
+            # Progressive escalation: every timeout this HLOP has already
+            # suffered doubles the next deadline, so a straggler that is
+            # the only eligible device still finishes (slowly) instead of
+            # timing out forever.
+            escalation = 2.0 ** min(hlop.timeout_count, 30)
+            deadline = compute_start + (
+                self.runtime.config.watchdog_factor
+                * device.watchdog_margin
+                * escalation
+                * predicted
+            )
+            watchdog = self.engine.schedule_at(
+                deadline,
+                lambda: self._on_watchdog(state, hlop),
+                kind=EventKind.TIMEOUT,
+            )
+        state.current = _Running(
+            hlop=hlop, start=compute_start, done_event=done_event, watchdog_event=watchdog
         )
 
     def _execute_numeric(
@@ -591,6 +725,23 @@ class _BatchRun:
     ) -> None:
         device = state.device
         unit = self._unit_of(hlop)
+        self._clear_running(state)
+        if self.faults is not None and not np.all(np.isfinite(result)):
+            if not hlop.exact_recompute:
+                # Output guard: poisoned result -- discard it and recompute
+                # once on an exact device before accepting anything.
+                self._recover_corrupt(state, hlop, start, finish)
+                return
+            # The exact recompute is *also* non-finite: the kernel itself
+            # produced it, so accept the result with a quality warning.
+            hlop.degraded = True
+            unit.degraded = True
+            self._record(
+                FaultKind.DEGRADED,
+                device.name,
+                hlop,
+                detail="non-finite output accepted after exact recompute",
+            )
         self.trace.add_span(device.name, start, finish, f"hlop:{hlop.hlop_id}", "compute")
         state.busy_seconds += finish - start
         state.items_done += hlop.n_items
@@ -600,6 +751,310 @@ class _BatchRun:
         unit.items_by_class[cls] = unit.items_by_class.get(cls, 0) + hlop.n_items
         state.running = False
         hlop.mark_done(device.name, start, finish, result)
+        self._try_start(state)
+
+    # --------------------------------------------------- faults and recovery
+
+    def _clear_running(self, state: _DeviceState) -> None:
+        """Disarm the device's in-flight attempt (watchdog included)."""
+        current = state.current
+        if current is not None:
+            self.engine.cancel(current.done_event)
+            self.engine.cancel(current.watchdog_event)
+        state.current = None
+
+    def _record(
+        self,
+        kind: FaultKind,
+        device_name: str,
+        hlop: Optional[HLOP] = None,
+        detail: str = "",
+    ) -> None:
+        """Append a fault event to the run log and mark it on the trace."""
+        now = self.engine.now
+        hlop_id = hlop.hlop_id if hlop is not None else None
+        unit_id = self._unit_of(hlop).index if hlop is not None else None
+        self.fault_events.append(
+            FaultEvent(
+                time=now,
+                kind=kind,
+                device=device_name,
+                hlop_id=hlop_id,
+                unit_id=unit_id,
+                detail=detail,
+            )
+        )
+        label = f"fault:{kind.value}" + (f":{hlop_id}" if hlop_id is not None else "")
+        self.trace.add_marker(device_name, now, label)
+
+    def _charge_wasted(
+        self, state: _DeviceState, hlop: HLOP, start: float, finish: float
+    ) -> None:
+        """Account a failed attempt's device time (busy, but no items done).
+
+        The time shows up in the trace under the ``faulted`` category so
+        Gantt output and the energy model both see it; the partition's
+        items are *not* credited, since the work must run again.
+        """
+        unit = self._unit_of(hlop)
+        start = min(start, finish)
+        if finish > start:
+            self.trace.add_span(
+                state.device.name, start, finish, f"hlop:{hlop.hlop_id}", "faulted"
+            )
+        elapsed = finish - start
+        state.busy_seconds += elapsed
+        unit.busy_seconds += elapsed
+        cls = state.device.device_class
+        unit.busy_by_class[cls] = unit.busy_by_class.get(cls, 0.0) + elapsed
+        state.running = False
+
+    def _on_attempt_failed(
+        self, state: _DeviceState, hlop: HLOP, start: float, finish: float
+    ) -> None:
+        """A transient fault surfaced when the attempt's result was due."""
+        self._clear_running(state)
+        self._charge_wasted(state, hlop, start, finish)
+        self._record(
+            FaultKind.TRANSIENT,
+            state.device.name,
+            hlop,
+            detail=f"attempt {hlop.attempts} failed",
+        )
+        self._retry_or_requeue(state, hlop)
+        self._try_start(state)
+
+    def _on_watchdog(self, state: _DeviceState, hlop: HLOP) -> None:
+        """The per-attempt deadline fired while the HLOP was still running."""
+        current = state.current
+        if current is None or current.hlop is not hlop:
+            return  # stale deadline; the attempt already resolved
+        now = self.engine.now
+        self.engine.cancel(current.done_event)
+        state.current = None
+        hlop.timeout_count += 1
+        self._charge_wasted(state, hlop, current.start, now)
+        self._record(
+            FaultKind.TIMEOUT,
+            state.device.name,
+            hlop,
+            detail=f"attempt {hlop.attempts} exceeded watchdog deadline",
+        )
+        self._retry_or_requeue(state, hlop, timed_out=True)
+        self._try_start(state)
+
+    def _on_device_death(self, state: _DeviceState) -> None:
+        """Planned permanent device failure: drain and redistribute."""
+        if state.dead:
+            return
+        now = self.engine.now
+        state.dead = True
+        device = state.device
+        self._record(FaultKind.DEVICE_DEATH, device.name, detail="device died")
+        lost: List[HLOP] = []
+        current = state.current
+        if current is not None:
+            self._clear_running(state)
+            self._charge_wasted(state, current.hlop, min(current.start, now), now)
+            lost.append(current.hlop)
+        state.running = False
+        lost.extend(state.queue)
+        state.queue.clear()
+        self._degrade_unreachable()
+        for hlop in lost:
+            hlop.status = HLOPStatus.QUEUED
+            self._requeue_elsewhere(state, hlop, reason="device death")
+
+    def _degrade_unreachable(self) -> None:
+        """Relax accuracy pins that no surviving device can satisfy.
+
+        Called after a death: when the last rank-0 (or generally
+        best-rank) device dies, HLOPs pinned below the best surviving rank
+        would strand the run.  Quality degrades instead -- each affected
+        HLOP is relaxed to the best surviving rank and the report carries
+        the warning.
+        """
+        live = [s for s in self.states.values() if not s.dead]
+        if not live:
+            return
+        best_live_rank = min(s.device.accuracy_rank for s in live)
+        if best_live_rank == 0:
+            return  # an exact device survives; every pin stays satisfiable
+        for unit in self.units:
+            for hlop in unit.hlops:
+                if hlop.status is HLOPStatus.DONE:
+                    continue
+                rank = hlop.max_accuracy_rank
+                if rank is not None and rank < best_live_rank:
+                    hlop.max_accuracy_rank = best_live_rank
+                    hlop.degraded = True
+                    unit.degraded = True
+                    self._record(
+                        FaultKind.DEGRADED,
+                        hlop.device_name or "platform",
+                        hlop,
+                        detail=f"accuracy pin relaxed {rank}->{best_live_rank}",
+                    )
+
+    def _degrade_for(
+        self, hlop: HLOP, candidates: List[_DeviceState]
+    ) -> List[_DeviceState]:
+        """Relax ``hlop``'s accuracy pin so one of ``candidates`` can run it.
+
+        Returns the now-eligible states (empty when nothing helps, e.g.
+        every candidate fails the memory check, which no degradation can
+        fix).
+        """
+        fits = [s for s in candidates if self._memory_ok(s.device, hlop)]
+        if not fits:
+            return []
+        best_rank = max(hlop.max_accuracy_rank or 0, min(s.device.accuracy_rank for s in fits))
+        if hlop.max_accuracy_rank is None or hlop.max_accuracy_rank >= best_rank:
+            return [s for s in fits if hlop.allows_rank(s.device.accuracy_rank)]
+        self._record(
+            FaultKind.DEGRADED,
+            hlop.device_name or "platform",
+            hlop,
+            detail=f"accuracy pin relaxed {hlop.max_accuracy_rank}->{best_rank}",
+        )
+        hlop.max_accuracy_rank = best_rank
+        hlop.degraded = True
+        self._unit_of(hlop).degraded = True
+        return [s for s in fits if hlop.allows_rank(s.device.accuracy_rank)]
+
+    def _retry_or_requeue(
+        self, state: _DeviceState, hlop: HLOP, timed_out: bool = False
+    ) -> None:
+        """Recovery policy for a failed/timed-out attempt.
+
+        Retry on the same device with capped exponential backoff while the
+        retry budget lasts; then migrate to the least-loaded survivor.
+        Exhausting the budget marks the device as bad *for this HLOP*, so
+        re-queueing and stealing stop sending the work back there.
+        """
+        config = self.runtime.config
+        if not state.dead and hlop.retries < config.max_retries:
+            hlop.retries += 1
+            unit = self._unit_of(hlop)
+            unit.retry_count += 1
+            self.retry_count += 1
+            backoff = min(
+                config.retry_backoff_cap,
+                config.retry_backoff * (2.0 ** (hlop.retries - 1)),
+            )
+            self._record(
+                FaultKind.RETRY,
+                state.device.name,
+                hlop,
+                detail=f"retry {hlop.retries}/{config.max_retries} after {backoff:.6f}s",
+            )
+            hlop.status = HLOPStatus.QUEUED
+            hlop.enqueue_time = self.engine.now + backoff
+
+            def _deliver(s: _DeviceState = state, h: HLOP = hlop) -> None:
+                if s.dead:
+                    self._requeue_elsewhere(s, h, reason="device died during backoff")
+                    return
+                s.queue.appendleft(h)
+                self._try_start(s)
+
+            self.engine.schedule(backoff, _deliver, kind=EventKind.RETRY)
+            return
+        # The device burned the whole retry budget on this HLOP -- whether
+        # by hanging or by failing every attempt, stop sending it back.
+        hlop.failed_devices.add(state.device.name)
+        self._requeue_elsewhere(state, hlop, reason="retries exhausted")
+
+    def _requeue_elsewhere(
+        self,
+        origin: _DeviceState,
+        hlop: HLOP,
+        reason: str = "",
+        prefer_exact: bool = False,
+    ) -> None:
+        """Move ``hlop`` to the least-loaded eligible surviving device.
+
+        Preference order: surviving devices that have not burned their
+        retry budget on this HLOP, then the (still-live) origin, then
+        burned survivors as a last resort, then quality degradation.
+        Nothing left = the run cannot finish this HLOP; fail loudly.
+        """
+        if hlop.requeues >= self.runtime.config.max_requeues:
+            raise RuntimeError(
+                f"HLOP {hlop.hlop_id} exceeded max_requeues="
+                f"{self.runtime.config.max_requeues}; no device can make "
+                f"progress under the active fault plan ({reason or 'device fault'})"
+            )
+        survivors = [s for s in self.states.values() if not s.dead and s is not origin]
+        if prefer_exact:
+            exact = [
+                s
+                for s in self.states.values()
+                if not s.dead
+                and s.device.accuracy_rank == 0
+                and self._memory_ok(s.device, hlop)
+            ]
+            if exact:
+                survivors = exact
+        eligible = [
+            s
+            for s in survivors
+            if self._device_eligible(s.device, hlop)
+            and s.device.name not in hlop.failed_devices
+        ]
+        if not eligible and not origin.dead and self._device_eligible(origin.device, hlop):
+            eligible = [origin]  # nowhere else to go: stay local
+        if not eligible:
+            # Even persistently slow devices beat abandoning the work.
+            eligible = [s for s in survivors if self._device_eligible(s.device, hlop)]
+        if not eligible:
+            eligible = self._degrade_for(
+                hlop, [s for s in self.states.values() if not s.dead]
+            )
+        if not eligible:
+            raise RuntimeError(
+                f"no surviving device can execute HLOP {hlop.hlop_id} "
+                f"({reason or 'device fault'})"
+            )
+        target = min(eligible, key=lambda s: len(s.queue))
+        hlop.requeues += 1
+        unit = self._unit_of(hlop)
+        unit.requeue_count += 1
+        self.requeue_count += 1
+        now = self.engine.now
+        self._record(
+            FaultKind.REQUEUE,
+            origin.device.name,
+            hlop,
+            detail=f"-> {target.device.name}" + (f" ({reason})" if reason else ""),
+        )
+        hlop.status = HLOPStatus.QUEUED
+        # Never before the owning call is ready: a queued-but-unready HLOP
+        # keeps its future enqueue time through the migration.
+        hlop.enqueue_time = max(now, hlop.enqueue_time if hlop.attempts == 0 else now)
+        target.queue.append(hlop)
+        self.engine.schedule_at(
+            max(now, hlop.enqueue_time),
+            lambda s=target: self._try_start(s),
+            kind=EventKind.REQUEUE,
+        )
+
+    def _recover_corrupt(
+        self, state: _DeviceState, hlop: HLOP, start: float, finish: float
+    ) -> None:
+        """Output guard tripped: discard the poisoned result, recompute
+        exactly once on an exact device (injection suppressed)."""
+        self._charge_wasted(state, hlop, start, finish)
+        self._record(
+            FaultKind.CORRUPTION,
+            state.device.name,
+            hlop,
+            detail="non-finite output block discarded",
+        )
+        hlop.exact_recompute = True
+        self._requeue_elsewhere(
+            state, hlop, reason="exact recompute", prefer_exact=True
+        )
         self._try_start(state)
 
     # ------------------------------------------------------------- reporting
@@ -621,6 +1076,10 @@ class _BatchRun:
             trace=self.trace,
             energy=batch_energy,
             steal_count=self.steal_count,
+            fault_events=sorted(self.fault_events, key=lambda e: e.time),
+            retry_count=self.retry_count,
+            requeue_count=self.requeue_count,
+            degraded=any(unit.degraded for unit in self.units),
         )
 
     def _unit_energy(self, unit: _CallUnit, energy_model) -> EnergyBreakdown:
@@ -656,6 +1115,12 @@ class _BatchRun:
             device_busy_seconds=unit.busy_seconds,
             steal_count=unit.steal_count,
             plan_notes=dict(unit.plan.notes),
+            fault_events=[
+                e for e in self.fault_events if e.unit_id in (None, unit.index)
+            ],
+            retry_count=unit.retry_count,
+            requeue_count=unit.requeue_count,
+            degraded=unit.degraded,
         )
 
     def _assemble_output(self, unit: _CallUnit) -> np.ndarray:

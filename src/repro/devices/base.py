@@ -38,6 +38,11 @@ class Device(abc.ABC):
     launch_latency: float = 0.0
     #: Numeric representation this device computes in.
     precision: Precision = FP32
+    #: Per-device scaling of the fault-tolerant runtime's watchdog
+    #: deadline (deadline = watchdog_factor * watchdog_margin * predicted
+    #: service time).  Devices with jittery invocation costs can raise
+    #: this to avoid false timeouts; 1.0 trusts the performance model.
+    watchdog_margin: float = 1.0
 
     def __init__(self, name: str) -> None:
         self.name = name

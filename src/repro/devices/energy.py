@@ -97,7 +97,10 @@ class EnergyModel:
             watts = self.active_watts.get(cls)
             if watts is None:
                 continue
-            busy = trace.busy_time(resource, category="compute")
+            # Failed/timed-out attempts ("faulted" spans) drew power too.
+            busy = trace.busy_time(resource, category="compute") + trace.busy_time(
+                resource, category="faulted"
+            )
             per_device[cls] = per_device.get(cls, 0.0) + busy * watts
         active = sum(per_device.values())
         idle = self.idle_watts * duration

@@ -16,6 +16,7 @@ from repro.devices.edgetpu import EdgeTPUDevice
 from repro.devices.energy import EnergyModel
 from repro.devices.gpu import GPUDevice
 from repro.devices.interconnect import Interconnect
+from repro.faults.plan import FaultPlan
 
 
 @dataclass
@@ -25,6 +26,10 @@ class Platform:
     devices: List[Device]
     interconnect: Interconnect = field(default_factory=Interconnect)
     energy_model: EnergyModel = field(default_factory=EnergyModel)
+    #: Optional platform-wide fault plan (see :mod:`repro.faults`): every
+    #: runtime on this platform inherits it unless its
+    #: :class:`~repro.core.runtime.RuntimeConfig` carries its own plan.
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         names = [d.name for d in self.devices]

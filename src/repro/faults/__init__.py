@@ -1,0 +1,30 @@
+"""Fault injection and fault-event records for the SHMT runtime.
+
+See :mod:`repro.faults.plan` for the fault model and
+docs/fault_tolerance.md for the detection/recovery semantics the runtime
+layers on top.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    ANY_DEVICE,
+    DeviceDeath,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    OutputCorruption,
+    Straggler,
+    TransientFaults,
+)
+
+__all__ = [
+    "ANY_DEVICE",
+    "DeviceDeath",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "OutputCorruption",
+    "Straggler",
+    "TransientFaults",
+]

@@ -1,0 +1,80 @@
+"""Deterministic realisation of a :class:`~repro.faults.plan.FaultPlan`.
+
+The injector answers the runtime's point queries -- "does this attempt
+fail?", "is this device slowed right now?", "when does this device die?"
+-- as pure functions of ``(run seed, device, hlop, attempt)``.  Nothing is
+drawn from a shared stream, so fault decisions are independent of event
+ordering: the same plan and seed produce the same faults no matter which
+scheduler runs or how queues interleave, and a replay of one device's
+history is unaffected by the others.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan
+
+
+class FaultInjector:
+    """Realises one plan for one seeded run."""
+
+    def __init__(self, plan: FaultPlan, seed: int) -> None:
+        self.plan = plan
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------- decisions
+
+    def _uniform(self, tag: str, device: str, hlop_id: int, attempt: int) -> float:
+        """Deterministic U[0,1) draw keyed by the full decision coordinates."""
+        key = zlib.crc32(f"{tag}:{device}:{hlop_id}:{attempt}".encode())
+        return float(np.random.default_rng((self.seed, key)).random())
+
+    def attempt_fails(self, device: str, hlop_id: int, attempt: int) -> bool:
+        """Does attempt number ``attempt`` of this HLOP fail transiently?"""
+        p = self.plan.transient_probability(device)
+        if p <= 0.0:
+            return False
+        return self._uniform("transient", device, hlop_id, attempt) < p
+
+    def corrupts(self, device: str, hlop_id: int, attempt: int) -> bool:
+        """Does this attempt complete but return poisoned output?"""
+        rules = self.plan.corruption_rules(device)
+        if not rules:
+            return False
+        survive = 1.0
+        for rule in rules:
+            survive *= 1.0 - rule.probability
+        p = 1.0 - survive
+        if p <= 0.0:
+            return False
+        return self._uniform("corrupt", device, hlop_id, attempt) < p
+
+    def death_time(self, device: str) -> Optional[float]:
+        return self.plan.death_time(device)
+
+    def slowdown(self, device: str, time: float) -> float:
+        """Injected service-time multiplier (>= 1) at simulated ``time``."""
+        return self.plan.slowdown_at(device, time)
+
+    # ------------------------------------------------------------ corruption
+
+    def corrupt_output(
+        self, result: np.ndarray, device: str, hlop_id: int, attempt: int
+    ) -> np.ndarray:
+        """Poison a deterministic block of ``result`` with NaN or Inf."""
+        rules = self.plan.corruption_rules(device)
+        if not rules:
+            return result
+        rule = rules[0]
+        poisoned = np.array(result, dtype=result.dtype, copy=True)
+        flat = poisoned.reshape(-1)
+        n = flat.size
+        span = max(1, int(round(n * rule.block_fraction)))
+        key = zlib.crc32(f"corrupt-at:{device}:{hlop_id}:{attempt}".encode())
+        start = int(np.random.default_rng((self.seed, key)).integers(0, max(1, n - span + 1)))
+        flat[start : start + span] = np.nan if rule.mode == "nan" else np.inf
+        return poisoned

@@ -1,0 +1,212 @@
+"""Fault models: what can go wrong on the simulated platform.
+
+The paper motivates SHMT's dynamic scheduling with "system dynamics"
+(sections 2.3, 6) -- thermal events, contention, devices that misbehave in
+ways no static plan predicted.  A :class:`FaultPlan` makes those dynamics
+an explicit, reproducible input: it declares per-device fault processes
+that the runtime's :class:`~repro.faults.injector.FaultInjector` realises
+deterministically from the run seed.
+
+Four fault processes cover the failure modes real heterogeneous drivers
+handle:
+
+* :class:`TransientFaults` -- an HLOP attempt fails outright with some
+  probability (command timeout, ECC error, driver hiccup).  The device
+  burns the attempt's service time before reporting the failure.
+* :class:`DeviceDeath` -- the device stops accepting and executing work
+  at a fixed simulated time (firmware crash, hot unplug, thermal trip).
+* :class:`Straggler` -- the device silently slows by a multiplicative
+  factor inside a time window (background contention, clock throttling
+  beyond the modelled profile).  Stragglers are what the watchdog
+  deadline exists to catch.
+* :class:`OutputCorruption` -- an attempt completes on time but returns
+  poisoned data (NaN/Inf blocks), the failure mode the runtime's output
+  guard and exact-recompute path handle.
+
+A plan attaches to :class:`~repro.core.runtime.RuntimeConfig` (or to a
+:class:`~repro.devices.platform.Platform`); an absent or empty plan keeps
+the runtime on its exact seed behaviour with zero overhead.
+
+Device selectors are device *names* (``"tpu0"``), or ``"*"`` to match
+every device.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+#: Selector that matches every device.
+ANY_DEVICE = "*"
+
+
+def _matches(selector: str, device_name: str) -> bool:
+    return selector == ANY_DEVICE or selector == device_name
+
+
+@dataclass(frozen=True)
+class TransientFaults:
+    """Each HLOP attempt on ``device`` fails with ``probability``."""
+
+    device: str
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"transient fault probability must be in [0, 1], got {self.probability}"
+            )
+
+
+@dataclass(frozen=True)
+class DeviceDeath:
+    """``device`` permanently stops working at simulated time ``at_time``."""
+
+    device: str
+    at_time: float
+
+    def __post_init__(self) -> None:
+        if self.at_time < 0:
+            raise ValueError(f"death time must be >= 0, got {self.at_time}")
+        if self.device == ANY_DEVICE:
+            raise ValueError("device death needs a concrete device name, not '*'")
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """``device`` runs ``slowdown`` x slower inside ``[start, end)``."""
+
+    device: str
+    slowdown: float
+    start: float = 0.0
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.slowdown < 1.0:
+            raise ValueError(f"straggler slowdown must be >= 1, got {self.slowdown}")
+        if self.end <= self.start:
+            raise ValueError(f"straggler window [{self.start}, {self.end}) is empty")
+
+    def active_at(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+@dataclass(frozen=True)
+class OutputCorruption:
+    """Each attempt on ``device`` returns NaN/Inf-poisoned output with
+    ``probability``; ``block_fraction`` of the result elements are hit."""
+
+    device: str
+    probability: float
+    mode: str = "nan"
+    block_fraction: float = 0.125
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"corruption probability must be in [0, 1], got {self.probability}"
+            )
+        if self.mode not in ("nan", "inf"):
+            raise ValueError(f"corruption mode must be 'nan' or 'inf', got {self.mode!r}")
+        if not 0.0 < self.block_fraction <= 1.0:
+            raise ValueError(
+                f"corruption block fraction must be in (0, 1], got {self.block_fraction}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible set of fault processes for one run.
+
+    Usage::
+
+        plan = FaultPlan(
+            transient=(TransientFaults("*", probability=0.05),),
+            deaths=(DeviceDeath("gpu0", at_time=0.004),),
+        )
+        runtime = SHMTRuntime(platform, scheduler, RuntimeConfig(fault_plan=plan))
+    """
+
+    transient: Tuple[TransientFaults, ...] = ()
+    deaths: Tuple[DeviceDeath, ...] = ()
+    stragglers: Tuple[Straggler, ...] = ()
+    corruption: Tuple[OutputCorruption, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Accept any sequence, store tuples so the plan stays hashable.
+        object.__setattr__(self, "transient", tuple(self.transient))
+        object.__setattr__(self, "deaths", tuple(self.deaths))
+        object.__setattr__(self, "stragglers", tuple(self.stragglers))
+        object.__setattr__(self, "corruption", tuple(self.corruption))
+        by_device = [d.device for d in self.deaths]
+        if len(set(by_device)) != len(by_device):
+            raise ValueError(f"duplicate device deaths: {by_device}")
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan declares no fault process at all."""
+        return not (self.transient or self.deaths or self.stragglers or self.corruption)
+
+    # ------------------------------------------------------------- per-device
+
+    def transient_probability(self, device_name: str) -> float:
+        """Combined per-attempt failure probability for ``device_name``.
+
+        Independent rules compose: p = 1 - prod(1 - p_i).
+        """
+        survive = 1.0
+        for rule in self.transient:
+            if _matches(rule.device, device_name):
+                survive *= 1.0 - rule.probability
+        return 1.0 - survive
+
+    def death_time(self, device_name: str) -> Optional[float]:
+        times = [d.at_time for d in self.deaths if _matches(d.device, device_name)]
+        return min(times) if times else None
+
+    def slowdown_at(self, device_name: str, time: float) -> float:
+        """Compound straggler multiplier for ``device_name`` at ``time``."""
+        factor = 1.0
+        for rule in self.stragglers:
+            if _matches(rule.device, device_name) and rule.active_at(time):
+                factor *= rule.slowdown
+        return factor
+
+    def corruption_rules(self, device_name: str) -> Sequence[OutputCorruption]:
+        return [c for c in self.corruption if _matches(c.device, device_name)]
+
+
+class FaultKind(enum.Enum):
+    """Classification of observed fault events (for reports and traces)."""
+
+    TRANSIENT = "transient"
+    TIMEOUT = "timeout"
+    DEVICE_DEATH = "device-death"
+    CORRUPTION = "corruption"
+    RETRY = "retry"
+    REQUEUE = "requeue"
+    DEGRADED = "degraded"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One observed fault (or recovery action) during a run.
+
+    ``time`` is simulated seconds; ``device`` is where the event happened
+    (for a re-queue, the device the work *left*); ``hlop_id``/``unit_id``
+    attribute the event to a partition and its call when applicable.
+    """
+
+    time: float
+    kind: FaultKind
+    device: str
+    hlop_id: Optional[int] = None
+    unit_id: Optional[int] = None
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        where = f" hlop={self.hlop_id}" if self.hlop_id is not None else ""
+        note = f" ({self.detail})" if self.detail else ""
+        return f"[t={self.time:.6f}] {self.kind.value} on {self.device}{where}{note}"

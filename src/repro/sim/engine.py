@@ -26,6 +26,7 @@ class Engine:
         self._now = 0.0
         self._running = False
         self._fired = 0
+        self._skipped = 0
 
     @property
     def now(self) -> float:
@@ -38,9 +39,24 @@ class Engine:
         return self._fired
 
     @property
+    def events_cancelled(self) -> int:
+        """Number of cancelled events the run loop has skipped.
+
+        Cancelled events never advance the clock: the fault-tolerant
+        runtime relies on this to arm a watchdog per HLOP and revoke it
+        at completion without perturbing the timeline.
+        """
+        return self._skipped
+
+    @property
     def pending(self) -> int:
         """Number of events still queued (including cancelled ones)."""
         return len(self._heap)
+
+    def cancel(self, event: Optional[Event]) -> None:
+        """Cancel ``event`` if it is still pending (``None`` is a no-op)."""
+        if event is not None:
+            event.cancel()
 
     def schedule(
         self,
@@ -84,6 +100,7 @@ class Engine:
             while self._heap:
                 if self._heap[0].cancelled:
                     heapq.heappop(self._heap)
+                    self._skipped += 1
                     continue
                 if until is not None and self._heap[0].time > until:
                     self._now = until
@@ -108,3 +125,4 @@ class Engine:
         self._heap.clear()
         self._now = 0.0
         self._fired = 0
+        self._skipped = 0

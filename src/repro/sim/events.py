@@ -26,6 +26,16 @@ class EventKind(enum.Enum):
     STEAL = "steal"
     SAMPLING = "sampling"
     AGGREGATE = "aggregate"
+    #: Watchdog deadline for a running HLOP (fault-tolerant runtime).
+    TIMEOUT = "timeout"
+    #: A device reported an HLOP attempt as failed.
+    FAULT = "fault"
+    #: Permanent device failure at a planned time.
+    DEVICE_DEATH = "device_death"
+    #: Delayed re-delivery of a failed HLOP to the same device.
+    RETRY = "retry"
+    #: Migration of a failed HLOP to a surviving device.
+    REQUEUE = "requeue"
 
 
 _seq_counter = itertools.count()

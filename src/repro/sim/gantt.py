@@ -25,9 +25,13 @@ CATEGORY_GLYPHS: Dict[str, str] = {
     "host": "h",
     "transfer": "x",
     "compute": "C",
+    # Device time burned by a failed/timed-out HLOP attempt (fault runtime).
+    "faulted": "F",
 }
 SAMPLING_GLYPH = "S"
 IDLE_GLYPH = "."
+#: Overlay glyph for point fault markers (failure, timeout, death, ...).
+FAULT_MARKER_GLYPH = "!"
 
 
 def render_gantt(
@@ -64,10 +68,16 @@ def render_gantt(
             last = min(width - 1, max(first, int((span.end - 1e-15) / cell)))
             for index in range(first, last + 1):
                 cells[index] = glyph
+        # Fault markers overlay whatever the cell holds: a failure is the
+        # one thing a timeline reader must never miss.
+        for marker in trace.markers:
+            if marker.resource != resource or not marker.label.startswith("fault:"):
+                continue
+            cells[min(width - 1, int(marker.time / cell))] = FAULT_MARKER_GLYPH
         rows.append(f"{resource:>{label_width}s} |{''.join(cells)}|")
     legend = (
-        f"{'':>{label_width}s}  C=compute x=transfer h=host S=sampling .=idle "
-        f"({total * 1e3:.2f} ms total)"
+        f"{'':>{label_width}s}  C=compute x=transfer h=host S=sampling "
+        f"F=faulted !=fault .=idle ({total * 1e3:.2f} ms total)"
     )
     rows.append(legend)
     return "\n".join(rows)

@@ -83,3 +83,40 @@ def test_mixed_vops_through_one_device(device, rng):
     completions = device.poll()
     assert completions[0].output.shape == (8192,)
     assert completions[1].output.shape == (128, 128)
+
+def test_wait_lost_command_raises_keyerror_not_indexerror(device, image_call):
+    """A handle tracked in flight whose queue entry vanished (cancel/reset
+    path) fails with a descriptive KeyError, not a deque IndexError."""
+    handle = device.submit(image_call)
+    device._incoming.clear()  # simulate the command being lost pre-execution
+    with pytest.raises(KeyError, match="no longer queued"):
+        device.wait(handle)
+    # The handle is forgotten afterwards, so a retry gets the clean error.
+    with pytest.raises(KeyError, match="unknown or already-consumed"):
+        device.wait(handle)
+
+
+def test_completion_exposes_fault_status(device, nano, small_runtime_config, image_call):
+    import dataclasses
+
+    from repro.core.runtime import SHMTRuntime
+    from repro.core.schedulers.base import make_scheduler
+    from repro.faults import FaultPlan, TransientFaults
+
+    device.submit(image_call)
+    (clean,) = device.poll()
+    assert not clean.faulted and not clean.degraded
+    assert clean.fault_events == []
+
+    config = dataclasses.replace(
+        small_runtime_config,
+        fault_plan=FaultPlan(transient=(TransientFaults("tpu0", probability=0.9),)),
+    )
+    faulty_dev = VirtualDevice(
+        SHMTRuntime(nano, make_scheduler("work-stealing"), config)
+    )
+    faulty_dev.submit(image_call)
+    (faulty,) = faulty_dev.poll()
+    assert faulty.faulted
+    assert faulty.fault_events
+    assert np.all(np.isfinite(faulty.output))

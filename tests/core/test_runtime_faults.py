@@ -1,0 +1,347 @@
+"""Fault-path tests for the runtime.
+
+Covers the two pre-existing recovery edges the fault framework shares --
+the `_fallback_state` bounce for illegal queue entries and the
+`split_on_steal` endgame split -- plus the fault-injection framework
+itself: retries, watchdog timeouts, death re-queues, corruption recompute,
+and graceful quality degradation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import PartitionConfig
+from repro.core.runtime import RuntimeConfig, SHMTRuntime
+from repro.core.schedulers.base import make_scheduler
+from repro.core.vop import VOPCall
+from repro.devices.platform import Platform, jetson_nano_platform
+from repro.faults import (
+    DeviceDeath,
+    FaultKind,
+    FaultPlan,
+    OutputCorruption,
+    Straggler,
+    TransientFaults,
+)
+from repro.workloads.generator import generate
+
+SMALL = PartitionConfig(target_partitions=8, page_bytes=1024)
+
+
+def _runtime(policy="work-stealing", platform=None, **config_kwargs):
+    config_kwargs.setdefault("partition", SMALL)
+    return SHMTRuntime(
+        platform or jetson_nano_platform(),
+        make_scheduler(policy),
+        RuntimeConfig(**config_kwargs),
+    )
+
+
+@pytest.fixture
+def sobel_call():
+    return generate("sobel", size=(128, 128), seed=1)
+
+
+# --------------------------------------------------------------- bounce path
+
+
+def test_oversized_partition_bounces_to_least_loaded_exact_device():
+    """An HLOP the TPU cannot legally run is re-queued to an exact device
+    (the `_fallback_state` bounce), and the run still completes."""
+    call = generate("sobel", size=(2048, 2048), seed=6)
+    report = _runtime(
+        partition=PartitionConfig(target_partitions=1)
+    ).execute(call)
+    # One 16 MB partition exceeds the TPU's 8 MB device memory.
+    assert all(not h.device_name.startswith("tpu") for h in report.hlops)
+    assert all(h.status.value == "done" for h in report.hlops)
+    assert np.all(np.isfinite(report.output))
+
+
+def test_bounce_with_no_exact_device_raises():
+    """Without the fault framework, a bounce with no exact target is an
+    error (seed behaviour preserved)."""
+    from repro.devices.edgetpu import EdgeTPUDevice
+
+    platform = Platform(devices=[EdgeTPUDevice("tpu0")])
+    call = generate("sobel", size=(2048, 2048), seed=6)
+    runtime = _runtime(
+        policy="edge-tpu-only",
+        platform=platform,
+        partition=PartitionConfig(target_partitions=1),
+    )
+    with pytest.raises(RuntimeError, match="no device can execute"):
+        runtime.execute(call)
+
+
+# ------------------------------------------------------------ endgame split
+
+
+def test_split_on_steal_children_cover_output_exactly():
+    """The endgame split replaces one HLOP with two children that tile the
+    same output region; no items are lost or double-counted."""
+    call = generate("srad", size=(512, 512), seed=1)
+    report = _runtime(
+        partition=PartitionConfig(target_partitions=4), split_on_steal=True
+    ).execute(call)
+    assert report.trace.count("split-steal:") >= 1
+    assert sum(report.work_items.values()) == report.total_items
+    spec = call.spec
+    reference = spec.reference(call.data.astype(np.float64), call.resolve_context())
+    err = np.abs(report.output - reference).mean()
+    assert err < np.abs(reference).mean()
+
+
+def test_split_on_steal_disabled_never_splits():
+    call = generate("srad", size=(512, 512), seed=1)
+    report = _runtime(
+        partition=PartitionConfig(target_partitions=4), split_on_steal=False
+    ).execute(call)
+    assert report.trace.count("split-steal:") == 0
+
+
+# ----------------------------------------------------------- zero overhead
+
+
+def test_fault_framework_zero_overhead_when_no_faults(sobel_call):
+    """An attached-but-fault-free plan must not change a single bit of the
+    output nor a single second of the makespan."""
+    base = _runtime().execute(sobel_call)
+    empty = _runtime(fault_plan=FaultPlan()).execute(sobel_call)
+    zero = _runtime(
+        fault_plan=FaultPlan(transient=(TransientFaults("*", 0.0),))
+    ).execute(sobel_call)
+    for report in (empty, zero):
+        assert np.array_equal(base.output, report.output)
+        assert report.makespan == base.makespan
+        assert report.fault_events == []
+        assert report.retry_count == 0 and report.requeue_count == 0
+        assert not report.degraded
+
+
+# ------------------------------------------------------- transient failures
+
+
+def test_transient_failures_retried_and_reported(sobel_call):
+    plan = FaultPlan(transient=(TransientFaults("tpu0", probability=0.9),))
+    report = _runtime(fault_plan=plan).execute(sobel_call)
+    assert np.all(np.isfinite(report.output))
+    assert report.retry_count > 0
+    assert any(e.kind is FaultKind.TRANSIENT for e in report.fault_events)
+    assert any(h.attempts > 1 for h in report.hlops)
+    # Failed attempts burn device time: visible in the trace.
+    assert report.trace.category_time("faulted") > 0
+    assert report.trace.count("fault:transient") > 0
+
+
+def test_transient_failures_slow_the_run_down(sobel_call):
+    clean = _runtime().execute(sobel_call)
+    faulty = _runtime(
+        fault_plan=FaultPlan(transient=(TransientFaults("*", 0.5),))
+    ).execute(sobel_call)
+    assert faulty.makespan > clean.makespan
+
+
+def test_retries_exhausted_requeues_to_survivor(sobel_call):
+    """With certain failure on the TPU, its HLOPs migrate elsewhere."""
+    plan = FaultPlan(transient=(TransientFaults("tpu0", probability=1.0),))
+    report = _runtime(fault_plan=plan).execute(sobel_call)
+    assert np.all(np.isfinite(report.output))
+    assert report.requeue_count > 0
+    assert all(not h.device_name.startswith("tpu") for h in report.hlops)
+
+
+# ------------------------------------------------------------- device death
+
+
+@pytest.mark.parametrize("policy", ["even-distribution", "work-stealing", "QAWS-TS"])
+def test_device_death_mid_run_completes_on_survivors(policy, sobel_call):
+    clean = _runtime(policy=policy).execute(sobel_call)
+    plan = FaultPlan(deaths=(DeviceDeath("gpu0", at_time=clean.makespan * 0.25),))
+    report = _runtime(policy=policy, fault_plan=plan).execute(sobel_call)
+    assert np.all(np.isfinite(report.output))
+    assert report.output.shape == clean.output.shape
+    assert any(e.kind is FaultKind.DEVICE_DEATH for e in report.fault_events)
+    # Nothing completes on the dead device after its death time.
+    death = clean.makespan * 0.25
+    for hlop in report.hlops:
+        if hlop.device_name == "gpu0":
+            assert hlop.finish_time <= death + 1e-12
+
+
+def test_dead_device_queue_drained_and_redistributed(sobel_call):
+    plan = FaultPlan(deaths=(DeviceDeath("gpu0", at_time=1e-6),))
+    report = _runtime(fault_plan=plan).execute(sobel_call)
+    assert np.all(np.isfinite(report.output))
+    assert report.requeue_count > 0
+    assert all(h.device_name != "gpu0" for h in report.hlops)
+    assert report.trace.count("fault:device-death") == 1
+
+
+def test_all_devices_dead_raises(sobel_call):
+    plan = FaultPlan(
+        deaths=(
+            DeviceDeath("cpu0", at_time=1e-6),
+            DeviceDeath("gpu0", at_time=1e-6),
+            DeviceDeath("tpu0", at_time=1e-6),
+        )
+    )
+    with pytest.raises(RuntimeError, match="no surviving device"):
+        _runtime(fault_plan=plan).execute(sobel_call)
+
+
+# ------------------------------------------------------- watchdog / timeout
+
+
+def test_straggler_triggers_watchdog_then_requeue(sobel_call):
+    plan = FaultPlan(stragglers=(Straggler("tpu0", slowdown=50.0),))
+    report = _runtime(fault_plan=plan).execute(sobel_call)
+    assert np.all(np.isfinite(report.output))
+    timeouts = [e for e in report.fault_events if e.kind is FaultKind.TIMEOUT]
+    assert timeouts
+    assert report.trace.count("fault:timeout") == len(timeouts)
+    # Timed-out work left the straggler for good.
+    assert report.requeue_count > 0
+
+
+def test_sole_surviving_straggler_still_finishes(sobel_call):
+    """Progressive deadline escalation: when the only device left is slow,
+    the run degrades to slow progress instead of timing out forever."""
+    plan = FaultPlan(
+        deaths=(DeviceDeath("gpu0", at_time=1e-6), DeviceDeath("cpu0", at_time=1e-6)),
+        stragglers=(Straggler("tpu0", slowdown=20.0),),
+    )
+    report = _runtime(fault_plan=plan).execute(sobel_call)
+    assert np.all(np.isfinite(report.output))
+    assert all(h.device_name == "tpu0" for h in report.hlops)
+    assert any(e.kind is FaultKind.TIMEOUT for e in report.fault_events)
+
+
+def test_mild_slowdown_within_watchdog_budget_no_timeout(sobel_call):
+    """A straggler inside the watchdog budget must not trip it."""
+    plan = FaultPlan(stragglers=(Straggler("tpu0", slowdown=1.5),))
+    report = _runtime(fault_plan=plan, watchdog_factor=4.0).execute(sobel_call)
+    assert not any(e.kind is FaultKind.TIMEOUT for e in report.fault_events)
+
+
+# -------------------------------------------------------- output corruption
+
+
+def test_corrupted_output_recomputed_exactly(sobel_call):
+    plan = FaultPlan(corruption=(OutputCorruption("tpu0", probability=1.0),))
+    report = _runtime(fault_plan=plan).execute(sobel_call)
+    assert np.all(np.isfinite(report.output))
+    corruptions = [e for e in report.fault_events if e.kind is FaultKind.CORRUPTION]
+    assert corruptions
+    # Every corrupted HLOP was recomputed on an exact device.
+    corrupted_ids = {e.hlop_id for e in corruptions}
+    for hlop in report.hlops:
+        if hlop.hlop_id in corrupted_ids:
+            assert hlop.exact_recompute
+            assert not hlop.device_name.startswith("tpu")
+
+
+# --------------------------------------------------- graceful degradation
+
+
+def test_last_exact_device_death_degrades_instead_of_raising():
+    call = generate("sobel", size=(128, 128), seed=1)
+    plan = FaultPlan(
+        deaths=(DeviceDeath("cpu0", at_time=5e-7), DeviceDeath("gpu0", at_time=1e-6))
+    )
+    report = _runtime(policy="QAWS-TS", fault_plan=plan).execute(call)
+    assert np.all(np.isfinite(report.output))
+    assert report.degraded
+    assert any(e.kind is FaultKind.DEGRADED for e in report.fault_events)
+    degraded = [h for h in report.hlops if h.degraded]
+    assert degraded
+    # The relaxed pins allowed the TPU to take the work.
+    assert all(h.device_name == "tpu0" for h in report.hlops)
+
+
+# ------------------------------------------------------------ batch + plumbing
+
+
+def test_batch_report_aggregates_fault_counters(sobel_call):
+    other = generate("mean_filter", size=(128, 128), seed=2)
+    plan = FaultPlan(transient=(TransientFaults("tpu0", probability=0.9),))
+    batch = _runtime(fault_plan=plan).execute_batch([sobel_call, other])
+    assert batch.retry_count == sum(r.retry_count for r in batch.reports)
+    assert batch.requeue_count == sum(r.requeue_count for r in batch.reports)
+    assert len(batch.fault_events) >= max(len(r.fault_events) for r in batch.reports)
+    times = [e.time for e in batch.fault_events]
+    assert times == sorted(times)
+    for report in batch.reports:
+        assert np.all(np.isfinite(report.output))
+
+
+def test_platform_level_fault_plan_is_inherited(sobel_call):
+    platform = jetson_nano_platform()
+    platform.fault_plan = FaultPlan(
+        transient=(TransientFaults("tpu0", probability=0.9),)
+    )
+    report = SHMTRuntime(
+        platform, make_scheduler("work-stealing"), RuntimeConfig(partition=SMALL)
+    ).execute(sobel_call)
+    assert report.retry_count > 0
+
+
+def test_config_fault_plan_overrides_platform_plan(sobel_call):
+    platform = jetson_nano_platform()
+    platform.fault_plan = FaultPlan(
+        transient=(TransientFaults("*", probability=1.0),)
+    )
+    # Config carries an explicitly fault-free plan: platform plan ignored.
+    report = SHMTRuntime(
+        platform,
+        make_scheduler("work-stealing"),
+        RuntimeConfig(partition=SMALL, fault_plan=FaultPlan()),
+    ).execute(sobel_call)
+    assert report.fault_events == []
+
+
+def test_fault_runs_are_deterministic(sobel_call):
+    plan = FaultPlan(
+        transient=(TransientFaults("*", probability=0.3),),
+        deaths=(DeviceDeath("gpu0", at_time=5e-5),),
+    )
+    a = _runtime(fault_plan=plan).execute(sobel_call)
+    b = _runtime(fault_plan=plan).execute(sobel_call)
+    assert np.array_equal(a.output, b.output)
+    assert a.makespan == b.makespan
+    assert [(e.time, e.kind, e.device, e.hlop_id) for e in a.fault_events] == [
+        (e.time, e.kind, e.device, e.hlop_id) for e in b.fault_events
+    ]
+
+
+def test_gantt_marks_faults(sobel_call):
+    from repro.sim.gantt import render_gantt
+
+    plan = FaultPlan(transient=(TransientFaults("tpu0", probability=0.9),))
+    report = _runtime(fault_plan=plan).execute(sobel_call)
+    art = render_gantt(report.trace, width=120)
+    assert "!" in art
+
+
+# -------------------------------------------------------- input validation
+
+
+def test_execute_rejects_mutated_empty_input(sobel_call):
+    sobel_call.data = np.empty((0, 4), dtype=np.float32)
+    with pytest.raises(ValueError, match="empty"):
+        _runtime().execute(sobel_call)
+
+
+def test_execute_rejects_mutated_nonfinite_input(sobel_call):
+    sobel_call.data[3, 3] = np.nan
+    with pytest.raises(ValueError, match="NaN or infinity"):
+        _runtime().execute(sobel_call)
+
+
+def test_vopcall_rejects_bad_inputs_at_construction():
+    with pytest.raises(ValueError, match="empty"):
+        VOPCall("sobel", np.empty((0, 8), dtype=np.float32))
+    bad = np.ones((8, 8), dtype=np.float32)
+    bad[0, 0] = np.inf
+    with pytest.raises(ValueError, match="NaN or infinity"):
+        VOPCall("sobel", bad)

@@ -1,0 +1,96 @@
+"""Unit tests for the deterministic fault injector."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, OutputCorruption, Straggler, TransientFaults
+from repro.faults.injector import FaultInjector
+
+
+def _injector(seed=7, **plan_kwargs):
+    return FaultInjector(FaultPlan(**plan_kwargs), seed=seed)
+
+
+def test_decisions_are_pure_functions_of_coordinates():
+    inj = _injector(transient=(TransientFaults("*", 0.5),))
+    draws = [inj.attempt_fails("gpu0", hlop_id=3, attempt=1) for _ in range(5)]
+    assert len(set(draws)) == 1  # same coordinates, same answer, every time
+    twin = _injector(transient=(TransientFaults("*", 0.5),))
+    assert twin.attempt_fails("gpu0", 3, 1) == draws[0]
+
+
+def test_decisions_vary_across_coordinates_and_seeds():
+    inj = _injector(transient=(TransientFaults("*", 0.5),))
+    across_hlops = {inj.attempt_fails("gpu0", h, 1) for h in range(64)}
+    assert across_hlops == {True, False}
+    per_seed = {
+        seed: _injector(seed=seed, transient=(TransientFaults("*", 0.5),)).attempt_fails(
+            "gpu0", 0, 1
+        )
+        for seed in range(64)
+    }
+    assert set(per_seed.values()) == {True, False}
+
+
+def test_failure_rate_tracks_probability():
+    inj = _injector(transient=(TransientFaults("*", 0.2),))
+    fails = sum(inj.attempt_fails("tpu0", h, 1) for h in range(2000))
+    assert 0.15 < fails / 2000 < 0.25
+
+
+def test_boundary_probabilities():
+    never = _injector(transient=(TransientFaults("*", 0.0),))
+    always = _injector(transient=(TransientFaults("*", 1.0),))
+    assert not any(never.attempt_fails("gpu0", h, 1) for h in range(50))
+    assert all(always.attempt_fails("gpu0", h, 1) for h in range(50))
+    assert not never.corrupts("gpu0", 0, 1)  # no rules at all
+
+
+def test_only_matching_device_fails():
+    inj = _injector(transient=(TransientFaults("tpu0", 1.0),))
+    assert inj.attempt_fails("tpu0", 0, 1)
+    assert not inj.attempt_fails("gpu0", 0, 1)
+
+
+def test_slowdown_delegates_to_plan_windows():
+    inj = _injector(stragglers=(Straggler("tpu0", 4.0, start=1.0, end=2.0),))
+    assert inj.slowdown("tpu0", 0.0) == 1.0
+    assert inj.slowdown("tpu0", 1.5) == 4.0
+    assert inj.slowdown("gpu0", 1.5) == 1.0
+
+
+def test_corrupt_output_poisons_expected_block():
+    inj = _injector(corruption=(OutputCorruption("tpu0", 1.0, block_fraction=0.25),))
+    clean = np.ones((16, 16), dtype=np.float32)
+    poisoned = inj.corrupt_output(clean, "tpu0", hlop_id=0, attempt=1)
+    assert np.all(np.isfinite(clean))  # input untouched
+    bad = np.isnan(poisoned).sum()
+    assert bad == round(clean.size * 0.25)
+    again = inj.corrupt_output(clean, "tpu0", hlop_id=0, attempt=1)
+    assert np.array_equal(np.isnan(poisoned), np.isnan(again))  # deterministic
+
+
+def test_corrupt_output_inf_mode():
+    inj = _injector(corruption=(OutputCorruption("*", 1.0, mode="inf"),))
+    poisoned = inj.corrupt_output(np.ones(64, dtype=np.float32), "gpu0", 1, 1)
+    assert np.isinf(poisoned).any()
+    assert not np.isnan(poisoned).any()
+
+
+def test_corrupt_output_no_rule_is_identity():
+    inj = _injector(corruption=(OutputCorruption("tpu0", 1.0),))
+    clean = np.ones(8, dtype=np.float32)
+    assert inj.corrupt_output(clean, "gpu0", 0, 1) is clean
+
+
+def test_corruption_probability_composes():
+    inj = _injector(
+        corruption=(
+            OutputCorruption("*", 0.5),
+            OutputCorruption("tpu0", 0.5),
+        )
+    )
+    tpu_rate = sum(inj.corrupts("tpu0", h, 1) for h in range(2000)) / 2000
+    gpu_rate = sum(inj.corrupts("gpu0", h, 1) for h in range(2000)) / 2000
+    assert 0.70 < tpu_rate < 0.80  # 1 - 0.5 * 0.5
+    assert 0.45 < gpu_rate < 0.55

@@ -1,0 +1,98 @@
+"""Unit tests for the fault model (`repro.faults.plan`)."""
+
+import math
+
+import pytest
+
+from repro.faults import (
+    DeviceDeath,
+    FaultPlan,
+    OutputCorruption,
+    Straggler,
+    TransientFaults,
+)
+
+
+def test_empty_plan():
+    assert FaultPlan().empty
+    assert not FaultPlan(transient=(TransientFaults("*", 0.1),)).empty
+    assert not FaultPlan(deaths=(DeviceDeath("gpu0", 1.0),)).empty
+
+
+def test_transient_probability_composes_independently():
+    plan = FaultPlan(
+        transient=(
+            TransientFaults("*", 0.1),
+            TransientFaults("tpu0", 0.5),
+        )
+    )
+    assert plan.transient_probability("gpu0") == pytest.approx(0.1)
+    # 1 - (1 - 0.1)(1 - 0.5)
+    assert plan.transient_probability("tpu0") == pytest.approx(0.55)
+    assert FaultPlan().transient_probability("gpu0") == 0.0
+
+
+def test_death_time_earliest_wins():
+    plan = FaultPlan(
+        deaths=(DeviceDeath("gpu0", 2.0), DeviceDeath("tpu0", 1.0))
+    )
+    assert plan.death_time("gpu0") == 2.0
+    assert plan.death_time("tpu0") == 1.0
+    assert plan.death_time("cpu0") is None
+
+
+def test_straggler_windows_compound():
+    plan = FaultPlan(
+        stragglers=(
+            Straggler("tpu0", slowdown=2.0, start=1.0, end=3.0),
+            Straggler("*", slowdown=1.5, start=2.0, end=4.0),
+        )
+    )
+    assert plan.slowdown_at("tpu0", 0.5) == 1.0
+    assert plan.slowdown_at("tpu0", 1.5) == 2.0
+    assert plan.slowdown_at("tpu0", 2.5) == pytest.approx(3.0)  # 2.0 * 1.5
+    assert plan.slowdown_at("gpu0", 2.5) == 1.5
+    assert plan.slowdown_at("tpu0", 3.5) == 1.5  # first window closed (end exclusive)
+    assert plan.slowdown_at("tpu0", 4.0) == 1.0
+
+
+def test_corruption_rules_selected_by_device():
+    rule = OutputCorruption("tpu0", probability=0.2)
+    plan = FaultPlan(corruption=(rule, OutputCorruption("*", 0.1, mode="inf")))
+    assert len(plan.corruption_rules("tpu0")) == 2
+    assert plan.corruption_rules("gpu0") == [plan.corruption[1]]
+
+
+def test_plan_accepts_lists_and_stays_hashable():
+    plan = FaultPlan(transient=[TransientFaults("*", 0.1)])
+    assert isinstance(plan.transient, tuple)
+    hash(plan)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        lambda: TransientFaults("gpu0", -0.1),
+        lambda: TransientFaults("gpu0", 1.5),
+        lambda: DeviceDeath("gpu0", -1.0),
+        lambda: DeviceDeath("*", 1.0),
+        lambda: Straggler("gpu0", slowdown=0.5),
+        lambda: Straggler("gpu0", slowdown=2.0, start=3.0, end=3.0),
+        lambda: OutputCorruption("gpu0", probability=2.0),
+        lambda: OutputCorruption("gpu0", probability=0.5, mode="zero"),
+        lambda: OutputCorruption("gpu0", probability=0.5, block_fraction=0.0),
+        lambda: FaultPlan(
+            deaths=(DeviceDeath("gpu0", 1.0), DeviceDeath("gpu0", 2.0))
+        ),
+    ],
+)
+def test_invalid_fault_declarations_rejected(bad):
+    with pytest.raises(ValueError):
+        bad()
+
+
+def test_straggler_open_ended_window():
+    s = Straggler("gpu0", slowdown=3.0, start=1.0)
+    assert s.end == math.inf
+    assert s.active_at(1e9)
+    assert not s.active_at(0.5)
