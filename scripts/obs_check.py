@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Observability smoke check: telemetry agrees with the reports it describes.
+
+For every registered scheduling policy (clean run *and* chaos run under the
+canned fault plan of ``chaos_check.py``), asserts that:
+
+* the decision log's counters match the ``BatchReport`` exactly
+  (steal + split decisions == ``steal_count``, retries, requeues, and one
+  degrade decision per degraded fault event);
+* the exported records validate against the ``repro.obs/v1`` schema;
+* the decision log is deterministic: the same seed replays byte-identical;
+* disabling observability leaves the report itself unchanged.
+
+Run after any change to the runtime's telemetry hooks:
+
+    PYTHONPATH=src python scripts/obs_check.py [policy ...]
+    PYTHONPATH=src python scripts/obs_check.py --validate metrics.jsonl
+
+Exits non-zero on any mismatch.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    DecisionKind,
+    DeviceDeath,
+    FaultKind,
+    FaultPlan,
+    OutputCorruption,
+    RuntimeConfig,
+    SHMTRuntime,
+    Straggler,
+    TransientFaults,
+    jetson_nano_platform,
+    make_scheduler,
+    scheduler_names,
+)
+from repro.core.partition import PartitionConfig
+from repro.obs import to_records, validate_records
+from repro.workloads import generate
+
+# Single-device policies have no legal recovery target for a device death
+# (same exemption as chaos_check.py).
+SINGLE_DEVICE = {"gpu-baseline", "edge-tpu-only"}
+
+
+def chaos_plan(kill_gpu: bool) -> FaultPlan:
+    return FaultPlan(
+        transient=(TransientFaults("*", probability=0.05),),
+        deaths=(DeviceDeath("gpu0", at_time=5e-4),) if kill_gpu else (),
+        stragglers=(Straggler("tpu0", slowdown=8.0, start=2e-4),),
+        corruption=(OutputCorruption("cpu0", probability=0.3),),
+    )
+
+
+def _run(policy: str, plan):
+    call = generate("sobel", size=(256, 256), seed=11)
+    config = RuntimeConfig(
+        partition=PartitionConfig(target_partitions=16),
+        fault_plan=plan,
+        observe=True,
+    )
+    runtime = SHMTRuntime(jetson_nano_platform(), make_scheduler(policy), config)
+    return runtime.execute(call)
+
+
+def check(policy: str, chaos: bool) -> bool:
+    label = f"{policy} ({'chaos' if chaos else 'clean'})"
+    plan = chaos_plan(kill_gpu=policy not in SINGLE_DEVICE) if chaos else None
+    try:
+        report = _run(policy, plan)
+        metrics = report.metrics
+        assert metrics is not None, "observe=True produced no metrics"
+        counts = metrics.decision_counts
+        steals = counts.get(DecisionKind.STEAL, 0) + counts.get(DecisionKind.SPLIT, 0)
+        assert steals == report.steal_count, (
+            f"steal+split decisions {steals} != steal_count {report.steal_count}"
+        )
+        retries = counts.get(DecisionKind.RETRY, 0)
+        assert retries == report.retry_count, (
+            f"retry decisions {retries} != retry_count {report.retry_count}"
+        )
+        requeues = counts.get(DecisionKind.REQUEUE, 0)
+        assert requeues == report.requeue_count, (
+            f"requeue decisions {requeues} != requeue_count {report.requeue_count}"
+        )
+        degraded_events = sum(
+            1 for e in report.fault_events if e.kind is FaultKind.DEGRADED
+        )
+        degrades = counts.get(DecisionKind.DEGRADE, 0)
+        assert degrades == degraded_events, (
+            f"degrade decisions {degrades} != degraded fault events {degraded_events}"
+        )
+        assert len(metrics.fault_events) == len(report.fault_events), (
+            "recorder fault log disagrees with the report's"
+        )
+        validate_records(to_records(metrics, meta={"policy": policy}))
+        replay = _run(policy, plan)
+        assert replay.metrics.decisions.to_dicts() == metrics.decisions.to_dicts(), (
+            "decision log is not deterministic under a fixed seed"
+        )
+    except Exception as exc:  # noqa: BLE001 - report and keep sweeping
+        print(f"  {label:<32} FAIL   {type(exc).__name__}: {exc}")
+        return False
+    print(
+        f"  {label:<32} ok     decisions={len(metrics.decisions):<4d} "
+        f"steals={report.steal_count:<3d} retries={report.retry_count:<3d} "
+        f"requeues={report.requeue_count:<3d} faults={len(report.fault_events)}"
+    )
+    return True
+
+
+def main() -> None:
+    argv = sys.argv[1:]
+    if argv and argv[0] == "--validate":
+        if len(argv) != 2:
+            print("usage: obs_check.py --validate FILE.jsonl")
+            sys.exit(2)
+        from repro.obs import validate_jsonl
+
+        count = validate_jsonl(argv[1])
+        print(f"{argv[1]}: {count} records valid against repro.obs/v1")
+        return
+    policies = argv or scheduler_names()
+    print(f"obs check: {len(policies)} policies, clean + chaos, seeded replay")
+    failures = [
+        f"{p} ({mode})"
+        for p in policies
+        for mode, chaos in (("clean", False), ("chaos", True))
+        if not check(p, chaos)
+    ]
+    if failures:
+        print(f"\nFAILED: {', '.join(failures)}")
+        sys.exit(1)
+    print("\nall policies: telemetry matches reports")
+
+
+if __name__ == "__main__":
+    main()

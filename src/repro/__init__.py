@@ -46,6 +46,15 @@ from repro.faults import (
     Straggler,
     TransientFaults,
 )
+from repro.obs import (
+    Decision,
+    DecisionKind,
+    DecisionLog,
+    MetricsRegistry,
+    RunMetrics,
+    RunObserver,
+    write_jsonl,
+)
 
 __version__ = "1.0.0"
 
@@ -76,5 +85,12 @@ __all__ = [
     "OutputCorruption",
     "Straggler",
     "TransientFaults",
+    "Decision",
+    "DecisionKind",
+    "DecisionLog",
+    "MetricsRegistry",
+    "RunMetrics",
+    "RunObserver",
+    "write_jsonl",
     "__version__",
 ]

@@ -14,7 +14,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.runtime import SHMTRuntime
+from repro.core.runtime import RuntimeConfig, SHMTRuntime
 from repro.core.schedulers.base import make_scheduler, scheduler_names
 from repro.core.vop import vop_catalog
 from repro.devices.perf_model import benchmark_names
@@ -48,7 +48,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         platform_for("gpu-baseline"), make_scheduler("gpu-baseline")
     )
     baseline = baseline_runtime.execute(call)
-    runtime = SHMTRuntime(platform_for(args.policy), make_scheduler(args.policy))
+    config = RuntimeConfig(observe=bool(args.metrics))
+    runtime = SHMTRuntime(platform_for(args.policy), make_scheduler(args.policy), config)
     report = runtime.execute(call)
 
     print(f"kernel    : {args.kernel} @ {args.side}x{args.side} (seed {args.seed})")
@@ -77,6 +78,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
             report.trace, args.export_trace, process_name=f"{args.kernel}/{args.policy}"
         )
         print(f"trace written to {args.export_trace} (open in chrome://tracing)")
+    if args.metrics:
+        from repro.obs import write_jsonl
+
+        write_jsonl(
+            report.metrics,
+            args.metrics,
+            meta={
+                "kernel": args.kernel,
+                "policy": args.policy,
+                "side": args.side,
+                "seed": args.seed,
+            },
+        )
+        decisions = report.metrics.decision_counts
+        summary = ", ".join(f"{k.value}={v}" for k, v in sorted(
+            decisions.items(), key=lambda kv: kv[0].value
+        ))
+        print(f"decisions : {summary}")
+        print(f"metrics written to {args.metrics} (JSONL, schema repro.obs/v1)")
     return 0
 
 
@@ -87,7 +107,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     settings = ExperimentSettings(seed=args.seed)
     if args.quick:
         settings.size = 512 * 512
-    run_all(settings)
+    run_all(settings, metrics_path=args.metrics)
     return 0
 
 
@@ -112,11 +132,21 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="write the timeline as Chrome-trace JSON (chrome://tracing)",
     )
+    run_parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="observe the run and write metrics + decision log as JSONL",
+    )
     run_parser.set_defaults(handler=_cmd_run)
 
     exp_parser = sub.add_parser("experiments", help="regenerate the paper's evaluation")
     exp_parser.add_argument("--quick", action="store_true")
     exp_parser.add_argument("--seed", type=int, default=0)
+    exp_parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="observe every cached run and write their metrics as one JSONL",
+    )
     exp_parser.set_defaults(handler=_cmd_experiments)
 
     args = parser.parse_args(argv)

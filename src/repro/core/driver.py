@@ -60,6 +60,13 @@ class Completion:
         """The run's fault log (empty on a clean run)."""
         return self.report.fault_events
 
+    @property
+    def metrics(self):
+        """The run's :class:`~repro.obs.recorder.RunMetrics` snapshot
+        (``None`` unless the runtime was built with
+        ``RuntimeConfig(observe=True)``)."""
+        return self.report.metrics
+
 
 @dataclass
 class _PendingCommand:

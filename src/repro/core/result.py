@@ -3,13 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from repro.core.hlop import HLOP
 from repro.devices.energy import EnergyBreakdown
 from repro.faults.plan import FaultEvent
+from repro.obs.recorder import RunMetrics
 from repro.sim.trace import Trace
 
 
@@ -49,6 +50,9 @@ class ExecutionReport:
     #: (e.g. exact-only HLOPs ran approximately after the last exact
     #: device died); the output is complete but may be lower fidelity.
     degraded: bool = False
+    #: Observability snapshot for the run this call was part of (shared
+    #: batch-wide); ``None`` unless ``RuntimeConfig(observe=True)``.
+    metrics: Optional[RunMetrics] = None
 
     @property
     def faulted(self) -> bool:
@@ -117,6 +121,9 @@ class BatchReport:
     requeue_count: int = 0
     #: True when any call in the batch had to degrade quality to finish.
     degraded: bool = False
+    #: Observability snapshot (counters, decision log, phase profile);
+    #: ``None`` unless ``RuntimeConfig(observe=True)``.
+    metrics: Optional[RunMetrics] = None
 
     def __getitem__(self, index: int) -> ExecutionReport:
         return self.reports[index]

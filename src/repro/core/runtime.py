@@ -53,6 +53,8 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
 from repro.kernels.common import replicate_pad
 from repro.kernels.registry import KernelSpec, ParallelModel
+from repro.obs.decisions import DecisionKind
+from repro.obs.recorder import NULL_RECORDER, Recorder, RunObserver
 from repro.sim.engine import Engine
 from repro.sim.events import Event, EventKind
 from repro.sim.trace import Trace
@@ -102,6 +104,12 @@ class RuntimeConfig:
     #: which no device can ever finish an HLOP (e.g. every device hung)
     #: fails with a clear error instead of bouncing work forever.
     max_requeues: int = 32
+    #: Record run telemetry (metrics registry, scheduler-decision log,
+    #: per-phase profile; see :mod:`repro.obs`) and attach the
+    #: :class:`~repro.obs.recorder.RunMetrics` snapshot to the reports.
+    #: Off by default: the disabled path uses a no-op recorder and the
+    #: run is bit-identical to an unobserved one.
+    observe: bool = False
 
 
 @dataclass
@@ -112,6 +120,8 @@ class _Running:
     start: float
     done_event: Event
     watchdog_event: Optional[Event] = None
+    #: Model-predicted service time of this attempt (for the decision log).
+    predicted: float = 0.0
 
 
 @dataclass
@@ -190,14 +200,15 @@ class SHMTRuntime:
             self._validate_call(index, call)
         devices = self.scheduler.participating(self.platform.devices)
         rng = np.random.default_rng(self.config.seed)
+        obs: Recorder = RunObserver() if self.config.observe else NULL_RECORDER
         units: List[_CallUnit] = []
         next_hlop_id = 0
         for index, call in enumerate(calls):
             unit, next_hlop_id = self._build_unit(
-                index, call, devices, rng, next_hlop_id
+                index, call, devices, rng, next_hlop_id, obs
             )
             units.append(unit)
-        run = _BatchRun(runtime=self, units=units, devices=devices)
+        run = _BatchRun(runtime=self, units=units, devices=devices, obs=obs)
         return run.execute()
 
     # ----------------------------------------------------------------- helpers
@@ -227,6 +238,7 @@ class SHMTRuntime:
         devices: List[Device],
         rng: np.random.Generator,
         next_hlop_id: int,
+        obs: Recorder = NULL_RECORDER,
     ) -> "tuple[_CallUnit, int]":
         spec = call.spec
         calibration = spec.calibration
@@ -242,6 +254,7 @@ class SHMTRuntime:
             devices=devices,
             rng=rng,
             total_items=total_items,
+            recorder=obs,
         )
         plan = self.scheduler.plan(ctx)
         self._validate_plan(plan, partitions, devices)
@@ -313,12 +326,16 @@ class _BatchRun:
         runtime: SHMTRuntime,
         units: List[_CallUnit],
         devices: List[Device],
+        obs: Recorder = NULL_RECORDER,
     ) -> None:
         self.runtime = runtime
         self.units = units
         self.devices = devices
         self.engine = Engine()
         self.trace = Trace()
+        #: Observability sink; a shared no-op unless the config opts in,
+        #: so unobserved runs never pay for telemetry.
+        self.obs = obs
         self.states: Dict[str, _DeviceState] = {
             d.name: _DeviceState(device=d) for d in devices
         }
@@ -334,7 +351,7 @@ class _BatchRun:
         #: branch in the run loop is gated on this so fault-free runs are
         #: bit-identical to the fault-unaware runtime.
         self.faults: Optional[FaultInjector] = (
-            FaultInjector(plan, runtime.config.seed)
+            FaultInjector(plan, runtime.config.seed, recorder=obs)
             if plan is not None and not plan.empty
             else None
         )
@@ -372,6 +389,18 @@ class _BatchRun:
             hlop.status = HLOPStatus.QUEUED
             hlop.enqueue_time = unit.ready_time
             state.queue.append(hlop)
+            if self.obs.enabled:
+                self.obs.decision(
+                    DecisionKind.DISPATCH,
+                    state.device.name,
+                    time=unit.ready_time,
+                    hlop_id=hlop.hlop_id,
+                    unit_id=unit.index,
+                    why="plan assignment",
+                    predicted_seconds=state.device.service_time(
+                        unit.calibration, hlop.n_items, now=unit.ready_time
+                    ),
+                )
         for state in self.states.values():
             state.transfer_free = max(state.transfer_free, 0.0)
             self.engine.schedule_at(
@@ -387,11 +416,13 @@ class _BatchRun:
         tag = f"u{unit.index}:" if len(self.units) > 1 else ""
         if plan.sampling_seconds > 0:
             self.trace.add_span("host", t, t + plan.sampling_seconds, f"{tag}sampling", "host")
+            self.obs.phase("sampling", "host", plan.sampling_seconds)
             t += plan.sampling_seconds
         if plan.extra_host_seconds > 0:
             self.trace.add_span(
                 "host", t, t + plan.extra_host_seconds, f"{tag}canary-execution", "host"
             )
+            self.obs.phase("canary", "host", plan.extra_host_seconds)
             t += plan.extra_host_seconds
         if self.runtime.scheduler.charges_runtime_overhead:
             total = self.runtime.dispatch_overhead(
@@ -400,6 +431,7 @@ class _BatchRun:
             unit.dispatch_seconds = total
             pre = total / 2.0
             self.trace.add_span("host", t, t + pre, f"{tag}hlop-dispatch", "host")
+            self.obs.phase("dispatch", "host", pre)
             t += pre
         return t
 
@@ -421,6 +453,7 @@ class _BatchRun:
                 post = unit.dispatch_seconds / 2.0
                 tag = f"u{unit.index}:" if len(self.units) > 1 else ""
                 self.trace.add_span("host", start, start + post, f"{tag}aggregation", "host")
+                self.obs.phase("aggregation", "host", post)
                 unit.finish_time = start + post
                 host_free = unit.finish_time
             else:
@@ -547,6 +580,18 @@ class _BatchRun:
                 hlop.enqueue_time = now
                 self.steal_count += 1
                 self._unit_of(hlop).steal_count += 1
+                if self.obs.enabled:
+                    self.obs.decision(
+                        DecisionKind.STEAL,
+                        thief.name,
+                        time=now,
+                        hlop_id=hlop.hlop_id,
+                        unit_id=self._unit_of(hlop).index,
+                        why=f"idle thief took work from {victim.device.name}",
+                        predicted_seconds=thief.service_time(
+                            self._unit_of(hlop).calibration, hlop.n_items, now=now
+                        ),
+                    )
             self.trace.add_marker(
                 thief.name,
                 now,
@@ -606,6 +651,18 @@ class _BatchRun:
         victim.queue.append(victim_child)
         self.steal_count += 1
         unit.steal_count += 1
+        if self.obs.enabled:
+            self.obs.decision(
+                DecisionKind.SPLIT,
+                state.device.name,
+                time=now,
+                hlop_id=parent.hlop_id,
+                unit_id=unit.index,
+                why=(
+                    f"endgame split of hlop {parent.hlop_id} with "
+                    f"{victim.device.name} (share {share:.3f})"
+                ),
+            )
         self.trace.add_marker(
             state.device.name,
             now,
@@ -642,6 +699,7 @@ class _BatchRun:
                 f"xfer:{hlop.hlop_id}",
                 "transfer",
             )
+            self.obs.phase("transfer", device.name, transfer)
         wait = compute_start - now
         hlop.transfer_wait = wait
         state.wait_seconds += wait
@@ -696,7 +754,11 @@ class _BatchRun:
                 kind=EventKind.TIMEOUT,
             )
         state.current = _Running(
-            hlop=hlop, start=compute_start, done_event=done_event, watchdog_event=watchdog
+            hlop=hlop,
+            start=compute_start,
+            done_event=done_event,
+            watchdog_event=watchdog,
+            predicted=predicted,
         )
 
     def _execute_numeric(
@@ -725,6 +787,7 @@ class _BatchRun:
     ) -> None:
         device = state.device
         unit = self._unit_of(hlop)
+        predicted = state.current.predicted if state.current is not None else 0.0
         self._clear_running(state)
         if self.faults is not None and not np.all(np.isfinite(result)):
             if not hlop.exact_recompute:
@@ -751,6 +814,27 @@ class _BatchRun:
         unit.items_by_class[cls] = unit.items_by_class.get(cls, 0) + hlop.n_items
         state.running = False
         hlop.mark_done(device.name, start, finish, result)
+        if self.obs.enabled:
+            self.obs.phase("compute", device.name, finish - start)
+            self.obs.decision(
+                DecisionKind.COMPLETE,
+                device.name,
+                time=finish,
+                hlop_id=hlop.hlop_id,
+                unit_id=unit.index,
+                why="result accepted",
+                predicted_seconds=predicted,
+                actual_seconds=finish - start,
+            )
+            self.obs.count("hlops_completed_total", 1, device=device.name)
+            self.obs.count("items_completed_total", hlop.n_items, device_class=cls)
+            self.obs.observe("service_seconds", finish - start, device=device.name)
+            if predicted > 0:
+                self.obs.observe(
+                    "service_prediction_ratio",
+                    (finish - start) / predicted,
+                    device=device.name,
+                )
         self._try_start(state)
 
     # --------------------------------------------------- faults and recovery
@@ -774,16 +858,28 @@ class _BatchRun:
         now = self.engine.now
         hlop_id = hlop.hlop_id if hlop is not None else None
         unit_id = self._unit_of(hlop).index if hlop is not None else None
-        self.fault_events.append(
-            FaultEvent(
+        event = FaultEvent(
+            time=now,
+            kind=kind,
+            device=device_name,
+            hlop_id=hlop_id,
+            unit_id=unit_id,
+            detail=detail,
+        )
+        self.fault_events.append(event)
+        self.obs.fault(event)
+        if kind is FaultKind.DEGRADED and self.obs.enabled:
+            # Quality degradation is a scheduling decision as much as a
+            # fault: mirror it into the decision log so chaos runs and
+            # clean runs share one accounting of who relaxed what and why.
+            self.obs.decision(
+                DecisionKind.DEGRADE,
+                device_name,
                 time=now,
-                kind=kind,
-                device=device_name,
                 hlop_id=hlop_id,
                 unit_id=unit_id,
-                detail=detail,
+                why=detail,
             )
-        )
         label = f"fault:{kind.value}" + (f":{hlop_id}" if hlop_id is not None else "")
         self.trace.add_marker(device_name, now, label)
 
@@ -808,6 +904,8 @@ class _BatchRun:
         cls = state.device.device_class
         unit.busy_by_class[cls] = unit.busy_by_class.get(cls, 0.0) + elapsed
         state.running = False
+        if elapsed > 0:
+            self.obs.phase("faulted", state.device.name, elapsed)
 
     def _on_attempt_failed(
         self, state: _DeviceState, hlop: HLOP, start: float, finish: float
@@ -948,6 +1046,19 @@ class _BatchRun:
                 hlop,
                 detail=f"retry {hlop.retries}/{config.max_retries} after {backoff:.6f}s",
             )
+            if self.obs.enabled:
+                self.obs.decision(
+                    DecisionKind.RETRY,
+                    state.device.name,
+                    time=self.engine.now,
+                    hlop_id=hlop.hlop_id,
+                    unit_id=unit.index,
+                    why=(
+                        f"{'timeout' if timed_out else 'transient failure'}; "
+                        f"retry {hlop.retries}/{config.max_retries} "
+                        f"after {backoff:.6f}s backoff"
+                    ),
+                )
             hlop.status = HLOPStatus.QUEUED
             hlop.enqueue_time = self.engine.now + backoff
 
@@ -1028,6 +1139,19 @@ class _BatchRun:
             hlop,
             detail=f"-> {target.device.name}" + (f" ({reason})" if reason else ""),
         )
+        if self.obs.enabled:
+            self.obs.decision(
+                DecisionKind.REQUEUE,
+                origin.device.name,
+                time=now,
+                hlop_id=hlop.hlop_id,
+                unit_id=unit.index,
+                why=f"migrated to {target.device.name}"
+                + (f" ({reason})" if reason else ""),
+                predicted_seconds=target.device.service_time(
+                    unit.calibration, hlop.n_items, now=now
+                ),
+            )
         hlop.status = HLOPStatus.QUEUED
         # Never before the owning call is ready: a queued-but-unready HLOP
         # keeps its future enqueue time through the migration.
@@ -1069,7 +1193,18 @@ class _BatchRun:
             else:
                 energy = self._unit_energy(unit, energy_model)
             reports.append(self._unit_report(unit, energy))
-        batch_energy = energy_model.measure(self.trace, duration=batch_makespan)
+        batch_energy = energy_model.measure(
+            self.trace, duration=batch_makespan, recorder=self.obs
+        )
+        metrics = None
+        if self.obs.enabled:
+            self.obs.gauge("makespan_seconds", batch_makespan)
+            self.obs.gauge("steal_count", self.steal_count)
+            self.obs.gauge("retry_count", self.retry_count)
+            self.obs.gauge("requeue_count", self.requeue_count)
+            metrics = self.obs.finalize()
+            for report in reports:
+                report.metrics = metrics
         return BatchReport(
             reports=reports,
             makespan=batch_makespan,
@@ -1080,6 +1215,7 @@ class _BatchRun:
             retry_count=self.retry_count,
             requeue_count=self.requeue_count,
             degraded=any(unit.degraded for unit in self.units),
+            metrics=metrics,
         )
 
     def _unit_energy(self, unit: _CallUnit, energy_model) -> EnergyBreakdown:

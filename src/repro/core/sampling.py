@@ -60,13 +60,26 @@ class Sampler(abc.ABC):
         self.rate = rate
 
     def sample(self, block: np.ndarray, rng: np.random.Generator) -> SampleResult:
+        """Draw samples; the cost charges the *realized* sample count.
+
+        ``host_seconds`` is computed from ``samples.size`` (not the target
+        count), so tiny partitions that yield fewer samples than requested
+        are charged only for what was actually read.
+        """
         samples = self._select(np.asarray(block), rng)
         cost = self.fixed_cost + self.per_sample_cost * samples.size
         return SampleResult(samples=samples, host_seconds=cost)
 
     def target_count(self, size: int) -> int:
-        """Number of samples for a partition of ``size`` elements."""
-        return max(2, int(round(size * self.rate)))
+        """Number of samples for a partition of ``size`` elements.
+
+        At least 2 samples (range/std need two points) but never more than
+        the partition holds: degenerate partitions return ``size`` itself
+        (0 for empty, 1 for singletons).
+        """
+        if size <= 0:
+            return 0
+        return min(size, max(2, int(round(size * self.rate))))
 
     @abc.abstractmethod
     def _select(self, block: np.ndarray, rng: np.random.Generator) -> np.ndarray:
@@ -82,7 +95,9 @@ class StridingSampler(Sampler):
 
     def _select(self, block: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         flat = block.reshape(-1)
-        count = min(self.target_count(flat.size), flat.size)
+        count = self.target_count(flat.size)
+        if count == 0:
+            return flat[:0]
         stride = max(1, flat.size // count)
         return flat[:: stride][:count]
 
@@ -96,7 +111,9 @@ class UniformSampler(Sampler):
 
     def _select(self, block: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         flat = block.reshape(-1)
-        count = min(self.target_count(flat.size), flat.size)
+        count = self.target_count(flat.size)
+        if count == 0:
+            return flat[:0]
         indices = rng.integers(0, flat.size, size=count)
         return flat[indices]
 
@@ -119,6 +136,8 @@ class ReductionSampler(Sampler):
 
     def _select(self, block: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         block = np.atleast_1d(block)
+        if block.size == 0:
+            return block.reshape(-1)
         count = min(self.target_count(block.size) * self.density_multiplier, block.size)
         # Choose a per-axis step so the multi-axis sweep yields ~count points.
         fraction = count / block.size

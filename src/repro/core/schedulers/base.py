@@ -20,6 +20,7 @@ from repro.core.partition import Partition
 from repro.devices.base import Device
 from repro.devices.perf_model import KernelCalibration
 from repro.kernels.registry import KernelSpec
+from repro.obs.recorder import NULL_RECORDER, Recorder
 
 
 @dataclass
@@ -34,6 +35,9 @@ class PlanContext:
     devices: Sequence[Device]
     rng: np.random.Generator
     total_items: int
+    #: Observability sink for planning-time telemetry (sampling effort,
+    #: criticality distributions); a no-op unless the run is observed.
+    recorder: Recorder = field(default=NULL_RECORDER)
 
     def device_named(self, name: str) -> Device:
         for dev in self.devices:

@@ -101,6 +101,14 @@ class QAWS(Scheduler):
         plan.criticalities = [est.score for est in estimates]
         plan.notes["policy"] = self.policy
         plan.notes["sampler"] = self.sampler.name
+        if ctx.recorder.enabled:
+            pinned = sum(1 for rank in plan.max_accuracy_ranks if rank is not None)
+            ctx.recorder.count(
+                "plan_partitions_total", len(plan.assignment), scheduler=self.name
+            )
+            ctx.recorder.count(
+                "plan_pinned_partitions_total", pinned, scheduler=self.name
+            )
         return plan
 
     def _sample_all(self, ctx: PlanContext) -> "tuple[List[CriticalityEstimate], float]":
@@ -110,7 +118,21 @@ class QAWS(Scheduler):
             block = ctx.block_for(partition.index)
             result = self.sampler.sample(block, ctx.rng)
             total_cost += result.host_seconds
-            estimates.append(estimate_criticality(result.samples))
+            estimate = estimate_criticality(result.samples)
+            estimates.append(estimate)
+            if ctx.recorder.enabled:
+                ctx.recorder.count(
+                    "samples_drawn_total", result.n_samples, sampler=self.sampler.name
+                )
+                ctx.recorder.observe(
+                    "criticality_score",
+                    estimate.score,
+                    sampler=self.sampler.name,
+                )
+        if ctx.recorder.enabled:
+            ctx.recorder.count(
+                "sampled_partitions_total", len(estimates), sampler=self.sampler.name
+            )
         return estimates, total_cost
 
     def _plan_top_k(self, ctx: PlanContext, estimates: List[CriticalityEstimate]) -> Plan:

@@ -92,6 +92,16 @@ class QualityBudget(Scheduler):
         plan.criticalities = [est.score for est in estimates]
         plan.notes["policy"] = "quality-budget"
         plan.notes["pinned_fraction"] = pinned_items / total_items
+        if ctx.recorder.enabled:
+            ctx.recorder.count(
+                "plan_partitions_total", len(assignment), scheduler=self.name
+            )
+            ctx.recorder.count(
+                "plan_pinned_partitions_total", len(pinned), scheduler=self.name
+            )
+            ctx.recorder.gauge(
+                "qos_pinned_fraction", pinned_items / total_items, scheduler=self.name
+            )
         return plan
 
     def can_steal(self, thief: Device, victim: Device, hlop: HLOP) -> bool:

@@ -81,13 +81,18 @@ class EnergyModel:
                 return cls
         return "other"
 
-    def measure(self, trace: Trace, duration: float = None) -> EnergyBreakdown:
+    def measure(
+        self, trace: Trace, duration: float = None, recorder=None
+    ) -> EnergyBreakdown:
         """Integrate energy over a run's trace.
 
         Args:
             trace: the run's execution trace.
             duration: end-to-end simulated seconds; defaults to the trace
                 makespan.
+            recorder: optional :class:`~repro.obs.recorder.Recorder`; when
+                given (and enabled) the breakdown is also published as
+                ``energy_*_joules`` gauges.
         """
         if duration is None:
             duration = trace.makespan()
@@ -104,6 +109,11 @@ class EnergyModel:
             per_device[cls] = per_device.get(cls, 0.0) + busy * watts
         active = sum(per_device.values())
         idle = self.idle_watts * duration
+        if recorder is not None and recorder.enabled:
+            for cls, joules in sorted(per_device.items()):
+                recorder.gauge("energy_active_joules", joules, device_class=cls)
+            recorder.gauge("energy_idle_joules", idle)
+            recorder.gauge("energy_total_joules", active + idle)
         return EnergyBreakdown(
             active_joules=active,
             idle_joules=idle,

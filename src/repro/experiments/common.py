@@ -123,6 +123,17 @@ class ExperimentContext:
         """End-to-end speedup over the GPU baseline (the paper's y-axis)."""
         return self.run(kernel, policy).speedup_over(self.run(kernel, BASELINE))
 
+    def observed_runs(self):
+        """Yield ``(kernel, policy, report)`` for cached runs with metrics.
+
+        Deterministic order (sorted by kernel then policy); empty unless
+        the settings' runtime config has ``observe=True``.
+        """
+        for kernel, policy in sorted(self._runs):
+            report = self._runs[(kernel, policy)]
+            if report.metrics is not None:
+                yield kernel, policy, report
+
 
 @dataclass
 class FigureResult:

@@ -16,11 +16,20 @@ from repro.experiments import fig1, fig2, fig6, fig7, fig8, fig9, fig10, fig11, 
 from repro.experiments.common import ExperimentSettings
 
 
-def run_all(settings: Optional[ExperimentSettings] = None, out=sys.stdout) -> None:
+def run_all(
+    settings: Optional[ExperimentSettings] = None,
+    out=sys.stdout,
+    metrics_path: Optional[str] = None,
+) -> None:
     # One shared context so the GPU-baseline runs, workloads, and FP64
     # references are computed once across all figures.
+    from dataclasses import replace
+
     from repro.experiments.common import ExperimentContext
 
+    if metrics_path is not None:
+        settings = settings or ExperimentSettings()
+        settings.runtime_config = replace(settings.runtime_config, observe=True)
     shared = ExperimentContext(settings)
     experiments = [
         ("Figure 1", lambda: fig1.run(settings)),
@@ -45,6 +54,29 @@ def run_all(settings: Optional[ExperimentSettings] = None, out=sys.stdout) -> No
         else:
             print(result.format_table(), file=out)
         print(f"[{name} regenerated in {elapsed:.1f}s]\n", file=out)
+    if metrics_path is not None:
+        from repro.obs import to_records, write_records_jsonl
+
+        records = []
+        runs = 0
+        for kernel, policy, report in shared.observed_runs():
+            records.extend(
+                to_records(
+                    report.metrics,
+                    meta={
+                        "kernel": kernel,
+                        "policy": policy,
+                        "seed": shared.settings.seed,
+                    },
+                )
+            )
+            runs += 1
+        write_records_jsonl(records, metrics_path)
+        print(
+            f"[metrics for {runs} runs ({len(records)} records) "
+            f"written to {metrics_path}]",
+            file=out,
+        )
 
 
 def main() -> None:
@@ -55,11 +87,16 @@ def main() -> None:
         help="use 512x512 workloads for a fast sanity sweep",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="observe every cached run and write their metrics as one JSONL",
+    )
     args = parser.parse_args()
     settings = ExperimentSettings(seed=args.seed)
     if args.quick:
         settings.size = 512 * 512
-    run_all(settings)
+    run_all(settings, metrics_path=args.metrics)
 
 
 if __name__ == "__main__":

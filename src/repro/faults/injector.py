@@ -20,11 +20,19 @@ from repro.faults.plan import FaultPlan
 
 
 class FaultInjector:
-    """Realises one plan for one seeded run."""
+    """Realises one plan for one seeded run.
 
-    def __init__(self, plan: FaultPlan, seed: int) -> None:
+    ``recorder`` (see :mod:`repro.obs`) counts what the injector actually
+    *injects* -- ``faults_injected_total{kind,device}`` -- which an
+    observed chaos run can compare against the runtime's *observed*
+    ``faults_total`` to prove no injected fault went unhandled.  Fault
+    decisions themselves never depend on the recorder.
+    """
+
+    def __init__(self, plan: FaultPlan, seed: int, recorder=None) -> None:
         self.plan = plan
         self.seed = int(seed)
+        self.recorder = recorder
 
     # ------------------------------------------------------------- decisions
 
@@ -33,12 +41,19 @@ class FaultInjector:
         key = zlib.crc32(f"{tag}:{device}:{hlop_id}:{attempt}".encode())
         return float(np.random.default_rng((self.seed, key)).random())
 
+    def _count_injected(self, kind: str, device: str) -> None:
+        if self.recorder is not None and self.recorder.enabled:
+            self.recorder.count("faults_injected_total", 1, kind=kind, device=device)
+
     def attempt_fails(self, device: str, hlop_id: int, attempt: int) -> bool:
         """Does attempt number ``attempt`` of this HLOP fail transiently?"""
         p = self.plan.transient_probability(device)
         if p <= 0.0:
             return False
-        return self._uniform("transient", device, hlop_id, attempt) < p
+        fails = self._uniform("transient", device, hlop_id, attempt) < p
+        if fails:
+            self._count_injected("transient", device)
+        return fails
 
     def corrupts(self, device: str, hlop_id: int, attempt: int) -> bool:
         """Does this attempt complete but return poisoned output?"""
@@ -51,7 +66,10 @@ class FaultInjector:
         p = 1.0 - survive
         if p <= 0.0:
             return False
-        return self._uniform("corrupt", device, hlop_id, attempt) < p
+        corrupts = self._uniform("corrupt", device, hlop_id, attempt) < p
+        if corrupts:
+            self._count_injected("corruption", device)
+        return corrupts
 
     def death_time(self, device: str) -> Optional[float]:
         return self.plan.death_time(device)

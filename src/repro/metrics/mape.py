@@ -30,6 +30,19 @@ def mape(
 
     ``epsilon`` defaults to ``RELATIVE_EPSILON * mean(|reference|)``.
     Multiply by 100 for the paper's percentage presentation.
+
+    Edge-case contract (pinned by ``tests/metrics/test_mape.py``):
+
+    * **All-zero reference, default epsilon**: the relative epsilon would
+      be 0, so it falls back to the smallest normal float64 -- the result
+      is huge but *finite*, preserving the paper's "edge maps inflate
+      MAPE" caveat without degenerating to infinity.
+    * **Explicit ``epsilon=0.0``**: honored verbatim.  A zero reference
+      element contributes 0 error on an exact match (``0/0`` is defined
+      as 0 here) and ``inf`` on any mismatch, so the mean is ``inf``
+      whenever any zero-reference element disagrees.
+    * **NaN inputs**: NaN anywhere in either array propagates to a NaN
+      result (garbage in, NaN out -- never silently dropped).
     """
     reference = np.asarray(reference, dtype=np.float64)
     measured = np.asarray(measured, dtype=np.float64)
@@ -41,7 +54,13 @@ def mape(
         epsilon = RELATIVE_EPSILON * float(np.mean(np.abs(reference)))
         if epsilon == 0.0:
             epsilon = np.finfo(np.float64).tiny
-    errors = np.abs(measured - reference) / (np.abs(reference) + epsilon)
+    numerator = np.abs(measured - reference)
+    denominator = np.abs(reference) + epsilon
+    with np.errstate(divide="ignore", invalid="ignore"):
+        errors = numerator / denominator
+    # 0/0 (an exact match at a zero-denominator element) is zero error;
+    # NaN from NaN *inputs* is untouched (its numerator is NaN, not 0).
+    errors = np.where((denominator == 0.0) & (numerator == 0.0), 0.0, errors)
     return float(errors.mean())
 
 

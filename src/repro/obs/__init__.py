@@ -1,0 +1,68 @@
+"""Unified observability layer for the SHMT runtime (``repro.obs``).
+
+Three zero-dependency pieces, one telemetry schema for clean runs and
+chaos runs alike:
+
+* a **metrics registry** -- counters, gauges, and histograms with labeled
+  series (:mod:`repro.obs.metrics`);
+* a **scheduler-decision log** -- every dispatch/steal/split/retry/
+  re-queue/degrade with who, why, and predicted vs. actual service time
+  (:mod:`repro.obs.decisions`);
+* **per-phase profiling** and the recorder protocol that wires both into
+  the runtime with a no-op default (:mod:`repro.obs.recorder`), plus
+  JSONL/JSON export and schema validation (:mod:`repro.obs.export`).
+
+Enable with ``RuntimeConfig(observe=True)``; the resulting
+:class:`RunMetrics` rides on :class:`~repro.core.result.BatchReport` and
+:class:`~repro.core.result.ExecutionReport`.  See docs/observability.md.
+"""
+
+from repro.obs.decisions import Decision, DecisionKind, DecisionLog
+from repro.obs.export import (
+    SCHEMA,
+    read_jsonl,
+    to_records,
+    validate_jsonl,
+    validate_records,
+    write_json,
+    write_jsonl,
+    write_records_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    PHASES,
+    PhaseStat,
+    Recorder,
+    RunMetrics,
+    RunObserver,
+)
+
+__all__ = [
+    "Decision",
+    "DecisionKind",
+    "DecisionLog",
+    "SCHEMA",
+    "read_jsonl",
+    "to_records",
+    "validate_jsonl",
+    "validate_records",
+    "write_json",
+    "write_jsonl",
+    "write_records_jsonl",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "PHASES",
+    "PhaseStat",
+    "Recorder",
+    "RunMetrics",
+    "RunObserver",
+]

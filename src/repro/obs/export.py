@@ -1,0 +1,156 @@
+"""Export :class:`~repro.obs.recorder.RunMetrics` as JSONL / JSON.
+
+One record per line, every record a flat JSON object with a ``type``
+discriminator -- the schema both chaos runs and clean runs share:
+
+* ``meta``      -- schema version plus caller-provided context (kernel,
+                   policy, seed, ...); always the first record.
+* ``counter`` / ``gauge``  -- one record per (name, label set).
+* ``histogram`` -- count/sum/min/max plus cumulative buckets.
+* ``phase``     -- per-(phase, resource) simulated seconds and entry count.
+* ``decision``  -- one scheduler decision (see :mod:`repro.obs.decisions`).
+* ``fault``     -- one observed fault event, mirroring
+                   :class:`~repro.faults.plan.FaultEvent`.
+
+:func:`validate_records` is the schema check used by
+``scripts/obs_check.py`` and the CI metrics smoke step.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.obs.recorder import RunMetrics
+
+#: Schema identifier stamped into every export's meta record.
+SCHEMA = "repro.obs/v1"
+
+#: Record types the schema admits, with the fields each must carry.
+_REQUIRED_FIELDS: Dict[str, tuple] = {
+    "meta": ("schema",),
+    "counter": ("name", "labels", "value"),
+    "gauge": ("name", "labels", "value"),
+    "histogram": ("name", "labels", "count", "sum", "min", "max", "buckets"),
+    "phase": ("phase", "resource", "seconds", "count"),
+    "decision": ("seq", "time", "kind", "device", "why"),
+    "fault": ("time", "kind", "device", "detail"),
+}
+
+
+def to_records(
+    metrics: RunMetrics, meta: Optional[Mapping[str, Any]] = None
+) -> List[Dict[str, Any]]:
+    """Flatten a run's metrics into schema records (meta record first)."""
+    records: List[Dict[str, Any]] = [{"type": "meta", "schema": SCHEMA}]
+    if meta:
+        records[0].update({str(k): v for k, v in meta.items()})
+    records.extend(metrics.registry.snapshot())
+    for (phase, resource) in sorted(metrics.phases):
+        stat = metrics.phases[(phase, resource)]
+        records.append(
+            {
+                "type": "phase",
+                "phase": phase,
+                "resource": resource,
+                "seconds": stat.seconds,
+                "count": stat.count,
+            }
+        )
+    records.extend(metrics.decisions.to_dicts())
+    for event in metrics.fault_events:
+        records.append(
+            {
+                "type": "fault",
+                "time": event.time,
+                "kind": event.kind.value,
+                "device": event.device,
+                "hlop": event.hlop_id,
+                "unit": event.unit_id,
+                "detail": event.detail,
+            }
+        )
+    return records
+
+
+def write_jsonl(
+    metrics: RunMetrics, path: str, meta: Optional[Mapping[str, Any]] = None
+) -> None:
+    """Write one run's metrics to ``path``, one JSON record per line."""
+    write_records_jsonl(to_records(metrics, meta), path)
+
+
+def write_records_jsonl(records: List[Dict[str, Any]], path: str) -> None:
+    """Write pre-built schema records (e.g. several runs') as JSONL."""
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+def write_json(
+    metrics: RunMetrics, path: str, meta: Optional[Mapping[str, Any]] = None
+) -> None:
+    """Write the same records as one JSON array (for tools that dislike JSONL)."""
+    with open(path, "w") as handle:
+        json.dump(to_records(metrics, meta), handle, indent=2)
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load an exported JSONL file back into records."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def validate_records(records: List[Dict[str, Any]]) -> None:
+    """Check records against the schema; raise ``ValueError`` on violation.
+
+    Validates the envelope (known types, required fields), the meta
+    record's presence and schema id, and the internal consistency of
+    histograms (cumulative buckets summing to ``count``) and decisions
+    (``seq`` monotone from 0 within each run; a meta record starts a new
+    run, so multi-run exports concatenate cleanly).
+    """
+    if not records:
+        raise ValueError("empty export: expected at least a meta record")
+    first = records[0]
+    if first.get("type") != "meta":
+        raise ValueError(f"first record must be meta, got {first.get('type')!r}")
+    expected_seq = 0
+    for index, record in enumerate(records):
+        rtype = record.get("type")
+        if rtype not in _REQUIRED_FIELDS:
+            raise ValueError(f"record {index}: unknown type {rtype!r}")
+        missing = [f for f in _REQUIRED_FIELDS[rtype] if f not in record]
+        if missing:
+            raise ValueError(f"record {index} ({rtype}): missing fields {missing}")
+        if rtype == "meta":
+            if not str(record["schema"]).startswith("repro.obs/"):
+                raise ValueError(f"record {index}: unknown schema {record['schema']!r}")
+            expected_seq = 0
+        if rtype == "histogram":
+            buckets = record["buckets"]
+            if not buckets or buckets[-1]["count"] != record["count"]:
+                raise ValueError(
+                    f"record {index}: +Inf bucket must equal count={record['count']}"
+                )
+            counts = [b["count"] for b in buckets]
+            if counts != sorted(counts):
+                raise ValueError(f"record {index}: bucket counts must be cumulative")
+        if rtype == "decision":
+            if record["seq"] != expected_seq:
+                raise ValueError(
+                    f"record {index}: decision seq {record['seq']} != {expected_seq}"
+                )
+            expected_seq += 1
+
+
+def validate_jsonl(path: str) -> int:
+    """Validate an exported JSONL file; returns the record count."""
+    records = read_jsonl(path)
+    validate_records(records)
+    return len(records)

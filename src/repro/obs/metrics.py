@@ -1,0 +1,213 @@
+"""Zero-dependency metrics primitives: counters, gauges, histograms.
+
+The registry is the numeric half of the observability layer (the other
+half is the decision log, :mod:`repro.obs.decisions`).  Every metric
+supports *labeled series* -- ``counter.inc(1, device="gpu0")`` and
+``counter.inc(1, device="tpu0")`` accumulate independently -- the shape
+HTS-style schedulers use to account overhead per device class and per
+pipeline stage without one instrument per series.
+
+Times here are *simulated* seconds: instruments never read the wall
+clock, so a snapshot is exactly reproducible for a fixed run seed.
+Snapshots order series by sorted label key, which keeps JSONL exports
+byte-stable across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: A label set, normalized to a sorted tuple of (key, value) pairs so it
+#: can key a dict and sort deterministically.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds: decades from 100ns to 10s,
+#: spanning every simulated duration the runtime produces (launch
+#: latencies through whole-batch makespans).
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(10.0**e for e in range(-7, 2))
+
+
+def labels_key(labels: Mapping[str, str]) -> LabelKey:
+    """Normalize a label mapping to its canonical tuple form."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count, one value per label set."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._series: Dict[LabelKey, float] = {}
+
+    def inc(self, n: float = 1, **labels: str) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {n})")
+        key = labels_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + n
+
+    def value(self, **labels: str) -> float:
+        return self._series.get(labels_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label set."""
+        return sum(self._series.values())
+
+    def series(self) -> Dict[LabelKey, float]:
+        return dict(self._series)
+
+
+class Gauge:
+    """Last-written value, one per label set (e.g. energy at end of run)."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._series: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        self._series[labels_key(labels)] = float(value)
+
+    def value(self, **labels: str) -> Optional[float]:
+        return self._series.get(labels_key(labels))
+
+    def series(self) -> Dict[LabelKey, float]:
+        return dict(self._series)
+
+
+@dataclass
+class HistogramSeries:
+    """Accumulated observations for one label set of a histogram."""
+
+    bucket_counts: List[int]
+    count: int = 0
+    sum: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+
+class Histogram:
+    """Bucketed distribution of observed values, one series per label set.
+
+    Buckets are cumulative upper bounds (Prometheus style); every
+    observation also lands in the implicit ``+Inf`` bucket, so
+    ``bucket_counts[-1] == count`` always holds.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.name = name
+        self.help = help
+        bounds = tuple(buckets if buckets is not None else DEFAULT_BUCKETS)
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name}: bucket bounds must be sorted")
+        self.bounds: Tuple[float, ...] = bounds + (float("inf"),)
+        self._series: Dict[LabelKey, HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = labels_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = HistogramSeries(bucket_counts=[0] * len(self.bounds))
+            self._series[key] = series
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                series.bucket_counts[index] += 1
+        series.count += 1
+        series.sum += value
+        series.min = min(series.min, value)
+        series.max = max(series.max, value)
+
+    def summary(self, **labels: str) -> Optional[HistogramSeries]:
+        return self._series.get(labels_key(labels))
+
+    def series(self) -> Dict[LabelKey, HistogramSeries]:
+        return dict(self._series)
+
+
+class MetricsRegistry:
+    """Owns every instrument of one run; get-or-create by name.
+
+    A name is bound to exactly one instrument type for the registry's
+    lifetime -- asking for ``counter("x")`` after ``gauge("x")`` is a
+    programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, kind: type, factory) -> object:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, Counter, lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name, help))
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(name, help, buckets))
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def get(self, name: str) -> Optional[object]:
+        return self._instruments.get(name)
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """Flatten every series to plain dicts, deterministically ordered.
+
+        One dict per (instrument, label set); the export layer turns
+        these directly into JSONL records.
+        """
+        records: List[Dict[str, object]] = []
+        for name in self.names():
+            instrument = self._instruments[name]
+            if isinstance(instrument, (Counter, Gauge)):
+                kind = "counter" if isinstance(instrument, Counter) else "gauge"
+                for key in sorted(instrument.series()):
+                    records.append(
+                        {
+                            "type": kind,
+                            "name": name,
+                            "labels": dict(key),
+                            "value": instrument.series()[key],
+                        }
+                    )
+            elif isinstance(instrument, Histogram):
+                for key in sorted(instrument.series()):
+                    series = instrument.series()[key]
+                    records.append(
+                        {
+                            "type": "histogram",
+                            "name": name,
+                            "labels": dict(key),
+                            "count": series.count,
+                            "sum": series.sum,
+                            "min": series.min,
+                            "max": series.max,
+                            "buckets": [
+                                {"le": bound, "count": count}
+                                for bound, count in zip(
+                                    instrument.bounds, series.bucket_counts
+                                )
+                            ],
+                        }
+                    )
+        return records

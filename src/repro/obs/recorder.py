@@ -1,0 +1,200 @@
+"""The recorder protocol: how the runtime talks to observability.
+
+:class:`Recorder` is a deliberate no-op -- every hook is a ``pass`` -- so
+an unobserved run pays nothing beyond empty method calls and the runtime
+can instrument unconditionally.  Call sites that would have to *compute*
+something purely for telemetry (e.g. a predicted service time at dispatch)
+gate on :attr:`Recorder.enabled` first, which keeps the disabled path
+bit-identical to a runtime with no observability at all.
+
+:class:`RunObserver` is the live implementation: it owns one
+:class:`~repro.obs.metrics.MetricsRegistry`, one
+:class:`~repro.obs.decisions.DecisionLog`, per-phase time accounting, and
+the run's fault events, and :meth:`RunObserver.finalize` freezes them into
+the :class:`RunMetrics` snapshot attached to reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.decisions import DecisionKind, DecisionLog
+from repro.obs.metrics import MetricsRegistry
+
+#: Canonical per-phase profiling buckets.  ``sampling`` through
+#: ``aggregation`` are the pipeline stages of one VOP; ``canary`` is
+#: IRA-style extra host work; ``faulted`` is device time burned by failed
+#: or timed-out attempts.
+PHASES = (
+    "sampling",
+    "canary",
+    "dispatch",
+    "transfer",
+    "compute",
+    "aggregation",
+    "faulted",
+)
+
+
+@dataclass
+class PhaseStat:
+    """Accumulated simulated time in one (phase, resource) bucket."""
+
+    seconds: float = 0.0
+    count: int = 0
+
+
+class Recorder:
+    """No-op recorder: the default, near-zero-overhead implementation.
+
+    Subclasses override any subset of the hooks.  The runtime guards
+    telemetry-only computation behind :attr:`enabled`, so disabled runs
+    never pay for values only a recorder would read.
+    """
+
+    enabled: bool = False
+
+    def count(self, name: str, n: float = 1, **labels: str) -> None:
+        """Increment counter ``name`` by ``n`` for one label set."""
+
+    def gauge(self, name: str, value: float, **labels: str) -> None:
+        """Set gauge ``name`` for one label set."""
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        """Add one observation to histogram ``name``."""
+
+    def phase(self, phase: str, resource: str, seconds: float) -> None:
+        """Charge ``seconds`` of simulated time to a profiling phase."""
+
+    def decision(
+        self,
+        kind: DecisionKind,
+        device: str,
+        *,
+        time: float,
+        hlop_id: Optional[int] = None,
+        unit_id: Optional[int] = None,
+        why: str = "",
+        predicted_seconds: Optional[float] = None,
+        actual_seconds: Optional[float] = None,
+    ) -> None:
+        """Append one scheduler decision to the log."""
+
+    def fault(self, event) -> None:
+        """Record one observed :class:`~repro.faults.plan.FaultEvent`."""
+
+
+#: Shared no-op instance; safe because the class holds no state.
+NULL_RECORDER = Recorder()
+
+
+@dataclass
+class RunMetrics:
+    """Frozen observability snapshot for one run, attached to reports."""
+
+    registry: MetricsRegistry
+    decisions: DecisionLog
+    phases: Dict[Tuple[str, str], PhaseStat] = field(default_factory=dict)
+    fault_events: List = field(default_factory=list)
+
+    def counter_value(self, name: str, **labels: str) -> float:
+        instrument = self.registry.get(name)
+        if instrument is None:
+            return 0.0
+        return instrument.value(**labels)
+
+    def counter_total(self, name: str) -> float:
+        instrument = self.registry.get(name)
+        if instrument is None:
+            return 0.0
+        return instrument.total()
+
+    @property
+    def decision_counts(self) -> Dict[DecisionKind, int]:
+        return self.decisions.counts()
+
+    def phase_seconds(self, phase: str) -> float:
+        """Total simulated seconds charged to ``phase`` across resources."""
+        return sum(
+            stat.seconds for (p, _), stat in self.phases.items() if p == phase
+        )
+
+    def phase_table(self) -> Dict[str, float]:
+        """Phase -> total seconds, for quick summaries."""
+        table: Dict[str, float] = {}
+        for (phase, _), stat in self.phases.items():
+            table[phase] = table.get(phase, 0.0) + stat.seconds
+        return table
+
+
+class RunObserver(Recorder):
+    """Live recorder for one observed run."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.decision_log = DecisionLog()
+        self.phases: Dict[Tuple[str, str], PhaseStat] = {}
+        self.fault_events: List = []
+
+    # ------------------------------------------------------------------ hooks
+
+    def count(self, name: str, n: float = 1, **labels: str) -> None:
+        self.registry.counter(name).inc(n, **labels)
+
+    def gauge(self, name: str, value: float, **labels: str) -> None:
+        self.registry.gauge(name).set(value, **labels)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        self.registry.histogram(name).observe(value, **labels)
+
+    def phase(self, phase: str, resource: str, seconds: float) -> None:
+        stat = self.phases.get((phase, resource))
+        if stat is None:
+            stat = PhaseStat()
+            self.phases[(phase, resource)] = stat
+        stat.seconds += seconds
+        stat.count += 1
+
+    def decision(
+        self,
+        kind: DecisionKind,
+        device: str,
+        *,
+        time: float,
+        hlop_id: Optional[int] = None,
+        unit_id: Optional[int] = None,
+        why: str = "",
+        predicted_seconds: Optional[float] = None,
+        actual_seconds: Optional[float] = None,
+    ) -> None:
+        self.decision_log.record(
+            kind,
+            device,
+            time=time,
+            hlop_id=hlop_id,
+            unit_id=unit_id,
+            why=why,
+            predicted_seconds=predicted_seconds,
+            actual_seconds=actual_seconds,
+        )
+        self.registry.counter("decisions_total").inc(1, kind=kind.value)
+
+    def fault(self, event) -> None:
+        self.fault_events.append(event)
+        self.registry.counter("faults_total").inc(
+            1, kind=event.kind.value, device=event.device
+        )
+
+    # --------------------------------------------------------------- snapshot
+
+    def finalize(self) -> RunMetrics:
+        """Freeze the observer's state into the report-attached snapshot."""
+        return RunMetrics(
+            registry=self.registry,
+            decisions=self.decision_log,
+            phases=self.phases,
+            fault_events=list(self.fault_events),
+        )

@@ -13,6 +13,11 @@ from typing import Any, Callable, List, Optional
 
 from repro.sim.events import Event, EventKind
 
+#: Absolute tolerance for clock comparisons.  Floating-point arithmetic on
+#: absolute times (``now + delay`` round-trips through ``schedule_at``) can
+#: land a hair before ``now``; anything within this band is treated as "now".
+TIME_TOLERANCE = 1e-12
+
 
 class SimulationError(RuntimeError):
     """Raised when the engine is used inconsistently (e.g. scheduling in the past)."""
@@ -68,9 +73,18 @@ class Engine:
         """Schedule ``callback`` to fire ``delay`` seconds from now.
 
         Returns the :class:`Event`, which the caller may :meth:`Event.cancel`.
+
+        Delays within :data:`TIME_TOLERANCE` below zero (float round-off
+        from absolute-time arithmetic) are clamped to "now"; anything
+        further in the past raises :class:`SimulationError`.
         """
         if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+            if delay >= -TIME_TOLERANCE:
+                delay = 0.0
+            else:
+                raise SimulationError(
+                    f"cannot schedule into the past (delay={delay})"
+                )
         event = Event(time=self._now + delay, callback=callback, kind=kind, payload=payload)
         heapq.heappush(self._heap, event)
         return event
@@ -90,7 +104,8 @@ class Engine:
 
         Args:
             until: stop once the clock would pass this time (events at later
-                times stay queued).
+                times stay queued).  The clock always advances to ``until``
+                on return, even when the heap drains before reaching it.
             max_events: safety valve against runaway event loops.
         """
         if self._running:
@@ -106,7 +121,7 @@ class Engine:
                     self._now = until
                     break
                 event = heapq.heappop(self._heap)
-                if event.time < self._now - 1e-12:
+                if event.time < self._now - TIME_TOLERANCE:
                     raise SimulationError(
                         f"event at t={event.time} fired after clock reached {self._now}"
                     )
@@ -116,6 +131,11 @@ class Engine:
                     raise SimulationError(f"exceeded max_events={max_events}")
                 if event.callback is not None:
                     event.callback()
+            if until is not None and self._now < until:
+                # Heap drained before the horizon: a bounded run still
+                # represents "simulate up to `until`", so advance the clock
+                # (callers chain run(until=...) windows and rely on `now`).
+                self._now = until
             return self._now
         finally:
             self._running = False

@@ -1,0 +1,169 @@
+"""Integration tests for the observability layer wired through the runtime.
+
+These pin the PR's acceptance criteria: disabled observability leaves a
+seeded report bit-identical; enabled, the decision log is deterministic
+and its counts agree exactly with the ``BatchReport`` counters, clean and
+under a fault plan.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import PartitionConfig
+from repro.core.runtime import RuntimeConfig, SHMTRuntime
+from repro.core.schedulers.base import make_scheduler
+from repro.devices.platform import jetson_nano_platform
+from repro.faults import (
+    DeviceDeath,
+    FaultKind,
+    FaultPlan,
+    OutputCorruption,
+    Straggler,
+    TransientFaults,
+)
+from repro.obs import DecisionKind, to_records, validate_records
+from repro.workloads import generate
+
+CHAOS = FaultPlan(
+    transient=(TransientFaults("*", probability=0.05),),
+    deaths=(DeviceDeath("gpu0", at_time=5e-4),),
+    stragglers=(Straggler("tpu0", slowdown=8.0, start=2e-4),),
+    corruption=(OutputCorruption("cpu0", probability=0.3),),
+)
+
+
+def _config(observe: bool, plan=None):
+    return RuntimeConfig(
+        partition=PartitionConfig(target_partitions=16),
+        fault_plan=plan,
+        observe=observe,
+    )
+
+
+def _run(policy="QAWS-TS", observe=True, plan=None, seed=11):
+    call = generate("sobel", size=(128, 128), seed=seed)
+    runtime = SHMTRuntime(
+        jetson_nano_platform(), make_scheduler(policy), _config(observe, plan)
+    )
+    return runtime.execute(call)
+
+
+def test_disabled_by_default_and_metrics_none():
+    report = _run(observe=False)
+    assert report.metrics is None
+
+
+def test_disabled_report_identical_to_observed(seed=3):
+    """observe=True must not perturb the simulation, only describe it."""
+    plain = _run(observe=False, seed=seed)
+    observed = _run(observe=True, seed=seed)
+    assert observed.makespan == plain.makespan
+    assert observed.steal_count == plain.steal_count
+    assert observed.energy.total_joules == plain.energy.total_joules
+    assert np.array_equal(observed.output, plain.output)
+    plain_spans = [(s.resource, s.start, s.end, s.label) for s in plain.trace.spans]
+    obs_spans = [(s.resource, s.start, s.end, s.label) for s in observed.trace.spans]
+    assert obs_spans == plain_spans
+
+
+def test_disabled_chaos_report_identical_to_observed():
+    plain = _run(observe=False, plan=CHAOS)
+    observed = _run(observe=True, plan=CHAOS)
+    assert observed.makespan == plain.makespan
+    assert observed.retry_count == plain.retry_count
+    assert observed.requeue_count == plain.requeue_count
+    assert np.array_equal(observed.output, plain.output)
+
+
+def test_decision_log_deterministic_under_fixed_seed():
+    first = _run().metrics.decisions.to_dicts()
+    second = _run().metrics.decisions.to_dicts()
+    assert first == second
+
+
+def test_decision_counts_match_report_clean():
+    report = _run()
+    counts = report.metrics.decision_counts
+    steals = counts.get(DecisionKind.STEAL, 0) + counts.get(DecisionKind.SPLIT, 0)
+    assert steals == report.steal_count
+    assert counts.get(DecisionKind.RETRY, 0) == report.retry_count == 0
+    assert counts.get(DecisionKind.REQUEUE, 0) == report.requeue_count == 0
+    # Every dispatched HLOP completes exactly once on a clean run.
+    assert counts[DecisionKind.COMPLETE] >= counts[DecisionKind.DISPATCH]
+
+
+def test_decision_counts_match_report_under_faults():
+    report = _run(plan=CHAOS)
+    counts = report.metrics.decision_counts
+    steals = counts.get(DecisionKind.STEAL, 0) + counts.get(DecisionKind.SPLIT, 0)
+    assert steals == report.steal_count
+    assert counts.get(DecisionKind.RETRY, 0) == report.retry_count
+    assert counts.get(DecisionKind.REQUEUE, 0) == report.requeue_count
+    degraded_events = sum(
+        1 for e in report.fault_events if e.kind is FaultKind.DEGRADED
+    )
+    assert counts.get(DecisionKind.DEGRADE, 0) == degraded_events
+    assert report.retry_count > 0 or report.requeue_count > 0  # chaos actually bit
+
+
+def test_fault_events_mirrored_into_metrics():
+    report = _run(plan=CHAOS)
+    assert len(report.metrics.fault_events) == len(report.fault_events)
+    observed = report.metrics.counter_total("faults_total")
+    assert observed == len(report.fault_events)
+
+
+def test_dispatch_decisions_cover_every_hlop():
+    report = _run()
+    dispatches = report.metrics.decisions.of_kind(DecisionKind.DISPATCH)
+    hlops = {d.hlop_id for d in dispatches}
+    assert len(hlops) == len(dispatches)  # one dispatch per HLOP
+    completed = report.metrics.counter_total("hlops_completed_total")
+    assert completed >= len(dispatches)
+
+
+def test_complete_decisions_carry_predicted_and_actual():
+    report = _run()
+    completes = report.metrics.decisions.of_kind(DecisionKind.COMPLETE)
+    assert completes
+    for decision in completes:
+        assert decision.actual_seconds is not None
+        assert decision.actual_seconds >= 0.0
+        assert decision.predicted_seconds is not None
+
+
+def test_phase_profile_accounts_pipeline_stages():
+    metrics = _run().metrics
+    table = metrics.phase_table()
+    for phase in ("sampling", "dispatch", "compute", "aggregation"):
+        assert table.get(phase, 0.0) > 0.0, f"no time charged to {phase}"
+    assert metrics.phase_seconds("compute") > 0.0
+
+
+def test_scheduler_plan_counters_present():
+    metrics = _run().metrics
+    assert metrics.counter_total("plan_partitions_total") > 0
+    assert metrics.counter_total("samples_drawn_total") > 0
+
+
+def test_energy_gauges_match_report():
+    report = _run()
+    gauge = report.metrics.registry.get("energy_total_joules")
+    assert gauge.value() == pytest.approx(report.energy.total_joules)
+
+
+def test_batch_report_and_unit_reports_share_metrics():
+    call_a = generate("sobel", size=(128, 128), seed=1)
+    call_b = generate("laplacian", size=(128, 128), seed=2)
+    runtime = SHMTRuntime(
+        jetson_nano_platform(), make_scheduler("QAWS-TS"), _config(True)
+    )
+    batch = runtime.execute_batch([call_a, call_b])
+    assert batch.metrics is not None
+    for report in batch.reports:
+        assert report.metrics is batch.metrics
+
+
+def test_export_of_real_run_validates():
+    metrics = _run(plan=CHAOS).metrics
+    validate_records(to_records(metrics, meta={"kernel": "sobel"}))

@@ -113,3 +113,47 @@ def test_sample_never_exceeds_block(rng):
     data = rng.standard_normal(10).astype(np.float32)
     result = UniformSampler(rate=1.0).sample(data, rng)
     assert result.n_samples <= 10
+
+
+# ----------------------------------------------------- degenerate partitions
+
+
+@pytest.mark.parametrize("sampler_cls", [StridingSampler, UniformSampler, ReductionSampler])
+def test_empty_partition_yields_no_samples(sampler_cls, rng):
+    """Size-0 blocks sample cleanly: no crash, zero samples, fixed cost only."""
+    sampler = sampler_cls()
+    result = sampler.sample(np.array([], dtype=np.float32), rng)
+    assert result.n_samples == 0
+    assert result.host_seconds == pytest.approx(sampler.fixed_cost)
+
+
+@pytest.mark.parametrize("sampler_cls", [StridingSampler, UniformSampler, ReductionSampler])
+def test_singleton_partition_yields_one_sample(sampler_cls, rng):
+    sampler = sampler_cls()
+    result = sampler.sample(np.array([3.5], dtype=np.float32), rng)
+    assert result.n_samples == 1
+    assert result.samples[0] == pytest.approx(3.5)
+
+
+@pytest.mark.parametrize("sampler_cls", [StridingSampler, UniformSampler, ReductionSampler])
+def test_two_element_partition_samples_both(sampler_cls, rng):
+    sampler = sampler_cls()
+    result = sampler.sample(np.array([1.0, 2.0], dtype=np.float32), rng)
+    assert result.n_samples == 2
+
+
+def test_target_count_clamps_to_partition_size():
+    sampler = StridingSampler()
+    assert sampler.target_count(0) == 0
+    assert sampler.target_count(1) == 1
+    assert sampler.target_count(2) == 2
+    assert sampler.target_count(3) == 2  # floor of 2 still applies above size 2
+    assert sampler.target_count(-5) == 0
+
+
+def test_cost_charges_realized_sample_count(rng):
+    """A singleton block is charged for 1 sample, not the 2-sample floor."""
+    sampler = UniformSampler()
+    result = sampler.sample(np.array([1.0], dtype=np.float32), rng)
+    expected = sampler.fixed_cost + sampler.per_sample_cost * 1
+    assert result.host_seconds == pytest.approx(expected)

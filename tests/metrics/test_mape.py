@@ -67,3 +67,53 @@ def test_explicit_epsilon_overrides_default():
     # tiny here and give a much larger value.
     assert mape(ref, measured, epsilon=1.0) == pytest.approx(1.0)
     assert mape(ref, measured) > 100.0
+
+
+# ------------------------------------------------------- edge-case contract
+
+
+def test_explicit_zero_epsilon_exact_match_is_zero():
+    """epsilon=0 with zero references: 0/0 is defined as zero error."""
+    ref = np.array([0.0, 2.0])
+    measured = np.array([0.0, 2.0])
+    assert mape(ref, measured, epsilon=0.0) == 0.0
+
+
+def test_explicit_zero_epsilon_mismatch_is_inf():
+    """epsilon=0 is honored verbatim: a mismatch at a zero reference is inf."""
+    ref = np.array([0.0, 2.0])
+    measured = np.array([1.0, 2.0])
+    assert mape(ref, measured, epsilon=0.0) == np.inf
+
+
+def test_all_zero_reference_default_epsilon_finite():
+    """Default epsilon falls back to tiny: huge but finite, never inf/NaN."""
+    ref = np.zeros(10)
+    measured = np.full(10, 1e-3)
+    value = mape(ref, measured)
+    assert np.isfinite(value)
+    assert value > 100.0
+
+
+def test_all_zero_both_arrays_is_zero_error():
+    assert mape(np.zeros(5), np.zeros(5)) == 0.0
+    assert mape(np.zeros(5), np.zeros(5), epsilon=0.0) == 0.0
+
+
+def test_nan_in_measured_propagates():
+    ref = np.array([1.0, 2.0])
+    measured = np.array([1.0, np.nan])
+    assert np.isnan(mape(ref, measured))
+
+
+def test_nan_in_reference_propagates():
+    ref = np.array([np.nan, 2.0])
+    measured = np.array([1.0, 2.0])
+    assert np.isnan(mape(ref, measured))
+
+
+def test_nan_propagates_even_with_zero_epsilon_and_zero_reference():
+    """NaN inputs are never masked by the 0/0 := 0 rule."""
+    ref = np.array([0.0])
+    measured = np.array([np.nan])
+    assert np.isnan(mape(ref, measured, epsilon=0.0))

@@ -1,0 +1,60 @@
+"""Unit tests for the scheduler decision log."""
+
+import pytest
+
+from repro.obs.decisions import Decision, DecisionKind, DecisionLog
+
+
+def _log_with(*kinds):
+    log = DecisionLog()
+    for kind in kinds:
+        log.record(time=0.0, kind=kind, device="gpu0", why="test")
+    return log
+
+
+def test_record_assigns_monotonic_seq():
+    log = _log_with(DecisionKind.DISPATCH, DecisionKind.STEAL, DecisionKind.RETRY)
+    assert [d.seq for d in log] == [0, 1, 2]
+
+
+def test_decisions_are_immutable():
+    log = _log_with(DecisionKind.DISPATCH)
+    with pytest.raises(AttributeError):
+        log[0].device = "cpu0"
+
+
+def test_of_kind_and_counts():
+    log = _log_with(
+        DecisionKind.DISPATCH, DecisionKind.STEAL, DecisionKind.STEAL
+    )
+    assert log.count(DecisionKind.STEAL) == 2
+    assert len(log.of_kind(DecisionKind.DISPATCH)) == 1
+    assert log.counts() == {DecisionKind.DISPATCH: 1, DecisionKind.STEAL: 2}
+
+
+def test_to_dicts_round_trips_fields():
+    log = DecisionLog()
+    log.record(
+        time=1.5,
+        kind=DecisionKind.REQUEUE,
+        device="tpu0",
+        hlop_id=7,
+        unit_id=0,
+        why="device died",
+        predicted_seconds=0.25,
+    )
+    (record,) = log.to_dicts()
+    assert record["type"] == "decision"
+    assert record["seq"] == 0
+    assert record["kind"] == "requeue"
+    assert record["device"] == "tpu0"
+    assert record["hlop"] == 7
+    assert record["why"] == "device died"
+    assert record["predicted_s"] == 0.25
+
+
+def test_decision_kind_values_are_stable():
+    """Exported kind strings are part of the schema; pin them."""
+    assert {k.value for k in DecisionKind} == {
+        "dispatch", "steal", "split", "retry", "requeue", "degrade", "complete",
+    }

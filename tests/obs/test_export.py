@@ -1,0 +1,115 @@
+"""Unit tests for the JSONL/JSON export and the repro.obs/v1 validator."""
+
+import json
+
+import pytest
+
+from repro.obs.decisions import DecisionKind
+from repro.obs.recorder import RunObserver
+from repro.obs.export import (
+    SCHEMA,
+    read_jsonl,
+    to_records,
+    validate_jsonl,
+    validate_records,
+    write_json,
+    write_jsonl,
+    write_records_jsonl,
+)
+
+
+@pytest.fixture
+def metrics():
+    obs = RunObserver()
+    obs.count("ops_total", 3, device="gpu0")
+    obs.gauge("makespan_seconds", 0.5)
+    obs.observe("service_seconds", 1e-4, device="gpu0")
+    obs.phase("compute", "gpu0", 1e-4)
+    obs.decision(
+        DecisionKind.DISPATCH, "gpu0", time=0.0, hlop_id=0, why="plan assignment"
+    )
+    obs.decision(DecisionKind.COMPLETE, "gpu0", time=1e-4, hlop_id=0, why="done")
+    return obs.finalize()
+
+
+def test_to_records_meta_first_with_schema(metrics):
+    records = to_records(metrics, meta={"kernel": "sobel"})
+    assert records[0]["type"] == "meta"
+    assert records[0]["schema"] == SCHEMA
+    assert records[0]["kernel"] == "sobel"
+
+
+def test_to_records_validate_round_trip(metrics):
+    validate_records(to_records(metrics))
+
+
+def test_jsonl_round_trip(metrics, tmp_path):
+    path = str(tmp_path / "m.jsonl")
+    write_jsonl(metrics, path, meta={"policy": "QAWS-TS"})
+    assert read_jsonl(path) == to_records(metrics, meta={"policy": "QAWS-TS"})
+    assert validate_jsonl(path) == len(to_records(metrics))
+
+
+def test_json_array_export(metrics, tmp_path):
+    path = str(tmp_path / "m.json")
+    write_json(metrics, path)
+    with open(path) as handle:
+        assert json.load(handle) == to_records(metrics)
+
+
+def test_multi_run_concatenation_validates(metrics, tmp_path):
+    """A meta record resets the decision sequence, so runs concatenate."""
+    records = to_records(metrics, meta={"run": 1}) + to_records(
+        metrics, meta={"run": 2}
+    )
+    validate_records(records)
+    path = str(tmp_path / "multi.jsonl")
+    write_records_jsonl(records, path)
+    assert validate_jsonl(path) == len(records)
+
+
+def test_validator_rejects_missing_meta(metrics):
+    records = to_records(metrics)[1:]
+    with pytest.raises(ValueError, match="meta"):
+        validate_records(records)
+
+
+def test_validator_rejects_empty():
+    with pytest.raises(ValueError):
+        validate_records([])
+
+
+def test_validator_rejects_unknown_type(metrics):
+    records = to_records(metrics) + [{"type": "mystery"}]
+    with pytest.raises(ValueError, match="unknown type"):
+        validate_records(records)
+
+
+def test_validator_rejects_missing_fields(metrics):
+    records = to_records(metrics) + [{"type": "counter", "name": "x"}]
+    with pytest.raises(ValueError, match="missing fields"):
+        validate_records(records)
+
+
+def test_validator_rejects_broken_histogram(metrics):
+    records = to_records(metrics)
+    hist = next(r for r in records if r["type"] == "histogram")
+    hist["buckets"][-1]["count"] = hist["count"] + 1
+    with pytest.raises(ValueError, match="Inf bucket"):
+        validate_records(records)
+
+
+def test_validator_rejects_seq_gap(metrics):
+    records = to_records(metrics)
+    for record in records:
+        if record["type"] == "decision":
+            record["seq"] += 1
+    with pytest.raises(ValueError, match="seq"):
+        validate_records(records)
+
+
+def test_validator_rejects_wrong_schema(metrics):
+    records = to_records(metrics)
+    records[0]["schema"] = "somebody.else/v9"
+    with pytest.raises(ValueError, match="schema"):
+        validate_records(records)

@@ -1,0 +1,97 @@
+"""Unit tests for the labeled metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    labels_key,
+)
+
+
+def test_labels_key_is_order_invariant():
+    assert labels_key({"b": 1, "a": "x"}) == labels_key({"a": "x", "b": 1})
+
+
+def test_counter_increments_per_series():
+    counter = Counter("ops")
+    counter.inc(1, device="gpu0")
+    counter.inc(2, device="gpu0")
+    counter.inc(5, device="cpu0")
+    assert counter.value(device="gpu0") == 3
+    assert counter.value(device="cpu0") == 5
+    assert counter.total() == 8
+
+
+def test_counter_rejects_negative_increment():
+    with pytest.raises(ValueError):
+        Counter("ops").inc(-1)
+
+
+def test_counter_unknown_series_is_zero():
+    assert Counter("ops").value(device="nope") == 0
+
+
+def test_gauge_set_overwrites():
+    gauge = Gauge("temp")
+    gauge.set(1.5, device="gpu0")
+    gauge.set(2.5, device="gpu0")
+    assert gauge.value(device="gpu0") == 2.5
+
+
+def test_histogram_buckets_are_cumulative():
+    hist = Histogram("lat", buckets=(1.0, 10.0))
+    for v in (0.5, 0.7, 5.0, 100.0):
+        hist.observe(v)
+    series = hist.summary()
+    assert series.count == 4
+    assert series.bucket_counts[-1] == series.count  # +Inf bucket
+    assert list(series.bucket_counts) == sorted(series.bucket_counts)
+    assert series.bucket_counts[0] == 2  # <= 1.0
+    assert series.bucket_counts[1] == 3  # <= 10.0
+
+
+def test_histogram_tracks_sum_min_max():
+    hist = Histogram("lat")
+    hist.observe(2.0)
+    hist.observe(8.0)
+    series = hist.summary()
+    assert series.sum == pytest.approx(10.0)
+    assert series.min == 2.0
+    assert series.max == 8.0
+
+
+def test_default_buckets_span_simulated_latencies():
+    assert DEFAULT_BUCKETS[0] <= 1e-7
+    assert DEFAULT_BUCKETS[-1] >= 10.0
+
+
+def test_registry_get_or_create_reuses_instances():
+    registry = MetricsRegistry()
+    assert registry.counter("ops") is registry.counter("ops")
+
+
+def test_registry_rejects_type_conflicts():
+    registry = MetricsRegistry()
+    registry.counter("ops")
+    with pytest.raises(TypeError):
+        registry.gauge("ops")
+
+
+def test_snapshot_is_deterministic_and_sorted():
+    registry = MetricsRegistry()
+    registry.counter("zeta").inc(1)
+    registry.gauge("alpha").set(2.0, device="b")
+    registry.gauge("alpha").set(1.0, device="a")
+    registry.histogram("mid").observe(0.5)
+    snapshot = registry.snapshot()
+    assert snapshot == registry.snapshot()
+    names = [record["name"] for record in snapshot]
+    assert names == sorted(names)
+    alpha = [r for r in snapshot if r["name"] == "alpha"]
+    assert [r["labels"] for r in alpha] == [{"device": "a"}, {"device": "b"}]
+    types = {r["name"]: r["type"] for r in snapshot}
+    assert types == {"zeta": "counter", "alpha": "gauge", "mid": "histogram"}

@@ -146,3 +146,67 @@ def test_zero_delay_fires_at_current_time():
     engine.schedule(1.0, lambda: engine.schedule(0.0, lambda: times.append(engine.now)))
     engine.run()
     assert times == [1.0]
+
+
+# -------------------------------------------------------- clock edge cases
+
+
+def test_run_until_advances_clock_when_heap_drains_early():
+    """run(until=T) must land the clock on T even if events run out first."""
+    engine = Engine()
+    engine.schedule(1.0, lambda: None)
+    assert engine.run(until=10.0) == 10.0
+    assert engine.now == 10.0
+
+
+def test_run_until_on_empty_heap_advances_clock():
+    engine = Engine()
+    assert engine.run(until=5.0) == 5.0
+    assert engine.now == 5.0
+
+
+def test_run_until_windows_chain_seamlessly():
+    """Back-to-back bounded runs see a monotonic clock across windows."""
+    engine = Engine()
+    fired = []
+    engine.schedule(0.5, lambda: fired.append(engine.now))
+    engine.schedule(7.5, lambda: fired.append(engine.now))
+    for horizon in (2.0, 4.0, 6.0, 8.0):
+        engine.run(until=horizon)
+        assert engine.now == horizon
+    assert fired == [0.5, 7.5]
+
+
+def test_run_until_does_not_rewind_clock():
+    """An `until` already in the past leaves the clock alone."""
+    engine = Engine()
+    engine.schedule(3.0, lambda: None)
+    engine.run()
+    assert engine.now == 3.0
+    assert engine.run(until=1.0) == 3.0
+
+
+def test_schedule_at_tolerates_float_roundoff():
+    """Absolute times a hair before `now` clamp to `now` (not an error)."""
+    engine = Engine()
+    engine.schedule(0.1 + 0.2, lambda: None)  # 0.30000000000000004
+    engine.run()
+    fired = []
+    event = engine.schedule_at(engine.now - 0.5e-12, lambda: fired.append(engine.now))
+    engine.run()
+    assert fired == [engine.now]
+    assert event.time == engine.now
+
+
+def test_schedule_at_rejects_genuinely_past_times():
+    engine = Engine()
+    engine.schedule(1.0, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(0.5, lambda: None)
+
+
+def test_schedule_rejects_past_beyond_tolerance():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule(-1e-9, lambda: None)

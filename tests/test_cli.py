@@ -49,3 +49,22 @@ def test_run_export_trace(tmp_path, capsys):
     assert code == 0
     doc = json.loads(path.read_text())
     assert doc["traceEvents"]
+
+
+def test_run_metrics_export(tmp_path, capsys):
+    from repro.obs import read_jsonl, validate_jsonl
+
+    path = tmp_path / "metrics.jsonl"
+    code = main(
+        ["run", "sobel", "--side", "256", "--policy", "QAWS-TS", "--metrics", str(path)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "decisions" in out
+    assert "metrics written" in out
+    assert validate_jsonl(str(path)) > 0
+    records = read_jsonl(str(path))
+    assert records[0]["kernel"] == "sobel"
+    assert records[0]["policy"] == "QAWS-TS"
+    kinds = {r["type"] for r in records}
+    assert {"meta", "counter", "gauge", "phase", "decision"} <= kinds
