@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark harness for the compute-backend subsystem (PR 3).
+
+Runs the experiment suite twice -- once on the ``serial`` backend with the
+result cache off (the historical configuration) and once on the ``pool``
+backend with the cross-run cache on -- and records wall-clock per
+experiment, per-leg totals, cache statistics, and a ``repro.obs`` phase
+profile of a representative observed run.  The record is the first point
+of the perf trajectory (``BENCH_pr3.json``).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench.py --quick                # measure
+    PYTHONPATH=src python scripts/bench.py --quick --check BENCH_pr3.json
+
+``--check`` compares the fresh measurement against a recorded baseline and
+exits non-zero when
+
+* the pool+cache leg is slower than the serial leg (the tentpole's
+  acceptance bar), or
+* the pool-over-serial speedup ratio regressed by more than ``--tolerance``
+  (default 20%) versus the baseline's ratio.  Ratios, not absolute
+  seconds, so the gate is portable across machines of different speeds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro.core.partition import PartitionConfig
+from repro.core.runtime import RuntimeConfig, SHMTRuntime
+from repro.core.schedulers.base import make_scheduler
+from repro.devices.platform import jetson_nano_platform
+from repro.exec.cache import result_cache
+from repro.experiments.common import ExperimentSettings
+from repro.experiments.runner import run_all
+from repro.workloads.generator import generate
+
+SCHEMA = "repro.bench/v1"
+
+
+def _leg_settings(args, backend: str, cache: bool) -> ExperimentSettings:
+    settings = ExperimentSettings(seed=args.seed)
+    if args.quick:
+        settings.size = 512 * 512
+    settings.runtime_config = RuntimeConfig(
+        backend=backend, jobs=args.jobs, cache=cache
+    )
+    return settings
+
+
+def _phase_profile(backend: str, cache: bool, jobs, seed: int) -> dict:
+    """Simulated per-(phase, resource) seconds of one observed QAWS-TS run."""
+    config = RuntimeConfig(
+        partition=PartitionConfig(target_partitions=16),
+        observe=True,
+        backend=backend,
+        jobs=jobs,
+        cache=cache,
+    )
+    runtime = SHMTRuntime(jetson_nano_platform(), make_scheduler("QAWS-TS"), config)
+    report = runtime.execute(generate("sobel", size=(256, 256), seed=seed))
+    return {
+        f"{phase}/{resource}": {"seconds": stat.seconds, "count": stat.count}
+        for (phase, resource), stat in sorted(report.metrics.phases.items())
+    }
+
+
+def _run_leg(args, name: str, backend: str, cache: bool, jobs) -> dict:
+    if cache:
+        result_cache().clear()
+    settings = _leg_settings(args, backend, cache)
+    start = time.time()
+    timings = run_all(settings, out=io.StringIO(), jobs=jobs)
+    wall = time.time() - start
+    leg = {
+        "backend": backend,
+        "cache": cache,
+        "jobs": jobs,
+        "wall_seconds": round(wall, 3),
+        "experiments": {k: round(v, 3) for k, v in timings.items()},
+        "phase_profile": _phase_profile(backend, cache, jobs, args.seed),
+    }
+    if cache:
+        leg["cache_stats"] = result_cache().stats.as_dict()
+    print(f"  {name:<12} {wall:7.1f}s  (backend={backend}, cache={cache}, jobs={jobs})")
+    return leg
+
+
+def measure(args) -> dict:
+    print(f"benchmarking the {'quick ' if args.quick else ''}experiment suite:")
+    serial = _run_leg(args, "serial", "serial", cache=False, jobs=None)
+    jobs = args.jobs or max(2, os.cpu_count() or 1)
+    pool = _run_leg(args, "pool+cache", "pool", cache=True, jobs=jobs)
+    speedup = serial["wall_seconds"] / max(pool["wall_seconds"], 1e-9)
+    print(f"  pool+cache speedup over serial: {speedup:.2f}x")
+    return {
+        "schema": SCHEMA,
+        "pr": 3,
+        "quick": bool(args.quick),
+        "seed": args.seed,
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "legs": {"serial": serial, "pool": pool},
+        "speedup_pool_over_serial": round(speedup, 4),
+    }
+
+
+def check(record: dict, baseline: dict, tolerance: float) -> int:
+    """Gate the fresh ``record`` against the recorded ``baseline``."""
+    failures = []
+    speedup = record["speedup_pool_over_serial"]
+    if speedup < 1.0:
+        failures.append(
+            f"pool+cache leg is slower than serial (speedup {speedup:.2f}x < 1.0x)"
+        )
+    base_speedup = baseline.get("speedup_pool_over_serial")
+    if base_speedup:
+        floor = base_speedup * (1.0 - tolerance)
+        if speedup < floor:
+            failures.append(
+                f"speedup regressed >{tolerance:.0%}: {speedup:.2f}x vs "
+                f"baseline {base_speedup:.2f}x (floor {floor:.2f}x)"
+            )
+    for message in failures:
+        print(f"BENCH REGRESSION: {message}", file=sys.stderr)
+    if not failures:
+        print(
+            f"bench check ok: speedup {speedup:.2f}x "
+            f"(baseline {base_speedup:.2f}x, tolerance {tolerance:.0%})"
+        )
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced-size suite (what CI gates on)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="pool workers / runner fan-out (default: cpu count)")
+    parser.add_argument("--out", default="BENCH_pr3.json", metavar="PATH",
+                        help="where to write the fresh record")
+    parser.add_argument("--check", metavar="BASELINE.json",
+                        help="compare against a recorded baseline and gate")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed speedup-ratio regression vs baseline")
+    args = parser.parse_args()
+
+    baseline = None
+    if args.check:
+        with open(args.check) as fh:  # read *before* --out may overwrite it
+            baseline = json.load(fh)
+
+    record = measure(args)
+    with open(args.out, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"record written to {args.out}")
+
+    if baseline is not None:
+        return check(record, baseline, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,14 @@ from repro.devices import (
     gpu_tpu_platform,
     jetson_nano_platform,
 )
+from repro.exec import (
+    ComputeTask,
+    ExecBackend,
+    ResultCache,
+    backend_names,
+    make_backend,
+    result_cache,
+)
 from repro.faults import (
     DeviceDeath,
     FaultEvent,
@@ -78,6 +86,12 @@ __all__ = [
     "gpu_only_platform",
     "gpu_tpu_platform",
     "jetson_nano_platform",
+    "ComputeTask",
+    "ExecBackend",
+    "ResultCache",
+    "backend_names",
+    "make_backend",
+    "result_cache",
     "DeviceDeath",
     "FaultEvent",
     "FaultKind",

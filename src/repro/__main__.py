@@ -19,6 +19,7 @@ from repro.core.schedulers.base import make_scheduler, scheduler_names
 from repro.core.vop import vop_catalog
 from repro.devices.perf_model import benchmark_names
 from repro.experiments.common import platform_for
+from repro.experiments.runner import add_performance_args
 from repro.metrics.mape import mape_percent
 from repro.sim.gantt import render_gantt, utilization_summary
 from repro.workloads.generator import generate, workload_names
@@ -44,11 +45,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     size = args.side**2 if args.kernel in vector_kernels else (args.side, args.side)
     call = generate(args.kernel, size=size, seed=args.seed)
 
+    config = RuntimeConfig(
+        observe=bool(args.metrics),
+        backend=args.backend,
+        jobs=args.jobs,
+        cache=args.cache,
+    )
     baseline_runtime = SHMTRuntime(
-        platform_for("gpu-baseline"), make_scheduler("gpu-baseline")
+        platform_for("gpu-baseline"), make_scheduler("gpu-baseline"), config
     )
     baseline = baseline_runtime.execute(call)
-    config = RuntimeConfig(observe=bool(args.metrics))
     runtime = SHMTRuntime(platform_for(args.policy), make_scheduler(args.policy), config)
     report = runtime.execute(call)
 
@@ -102,12 +108,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.common import ExperimentSettings
-    from repro.experiments.runner import run_all
+    from repro.experiments.runner import apply_performance_args, run_all
 
     settings = ExperimentSettings(seed=args.seed)
     if args.quick:
         settings.size = 512 * 512
-    run_all(settings, metrics_path=args.metrics)
+    apply_performance_args(settings, args)
+    run_all(settings, metrics_path=args.metrics, jobs=args.jobs)
     return 0
 
 
@@ -137,6 +144,7 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="observe the run and write metrics + decision log as JSONL",
     )
+    add_performance_args(run_parser)
     run_parser.set_defaults(handler=_cmd_run)
 
     exp_parser = sub.add_parser("experiments", help="regenerate the paper's evaluation")
@@ -147,6 +155,7 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="observe every cached run and write their metrics as one JSONL",
     )
+    add_performance_args(exp_parser)
     exp_parser.set_defaults(handler=_cmd_experiments)
 
     args = parser.parse_args(argv)

@@ -63,6 +63,14 @@ class Partition:
     out_slices: Tuple[slice, ...]
 
     def input_block(self, padded_input: np.ndarray) -> np.ndarray:
+        """The partition's input data as a zero-copy **view**.
+
+        Basic (slice-only) indexing never copies, so dispatching an HLOP
+        costs O(1) memory no matter the block size -- the device precision
+        path makes its own float32 copy only when it actually transforms
+        the data.  Callers must treat the returned array as read-only; the
+        runtime relies on sibling partitions aliasing one padded input.
+        """
         return padded_input[(Ellipsis,) + self.in_slices]
 
 

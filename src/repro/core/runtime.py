@@ -49,6 +49,9 @@ from repro.core.vop import VOPCall
 from repro.devices.base import Device
 from repro.devices.energy import EnergyBreakdown
 from repro.devices.platform import Platform
+from repro.exec.backends import TaskHandle, make_backend
+from repro.exec.cache import result_cache
+from repro.exec.task import ComputeTask
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
 from repro.kernels.common import replicate_pad
@@ -110,6 +113,19 @@ class RuntimeConfig:
     #: Off by default: the disabled path uses a no-op recorder and the
     #: run is bit-identical to an unobserved one.
     observe: bool = False
+    #: Compute backend executing HLOP numerics (see :mod:`repro.exec`):
+    #: ``"serial"`` (inline, the historical behaviour), ``"pool"`` (shared
+    #: thread pool; numpy releases the GIL), or ``"process"``.  The DES
+    #: timeline uses only calibrated service times, so scheduling
+    #: decisions -- and therefore outputs -- are bit-identical across
+    #: backends; results join at the simulated completion event.
+    backend: str = "serial"
+    #: Worker count for the pool backends (``None`` = cpu_count-derived).
+    jobs: Optional[int] = None
+    #: Consult/populate the process-wide content-addressed result cache
+    #: (:func:`repro.exec.cache.result_cache`).  Hits are bit-identical to
+    #: recomputing, so this only changes wall-clock, never results.
+    cache: bool = False
 
 
 @dataclass
@@ -179,6 +195,12 @@ class SHMTRuntime:
         self.platform = platform
         self.scheduler = scheduler
         self.config = config or RuntimeConfig()
+        #: Compute backend for HLOP numerics (see :mod:`repro.exec`).
+        self.backend = make_backend(
+            self.config.backend,
+            jobs=self.config.jobs,
+            cache=result_cache() if self.config.cache else None,
+        )
 
     # ------------------------------------------------------------------ public
 
@@ -725,14 +747,28 @@ class _BatchRun:
                 kind=EventKind.FAULT,
             )
         else:
-            result = self._execute_numeric(device, hlop, unit)
-            if inject and self.faults.corrupts(device.name, hlop.hlop_id, hlop.attempts):
-                result = self.faults.corrupt_output(
-                    result, device.name, hlop.hlop_id, hlop.attempts
-                )
+            # Deferred compute: the numeric work is a pure task handed to
+            # the backend; only the *handle* enters the event loop, and the
+            # result joins at the simulated completion event below.  The
+            # corruption verdict stays at submission (same injector call
+            # order as the inline runtime); the poisoning itself needs the
+            # result, so it applies at the join.
+            handle = self._submit_numeric(device, hlop, unit)
+            corrupt = inject and self.faults.corrupts(
+                device.name, hlop.hlop_id, hlop.attempts
+            )
+            attempt = hlop.attempts
             done_event = self.engine.schedule_at(
                 compute_done,
-                lambda: self._on_complete(state, hlop, compute_start, compute_done, result),
+                lambda: self._on_complete(
+                    state,
+                    hlop,
+                    compute_start,
+                    compute_done,
+                    handle,
+                    corrupt=corrupt,
+                    attempt=attempt,
+                ),
                 kind=EventKind.COMPUTE_DONE,
             )
         watchdog = None
@@ -761,21 +797,32 @@ class _BatchRun:
             predicted=predicted,
         )
 
-    def _execute_numeric(
+    def _submit_numeric(
         self, device: Device, hlop: HLOP, unit: _CallUnit
-    ) -> np.ndarray:
+    ) -> TaskHandle:
+        """Hand the HLOP's numeric execution to the compute backend.
+
+        The task is pure: the block is a read-only-by-convention view of
+        the padded input, and any stochastic component (the NPU residual)
+        derives from the explicit per-HLOP seed, so results are identical
+        whichever backend -- or cache -- serves them.
+        """
         block = hlop.partition.input_block(unit.padded_input)
         seed = (self.runtime.config.seed * 1_000_003 + hlop.hlop_id) % (2**31 - 1)
-        return device.execute_numeric(
-            unit.spec.compute,
-            block,
-            unit.host_context,
+        task = ComputeTask(
+            device=device,
+            compute=unit.spec.compute,
+            block=block,
+            ctx=unit.host_context,
             error_scale=unit.calibration.npu_error_scale,
             seed=seed,
             channel_axis=unit.spec.channel_axis,
             quantize_output=not unit.spec.reduces,
             tensor_compute=unit.spec.tensor_compute,
+            kernel=unit.spec.name,
+            hlop_id=hlop.hlop_id,
         )
+        return self.runtime.backend.submit(task)
 
     def _on_complete(
         self,
@@ -783,12 +830,25 @@ class _BatchRun:
         hlop: HLOP,
         start: float,
         finish: float,
-        result: np.ndarray,
+        handle: TaskHandle,
+        corrupt: bool = False,
+        attempt: int = 0,
     ) -> None:
         device = state.device
         unit = self._unit_of(hlop)
         predicted = state.current.predicted if state.current is not None else 0.0
         self._clear_running(state)
+        result = handle.result()
+        if corrupt:
+            result = self.faults.corrupt_output(
+                result, device.name, hlop.hlop_id, attempt
+            )
+        if self.obs.enabled and self.runtime.config.cache:
+            self.obs.count(
+                "exec_cache_hits_total" if handle.cached else "exec_cache_misses_total",
+                1,
+                device=device.name,
+            )
         if self.faults is not None and not np.all(np.isfinite(result)):
             if not hlop.exact_recompute:
                 # Output guard: poisoned result -- discard it and recompute

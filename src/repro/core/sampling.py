@@ -86,6 +86,20 @@ class Sampler(abc.ABC):
         """Pick the sample values from ``block``."""
 
 
+def _take_flat(block: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """``block.reshape(-1)[indices]`` without materializing the flattening.
+
+    Partitions hand samplers *views* of the padded input (see
+    ``partition.input_block``), usually non-contiguous -- so ``reshape(-1)``
+    would copy the whole block just to read ~128 samples.  Fancy-indexing
+    through :func:`np.unravel_index` reads only the sampled elements
+    (C-order, so the values are bit-identical to the flattened read).
+    """
+    if block.ndim > 1:
+        return block[np.unravel_index(indices, block.shape)]
+    return block.reshape(-1)[indices]
+
+
 class StridingSampler(Sampler):
     """Algorithm 3: S_i = D[i * s] over the flattened partition."""
 
@@ -94,12 +108,12 @@ class StridingSampler(Sampler):
     per_sample_cost = 5e-8
 
     def _select(self, block: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        flat = block.reshape(-1)
-        count = self.target_count(flat.size)
+        count = self.target_count(block.size)
         if count == 0:
-            return flat[:0]
-        stride = max(1, flat.size // count)
-        return flat[:: stride][:count]
+            return block.reshape(-1)[:0]
+        stride = max(1, block.size // count)
+        indices = np.arange(count, dtype=np.intp) * stride
+        return _take_flat(block, indices)
 
 
 class UniformSampler(Sampler):
@@ -110,12 +124,11 @@ class UniformSampler(Sampler):
     per_sample_cost = 1.2e-7
 
     def _select(self, block: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        flat = block.reshape(-1)
-        count = self.target_count(flat.size)
+        count = self.target_count(block.size)
         if count == 0:
-            return flat[:0]
-        indices = rng.integers(0, flat.size, size=count)
-        return flat[indices]
+            return block.reshape(-1)[:0]
+        indices = rng.integers(0, block.size, size=count)
+        return _take_flat(block, indices)
 
 
 class ReductionSampler(Sampler):

@@ -152,6 +152,47 @@ def round_trip_affine(
     return (codes * scale + low).astype(np.float32)
 
 
+def round_trip_affine_channels(
+    data: np.ndarray, bits: int = 8, clip_percentile: float = None
+) -> np.ndarray:
+    """Per-channel :func:`round_trip_affine`, channels along axis 0.
+
+    One whole-array pass replaces the channel loop + ``np.stack`` a caller
+    would otherwise write; the output is bit-identical to
+    ``np.stack([round_trip_affine(c, bits, clip_percentile) for c in data])``
+    for any memory layout (the per-channel ranges are widened to float64
+    exactly as the scalar path's ``float()`` casts do).
+    """
+    data = np.asarray(data, dtype=np.float32)
+    if data.ndim < 2 or data.shape[0] == 0 or data[0].size == 0:
+        # Scalar channels or empty tensors: every channel has a degenerate
+        # range, so the per-channel round trip is a no-op copy.
+        return data.copy()
+    axes = tuple(range(1, data.ndim))
+    if clip_percentile is None:
+        low = data.min(axis=axes).astype(np.float64)
+        high = data.max(axis=axes).astype(np.float64)
+    else:
+        low = np.percentile(data, 100.0 - clip_percentile, axis=axes).astype(np.float64)
+        high = np.percentile(data, clip_percentile, axis=axes).astype(np.float64)
+        eq = low == high
+        if np.any(eq):
+            low = np.where(eq, data.min(axis=axes).astype(np.float64), low)
+            high = np.where(eq, data.max(axis=axes).astype(np.float64), high)
+    span = high - low
+    levels = 2**bits - 1
+    degenerate = (span <= 0.0) | (span / levels < np.finfo(np.float32).tiny)
+    scale = np.where(degenerate, 1.0, span / levels)
+    bshape = (-1,) + (1,) * (data.ndim - 1)
+    low_b = low.reshape(bshape)
+    scale_b = scale.reshape(bshape)
+    codes = np.clip(np.round((data.astype(np.float64) - low_b) / scale_b), 0, levels)
+    out = (codes * scale_b + low_b).astype(np.float32)
+    if np.any(degenerate):
+        out = np.where(degenerate.reshape(bshape), data, out)
+    return out
+
+
 def round_trip(
     data: np.ndarray, precision: Precision, clip_percentile: float = None
 ) -> np.ndarray:

@@ -1,0 +1,245 @@
+"""Pluggable compute backends: where a :class:`ComputeTask` actually runs.
+
+The runtime's discrete-event loop is single-threaded and stays that way --
+a backend only changes *where the numpy work happens*, never what the
+simulated timeline looks like:
+
+* ``serial`` -- execute at submission, on the calling thread.  This is the
+  default and is bit-identical (same call order, same arrays) to the
+  pre-backend runtime.
+* ``pool`` -- a shared :class:`~concurrent.futures.ThreadPoolExecutor`.
+  The heavy kernels are numpy whole-array ops that release the GIL, so
+  HLOPs submitted by the event loop overlap with each other and with the
+  loop's own orchestration (the MLIR latency-hiding observation: overlap
+  compute with orchestration).
+* ``process`` -- a :class:`~concurrent.futures.ProcessPoolExecutor` for
+  large inputs where true core parallelism beats the serialization cost.
+  Tasks that cannot be pickled transparently fall back to inline
+  execution.
+
+All backends consult the optional :class:`~repro.exec.cache.ResultCache`
+first and publish results into it; the pool backends additionally dedup
+identical in-flight tasks so the same block is never computed twice
+concurrently.
+
+Workers never touch simulation state: results re-enter the runtime only at
+the simulated completion event (``TaskHandle.result()``), so worker
+completion *order* cannot affect scheduling decisions or outputs.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.exec.cache import ResultCache
+from repro.exec.task import ComputeTask
+
+
+def default_jobs() -> int:
+    """Worker count when the caller does not pin one."""
+    return max(2, os.cpu_count() or 1)
+
+
+class TaskHandle:
+    """The join point for one submitted task.
+
+    ``result()`` blocks until the task's output is available and always
+    returns the same array object for repeated calls.  ``cached`` records
+    whether the value was served from the result cache without computing.
+    """
+
+    def __init__(self) -> None:
+        self.cached = False
+
+    def result(self) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ResolvedHandle(TaskHandle):
+    """A handle whose value existed at submission (serial path, cache hit)."""
+
+    def __init__(self, value: np.ndarray, cached: bool = False) -> None:
+        super().__init__()
+        self._value = value
+        self.cached = cached
+
+    def result(self) -> np.ndarray:
+        return self._value
+
+
+class FutureHandle(TaskHandle):
+    """A handle backed by a concurrent future (pool backends)."""
+
+    def __init__(self, future: "Future[np.ndarray]") -> None:
+        super().__init__()
+        self._future = future
+        self._value: Optional[np.ndarray] = None
+
+    def result(self) -> np.ndarray:
+        if self._value is None:
+            self._value = self._future.result()
+        return self._value
+
+
+class ExecBackend(abc.ABC):
+    """Executes pure compute tasks, optionally through a result cache."""
+
+    name: str = "base"
+
+    def __init__(self, cache: Optional[ResultCache] = None) -> None:
+        self.cache = cache
+
+    @abc.abstractmethod
+    def submit(self, task: ComputeTask) -> TaskHandle:
+        """Start (or resolve) ``task``; never blocks on the computation."""
+
+    def _finish(self, key: Optional[str], result: np.ndarray) -> np.ndarray:
+        """Publish a computed result into the cache (freezing it)."""
+        if self.cache is None:
+            return result
+        return self.cache.put(key, result)
+
+
+class SerialBackend(ExecBackend):
+    """Inline execution at submission time -- the historical behaviour."""
+
+    name = "serial"
+
+    def submit(self, task: ComputeTask) -> TaskHandle:
+        key = task.cache_key() if self.cache is not None else None
+        if self.cache is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                return ResolvedHandle(hit, cached=True)
+        return ResolvedHandle(self._finish(key, task.run()))
+
+
+def _run_task(task: ComputeTask) -> np.ndarray:
+    """Module-level task trampoline (picklable for process pools)."""
+    return task.run()
+
+
+#: Shared executors keyed by (kind, workers): thread/process pools are
+#: expensive to build, and sharing one per configuration lets consecutive
+#: runs (an experiment sweep) reuse warm workers.
+_EXECUTORS: Dict[tuple, object] = {}
+_EXECUTORS_LOCK = threading.Lock()
+
+
+def _shared_executor(kind: str, workers: int):
+    with _EXECUTORS_LOCK:
+        executor = _EXECUTORS.get((kind, workers))
+        if executor is None:
+            if kind == "thread":
+                executor = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-exec"
+                )
+            else:
+                executor = ProcessPoolExecutor(max_workers=workers)
+            _EXECUTORS[(kind, workers)] = executor
+        return executor
+
+
+class PoolBackend(ExecBackend):
+    """Worker-pool execution with cache consult and in-flight dedup."""
+
+    name = "pool"
+    kind = "thread"
+
+    def __init__(
+        self, jobs: Optional[int] = None, cache: Optional[ResultCache] = None
+    ) -> None:
+        super().__init__(cache)
+        self.jobs = jobs or default_jobs()
+        self._inflight: Dict[str, "Future[np.ndarray]"] = {}
+        self._inflight_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ submit
+
+    def submit(self, task: ComputeTask) -> TaskHandle:
+        key = task.cache_key() if self.cache is not None else None
+        if self.cache is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                return ResolvedHandle(hit, cached=True)
+        if key is not None:
+            with self._inflight_lock:
+                pending = self._inflight.get(key)
+                if pending is not None:
+                    return FutureHandle(pending)
+                future = self._dispatch(task, key)
+                self._inflight[key] = future
+            future.add_done_callback(lambda _f, k=key: self._forget(k))
+            return FutureHandle(future)
+        return FutureHandle(self._dispatch(task, None))
+
+    def _forget(self, key: str) -> None:
+        with self._inflight_lock:
+            self._inflight.pop(key, None)
+
+    def _dispatch(self, task: ComputeTask, key: Optional[str]) -> "Future[np.ndarray]":
+        executor = _shared_executor(self.kind, self.jobs)
+        try:
+            # Submit the module-level trampoline, not a bound method: a
+            # process pool must not try to pickle the backend (whose
+            # in-flight lock is unpicklable) along with the task.
+            inner = executor.submit(_run_task, task)
+        except Exception:
+            # Unpicklable task / saturated pool teardown: run inline.
+            inner: "Future[np.ndarray]" = Future()
+            try:
+                inner.set_result(task.run())
+            except BaseException as error:  # pragma: no cover - kernel bug
+                inner.set_exception(error)
+        if self.cache is None:
+            return inner
+        outer: "Future[np.ndarray]" = Future()
+
+        def _publish(done: "Future[np.ndarray]", k=key) -> None:
+            error = done.exception()
+            if error is not None:
+                outer.set_exception(error)
+            else:
+                outer.set_result(self._finish(k, done.result()))
+
+        inner.add_done_callback(_publish)
+        return outer
+
+
+class ProcessBackend(PoolBackend):
+    """Process-pool variant for very large inputs (pays pickling costs)."""
+
+    name = "process"
+    kind = "process"
+
+
+BackendFactory = Callable[[Optional[int], Optional[ResultCache]], ExecBackend]
+
+_BACKENDS: Dict[str, BackendFactory] = {
+    "serial": lambda jobs, cache: SerialBackend(cache),
+    "pool": lambda jobs, cache: PoolBackend(jobs, cache),
+    "process": lambda jobs, cache: ProcessBackend(jobs, cache),
+}
+
+
+def backend_names() -> List[str]:
+    return sorted(_BACKENDS)
+
+
+def make_backend(
+    name: str, jobs: Optional[int] = None, cache: Optional[ResultCache] = None
+) -> ExecBackend:
+    """Instantiate a backend by name (``serial``, ``pool``, ``process``)."""
+    try:
+        factory = _BACKENDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r}; known: {backend_names()}"
+        ) from None
+    return factory(jobs, cache)

@@ -1,0 +1,137 @@
+"""Content-addressed result cache for compute tasks.
+
+The experiment sweeps re-execute enormous amounts of identical numeric
+work: every policy in Figures 6-9 partitions the same input with the same
+page-granular planner, so the exact devices (GPU/CPU) compute the same
+``(kernel, block)`` pairs over and over, and every figure needs the same
+FP64 reference outputs.  The cache eliminates that recompute by keying each
+result on the *content* of everything that determines it (see
+:meth:`repro.exec.task.ComputeTask.cache_key`): input-block fingerprint x
+kernel x device precision path x per-HLOP seed.
+
+Properties:
+
+* **bit-identical**: a hit returns the exact array a miss would have
+  computed -- tasks are pure and their keys cover every input.  Entries are
+  stored (and served) read-only so an accidental in-place mutation raises
+  instead of silently poisoning later hits.
+* **thread-safe**: one lock around the index; safe under the pool backend
+  and the experiment runner's ``--jobs`` fan-out.
+* **bounded**: LRU eviction above ``max_bytes`` (default 512 MB) so long
+  sweeps cannot grow without limit.
+
+A process-wide cache (:func:`result_cache`) is shared by every runtime
+whose :class:`~repro.core.runtime.RuntimeConfig` enables caching -- that is
+what makes it *cross-run*: the second policy of a sweep hits on the first
+policy's blocks.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+
+
+@dataclass
+class CacheStats:
+    """Counters describing one cache's lifetime activity."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    current_bytes: int = 0
+    #: Bytes of output arrays served from cache instead of recomputed.
+    hit_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "current_bytes": self.current_bytes,
+            "hit_bytes": self.hit_bytes,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class ResultCache:
+    """Thread-safe LRU map from content keys to read-only result arrays."""
+
+    max_bytes: int = DEFAULT_MAX_BYTES
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self._entries: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: Optional[str]) -> Optional[np.ndarray]:
+        """The cached result for ``key``, or ``None`` (also for ``key=None``)."""
+        if key is None:
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            self.stats.hit_bytes += entry.nbytes
+            return entry
+
+    def put(self, key: Optional[str], result: np.ndarray) -> np.ndarray:
+        """Store ``result`` under ``key``; returns the read-only stored array.
+
+        Oversized results (bigger than the whole budget) are returned
+        frozen but not stored.
+        """
+        frozen = np.asarray(result)
+        if frozen.flags.writeable:
+            frozen = frozen.copy()
+            frozen.flags.writeable = False
+        if key is None:
+            return frozen
+        with self._lock:
+            if key not in self._entries:
+                if frozen.nbytes > self.max_bytes:
+                    return frozen
+                self._entries[key] = frozen
+                self.stats.stores += 1
+                self.stats.current_bytes += frozen.nbytes
+                while self.stats.current_bytes > self.max_bytes and self._entries:
+                    _, evicted = self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+                    self.stats.current_bytes -= evicted.nbytes
+            return self._entries.get(key, frozen)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the statistics."""
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+#: The process-wide cross-run cache (see module docstring).
+_GLOBAL_CACHE = ResultCache()
+
+
+def result_cache() -> ResultCache:
+    """The shared process-wide result cache."""
+    return _GLOBAL_CACHE

@@ -1,0 +1,175 @@
+"""Pure compute tasks: the unit of work a backend executes.
+
+The SHMT runtime's discrete-event loop decides *when* an HLOP runs and on
+*which* device using only the calibrated ``service_time``; the actual
+numpy computation is a pure function of (device numeric path, input block,
+host context, per-HLOP seed).  :class:`ComputeTask` captures exactly that
+function so it can be
+
+* executed inline (the ``serial`` backend -- bit-identical to the
+  historical runtime),
+* executed on a worker thread/process (the ``pool`` backends -- numpy
+  releases the GIL, so independent HLOPs overlap), or
+* skipped entirely when an identical task already ran (the content-
+  addressed :mod:`repro.exec.cache`).
+
+Purity is what makes all three legal: a task never touches simulation
+state, never mutates its input block, and derives any stochastic component
+(the NPU approximation residual) from an explicit seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.devices.base import ComputeFn, Device, ExactDevice
+
+#: Bump when the key layout changes so stale cross-run caches cannot alias.
+KEY_VERSION = "repro.exec/k1"
+
+
+def fingerprint_array(data: np.ndarray) -> str:
+    """Content hash of an array: dtype, shape, and bytes (C order)."""
+    data = np.ascontiguousarray(data)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(data.dtype).encode())
+    digest.update(str(data.shape).encode())
+    digest.update(data.data if data.flags.c_contiguous else data.tobytes())
+    return digest.hexdigest()
+
+
+def fingerprint_value(value: Any) -> Optional[str]:
+    """Best-effort content fingerprint of a host-context value.
+
+    Handles the types kernel contexts are built from (numbers, strings,
+    arrays, tuples/lists/dicts, dataclasses, None).  Returns ``None`` for
+    anything unrecognized -- the caller must then treat the task as
+    uncacheable rather than risk a false hit.
+    """
+    if value is None:
+        return "none"
+    if isinstance(value, (bool, int, float, complex, str, bytes)):
+        return f"{type(value).__name__}:{value!r}"
+    if isinstance(value, np.ndarray):
+        return f"ndarray:{fingerprint_array(value)}"
+    if isinstance(value, np.generic):
+        return f"{type(value).__name__}:{value!r}"
+    if isinstance(value, (tuple, list)):
+        parts = [fingerprint_value(item) for item in value]
+        if any(part is None for part in parts):
+            return None
+        return f"{type(value).__name__}[" + ",".join(parts) + "]"
+    if isinstance(value, dict):
+        parts = []
+        for key in sorted(value, key=repr):
+            part = fingerprint_value(value[key])
+            if part is None:
+                return None
+            parts.append(f"{key!r}={part}")
+        return "dict{" + ",".join(parts) + "}"
+    if is_dataclass(value) and not isinstance(value, type):
+        parts = []
+        for f in fields(value):
+            part = fingerprint_value(getattr(value, f.name))
+            if part is None:
+                return None
+            parts.append(f"{f.name}={part}")
+        return f"{type(value).__name__}({','.join(parts)})"
+    return None
+
+
+def _callable_identity(fn: Any) -> Optional[str]:
+    """Stable identity of a module-level function (kernel compute fns)."""
+    if fn is None:
+        return "none"
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname or "<locals>" in qualname or "<lambda>" in qualname:
+        return None
+    return f"{module}.{qualname}"
+
+
+@dataclass
+class ComputeTask:
+    """One HLOP's numeric execution, detached from the simulation.
+
+    ``run()`` reproduces exactly what the pre-backend runtime did inline:
+    ``device.execute_numeric(compute, block, ctx, ...)``.
+    """
+
+    device: Device
+    compute: ComputeFn
+    block: np.ndarray
+    ctx: Any
+    error_scale: float = 0.0
+    seed: Optional[int] = None
+    channel_axis: Optional[int] = None
+    quantize_output: bool = True
+    tensor_compute: Optional[ComputeFn] = None
+    #: Identity metadata (reporting / cache key), not used by ``run``.
+    kernel: str = ""
+    hlop_id: int = -1
+
+    def run(self) -> np.ndarray:
+        return self.device.execute_numeric(
+            self.compute,
+            self.block,
+            self.ctx,
+            error_scale=self.error_scale,
+            seed=self.seed,
+            channel_axis=self.channel_axis,
+            quantize_output=self.quantize_output,
+            tensor_compute=self.tensor_compute,
+        )
+
+    # ------------------------------------------------------------------- key
+
+    def cache_key(self) -> Optional[str]:
+        """Content-addressed identity of this task's output.
+
+        ``None`` marks the task uncacheable (a context or compute function
+        whose content cannot be fingerprinted safely).  Exact devices
+        ignore the approximation knobs, so their keys deliberately omit
+        ``seed``/``error_scale``/quantization settings -- that is what lets
+        a GPU block computed under one scheduling policy satisfy the same
+        block under every other policy.
+        """
+        compute_id = _callable_identity(self.compute)
+        if compute_id is None:
+            return None
+        ctx_id = fingerprint_value(self.ctx)
+        if ctx_id is None:
+            return None
+        device = self.device
+        exact = isinstance(device, ExactDevice)
+        path = [
+            KEY_VERSION,
+            self.kernel,
+            compute_id,
+            type(device).__name__,
+            device.precision.name,
+        ]
+        if exact:
+            path.append("exact")
+        else:
+            tensor_id = _callable_identity(self.tensor_compute)
+            if self.tensor_compute is not None and tensor_id is None:
+                return None
+            mode = getattr(device, "mode", "")
+            path.extend(
+                [
+                    f"mode={mode}",
+                    f"err={self.error_scale!r}",
+                    f"seed={self.seed!r}",
+                    f"chan={self.channel_axis!r}",
+                    f"qout={self.quantize_output!r}",
+                    f"tensor={tensor_id}",
+                ]
+            )
+        path.append(ctx_id)
+        path.append(fingerprint_array(self.block))
+        return "|".join(path)

@@ -10,8 +10,10 @@ seed) combination.
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,6 +29,7 @@ from repro.devices.platform import (
     jetson_nano_platform,
 )
 from repro.devices.edgetpu import EdgeTPUDevice
+from repro.exec import fingerprint_array, fingerprint_value, result_cache
 from repro.metrics.stats import geometric_mean
 from repro.workloads.generator import Size, generate
 
@@ -83,41 +86,132 @@ class ExperimentSettings:
 
 
 class ExperimentContext:
-    """Caches workloads, references, and policy runs for one settings set."""
+    """Caches workloads, references, and policy runs for one settings set.
+
+    Thread-safe: :meth:`run` and :meth:`reference` may be called from the
+    runner's ``--jobs`` fan-out workers; identical in-flight requests are
+    deduplicated so each (kernel, policy) executes exactly once.  Runs are
+    deterministic (each builds its own seeded RNG), so results are
+    independent of worker interleaving.
+    """
 
     def __init__(self, settings: Optional[ExperimentSettings] = None) -> None:
         self.settings = settings or ExperimentSettings()
         self._calls: Dict[str, VOPCall] = {}
         self._references: Dict[str, np.ndarray] = {}
         self._runs: Dict[Tuple[str, str], ExecutionReport] = {}
+        self._lock = threading.Lock()
+        self._inflight: Dict[Tuple[str, str], threading.Event] = {}
 
     def call(self, kernel: str) -> VOPCall:
-        if kernel not in self._calls:
-            self._calls[kernel] = generate(
-                kernel, size=self.settings.size, seed=self.settings.seed
-            )
-        return self._calls[kernel]
+        with self._lock:
+            call = self._calls.get(kernel)
+        if call is None:
+            call = generate(kernel, size=self.settings.size, seed=self.settings.seed)
+            with self._lock:
+                call = self._calls.setdefault(kernel, call)
+        return call
 
     def reference(self, kernel: str) -> np.ndarray:
-        """FP64 full-input reference output for quality metrics."""
-        if kernel not in self._references:
+        """FP64 full-input reference output for quality metrics.
+
+        When the settings' runtime config enables the result cache, the
+        reference also goes through the process-wide content-addressed
+        cache, so every context (each figure module, each bench phase)
+        shares one computation per distinct input instead of one per
+        context.
+        """
+        with self._lock:
+            reference = self._references.get(kernel)
+        if reference is None:
             call = self.call(kernel)
-            spec = call.spec
-            self._references[kernel] = np.asarray(
-                spec.reference(call.data.astype(np.float64), call.resolve_context())
+            reference = self._cached_reference(call)
+            with self._lock:
+                reference = self._references.setdefault(kernel, reference)
+        return reference
+
+    def _cached_reference(self, call: VOPCall) -> np.ndarray:
+        spec = call.spec
+        host_context = call.resolve_context()
+        key = None
+        if self.settings.runtime_config.cache:
+            ctx_id = fingerprint_value(host_context)
+            if ctx_id is not None:
+                key = "|".join(
+                    ["reference", spec.name, ctx_id, fingerprint_array(call.data)]
+                )
+            cache = result_cache()
+            hit = cache.get(key)
+            if hit is not None:
+                return hit
+            value = np.asarray(
+                spec.reference(call.data.astype(np.float64), host_context)
             )
-        return self._references[kernel]
+            return cache.put(key, value)
+        return np.asarray(
+            spec.reference(call.data.astype(np.float64), host_context)
+        )
 
     def run(self, kernel: str, policy: str) -> ExecutionReport:
         key = (kernel, policy)
-        if key not in self._runs:
+        while True:
+            with self._lock:
+                report = self._runs.get(key)
+                if report is not None:
+                    return report
+                pending = self._inflight.get(key)
+                if pending is None:
+                    pending = threading.Event()
+                    self._inflight[key] = pending
+                    break
+            # Another worker is executing this exact run; wait and re-check
+            # (re-checking covers the owner failing without a result).
+            pending.wait()
+        try:
             runtime = SHMTRuntime(
                 platform_for(policy),
                 make_scheduler(policy),
                 config=self.settings.runtime_config,
             )
-            self._runs[key] = runtime.execute(self.call(kernel))
-        return self._runs[key]
+            report = runtime.execute(self.call(kernel))
+            with self._lock:
+                self._runs[key] = report
+            return report
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            pending.set()
+
+    def prefetch(
+        self,
+        pairs: Iterable[Tuple[str, str]],
+        jobs: Optional[int] = None,
+        references: bool = True,
+    ) -> None:
+        """Execute ``(kernel, policy)`` runs concurrently on worker threads.
+
+        The figure modules then read every result from the context's memo
+        -- this is the runner's ``--jobs`` fan-out across (experiment,
+        kernel, policy).  With ``jobs`` <= 1 the pairs run serially, which
+        is byte-identical to not prefetching at all.
+        """
+        todo = [pair for pair in dict.fromkeys(pairs) if pair not in self._runs]
+        kernels = list(dict.fromkeys(kernel for kernel, _ in todo))
+        if not jobs or jobs <= 1:
+            for kernel, policy in todo:
+                self.run(kernel, policy)
+            if references:
+                for kernel in kernels:
+                    self.reference(kernel)
+            return
+        with ThreadPoolExecutor(
+            max_workers=jobs, thread_name_prefix="repro-experiments"
+        ) as pool:
+            futures = [pool.submit(self.run, kernel, policy) for kernel, policy in todo]
+            if references:
+                futures.extend(pool.submit(self.reference, kernel) for kernel in kernels)
+            for future in futures:
+                future.result()
 
     def speedup(self, kernel: str, policy: str) -> float:
         """End-to-end speedup over the GPU baseline (the paper's y-axis)."""

@@ -20,6 +20,7 @@ device utilization -- the quantity Figure 1's idle slots depict.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -51,11 +52,18 @@ def _build_program(frame: np.ndarray) -> Program:
     return program
 
 
-def _conventional_time(frame: np.ndarray) -> "tuple[float, float]":
+def _conventional_time(
+    frame: np.ndarray, settings: ExperimentSettings
+) -> "tuple[float, float]":
     """Serial best-single-device delegation; returns (time, mean util)."""
-    gpu_runtime = SHMTRuntime(gpu_only_platform(), make_scheduler("gpu-baseline"))
+    config = settings.runtime_config
+    gpu_runtime = SHMTRuntime(
+        gpu_only_platform(), make_scheduler("gpu-baseline"), config=config
+    )
     tpu_runtime = SHMTRuntime(
-        Platform(devices=[EdgeTPUDevice()]), make_scheduler("edge-tpu-only")
+        Platform(devices=[EdgeTPUDevice()]),
+        make_scheduler("edge-tpu-only"),
+        config=config,
     )
     total = 0.0
     busy = 0.0
@@ -72,8 +80,14 @@ def _conventional_time(frame: np.ndarray) -> "tuple[float, float]":
     return total, mean_utilization
 
 
-def _shmt_time(frame: np.ndarray, concurrent: bool) -> "tuple[float, float]":
-    runtime = SHMTRuntime(jetson_nano_platform(), make_scheduler("QAWS-TS"))
+def _shmt_time(
+    frame: np.ndarray, concurrent: bool, settings: ExperimentSettings
+) -> "tuple[float, float]":
+    runtime = SHMTRuntime(
+        jetson_nano_platform(),
+        make_scheduler("QAWS-TS"),
+        config=settings.runtime_config,
+    )
     program = _build_program(frame)
     result = program.run(runtime, concurrent=concurrent)
     if concurrent:
@@ -91,14 +105,26 @@ def _shmt_time(frame: np.ndarray, concurrent: bool) -> "tuple[float, float]":
     return total, mean_utilization
 
 
+def _frame_side(settings: ExperimentSettings) -> int:
+    """Frame side length, threading any reduced --quick size through.
+
+    The side is floored to a multiple of 32 so every program step's tile
+    constraints (DCT8x8's block multiple included) stay satisfied.
+    """
+    if settings.size is None:
+        return 1024
+    side = int(math.isqrt(int(settings.size)))
+    return max(32, (side // 32) * 32)
+
+
 def run(settings: Optional[ExperimentSettings] = None, **_ignored) -> FigureResult:
     settings = settings or ExperimentSettings()
-    side = 1024
+    side = _frame_side(settings)
     frame = generate("sobel", size=(side, side), seed=settings.seed).data
 
-    conventional_time, conventional_util = _conventional_time(frame)
-    serial_time, serial_util = _shmt_time(frame, concurrent=False)
-    concurrent_time, concurrent_util = _shmt_time(frame, concurrent=True)
+    conventional_time, conventional_util = _conventional_time(frame, settings)
+    serial_time, serial_util = _shmt_time(frame, concurrent=False, settings=settings)
+    concurrent_time, concurrent_util = _shmt_time(frame, concurrent=True, settings=settings)
 
     times = [conventional_time, serial_time, concurrent_time]
     utils = [conventional_util, serial_util, concurrent_util]

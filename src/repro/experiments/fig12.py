@@ -27,10 +27,17 @@ FULL_RANGE = (4 * 2**10, 16 * 2**10, 64 * 2**10, 256 * 2**10, 2**20, 4 * 2**20, 
 
 def run(
     settings: Optional[ExperimentSettings] = None,
-    max_elements: int = 16 * 2**20,
+    max_elements: Optional[int] = None,
 ) -> FigureResult:
     if settings is None:
         settings = ExperimentSettings()
+    if max_elements is None:
+        # Thread any reduced --quick size through: a settings-level size
+        # caps the sweep, so the quick suite does not wander off to 16M
+        # elements (which alone used to dominate its wall-clock).
+        max_elements = 16 * 2**20
+        if settings.size is not None:
+            max_elements = min(max_elements, max(int(settings.size), FULL_RANGE[0]))
     sizes = [s for s in FULL_RANGE if s <= max_elements]
     kernels = list(settings.kernels)
     series = {}

@@ -30,7 +30,7 @@ from typing import Any, Callable, Optional
 
 import numpy as np
 
-from repro.devices.precision import round_trip_affine
+from repro.devices.precision import round_trip_affine, round_trip_affine_channels
 
 ComputeFn = Callable[[np.ndarray, Any], np.ndarray]
 
@@ -86,11 +86,8 @@ def _round_trip_channels(data: np.ndarray, channel_axis: Optional[int]) -> np.nd
     if channel_axis is None or data.ndim < 2:
         return round_trip_affine(data, bits=8, clip_percentile=CALIBRATION_PERCENTILE)
     moved = np.moveaxis(data, channel_axis, 0)
-    quantized = np.stack(
-        [
-            round_trip_affine(channel, bits=8, clip_percentile=CALIBRATION_PERCENTILE)
-            for channel in moved
-        ]
+    quantized = round_trip_affine_channels(
+        moved, bits=8, clip_percentile=CALIBRATION_PERCENTILE
     )
     return np.moveaxis(quantized, 0, channel_axis)
 
@@ -110,9 +107,7 @@ def _approximation_residual(
     noise = rng.standard_normal(out.shape).astype(np.float32)
     if channel_axis is not None and out.ndim >= 2:
         moved = np.moveaxis(out, channel_axis, 0)
-        spreads = np.asarray(
-            [_spread(channel) for channel in moved], dtype=np.float32
-        )
+        spreads = _channel_spreads(moved)
         shape = [1] * out.ndim
         shape[channel_axis] = out.shape[channel_axis]
         return error_scale * spreads.reshape(shape) * noise
@@ -124,3 +119,16 @@ def _spread(values: np.ndarray) -> float:
     if spread == 0.0:
         spread = float(np.max(np.abs(values))) if values.size else 0.0
     return spread or 1.0
+
+
+def _channel_spreads(moved: np.ndarray) -> np.ndarray:
+    """Vectorized per-channel :func:`_spread` (channels along axis 0)."""
+    axes = tuple(range(1, moved.ndim))
+    if moved.shape[0] == 0 or moved[0].size == 0:
+        return np.ones(moved.shape[0], dtype=np.float32)
+    spreads = np.std(moved, axis=axes)
+    zero = spreads == 0.0
+    if np.any(zero):
+        spreads = np.where(zero, np.max(np.abs(moved), axis=axes), spreads)
+        spreads = np.where(spreads == 0.0, 1.0, spreads)
+    return spreads.astype(np.float32)

@@ -148,3 +148,47 @@ def test_partition_bytes(config):
     spec = get_kernel("blackscholes")
     partitions = plan_partitions(spec, (5, 10_000), config)
     assert partition_bytes(partitions[0], (5, 10_000), config) == partitions[0].n_items * 5 * 4
+
+
+# -------------------------------------------------- view guarantee (PR 3)
+
+
+@pytest.mark.parametrize("kernel,shape", [
+    ("sobel", (2048, 2048)),      # TILE model
+    ("fft", (2048, 2048)),        # ROWS model
+    ("histogram", (2048 * 2048,)),  # VECTOR model
+])
+def test_input_block_is_zero_copy_view_at_2048sq(kernel, shape):
+    """Every model's ``input_block`` aliases the padded input: no copies."""
+    spec = get_kernel(kernel)
+    partitions = plan_partitions(spec, shape, PartitionConfig())
+    pad = spec.halo
+    padded_shape = tuple(s + 2 * pad for s in shape) if len(shape) > 1 else shape
+    padded = np.zeros(padded_shape, dtype=np.float32)
+    for partition in partitions:
+        block = partition.input_block(padded)
+        assert block.base is not None
+        assert np.shares_memory(block, padded)
+
+
+def test_dispatch_submits_views_of_one_padded_input():
+    """The runtime's compute tasks carry views, not 16 MiB block copies."""
+    from repro.core.runtime import SHMTRuntime
+    from repro.core.schedulers.base import make_scheduler
+    from repro.devices.platform import gpu_only_platform
+    from repro.workloads.generator import generate
+
+    runtime = SHMTRuntime(gpu_only_platform(), make_scheduler("gpu-baseline"))
+    captured = []
+    original_submit = runtime.backend.submit
+
+    def spy(task):
+        captured.append(task.block)
+        return original_submit(task)
+
+    runtime.backend.submit = spy
+    runtime.execute(generate("sobel", size=(2048, 2048), seed=0))
+    assert len(captured) > 1
+    bases = {id(block.base) for block in captured}
+    assert all(block.base is not None for block in captured)  # views...
+    assert len(bases) == 1  # ...all aliasing the single padded input

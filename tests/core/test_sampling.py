@@ -157,3 +157,85 @@ def test_cost_charges_realized_sample_count(rng):
     result = sampler.sample(np.array([1.0], dtype=np.float32), rng)
     expected = sampler.fixed_cost + sampler.per_sample_cost * 1
     assert result.host_seconds == pytest.approx(expected)
+
+
+# ----------------------------------------------- vectorization pins (PR 3)
+# The samplers now fancy-index blocks instead of flattening them (a full
+# copy for the non-contiguous views partition dispatch hands them).  These
+# reference implementations are the pre-vectorization selectors, kept
+# verbatim: the new paths must agree bit-for-bit, same RNG consumption
+# included.
+
+
+def _reference_striding(sampler, block):
+    flat = block.reshape(-1)
+    count = sampler.target_count(flat.size)
+    if count == 0:
+        return flat[:0]
+    stride = max(1, flat.size // count)
+    return flat[::stride][:count]
+
+
+def _reference_uniform(sampler, block, rng):
+    flat = block.reshape(-1)
+    count = sampler.target_count(flat.size)
+    if count == 0:
+        return flat[:0]
+    indices = rng.integers(0, flat.size, size=count)
+    return flat[indices]
+
+
+def _sample_blocks(rng):
+    grid = rng.standard_normal((512, 512)).astype(np.float32)
+    return {
+        "flat": rng.standard_normal(65536).astype(np.float32),
+        "grid": grid,
+        "view": grid[17:401, 33:489],  # non-contiguous partition-style view
+        "tiny": rng.standard_normal(5).astype(np.float32),
+    }
+
+
+@pytest.mark.parametrize("case", ["flat", "grid", "view", "tiny"])
+def test_striding_bit_identical_to_flattened_reference(case, rng):
+    block = _sample_blocks(rng)[case]
+    sampler = StridingSampler(rate=2.0**-9)
+    expected = _reference_striding(sampler, block)
+    actual = sampler.sample(block, rng).samples
+    np.testing.assert_array_equal(actual, expected)
+    assert actual.dtype == expected.dtype
+
+
+@pytest.mark.parametrize("case", ["flat", "grid", "view", "tiny"])
+def test_uniform_bit_identical_to_flattened_reference(case, rng):
+    block = _sample_blocks(rng)[case]
+    sampler = UniformSampler(rate=2.0**-9)
+    expected = _reference_uniform(sampler, block, np.random.default_rng(7))
+    actual = sampler.sample(block, np.random.default_rng(7)).samples
+    np.testing.assert_array_equal(actual, expected)
+
+
+def test_reduction_sweep_unchanged_on_views(rng):
+    """The reduction sweep is pure slicing; views and copies must agree."""
+    grid = rng.standard_normal((512, 512)).astype(np.float32)
+    view = grid[5:480, 9:509]
+    sampler = ReductionSampler(rate=2.0**-9)
+    np.testing.assert_array_equal(
+        sampler.sample(view, rng).samples,
+        sampler.sample(view.copy(), rng).samples,
+    )
+
+
+def test_samplers_read_views_without_flattening_copy(rng):
+    """Sampling a 2048x2048-scale view must not materialize the block."""
+    grid = np.zeros((2048, 2048), dtype=np.float32)
+    view = grid[1:, 1:]
+    assert not view.flags["C_CONTIGUOUS"]
+    import tracemalloc
+
+    tracemalloc.start()
+    StridingSampler(rate=2.0**-9).sample(view, rng)
+    UniformSampler(rate=2.0**-9).sample(view, rng)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    # The view is ~16 MiB; O(samples) reads should stay far below it.
+    assert peak < view.nbytes / 8

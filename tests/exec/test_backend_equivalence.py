@@ -1,0 +1,124 @@
+"""Serial vs pool backend equivalence: the tentpole's bit-identity proof.
+
+The backends change *where* numpy work executes, never what the simulated
+run produces.  This sweep runs every scheduling policy over a kernel set
+covering all three parallel models (plus per-channel quantization and
+tile-multiple constraints) and asserts the resulting
+:class:`~repro.core.result.ExecutionReport`s agree exactly between the
+``serial`` and ``pool`` backends: outputs (hence MAPE), makespan, energy,
+work accounting, and the full decision log -- clean and under a
+chaos-style fault plan.  A cached pool run is also pinned against an
+uncached serial run, which is the cache's bit-identity guarantee.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import PartitionConfig
+from repro.core.runtime import RuntimeConfig, SHMTRuntime
+from repro.core.schedulers.base import make_scheduler, scheduler_names
+from repro.devices.platform import jetson_nano_platform
+from repro.exec.cache import ResultCache
+from repro.exec.backends import make_backend
+from repro.faults import (
+    DeviceDeath,
+    FaultPlan,
+    OutputCorruption,
+    Straggler,
+    TransientFaults,
+)
+from repro.workloads.generator import generate
+
+#: One kernel per parallel model, plus channel quantization (blackscholes)
+#: and tile-multiple constraints (dct8x8).
+KERNELS = (
+    ("sobel", (128, 128)),       # TILE + halo
+    ("fft", (128, 128)),         # ROWS
+    ("histogram", 128 * 128),    # VECTOR reduction partials
+    ("blackscholes", 128 * 128),  # VECTOR + channel_axis quantization
+    ("dct8x8", (128, 128)),      # TILE with block-multiple constraint
+)
+
+#: Policies with no legal recovery target for a device death (as in
+#: scripts/chaos_check.py / obs_check.py).
+SINGLE_DEVICE = {"gpu-baseline", "edge-tpu-only"}
+
+CHAOS_POLICIES = ("QAWS-TS", "work-stealing", "heft-static", "gpu-baseline")
+
+
+def _chaos_plan(kill_gpu: bool) -> FaultPlan:
+    return FaultPlan(
+        transient=(TransientFaults("*", probability=0.05),),
+        deaths=(DeviceDeath("gpu0", at_time=5e-4),) if kill_gpu else (),
+        stragglers=(Straggler("tpu0", slowdown=8.0, start=2e-4),),
+        corruption=(OutputCorruption("cpu0", probability=0.3),),
+    )
+
+
+def _run(policy, kernel, size, backend, plan=None, cache=None):
+    config = RuntimeConfig(
+        partition=PartitionConfig(target_partitions=16, page_bytes=1024),
+        fault_plan=plan,
+        observe=True,
+    )
+    runtime = SHMTRuntime(jetson_nano_platform(), make_scheduler(policy), config)
+    runtime.backend = make_backend(backend, jobs=4, cache=cache)
+    return runtime.execute(generate(kernel, size=size, seed=7))
+
+
+def _assert_reports_identical(a, b):
+    np.testing.assert_array_equal(a.output, b.output)
+    assert a.output.dtype == b.output.dtype
+    assert a.makespan == b.makespan
+    assert a.energy.total_joules == b.energy.total_joules
+    assert a.work_items == b.work_items
+    assert a.steal_count == b.steal_count
+    assert a.retry_count == b.retry_count
+    assert a.requeue_count == b.requeue_count
+    assert a.degraded == b.degraded
+    assert len(a.fault_events) == len(b.fault_events)
+    assert a.metrics is not None and b.metrics is not None
+    assert a.metrics.decisions.to_dicts() == b.metrics.decisions.to_dicts()
+
+
+@pytest.mark.parametrize("policy", scheduler_names())
+@pytest.mark.parametrize("kernel,size", KERNELS)
+def test_serial_and_pool_reports_identical(policy, kernel, size):
+    serial = _run(policy, kernel, size, "serial")
+    pool = _run(policy, kernel, size, "pool")
+    _assert_reports_identical(serial, pool)
+
+
+@pytest.mark.parametrize("policy", CHAOS_POLICIES)
+def test_serial_and_pool_identical_under_chaos(policy):
+    kill_gpu = policy not in SINGLE_DEVICE
+    plan = _chaos_plan(kill_gpu=kill_gpu)
+    serial = _run(policy, "sobel", (128, 128), "serial", plan=plan)
+    pool = _run(policy, "sobel", (128, 128), "pool", plan=plan)
+    if kill_gpu:
+        assert serial.faulted  # the death guarantees the plan fired
+    _assert_reports_identical(serial, pool)
+
+
+@pytest.mark.parametrize("kernel,size", KERNELS)
+def test_cached_pool_identical_to_uncached_serial(kernel, size):
+    """A cold+warm cached pool run reproduces the uncached serial reports."""
+    serial = _run("QAWS-TS", kernel, size, "serial")
+    cache = ResultCache()
+    cold = _run("QAWS-TS", kernel, size, "pool", cache=cache)
+    warm = _run("QAWS-TS", kernel, size, "pool", cache=cache)
+    _assert_reports_identical(serial, cold)
+    _assert_reports_identical(serial, warm)
+    assert cache.stats.hits > 0  # the warm run actually hit
+
+
+def test_cross_policy_cache_sharing_stays_identical():
+    """Exact-device blocks computed under one policy satisfy another policy
+    without changing that policy's report."""
+    cache = ResultCache()
+    _run("work-stealing", "sobel", (128, 128), "serial", cache=cache)
+    hits_before = cache.stats.hits
+    uncached = _run("even-distribution", "sobel", (128, 128), "serial")
+    shared = _run("even-distribution", "sobel", (128, 128), "serial", cache=cache)
+    _assert_reports_identical(uncached, shared)
+    assert cache.stats.hits > hits_before

@@ -1,0 +1,116 @@
+"""Unit tests for the serial/pool/process compute backends."""
+
+import numpy as np
+import pytest
+
+from repro.devices.gpu import GPUDevice
+from repro.exec.backends import (
+    PoolBackend,
+    SerialBackend,
+    backend_names,
+    default_jobs,
+    make_backend,
+)
+from repro.exec.cache import ResultCache
+from repro.exec.task import ComputeTask
+
+
+def _double(block, _ctx):
+    return block * np.float32(2.0)
+
+
+def _task(block, compute=_double, **kwargs):
+    defaults = dict(device=GPUDevice(), ctx=None, kernel="double", hlop_id=0)
+    defaults.update(kwargs)
+    return ComputeTask(compute=compute, block=block, **defaults)
+
+
+@pytest.fixture
+def block(rng):
+    return rng.standard_normal(512).astype(np.float32)
+
+
+def test_backend_registry():
+    assert backend_names() == ["pool", "process", "serial"]
+    with pytest.raises(KeyError):
+        make_backend("gpu-cluster")
+    assert default_jobs() >= 2
+
+
+@pytest.mark.parametrize("name", ["serial", "pool", "process"])
+def test_every_backend_computes_the_same_result(name, block):
+    backend = make_backend(name, jobs=2)
+    handle = backend.submit(_task(block))
+    np.testing.assert_array_equal(handle.result(), block * 2.0)
+    assert not handle.cached
+
+
+@pytest.mark.parametrize("name", ["serial", "pool"])
+def test_cache_hit_skips_recompute(name, block):
+    cache = ResultCache()
+    backend = make_backend(name, jobs=2, cache=cache)
+    first = backend.submit(_task(block))
+    np.testing.assert_array_equal(first.result(), block * 2.0)
+    second = backend.submit(_task(block.copy()))
+    assert second.cached
+    assert second.result() is first.result()
+    assert cache.stats.hits == 1
+
+
+def test_uncacheable_task_still_runs(block):
+    cache = ResultCache()
+    backend = SerialBackend(cache=cache)
+    handle = backend.submit(_task(block, compute=lambda b, c: b + 1.0))
+    np.testing.assert_array_equal(handle.result(), block + 1.0)
+    assert len(cache) == 0  # nothing stored under a None key
+
+
+def test_handle_result_is_idempotent(block):
+    backend = PoolBackend(jobs=2)
+    handle = backend.submit(_task(block))
+    assert handle.result() is handle.result()
+
+
+def test_pool_inflight_dedup_returns_shared_future(block):
+    """Two submissions of the same key while in flight share one future."""
+    import threading
+
+    release = threading.Event()
+
+    def slow_double(b, _ctx):
+        release.wait(timeout=5.0)
+        return b * np.float32(2.0)
+
+    slow_double.__module__ = _double.__module__
+    slow_double.__qualname__ = "slow_double_inflight_test"
+
+    cache = ResultCache()
+    backend = PoolBackend(jobs=2, cache=cache)
+    try:
+        a = backend.submit(_task(block, compute=slow_double))
+        b = backend.submit(_task(block.copy(), compute=slow_double))
+    finally:
+        release.set()
+    np.testing.assert_array_equal(a.result(), block * 2.0)
+    np.testing.assert_array_equal(b.result(), block * 2.0)
+    # Only one worker actually computed; the cache saw one store.
+    assert cache.stats.stores == 1
+
+
+def test_pool_results_identical_to_serial_for_seeded_noise(block):
+    """Approximate-path tasks carry explicit seeds: workers can't diverge."""
+    from repro.devices.edgetpu import EdgeTPUDevice
+
+    serial = SerialBackend()
+    pool = PoolBackend(jobs=4)
+    task = dict(
+        device=EdgeTPUDevice(),
+        compute=_double,
+        ctx=None,
+        error_scale=0.1,
+        seed=1234,
+        kernel="double",
+    )
+    a = serial.submit(ComputeTask(block=block, **task)).result()
+    b = pool.submit(ComputeTask(block=block.copy(), **task)).result()
+    np.testing.assert_array_equal(a, b)

@@ -1,0 +1,126 @@
+"""Unit tests for the content-addressed result cache."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.exec.cache import ResultCache, result_cache
+
+
+def _arr(n, value=1.0):
+    return np.full(n, value, dtype=np.float32)
+
+
+def test_miss_then_hit_round_trip():
+    cache = ResultCache()
+    assert cache.get("k") is None
+    stored = cache.put("k", _arr(16))
+    hit = cache.get("k")
+    assert hit is stored
+    np.testing.assert_array_equal(hit, _arr(16))
+    assert cache.stats.misses == 1 and cache.stats.hits == 1
+    assert cache.stats.stores == 1
+
+
+def test_none_key_passthrough():
+    cache = ResultCache()
+    assert cache.get(None) is None
+    out = cache.put(None, _arr(4))
+    np.testing.assert_array_equal(out, _arr(4))
+    assert len(cache) == 0
+    # key=None is not counted as a miss: the task was uncacheable.
+    assert cache.stats.misses == 0
+
+
+def test_entries_are_read_only():
+    cache = ResultCache()
+    stored = cache.put("k", _arr(8))
+    with pytest.raises(ValueError):
+        stored[0] = 99.0
+    with pytest.raises(ValueError):
+        cache.get("k")[0] = 99.0
+
+
+def test_put_copies_so_caller_mutation_cannot_poison():
+    cache = ResultCache()
+    original = _arr(8)
+    cache.put("k", original)
+    original[:] = -1.0
+    np.testing.assert_array_equal(cache.get("k"), _arr(8))
+
+
+def test_first_store_wins_for_duplicate_keys():
+    cache = ResultCache()
+    first = cache.put("k", _arr(8, 1.0))
+    second = cache.put("k", _arr(8, 2.0))
+    assert second is first
+    np.testing.assert_array_equal(cache.get("k"), _arr(8, 1.0))
+
+
+def test_lru_eviction_over_budget():
+    entry_bytes = _arr(256).nbytes
+    cache = ResultCache(max_bytes=3 * entry_bytes)
+    for i in range(4):
+        cache.put(f"k{i}", _arr(256, float(i)))
+        cache.get(f"k{i}")
+    assert len(cache) == 3
+    assert cache.stats.evictions == 1
+    assert cache.get("k0") is None  # the oldest fell out
+    assert cache.get("k3") is not None
+    assert cache.stats.current_bytes == 3 * entry_bytes
+
+
+def test_oversized_result_not_stored_but_frozen():
+    cache = ResultCache(max_bytes=64)
+    out = cache.put("big", _arr(1024))
+    assert not out.flags.writeable
+    assert len(cache) == 0
+
+
+def test_clear_resets_everything():
+    cache = ResultCache()
+    cache.put("k", _arr(8))
+    cache.get("k")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats.hits == 0 and cache.stats.stores == 0
+    assert cache.stats.current_bytes == 0
+
+
+def test_hit_rate_and_as_dict():
+    cache = ResultCache()
+    cache.put("k", _arr(8))
+    cache.get("k")
+    cache.get("absent")
+    stats = cache.stats.as_dict()
+    assert stats["hit_rate"] == pytest.approx(0.5)
+    assert stats["hit_bytes"] == _arr(8).nbytes
+
+
+def test_thread_safety_under_contention():
+    cache = ResultCache(max_bytes=64 * 1024)
+    errors = []
+
+    def worker(tid):
+        try:
+            for i in range(200):
+                key = f"k{(tid + i) % 16}"
+                if cache.get(key) is None:
+                    cache.put(key, _arr(64, float(i)))
+        except Exception as exc:  # pragma: no cover - only on failure
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    total = cache.stats.hits + cache.stats.misses
+    assert total == 8 * 200
+
+
+def test_global_cache_is_a_singleton():
+    assert result_cache() is result_cache()
+    assert isinstance(result_cache(), ResultCache)

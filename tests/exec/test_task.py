@@ -1,0 +1,132 @@
+"""Unit tests for compute-task fingerprints and cache keys."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.devices.cpu import CPUDevice
+from repro.devices.edgetpu import EdgeTPUDevice
+from repro.devices.gpu import GPUDevice
+from repro.exec.task import (
+    ComputeTask,
+    fingerprint_array,
+    fingerprint_value,
+)
+
+
+def _double(block, _ctx):
+    return block * np.float32(2.0)
+
+
+def _triple(block, _ctx):
+    return block * np.float32(3.0)
+
+
+def _task(device, block, **kwargs):
+    defaults = dict(compute=_double, ctx=None, kernel="double", hlop_id=0)
+    defaults.update(kwargs)
+    return ComputeTask(device=device, block=block, **defaults)
+
+
+# ------------------------------------------------------------- fingerprints
+
+
+def test_fingerprint_array_content_addressed(rng):
+    a = rng.standard_normal(256).astype(np.float32)
+    assert fingerprint_array(a) == fingerprint_array(a.copy())
+    b = a.copy()
+    b[17] += 1.0
+    assert fingerprint_array(a) != fingerprint_array(b)
+
+
+def test_fingerprint_array_layout_independent(rng):
+    grid = rng.standard_normal((64, 64)).astype(np.float32)
+    view = grid[3:40, 5:60]
+    assert fingerprint_array(view) == fingerprint_array(view.copy())
+
+
+def test_fingerprint_array_dtype_and_shape_matter():
+    data = np.arange(12, dtype=np.float32)
+    assert fingerprint_array(data) != fingerprint_array(data.astype(np.float64))
+    assert fingerprint_array(data) != fingerprint_array(data.reshape(3, 4))
+
+
+def test_fingerprint_value_common_context_types(rng):
+    @dataclass
+    class Ctx:
+        alpha: float
+        table: np.ndarray
+
+    ctx = Ctx(alpha=0.5, table=rng.standard_normal(8))
+    fp = fingerprint_value(ctx)
+    assert fp is not None
+    assert fp == fingerprint_value(Ctx(alpha=0.5, table=ctx.table.copy()))
+    assert fp != fingerprint_value(Ctx(alpha=0.6, table=ctx.table))
+    assert fingerprint_value({"b": 1, "a": (2.0, "x")}) == fingerprint_value(
+        {"a": (2.0, "x"), "b": 1}
+    )
+
+
+def test_fingerprint_value_rejects_opaque_objects():
+    class Opaque:
+        pass
+
+    assert fingerprint_value(Opaque()) is None
+    assert fingerprint_value([1, Opaque()]) is None
+    assert fingerprint_value({"k": Opaque()}) is None
+
+
+def test_fingerprint_value_distinguishes_bool_from_int():
+    assert fingerprint_value(True) != fingerprint_value(1)
+
+
+# --------------------------------------------------------------- cache keys
+
+
+def test_run_matches_direct_device_execution(rng):
+    block = rng.standard_normal(128).astype(np.float32)
+    task = _task(GPUDevice(), block)
+    np.testing.assert_array_equal(
+        task.run(), GPUDevice().execute_numeric(_double, block, None)
+    )
+
+
+def test_exact_device_key_ignores_approximation_knobs(rng):
+    block = rng.standard_normal(64).astype(np.float32)
+    base = _task(GPUDevice(), block, seed=1, error_scale=0.1)
+    other = _task(GPUDevice(), block, seed=99, error_scale=0.7)
+    assert base.cache_key() == other.cache_key()
+
+
+def test_approximate_device_key_includes_seed(rng):
+    block = rng.standard_normal(64).astype(np.float32)
+    a = _task(EdgeTPUDevice(), block, seed=1)
+    b = _task(EdgeTPUDevice(), block, seed=2)
+    assert a.cache_key() != b.cache_key()
+
+
+def test_key_varies_with_device_and_compute_and_block(rng):
+    block = rng.standard_normal(64).astype(np.float32)
+    keys = {
+        _task(GPUDevice(), block).cache_key(),
+        _task(CPUDevice(), block).cache_key(),
+        _task(GPUDevice(), block, compute=_triple).cache_key(),
+        _task(GPUDevice(), block + 1.0).cache_key(),
+    }
+    assert None not in keys
+    assert len(keys) == 4
+
+
+def test_unfingerprintable_task_is_uncacheable(rng):
+    block = rng.standard_normal(64).astype(np.float32)
+    assert _task(GPUDevice(), block, compute=lambda b, c: b).cache_key() is None
+    assert _task(GPUDevice(), block, ctx=object()).cache_key() is None
+
+
+def test_key_is_stable_across_processes_style(rng):
+    """Keys contain no id()/repr-of-object components: rebuilt task, same key."""
+    block = rng.standard_normal(64).astype(np.float32)
+    assert _task(GPUDevice(), block).cache_key() == _task(
+        GPUDevice(), block.copy()
+    ).cache_key()

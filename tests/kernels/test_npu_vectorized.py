@@ -1,0 +1,162 @@
+"""Bit-identity pins for the vectorized NPU hot paths.
+
+PR 3 replaced the per-channel Python loops in ``_round_trip_channels`` and
+``_approximation_residual`` with whole-array operations.  These tests keep
+the *reference* (pre-vectorization) implementations inline and assert the
+vectorized paths produce bit-identical float32 outputs on every layout the
+runtime produces -- including non-contiguous partition views.
+"""
+
+import numpy as np
+import pytest
+
+from repro.devices.precision import round_trip_affine, round_trip_affine_channels
+from repro.kernels.npu import (
+    CALIBRATION_PERCENTILE,
+    _channel_spreads,
+    _round_trip_channels,
+    npu_execute,
+)
+
+
+# --------------------------------------------------------------- references
+# The exact pre-vectorization implementations, kept verbatim as oracles.
+
+
+def _reference_round_trip_channels(data, channel_axis):
+    if channel_axis is None or data.ndim < 2:
+        return round_trip_affine(data, bits=8, clip_percentile=CALIBRATION_PERCENTILE)
+    moved = np.moveaxis(data, channel_axis, 0)
+    quantized = np.stack(
+        [
+            round_trip_affine(channel, bits=8, clip_percentile=CALIBRATION_PERCENTILE)
+            for channel in moved
+        ]
+    )
+    return np.moveaxis(quantized, 0, channel_axis)
+
+
+def _reference_spread(values):
+    spread = float(np.std(values))
+    if spread == 0.0:
+        spread = float(np.max(np.abs(values))) if values.size else 0.0
+    return spread or 1.0
+
+
+def _reference_channel_spreads(moved):
+    return np.asarray([_reference_spread(c) for c in moved], dtype=np.float32)
+
+
+# ------------------------------------------------------------------- arrays
+
+
+def _channel_cases(rng):
+    blackscholes = np.stack(
+        [
+            rng.uniform(5, 500, 4096),
+            rng.uniform(0.2, 2.0, 4096),
+            rng.uniform(0.01, 0.1, 4096),
+            rng.uniform(0.05, 0.9, 4096),
+            rng.uniform(5, 500, 4096),
+        ]
+    ).astype(np.float32)
+    hotspot = rng.normal(323.0, 5.0, (2, 64, 64)).astype(np.float32)
+    constant = np.ones((3, 100), dtype=np.float32)
+    constant[1] *= 0.0
+    denormal = np.zeros((2, 50), dtype=np.float32)
+    denormal[0, 0] = 1e-42  # span/levels underflows float32: no-op channel
+    nearly_flat = np.full((2, 1000), 7.0, dtype=np.float32)
+    nearly_flat[0, :3] = [6.0, 8.0, 7.0]  # percentile low==high fallback
+    return {
+        "blackscholes": blackscholes,
+        "hotspot": hotspot,
+        "constant": constant,
+        "denormal": denormal,
+        "nearly_flat": nearly_flat,
+    }
+
+
+@pytest.mark.parametrize(
+    "case", ["blackscholes", "hotspot", "constant", "denormal", "nearly_flat"]
+)
+def test_round_trip_channels_bit_identical(case, rng):
+    data = _channel_cases(rng)[case]
+    expected = _reference_round_trip_channels(data, 0)
+    actual = _round_trip_channels(data, 0)
+    assert actual.dtype == expected.dtype
+    np.testing.assert_array_equal(actual, expected)
+
+
+def test_round_trip_channels_bit_identical_on_views(rng):
+    """Partition dispatch hands the NPU non-contiguous views of the input."""
+    full = rng.uniform(0, 250, (5, 4096)).astype(np.float32)
+    view = full[:, 512:1536]  # a column-sliced HLOP block: not contiguous
+    assert not view.flags["C_CONTIGUOUS"]
+    np.testing.assert_array_equal(
+        _round_trip_channels(view, 0), _reference_round_trip_channels(view, 0)
+    )
+
+
+def test_round_trip_channels_nonzero_axis(rng):
+    data = rng.normal(0, 1, (16, 16, 3)).astype(np.float32)
+    np.testing.assert_array_equal(
+        _round_trip_channels(data, 2), _reference_round_trip_channels(data, 2)
+    )
+
+
+def test_round_trip_affine_channels_matches_stacked_scalar_path(rng):
+    data = rng.uniform(-10, 10, (4, 33, 9)).astype(np.float32)
+    for pct in (None, 99.5, 95.0):
+        expected = np.stack(
+            [round_trip_affine(c, bits=8, clip_percentile=pct) for c in data]
+        )
+        np.testing.assert_array_equal(
+            round_trip_affine_channels(data, bits=8, clip_percentile=pct), expected
+        )
+
+
+def test_round_trip_affine_channels_empty_and_1d():
+    empty = np.zeros((3, 0), dtype=np.float32)
+    out = round_trip_affine_channels(empty, bits=8, clip_percentile=99.5)
+    assert out.shape == (3, 0)
+    scalars = np.asarray([1.5, -2.5], dtype=np.float32)
+    np.testing.assert_array_equal(
+        round_trip_affine_channels(scalars, bits=8, clip_percentile=99.5), scalars
+    )
+
+
+@pytest.mark.parametrize(
+    "case", ["blackscholes", "hotspot", "constant", "denormal", "nearly_flat"]
+)
+def test_channel_spreads_bit_identical(case, rng):
+    moved = _channel_cases(rng)[case]
+    np.testing.assert_array_equal(
+        _channel_spreads(moved), _reference_channel_spreads(moved)
+    )
+
+
+def test_npu_execute_pinned_end_to_end(rng):
+    """Full surrogate path on the per-channel kernels, contiguous and not."""
+
+    def scale_rows(block, _ctx):
+        return block * np.float32(2.0)
+
+    full = np.stack(
+        [rng.uniform(5, 500, 2048), rng.uniform(0.01, 0.1, 2048)]
+    ).astype(np.float32)
+    for block in (full, full[:, 300:1700]):
+        out = npu_execute(
+            scale_rows, block, None, error_scale=0.05, seed=7, channel_axis=0
+        )
+        quantized = _reference_round_trip_channels(
+            np.asarray(block, dtype=np.float32), 0
+        )
+        exact = scale_rows(quantized, None)
+        rng_ref = np.random.default_rng(7)
+        noise = rng_ref.standard_normal(exact.shape).astype(np.float32)
+        spreads = _reference_channel_spreads(exact)
+        residual = 0.05 * spreads.reshape(2, 1) * noise
+        expected = _reference_round_trip_channels(
+            (exact + residual).astype(np.float32), 0
+        )
+        np.testing.assert_array_equal(out, expected)
