@@ -54,12 +54,12 @@ def _leg_settings(args, backend: str, cache: bool) -> ExperimentSettings:
     if args.quick:
         settings.size = 512 * 512
     settings.runtime_config = RuntimeConfig(
-        backend=backend, jobs=args.jobs, cache=cache
+        backend=backend, jobs=args.jobs, cache=cache, validate=args.validate
     )
     return settings
 
 
-def _phase_profile(backend: str, cache: bool, jobs, seed: int) -> dict:
+def _phase_profile(backend: str, cache: bool, jobs, seed: int, validate: bool = False) -> dict:
     """Simulated per-(phase, resource) seconds of one observed QAWS-TS run."""
     config = RuntimeConfig(
         partition=PartitionConfig(target_partitions=16),
@@ -67,6 +67,7 @@ def _phase_profile(backend: str, cache: bool, jobs, seed: int) -> dict:
         backend=backend,
         jobs=jobs,
         cache=cache,
+        validate=validate,
     )
     runtime = SHMTRuntime(jetson_nano_platform(), make_scheduler("QAWS-TS"), config)
     report = runtime.execute(generate("sobel", size=(256, 256), seed=seed))
@@ -89,7 +90,7 @@ def _run_leg(args, name: str, backend: str, cache: bool, jobs) -> dict:
         "jobs": jobs,
         "wall_seconds": round(wall, 3),
         "experiments": {k: round(v, 3) for k, v in timings.items()},
-        "phase_profile": _phase_profile(backend, cache, jobs, args.seed),
+        "phase_profile": _phase_profile(backend, cache, jobs, args.seed, args.validate),
     }
     if cache:
         leg["cache_stats"] = result_cache().stats.as_dict()
@@ -160,6 +161,9 @@ def main() -> int:
                         help="compare against a recorded baseline and gate")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed speedup-ratio regression vs baseline")
+    parser.add_argument("--validate", action="store_true",
+                        help="measure with the runtime invariant checker on "
+                             "(repro.verify); off for the gated baseline")
     args = parser.parse_args()
 
     baseline = None

@@ -8,7 +8,12 @@ runtime still delivers a complete, finite result.
 
 Run after any change to the runtime's scheduling or recovery paths:
 
-    PYTHONPATH=src python scripts/chaos_check.py [policy ...]
+    PYTHONPATH=src python scripts/chaos_check.py [--validate] [policy ...]
+
+``--validate`` additionally runs every policy under the runtime invariant
+checker (``repro.verify``), so recovery paths that silently corrupt the
+run's accounting -- a re-queued HLOP aggregated twice, a steal that loses
+a queue entry -- fail the check even when the output looks fine.
 
 Exits non-zero if any policy fails to recover.
 """
@@ -48,11 +53,12 @@ def chaos_plan(kill_gpu: bool) -> FaultPlan:
     )
 
 
-def check(policy: str) -> bool:
+def check(policy: str, validate: bool = False) -> bool:
     call = generate("sobel", size=(256, 256), seed=11)
     config = RuntimeConfig(
         partition=PartitionConfig(target_partitions=16),
         fault_plan=chaos_plan(kill_gpu=policy not in SINGLE_DEVICE),
+        validate=validate,
     )
     try:
         runtime = SHMTRuntime(jetson_nano_platform(), make_scheduler(policy), config)
@@ -73,9 +79,12 @@ def check(policy: str) -> bool:
 
 
 def main() -> None:
-    policies = sys.argv[1:] or scheduler_names()
-    print(f"chaos check: {len(policies)} policies under the canned fault plan")
-    failures = [p for p in policies if not check(p)]
+    argv = sys.argv[1:]
+    validate = "--validate" in argv
+    policies = [a for a in argv if a != "--validate"] or scheduler_names()
+    suffix = " (invariant checking on)" if validate else ""
+    print(f"chaos check: {len(policies)} policies under the canned fault plan{suffix}")
+    failures = [p for p in policies if not check(p, validate=validate)]
     if failures:
         print(f"\nFAILED: {', '.join(failures)}")
         sys.exit(1)

@@ -63,6 +63,7 @@ from repro.obs import (
     RunObserver,
     write_jsonl,
 )
+from repro.verify import InvariantViolation, RunChecker, Violation
 
 __version__ = "1.0.0"
 
@@ -106,5 +107,8 @@ __all__ = [
     "RunMetrics",
     "RunObserver",
     "write_jsonl",
+    "InvariantViolation",
+    "RunChecker",
+    "Violation",
     "__version__",
 ]

@@ -50,6 +50,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         backend=args.backend,
         jobs=args.jobs,
         cache=args.cache,
+        validate=args.validate,
     )
     baseline_runtime = SHMTRuntime(
         platform_for("gpu-baseline"), make_scheduler("gpu-baseline"), config

@@ -50,7 +50,7 @@ from repro.devices.base import Device
 from repro.devices.energy import EnergyBreakdown
 from repro.devices.platform import Platform
 from repro.exec.backends import TaskHandle, make_backend
-from repro.exec.cache import result_cache
+from repro.exec.cache import CacheIntegrityError, result_cache
 from repro.exec.task import ComputeTask
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
@@ -61,6 +61,7 @@ from repro.obs.recorder import NULL_RECORDER, Recorder, RunObserver
 from repro.sim.engine import Engine
 from repro.sim.events import Event, EventKind
 from repro.sim.trace import Trace
+from repro.verify.invariants import RunChecker
 
 #: HLOP count at which the calibrated SHMT overhead splits between fixed
 #: per-HLOP and per-element components (see RuntimeConfig.fixed_share).
@@ -126,6 +127,15 @@ class RuntimeConfig:
     #: (:func:`repro.exec.cache.result_cache`).  Hits are bit-identical to
     #: recomputing, so this only changes wall-clock, never results.
     cache: bool = False
+    #: Run the :mod:`repro.verify` invariant checker over this run: HLOP
+    #: conservation, tiling coverage, clock monotonicity, span containment
+    #: and per-device serialization, queue conservation across steals, the
+    #: energy bound, and cache fingerprint verification.  Violations are
+    #: mirrored into the run's recorder and raised as
+    #: :class:`~repro.verify.invariants.InvariantViolation`.  Off by
+    #: default: the disabled path is one ``is None`` test per hook site
+    #: and the run is bit-identical to an unchecked one.
+    validate: bool = False
 
 
 @dataclass
@@ -200,6 +210,7 @@ class SHMTRuntime:
             self.config.backend,
             jobs=self.config.jobs,
             cache=result_cache() if self.config.cache else None,
+            validate=self.config.validate,
         )
 
     # ------------------------------------------------------------------ public
@@ -230,7 +241,10 @@ class SHMTRuntime:
                 index, call, devices, rng, next_hlop_id, obs
             )
             units.append(unit)
-        run = _BatchRun(runtime=self, units=units, devices=devices, obs=obs)
+        check = RunChecker(recorder=obs) if self.config.validate else None
+        run = _BatchRun(
+            runtime=self, units=units, devices=devices, obs=obs, check=check
+        )
         return run.execute()
 
     # ----------------------------------------------------------------- helpers
@@ -349,6 +363,7 @@ class _BatchRun:
         units: List[_CallUnit],
         devices: List[Device],
         obs: Recorder = NULL_RECORDER,
+        check: Optional[RunChecker] = None,
     ) -> None:
         self.runtime = runtime
         self.units = units
@@ -358,8 +373,20 @@ class _BatchRun:
         #: Observability sink; a shared no-op unless the config opts in,
         #: so unobserved runs never pay for telemetry.
         self.obs = obs
+        #: Invariant checker (``None`` unless the config validates); every
+        #: hook site below is gated on ``is not None`` so unchecked runs
+        #: pay a single pointer test.
+        self.check = check
+        if check is not None:
+            self.engine.clock_listener = check.observe_clock
         self.states: Dict[str, _DeviceState] = {
             d.name: _DeviceState(device=d) for d in devices
+        }
+        #: Stable platform position per device: the explicit tie-break for
+        #: victim selection, so equally loaded victims sort identically on
+        #: every backend and replay (the decision log pins this).
+        self._device_order: Dict[str, int] = {
+            d.name: position for position, d in enumerate(devices)
         }
         self.steal_count = 0
         self._hlop_units: Dict[int, _CallUnit] = {}
@@ -403,7 +430,40 @@ class _BatchRun:
                     )
         self.engine.run()
         self._charge_epilogues()
-        return self._report()
+        report = self._report()
+        if self.check is not None:
+            self._finish_validation(report)
+        return report
+
+    def _finish_validation(self, report: BatchReport) -> None:
+        """Post-run invariant audit; raises on any recorded violation.
+
+        Runs after :meth:`_report` so the audit sees exactly the artifacts
+        callers get (aggregated outputs, batch makespan, batch energy) --
+        the report's metrics snapshot shares the violation list by
+        reference, so recorded violations appear on it too.
+        """
+        self.check.check_run(
+            self.units,
+            self.trace,
+            report.makespan,
+            energy=report.energy,
+            energy_model=self.runtime.platform.energy_model,
+            devices=self.devices,
+            horizon=self.engine.now,
+        )
+        cache = self.runtime.backend.cache
+        if cache is not None:
+            try:
+                cache.self_check()
+            except CacheIntegrityError as error:
+                self.check.record(
+                    "cache-integrity",
+                    "cache",
+                    time=report.makespan,
+                    detail=str(error),
+                )
+        self.check.raise_if_violated()
 
     def _enqueue_unit(self, unit: _CallUnit) -> None:
         for hlop in unit.hlops:
@@ -411,6 +471,8 @@ class _BatchRun:
             hlop.status = HLOPStatus.QUEUED
             hlop.enqueue_time = unit.ready_time
             state.queue.append(hlop)
+            if self.check is not None:
+                self.check.on_dispatch(hlop.hlop_id, state.device.name, unit.ready_time)
             if self.obs.enabled:
                 self.obs.decision(
                     DecisionKind.DISPATCH,
@@ -555,10 +617,13 @@ class _BatchRun:
           stealing converges to.
         """
         thief = state.device
+        # Most-loaded first; ties break on stable platform device order.
+        # Insertion-ordered dicts made this deterministic by accident --
+        # the explicit key guarantees serial and pool backends (and any
+        # future state-store change) replay identical steal decisions.
         victims = sorted(
             (s for s in self.states.values() if s is not state and s.queue and not s.dead),
-            key=lambda s: len(s.queue),
-            reverse=True,
+            key=lambda s: (-len(s.queue), self._device_order[s.device.name]),
         )
         for victim in victims:
             eligible = [
@@ -594,6 +659,8 @@ class _BatchRun:
             # Take from the tail: work farthest from execution on the victim.
             taken_positions = eligible[-take:]
             stolen = [victim.queue[position] for position in taken_positions]
+            victim_before = len(victim.queue)
+            thief_before = len(state.queue)
             for position in reversed(taken_positions):
                 del victim.queue[position]
             now = self.engine.now
@@ -621,6 +688,17 @@ class _BatchRun:
             )
             first, rest = stolen[0], stolen[1:]
             state.queue.extend(rest)
+            if self.check is not None:
+                self.check.on_steal(
+                    thief.name,
+                    victim.device.name,
+                    taken=len(stolen),
+                    victim_before=victim_before,
+                    victim_after=len(victim.queue),
+                    thief_before=thief_before,
+                    thief_after=len(state.queue),
+                    time=now,
+                )
             return first
         return None
 
@@ -673,6 +751,13 @@ class _BatchRun:
         victim.queue.append(victim_child)
         self.steal_count += 1
         unit.steal_count += 1
+        if self.check is not None:
+            self.check.on_split(
+                parent.hlop_id,
+                [thief_child.hlop_id, victim_child.hlop_id],
+                state.device.name,
+                now,
+            )
         if self.obs.enabled:
             self.obs.decision(
                 DecisionKind.SPLIT,
@@ -874,6 +959,8 @@ class _BatchRun:
         unit.items_by_class[cls] = unit.items_by_class.get(cls, 0) + hlop.n_items
         state.running = False
         hlop.mark_done(device.name, start, finish, result)
+        if self.check is not None:
+            self.check.on_complete(hlop.hlop_id, device.name, start, finish, unit.index)
         if self.obs.enabled:
             self.obs.phase("compute", device.name, finish - start)
             self.obs.decision(
@@ -1193,6 +1280,8 @@ class _BatchRun:
         unit.requeue_count += 1
         self.requeue_count += 1
         now = self.engine.now
+        if self.check is not None:
+            self.check.on_requeue(hlop.hlop_id, target.device.name, now)
         self._record(
             FaultKind.REQUEUE,
             origin.device.name,
@@ -1325,12 +1414,22 @@ class _BatchRun:
             raise RuntimeError(f"HLOPs never executed: {incomplete}")
         spec = unit.spec
         if spec.reduces:
-            partials = [h.result for h in sorted(unit.hlops, key=lambda h: h.hlop_id)]
+            ordered = sorted(unit.hlops, key=lambda h: h.hlop_id)
+            if self.check is not None:
+                for hlop in ordered:
+                    self.check.on_aggregate(
+                        hlop.hlop_id, unit.index, "host", unit.finish_time
+                    )
+            partials = [h.result for h in ordered]
             return np.asarray(spec.merge(partials), dtype=np.float32)
         first = unit.hlops[0]
         out = np.empty(self._output_shape(unit, first.result), dtype=np.float32)
         for hlop in unit.hlops:
             out[(Ellipsis,) + hlop.partition.out_slices] = hlop.result
+            if self.check is not None:
+                self.check.on_aggregate(
+                    hlop.hlop_id, unit.index, "host", unit.finish_time
+                )
         return out
 
     def _output_shape(self, unit: _CallUnit, first_result: np.ndarray) -> tuple:

@@ -101,7 +101,15 @@ def _take_flat(block: np.ndarray, indices: np.ndarray) -> np.ndarray:
 
 
 class StridingSampler(Sampler):
-    """Algorithm 3: S_i = D[i * s] over the flattened partition."""
+    """Algorithm 3: S_i = D[offset + i * s] over the flattened partition.
+
+    The sample is *centered*: starting at index 0 with ``s = size // count``
+    leaves the last ``size mod count`` elements unsampled every time, which
+    systematically biases range/std criticality low on blocks whose
+    extremes sit in that tail (and the page-granular planner makes ragged
+    tails common).  Splitting the uncovered span evenly between the two
+    ends caps the blind spot at half a stride per side.
+    """
 
     name = "striding"
     fixed_cost = 1e-6
@@ -112,7 +120,8 @@ class StridingSampler(Sampler):
         if count == 0:
             return block.reshape(-1)[:0]
         stride = max(1, block.size // count)
-        indices = np.arange(count, dtype=np.intp) * stride
+        offset = (block.size - 1 - (count - 1) * stride) // 2
+        indices = offset + np.arange(count, dtype=np.intp) * stride
         return _take_flat(block, indices)
 
 
@@ -156,7 +165,17 @@ class ReductionSampler(Sampler):
         fraction = count / block.size
         step = max(1, int(round(fraction ** (-1.0 / block.ndim))))
         sweep = block[tuple(slice(None, None, step) for _ in range(block.ndim))]
-        return sweep.reshape(-1)
+        flat = sweep.reshape(-1)
+        if flat.size > count:
+            # Per-axis ceil division realizes up to ~2^ndim x `count` points
+            # on ragged or 1-D blocks (each axis of extent e contributes
+            # ceil(e / step) points, and the rounding error compounds per
+            # axis).  `count` is the cap the cost model and the paper's
+            # density argument are built on, so enforce it: thin the sweep
+            # itself, which keeps the samples spread over the full block.
+            thin = -(-flat.size // count)
+            flat = flat[::thin]
+        return flat
 
 
 SAMPLERS: Dict[str, Type[Sampler]] = {

@@ -88,22 +88,37 @@ class FutureHandle(TaskHandle):
 
 
 class ExecBackend(abc.ABC):
-    """Executes pure compute tasks, optionally through a result cache."""
+    """Executes pure compute tasks, optionally through a result cache.
+
+    With ``validate=True`` every cache interaction runs in audited mode:
+    stores record a content fingerprint and hits are re-hashed against it
+    (:class:`~repro.exec.cache.CacheIntegrityError` on mismatch).  Off by
+    default -- the unvalidated path never computes a hash.
+    """
 
     name: str = "base"
 
-    def __init__(self, cache: Optional[ResultCache] = None) -> None:
+    def __init__(
+        self, cache: Optional[ResultCache] = None, validate: bool = False
+    ) -> None:
         self.cache = cache
+        self.validate = validate
 
     @abc.abstractmethod
     def submit(self, task: ComputeTask) -> TaskHandle:
         """Start (or resolve) ``task``; never blocks on the computation."""
 
+    def _lookup(self, key: Optional[str]) -> Optional[np.ndarray]:
+        """Consult the cache (verifying the hit's fingerprint if validating)."""
+        if self.cache is None:
+            return None
+        return self.cache.get(key, verify=self.validate)
+
     def _finish(self, key: Optional[str], result: np.ndarray) -> np.ndarray:
         """Publish a computed result into the cache (freezing it)."""
         if self.cache is None:
             return result
-        return self.cache.put(key, result)
+        return self.cache.put(key, result, fingerprint=self.validate)
 
 
 class SerialBackend(ExecBackend):
@@ -113,10 +128,9 @@ class SerialBackend(ExecBackend):
 
     def submit(self, task: ComputeTask) -> TaskHandle:
         key = task.cache_key() if self.cache is not None else None
-        if self.cache is not None:
-            hit = self.cache.get(key)
-            if hit is not None:
-                return ResolvedHandle(hit, cached=True)
+        hit = self._lookup(key)
+        if hit is not None:
+            return ResolvedHandle(hit, cached=True)
         return ResolvedHandle(self._finish(key, task.run()))
 
 
@@ -153,9 +167,12 @@ class PoolBackend(ExecBackend):
     kind = "thread"
 
     def __init__(
-        self, jobs: Optional[int] = None, cache: Optional[ResultCache] = None
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        validate: bool = False,
     ) -> None:
-        super().__init__(cache)
+        super().__init__(cache, validate=validate)
         self.jobs = jobs or default_jobs()
         self._inflight: Dict[str, "Future[np.ndarray]"] = {}
         self._inflight_lock = threading.Lock()
@@ -164,10 +181,9 @@ class PoolBackend(ExecBackend):
 
     def submit(self, task: ComputeTask) -> TaskHandle:
         key = task.cache_key() if self.cache is not None else None
-        if self.cache is not None:
-            hit = self.cache.get(key)
-            if hit is not None:
-                return ResolvedHandle(hit, cached=True)
+        hit = self._lookup(key)
+        if hit is not None:
+            return ResolvedHandle(hit, cached=True)
         if key is not None:
             with self._inflight_lock:
                 pending = self._inflight.get(key)
@@ -219,12 +235,14 @@ class ProcessBackend(PoolBackend):
     kind = "process"
 
 
-BackendFactory = Callable[[Optional[int], Optional[ResultCache]], ExecBackend]
+BackendFactory = Callable[[Optional[int], Optional[ResultCache], bool], ExecBackend]
 
 _BACKENDS: Dict[str, BackendFactory] = {
-    "serial": lambda jobs, cache: SerialBackend(cache),
-    "pool": lambda jobs, cache: PoolBackend(jobs, cache),
-    "process": lambda jobs, cache: ProcessBackend(jobs, cache),
+    "serial": lambda jobs, cache, validate: SerialBackend(cache, validate=validate),
+    "pool": lambda jobs, cache, validate: PoolBackend(jobs, cache, validate=validate),
+    "process": lambda jobs, cache, validate: ProcessBackend(
+        jobs, cache, validate=validate
+    ),
 }
 
 
@@ -233,7 +251,10 @@ def backend_names() -> List[str]:
 
 
 def make_backend(
-    name: str, jobs: Optional[int] = None, cache: Optional[ResultCache] = None
+    name: str,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    validate: bool = False,
 ) -> ExecBackend:
     """Instantiate a backend by name (``serial``, ``pool``, ``process``)."""
     try:
@@ -242,4 +263,4 @@ def make_backend(
         raise KeyError(
             f"unknown backend {name!r}; known: {backend_names()}"
         ) from None
-    return factory(jobs, cache)
+    return factory(jobs, cache, validate)

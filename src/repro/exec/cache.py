@@ -35,7 +35,19 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.exec.task import fingerprint_array
+
 DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+
+
+class CacheIntegrityError(RuntimeError):
+    """The cache's internal accounting or a stored entry is corrupt.
+
+    Raised by :meth:`ResultCache.self_check` when the LRU index and the
+    lifetime counters disagree, and by a verified :meth:`ResultCache.get`
+    when a hit's stored content fingerprint no longer matches the entry
+    (a poisoned or aliased cache line).
+    """
 
 
 @dataclass
@@ -76,10 +88,20 @@ class ResultCache:
 
     def __post_init__(self) -> None:
         self._entries: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        #: Content fingerprint per key, maintained only for entries that
+        #: have passed through a verifying ``get``/``put`` -- the normal
+        #: path never pays for hashing.
+        self._fingerprints: Dict[str, str] = {}
         self._lock = threading.Lock()
 
-    def get(self, key: Optional[str]) -> Optional[np.ndarray]:
-        """The cached result for ``key``, or ``None`` (also for ``key=None``)."""
+    def get(self, key: Optional[str], verify: bool = False) -> Optional[np.ndarray]:
+        """The cached result for ``key``, or ``None`` (also for ``key=None``).
+
+        With ``verify=True`` the hit's content is re-hashed and compared
+        against the fingerprint recorded when it was stored; a mismatch
+        raises :class:`CacheIntegrityError` (cache-key soundness: the bytes
+        a hit serves must be the bytes the key was computed for).
+        """
         if key is None:
             return None
         with self._lock:
@@ -90,13 +112,29 @@ class ResultCache:
             self._entries.move_to_end(key)
             self.stats.hits += 1
             self.stats.hit_bytes += entry.nbytes
-            return entry
+        if verify:
+            actual = fingerprint_array(entry)
+            with self._lock:
+                expected = self._fingerprints.setdefault(key, actual)
+            if actual != expected:
+                raise CacheIntegrityError(
+                    f"cache entry for key {key!r} no longer matches its stored "
+                    f"fingerprint ({actual} != {expected}): poisoned entry"
+                )
+        return entry
 
-    def put(self, key: Optional[str], result: np.ndarray) -> np.ndarray:
+    def put(
+        self, key: Optional[str], result: np.ndarray, fingerprint: bool = False
+    ) -> np.ndarray:
         """Store ``result`` under ``key``; returns the read-only stored array.
 
-        Oversized results (bigger than the whole budget) are returned
-        frozen but not stored.
+        A put on an existing key refreshes the entry's recency (the caller
+        is about to use the returned array, which makes it the most
+        recently used line -- without this, a dedup'd re-store could leave
+        a hot entry at the LRU head to be evicted next).  Oversized results
+        (bigger than the whole budget) are returned frozen but not stored.
+        With ``fingerprint=True`` the stored entry's content hash is
+        recorded so later verified ``get`` calls can audit it.
         """
         frozen = np.asarray(result)
         if frozen.flags.writeable:
@@ -104,6 +142,7 @@ class ResultCache:
             frozen.flags.writeable = False
         if key is None:
             return frozen
+        digest = fingerprint_array(frozen) if fingerprint else None
         with self._lock:
             if key not in self._entries:
                 if frozen.nbytes > self.max_bytes:
@@ -112,15 +151,60 @@ class ResultCache:
                 self.stats.stores += 1
                 self.stats.current_bytes += frozen.nbytes
                 while self.stats.current_bytes > self.max_bytes and self._entries:
-                    _, evicted = self._entries.popitem(last=False)
+                    evicted_key, evicted = self._entries.popitem(last=False)
+                    self._fingerprints.pop(evicted_key, None)
                     self.stats.evictions += 1
                     self.stats.current_bytes -= evicted.nbytes
-            return self._entries.get(key, frozen)
+            else:
+                self._entries.move_to_end(key)
+            stored = self._entries.get(key, frozen)
+            if digest is not None and stored is frozen:
+                self._fingerprints[key] = digest
+            return stored
+
+    def self_check(self) -> None:
+        """Audit internal accounting; raise :class:`CacheIntegrityError` if broken.
+
+        Invariants: resident bytes equal the sum over stored entries,
+        entry count equals stores minus evictions, every counter is
+        non-negative, and no fingerprint outlives its entry.
+        """
+        with self._lock:
+            entries = dict(self._entries)
+            stats = CacheStats(**self.stats.__dict__)
+            orphaned = [k for k in self._fingerprints if k not in self._entries]
+        problems = []
+        actual_bytes = sum(entry.nbytes for entry in entries.values())
+        if actual_bytes != stats.current_bytes:
+            problems.append(
+                f"current_bytes={stats.current_bytes} but entries hold {actual_bytes}"
+            )
+        if len(entries) != stats.stores - stats.evictions:
+            problems.append(
+                f"{len(entries)} entries resident but stores({stats.stores}) - "
+                f"evictions({stats.evictions}) = {stats.stores - stats.evictions}"
+            )
+        negatives = {
+            name: value
+            for name, value in stats.as_dict().items()
+            if name != "hit_rate" and value < 0
+        }
+        if negatives:
+            problems.append(f"negative counters: {negatives}")
+        if orphaned:
+            problems.append(f"fingerprints for evicted keys: {orphaned[:3]}")
+        for key, entry in entries.items():
+            if entry.flags.writeable:
+                problems.append(f"entry {key!r} is writeable (must be frozen)")
+                break
+        if problems:
+            raise CacheIntegrityError("; ".join(problems))
 
     def clear(self) -> None:
         """Drop every entry and reset the statistics."""
         with self._lock:
             self._entries.clear()
+            self._fingerprints.clear()
             self.stats = CacheStats()
 
     def __len__(self) -> int:

@@ -137,6 +137,7 @@ def apply_performance_args(
         backend=args.backend,
         jobs=args.jobs,
         cache=args.cache,
+        validate=args.validate,
     )
     return settings
 
@@ -160,6 +161,12 @@ def add_performance_args(parser: argparse.ArgumentParser) -> None:
         "--cache",
         action="store_true",
         help="enable the content-addressed cross-run result cache",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="run every batch under the runtime invariant checker "
+        "(repro.verify); violations abort the run",
     )
 
 

@@ -11,6 +11,8 @@ discriminator -- the schema both chaos runs and clean runs share:
 * ``decision``  -- one scheduler decision (see :mod:`repro.obs.decisions`).
 * ``fault``     -- one observed fault event, mirroring
                    :class:`~repro.faults.plan.FaultEvent`.
+* ``violation`` -- one failed runtime invariant (see :mod:`repro.verify`),
+                   naming the invariant, device, sim-time, and HLOP.
 
 :func:`validate_records` is the schema check used by
 ``scripts/obs_check.py`` and the CI metrics smoke step.
@@ -35,6 +37,7 @@ _REQUIRED_FIELDS: Dict[str, tuple] = {
     "phase": ("phase", "resource", "seconds", "count"),
     "decision": ("seq", "time", "kind", "device", "why"),
     "fault": ("time", "kind", "device", "detail"),
+    "violation": ("invariant", "device", "time", "detail"),
 }
 
 
@@ -70,6 +73,8 @@ def to_records(
                 "detail": event.detail,
             }
         )
+    for violation in metrics.violations:
+        records.append({"type": "violation", **violation})
     return records
 
 

@@ -84,6 +84,18 @@ class Recorder:
     def fault(self, event) -> None:
         """Record one observed :class:`~repro.faults.plan.FaultEvent`."""
 
+    def violation(
+        self,
+        invariant: str,
+        device: str,
+        *,
+        time: float,
+        hlop_id: Optional[int] = None,
+        unit_id: Optional[int] = None,
+        detail: str = "",
+    ) -> None:
+        """Record one failed runtime invariant (see :mod:`repro.verify`)."""
+
 
 #: Shared no-op instance; safe because the class holds no state.
 NULL_RECORDER = Recorder()
@@ -97,6 +109,7 @@ class RunMetrics:
     decisions: DecisionLog
     phases: Dict[Tuple[str, str], PhaseStat] = field(default_factory=dict)
     fault_events: List = field(default_factory=list)
+    violations: List[Dict] = field(default_factory=list)
 
     def counter_value(self, name: str, **labels: str) -> float:
         instrument = self.registry.get(name)
@@ -138,6 +151,7 @@ class RunObserver(Recorder):
         self.decision_log = DecisionLog()
         self.phases: Dict[Tuple[str, str], PhaseStat] = {}
         self.fault_events: List = []
+        self.violations: List[Dict] = []
 
     # ------------------------------------------------------------------ hooks
 
@@ -188,13 +202,43 @@ class RunObserver(Recorder):
             1, kind=event.kind.value, device=event.device
         )
 
+    def violation(
+        self,
+        invariant: str,
+        device: str,
+        *,
+        time: float,
+        hlop_id: Optional[int] = None,
+        unit_id: Optional[int] = None,
+        detail: str = "",
+    ) -> None:
+        self.violations.append(
+            {
+                "invariant": invariant,
+                "device": device,
+                "time": time,
+                "hlop": hlop_id,
+                "unit": unit_id,
+                "detail": detail,
+            }
+        )
+        self.registry.counter("violations_total").inc(
+            1, invariant=invariant, device=device
+        )
+
     # --------------------------------------------------------------- snapshot
 
     def finalize(self) -> RunMetrics:
-        """Freeze the observer's state into the report-attached snapshot."""
+        """Freeze the observer's state into the report-attached snapshot.
+
+        ``violations`` is shared by reference (like the registry and the
+        decision log): post-run invariant checks land after the report's
+        snapshot is taken, and must still be visible on it.
+        """
         return RunMetrics(
             registry=self.registry,
             decisions=self.decision_log,
             phases=self.phases,
             fault_events=list(self.fault_events),
+            violations=self.violations,
         )

@@ -32,6 +32,11 @@ class Engine:
         self._running = False
         self._fired = 0
         self._skipped = 0
+        #: Optional callback fired with the new clock value on every
+        #: advance.  The invariant checker hooks this to audit clock
+        #: monotonicity from the engine's own vantage point; ``None``
+        #: (the default) keeps the run loop branch-cheap.
+        self.clock_listener: Optional[Callable[[float], None]] = None
 
     @property
     def now(self) -> float:
@@ -126,6 +131,8 @@ class Engine:
                         f"event at t={event.time} fired after clock reached {self._now}"
                     )
                 self._now = max(self._now, event.time)
+                if self.clock_listener is not None:
+                    self.clock_listener(self._now)
                 self._fired += 1
                 if self._fired > max_events:
                     raise SimulationError(f"exceeded max_events={max_events}")

@@ -1,0 +1,18 @@
+"""Correctness tooling: runtime invariant checking + differential testing.
+
+Two halves:
+
+* :mod:`repro.verify.invariants` -- the :class:`RunChecker` the runtime
+  wires in under ``RuntimeConfig(validate=True)`` (CLI ``--validate``).
+  Violations flow through the run's :mod:`repro.obs` recorder and raise
+  :class:`InvariantViolation`.
+* :mod:`repro.verify.differential` / :mod:`repro.verify.fuzz` -- the
+  metamorphic harness and the dependency-free fuzzer behind
+  ``scripts/verify_check.py``.  Imported explicitly (not re-exported
+  here): they import the runtime, which itself imports this package for
+  :class:`RunChecker`.
+"""
+
+from repro.verify.invariants import InvariantViolation, RunChecker, Violation
+
+__all__ = ["InvariantViolation", "RunChecker", "Violation"]

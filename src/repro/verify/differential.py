@@ -1,0 +1,181 @@
+"""Differential / metamorphic checks over the SHMT runtime.
+
+Invariant checking (:mod:`repro.verify.invariants`) audits one run's
+internal accounting; the checks here compare *across* runs, catching the
+bugs single-run assertions cannot see:
+
+* :func:`check_policy_equivalence` -- on an all-exact platform, every
+  scheduling policy is just a different order of the same float32 block
+  computations, so each kernel's output must be **bit-identical** across
+  policies.  Any divergence means a policy influenced numerics (an
+  aggregation gap, a device leaking state, a cache serving the wrong
+  block).
+* :func:`check_shuffle_invariance` -- the quantized (EdgeTPU) path derives
+  its stochastic residual from a per-HLOP seed that is a pure function of
+  ``(run seed, hlop_id)``, never of dispatch order.  Executing the same
+  HLOPs in shuffled order must therefore reassemble to the bit-identical
+  output.  Divergence means order leaked into the numerics (shared RNG
+  state, in-place block mutation).
+
+Both return a list of human-readable failure strings (empty = pass), so
+``scripts/verify_check.py`` can aggregate them across a sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.partition import PartitionConfig, plan_partitions
+from repro.core.runtime import RuntimeConfig, SHMTRuntime
+from repro.core.schedulers.base import make_scheduler
+from repro.devices.cpu import CPUDevice
+from repro.devices.edgetpu import EdgeTPUDevice
+from repro.devices.gpu import GPUDevice
+from repro.devices.platform import Platform, gpu_only_platform
+from repro.exec.task import ComputeTask
+from repro.kernels.common import replicate_pad
+from repro.kernels.registry import ParallelModel
+from repro.workloads.generator import generate
+
+#: Policies whose plans only ever touch exact (rank-0) devices on an
+#: all-exact platform; the equivalence sweep runs each of these.
+EXACT_POLICIES = ("gpu-baseline", "even-distribution", "work-stealing", "oracle")
+
+#: The kernel x size grid the quick differential sweep covers: one kernel
+#: per parallel model / aggregation style.
+DEFAULT_KERNELS: Tuple[Tuple[str, object], ...] = (
+    ("sobel", (128, 128)),
+    ("fft", (128, 128)),
+    ("histogram", 128 * 128),
+    ("blackscholes", 128 * 128),
+    ("dct8x8", (128, 128)),
+)
+
+
+def exact_platform() -> Platform:
+    """An all-exact platform with enough devices to genuinely distribute.
+
+    Two GPUs so the gpu-class policies (even-distribution) split work, plus
+    a CPU so work stealing crosses device classes -- every device is exact
+    float32, so outputs must not depend on who computed what.
+    """
+    return Platform(devices=[CPUDevice("cpu0"), GPUDevice("gpu0"), GPUDevice("gpu1")])
+
+
+def _run(
+    policy: str,
+    platform: Platform,
+    kernel: str,
+    size,
+    seed: int,
+    config: RuntimeConfig,
+) -> np.ndarray:
+    runtime = SHMTRuntime(platform, make_scheduler(policy), config)
+    return runtime.execute(generate(kernel, size=size, seed=seed)).output
+
+
+def check_policy_equivalence(
+    kernels: Sequence[Tuple[str, object]] = DEFAULT_KERNELS,
+    seed: int = 7,
+    partition: Optional[PartitionConfig] = None,
+    validate: bool = True,
+) -> List[str]:
+    """Exact-device policies must agree bitwise per kernel.
+
+    The reference is ``gpu-baseline`` on the single-GPU platform (the
+    paper's baseline); every other exact policy runs on
+    :func:`exact_platform` and must reproduce the same bits.
+    """
+    partition = partition or PartitionConfig(target_partitions=16)
+    config = RuntimeConfig(partition=partition, seed=seed, validate=validate)
+    failures: List[str] = []
+    for kernel, size in kernels:
+        reference = _run("gpu-baseline", gpu_only_platform(), kernel, size, seed, config)
+        for policy in EXACT_POLICIES:
+            platform = (
+                gpu_only_platform() if policy == "gpu-baseline" else exact_platform()
+            )
+            output = _run(policy, platform, kernel, size, seed, config)
+            if output.shape != reference.shape:
+                failures.append(
+                    f"{kernel}/{policy}: output shape {output.shape} != "
+                    f"reference {reference.shape}"
+                )
+            elif not np.array_equal(output, reference):
+                diverging = int(np.count_nonzero(output != reference))
+                failures.append(
+                    f"{kernel}/{policy}: {diverging} of {output.size} output "
+                    "elements differ from the gpu-baseline reference "
+                    "(exact policies must be bit-identical)"
+                )
+    return failures
+
+
+def _hlop_seed(run_seed: int, hlop_id: int) -> int:
+    """The runtime's per-HLOP seed formula (order-independent by design)."""
+    return (run_seed * 1_000_003 + hlop_id) % (2**31 - 1)
+
+
+def check_shuffle_invariance(
+    kernels: Sequence[Tuple[str, object]] = DEFAULT_KERNELS,
+    seed: int = 7,
+    shuffle_seed: int = 1234,
+    partition: Optional[PartitionConfig] = None,
+) -> List[str]:
+    """Quantized outputs must not depend on HLOP execution order.
+
+    Runs every partition of each kernel through the EdgeTPU's approximate
+    path directly (as :class:`~repro.exec.task.ComputeTask`, exactly like
+    the runtime does), once in natural order and once in a seeded shuffle,
+    and compares the reassembled per-partition results bitwise.
+    """
+    partition = partition or PartitionConfig(target_partitions=16)
+    failures: List[str] = []
+    for kernel, size in kernels:
+        call = generate(kernel, size=size, seed=seed)
+        spec = call.spec
+        partitions = plan_partitions(spec, call.data.shape, partition)
+        device = EdgeTPUDevice("tpu0")
+        ctx = call.resolve_context()
+        padded = (
+            replicate_pad(call.data, spec.halo)
+            if spec.model is ParallelModel.TILE and spec.halo
+            else call.data
+        )
+
+        def _execute(order: Sequence[int]) -> Dict[int, np.ndarray]:
+            results: Dict[int, np.ndarray] = {}
+            for position in order:
+                part = partitions[position]
+                task = ComputeTask(
+                    device=device,
+                    compute=spec.compute,
+                    block=part.input_block(padded),
+                    ctx=ctx,
+                    error_scale=spec.calibration.npu_error_scale,
+                    seed=_hlop_seed(seed, part.index),
+                    channel_axis=spec.channel_axis,
+                    quantize_output=not spec.reduces,
+                    tensor_compute=spec.tensor_compute,
+                    kernel=spec.name,
+                    hlop_id=part.index,
+                )
+                results[part.index] = task.run()
+            return results
+
+        natural = _execute(range(len(partitions)))
+        shuffled_order = np.random.default_rng(shuffle_seed).permutation(
+            len(partitions)
+        )
+        shuffled = _execute(int(i) for i in shuffled_order)
+        for index in range(len(partitions)):
+            if not np.array_equal(natural[index], shuffled[index]):
+                failures.append(
+                    f"{kernel}: partition {index} differs between natural and "
+                    "shuffled execution order (quantized path leaked order "
+                    "into its numerics)"
+                )
+                break
+    return failures

@@ -1,0 +1,233 @@
+"""A small dependency-free fuzzer for the SHMT runtime.
+
+Sweeps kernel x shape (ragged / tiny / 1-D) x seed x policy x fault plan,
+running every case under full invariant checking
+(:class:`~repro.core.runtime.RuntimeConfig` ``validate=True``) and
+recording any case whose run violates an invariant, crashes unexpectedly,
+or produces a wrong-shaped / non-finite output.  Failures are
+**minimized** -- faults dropped, shape shrunk, policy simplified, while
+the failure reproduces -- so a red case is already close to its root
+cause, and the minimized tuples are what ``tests/verify/test_regressions.py``
+checks in as the regression corpus.
+
+Everything is deterministic in the master seed: the same seed always
+visits the same cases in the same order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.partition import PartitionConfig
+from repro.core.runtime import RuntimeConfig, SHMTRuntime
+from repro.core.schedulers.base import make_scheduler
+from repro.devices.platform import jetson_nano_platform
+from repro.faults.plan import (
+    DeviceDeath,
+    FaultPlan,
+    OutputCorruption,
+    Straggler,
+    TransientFaults,
+)
+from repro.kernels.registry import ParallelModel
+from repro.verify.invariants import InvariantViolation
+from repro.workloads.generator import generate
+
+Shape = Union[int, Tuple[int, ...]]
+
+#: Per-kernel shape pools, ordered simplest-first (minimization walks
+#: toward the head).  Ragged, thin, and 1-D shapes are deliberate: the
+#: page-granular planner and the samplers earn their edge cases there.
+SHAPE_POOLS = {
+    "sobel": [(3, 5), (1, 128), (2, 257), (37, 91), (64, 64)],
+    "dct8x8": [(8, 8), (8, 104), (16, 40), (64, 64)],
+    "fft": [(1, 64), (3, 128), (2, 1024), (64, 64)],
+    "histogram": [3, 100, 1025, 4096],
+    "blackscholes": [2, 333, 2048],
+}
+
+#: Policies the fuzzer exercises, simplest-first for minimization.
+POLICY_POOL = ("gpu-baseline", "even-distribution", "work-stealing", "QAWS-TS")
+
+#: Policies running on a single device class: a device death would leave
+#: them no recovery target, so the ``death`` preset skips them.
+SINGLE_DEVICE = {"gpu-baseline", "edge-tpu-only", "sw-pipelining"}
+
+#: Fault-plan presets, simplest-first.
+FAULT_PRESETS = ("none", "transient", "chaos", "death")
+
+#: Partition presets: the default grid and a deliberately tiny-granularity
+#: one that forces multi-partition plans even on small inputs.
+PARTITION_PRESETS = {
+    "default": PartitionConfig(target_partitions=16),
+    "tiny": PartitionConfig(
+        target_partitions=8, page_bytes=64, min_tile_side=4
+    ),
+}
+
+
+def fault_plan_for(preset: str, policy: str) -> Optional[FaultPlan]:
+    """Build the preset's plan (``None`` = fault-free)."""
+    if preset == "none":
+        return None
+    transient = (TransientFaults("*", probability=0.05),)
+    if preset == "transient":
+        return FaultPlan(transient=transient)
+    stragglers = (Straggler("tpu0", slowdown=8.0, start=2e-4),)
+    corruption = (OutputCorruption("cpu0", probability=0.3),)
+    if preset == "chaos":
+        return FaultPlan(
+            transient=transient, stragglers=stragglers, corruption=corruption
+        )
+    deaths = (
+        (DeviceDeath("gpu0", at_time=5e-4),)
+        if policy not in SINGLE_DEVICE
+        else ()
+    )
+    return FaultPlan(
+        transient=transient,
+        deaths=deaths,
+        stragglers=stragglers,
+        corruption=corruption,
+    )
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One fuzzer input: everything needed to reproduce a run."""
+
+    kernel: str
+    shape: Shape
+    seed: int
+    policy: str = "QAWS-TS"
+    faults: str = "none"
+    partitions: str = "default"
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kernel} shape={self.shape} seed={self.seed} "
+            f"policy={self.policy} faults={self.faults} "
+            f"partitions={self.partitions}"
+        )
+
+
+def run_case(case: FuzzCase) -> Optional[str]:
+    """Run one case under full validation; return the failure (or ``None``).
+
+    A failure is an invariant violation, an unexpected exception, or an
+    output with the wrong shape / non-finite values.  ``ValueError`` from
+    workload or partition constraints means the case itself is illegal
+    (e.g. a non-multiple-of-8 DCT input) and counts as a pass.
+    """
+    config = RuntimeConfig(
+        partition=PARTITION_PRESETS[case.partitions],
+        seed=case.seed,
+        validate=True,
+        fault_plan=fault_plan_for(case.faults, case.policy),
+    )
+    try:
+        call = generate(case.kernel, size=case.shape, seed=case.seed)
+        runtime = SHMTRuntime(
+            jetson_nano_platform(), make_scheduler(case.policy), config
+        )
+        report = runtime.execute(call)
+    except ValueError:
+        return None  # illegal case, not a runtime bug
+    except InvariantViolation as violation:
+        return f"invariant: {violation}"
+    except Exception as error:  # noqa: BLE001 - any crash is a finding
+        return f"crash: {type(error).__name__}: {error}"
+    if not call.spec.reduces:
+        # Leading axes may legitimately change (blackscholes maps 5 param
+        # rows to 2 price rows); the axes the parallel model *partitions*
+        # must round-trip: the last axis for VECTOR, the last two for
+        # ROWS/TILE.
+        trailing = 1 if call.spec.model is ParallelModel.VECTOR else 2
+        if report.output.shape[-trailing:] != call.data.shape[-trailing:]:
+            return (
+                f"output trailing axes {report.output.shape[-trailing:]} != "
+                f"input {call.data.shape[-trailing:]}"
+            )
+    if config.fault_plan is None and not np.all(np.isfinite(report.output)):
+        return "non-finite output on a fault-free run"
+    return None
+
+
+def generate_cases(n_cases: int = 60, master_seed: int = 0) -> List[FuzzCase]:
+    """The deterministic case schedule for one fuzzing session."""
+    rng = np.random.default_rng(master_seed)
+    kernels = sorted(SHAPE_POOLS)
+    cases = []
+    for _ in range(n_cases):
+        kernel = kernels[int(rng.integers(len(kernels)))]
+        pool = SHAPE_POOLS[kernel]
+        cases.append(
+            FuzzCase(
+                kernel=kernel,
+                shape=pool[int(rng.integers(len(pool)))],
+                seed=int(rng.integers(10_000)),
+                policy=POLICY_POOL[int(rng.integers(len(POLICY_POOL)))],
+                faults=FAULT_PRESETS[int(rng.integers(len(FAULT_PRESETS)))],
+                partitions=("default", "tiny")[int(rng.integers(2))],
+            )
+        )
+    return cases
+
+
+def minimize(case: FuzzCase) -> FuzzCase:
+    """Shrink a failing case while it keeps failing (fixed point).
+
+    Simplification order: drop the fault plan, walk the shape toward the
+    pool's simplest entry, default the partition preset, simplify the
+    policy.  Each accepted step must still reproduce *a* failure (not
+    necessarily the identical message -- the fuzzer minimizes toward the
+    nearest bug, which is what a regression test wants to pin).
+    """
+    if run_case(case) is None:
+        return case
+    current = case
+    changed = True
+    while changed:
+        changed = False
+        candidates: List[FuzzCase] = []
+        if current.faults != "none":
+            candidates.append(replace(current, faults="none"))
+        pool = SHAPE_POOLS[current.kernel]
+        position = pool.index(current.shape) if current.shape in pool else len(pool)
+        for simpler in pool[:position]:
+            candidates.append(replace(current, shape=simpler))
+        if current.partitions != "default":
+            candidates.append(replace(current, partitions="default"))
+        policy_position = (
+            POLICY_POOL.index(current.policy)
+            if current.policy in POLICY_POOL
+            else len(POLICY_POOL)
+        )
+        for simpler in POLICY_POOL[:policy_position]:
+            candidates.append(replace(current, policy=simpler))
+        for candidate in candidates:
+            if run_case(candidate) is not None:
+                current = candidate
+                changed = True
+                break
+    return current
+
+
+def fuzz(
+    n_cases: int = 60, master_seed: int = 0, verbose: bool = False
+) -> List[Tuple[FuzzCase, str]]:
+    """Run a session; returns (minimized case, failure) per failing case."""
+    failures: List[Tuple[FuzzCase, str]] = []
+    for case in generate_cases(n_cases, master_seed):
+        failure = run_case(case)
+        if failure is not None:
+            small = minimize(case)
+            failures.append((small, run_case(small) or failure))
+            if verbose:
+                print(f"  FAIL {small}: {failures[-1][1]}")
+        elif verbose:
+            print(f"  ok   {case}")
+    return failures

@@ -1,0 +1,482 @@
+"""Runtime invariant checking for SHMT runs.
+
+The paper's algorithms make hard promises the figures silently depend on:
+every HLOP executes exactly once and its output lands in exactly one place,
+partitions tile the VOP's output with no gap or overlap, the simulated
+clock never runs backwards, a device never computes two HLOPs at once, and
+energy can never exceed what every device drawing peak power for the whole
+makespan would burn.  After three PRs of runtime growth (fault recovery,
+observability, parallel backends + caching) those properties are enforced
+nowhere -- a broken one only shows up as a figure that "looks wrong".
+
+:class:`RunChecker` is the enforcement layer.  The runtime creates one per
+run when :class:`~repro.core.runtime.RuntimeConfig` has ``validate`` set
+(and the CLI exposes ``--validate``), feeds it cheap event hooks while the
+run executes, and calls :meth:`RunChecker.check_run` on the finished run
+artifacts.  Each failed invariant becomes a :class:`Violation` naming the
+HLOP, device, and simulated time, is mirrored into the run's
+:mod:`repro.obs` recorder (so it exports through the decision-log/JSONL
+pipeline), and -- in the default ``raise`` mode -- aborts the run with an
+:class:`InvariantViolation`.
+
+The disabled path costs one ``is None`` test per hook site: a run without
+``validate`` is bit-identical to one on a checker-unaware runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.obs.recorder import NULL_RECORDER, Recorder
+
+#: Absolute slack for clock / span-boundary comparisons.  Matches the DES
+#: engine's tolerance: float arithmetic on absolute times may land a hair
+#: off, but anything beyond this is a genuine ordering bug.
+TIME_TOLERANCE = 1e-9
+
+#: Relative slack for energy-bound comparisons (sums of products).
+ENERGY_RTOL = 1e-6
+
+
+class InvariantViolation(RuntimeError):
+    """A run broke one of the checked runtime invariants.
+
+    Carries the full list of :class:`Violation` records; the message names
+    the first violation's invariant, device, HLOP, and simulated time.
+    """
+
+    def __init__(self, violations: Sequence["Violation"]) -> None:
+        self.violations = list(violations)
+        first = self.violations[0]
+        extra = (
+            f" (+{len(self.violations) - 1} more)" if len(self.violations) > 1 else ""
+        )
+        super().__init__(f"invariant violated: {first}{extra}")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant, with enough context to find the bug."""
+
+    invariant: str
+    device: str
+    time: float
+    hlop_id: Optional[int] = None
+    unit_id: Optional[int] = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        where = f"[{self.invariant}] device={self.device} t={self.time:.9f}"
+        if self.hlop_id is not None:
+            where += f" hlop={self.hlop_id}"
+        if self.unit_id is not None:
+            where += f" unit={self.unit_id}"
+        return f"{where}: {self.detail}"
+
+
+class RunChecker:
+    """Collects evidence during one run and audits the finished artifacts.
+
+    Mid-run hooks (``on_*``) are called by :class:`~repro.core.runtime`
+    at dispatch, steal, split, completion, re-queue, and aggregation;
+    :meth:`observe_clock` is wired as the DES engine's clock listener.
+    :meth:`check_run` then audits conservation, tiling coverage, the
+    trace, and the energy bound over the completed run.
+    """
+
+    def __init__(self, recorder: Recorder = NULL_RECORDER) -> None:
+        self.recorder = recorder
+        self.violations: List[Violation] = []
+        self._last_clock = 0.0
+        #: Per-HLOP lifecycle counters (conservation evidence).
+        self._dispatched: Dict[int, int] = {}
+        self._completed: Dict[int, int] = {}
+        self._requeued: Dict[int, int] = {}
+        self._aggregated: Dict[int, int] = {}
+        #: Parents consumed by a split-steal: they must never complete.
+        self._retired: Set[int] = set()
+
+    # ------------------------------------------------------------- recording
+
+    def record(
+        self,
+        invariant: str,
+        device: str,
+        *,
+        time: float,
+        hlop_id: Optional[int] = None,
+        unit_id: Optional[int] = None,
+        detail: str = "",
+    ) -> None:
+        """Append one violation and mirror it into the obs pipeline."""
+        violation = Violation(
+            invariant=invariant,
+            device=device,
+            time=time,
+            hlop_id=hlop_id,
+            unit_id=unit_id,
+            detail=detail,
+        )
+        self.violations.append(violation)
+        self.recorder.violation(
+            invariant,
+            device,
+            time=time,
+            hlop_id=hlop_id,
+            unit_id=unit_id,
+            detail=detail,
+        )
+
+    def raise_if_violated(self) -> None:
+        if self.violations:
+            raise InvariantViolation(self.violations)
+
+    # ----------------------------------------------------------- clock hooks
+
+    def observe_clock(self, now: float, device: str = "engine") -> None:
+        """Clock monotonicity: simulated time may never step backwards."""
+        if now < self._last_clock - TIME_TOLERANCE:
+            self.record(
+                "clock-monotonic",
+                device,
+                time=now,
+                detail=(
+                    f"clock stepped back: {now:.9f} after reaching "
+                    f"{self._last_clock:.9f}"
+                ),
+            )
+        self._last_clock = max(self._last_clock, now)
+
+    # ------------------------------------------------------- lifecycle hooks
+
+    def on_dispatch(self, hlop_id: int, device: str, time: float) -> None:
+        self._dispatched[hlop_id] = self._dispatched.get(hlop_id, 0) + 1
+
+    def on_requeue(self, hlop_id: int, device: str, time: float) -> None:
+        self.observe_clock(time, device)
+        self._requeued[hlop_id] = self._requeued.get(hlop_id, 0) + 1
+
+    def on_steal(
+        self,
+        thief: str,
+        victim: str,
+        taken: int,
+        victim_before: int,
+        victim_after: int,
+        thief_before: int,
+        thief_after: int,
+        time: float,
+    ) -> None:
+        """Queue-length conservation: a steal moves work, never loses it.
+
+        The thief immediately runs the first stolen HLOP, so its queue
+        gains ``taken - 1``; the victim's queue must shrink by exactly
+        ``taken``.
+        """
+        self.observe_clock(time, thief)
+        if victim_before - victim_after != taken:
+            self.record(
+                "queue-conservation",
+                thief,
+                time=time,
+                detail=(
+                    f"steal of {taken} from {victim} changed the victim queue "
+                    f"{victim_before}->{victim_after} (expected -{taken})"
+                ),
+            )
+        if thief_after - thief_before != taken - 1:
+            self.record(
+                "queue-conservation",
+                thief,
+                time=time,
+                detail=(
+                    f"steal of {taken} from {victim} changed the thief queue "
+                    f"{thief_before}->{thief_after} (expected +{taken - 1})"
+                ),
+            )
+
+    def on_split(
+        self, parent_id: int, child_ids: Sequence[int], device: str, time: float
+    ) -> None:
+        """A split-steal retires the parent and dispatches its children."""
+        self.observe_clock(time, device)
+        if self._completed.get(parent_id):
+            self.record(
+                "hlop-conservation",
+                device,
+                time=time,
+                hlop_id=parent_id,
+                detail="split-steal consumed an HLOP that already completed",
+            )
+        self._retired.add(parent_id)
+        for child in child_ids:
+            self._dispatched[child] = self._dispatched.get(child, 0) + 1
+
+    def on_complete(
+        self, hlop_id: int, device: str, start: float, finish: float, unit_id: int
+    ) -> None:
+        self.observe_clock(finish, device)
+        if finish < start - TIME_TOLERANCE:
+            self.record(
+                "span-ordering",
+                device,
+                time=finish,
+                hlop_id=hlop_id,
+                unit_id=unit_id,
+                detail=f"completion finished ({finish:.9f}) before it started ({start:.9f})",
+            )
+        count = self._completed.get(hlop_id, 0) + 1
+        self._completed[hlop_id] = count
+        if count > 1:
+            self.record(
+                "hlop-conservation",
+                device,
+                time=finish,
+                hlop_id=hlop_id,
+                unit_id=unit_id,
+                detail=f"result accepted {count} times (exactly one accept allowed)",
+            )
+        if hlop_id in self._retired:
+            self.record(
+                "hlop-conservation",
+                device,
+                time=finish,
+                hlop_id=hlop_id,
+                unit_id=unit_id,
+                detail="completed an HLOP already retired by a split-steal",
+            )
+        if self._dispatched.get(hlop_id, 0) == 0:
+            self.record(
+                "hlop-conservation",
+                device,
+                time=finish,
+                hlop_id=hlop_id,
+                unit_id=unit_id,
+                detail="completed an HLOP that was never dispatched",
+            )
+
+    def on_aggregate(self, hlop_id: int, unit_id: int, device: str, time: float) -> None:
+        count = self._aggregated.get(hlop_id, 0) + 1
+        self._aggregated[hlop_id] = count
+        if count > 1:
+            self.record(
+                "hlop-conservation",
+                device,
+                time=time,
+                hlop_id=hlop_id,
+                unit_id=unit_id,
+                detail=f"aggregated {count} times (exactly once allowed)",
+            )
+        if self._completed.get(hlop_id, 0) == 0:
+            self.record(
+                "hlop-conservation",
+                device,
+                time=time,
+                hlop_id=hlop_id,
+                unit_id=unit_id,
+                detail="aggregated an HLOP that never completed",
+            )
+
+    # ------------------------------------------------------------- post-run
+
+    def check_run(
+        self,
+        units: Sequence[Any],
+        trace: Any,
+        makespan: float,
+        energy: Any = None,
+        energy_model: Any = None,
+        devices: Sequence[Any] = (),
+        horizon: Optional[float] = None,
+    ) -> None:
+        """Audit the finished run: conservation, coverage, trace, energy.
+
+        ``units`` are the runtime's per-call bookkeeping records (each with
+        ``hlops``, ``spec``, ``call``, ``index``); ``trace`` the run's
+        :class:`~repro.sim.trace.Trace`; ``energy``/``energy_model`` the
+        batch :class:`~repro.devices.energy.EnergyBreakdown` and the
+        platform's model.  ``horizon`` bounds trace containment and
+        defaults to ``makespan`` -- pass the engine's final clock when
+        post-completion events (e.g. a device death after the last unit
+        finished) legitimately extend the trace past the makespan.
+        """
+        for unit in units:
+            self._check_conservation(unit, makespan)
+            self._check_coverage(unit, makespan)
+        self._check_trace(trace, makespan if horizon is None else max(horizon, makespan))
+        if energy is not None and energy_model is not None:
+            self._check_energy(energy, energy_model, devices, makespan)
+
+    def _check_conservation(self, unit: Any, makespan: float) -> None:
+        """Each live HLOP: dispatched >= 1, completed == 1, aggregated == 1."""
+        for hlop in unit.hlops:
+            hid = hlop.hlop_id
+            device = hlop.device_name or "unassigned"
+            if self._dispatched.get(hid, 0) < 1:
+                self.record(
+                    "hlop-conservation",
+                    device,
+                    time=makespan,
+                    hlop_id=hid,
+                    unit_id=unit.index,
+                    detail="HLOP never dispatched to any queue",
+                )
+            if self._completed.get(hid, 0) != 1:
+                self.record(
+                    "hlop-conservation",
+                    device,
+                    time=makespan,
+                    hlop_id=hid,
+                    unit_id=unit.index,
+                    detail=(
+                        f"completed {self._completed.get(hid, 0)} times "
+                        "(exactly once required, re-queues included)"
+                    ),
+                )
+            if self._aggregated.get(hid, 0) != 1:
+                self.record(
+                    "hlop-conservation",
+                    device,
+                    time=makespan,
+                    hlop_id=hid,
+                    unit_id=unit.index,
+                    detail=(
+                        f"aggregated {self._aggregated.get(hid, 0)} times "
+                        "(exactly once required)"
+                    ),
+                )
+
+    def _check_coverage(self, unit: Any, makespan: float) -> None:
+        """Partition tiling coverage: out slices tile the output exactly.
+
+        Reduction kernels merge one partial per HLOP (covered by the
+        aggregation counters); everything else must paint every output
+        cell exactly once.
+        """
+        spec = unit.spec
+        if spec.reduces:
+            return
+        shape = unit.call.data.shape
+        n_axes = len(unit.hlops[0].partition.out_slices) if unit.hlops else 0
+        if n_axes == 0 or len(shape) < n_axes:
+            return
+        trailing = shape[-n_axes:]
+        coverage = np.zeros(trailing, dtype=np.int16)
+        for hlop in unit.hlops:
+            coverage[hlop.partition.out_slices] += 1
+        if np.all(coverage == 1):
+            return
+        gaps = int(np.count_nonzero(coverage == 0))
+        overlaps = int(np.count_nonzero(coverage > 1))
+        offender: Optional[int] = None
+        for hlop in unit.hlops:
+            region = coverage[hlop.partition.out_slices]
+            if region.size and (np.any(region > 1) or np.any(region == 0)):
+                offender = hlop.hlop_id
+                break
+        self.record(
+            "tiling-coverage",
+            "host",
+            time=makespan,
+            hlop_id=offender,
+            unit_id=unit.index,
+            detail=(
+                f"output {tuple(trailing)} covered with {gaps} gap cell(s) "
+                f"and {overlaps} overlap cell(s); expected exact tiling"
+            ),
+        )
+
+    def _check_trace(self, trace: Any, makespan: float) -> None:
+        """Span containment and per-resource serialization.
+
+        Every span lies inside ``[0, makespan]``; within one resource, the
+        serialized activity groups (compute+faulted on a device, its
+        transfer engine, the host pipeline) never overlap -- a device
+        cannot run two HLOPs at once.
+        """
+        groups: Dict[Tuple[str, str], List[Any]] = {}
+        for span in trace.spans:
+            if span.end < span.start - TIME_TOLERANCE:
+                self.record(
+                    "span-ordering",
+                    span.resource,
+                    time=span.start,
+                    detail=f"span {span.label!r} ends before it starts",
+                )
+            if span.start < -TIME_TOLERANCE or span.end > makespan + TIME_TOLERANCE:
+                self.record(
+                    "span-containment",
+                    span.resource,
+                    time=span.start,
+                    detail=(
+                        f"span {span.label!r} [{span.start:.9f}, {span.end:.9f}] "
+                        f"outside the run's [0, {makespan:.9f}]"
+                    ),
+                )
+            group = "compute" if span.category in ("compute", "faulted") else span.category
+            groups.setdefault((span.resource, group), []).append(span)
+        for marker in trace.markers:
+            if marker.time < -TIME_TOLERANCE or marker.time > makespan + TIME_TOLERANCE:
+                self.record(
+                    "span-containment",
+                    marker.resource,
+                    time=marker.time,
+                    detail=f"marker {marker.label!r} outside the run's [0, {makespan:.9f}]",
+                )
+        for (resource, group), spans in groups.items():
+            spans.sort(key=lambda s: (s.start, s.end))
+            for left, right in zip(spans, spans[1:]):
+                if right.start < left.end - TIME_TOLERANCE:
+                    self.record(
+                        "span-serialization",
+                        resource,
+                        time=right.start,
+                        detail=(
+                            f"{group} spans overlap: {left.label!r} "
+                            f"[{left.start:.9f}, {left.end:.9f}] and "
+                            f"{right.label!r} [{right.start:.9f}, {right.end:.9f}]"
+                        ),
+                    )
+
+    def _check_energy(
+        self, energy: Any, energy_model: Any, devices: Sequence[Any], makespan: float
+    ) -> None:
+        """Energy can never exceed max power times makespan."""
+        duration = energy.duration or makespan
+        class_counts: Dict[str, int] = {}
+        for device in devices:
+            cls = device.device_class
+            class_counts[cls] = class_counts.get(cls, 0) + 1
+        for cls, joules in energy.per_device_active.items():
+            watts = energy_model.active_watts.get(cls, 0.0)
+            bound = watts * class_counts.get(cls, 1) * duration
+            if joules > bound * (1.0 + ENERGY_RTOL) + TIME_TOLERANCE:
+                self.record(
+                    "energy-bound",
+                    cls,
+                    time=duration,
+                    detail=(
+                        f"active energy {joules:.9g} J exceeds "
+                        f"{class_counts.get(cls, 1)} x {watts:.3f} W x "
+                        f"{duration:.9f} s = {bound:.9g} J"
+                    ),
+                )
+        max_watts = energy_model.idle_watts + sum(
+            energy_model.active_watts.get(cls, 0.0) * count
+            for cls, count in class_counts.items()
+        )
+        bound = max_watts * duration
+        if energy.total_joules > bound * (1.0 + ENERGY_RTOL) + TIME_TOLERANCE:
+            self.record(
+                "energy-bound",
+                "platform",
+                time=duration,
+                detail=(
+                    f"total energy {energy.total_joules:.9g} J exceeds "
+                    f"max power {max_watts:.3f} W x makespan {duration:.9f} s "
+                    f"= {bound:.9g} J"
+                ),
+            )

@@ -173,7 +173,10 @@ def _reference_striding(sampler, block):
     if count == 0:
         return flat[:0]
     stride = max(1, flat.size // count)
-    return flat[::stride][:count]
+    # Centered sample: the uncovered span splits between the two ends
+    # instead of always falling on the tail.
+    offset = (flat.size - 1 - (count - 1) * stride) // 2
+    return flat[offset : offset + count * stride : stride][:count]
 
 
 def _reference_uniform(sampler, block, rng):
@@ -223,6 +226,63 @@ def test_reduction_sweep_unchanged_on_views(rng):
         sampler.sample(view, rng).samples,
         sampler.sample(view.copy(), rng).samples,
     )
+
+
+# ------------------------------------------------- sampler bugfix pins (PR 4)
+
+
+def test_striding_centered_sample_sees_tail_spike(rng):
+    """Adversarial tail spike: the old offset-0 scheme left the last
+    ``size mod count`` elements permanently unsampled, so a spike there
+    biased range/std criticality low on every ragged block."""
+    data = np.zeros(1000, dtype=np.float32)
+    sampler = StridingSampler(rate=0.01)  # count=10, stride=100
+    # The centered scheme samples index 949; offset-0 striding stops at 900
+    # and is blind to the entire 901..999 tail.
+    data[949] = 100.0
+    assert 100.0 not in data[0:901:100]  # the uncentered scheme misses it
+    samples = sampler.sample(data, rng).samples
+    assert samples.max() == 100.0
+
+
+def test_striding_blind_spots_balanced(rng):
+    """The uncovered span splits evenly between the two ends (+-1)."""
+    data = np.arange(1000, dtype=np.float32)
+    samples = StridingSampler(rate=0.01).sample(data, rng).samples
+    head_blind = int(samples[0])
+    tail_blind = int(data.size - 1 - samples[-1])
+    stride = int(samples[1] - samples[0])
+    assert abs(head_blind - tail_blind) <= 1
+    assert max(head_blind, tail_blind) <= stride // 2
+
+
+@pytest.mark.parametrize(
+    "shape", [(1025,), (2, 8192), (3, 5), (7,), (37, 91)]
+)
+def test_reduction_cap_enforced_on_awkward_shapes(shape, rng):
+    """The per-axis ceil-division sweep used to realize up to ~2^ndim x the
+    target density on 1-D / thin / tiny blocks, silently inflating both the
+    sample count and the charged host cost.  The cap is the contract."""
+    data = rng.standard_normal(shape).astype(np.float32)
+    sampler = ReductionSampler(rate=2.0**-9)
+    cap = min(
+        sampler.target_count(data.size) * sampler.density_multiplier, data.size
+    )
+    result = sampler.sample(data, rng)
+    assert result.n_samples <= cap
+    assert result.n_samples >= max(1, cap // 2)  # thinning keeps density
+    assert result.host_seconds <= (
+        sampler.fixed_cost + sampler.per_sample_cost * cap + 1e-12
+    )
+
+
+def test_reduction_thin_block_was_the_worst_case(rng):
+    """A 2xN block realizes ~N/step samples per row; without the cap the
+    sweep returned ~6x the budget here."""
+    data = rng.standard_normal((2, 8192)).astype(np.float32)
+    sampler = ReductionSampler(rate=2.0**-9)
+    cap = sampler.target_count(data.size) * sampler.density_multiplier
+    assert sampler.sample(data, rng).n_samples <= cap
 
 
 def test_samplers_read_views_without_flattening_copy(rng):

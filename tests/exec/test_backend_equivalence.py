@@ -112,6 +112,28 @@ def test_cached_pool_identical_to_uncached_serial(kernel, size):
     assert cache.stats.hits > 0  # the warm run actually hit
 
 
+def test_steal_victim_choice_is_deterministic():
+    """Victim selection ties break on the platform's stable device order,
+    so repeated runs -- serial or pool -- log byte-identical steal
+    decisions (thief, victim, HLOP, time)."""
+    runs = [
+        _run("work-stealing", "sobel", (128, 128), backend)
+        for backend in ("serial", "serial", "pool")
+    ]
+
+    def steal_decisions(report):
+        return [
+            d for d in report.metrics.decisions.to_dicts() if d["kind"] == "steal"
+        ]
+
+    reference = steal_decisions(runs[0])
+    assert reference, "the sweep must actually exercise stealing"
+    for other in runs[1:]:
+        assert steal_decisions(other) == reference
+    # Each logged steal names its victim, so the log pins who got robbed.
+    assert all("took work from" in d["why"] for d in reference)
+
+
 def test_cross_policy_cache_sharing_stays_identical():
     """Exact-device blocks computed under one policy satisfy another policy
     without changing that policy's report."""

@@ -1,0 +1,56 @@
+"""Fuzzer regression corpus.
+
+Every case here once exercised (or still guards) a hard edge of the
+runtime: ragged and 1-D shapes through the page-granular planner, tiny
+partition grids that force split-steals, device death mid-run, and the
+chaos fault plan on top of each parallel model.  Each case runs under full
+invariant checking (``run_case`` validates and audits the output), so a
+regression in the scheduler, the fault recovery paths, or the samplers
+turns one of these red with a minimized reproducer already in hand.
+"""
+
+import pytest
+
+from repro.verify.fuzz import FuzzCase, fuzz, generate_cases, minimize, run_case
+
+#: Minimized representative cases, one per edge the fuzzer covers.
+CORPUS = (
+    # ragged tiles + tiny partition grid under the full chaos preset
+    FuzzCase("sobel", (37, 91), seed=3, policy="QAWS-TS",
+             faults="chaos", partitions="tiny"),
+    # 2-row input: thinner than any legal tile side
+    FuzzCase("sobel", (2, 257), seed=5, policy="work-stealing",
+             faults="transient", partitions="default"),
+    # single-row TILE kernel (degenerates to one strip)
+    FuzzCase("sobel", (1, 128), seed=1, policy="even-distribution"),
+    # ROWS kernel with one row and a death mid-run
+    FuzzCase("fft", (1, 64), seed=2, policy="QAWS-TS", faults="death"),
+    # non-multiple-of-8 DCT width: constraint-driven tile snapping
+    FuzzCase("dct8x8", (8, 104), seed=4, policy="work-stealing",
+             faults="chaos", partitions="tiny"),
+    # 1-D reduction with an awkward prime-ish length
+    FuzzCase("histogram", 1025, seed=6, policy="QAWS-TS", faults="death"),
+    # tiny 1-D vector workload: fewer elements than devices
+    FuzzCase("blackscholes", 2, seed=7, policy="QAWS-TS", faults="transient"),
+    # single-device policy under transients (no recovery target exists)
+    FuzzCase("histogram", 100, seed=8, policy="gpu-baseline",
+             faults="transient"),
+)
+
+
+@pytest.mark.parametrize("case", CORPUS, ids=str)
+def test_corpus_case_passes(case):
+    assert run_case(case) is None
+
+
+def test_seeded_fuzz_session_is_clean():
+    assert fuzz(n_cases=25, master_seed=20260806) == []
+
+
+def test_case_generation_is_deterministic():
+    assert generate_cases(10, master_seed=5) == generate_cases(10, master_seed=5)
+
+
+def test_minimize_returns_passing_case_unchanged():
+    case = CORPUS[0]
+    assert minimize(case) == case
