@@ -54,6 +54,17 @@ from repro.faults import (
     Straggler,
     TransientFaults,
 )
+from repro.errors import (
+    AdmissionRejected,
+    CheckpointCorrupt,
+    DeadlineExceeded,
+    DeviceFault,
+    InvalidInput,
+    ReproError,
+    ServiceKilled,
+    ServiceStopped,
+    UnknownName,
+)
 from repro.obs import (
     Decision,
     DecisionKind,
@@ -62,6 +73,17 @@ from repro.obs import (
     RunMetrics,
     RunObserver,
     write_jsonl,
+)
+from repro.serve import (
+    AdmissionConfig,
+    BreakerConfig,
+    BreakerState,
+    JobResult,
+    JobSpec,
+    JobState,
+    ServiceConfig,
+    ShmtService,
+    load_checkpoint,
 )
 from repro.verify import InvariantViolation, RunChecker, Violation
 
@@ -107,6 +129,24 @@ __all__ = [
     "RunMetrics",
     "RunObserver",
     "write_jsonl",
+    "ReproError",
+    "InvalidInput",
+    "UnknownName",
+    "AdmissionRejected",
+    "DeadlineExceeded",
+    "CheckpointCorrupt",
+    "DeviceFault",
+    "ServiceStopped",
+    "ServiceKilled",
+    "AdmissionConfig",
+    "BreakerConfig",
+    "BreakerState",
+    "JobResult",
+    "JobSpec",
+    "JobState",
+    "ServiceConfig",
+    "ShmtService",
+    "load_checkpoint",
     "InvariantViolation",
     "RunChecker",
     "Violation",

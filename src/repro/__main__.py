@@ -7,22 +7,67 @@ Commands:
                      report (optionally with an ASCII Gantt of the run).
 * ``experiments`` -- regenerate the paper's evaluation (delegates to
                      :mod:`repro.experiments.runner`).
+* ``submit``      -- append a job spec to a JSONL job queue file.
+* ``serve``       -- run a job service over a queue file (admission
+                     control, QoS deadlines, circuit breakers,
+                     checkpoint/resume; see docs/serving.md).
+
+Every user-input failure exits with code 2 and a one-line message naming
+the offending flag; tracebacks are reserved for bugs.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.runtime import RuntimeConfig, SHMTRuntime
 from repro.core.schedulers.base import make_scheduler, scheduler_names
+from repro.core.schedulers.qos import QOS_CLASSES
 from repro.core.vop import vop_catalog
 from repro.devices.perf_model import benchmark_names
+from repro.errors import ReproError
 from repro.experiments.common import platform_for
 from repro.experiments.runner import add_performance_args
 from repro.metrics.mape import mape_percent
 from repro.sim.gantt import render_gantt, utilization_summary
 from repro.workloads.generator import generate, workload_names
+
+
+def _usage_error(flag: str, message: str) -> int:
+    """One-line user-input failure naming the offending flag; exit 2."""
+    print(f"{flag}: {message}")
+    return 2
+
+
+def _check_common_flags(args: argparse.Namespace) -> int:
+    """Shared validation for job-shaped arguments; 0 = all good."""
+    kernel = getattr(args, "kernel", None)
+    if kernel is not None and kernel not in workload_names():
+        return _usage_error(
+            "kernel", f"unknown kernel {kernel!r}; try: {', '.join(workload_names())}"
+        )
+    side = getattr(args, "side", None)
+    if side is not None and side <= 0:
+        return _usage_error("--side", f"must be a positive integer, got {side}")
+    policy = getattr(args, "policy", None)
+    if policy is not None and policy not in scheduler_names():
+        return _usage_error(
+            "--policy",
+            f"unknown policy {policy!r}; known: {', '.join(scheduler_names())}",
+        )
+    deadline = getattr(args, "deadline", None)
+    if deadline is not None and deadline <= 0:
+        return _usage_error(
+            "--deadline", f"must be a positive number of simulated seconds, got {deadline}"
+        )
+    qos = getattr(args, "qos", None)
+    if qos is not None and qos not in QOS_CLASSES:
+        return _usage_error(
+            "--qos", f"unknown QoS class {qos!r}; known: {', '.join(sorted(QOS_CLASSES))}"
+        )
+    return 0
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -38,9 +83,9 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    if args.kernel not in workload_names():
-        print(f"unknown kernel {args.kernel!r}; try: {', '.join(workload_names())}")
-        return 2
+    bad = _check_common_flags(args)
+    if bad:
+        return bad
     vector_kernels = ("blackscholes", "histogram")
     size = args.side**2 if args.kernel in vector_kernels else (args.side, args.side)
     call = generate(args.kernel, size=size, seed=args.seed)
@@ -107,6 +152,123 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_submit(args: argparse.Namespace) -> int:
+    bad = _check_common_flags(args)
+    if bad:
+        return bad
+    from repro.serve import JobSpec
+
+    spec = JobSpec(
+        kernel=args.kernel,
+        size=args.side**2 if args.side else None,
+        seed=args.seed,
+        policy=args.policy,
+        qos_class=args.qos,
+        deadline=args.deadline,
+        tenant=args.tenant,
+        job_id=args.job_id or "",
+    )
+    with open(args.queue, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(spec.to_dict(), sort_keys=True) + "\n")
+    print(f"queued {spec.kernel} (qos {spec.qos_class}) -> {args.queue}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.workers <= 0:
+        return _usage_error("--workers", f"must be a positive integer, got {args.workers}")
+    if args.capacity <= 0:
+        return _usage_error("--capacity", f"must be a positive integer, got {args.capacity}")
+    if args.tenant_cap is not None and args.tenant_cap <= 0:
+        return _usage_error("--tenant-cap", f"must be a positive integer, got {args.tenant_cap}")
+    from repro.errors import AdmissionRejected, InvalidInput, UnknownName
+    from repro.serve import (
+        AdmissionConfig,
+        JobSpec,
+        JobState,
+        ServiceConfig,
+        ShmtService,
+    )
+
+    specs = []
+    try:
+        with open(args.queue, "r", encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    specs.append(JobSpec.from_dict(json.loads(line)))
+                except (json.JSONDecodeError, InvalidInput, UnknownName) as error:
+                    return _usage_error(
+                        "--queue", f"bad job spec at {args.queue}:{number}: {error}"
+                    )
+    except OSError as error:
+        return _usage_error("--queue", f"cannot read {args.queue}: {error}")
+
+    config = ServiceConfig(
+        checkpoint_path=args.checkpoint,
+        workers=args.workers,
+        admission=AdmissionConfig(
+            capacity=args.capacity,
+            policy=args.admission,
+            tenant_cap=args.tenant_cap,
+        ),
+        validate=args.validate,
+    )
+    jobs = []
+    import os
+
+    if args.resume:
+        if not args.checkpoint or not os.path.exists(args.checkpoint):
+            return _usage_error(
+                "--resume", f"needs an existing --checkpoint journal, got {args.checkpoint!r}"
+            )
+        service, jobs = ShmtService.resume(args.checkpoint, config)
+        service.start()
+        if jobs:
+            print(f"resuming {len(jobs)} interrupted job(s) from {args.checkpoint}")
+    else:
+        service = ShmtService(config).start()
+    for spec in specs:
+        try:
+            jobs.append(service.submit(spec))
+        except AdmissionRejected as error:
+            print(f"rejected {spec.job_id or spec.kernel}: {error}")
+    service.stop(drain=True)
+    service.join()
+    failed = 0
+    for job in jobs:
+        job.wait(timeout=0)
+        if job.state is JobState.DONE:
+            print(
+                f"{job.spec.job_id:>12s}  done      "
+                f"makespan {job.result.makespan * 1e3:9.3f} ms  "
+                f"fp {job.result.fingerprint[:12]}"
+            )
+        else:
+            detail = f" ({job.error})" if job.error is not None else ""
+            print(f"{job.spec.job_id:>12s}  {job.state.value:<9s}{detail}")
+            if job.state is JobState.FAILED:
+                failed += 1
+    for name in (
+        "serve_jobs_submitted_total",
+        "serve_jobs_completed_total",
+        "serve_jobs_rejected_total",
+        "serve_jobs_shed_total",
+        "serve_jobs_deadline_cancelled_total",
+        "serve_jobs_failed_total",
+    ):
+        counter = service.metrics.get(name)
+        total = counter.total() if counter is not None else 0
+        print(f"{name:40s} {total:g}")
+    p50 = service.latency_quantile(0.5)
+    p99 = service.latency_quantile(0.99)
+    if p50 is not None:
+        print(f"latency p50/p99 (simulated): {p50 * 1e3:.3f} / {p99 * 1e3:.3f} ms")
+    return 1 if failed else 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.common import ExperimentSettings
     from repro.experiments.runner import apply_performance_args, run_all
@@ -159,8 +321,59 @@ def main(argv=None) -> int:
     add_performance_args(exp_parser)
     exp_parser.set_defaults(handler=_cmd_experiments)
 
+    submit_parser = sub.add_parser(
+        "submit", help="append a job spec to a JSONL job queue file"
+    )
+    submit_parser.add_argument("kernel", help="benchmark kernel name (see `list`)")
+    submit_parser.add_argument(
+        "--queue", required=True, metavar="PATH", help="job queue file (JSONL)"
+    )
+    submit_parser.add_argument("--side", type=int, default=None, help="problem side length")
+    submit_parser.add_argument("--seed", type=int, default=0)
+    submit_parser.add_argument(
+        "--policy", default=None, help="scheduling policy (default: QoS-derived)"
+    )
+    submit_parser.add_argument(
+        "--qos", default="silver", help="QoS class: gold, silver, or bronze"
+    )
+    submit_parser.add_argument(
+        "--deadline", type=float, default=None, help="deadline budget in simulated seconds"
+    )
+    submit_parser.add_argument("--tenant", default="default")
+    submit_parser.add_argument("--job-id", default=None)
+    submit_parser.set_defaults(handler=_cmd_submit)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run a job service over a queue file (docs/serving.md)"
+    )
+    serve_parser.add_argument(
+        "--queue", required=True, metavar="PATH", help="job queue file (JSONL)"
+    )
+    serve_parser.add_argument(
+        "--checkpoint", metavar="PATH", help="crash-safe journal (repro.serve/v1)"
+    )
+    serve_parser.add_argument(
+        "--resume", action="store_true", help="resume interrupted jobs from --checkpoint"
+    )
+    serve_parser.add_argument("--workers", type=int, default=2)
+    serve_parser.add_argument("--capacity", type=int, default=64)
+    serve_parser.add_argument(
+        "--admission", choices=("block", "reject", "shed"), default="reject"
+    )
+    serve_parser.add_argument("--tenant-cap", type=int, default=None)
+    serve_parser.add_argument(
+        "--validate", action="store_true", help="run the invariant checker in every job"
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
+
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        # Boundary errors are user-facing: one line with the stable code,
+        # never a traceback.
+        print(f"error [{error.code}]: {error}")
+        return 2
 
 
 if __name__ == "__main__":

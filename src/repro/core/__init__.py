@@ -1,5 +1,6 @@
 """SHMT core: VOPs, HLOPs, partitioning, runtime, and scheduling policies."""
 
+from repro.core.control import RunControl, filter_blocked
 from repro.core.driver import CommandHandle, Completion, VirtualDevice
 from repro.core.hlop import HLOP, HLOPStatus
 from repro.core.iterative import IterativeResult, run_iterative
@@ -26,6 +27,8 @@ from repro.core.schedulers import (
 from repro.core.vop import VOP_TABLE, VOPCall, kernel_for_vop, vop_catalog
 
 __all__ = [
+    "RunControl",
+    "filter_blocked",
     "CommandHandle",
     "Completion",
     "VirtualDevice",

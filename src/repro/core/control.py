@@ -1,0 +1,81 @@
+"""Run-control hooks: how a long-lived service steers one simulated run.
+
+:class:`RunControl` is the runtime-facing half of the serving layer
+(:mod:`repro.serve`).  The runtime knows nothing about services, circuit
+breakers, or checkpoints; it only consults an optional control object at
+four well-defined points:
+
+* **admission-time device filtering** -- :meth:`RunControl.blocked_devices`
+  is asked once, before planning, which devices the run must avoid (open
+  circuit breakers).  The surviving set is what the scheduler plans over,
+  so routing *and* steal targets skip open devices for the whole run.  The
+  verdict is frozen at run start on purpose: a run is a deterministic
+  function of (call, seed, blocked set), which is what makes checkpoint
+  resume bit-identical and keeps mid-run breaker flaps from perturbing
+  in-flight work.
+* **attempt outcomes** -- :meth:`RunControl.on_attempt` reports every
+  accepted HLOP completion (``ok=True``) and every fault-path event
+  (transient failure, watchdog timeout, worker crash, device death,
+  output corruption; ``ok=False``).  This is the breaker's signal feed.
+* **result journaling** -- :meth:`RunControl.on_hlop_result` receives each
+  accepted HLOP result exactly once, in completion order (the checkpoint
+  writer's hook).
+* **resume lookup** -- :meth:`RunControl.stored_result` may serve a
+  previously journaled result for an HLOP id, skipping the numeric work.
+  Simulated timing is unchanged (service times are calibrated
+  predictions, never measured), so a resumed run replays the interrupted
+  run's timeline exactly and only fills in the missing numerics.
+
+The base class is a complete no-op; a runtime with ``control=None`` takes
+one ``is None`` branch per hook site and is bit-identical to a runtime
+that has never heard of serving.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+import numpy as np
+
+
+class RunControl:
+    """Service-side hooks into one run; the base class is a no-op."""
+
+    def blocked_devices(self, names: Sequence[str]) -> Set[str]:
+        """Device names this run must not schedule onto (open breakers)."""
+        del names
+        return set()
+
+    def on_attempt(self, device_name: str, ok: bool, kind: str = "") -> None:
+        """One HLOP attempt resolved on ``device_name`` (breaker feed)."""
+
+    def on_hlop_result(self, hlop_id: int, result: np.ndarray) -> None:
+        """An HLOP's result was accepted (checkpoint journaling hook)."""
+
+    def stored_result(self, hlop_id: int) -> Optional[np.ndarray]:
+        """A journaled result to serve instead of computing, or ``None``."""
+        del hlop_id
+        return None
+
+
+def filter_blocked(devices: Sequence, blocked: Set[str]) -> List:
+    """Drop breaker-open devices from a run's device set, safely.
+
+    Fail-open guards (overload protection must never deadlock a run):
+
+    * if every device is blocked, the full set is returned unchanged;
+    * if blocking would remove every exact (rank-0) device while the
+      original set had one, the best-rated exact device is kept -- the
+      runtime's corruption-recovery and memory-fallback paths need an
+      exact device to exist.
+    """
+    open_devices = [d for d in devices if d.name not in blocked]
+    if not open_devices:
+        return list(devices)
+    had_exact = any(d.accuracy_rank == 0 for d in devices)
+    has_exact = any(d.accuracy_rank == 0 for d in open_devices)
+    if had_exact and not has_exact:
+        exact = [d for d in devices if d.accuracy_rank == 0]
+        open_devices.append(exact[0])
+        open_devices.sort(key=lambda d: [x.name for x in devices].index(d.name))
+    return open_devices

@@ -36,6 +36,7 @@ from typing import Any, Deque, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.control import RunControl, filter_blocked
 from repro.core.hlop import HLOP, HLOPStatus
 from repro.core.partition import (
     Partition,
@@ -49,7 +50,8 @@ from repro.core.vop import VOPCall
 from repro.devices.base import Device
 from repro.devices.energy import EnergyBreakdown
 from repro.devices.platform import Platform
-from repro.exec.backends import TaskHandle, make_backend
+from repro.errors import DeadlineExceeded, DeviceFault, InvalidInput
+from repro.exec.backends import ResolvedHandle, TaskHandle, make_backend
 from repro.exec.cache import CacheIntegrityError, result_cache
 from repro.exec.task import ComputeTask
 from repro.faults.injector import FaultInjector
@@ -67,6 +69,19 @@ from repro.verify.invariants import RunChecker
 #: per-HLOP and per-element components (see RuntimeConfig.fixed_share).
 REFERENCE_HLOP_COUNT = 64
 REFERENCE_ITEM_COUNT = 2048 * 2048
+
+#: Fault kinds that count as device *failures* for a service's circuit
+#: breakers (recovery actions like retry/re-queue/degrade are not
+#: failures; they are what the breaker's failure count already paid for).
+_BREAKER_FAILURE_KINDS = frozenset(
+    {
+        FaultKind.TRANSIENT,
+        FaultKind.TIMEOUT,
+        FaultKind.DEVICE_DEATH,
+        FaultKind.CORRUPTION,
+        FaultKind.WORKER_CRASH,
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -136,6 +151,17 @@ class RuntimeConfig:
     #: default: the disabled path is one ``is None`` test per hook site
     #: and the run is bit-identical to an unchecked one.
     validate: bool = False
+    #: Deadline budget for this run's device execution, in simulated
+    #: seconds.  ``None`` (the default) never cancels.  With a deadline,
+    #: the event loop stops at the budget and a run with unfinished HLOPs
+    #: raises :class:`~repro.errors.DeadlineExceeded` -- cooperative
+    #: cancellation at HLOP boundaries, the serving layer's QoS knob.
+    deadline: Optional[float] = None
+    #: Service hooks into the run (see :mod:`repro.core.control`):
+    #: admission-time device filtering for open circuit breakers, breaker
+    #: signal feed, checkpoint journaling, and resume result lookup.
+    #: ``None`` keeps the runtime bit-identical to a control-unaware one.
+    control: Optional[RunControl] = None
 
 
 @dataclass
@@ -228,10 +254,18 @@ class SHMTRuntime:
         Figure 1 execution picture).
         """
         if not calls:
-            raise ValueError("execute_batch needs at least one call")
+            raise InvalidInput("execute_batch needs at least one call")
         for index, call in enumerate(calls):
             self._validate_call(index, call)
         devices = self.scheduler.participating(self.platform.devices)
+        control = self.config.control
+        if control is not None:
+            # Admission-time breaker snapshot: the verdict is frozen for
+            # the whole run so scheduling stays a deterministic function
+            # of (calls, seed, blocked set) -- see repro.core.control.
+            blocked = control.blocked_devices([d.name for d in devices])
+            if blocked:
+                devices = filter_blocked(devices, blocked)
         rng = np.random.default_rng(self.config.seed)
         obs: Recorder = RunObserver() if self.config.observe else NULL_RECORDER
         units: List[_CallUnit] = []
@@ -260,11 +294,14 @@ class SHMTRuntime:
         data = np.asarray(call.data)
         where = f"call {index} ({call.label})"
         if data.size == 0:
-            raise ValueError(f"{where}: input array is empty; nothing to partition")
+            raise InvalidInput(
+                f"{where}: input array is empty; nothing to partition", call=index
+            )
         if not np.all(np.isfinite(data)):
-            raise ValueError(
+            raise InvalidInput(
                 f"{where}: input contains NaN or infinity; SHMT requires finite "
-                "inputs (non-finite values would poison quantization calibration)"
+                "inputs (non-finite values would poison quantization calibration)",
+                call=index,
             )
 
     def _build_unit(
@@ -291,6 +328,7 @@ class SHMTRuntime:
             rng=rng,
             total_items=total_items,
             recorder=obs,
+            deadline=self.config.deadline,
         )
         plan = self.scheduler.plan(ctx)
         self._validate_plan(plan, partitions, devices)
@@ -329,14 +367,14 @@ class SHMTRuntime:
         self, plan: Plan, partitions: List[Partition], devices: List[Device]
     ) -> None:
         if len(plan.assignment) != len(partitions):
-            raise ValueError(
+            raise InvalidInput(
                 f"plan covers {len(plan.assignment)} partitions, "
                 f"expected {len(partitions)}"
             )
         known = {d.name for d in devices}
         unknown = set(plan.assignment) - known
         if unknown:
-            raise ValueError(f"plan assigns to unknown devices: {sorted(unknown)}")
+            raise InvalidInput(f"plan assigns to unknown devices: {sorted(unknown)}")
 
     def dispatch_overhead(self, calibration, n_hlops: int, total_items: int) -> float:
         """Total SHMT host overhead (dispatch + aggregation) for one VOP.
@@ -379,6 +417,9 @@ class _BatchRun:
         self.check = check
         if check is not None:
             self.engine.clock_listener = check.observe_clock
+        #: Service hooks (``None`` outside the serving layer); every call
+        #: site is gated on ``is not None``.
+        self.control: Optional[RunControl] = runtime.config.control
         self.states: Dict[str, _DeviceState] = {
             d.name: _DeviceState(device=d) for d in devices
         }
@@ -428,12 +469,44 @@ class _BatchRun:
                         lambda s=state: self._on_device_death(s),
                         kind=EventKind.DEVICE_DEATH,
                     )
-        self.engine.run()
+        deadline = self.runtime.config.deadline
+        if deadline is None:
+            self.engine.run()
+        else:
+            # Cooperative cancellation: simulate up to the budget, then
+            # audit completion.  Events past the deadline stay unfired, so
+            # a cancelled run never charges work beyond the budget.
+            self.engine.run(until=deadline)
+            self._check_deadline(deadline)
         self._charge_epilogues()
         report = self._report()
         if self.check is not None:
             self._finish_validation(report)
         return report
+
+    def _check_deadline(self, deadline: float) -> None:
+        """Cancel the run if device work did not finish within the budget.
+
+        The HLOPs a cancelled run leaves queued or running are reclaimed
+        with the run itself: nothing past this point executes, and the
+        caller (the serving layer) owns the cleanup.
+        """
+        unfinished = [
+            h.hlop_id
+            for unit in self.units
+            for h in unit.hlops
+            if h.status is not HLOPStatus.DONE
+        ]
+        if not unfinished:
+            return
+        total = sum(len(unit.hlops) for unit in self.units)
+        raise DeadlineExceeded(
+            f"run exceeded its deadline budget of {deadline:.6f}s simulated: "
+            f"{total - len(unfinished)}/{total} HLOPs done at cancellation",
+            deadline=deadline,
+            completed=total - len(unfinished),
+            total=total,
+        )
 
     def _finish_validation(self, report: BatchReport) -> None:
         """Post-run invariant audit; raises on any recorded violation.
@@ -892,6 +965,13 @@ class _BatchRun:
         derives from the explicit per-HLOP seed, so results are identical
         whichever backend -- or cache -- serves them.
         """
+        if self.control is not None:
+            # Checkpoint resume: a journaled result stands in for the
+            # computation.  Timing is untouched (service times are model
+            # predictions), so the replayed timeline is bit-identical.
+            stored = self.control.stored_result(hlop.hlop_id)
+            if stored is not None:
+                return ResolvedHandle(stored, cached=True)
         block = hlop.partition.input_block(unit.padded_input)
         seed = (self.runtime.config.seed * 1_000_003 + hlop.hlop_id) % (2**31 - 1)
         task = ComputeTask(
@@ -923,7 +1003,14 @@ class _BatchRun:
         unit = self._unit_of(hlop)
         predicted = state.current.predicted if state.current is not None else 0.0
         self._clear_running(state)
-        result = handle.result()
+        try:
+            result = handle.result()
+        except DeviceFault as fault:
+            # The backend lost the worker computing this HLOP (crashed
+            # process, broken pool).  Surface it as a structured fault and
+            # recover through the standard retry/re-queue machinery.
+            self._on_worker_crash(state, hlop, start, finish, fault)
+            return
         if corrupt:
             result = self.faults.corrupt_output(
                 result, device.name, hlop.hlop_id, attempt
@@ -959,6 +1046,9 @@ class _BatchRun:
         unit.items_by_class[cls] = unit.items_by_class.get(cls, 0) + hlop.n_items
         state.running = False
         hlop.mark_done(device.name, start, finish, result)
+        if self.control is not None:
+            self.control.on_attempt(device.name, True)
+            self.control.on_hlop_result(hlop.hlop_id, result)
         if self.check is not None:
             self.check.on_complete(hlop.hlop_id, device.name, start, finish, unit.index)
         if self.obs.enabled:
@@ -1015,6 +1105,8 @@ class _BatchRun:
         )
         self.fault_events.append(event)
         self.obs.fault(event)
+        if self.control is not None and kind in _BREAKER_FAILURE_KINDS:
+            self.control.on_attempt(device_name, False, kind=kind.value)
         if kind is FaultKind.DEGRADED and self.obs.enabled:
             # Quality degradation is a scheduling decision as much as a
             # fault: mirror it into the decision log so chaos runs and
@@ -1053,6 +1145,25 @@ class _BatchRun:
         state.running = False
         if elapsed > 0:
             self.obs.phase("faulted", state.device.name, elapsed)
+
+    def _on_worker_crash(
+        self,
+        state: _DeviceState,
+        hlop: HLOP,
+        start: float,
+        finish: float,
+        fault: DeviceFault,
+    ) -> None:
+        """A backend worker died mid-task; retry/re-queue like any fault."""
+        self._charge_wasted(state, hlop, start, finish)
+        self._record(
+            FaultKind.WORKER_CRASH,
+            state.device.name,
+            hlop,
+            detail=f"attempt {hlop.attempts}: {fault}",
+        )
+        self._retry_or_requeue(state, hlop)
+        self._try_start(state)
 
     def _on_attempt_failed(
         self, state: _DeviceState, hlop: HLOP, start: float, finish: float

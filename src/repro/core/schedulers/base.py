@@ -38,6 +38,12 @@ class PlanContext:
     #: Observability sink for planning-time telemetry (sampling effort,
     #: criticality distributions); a no-op unless the run is observed.
     recorder: Recorder = field(default=NULL_RECORDER)
+    #: Deadline budget for the run in simulated seconds (``None`` = no
+    #: deadline).  Deadline-aware policies (see ``quality-budget``)
+    #: propagate it into placement: pinning is capped so the predicted
+    #: run time stays inside the budget, instead of discovering the miss
+    #: at cancellation time.
+    deadline: Optional[float] = None
 
     def device_named(self, name: str) -> Device:
         for dev in self.devices:
@@ -140,7 +146,9 @@ def make_scheduler(name: str) -> Scheduler:
     try:
         return _SCHEDULERS[name]()
     except KeyError:
-        raise KeyError(
+        from repro.errors import UnknownName
+
+        raise UnknownName(
             f"unknown scheduler {name!r}; known: {sorted(_SCHEDULERS)}"
         ) from None
 

@@ -66,6 +66,21 @@ class QualityBudget(Scheduler):
         total_items = ctx.total_items or 1
         accurate = ctx.most_accurate_device()
         relaxed = ctx.least_accurate_device()
+        budget = self.budget_factor * free_floor
+        deadline_capped = False
+        if ctx.deadline is not None:
+            # Deadline propagation into placement: convert the absolute
+            # simulated-seconds budget into the same relative unit as
+            # ``predicted`` (fractions of the GPU compute time) and take
+            # the tighter of the two budgets.  A job that cannot even
+            # afford free-floor compute gets zero pins -- best effort
+            # beats a guaranteed cancellation.
+            compute_seconds = calibration.gpu_compute_time(total_items)
+            if compute_seconds > 0:
+                deadline_budget = ctx.deadline / compute_seconds
+                if deadline_budget < budget:
+                    budget = deadline_budget
+                    deadline_capped = True
         order = sorted(
             range(len(ctx.partitions)),
             key=lambda i: estimates[i].score,
@@ -77,7 +92,7 @@ class QualityBudget(Scheduler):
             candidate_items = pinned_items + ctx.partitions[index].n_items
             fraction = candidate_items / total_items
             predicted = max(fraction / exact_rate, free_floor)
-            if predicted > self.budget_factor * free_floor:
+            if predicted > budget:
                 break
             pinned.append(index)
             pinned_items = candidate_items
@@ -92,6 +107,8 @@ class QualityBudget(Scheduler):
         plan.criticalities = [est.score for est in estimates]
         plan.notes["policy"] = "quality-budget"
         plan.notes["pinned_fraction"] = pinned_items / total_items
+        if deadline_capped:
+            plan.notes["deadline_capped"] = True
         if ctx.recorder.enabled:
             ctx.recorder.count(
                 "plan_partitions_total", len(assignment), scheduler=self.name
@@ -111,3 +128,33 @@ class QualityBudget(Scheduler):
 
 
 register_scheduler("quality-budget", QualityBudget)
+
+#: QoS classes for the serving layer (:mod:`repro.serve`): each class maps
+#: to a latency budget factor for :class:`QualityBudget` and a dispatch
+#: priority (lower = served first by the admission queue).
+QOS_CLASSES = {
+    "gold": {"budget_factor": 1.5, "priority": 0},
+    "silver": {"budget_factor": 1.15, "priority": 1},
+    "bronze": {"budget_factor": 1.0, "priority": 2},
+}
+
+
+def qos_priority(qos_class: str) -> int:
+    """Dispatch priority of a QoS class (lower dispatches first)."""
+    return _qos_entry(qos_class)["priority"]
+
+
+def scheduler_for_qos(qos_class: str) -> QualityBudget:
+    """The quality-budget scheduler configured for one QoS class."""
+    return QualityBudget(budget_factor=_qos_entry(qos_class)["budget_factor"])
+
+
+def _qos_entry(qos_class: str) -> dict:
+    from repro.errors import UnknownName
+
+    try:
+        return QOS_CLASSES[qos_class.lower()]
+    except KeyError:
+        raise UnknownName(
+            f"unknown QoS class {qos_class!r}; known: {sorted(QOS_CLASSES)}"
+        ) from None

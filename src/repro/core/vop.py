@@ -18,6 +18,7 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.errors import InvalidInput, UnknownName
 from repro.kernels.registry import KernelSpec, get_kernel
 
 #: Paper Table 1, mapped to registered kernel names.
@@ -70,7 +71,7 @@ def kernel_for_vop(opcode: str) -> KernelSpec:
     for group in VOP_TABLE.values():
         if opcode in group:
             return get_kernel(group[opcode])
-    raise KeyError(f"unknown VOP opcode {opcode!r}; catalog: {vop_catalog()}")
+    raise UnknownName(f"unknown VOP opcode {opcode!r}; catalog: {vop_catalog()}")
 
 
 @dataclass
@@ -91,11 +92,11 @@ class VOPCall:
     def __post_init__(self) -> None:
         self.data = np.ascontiguousarray(self.data, dtype=np.float32)
         if self.data.size == 0:
-            raise ValueError(f"{self.opcode}: empty input data")
+            raise InvalidInput(f"{self.opcode}: empty input data")
         if not np.all(np.isfinite(self.data)):
             # Non-finite values would silently poison the approximate
             # devices' quantization calibration (percentiles of NaN).
-            raise ValueError(f"{self.opcode}: input contains NaN or infinity")
+            raise InvalidInput(f"{self.opcode}: input contains NaN or infinity")
         if self.label is None:
             self.label = self.opcode
 

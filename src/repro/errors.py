@@ -1,0 +1,102 @@
+"""Structured exception hierarchy with stable error codes.
+
+Every error the system raises at a *boundary* -- user input entering the
+CLI or runtime, a job entering the service layer, a backend worker dying,
+a checkpoint failing its integrity audit -- derives from
+:class:`ReproError` and carries a stable machine-readable ``code``.
+Callers (the CLI, the service's job accounting, the soak harness) switch
+on codes instead of matching message strings, so messages can improve
+without breaking anyone.
+
+Compatibility: the hierarchy *extends* the built-in types callers already
+catch.  :class:`ReproError` is a :class:`RuntimeError`;
+:class:`InvalidInput` is additionally a :class:`ValueError` and
+:class:`UnknownName` a :class:`KeyError`, so pre-existing
+``except ValueError`` / ``except KeyError`` sites (and tests) keep
+working while new code can assert on ``error.code``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+class ReproError(RuntimeError):
+    """Base of every structured error; carries a stable ``code``.
+
+    ``context`` holds machine-readable details (device names, job ids,
+    limits) so handlers never have to parse the message.
+    """
+
+    code: str = "REPRO_ERROR"
+
+    def __init__(self, message: str = "", **context: Any) -> None:
+        super().__init__(message or self.code)
+        self.context: Dict[str, Any] = context
+
+    def __str__(self) -> str:
+        # KeyError.__str__ would repr() the message for the dual-inherited
+        # subclasses below; always render the plain message instead.
+        return str(self.args[0]) if self.args else self.code
+
+
+class InvalidInput(ReproError, ValueError):
+    """User-supplied data or configuration is unusable (bad shape, NaN,
+    negative size, malformed plan)."""
+
+    code = "INVALID_INPUT"
+
+
+class UnknownName(ReproError, KeyError):
+    """A name failed registry lookup (kernel, policy, backend, VOP)."""
+
+    code = "UNKNOWN_NAME"
+
+
+class AdmissionRejected(ReproError):
+    """The service declined to queue a job (queue full, tenant over its
+    fairness cap, or submission timed out while blocked)."""
+
+    code = "ADMISSION_REJECTED"
+
+
+class DeadlineExceeded(ReproError):
+    """A job ran past its deadline budget and was cooperatively cancelled
+    at an HLOP boundary."""
+
+    code = "DEADLINE_EXCEEDED"
+
+
+class CircuitOpen(ReproError):
+    """An operation required a device whose circuit breaker is open."""
+
+    code = "CIRCUIT_OPEN"
+
+
+class CheckpointCorrupt(ReproError):
+    """A checkpoint journal failed its integrity audit (bad format tag,
+    fingerprint mismatch, or undecodable record)."""
+
+    code = "CHECKPOINT_CORRUPT"
+
+
+class DeviceFault(ReproError):
+    """A compute backend lost the worker executing a task (crashed
+    process, broken pool) -- the structured form of
+    ``BrokenProcessPool``, so the runtime can retry/re-queue and the
+    service can trip the device's breaker."""
+
+    code = "DEVICE_FAULT"
+
+
+class ServiceStopped(ReproError):
+    """The service is shut down (or killed) and accepts no more work."""
+
+    code = "SERVICE_STOPPED"
+
+
+class ServiceKilled(ReproError):
+    """The service crashed mid-run (the soak harness's kill drill); jobs
+    in flight are abandoned and must be resumed from the checkpoint."""
+
+    code = "SERVICE_KILLED"

@@ -32,11 +32,17 @@ from __future__ import annotations
 import abc
 import os
 import threading
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.errors import DeviceFault, UnknownName
 from repro.exec.cache import ResultCache
 from repro.exec.task import ComputeTask
 
@@ -74,16 +80,42 @@ class ResolvedHandle(TaskHandle):
 
 
 class FutureHandle(TaskHandle):
-    """A handle backed by a concurrent future (pool backends)."""
+    """A handle backed by a concurrent future (pool backends).
 
-    def __init__(self, future: "Future[np.ndarray]") -> None:
+    A worker that dies mid-task (OOM-killed, segfault) surfaces from
+    ``concurrent.futures`` as :class:`BrokenExecutor` -- a pool-level
+    error that says nothing about *what* was running.  ``result()``
+    translates it into a structured :class:`~repro.errors.DeviceFault`
+    naming the task, so the runtime can treat it like any other device
+    failure (retry/requeue, feed circuit breakers) instead of crashing
+    the whole batch.  ``on_broken`` lets the owning backend discard the
+    broken shared pool so later submissions get a fresh one.
+    """
+
+    def __init__(
+        self,
+        future: "Future[np.ndarray]",
+        describe: str = "task",
+        on_broken: Optional[Callable[[], None]] = None,
+    ) -> None:
         super().__init__()
         self._future = future
+        self._describe = describe
+        self._on_broken = on_broken
         self._value: Optional[np.ndarray] = None
 
     def result(self) -> np.ndarray:
         if self._value is None:
-            self._value = self._future.result()
+            try:
+                self._value = self._future.result()
+            except BrokenExecutor as error:
+                if self._on_broken is not None:
+                    self._on_broken()
+                raise DeviceFault(
+                    f"worker crashed while running {self._describe}: "
+                    f"{type(error).__name__}: {error}",
+                    task=self._describe,
+                ) from error
         return self._value
 
 
@@ -160,6 +192,34 @@ def _shared_executor(kind: str, workers: int):
         return executor
 
 
+def _evict_broken_executor(kind: str, workers: int) -> None:
+    """Drop the shared executor for ``(kind, workers)`` if it is broken.
+
+    Only evicts an executor that actually reports itself broken: by the
+    time a failed future is joined another caller may already have
+    replaced the pool, and a healthy replacement must not be torn down.
+    """
+    with _EXECUTORS_LOCK:
+        executor = _EXECUTORS.get((kind, workers))
+        if executor is None or not getattr(executor, "_broken", False):
+            return
+        del _EXECUTORS[(kind, workers)]
+    try:
+        executor.shutdown(wait=False)
+    except Exception:  # pragma: no cover - best-effort cleanup
+        pass
+
+
+def _inline_future(task: ComputeTask) -> "Future[np.ndarray]":
+    """Run ``task`` on the calling thread, packaged as a finished future."""
+    inner: "Future[np.ndarray]" = Future()
+    try:
+        inner.set_result(task.run())
+    except BaseException as error:  # pragma: no cover - kernel bug
+        inner.set_exception(error)
+    return inner
+
+
 class PoolBackend(ExecBackend):
     """Worker-pool execution with cache consult and in-flight dedup."""
 
@@ -188,12 +248,20 @@ class PoolBackend(ExecBackend):
             with self._inflight_lock:
                 pending = self._inflight.get(key)
                 if pending is not None:
-                    return FutureHandle(pending)
+                    return self._handle(pending, task)
                 future = self._dispatch(task, key)
                 self._inflight[key] = future
             future.add_done_callback(lambda _f, k=key: self._forget(k))
-            return FutureHandle(future)
-        return FutureHandle(self._dispatch(task, None))
+            return self._handle(future, task)
+        return self._handle(self._dispatch(task, None), task)
+
+    def _handle(self, future: "Future[np.ndarray]", task: ComputeTask) -> FutureHandle:
+        describe = f"{task.kernel or 'task'}/hlop{task.hlop_id} on {task.device.name}"
+        return FutureHandle(
+            future,
+            describe=describe,
+            on_broken=lambda: _evict_broken_executor(self.kind, self.jobs),
+        )
 
     def _forget(self, key: str) -> None:
         with self._inflight_lock:
@@ -206,13 +274,18 @@ class PoolBackend(ExecBackend):
             # process pool must not try to pickle the backend (whose
             # in-flight lock is unpicklable) along with the task.
             inner = executor.submit(_run_task, task)
+        except BrokenExecutor:
+            # The shared pool already died (an earlier worker crash).
+            # Evict it and retry once on a fresh pool before giving up
+            # and running inline.
+            _evict_broken_executor(self.kind, self.jobs)
+            try:
+                inner = _shared_executor(self.kind, self.jobs).submit(_run_task, task)
+            except Exception:
+                inner = _inline_future(task)
         except Exception:
             # Unpicklable task / saturated pool teardown: run inline.
-            inner: "Future[np.ndarray]" = Future()
-            try:
-                inner.set_result(task.run())
-            except BaseException as error:  # pragma: no cover - kernel bug
-                inner.set_exception(error)
+            inner = _inline_future(task)
         if self.cache is None:
             return inner
         outer: "Future[np.ndarray]" = Future()
@@ -260,7 +333,7 @@ def make_backend(
     try:
         factory = _BACKENDS[name]
     except KeyError:
-        raise KeyError(
+        raise UnknownName(
             f"unknown backend {name!r}; known: {backend_names()}"
         ) from None
     return factory(jobs, cache, validate)

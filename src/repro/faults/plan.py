@@ -185,6 +185,10 @@ class FaultKind(enum.Enum):
     TIMEOUT = "timeout"
     DEVICE_DEATH = "device-death"
     CORRUPTION = "corruption"
+    #: A compute-backend worker died mid-task (e.g. a crashed process in
+    #: the process pool) -- a *real* fault surfaced by the backend, not an
+    #: injected one; recovered through the same retry/re-queue machinery.
+    WORKER_CRASH = "worker-crash"
     RETRY = "retry"
     REQUEUE = "requeue"
     DEGRADED = "degraded"

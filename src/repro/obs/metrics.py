@@ -126,6 +126,37 @@ class Histogram:
     def summary(self, **labels: str) -> Optional[HistogramSeries]:
         return self._series.get(labels_key(labels))
 
+    def quantile(self, q: float, **labels: str) -> Optional[float]:
+        """Estimate the ``q``-quantile (0..1) of one series from its buckets.
+
+        Prometheus-style linear interpolation inside the containing
+        bucket, clamped to the observed ``[min, max]`` so the estimate
+        never leaves the data's range (the +Inf bucket reports ``max``).
+        Returns ``None`` for an unobserved series.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        series = self._series.get(labels_key(labels))
+        if series is None or series.count == 0:
+            return None
+        rank = q * series.count
+        previous_bound = 0.0
+        previous_cumulative = 0
+        for bound, cumulative in zip(self.bounds, series.bucket_counts):
+            if cumulative >= rank:
+                if bound == float("inf"):
+                    return series.max
+                in_bucket = cumulative - previous_cumulative
+                if in_bucket == 0:
+                    estimate = bound
+                else:
+                    fraction = (rank - previous_cumulative) / in_bucket
+                    estimate = previous_bound + fraction * (bound - previous_bound)
+                return min(max(estimate, series.min), series.max)
+            previous_bound = bound
+            previous_cumulative = cumulative
+        return series.max
+
     def series(self) -> Dict[LabelKey, HistogramSeries]:
         return dict(self._series)
 

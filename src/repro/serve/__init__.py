@@ -1,0 +1,49 @@
+"""repro.serve -- the long-lived SHMT job service layer.
+
+Wraps the one-shot runtime into a thread-safe service: bounded admission
+with backpressure and tenant fairness, QoS classes and deadlines with
+cooperative cancellation, per-device circuit breakers, and crash-safe
+checkpoint/resume with bit-identical replay.  See ``docs/serving.md``.
+"""
+
+from repro.serve.admission import (
+    ADMISSION_POLICIES,
+    AdmissionConfig,
+    AdmissionQueue,
+)
+from repro.serve.breaker import (
+    BreakerBoard,
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+)
+from repro.serve.checkpoint import (
+    FORMAT as CHECKPOINT_FORMAT,
+    CheckpointState,
+    CheckpointWriter,
+    JobJournal,
+    load_checkpoint,
+)
+from repro.serve.job import Job, JobResult, JobSpec, JobState
+from repro.serve.service import ServiceConfig, ShmtService
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionConfig",
+    "AdmissionQueue",
+    "BreakerBoard",
+    "BreakerConfig",
+    "BreakerState",
+    "CHECKPOINT_FORMAT",
+    "CheckpointState",
+    "CheckpointWriter",
+    "CircuitBreaker",
+    "Job",
+    "JobJournal",
+    "JobResult",
+    "JobSpec",
+    "JobState",
+    "ServiceConfig",
+    "ShmtService",
+    "load_checkpoint",
+]

@@ -1,0 +1,208 @@
+"""Bounded admission queue with backpressure and tenant fairness.
+
+The queue is the service's overload-protection boundary.  Three
+backpressure policies decide what happens when it is full:
+
+* ``block`` -- the submitter waits (bounded by a timeout) for space; the
+  classic closed-loop producer throttle.
+* ``reject`` -- submission fails immediately with
+  :class:`~repro.errors.AdmissionRejected` (code ``ADMISSION_REJECTED``);
+  the open-loop "fail fast" stance.
+* ``shed`` -- the submission is accepted if a strictly lower-priority
+  queued job can be evicted to make room (the evicted job is *shed*);
+  otherwise the incoming job itself is shed.  Gold traffic displaces
+  bronze under overload, but never older jobs of its own class.
+
+Independent of capacity, a per-tenant cap bounds how much of the queue
+one tenant may hold, so a single chatty tenant cannot starve the rest
+(fairness, not load protection -- the cap applies even to an empty
+queue's headroom).
+
+Dispatch order is (QoS priority, submission order): strict priority with
+FIFO inside a class.  The queue is thread-safe; ``get`` blocks service
+workers until work or shutdown.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import AdmissionRejected, ServiceStopped
+from repro.serve.job import Job
+
+#: Backpressure policies for a full queue.
+ADMISSION_POLICIES = ("block", "reject", "shed")
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Queue sizing and backpressure behaviour."""
+
+    capacity: int = 64
+    policy: str = "reject"
+    #: Max queued jobs per tenant (``None`` = uncapped).
+    tenant_cap: Optional[int] = None
+    #: Default wait for ``block`` submissions (``None`` = wait forever).
+    block_timeout: Optional[float] = 30.0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        if self.policy not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {self.policy!r}; "
+                f"known: {list(ADMISSION_POLICIES)}"
+            )
+        if self.tenant_cap is not None and self.tenant_cap < 1:
+            raise ValueError("tenant_cap must be >= 1")
+
+
+class AdmissionQueue:
+    """Bounded, priority-ordered, tenant-fair job queue."""
+
+    def __init__(self, config: Optional[AdmissionConfig] = None) -> None:
+        self.config = config or AdmissionConfig()
+        self._jobs: List[Job] = []
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+
+    # ------------------------------------------------------------------ submit
+
+    def put(self, job: Job, timeout: Optional[float] = None) -> List[Job]:
+        """Admit ``job``; returns the jobs *shed* to make room (if any).
+
+        The returned list may contain ``job`` itself (the incoming job
+        was shed under the ``shed`` policy); the caller owns marking shed
+        jobs terminal.  Raises :class:`AdmissionRejected` when the job is
+        refused outright (full queue under ``reject``, tenant over its
+        cap, or a ``block`` submission that timed out) and
+        :class:`ServiceStopped` after :meth:`close`.
+        """
+        config = self.config
+        with self._lock:
+            self._check_open()
+            self._check_tenant(job)
+            if len(self._jobs) < config.capacity:
+                self._enqueue(job)
+                return []
+            if config.policy == "reject":
+                raise AdmissionRejected(
+                    f"admission queue full ({config.capacity} jobs)",
+                    reason="queue-full",
+                    capacity=config.capacity,
+                )
+            if config.policy == "shed":
+                return self._shed_for(job)
+            # block: wait for space (bounded), re-checking the tenant cap
+            # when we wake -- other tenants' departures must not let a
+            # capped tenant in through the back door.
+            deadline = timeout if timeout is not None else config.block_timeout
+            if not self._not_full.wait_for(
+                lambda: self._closed or len(self._jobs) < config.capacity,
+                timeout=deadline,
+            ):
+                raise AdmissionRejected(
+                    f"timed out after {deadline}s waiting for queue space",
+                    reason="block-timeout",
+                    capacity=config.capacity,
+                )
+            self._check_open()
+            self._check_tenant(job)
+            self._enqueue(job)
+            return []
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceStopped("service is stopped; submissions are closed")
+
+    def _check_tenant(self, job: Job) -> None:
+        cap = self.config.tenant_cap
+        if cap is None:
+            return
+        held = sum(1 for j in self._jobs if j.spec.tenant == job.spec.tenant)
+        if held >= cap:
+            raise AdmissionRejected(
+                f"tenant {job.spec.tenant!r} already holds {held} queued jobs "
+                f"(cap {cap})",
+                reason="tenant-cap",
+                tenant=job.spec.tenant,
+                cap=cap,
+            )
+
+    def _enqueue(self, job: Job) -> None:
+        self._jobs.append(job)
+        self._not_empty.notify()
+
+    def _shed_for(self, job: Job) -> List[Job]:
+        """Make room by evicting the worst queued job, or shed ``job``.
+
+        The victim is the lowest-priority (largest priority number),
+        newest queued job -- and only if it is *strictly* worse than the
+        incoming one.  An incoming job no better than everything queued
+        is shed itself: displacing an equal-priority older job would
+        break FIFO fairness within the class.
+        """
+        victim = max(self._jobs, key=lambda j: (j.spec.priority, j.seq))
+        if victim.spec.priority > job.spec.priority:
+            self._jobs.remove(victim)
+            self._enqueue(job)
+            return [victim]
+        return [job]
+
+    def readmit(self, job: Job) -> None:
+        """Re-enqueue a previously admitted job, bypassing backpressure.
+
+        Resume-path only: the job passed admission control once (in the
+        killed service); capacity and tenant caps get no second veto.
+        Still refuses after :meth:`close`.
+        """
+        with self._lock:
+            self._check_open()
+            self._enqueue(job)
+
+    # ---------------------------------------------------------------- dispatch
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Pop the highest-priority job; ``None`` on timeout or shutdown."""
+        with self._lock:
+            if not self._not_empty.wait_for(
+                lambda: self._closed or self._jobs, timeout=timeout
+            ):
+                return None
+            if not self._jobs:
+                return None  # closed and drained
+            job = min(self._jobs, key=lambda j: (j.spec.priority, j.seq))
+            self._jobs.remove(job)
+            self._not_full.notify()
+            return job
+
+    # ------------------------------------------------------------------- admin
+
+    def close(self) -> None:
+        """Stop accepting work and wake every blocked producer/consumer."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    def drain(self) -> List[Job]:
+        """Remove and return every queued job (shutdown accounting)."""
+        with self._lock:
+            jobs, self._jobs = self._jobs, []
+            self._not_full.notify_all()
+            return jobs
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    def depth_by_tenant(self) -> Dict[str, int]:
+        with self._lock:
+            counts: Dict[str, int] = {}
+            for job in self._jobs:
+                counts[job.spec.tenant] = counts.get(job.spec.tenant, 0) + 1
+            return counts

@@ -1,0 +1,199 @@
+"""Per-device circuit breakers for the serving layer.
+
+A breaker classifies each device as healthy or failing from the runtime's
+attempt-outcome feed (:meth:`repro.core.control.RunControl.on_attempt`)
+and gates *admission-time routing*: a run started while a device's breaker
+is open plans, routes, and steals entirely on the surviving devices, so
+QAWS degrades gracefully to the healthy set instead of feeding work to a
+device that keeps burning retry budgets.
+
+State machine (the classic three states)::
+
+          K consecutive failures
+    CLOSED ----------------------> OPEN
+      ^                              |
+      |  close_threshold             |  cooldown elapsed
+      |  consecutive successes       v
+      +--------------------- HALF_OPEN
+                 (any failure re-opens)
+
+* **CLOSED** -- healthy; failures are counted, ``failure_threshold``
+  consecutive ones trip the breaker.
+* **OPEN** -- the device is excluded from new runs.  After ``cooldown``
+  seconds the next routing query moves it to HALF_OPEN.
+* **HALF_OPEN** -- the device is admitted again; the HLOPs the next runs
+  send it are the probe traffic.  ``close_threshold`` consecutive
+  successes close the breaker; a single failure re-opens it and restarts
+  the cooldown.
+
+The clock is injectable (``clock=lambda: t``) so tests and the soak
+harness drive the cooldown deterministically; the default is wall time
+(:func:`time.monotonic`), since breaker state is *service* state, not
+simulation state -- it deliberately lives outside the simulated timeline
+(see the admission-time snapshot contract in :mod:`repro.core.control`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+
+class BreakerState(Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip/recover thresholds shared by every device's breaker."""
+
+    #: Consecutive failures that trip CLOSED -> OPEN.
+    failure_threshold: int = 3
+    #: Seconds (by the breaker's clock) an open breaker waits before
+    #: allowing half-open probe traffic.
+    cooldown: float = 1.0
+    #: Consecutive half-open successes that close the breaker.
+    close_threshold: int = 2
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.close_threshold < 1:
+            raise ValueError("close_threshold must be >= 1")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+
+
+#: Transition listener: ``(device_name, old_state, new_state)``.
+TransitionListener = Callable[[str, BreakerState, BreakerState], None]
+
+
+class CircuitBreaker:
+    """One device's breaker.  Not thread-safe; the board serializes."""
+
+    def __init__(
+        self,
+        device: str,
+        config: BreakerConfig,
+        clock: Callable[[], float],
+        listener: Optional[TransitionListener] = None,
+    ) -> None:
+        self.device = device
+        self.config = config
+        self._clock = clock
+        self._listener = listener
+        self.state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._consecutive_successes = 0
+        self._opened_at = 0.0
+
+    def _transition(self, new: BreakerState) -> None:
+        old, self.state = self.state, new
+        if new is BreakerState.OPEN:
+            self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self._consecutive_successes = 0
+        if self._listener is not None and old is not new:
+            self._listener(self.device, old, new)
+
+    def record(self, ok: bool) -> None:
+        """Feed one attempt outcome (success or breaker-relevant failure)."""
+        if ok:
+            self._consecutive_failures = 0
+            if self.state is BreakerState.HALF_OPEN:
+                self._consecutive_successes += 1
+                if self._consecutive_successes >= self.config.close_threshold:
+                    self._transition(BreakerState.CLOSED)
+            return
+        self._consecutive_successes = 0
+        if self.state is BreakerState.HALF_OPEN:
+            # A probe failed: straight back to OPEN, cooldown restarts.
+            self._transition(BreakerState.OPEN)
+            return
+        if self.state is BreakerState.CLOSED:
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.config.failure_threshold:
+                self._transition(BreakerState.OPEN)
+
+    def allows(self) -> bool:
+        """May a new run route to this device right now?
+
+        An OPEN breaker whose cooldown has elapsed transitions to
+        HALF_OPEN here -- admission queries are what discover recovery,
+        so probe traffic starts exactly when routing resumes.
+        """
+        if self.state is BreakerState.OPEN:
+            if self._clock() - self._opened_at >= self.config.cooldown:
+                self._transition(BreakerState.HALF_OPEN)
+                return True
+            return False
+        return True
+
+
+class BreakerBoard:
+    """Thread-safe collection of breakers, one per device name.
+
+    The board is the service's single source of device-health truth: the
+    run-control hooks feed it outcomes and ask it for the blocked set at
+    admission time.
+    """
+
+    def __init__(
+        self,
+        config: Optional[BreakerConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+        listener: Optional[TransitionListener] = None,
+    ) -> None:
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self._listener = listener
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._lock = threading.Lock()
+
+    def _breaker(self, device: str) -> CircuitBreaker:
+        breaker = self._breakers.get(device)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                device, self.config, self._clock, self._listener
+            )
+            self._breakers[device] = breaker
+        return breaker
+
+    def record(self, device: str, ok: bool) -> None:
+        with self._lock:
+            self._breaker(device).record(ok)
+
+    def blocked(self, names: Sequence[str]) -> Set[str]:
+        """The subset of ``names`` that must not receive new runs."""
+        with self._lock:
+            return {
+                name for name in names if not self._breaker(name).allows()
+            }
+
+    def state(self, device: str) -> BreakerState:
+        with self._lock:
+            return self._breaker(device).state
+
+    def states(self) -> Dict[str, BreakerState]:
+        with self._lock:
+            return {name: b.state for name, b in self._breakers.items()}
+
+    def force_open(self, device: str) -> None:
+        """Trip a breaker administratively (tests, drills, ops runbooks)."""
+        with self._lock:
+            breaker = self._breaker(device)
+            if breaker.state is not BreakerState.OPEN:
+                breaker._transition(BreakerState.OPEN)
+
+    def open_devices(self) -> List[str]:
+        with self._lock:
+            return sorted(
+                name
+                for name, b in self._breakers.items()
+                if b.state is BreakerState.OPEN
+            )

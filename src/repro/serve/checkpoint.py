@@ -1,0 +1,243 @@
+"""Crash-safe checkpoint journal (format ``repro.serve/v1``).
+
+Append-only JSONL: one record per line, flushed at every append, so a
+service killed at any instant loses at most the torn final line (which
+the reader tolerates and drops).  Nothing is ever rewritten in place --
+recovery is a pure replay of the journal.
+
+Record types (all carry ``"v": "repro.serve/v1"`` is implied by the meta
+line; each line is one JSON object):
+
+* ``meta`` -- first line: ``{"type": "meta", "format": "repro.serve/v1"}``.
+  A journal whose first line is anything else fails loading with
+  :class:`~repro.errors.CheckpointCorrupt` (code ``CHECKPOINT_CORRUPT``).
+* ``job-start`` -- a job began running: its full :class:`JobSpec` dict and
+  the breaker-blocked device snapshot frozen for the run.  The spec plus
+  the blocked set plus the journaled HLOP results are *sufficient* to
+  replay the run bit-identically (runs are deterministic functions of
+  them; see :mod:`repro.core.control`).
+* ``hlop`` -- one accepted HLOP result: dtype, shape, base64 payload, and
+  a content fingerprint.  The reader re-hashes the payload and raises
+  ``CheckpointCorrupt`` on mismatch.
+* ``job-end`` -- a job reached a terminal state (``done``, ``failed``,
+  ``deadline``, ``shed``, ``rejected``) with its output fingerprint when
+  one exists.  Shed/rejected jobs get a ``job-end`` without a
+  ``job-start``: every job the service ever saw is accounted for.
+
+A job with a ``job-start`` but no ``job-end`` was interrupted; its
+journaled HLOP results seed the resumed run, which recomputes only the
+missing ones.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import CheckpointCorrupt
+from repro.exec import fingerprint_array
+from repro.serve.job import JobSpec
+
+FORMAT = "repro.serve/v1"
+
+#: Job terminal states a journal may record.
+TERMINAL_STATES = ("done", "failed", "deadline", "shed", "rejected")
+
+
+class CheckpointWriter:
+    """Append-only journal writer; thread-safe; flushes every record."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        exists = os.path.exists(path) and os.path.getsize(path) > 0
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._file = open(path, "a", encoding="utf-8")
+        if not exists:
+            self._append({"type": "meta", "format": FORMAT})
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        with self._lock:
+            self._file.write(line + "\n")
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def job_start(self, spec: JobSpec, blocked: List[str]) -> None:
+        self._append(
+            {
+                "type": "job-start",
+                "job_id": spec.job_id,
+                "spec": spec.to_dict(),
+                "blocked": sorted(blocked),
+            }
+        )
+
+    def hlop_result(self, job_id: str, hlop_id: int, result: np.ndarray) -> None:
+        payload = np.ascontiguousarray(result)
+        self._append(
+            {
+                "type": "hlop",
+                "job_id": job_id,
+                "hlop_id": hlop_id,
+                "dtype": str(payload.dtype),
+                "shape": list(payload.shape),
+                "data": base64.b64encode(payload.tobytes()).decode("ascii"),
+                "fingerprint": fingerprint_array(payload),
+            }
+        )
+
+    def job_end(
+        self,
+        job_id: str,
+        state: str,
+        fingerprint: Optional[str] = None,
+        makespan: Optional[float] = None,
+        error_code: Optional[str] = None,
+    ) -> None:
+        if state not in TERMINAL_STATES:
+            raise ValueError(f"not a terminal state: {state!r}")
+        record: Dict[str, Any] = {
+            "type": "job-end",
+            "job_id": job_id,
+            "state": state,
+        }
+        if fingerprint is not None:
+            record["fingerprint"] = fingerprint
+        if makespan is not None:
+            record["makespan"] = makespan
+        if error_code is not None:
+            record["error_code"] = error_code
+        self._append(record)
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+
+@dataclass
+class JobJournal:
+    """Everything the journal knows about one job."""
+
+    job_id: str
+    spec: Optional[JobSpec] = None
+    blocked: List[str] = field(default_factory=list)
+    #: Journaled HLOP results (hlop_id -> array), in completion order.
+    hlops: Dict[int, np.ndarray] = field(default_factory=dict)
+    state: Optional[str] = None
+    fingerprint: Optional[str] = None
+    makespan: Optional[float] = None
+    error_code: Optional[str] = None
+
+    @property
+    def interrupted(self) -> bool:
+        """Started but never reached a terminal state."""
+        return self.spec is not None and self.state is None
+
+
+@dataclass
+class CheckpointState:
+    """The replayed journal: per-job records in first-seen order."""
+
+    jobs: Dict[str, JobJournal] = field(default_factory=dict)
+
+    def pending(self) -> List[JobJournal]:
+        """Jobs interrupted mid-run, in journal order."""
+        return [j for j in self.jobs.values() if j.interrupted]
+
+    def terminal(self) -> List[JobJournal]:
+        return [j for j in self.jobs.values() if j.state is not None]
+
+
+def load_checkpoint(path: str) -> CheckpointState:
+    """Replay a journal into a :class:`CheckpointState`.
+
+    Tolerates exactly one torn record: an undecodable *final* line (the
+    crash wrote half a line).  An undecodable line anywhere else, a bad
+    format tag, an unknown record type, or an HLOP payload failing its
+    fingerprint check raises :class:`CheckpointCorrupt`.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        raw = handle.read()
+    lines = raw.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    records: List[Dict[str, Any]] = []
+    for index, line in enumerate(lines):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                break  # torn tail from the crash; everything before it holds
+            raise CheckpointCorrupt(
+                f"undecodable journal record at line {index + 1}",
+                path=path,
+                line=index + 1,
+            ) from None
+    if not records:
+        raise CheckpointCorrupt(f"checkpoint {path} is empty", path=path)
+    meta = records[0]
+    if meta.get("type") != "meta" or meta.get("format") != FORMAT:
+        raise CheckpointCorrupt(
+            f"checkpoint {path} does not declare format {FORMAT!r}",
+            path=path,
+            found=meta.get("format"),
+        )
+    state = CheckpointState()
+    for index, record in enumerate(records[1:], start=2):
+        kind = record.get("type")
+        job_id = record.get("job_id", "")
+        journal = state.jobs.get(job_id)
+        if journal is None:
+            journal = state.jobs[job_id] = JobJournal(job_id=job_id)
+        if kind == "job-start":
+            journal.spec = JobSpec.from_dict(record["spec"])
+            journal.blocked = list(record.get("blocked", []))
+        elif kind == "hlop":
+            journal.hlops[int(record["hlop_id"])] = _decode_hlop(
+                record, path, index
+            )
+        elif kind == "job-end":
+            journal.state = record["state"]
+            journal.fingerprint = record.get("fingerprint")
+            journal.makespan = record.get("makespan")
+            journal.error_code = record.get("error_code")
+        else:
+            raise CheckpointCorrupt(
+                f"unknown journal record type {kind!r} at line {index}",
+                path=path,
+                line=index,
+            )
+    return state
+
+
+def _decode_hlop(record: Dict[str, Any], path: str, line: int) -> np.ndarray:
+    try:
+        payload = base64.b64decode(record["data"], validate=True)
+        array = np.frombuffer(payload, dtype=np.dtype(record["dtype"]))
+        array = array.reshape([int(n) for n in record["shape"]])
+    except (KeyError, ValueError, TypeError) as error:
+        raise CheckpointCorrupt(
+            f"undecodable HLOP payload at line {line}: {error}",
+            path=path,
+            line=line,
+        ) from None
+    expected = record.get("fingerprint")
+    actual = fingerprint_array(array)
+    if expected != actual:
+        raise CheckpointCorrupt(
+            f"HLOP {record.get('hlop_id')} payload fingerprint mismatch at "
+            f"line {line} (journal {expected!r}, content {actual!r})",
+            path=path,
+            line=line,
+            hlop_id=record.get("hlop_id"),
+        )
+    return array

@@ -1,0 +1,167 @@
+"""Jobs: the unit of work a :class:`~repro.serve.service.ShmtService` runs.
+
+A :class:`JobSpec` is pure data -- everything needed to reconstruct the
+run deterministically (kernel, size, seed, policy, QoS class, deadline),
+which is also exactly what the checkpoint journals.  A :class:`Job` wraps
+a spec with the service-side lifecycle: state machine, completion event,
+result/error slots.
+
+Job lifecycle::
+
+    submit() --> QUEUED --> RUNNING --> DONE
+                    |           |-----> DEADLINE   (budget exceeded)
+                    |           '-----> FAILED     (unrecoverable error)
+                    |--> SHED                      (evicted under overload)
+                    '--> (AdmissionRejected at submit; never queued)
+
+Every terminal state is journaled, so a resumed service accounts for
+every job the killed service ever accepted.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.core.schedulers.qos import QOS_CLASSES, qos_priority
+from repro.errors import InvalidInput, UnknownName
+from repro.workloads.generator import workload_names
+
+
+class JobState(Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    SHED = "shed"
+    DEADLINE = "deadline"
+
+    @property
+    def terminal(self) -> bool:
+        return self not in (JobState.QUEUED, JobState.RUNNING)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Deterministic description of one job's work.
+
+    ``policy`` may be a scheduler registry name; ``None`` selects the
+    quality-budget scheduler configured by ``qos_class`` (the serving
+    default: QoS class picks the latency/quality trade-off).
+    """
+
+    kernel: str
+    size: Optional[int] = None
+    seed: int = 0
+    policy: Optional[str] = None
+    qos_class: str = "silver"
+    #: Deadline budget in *simulated* seconds (``None`` = no deadline).
+    deadline: Optional[float] = None
+    tenant: str = "default"
+    job_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kernel not in workload_names():
+            raise UnknownName(
+                f"unknown kernel {self.kernel!r}; known: {workload_names()}"
+            )
+        if self.qos_class not in QOS_CLASSES:
+            raise UnknownName(
+                f"unknown QoS class {self.qos_class!r}; known: {sorted(QOS_CLASSES)}"
+            )
+        if self.size is not None and self.size <= 0:
+            raise InvalidInput(f"size must be positive, got {self.size}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise InvalidInput(f"deadline must be positive, got {self.deadline}")
+
+    @property
+    def priority(self) -> int:
+        """Admission priority (lower dispatches first)."""
+        return qos_priority(self.qos_class)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kernel": self.kernel,
+            "size": self.size,
+            "seed": self.seed,
+            "policy": self.policy,
+            "qos_class": self.qos_class,
+            "deadline": self.deadline,
+            "tenant": self.tenant,
+            "job_id": self.job_id,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "JobSpec":
+        known = {
+            "kernel",
+            "size",
+            "seed",
+            "policy",
+            "qos_class",
+            "deadline",
+            "tenant",
+            "job_id",
+        }
+        unknown = set(record) - known
+        if unknown:
+            raise InvalidInput(f"unknown job spec fields: {sorted(unknown)}")
+        if "kernel" not in record:
+            raise InvalidInput("job spec is missing required field 'kernel'")
+        return cls(**record)
+
+
+@dataclass
+class JobResult:
+    """What a completed job reports back (arrays stay with the Job)."""
+
+    fingerprint: str
+    makespan: float
+    wall_seconds: float
+    degraded: bool = False
+    plan_notes: Dict[str, Any] = field(default_factory=dict)
+
+
+class Job:
+    """One submitted job: spec + lifecycle + completion signalling."""
+
+    def __init__(self, spec: JobSpec, seq: int) -> None:
+        self.spec = spec
+        #: Submission sequence number: FIFO tie-break within a priority.
+        self.seq = seq
+        self.state = JobState.QUEUED
+        self.error: Optional[BaseException] = None
+        self.result: Optional[JobResult] = None
+        self.output: Optional[np.ndarray] = None
+        #: Device names excluded by open breakers when the run started
+        #: (journaled: resume replays the run against this frozen set).
+        self.blocked: Optional[list] = None
+        self._done = threading.Event()
+
+    @property
+    def job_id(self) -> str:
+        return self.spec.job_id
+
+    def finish(
+        self,
+        state: JobState,
+        result: Optional[JobResult] = None,
+        output: Optional[np.ndarray] = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        self.state = state
+        self.result = result
+        self.output = output
+        self.error = error
+        self._done.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self._done.wait(timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Job({self.spec.job_id or self.seq}, {self.state.value})"

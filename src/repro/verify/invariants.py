@@ -30,6 +30,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.errors import ReproError
 from repro.obs.recorder import NULL_RECORDER, Recorder
 
 #: Absolute slack for clock / span-boundary comparisons.  Matches the DES
@@ -41,12 +42,14 @@ TIME_TOLERANCE = 1e-9
 ENERGY_RTOL = 1e-6
 
 
-class InvariantViolation(RuntimeError):
+class InvariantViolation(ReproError):
     """A run broke one of the checked runtime invariants.
 
     Carries the full list of :class:`Violation` records; the message names
     the first violation's invariant, device, HLOP, and simulated time.
     """
+
+    code = "INVARIANT_VIOLATION"
 
     def __init__(self, violations: Sequence["Violation"]) -> None:
         self.violations = list(violations)
@@ -54,7 +57,9 @@ class InvariantViolation(RuntimeError):
         extra = (
             f" (+{len(self.violations) - 1} more)" if len(self.violations) > 1 else ""
         )
-        super().__init__(f"invariant violated: {first}{extra}")
+        ReproError.__init__(
+            self, f"invariant violated: {first}{extra}", count=len(self.violations)
+        )
 
 
 @dataclass(frozen=True)

@@ -228,7 +228,9 @@ def generate(kernel_name: str, size: Optional[Size] = None, seed: int = 0) -> VO
     try:
         factory = _GENERATORS[kernel_name]
     except KeyError:
-        raise KeyError(
+        from repro.errors import UnknownName
+
+        raise UnknownName(
             f"no workload generator for {kernel_name!r}; known: {sorted(_GENERATORS)}"
         ) from None
     return factory(size=size, seed=seed)

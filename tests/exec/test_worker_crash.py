@@ -1,0 +1,116 @@
+"""Worker-crash regression tests: a dead pool worker must surface as a
+structured :class:`~repro.errors.DeviceFault`, never as a hang or a bare
+``BrokenProcessPool``, and the runtime must recover through its normal
+retry machinery."""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.core.runtime import RuntimeConfig, SHMTRuntime
+from repro.core.schedulers.base import make_scheduler
+from repro.core.vop import kernel_for_vop
+from repro.devices.platform import jetson_nano_platform
+from repro.errors import DeviceFault
+from repro.exec.backends import ProcessBackend, ResolvedHandle, TaskHandle
+from repro.exec.task import ComputeTask
+from repro.faults.plan import FaultKind
+from repro.workloads.generator import generate
+
+#: A worker count no other test uses, so breaking this shared pool never
+#: bleeds into suites that run afterwards.
+CRASH_JOBS = 5
+
+
+def _kill_self(block, ctx):
+    """Module-level (picklable) compute that SIGKILLs its worker."""
+    os.kill(os.getpid(), signal.SIGKILL)
+    return block  # pragma: no cover - never reached
+
+
+def _double(block, ctx):
+    return block * 2.0
+
+
+def cpu_device():
+    platform = jetson_nano_platform()
+    return next(d for d in platform.devices if d.name == "cpu0")
+
+
+def make_task(compute, kernel="crash-test", hlop_id=7):
+    return ComputeTask(
+        device=cpu_device(),
+        compute=compute,
+        block=np.ones((4, 4), dtype=np.float64),
+        ctx=None,
+        kernel=kernel,
+        hlop_id=hlop_id,
+    )
+
+
+def test_process_worker_crash_raises_device_fault():
+    backend = ProcessBackend(jobs=CRASH_JOBS)
+    handle = backend.submit(make_task(_kill_self))
+    with pytest.raises(DeviceFault) as info:
+        handle.result()
+    assert info.value.code == "DEVICE_FAULT"
+    # The fault names what was running, not just that the pool broke.
+    assert "crash-test/hlop7 on cpu0" in str(info.value)
+
+
+def test_backend_recovers_on_a_fresh_pool_after_crash():
+    backend = ProcessBackend(jobs=CRASH_JOBS)
+    crashed = backend.submit(make_task(_kill_self))
+    with pytest.raises(DeviceFault):
+        crashed.result()
+    # The broken shared pool was evicted: later submissions must succeed.
+    healthy = backend.submit(make_task(_double, kernel="after", hlop_id=8))
+    np.testing.assert_array_equal(healthy.result(), 2.0 * np.ones((4, 4)))
+
+
+class _CrashOnceHandle(TaskHandle):
+    """Raises DeviceFault on the first join, then delegates."""
+
+    def __init__(self, inner, armed):
+        super().__init__()
+        self._inner = inner
+        self._armed = armed
+
+    def result(self):
+        if self._armed.pop("armed", None):
+            raise DeviceFault("worker crashed while running hlop", task="hlop")
+        return self._inner.result()
+
+
+class _CrashOnceBackend:
+    """Wraps a real backend; the first joined task loses its worker."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self._armed = {"armed": True}
+        self.cache = None
+
+    def submit(self, task):
+        inner = self._inner.submit(task)
+        return _CrashOnceHandle(inner, self._armed)
+
+
+def test_runtime_retries_through_a_worker_crash():
+    platform = jetson_nano_platform()
+    runtime = SHMTRuntime(
+        platform,
+        make_scheduler("work-stealing"),
+        config=RuntimeConfig(seed=7),
+    )
+    runtime.backend = _CrashOnceBackend(runtime.backend)
+    call = generate("sobel", size=64 * 64, seed=3)
+    report = runtime.execute(call)
+    assert np.all(np.isfinite(report.output))
+    assert all(h.status.value == "done" for h in report.hlops)
+    crash_events = [
+        e for e in report.fault_events if e.kind is FaultKind.WORKER_CRASH
+    ]
+    assert len(crash_events) == 1
+    assert report.retry_count >= 1

@@ -1,0 +1,150 @@
+"""Tests for the bounded admission queue (backpressure + fairness)."""
+
+import threading
+
+import pytest
+
+from repro.errors import AdmissionRejected, ServiceStopped
+from repro.serve import AdmissionConfig, AdmissionQueue, Job, JobSpec
+
+_SEQ = [0]
+
+
+def make_job(qos="silver", tenant="default", job_id=""):
+    _SEQ[0] += 1
+    spec = JobSpec(
+        kernel="sobel",
+        size=64 * 64,
+        qos_class=qos,
+        tenant=tenant,
+        job_id=job_id or f"j{_SEQ[0]}",
+    )
+    return Job(spec, _SEQ[0])
+
+
+def test_reject_policy_raises_when_full():
+    queue = AdmissionQueue(AdmissionConfig(capacity=2, policy="reject"))
+    queue.put(make_job())
+    queue.put(make_job())
+    with pytest.raises(AdmissionRejected) as info:
+        queue.put(make_job())
+    assert info.value.code == "ADMISSION_REJECTED"
+    assert info.value.context["reason"] == "queue-full"
+
+
+def test_tenant_cap_is_independent_of_capacity():
+    queue = AdmissionQueue(
+        AdmissionConfig(capacity=10, policy="reject", tenant_cap=2)
+    )
+    queue.put(make_job(tenant="a"))
+    queue.put(make_job(tenant="a"))
+    queue.put(make_job(tenant="b"))  # other tenants unaffected
+    with pytest.raises(AdmissionRejected) as info:
+        queue.put(make_job(tenant="a"))
+    assert info.value.context["reason"] == "tenant-cap"
+
+
+def test_block_policy_times_out():
+    queue = AdmissionQueue(
+        AdmissionConfig(capacity=1, policy="block", block_timeout=0.05)
+    )
+    queue.put(make_job())
+    with pytest.raises(AdmissionRejected) as info:
+        queue.put(make_job())
+    assert info.value.context["reason"] == "block-timeout"
+
+
+def test_block_policy_wakes_when_space_frees():
+    queue = AdmissionQueue(
+        AdmissionConfig(capacity=1, policy="block", block_timeout=5.0)
+    )
+    queue.put(make_job())
+    admitted = []
+
+    def producer():
+        admitted.append(queue.put(make_job(job_id="late")))
+
+    thread = threading.Thread(target=producer)
+    thread.start()
+    assert queue.get(timeout=1.0) is not None  # frees a slot
+    thread.join(5.0)
+    assert admitted == [[]]
+    assert queue.get(timeout=1.0).spec.job_id == "late"
+
+
+def test_shed_policy_evicts_strictly_lower_priority():
+    queue = AdmissionQueue(AdmissionConfig(capacity=2, policy="shed"))
+    queue.put(make_job(qos="silver", job_id="s1"))
+    queue.put(make_job(qos="bronze", job_id="b1"))
+    shed = queue.put(make_job(qos="gold", job_id="g1"))
+    assert [j.spec.job_id for j in shed] == ["b1"]
+    assert queue.depth() == 2
+
+
+def test_shed_policy_sheds_incoming_when_no_worse_victim():
+    queue = AdmissionQueue(AdmissionConfig(capacity=2, policy="shed"))
+    queue.put(make_job(qos="gold", job_id="g1"))
+    queue.put(make_job(qos="gold", job_id="g2"))
+    incoming = make_job(qos="gold", job_id="g3")
+    shed = queue.put(incoming)
+    # Equal priority never displaces an older job (FIFO within class).
+    assert shed == [incoming]
+    assert queue.depth() == 2
+
+
+def test_dispatch_order_is_priority_then_fifo():
+    queue = AdmissionQueue(AdmissionConfig(capacity=10))
+    queue.put(make_job(qos="bronze", job_id="b1"))
+    queue.put(make_job(qos="gold", job_id="g1"))
+    queue.put(make_job(qos="silver", job_id="s1"))
+    queue.put(make_job(qos="gold", job_id="g2"))
+    order = [queue.get(timeout=0.1).spec.job_id for _ in range(4)]
+    assert order == ["g1", "g2", "s1", "b1"]
+
+
+def test_readmit_bypasses_capacity_and_tenant_cap():
+    queue = AdmissionQueue(
+        AdmissionConfig(capacity=1, policy="reject", tenant_cap=1)
+    )
+    queue.put(make_job(tenant="a"))
+    queue.readmit(make_job(tenant="a", job_id="resumed"))
+    assert queue.depth() == 2
+
+
+def test_closed_queue_refuses_everything():
+    queue = AdmissionQueue(AdmissionConfig(capacity=2))
+    queue.put(make_job())
+    queue.close()
+    with pytest.raises(ServiceStopped):
+        queue.put(make_job())
+    with pytest.raises(ServiceStopped):
+        queue.readmit(make_job())
+    # Remaining work still drains, then get() reports shutdown.
+    assert queue.get(timeout=0.1) is not None
+    assert queue.get(timeout=0.1) is None
+
+
+def test_drain_returns_everything():
+    queue = AdmissionQueue(AdmissionConfig(capacity=4))
+    jobs = [make_job() for _ in range(3)]
+    for job in jobs:
+        queue.put(job)
+    assert set(queue.drain()) == set(jobs)
+    assert queue.depth() == 0
+
+
+def test_depth_by_tenant():
+    queue = AdmissionQueue(AdmissionConfig(capacity=8))
+    queue.put(make_job(tenant="a"))
+    queue.put(make_job(tenant="a"))
+    queue.put(make_job(tenant="b"))
+    assert queue.depth_by_tenant() == {"a": 2, "b": 1}
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        AdmissionConfig(capacity=0)
+    with pytest.raises(ValueError):
+        AdmissionConfig(policy="fifo")
+    with pytest.raises(ValueError):
+        AdmissionConfig(tenant_cap=0)

@@ -1,0 +1,128 @@
+"""Tests for the per-device circuit breakers (deterministic clock)."""
+
+import pytest
+
+from repro.serve import BreakerBoard, BreakerConfig, BreakerState, CircuitBreaker
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_breaker(events=None, **kwargs):
+    clock = Clock()
+    config = BreakerConfig(
+        failure_threshold=kwargs.pop("failure_threshold", 3),
+        cooldown=kwargs.pop("cooldown", 10.0),
+        close_threshold=kwargs.pop("close_threshold", 2),
+    )
+    listener = None
+    if events is not None:
+        listener = lambda dev, old, new: events.append((old, new))
+    return CircuitBreaker("gpu0", config, clock, listener), clock
+
+
+def test_stays_closed_below_threshold():
+    breaker, _ = make_breaker()
+    breaker.record(False)
+    breaker.record(False)
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.allows()
+
+
+def test_success_resets_the_failure_streak():
+    breaker, _ = make_breaker()
+    breaker.record(False)
+    breaker.record(False)
+    breaker.record(True)  # streak broken
+    breaker.record(False)
+    breaker.record(False)
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_consecutive_failures_trip_open():
+    breaker, _ = make_breaker()
+    for _ in range(3):
+        breaker.record(False)
+    assert breaker.state is BreakerState.OPEN
+    assert not breaker.allows()
+
+
+def test_cooldown_elapse_moves_to_half_open_via_allows():
+    breaker, clock = make_breaker()
+    for _ in range(3):
+        breaker.record(False)
+    clock.now = 9.9
+    assert not breaker.allows()
+    clock.now = 10.0
+    assert breaker.allows()  # the admission query itself transitions
+    assert breaker.state is BreakerState.HALF_OPEN
+
+
+def test_half_open_successes_close():
+    events = []
+    breaker, clock = make_breaker(events)
+    for _ in range(3):
+        breaker.record(False)
+    clock.now = 20.0
+    assert breaker.allows()
+    breaker.record(True)
+    assert breaker.state is BreakerState.HALF_OPEN  # one short of threshold
+    breaker.record(True)
+    assert breaker.state is BreakerState.CLOSED
+    assert events == [
+        (BreakerState.CLOSED, BreakerState.OPEN),
+        (BreakerState.OPEN, BreakerState.HALF_OPEN),
+        (BreakerState.HALF_OPEN, BreakerState.CLOSED),
+    ]
+
+
+def test_half_open_failure_reopens_and_restarts_cooldown():
+    breaker, clock = make_breaker()
+    for _ in range(3):
+        breaker.record(False)
+    clock.now = 15.0
+    assert breaker.allows()
+    breaker.record(False)  # failed probe
+    assert breaker.state is BreakerState.OPEN
+    clock.now = 24.0  # 9s after the re-open: still cooling
+    assert not breaker.allows()
+    clock.now = 25.0
+    assert breaker.allows()
+
+
+def test_board_blocked_and_force_open():
+    clock = Clock()
+    board = BreakerBoard(BreakerConfig(cooldown=10.0), clock=clock)
+    assert board.blocked(["cpu0", "gpu0", "tpu0"]) == set()
+    board.force_open("tpu0")
+    assert board.blocked(["cpu0", "gpu0", "tpu0"]) == {"tpu0"}
+    assert board.open_devices() == ["tpu0"]
+    assert board.state("tpu0") is BreakerState.OPEN
+    clock.now = 10.0
+    # Cooldown elapsed: the routing query readmits tpu0 as a probe.
+    assert board.blocked(["cpu0", "gpu0", "tpu0"]) == set()
+    assert board.state("tpu0") is BreakerState.HALF_OPEN
+
+
+def test_board_listener_fires_on_transitions():
+    events = []
+    board = BreakerBoard(
+        BreakerConfig(failure_threshold=1),
+        listener=lambda dev, old, new: events.append((dev, new.value)),
+    )
+    board.record("gpu0", False)
+    assert events == [("gpu0", "open")]
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        BreakerConfig(failure_threshold=0)
+    with pytest.raises(ValueError):
+        BreakerConfig(close_threshold=0)
+    with pytest.raises(ValueError):
+        BreakerConfig(cooldown=-1.0)

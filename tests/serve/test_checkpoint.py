@@ -1,0 +1,132 @@
+"""Tests for the crash-safe checkpoint journal (``repro.serve/v1``)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointCorrupt
+from repro.serve import (
+    CHECKPOINT_FORMAT,
+    CheckpointWriter,
+    JobSpec,
+    load_checkpoint,
+)
+
+SPEC = JobSpec(kernel="sobel", size=64 * 64, seed=7, job_id="j1")
+
+
+def write_journal(path, end=True):
+    writer = CheckpointWriter(str(path))
+    writer.job_start(SPEC, blocked=["tpu0"])
+    writer.hlop_result("j1", 0, np.arange(6, dtype=np.float32).reshape(2, 3))
+    writer.hlop_result("j1", 1, np.ones((2, 2)))
+    if end:
+        writer.job_end("j1", "done", fingerprint="abc", makespan=0.5)
+    writer.close()
+    return str(path)
+
+
+def test_round_trip(tmp_path):
+    path = write_journal(tmp_path / "j.jsonl")
+    state = load_checkpoint(path)
+    journal = state.jobs["j1"]
+    assert journal.spec == SPEC
+    assert journal.blocked == ["tpu0"]
+    assert journal.state == "done"
+    assert journal.fingerprint == "abc"
+    assert journal.makespan == 0.5
+    assert not journal.interrupted
+    np.testing.assert_array_equal(
+        journal.hlops[0], np.arange(6, dtype=np.float32).reshape(2, 3)
+    )
+    assert journal.hlops[0].dtype == np.float32
+    np.testing.assert_array_equal(journal.hlops[1], np.ones((2, 2)))
+
+
+def test_interrupted_job_is_pending(tmp_path):
+    path = write_journal(tmp_path / "j.jsonl", end=False)
+    state = load_checkpoint(path)
+    assert [j.job_id for j in state.pending()] == ["j1"]
+    assert state.terminal() == []
+
+
+def test_torn_final_line_is_tolerated(tmp_path):
+    path = write_journal(tmp_path / "j.jsonl", end=False)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"type": "job-end", "job_id": "j1", "sta')  # crash
+    state = load_checkpoint(path)
+    assert state.jobs["j1"].interrupted  # the torn end never happened
+
+
+def test_mid_file_garbage_is_corrupt(tmp_path):
+    path = write_journal(tmp_path / "j.jsonl")
+    lines = open(path, encoding="utf-8").read().splitlines()
+    lines[2] = "not json at all"
+    open(path, "w", encoding="utf-8").write("\n".join(lines) + "\n")
+    with pytest.raises(CheckpointCorrupt) as info:
+        load_checkpoint(path)
+    assert info.value.code == "CHECKPOINT_CORRUPT"
+
+
+def test_empty_journal_is_corrupt(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    with pytest.raises(CheckpointCorrupt):
+        load_checkpoint(str(path))
+
+
+def test_wrong_format_tag_is_corrupt(tmp_path):
+    path = tmp_path / "j.jsonl"
+    path.write_text(json.dumps({"type": "meta", "format": "repro.serve/v0"}) + "\n")
+    with pytest.raises(CheckpointCorrupt):
+        load_checkpoint(str(path))
+
+
+def test_unknown_record_type_is_corrupt(tmp_path):
+    path = tmp_path / "j.jsonl"
+    path.write_text(
+        json.dumps({"type": "meta", "format": CHECKPOINT_FORMAT})
+        + "\n"
+        + json.dumps({"type": "job-mystery", "job_id": "j1"})
+        + "\n"
+        + json.dumps({"type": "job-end", "job_id": "j1", "state": "done"})
+        + "\n"
+    )
+    with pytest.raises(CheckpointCorrupt):
+        load_checkpoint(str(path))
+
+
+def test_tampered_hlop_payload_fails_fingerprint(tmp_path):
+    path = write_journal(tmp_path / "j.jsonl")
+    lines = open(path, encoding="utf-8").read().splitlines()
+    record = json.loads(lines[2])
+    assert record["type"] == "hlop"
+    tampered = np.arange(6, dtype=np.float32).reshape(2, 3) + 1.0
+    import base64
+
+    record["data"] = base64.b64encode(tampered.tobytes()).decode("ascii")
+    lines[2] = json.dumps(record)
+    open(path, "w", encoding="utf-8").write("\n".join(lines) + "\n")
+    with pytest.raises(CheckpointCorrupt) as info:
+        load_checkpoint(path)
+    assert "fingerprint" in str(info.value)
+
+
+def test_writer_appends_without_rewriting_meta(tmp_path):
+    path = write_journal(tmp_path / "j.jsonl")
+    writer = CheckpointWriter(path)  # reopen: append mode, no second meta
+    writer.job_end("j2", "shed")
+    writer.close()
+    lines = open(path, encoding="utf-8").read().splitlines()
+    metas = [l for l in lines if json.loads(l).get("type") == "meta"]
+    assert len(metas) == 1
+    state = load_checkpoint(path)
+    assert state.jobs["j2"].state == "shed"
+
+
+def test_job_end_rejects_non_terminal_state(tmp_path):
+    writer = CheckpointWriter(str(tmp_path / "j.jsonl"))
+    with pytest.raises(ValueError):
+        writer.job_end("j1", "running")
+    writer.close()

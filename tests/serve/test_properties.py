@@ -1,0 +1,130 @@
+"""Property-based tests for the serving layer's two core guarantees.
+
+1. **Breakers never strand work**: whatever subset of devices has open
+   breakers when a job is admitted, the job still completes -- routing
+   degrades to the survivors (with the runtime's fail-open guards when
+   the blocked set would leave no usable device).
+2. **Resume is exact**: killing the service at *any* HLOP boundary and
+   resuming from the journal yields bit-identical results to a run that
+   was never interrupted.
+"""
+
+import json
+import os
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import (
+    JobSpec,
+    JobState,
+    ServiceConfig,
+    ShmtService,
+    load_checkpoint,
+)
+
+SMALL = 64 * 64
+DEVICES = ["cpu0", "gpu0", "tpu0"]
+
+SPECS = [
+    JobSpec(kernel="sobel", size=SMALL, seed=1, job_id="p0"),
+    JobSpec(kernel="mean_filter", size=SMALL, seed=2, job_id="p1"),
+]
+
+_reference = {}
+
+
+def reference_run():
+    """Uninterrupted single-worker run of SPECS, journaled.
+
+    Cached: returns ``(fingerprints by job_id, total HLOP records)``.  The
+    HLOP count sizes the crash-point space for the resume property.
+    """
+    if not _reference:
+        with tempfile.TemporaryDirectory() as tmp:
+            journal = os.path.join(tmp, "reference.jsonl")
+            service = ShmtService(
+                ServiceConfig(workers=1, checkpoint_path=journal)
+            ).start()
+            jobs = [service.submit(spec) for spec in SPECS]
+            service.stop(drain=True)
+            service.join(60)
+            for job in jobs:
+                assert job.wait(10) and job.state is JobState.DONE
+            _reference["fingerprints"] = {
+                j.spec.job_id: j.result.fingerprint for j in jobs
+            }
+            _reference["total_hlops"] = count_hlops(journal)
+    return _reference["fingerprints"], _reference["total_hlops"]
+
+
+def count_hlops(journal_path):
+    with open(journal_path, encoding="utf-8") as handle:
+        return sum(
+            1 for line in handle if json.loads(line).get("type") == "hlop"
+        )
+
+
+@settings(deadline=None, max_examples=8)
+@given(blocked=st.sets(st.sampled_from(DEVICES)))
+def test_open_breakers_never_strand_jobs(blocked):
+    service = ShmtService(ServiceConfig(workers=1)).start()
+    for device in sorted(blocked):
+        service.breakers.force_open(device)
+    jobs = [service.submit(spec) for spec in SPECS]
+    service.stop(drain=True)
+    service.join(60)
+    for job in jobs:
+        assert job.wait(10)
+        assert job.state is JobState.DONE
+        assert job.blocked == sorted(blocked)
+
+
+@settings(deadline=None, max_examples=10)
+@given(boundary=st.integers(min_value=0, max_value=1_000_000))
+def test_resume_at_any_hlop_boundary_is_bit_identical(boundary):
+    expected, total = reference_run()
+    assert total > 0
+    kill_at = 1 + boundary % total
+
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = os.path.join(tmp, "journal.jsonl")
+        victim = ShmtService(
+            ServiceConfig(
+                workers=1, checkpoint_path=journal, kill_after_hlops=kill_at
+            )
+        ).start()
+        jobs = [victim.submit(spec) for spec in SPECS]
+        victim.join(60)
+        assert victim.killed
+
+        resumed_service, resumed = ShmtService.resume(
+            journal, ServiceConfig(workers=1, checkpoint_path=journal)
+        )
+        resumed_service.start()
+        started = set(load_checkpoint(journal).jobs)
+        for job in jobs:
+            if not job.state.terminal and job.spec.job_id not in started:
+                resumed.append(resumed_service.submit(job.spec))
+        resumed_service.stop(drain=True)
+        resumed_service.join(60)
+
+        outcomes = {j.spec.job_id: j for j in jobs if j.state.terminal}
+        for job in resumed:
+            assert job.wait(10)
+            outcomes[job.spec.job_id] = job
+        assert set(outcomes) == {spec.job_id for spec in SPECS}
+        for job_id, job in outcomes.items():
+            assert job.state is JobState.DONE
+            assert job.result.fingerprint == expected[job_id]
+
+        # No HLOP is journaled twice (resume serves, never re-journals).
+        seen = set()
+        with open(journal, encoding="utf-8") as handle:
+            for line in handle:
+                record = json.loads(line)
+                if record.get("type") == "hlop":
+                    key = (record["job_id"], record["hlop_id"])
+                    assert key not in seen
+                    seen.add(key)

@@ -1,0 +1,173 @@
+"""End-to-end tests for :class:`repro.serve.ShmtService`."""
+
+import pytest
+
+from repro.errors import AdmissionRejected, DeadlineExceeded, ServiceStopped
+from repro.serve import (
+    AdmissionConfig,
+    BreakerConfig,
+    BreakerState,
+    JobSpec,
+    JobState,
+    ServiceConfig,
+    ShmtService,
+    load_checkpoint,
+)
+
+SMALL = 64 * 64
+
+
+def run_service(specs, **config_kwargs):
+    service = ShmtService(ServiceConfig(**config_kwargs)).start()
+    jobs = [service.submit(spec) for spec in specs]
+    service.stop(drain=True)
+    service.join(60)
+    for job in jobs:
+        assert job.wait(10)
+    return service, jobs
+
+
+def test_jobs_complete_and_are_deterministic():
+    specs = [
+        JobSpec(kernel="sobel", size=SMALL, seed=3, job_id="a"),
+        JobSpec(kernel="fft", size=SMALL, seed=4, qos_class="gold", job_id="b"),
+    ]
+    _, first = run_service(specs, workers=2)
+    _, second = run_service(specs, workers=1)
+    for one, two in zip(first, second):
+        assert one.state is JobState.DONE
+        assert one.result.fingerprint == two.result.fingerprint
+        assert one.result.makespan == two.result.makespan
+
+
+def test_deadline_cancels_cooperatively():
+    specs = [
+        JobSpec(kernel="fft", size=SMALL, deadline=1e-7, job_id="tight"),
+        JobSpec(kernel="sobel", size=SMALL, job_id="easy"),
+    ]
+    service, jobs = run_service(specs)
+    assert jobs[0].state is JobState.DEADLINE
+    assert isinstance(jobs[0].error, DeadlineExceeded)
+    assert jobs[0].error.code == "DEADLINE_EXCEEDED"
+    assert jobs[1].state is JobState.DONE
+    counter = service.metrics.get("serve_jobs_deadline_cancelled_total")
+    assert counter.total() == 1
+
+
+def test_submit_after_stop_raises():
+    service = ShmtService(ServiceConfig(workers=1)).start()
+    service.stop(drain=True)
+    service.join(30)
+    with pytest.raises(ServiceStopped):
+        service.submit(JobSpec(kernel="sobel", size=SMALL))
+
+
+def test_rejected_submission_is_a_terminal_shed_job():
+    service = ShmtService(
+        ServiceConfig(
+            workers=1,
+            admission=AdmissionConfig(capacity=1, policy="reject"),
+        )
+    )
+    # Not started: the queue fills and stays full.
+    service.submit(JobSpec(kernel="sobel", size=SMALL, job_id="q1"))
+    with pytest.raises(AdmissionRejected):
+        service.submit(JobSpec(kernel="sobel", size=SMALL, job_id="q2"))
+    rejected = service.jobs["q2"]
+    assert rejected.state is JobState.SHED
+    assert rejected.state.terminal
+    assert service.metrics.get("serve_jobs_rejected_total").total() == 1
+
+
+def test_forced_open_breaker_degrades_then_recloses():
+    clock = [0.0]
+    service = ShmtService(
+        ServiceConfig(
+            workers=1,
+            breaker=BreakerConfig(cooldown=5.0, close_threshold=2),
+            breaker_clock=lambda: clock[0],
+        )
+    ).start()
+    service.breakers.force_open("tpu0")
+    # Work-stealing at 256x256 gives every device (tpu0 included, once
+    # readmitted) multiple HLOP attempts -- enough probe traffic to close.
+    spec = dict(kernel="laplacian", size=256 * 256, policy="work-stealing")
+    degraded = service.submit(JobSpec(job_id="while-open", **spec))
+    assert degraded.wait(30)
+    assert degraded.state is JobState.DONE
+    assert degraded.blocked == ["tpu0"]
+    assert service.breakers.state("tpu0") is BreakerState.OPEN
+    clock[0] = 10.0  # cooldown elapses
+    probe = service.submit(JobSpec(job_id="probe", **spec))
+    service.stop(drain=True)
+    service.join(60)
+    assert probe.wait(30)
+    assert probe.state is JobState.DONE
+    assert probe.blocked == []
+    assert service.breakers.state("tpu0") is BreakerState.CLOSED
+    transitions = service.metrics.get("serve_breaker_transitions_total")
+    to_states = {dict(key).get("to") for key in transitions.series()}
+    assert {"open", "half-open", "closed"} <= to_states
+
+
+def test_kill_and_resume_is_bit_identical(tmp_path):
+    specs = [
+        JobSpec(kernel="sobel", size=SMALL, seed=i, job_id=f"j{i}")
+        for i in range(4)
+    ]
+    _, reference = run_service(specs, workers=1)
+    expected = {j.spec.job_id: j.result.fingerprint for j in reference}
+
+    journal = str(tmp_path / "journal.jsonl")
+    victim = ShmtService(
+        ServiceConfig(workers=1, checkpoint_path=journal, kill_after_hlops=6)
+    ).start()
+    jobs = [victim.submit(spec) for spec in specs]
+    victim.join(60)
+    assert victim.killed
+    survivors = {j.spec.job_id: j for j in jobs if j.state.terminal}
+    assert len(survivors) < len(specs)  # the kill interrupted the soak
+
+    service, resumed = ShmtService.resume(
+        journal, ServiceConfig(workers=1, checkpoint_path=journal)
+    )
+    service.start()
+    started = set(load_checkpoint(journal).jobs)
+    for job in jobs:
+        if not job.state.terminal and job.spec.job_id not in started:
+            resumed.append(service.submit(job.spec))
+    service.stop(drain=True)
+    service.join(60)
+    outcomes = dict(survivors)
+    for job in resumed:
+        assert job.wait(10)
+        outcomes[job.spec.job_id] = job
+    assert set(outcomes) == {s.job_id for s in specs}
+    for job_id, job in outcomes.items():
+        assert job.state is JobState.DONE
+        assert job.result.fingerprint == expected[job_id]
+
+    # The journal accounts for every job exactly once, no duplicate HLOPs.
+    state = load_checkpoint(journal)
+    assert {j.job_id for j in state.terminal()} == set(expected)
+
+
+def test_auto_job_ids_are_assigned():
+    service, jobs = run_service(
+        [JobSpec(kernel="sobel", size=SMALL), JobSpec(kernel="sobel", size=SMALL)],
+        workers=1,
+    )
+    ids = [j.spec.job_id for j in jobs]
+    assert all(ids)
+    assert len(set(ids)) == 2
+
+
+def test_latency_quantiles_exposed():
+    service, _ = run_service(
+        [JobSpec(kernel="sobel", size=SMALL, job_id="a", qos_class="gold")],
+        workers=1,
+    )
+    p50 = service.latency_quantile(0.5)
+    assert p50 is not None and p50 > 0
+    assert service.latency_quantile(0.5, qos="gold") == pytest.approx(p50)
+    assert service.latency_quantile(0.5, qos="bronze") is None

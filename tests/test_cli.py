@@ -33,7 +33,24 @@ def test_run_with_quality_and_gantt(capsys):
 
 def test_run_unknown_kernel(capsys):
     assert main(["run", "raytrace"]) == 2
-    assert "unknown kernel" in capsys.readouterr().out
+    out = capsys.readouterr().out
+    assert "unknown kernel" in out
+    assert out.startswith("kernel:")
+    assert len(out.strip().splitlines()) == 1  # one line, no traceback
+
+
+def test_run_negative_side_names_the_flag(capsys):
+    assert main(["run", "sobel", "--side", "-3"]) == 2
+    out = capsys.readouterr().out
+    assert out.startswith("--side:")
+    assert "positive" in out
+
+
+def test_run_unknown_policy_names_the_flag(capsys):
+    assert main(["run", "sobel", "--side", "64", "--policy", "round-robin"]) == 2
+    out = capsys.readouterr().out
+    assert out.startswith("--policy:")
+    assert "round-robin" in out
 
 
 def test_requires_subcommand():
@@ -68,3 +85,88 @@ def test_run_metrics_export(tmp_path, capsys):
     assert records[0]["policy"] == "QAWS-TS"
     kinds = {r["type"] for r in records}
     assert {"meta", "counter", "gauge", "phase", "decision"} <= kinds
+
+
+# --------------------------------------------------------------- submit/serve
+
+
+def test_submit_bad_deadline_names_the_flag(tmp_path, capsys):
+    queue = str(tmp_path / "q.jsonl")
+    code = main(["submit", "sobel", "--queue", queue, "--deadline", "-1"])
+    assert code == 2
+    out = capsys.readouterr().out
+    assert out.startswith("--deadline:")
+    assert len(out.strip().splitlines()) == 1
+
+
+def test_submit_bad_qos_names_the_flag(tmp_path, capsys):
+    queue = str(tmp_path / "q.jsonl")
+    assert main(["submit", "sobel", "--queue", queue, "--qos", "platinum"]) == 2
+    assert capsys.readouterr().out.startswith("--qos:")
+
+
+def test_submit_unknown_kernel_exits_2(tmp_path, capsys):
+    queue = str(tmp_path / "q.jsonl")
+    assert main(["submit", "raytrace", "--queue", queue]) == 2
+    assert capsys.readouterr().out.startswith("kernel:")
+
+
+def test_serve_missing_queue_file_names_the_flag(capsys):
+    assert main(["serve", "--queue", "/nonexistent/q.jsonl"]) == 2
+    out = capsys.readouterr().out
+    assert out.startswith("--queue:")
+    assert len(out.strip().splitlines()) == 1
+
+
+def test_serve_malformed_queue_line_names_the_flag(tmp_path, capsys):
+    queue = tmp_path / "q.jsonl"
+    queue.write_text('{"kernel": "sobel"}\nnot json\n')
+    assert main(["serve", "--queue", str(queue)]) == 2
+    out = capsys.readouterr().out
+    assert out.startswith("--queue:")
+    assert ":2" in out  # names the offending line
+
+
+def test_serve_bad_workers_names_the_flag(tmp_path, capsys):
+    queue = tmp_path / "q.jsonl"
+    queue.write_text("")
+    assert main(["serve", "--queue", str(queue), "--workers", "0"]) == 2
+    assert capsys.readouterr().out.startswith("--workers:")
+
+
+def test_serve_resume_without_checkpoint_names_the_flag(tmp_path, capsys):
+    queue = tmp_path / "q.jsonl"
+    queue.write_text("")
+    assert main(["serve", "--queue", str(queue), "--resume"]) == 2
+    assert capsys.readouterr().out.startswith("--resume:")
+
+
+def test_submit_then_serve_round_trip(tmp_path, capsys):
+    queue = str(tmp_path / "q.jsonl")
+    assert (
+        main(["submit", "sobel", "--queue", queue, "--side", "64", "--job-id", "a"])
+        == 0
+    )
+    assert (
+        main(
+            [
+                "submit",
+                "fft",
+                "--queue",
+                queue,
+                "--side",
+                "64",
+                "--qos",
+                "gold",
+                "--job-id",
+                "b",
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert main(["serve", "--queue", queue, "--workers", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "done" in out
+    assert "serve_jobs_completed_total" in out
+    assert "latency p50/p99" in out

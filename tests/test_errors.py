@@ -1,0 +1,94 @@
+"""Tests for the structured error hierarchy (``repro.errors``).
+
+The contract: every boundary error derives from :class:`ReproError`,
+carries a stable ``code`` handlers can switch on, renders as a plain
+message (even the ``KeyError``-derived ones), and stays catchable by the
+built-in types pre-existing code already handles.
+"""
+
+import pytest
+
+from repro.errors import (
+    AdmissionRejected,
+    CheckpointCorrupt,
+    CircuitOpen,
+    DeadlineExceeded,
+    DeviceFault,
+    InvalidInput,
+    ReproError,
+    ServiceKilled,
+    ServiceStopped,
+    UnknownName,
+)
+from repro.verify.invariants import InvariantViolation
+
+EXPECTED_CODES = {
+    ReproError: "REPRO_ERROR",
+    InvalidInput: "INVALID_INPUT",
+    UnknownName: "UNKNOWN_NAME",
+    AdmissionRejected: "ADMISSION_REJECTED",
+    DeadlineExceeded: "DEADLINE_EXCEEDED",
+    CircuitOpen: "CIRCUIT_OPEN",
+    CheckpointCorrupt: "CHECKPOINT_CORRUPT",
+    DeviceFault: "DEVICE_FAULT",
+    ServiceStopped: "SERVICE_STOPPED",
+    ServiceKilled: "SERVICE_KILLED",
+}
+
+
+def test_codes_are_stable_and_unique():
+    assert {cls.code for cls in EXPECTED_CODES} == set(EXPECTED_CODES.values())
+    for cls, code in EXPECTED_CODES.items():
+        assert cls.code == code
+        assert cls("boom").code == code
+
+
+def test_every_error_is_a_repro_error():
+    for cls in EXPECTED_CODES:
+        assert issubclass(cls, ReproError)
+        assert issubclass(cls, RuntimeError)
+
+
+def test_context_carries_machine_readable_details():
+    error = AdmissionRejected("queue full", reason="queue-full", capacity=8)
+    assert error.context == {"reason": "queue-full", "capacity": 8}
+    assert str(error) == "queue full"
+
+
+def test_message_defaults_to_the_code():
+    assert str(DeviceFault()) == "DEVICE_FAULT"
+
+
+def test_invalid_input_is_also_a_value_error():
+    with pytest.raises(ValueError) as info:
+        raise InvalidInput("size must be positive", size=-1)
+    assert info.value.code == "INVALID_INPUT"
+
+
+def test_unknown_name_is_also_a_key_error_with_plain_str():
+    error = UnknownName("unknown kernel 'raytrace'")
+    assert isinstance(error, KeyError)
+    # KeyError.__str__ would repr() the message; ours must not.
+    assert str(error) == "unknown kernel 'raytrace'"
+
+
+def test_invariant_violation_is_reparented():
+    assert issubclass(InvariantViolation, ReproError)
+    assert InvariantViolation.code == "INVARIANT_VIOLATION"
+
+
+def test_boundaries_raise_structured_errors():
+    from repro.core.schedulers.base import make_scheduler
+    from repro.exec.backends import make_backend
+    from repro.workloads.generator import generate
+
+    with pytest.raises(UnknownName):
+        generate("raytrace", size=64)
+    with pytest.raises(UnknownName):
+        make_scheduler("round-robin-9000")
+    with pytest.raises(UnknownName):
+        make_backend("cuda")
+    with pytest.raises(InvalidInput):
+        from repro.serve import JobSpec
+
+        JobSpec(kernel="sobel", size=-4)
