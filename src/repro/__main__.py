@@ -228,6 +228,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         service.start()
         if jobs:
             print(f"resuming {len(jobs)} interrupted job(s) from {args.checkpoint}")
+        # The journal already accounts for these specs: terminal jobs are
+        # done (re-running would recompute finished work) and interrupted
+        # ones were just re-queued by resume().  Only never-started specs
+        # get submitted.
+        skipped = [
+            spec.job_id
+            for spec in specs
+            if spec.job_id and spec.job_id in service.journal_ids
+        ]
+        specs = [
+            spec
+            for spec in specs
+            if not (spec.job_id and spec.job_id in service.journal_ids)
+        ]
+        if skipped:
+            print(
+                f"skipping {len(skipped)} queued job(s) already journaled: "
+                + ", ".join(skipped)
+            )
     else:
         service = ShmtService(config).start()
     for spec in specs:

@@ -56,9 +56,30 @@ class CheckpointWriter:
     def __init__(self, path: str) -> None:
         self.path = path
         self._lock = threading.Lock()
-        exists = os.path.exists(path) and os.path.getsize(path) > 0
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
+        exists = os.path.exists(path) and os.path.getsize(path) > 0
+        if exists:
+            # Refuse to extend a file that is not one of our journals:
+            # appending to an unrelated file would silently corrupt it
+            # and only surface as an error much later, at load time.
+            with open(path, "r", encoding="utf-8") as handle:
+                first = handle.readline()
+            try:
+                meta = json.loads(first)
+            except json.JSONDecodeError:
+                meta = None
+            if (
+                not isinstance(meta, dict)
+                or meta.get("type") != "meta"
+                or meta.get("format") != FORMAT
+            ):
+                raise CheckpointCorrupt(
+                    f"refusing to append to {path}: first line is not a "
+                    f"{FORMAT!r} meta record",
+                    path=path,
+                    found=meta.get("format") if isinstance(meta, dict) else None,
+                )
         self._file = open(path, "a", encoding="utf-8")
         if not exists:
             self._append({"type": "meta", "format": FORMAT})

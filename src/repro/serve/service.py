@@ -30,6 +30,7 @@ service -- the same instrument layer the runtime's observability uses.
 
 from __future__ import annotations
 
+import re
 import threading
 import time
 from dataclasses import dataclass, field
@@ -43,6 +44,7 @@ from repro.devices.platform import Platform, jetson_nano_platform
 from repro.errors import (
     AdmissionRejected,
     DeadlineExceeded,
+    InvalidInput,
     ServiceKilled,
     ServiceStopped,
 )
@@ -139,6 +141,11 @@ class ShmtService:
         )
         #: Every job this instance ever accepted, by id (accounting).
         self.jobs: Dict[str, Job] = {}
+        #: Job ids the resume journal already knows (terminal *or*
+        #: interrupted).  Submissions reusing one are rejected: the
+        #: journal keys records by job_id, so a reused id would merge two
+        #: jobs' records and break bit-identical resume.
+        self.journal_ids: frozenset = frozenset()
         #: Resume seeds: job_id -> {hlop_id: array} served from the journal.
         self._preloaded: Dict[str, Dict[int, object]] = {}
         #: Resume routing: job_id -> the blocked set frozen by the
@@ -200,10 +207,14 @@ class ShmtService:
     def submit(self, spec: JobSpec) -> Job:
         """Queue one job; returns its handle (possibly already shed).
 
-        Raises :class:`ServiceStopped` after stop/kill and
+        Raises :class:`ServiceStopped` after stop/kill,
+        :class:`InvalidInput` when ``spec.job_id`` duplicates a job this
+        service (or the journal it resumed from) already knows -- a
+        reused id would orphan the earlier handle's waiters and merge two
+        jobs' journal records under one key -- and
         :class:`AdmissionRejected` when admission refuses the job
-        (full queue under ``reject``, tenant cap, block timeout); both
-        rejections are journaled and counted before the raise.
+        (full queue under ``reject``, tenant cap, block timeout);
+        admission rejections are journaled and counted before the raise.
         """
         if self._stopping or self._killed:
             raise ServiceStopped("service is stopped; submissions are closed")
@@ -214,6 +225,12 @@ class ShmtService:
             spec = JobSpec(**{**spec.to_dict(), "job_id": f"job-{seq:06d}"})
         job = Job(spec, seq)
         with self._lock:
+            if spec.job_id in self.jobs or spec.job_id in self.journal_ids:
+                raise InvalidInput(
+                    f"duplicate job id {spec.job_id!r}: already known to "
+                    "this service or its resume journal",
+                    job_id=spec.job_id,
+                )
             self.jobs[spec.job_id] = job
         try:
             shed = self.queue.put(job)
@@ -419,6 +436,17 @@ class ShmtService:
         if config is None:
             config = ServiceConfig(checkpoint_path=checkpoint_path)
         service = cls(config)
+        # Submissions must never reuse a journaled id (terminal or not):
+        # the journal keys records by job_id, so a collision would merge
+        # two jobs' records.  Remember every journaled id for submit()'s
+        # duplicate check, and seed _seq past the highest auto-generated
+        # id so fresh ``job-{seq:06d}`` ids cannot collide either.
+        service.journal_ids = frozenset(state.jobs)
+        with service._lock:
+            for job_id in state.jobs:
+                match = re.fullmatch(r"job-(\d+)", job_id)
+                if match:
+                    service._seq = max(service._seq, int(match.group(1)))
         resumed: List[Job] = []
         pending = state.pending()
         for journal in pending:

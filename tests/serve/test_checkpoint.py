@@ -125,6 +125,25 @@ def test_writer_appends_without_rewriting_meta(tmp_path):
     assert state.jobs["j2"].state == "shed"
 
 
+def test_writer_refuses_non_journal_file(tmp_path):
+    """Pointing --checkpoint at an unrelated file must fail up front, not
+    silently extend it and only error at load time."""
+    path = tmp_path / "notes.txt"
+    path.write_text("these are my notes, not a journal\n")
+    with pytest.raises(CheckpointCorrupt) as info:
+        CheckpointWriter(str(path))
+    assert info.value.code == "CHECKPOINT_CORRUPT"
+    # The file was not touched.
+    assert path.read_text() == "these are my notes, not a journal\n"
+
+
+def test_writer_refuses_wrong_format_journal(tmp_path):
+    path = tmp_path / "old.jsonl"
+    path.write_text(json.dumps({"type": "meta", "format": "repro.serve/v0"}) + "\n")
+    with pytest.raises(CheckpointCorrupt):
+        CheckpointWriter(str(path))
+
+
 def test_job_end_rejects_non_terminal_state(tmp_path):
     writer = CheckpointWriter(str(tmp_path / "j.jsonl"))
     with pytest.raises(ValueError):

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.errors import AdmissionRejected, DeadlineExceeded, ServiceStopped
+from repro.errors import (
+    AdmissionRejected,
+    DeadlineExceeded,
+    InvalidInput,
+    ServiceStopped,
+)
 from repro.serve import (
     AdmissionConfig,
     BreakerConfig,
@@ -160,6 +165,61 @@ def test_auto_job_ids_are_assigned():
     ids = [j.spec.job_id for j in jobs]
     assert all(ids)
     assert len(set(ids)) == 2
+
+
+def test_submit_duplicate_job_id_rejected():
+    service = ShmtService(ServiceConfig(workers=1))  # not started: job queues
+    first = service.submit(JobSpec(kernel="sobel", size=SMALL, job_id="dup"))
+    with pytest.raises(InvalidInput) as excinfo:
+        service.submit(JobSpec(kernel="fft", size=SMALL, job_id="dup"))
+    assert excinfo.value.code == "INVALID_INPUT"
+    # The original handle survives; its waiters are not orphaned.
+    assert service.jobs["dup"] is first
+    assert first.state is JobState.QUEUED
+
+
+def test_resume_never_reuses_journaled_job_ids(tmp_path):
+    """Regression: a resumed service restarting ``_seq`` at the pending
+    count handed auto ids (``job-000001``...) already in the journal to
+    new submissions, merging two jobs' records under one key."""
+    journal = str(tmp_path / "journal.jsonl")
+    victim = ShmtService(
+        ServiceConfig(workers=1, checkpoint_path=journal)
+    ).start()
+    done = [
+        victim.submit(JobSpec(kernel="sobel", size=SMALL, seed=s))
+        for s in (1, 2)
+    ]
+    victim.stop(drain=True)
+    victim.join(60)
+    for job in done:
+        assert job.wait(10) and job.state is JobState.DONE
+
+    service, resumed = ShmtService.resume(
+        journal, ServiceConfig(workers=1, checkpoint_path=journal)
+    )
+    assert resumed == []  # every journaled job already finished
+    service.start()
+    # Auto-generated ids continue past the journal's high-water mark.
+    fresh = service.submit(JobSpec(kernel="fft", size=SMALL, seed=9))
+    assert fresh.spec.job_id not in {j.spec.job_id for j in done}
+    # Explicitly reusing a journaled id is rejected outright.
+    with pytest.raises(InvalidInput):
+        service.submit(
+            JobSpec(kernel="sobel", size=SMALL, seed=1, job_id=done[0].spec.job_id)
+        )
+    service.stop(drain=True)
+    service.join(60)
+    assert fresh.wait(10) and fresh.state is JobState.DONE
+
+    state = load_checkpoint(journal)
+    # The fresh job got its own journal entry; the finished jobs' records
+    # are intact (no merged state, no inherited payloads).
+    assert state.jobs[fresh.spec.job_id].state == "done"
+    assert state.jobs[fresh.spec.job_id].fingerprint == fresh.result.fingerprint
+    for job in done:
+        assert state.jobs[job.spec.job_id].state == "done"
+        assert state.jobs[job.spec.job_id].fingerprint == job.result.fingerprint
 
 
 def test_latency_quantiles_exposed():

@@ -170,3 +170,54 @@ def test_submit_then_serve_round_trip(tmp_path, capsys):
     assert "done" in out
     assert "serve_jobs_completed_total" in out
     assert "latency p50/p99" in out
+
+
+def test_serve_resume_skips_already_journaled_jobs(tmp_path, capsys):
+    """Regression: --resume re-submitted every queue spec, recomputing
+    jobs that completed before the crash (and colliding auto ids)."""
+    queue = str(tmp_path / "q.jsonl")
+    journal = str(tmp_path / "journal.jsonl")
+    for job_id, kernel in (("a", "sobel"), ("b", "fft")):
+        assert (
+            main(
+                [
+                    "submit",
+                    kernel,
+                    "--queue",
+                    queue,
+                    "--side",
+                    "64",
+                    "--job-id",
+                    job_id,
+                ]
+            )
+            == 0
+        )
+    capsys.readouterr()
+    assert (
+        main(
+            ["serve", "--queue", queue, "--workers", "1", "--checkpoint", journal]
+        )
+        == 0
+    )
+    first = capsys.readouterr().out
+    assert first.count("done") >= 2
+    assert (
+        main(
+            [
+                "serve",
+                "--queue",
+                queue,
+                "--workers",
+                "1",
+                "--checkpoint",
+                journal,
+                "--resume",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "skipping 2 queued job(s) already journaled" in out
+    # Nothing was resubmitted: the completed work is not recomputed.
+    assert f"{'serve_jobs_submitted_total':40s} 0" in out
