@@ -1,0 +1,344 @@
+#!/usr/bin/env python
+"""Cluster drill for the sharded serving layer (``repro.cluster``).
+
+Boots a real multi-process cluster (each shard is an OS process with its
+own checkpoint journal) and drives it through the failure modes the
+router exists to absorb, auditing the accounting afterwards:
+
+* **Stage A -- overload (open loop)**: a heavy-tailed multi-tenant trace
+  floods small shed-policy shard queues.  Every offered job must land in
+  a terminal state, and the router's rollup must account for every
+  submitted/done/shed/failed job exactly -- nothing lost, nothing
+  double-counted.
+* **Stage B -- kill drill**: the same trace runs twice; in the second
+  run one shard (the one holding the most unfinished work) is SIGKILLed
+  mid-run.  Every admitted job must complete **exactly once** --
+  committed results are adopted from the dead shard's journal, the rest
+  migrate -- and the fingerprints must be **bit-identical** to the
+  undisturbed run.  A cross-journal audit proves no job produced a
+  ``done`` record in more than one shard journal.
+* **Stage C -- breaker drill**: one device breaker on one shard is
+  forced open.  The router must degrade the shard (a ``degrade``
+  decision), evict and migrate its backlog, place nothing on it while
+  degraded, and restore it (a ``restore`` decision) once the breaker's
+  cooldown lets the device recover.
+
+Run::
+
+    PYTHONPATH=src python scripts/cluster_check.py --quick
+
+``--quick`` sizes the drill for CI; ``--artifacts DIR`` keeps the shard
+journals and writes each stage's metrics rollup there (CI uploads the
+directory when the drill fails).  Exits non-zero on any audit failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import sys
+import tempfile
+import time
+from collections import Counter
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterRouter,
+    ShardSpec,
+    TraceConfig,
+    generate_trace,
+    replay,
+)
+from repro.obs.export import validate_records
+from repro.serve import AdmissionConfig, BreakerConfig, load_checkpoint
+from repro.serve.job import JobState
+
+FAILURES: list = []
+
+
+def check(ok: bool, what: str) -> None:
+    print(f"  {'ok  ' if ok else 'FAIL'} {what}")
+    if not ok:
+        FAILURES.append(what)
+
+
+def wait_all(router: ClusterRouter, timeout: float = 240.0) -> list:
+    jobs = list(router.jobs.values())
+    deadline = time.monotonic() + timeout
+    for job in jobs:
+        if not job.wait(max(0.1, deadline - time.monotonic())):
+            check(False, f"job {job.job_id} never reached a terminal state")
+    return jobs
+
+
+def dump_rollup(router: ClusterRouter, artifacts: str, stage: str) -> None:
+    path = os.path.join(artifacts, f"rollup_{stage}.jsonl")
+    router.metrics.write_jsonl(path, meta={"stage": stage})
+
+
+def stage_overload(artifacts: str, quick: bool) -> None:
+    """Stage A: open-loop flood into tiny shed queues; audit accounting."""
+    jobs = 60 if quick else 200
+    print(f"stage A: open-loop overload ({jobs} jobs, shed policy)")
+    config = ClusterConfig(
+        journal_dir=os.path.join(artifacts, "journals_overload"),
+        shards=3,
+        shard=ShardSpec(
+            workers=1,
+            admission=AdmissionConfig(capacity=4, policy="shed"),
+        ),
+    )
+    trace = generate_trace(
+        TraceConfig(jobs=jobs, tenants=4, seed=11, size=32 * 32)
+    )
+    router = ClusterRouter(config).start()
+    stats = replay(router.submit, trace)
+    handles = wait_all(router)
+    router.stop()
+    dump_rollup(router, artifacts, "overload")
+
+    states = Counter(job.state.value for job in handles)
+    terminal = sum(states.values())
+    check(
+        stats.offered == jobs and stats.rejected == 0,
+        f"router admitted the whole open-loop trace ({stats.submitted}/{jobs})",
+    )
+    check(
+        terminal == stats.submitted,
+        f"every admitted job is terminal ({terminal}/{stats.submitted})",
+    )
+    check(
+        states.get("shed", 0) > 0,
+        f"overload actually shed work (shed={states.get('shed', 0)})",
+    )
+    check(states.get("failed", 0) == 0, "no job failed under overload")
+    # The rollup must account for every job exactly: per-state counters
+    # match the observed states, submissions match the offered load.
+    check(
+        router.metrics.total("cluster_jobs_submitted_total") == stats.submitted,
+        "rollup submitted counter matches the offered load",
+    )
+    for state, observed in sorted(states.items()):
+        total = router.metrics.total(f"cluster_jobs_{state}_total")
+        check(
+            total == observed,
+            f"rollup counter cluster_jobs_{state}_total == {observed}",
+        )
+    records = router.metrics.records({"stage": "overload"})
+    try:
+        validate_records(records)
+        check(True, f"rollup validates as repro.obs/v1 ({len(records)} records)")
+    except Exception as error:  # noqa: BLE001 - audit boundary
+        check(False, f"rollup failed schema validation: {error}")
+
+
+def run_trace(
+    artifacts: str,
+    journal_tag: str,
+    trace,
+    kill_one: bool,
+) -> tuple:
+    """Run one trace through a fresh 3-shard cluster; optionally SIGKILL
+    the busiest shard mid-run.  Returns (jobs, router, killed_shard)."""
+    config = ClusterConfig(
+        journal_dir=os.path.join(artifacts, journal_tag),
+        shards=3,
+        shard=ShardSpec(
+            workers=2,
+            admission=AdmissionConfig(capacity=512, policy="block"),
+        ),
+    )
+    router = ClusterRouter(config).start()
+    replay(router.submit, trace)
+    killed = None
+    if kill_one:
+        time.sleep(0.3)  # let every shard pick up real work first
+        counts = router.assigned_counts()
+        killed = max(counts, key=lambda name: counts[name])
+        pid = router.shard_pid(killed)
+        os.kill(pid, signal.SIGKILL)
+        print(f"  killed {killed} (pid {pid}) holding {counts[killed]} jobs")
+    jobs = wait_all(router)
+    router.stop()
+    return jobs, router, killed
+
+
+def stage_kill(artifacts: str, quick: bool) -> None:
+    """Stage B: kill -9 a shard mid-run; exactly-once, bit-identical."""
+    n = 30 if quick else 90
+    print(f"stage B: kill -9 drill ({n} jobs, 3 shards)")
+    trace = generate_trace(TraceConfig(jobs=n, tenants=4, seed=23, size=32 * 32))
+
+    reference, ref_router, _ = run_trace(artifacts, "journals_ref", trace, False)
+    dump_rollup(ref_router, artifacts, "kill_reference")
+    ref_states = Counter(j.state.value for j in reference)
+    check(
+        ref_states.get("done", 0) == n,
+        f"undisturbed reference completed everything ({ref_states})",
+    )
+    ref_fp = {j.job_id: j.fingerprint for j in reference}
+
+    disturbed, router, killed = run_trace(artifacts, "journals_kill", trace, True)
+    dump_rollup(router, artifacts, "kill_disturbed")
+    states = Counter(j.state.value for j in disturbed)
+    check(
+        states.get("done", 0) == n,
+        f"every admitted job completed despite the kill ({dict(states)})",
+    )
+    check(
+        router.metrics.total("cluster_shard_crashes_total") >= 1,
+        "the supervisor declared the killed shard dead",
+    )
+    check(
+        router.metrics.total("cluster_shard_restarts_total") >= 1,
+        "the killed shard slot was restarted",
+    )
+    moved = sum(1 for j in disturbed if len(j.placements) > 1)
+    adopted = len(router.metrics.decisions("adopt"))
+    check(
+        moved + adopted > 0,
+        f"recovery actually moved or adopted work (migrated={moved}, "
+        f"adopted={adopted})",
+    )
+    fp = {j.job_id: j.fingerprint for j in disturbed}
+    mismatched = [
+        job_id for job_id in ref_fp if fp.get(job_id) != ref_fp[job_id]
+    ]
+    check(
+        not mismatched,
+        f"fingerprints bit-identical to the undisturbed run "
+        f"({len(ref_fp) - len(mismatched)}/{len(ref_fp)})",
+    )
+
+    # Cross-journal exactly-once audit: no job may hold a committed
+    # `done` record in more than one shard journal, and every done job
+    # must hold at least one *somewhere* (its own shard's or, when its
+    # result message died with the shard, the journal it was adopted
+    # from).
+    journal_dir = os.path.join(artifacts, "journals_kill")
+    done_records: Counter = Counter()
+    for name in sorted(os.listdir(journal_dir)):
+        state = load_checkpoint(os.path.join(journal_dir, name))
+        for job_id, journal in state.jobs.items():
+            if journal.state == "done":
+                done_records[job_id] += 1
+    duplicated = sorted(j for j, c in done_records.items() if c > 1)
+    check(
+        not duplicated,
+        f"no job committed `done` in two journals (duplicates: {duplicated})",
+    )
+    missing = sorted(
+        j.job_id
+        for j in disturbed
+        if j.state is JobState.DONE and done_records.get(j.job_id, 0) == 0
+    )
+    check(
+        not missing,
+        f"every done job has a journal commit (missing: {missing})",
+    )
+
+
+def stage_breaker(artifacts: str, quick: bool) -> None:
+    """Stage C: forced-open breaker -> degrade, migrate, restore."""
+    n = 40 if quick else 120
+    print(f"stage C: forced-open breaker drill ({n} jobs)")
+    config = ClusterConfig(
+        journal_dir=os.path.join(artifacts, "journals_breaker"),
+        shards=3,
+        shard=ShardSpec(
+            workers=1,
+            admission=AdmissionConfig(capacity=512, policy="block"),
+            breaker=BreakerConfig(cooldown=0.5),
+        ),
+    )
+    trace = generate_trace(TraceConfig(jobs=n, tenants=4, seed=31, size=32 * 32))
+    router = ClusterRouter(config).start()
+    replay(router.submit, trace)
+    victim = max(router.assigned_counts().items(), key=lambda kv: kv[1])[0]
+    router.force_open(victim, "gpu0")
+    print(f"  forced gpu0 open on {victim}")
+    jobs = wait_all(router)
+    # Give the heartbeat a moment to observe the breaker walking back
+    # through half-open, then stop.
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        if router.metrics.decisions("restore"):
+            break
+        time.sleep(0.05)
+    router.stop()
+    dump_rollup(router, artifacts, "breaker")
+
+    states = Counter(j.state.value for j in jobs)
+    check(
+        states.get("done", 0) == n,
+        f"every job completed despite the open breaker ({dict(states)})",
+    )
+    degrades = router.metrics.decisions("degrade")
+    restores = router.metrics.decisions("restore")
+    check(
+        any(d["device"] == victim for d in degrades),
+        f"router degraded {victim} on the breaker heartbeat",
+    )
+    check(
+        any(r["device"] == victim for r in restores),
+        f"router restored {victim} after the breaker cooldown",
+    )
+    migrated = router.metrics.total("cluster_jobs_migrated_total")
+    check(
+        migrated >= 1,
+        f"degraded shard's backlog migrated to healthy shards ({migrated:g})",
+    )
+    # While degraded, the victim must receive no new placements: every
+    # `place` on the victim sits outside the [degrade, restore) window.
+    first_degrade = min(d["seq"] for d in degrades if d["device"] == victim)
+    first_restore = min(
+        (r["seq"] for r in restores if r["device"] == victim),
+        default=float("inf"),
+    )
+    misplaced = [
+        p
+        for p in router.metrics.decisions("place")
+        if p["device"] == victim and first_degrade < p["seq"] < first_restore
+    ]
+    check(
+        not misplaced,
+        f"no job was placed on {victim} while degraded "
+        f"({len(misplaced)} violations)",
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized drill (~130 jobs)"
+    )
+    parser.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        default=None,
+        help="keep journals + rollups here (default: a temp dir)",
+    )
+    args = parser.parse_args()
+    artifacts = args.artifacts or tempfile.mkdtemp(prefix="repro-cluster-check-")
+    os.makedirs(artifacts, exist_ok=True)
+    print(f"cluster drill artifacts: {artifacts}")
+
+    started = time.monotonic()
+    stage_overload(artifacts, args.quick)
+    stage_kill(artifacts, args.quick)
+    stage_breaker(artifacts, args.quick)
+    elapsed = time.monotonic() - started
+
+    print(f"\ncluster drill finished in {elapsed:.1f} s")
+    if FAILURES:
+        print(f"FAILED ({len(FAILURES)} audit(s)):")
+        for failure in FAILURES:
+            print(f"  - {failure}")
+        return 1
+    print("all cluster audits passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,10 @@ Commands:
 * ``serve``       -- run a job service over a queue file (admission
                      control, QoS deadlines, circuit breakers,
                      checkpoint/resume; see docs/serving.md).
+* ``cluster``     -- replay a heavy-tailed multi-tenant trace through a
+                     sharded multi-process cluster (consistent-hash
+                     placement, crash recovery, work migration; see
+                     docs/cluster.md).
 
 Every user-input failure exits with code 2 and a one-line message naming
 the offending flag; tracebacks are reserved for bugs.
@@ -288,6 +292,96 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    if args.shards <= 0:
+        return _usage_error("--shards", f"must be a positive integer, got {args.shards}")
+    if args.workers <= 0:
+        return _usage_error("--workers", f"must be a positive integer, got {args.workers}")
+    if args.jobs <= 0:
+        return _usage_error("--jobs", f"must be a positive integer, got {args.jobs}")
+    if args.tenants <= 0:
+        return _usage_error("--tenants", f"must be a positive integer, got {args.tenants}")
+    if args.spread <= 0:
+        return _usage_error("--spread", f"must be a positive integer, got {args.spread}")
+    import os
+    import signal
+    import tempfile
+    import time
+
+    from repro.cluster import (
+        ClusterConfig,
+        ClusterRouter,
+        ShardSpec,
+        TraceConfig,
+        generate_trace,
+        replay,
+    )
+    from repro.serve import AdmissionConfig
+
+    journal_dir = args.journal_dir or tempfile.mkdtemp(prefix="repro-cluster-")
+    config = ClusterConfig(
+        journal_dir=journal_dir,
+        shards=args.shards,
+        tenant_spread=args.spread,
+        shard=ShardSpec(
+            workers=args.workers,
+            admission=AdmissionConfig(
+                capacity=args.capacity, policy=args.admission
+            ),
+            validate=args.validate,
+        ),
+    )
+    trace = generate_trace(
+        TraceConfig(
+            jobs=args.jobs,
+            tenants=args.tenants,
+            seed=args.seed,
+            size=args.side**2,
+        )
+    )
+    router = ClusterRouter(config).start()
+    start = time.monotonic()
+    stats = replay(router.submit, trace, time_scale=args.time_scale)
+    if args.kill_shard:
+        pid = router.shard_pid(args.kill_shard)
+        if pid is None:
+            router.stop()
+            return _usage_error(
+                "--kill-shard", f"unknown shard {args.kill_shard!r}"
+            )
+        os.kill(pid, signal.SIGKILL)
+        print(f"killed {args.kill_shard} (pid {pid}) mid-run")
+    jobs = list(router.jobs.values())
+    for job in jobs:
+        job.wait(timeout=300.0)
+    router.stop()
+    elapsed = time.monotonic() - start
+
+    states: dict = {}
+    for job in jobs:
+        states[job.state.value] = states.get(job.state.value, 0) + 1
+    migrated = sum(1 for job in jobs if len(job.placements) > 1)
+    print(f"shards    : {args.shards} x {args.workers} workers "
+          f"(journals in {journal_dir})")
+    print(f"offered   : {stats.offered} jobs over {args.tenants} tenants "
+          f"(rejected at the router: {stats.rejected})")
+    print("states    : " + ", ".join(
+        f"{k}={v}" for k, v in sorted(states.items())) if states else "none")
+    print(f"migrated  : {migrated} job(s) changed shard")
+    print(f"crashes   : {router.metrics.total('cluster_shard_crashes_total'):g} "
+          f"(restarts {router.metrics.total('cluster_shard_restarts_total'):g}, "
+          f"recovered {router.metrics.total('cluster_jobs_recovered_total'):g})")
+    print(f"elapsed   : {elapsed:.2f} s wall")
+    if args.metrics:
+        router.metrics.write_jsonl(
+            args.metrics,
+            meta={"jobs": args.jobs, "shards": args.shards, "seed": args.seed},
+        )
+        print(f"rollup written to {args.metrics} (JSONL, schema repro.obs/v1)")
+    failed = states.get("failed", 0)
+    return 1 if failed else 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.common import ExperimentSettings
     from repro.experiments.runner import apply_performance_args, run_all
@@ -384,6 +478,43 @@ def main(argv=None) -> int:
         "--validate", action="store_true", help="run the invariant checker in every job"
     )
     serve_parser.set_defaults(handler=_cmd_serve)
+
+    cluster_parser = sub.add_parser(
+        "cluster",
+        help="replay a trace through a sharded multi-process cluster (docs/cluster.md)",
+    )
+    cluster_parser.add_argument("--shards", type=int, default=3)
+    cluster_parser.add_argument("--workers", type=int, default=2, help="workers per shard")
+    cluster_parser.add_argument("--jobs", type=int, default=60, help="trace length")
+    cluster_parser.add_argument("--tenants", type=int, default=4)
+    cluster_parser.add_argument("--seed", type=int, default=0, help="trace seed")
+    cluster_parser.add_argument("--side", type=int, default=64, help="problem side length")
+    cluster_parser.add_argument(
+        "--spread", type=int, default=2, help="distinct shards per tenant"
+    )
+    cluster_parser.add_argument("--capacity", type=int, default=64, help="per-shard queue")
+    cluster_parser.add_argument(
+        "--admission", choices=("block", "reject", "shed"), default="block"
+    )
+    cluster_parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.0,
+        help="stretch trace time into wall time (0 = flood)",
+    )
+    cluster_parser.add_argument(
+        "--journal-dir", metavar="DIR", help="shard journal directory (default: temp)"
+    )
+    cluster_parser.add_argument(
+        "--kill-shard", metavar="NAME", help="SIGKILL this shard mid-run (e.g. shard-1)"
+    )
+    cluster_parser.add_argument(
+        "--metrics", metavar="PATH", help="write the cluster rollup as JSONL"
+    )
+    cluster_parser.add_argument(
+        "--validate", action="store_true", help="run the invariant checker in every job"
+    )
+    cluster_parser.set_defaults(handler=_cmd_cluster)
 
     args = parser.parse_args(argv)
     try:

@@ -1,0 +1,38 @@
+"""repro.cluster -- sharded multi-process SHMT serving.
+
+Scales :mod:`repro.serve` from one long-lived process to N real OS-process
+shards behind a :class:`ClusterRouter`: consistent-hash job placement with
+per-tenant spread (:mod:`repro.cluster.hashring`), heartbeat supervision
+with deadlines, crash recovery from per-shard checkpoint journals, and
+cross-shard work migration when a shard dies or its circuit breakers
+force-open.  An open-loop load generator (:mod:`repro.cluster.loadgen`)
+replays heavy-tailed multi-tenant arrival traces to prove admission
+control and backpressure hold at cluster scale.  See ``docs/cluster.md``.
+"""
+
+from repro.cluster.hashring import HashRing, stable_hash
+from repro.cluster.loadgen import (
+    Arrival,
+    ReplayStats,
+    TraceConfig,
+    generate_trace,
+    replay,
+)
+from repro.cluster.rollup import ClusterMetrics
+from repro.cluster.router import ClusterConfig, ClusterJob, ClusterRouter
+from repro.cluster.shard import ShardSpec
+
+__all__ = [
+    "Arrival",
+    "ClusterConfig",
+    "ClusterJob",
+    "ClusterMetrics",
+    "ClusterRouter",
+    "HashRing",
+    "ReplayStats",
+    "ShardSpec",
+    "TraceConfig",
+    "generate_trace",
+    "replay",
+    "stable_hash",
+]

@@ -1,0 +1,141 @@
+"""Consistent-hash placement for cluster shards.
+
+The ring maps every key to a shard so that (a) load spreads evenly across
+shards (many virtual nodes per shard smooth the gaps), and (b) shard
+membership changes remap only the keys that *must* move: when a shard
+joins, the only keys that change owner are the ones the new shard takes
+(~1/N of the keyspace); when a shard leaves, only its own keys move, each
+to its ring successor.  Both properties are pinned by hypothesis tests
+(``tests/cluster/test_hashring_properties.py``).
+
+Job placement hashes ``(tenant, job_id)`` with *per-tenant spread*: each
+tenant is anchored to a preference list of ``spread`` distinct shards,
+and its jobs hash across exactly that list.  One tenant therefore (a)
+cannot concentrate on a single shard (hot-spot protection under the
+heavy-tailed tenant popularity the load generator replays), and (b)
+cannot smear across every shard either, which bounds the blast radius a
+single shard crash has on any one tenant.
+
+Hashes are :func:`stable_hash` (blake2b), never Python's per-process
+salted ``hash()`` -- placement must agree across router restarts and OS
+processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.errors import InvalidInput, UnknownName
+
+
+def stable_hash(key: str) -> int:
+    """64-bit process-stable hash of ``key`` (blake2b, not ``hash()``)."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Immutable consistent-hash ring over named shards.
+
+    ``vnodes`` virtual nodes per shard; lookups walk clockwise from the
+    key's point.  Membership edits return *new* rings (placement state
+    must never mutate under a concurrent router thread).
+    """
+
+    def __init__(self, shards: Iterable[str], vnodes: int = 64) -> None:
+        names = list(dict.fromkeys(shards))
+        if not names:
+            raise InvalidInput("a hash ring needs at least one shard")
+        if vnodes < 1:
+            raise InvalidInput(f"vnodes must be >= 1, got {vnodes}")
+        self.shards: tuple = tuple(names)
+        self.vnodes = vnodes
+        points = []
+        for name in names:
+            for vnode in range(vnodes):
+                points.append((stable_hash(f"{name}#{vnode}"), name))
+        points.sort()
+        self._points: List[int] = [p for p, _ in points]
+        self._owners: List[str] = [o for _, o in points]
+
+    # ------------------------------------------------------------ membership
+
+    def with_shard(self, name: str) -> "HashRing":
+        if name in self.shards:
+            raise InvalidInput(f"shard {name!r} is already on the ring")
+        return HashRing(self.shards + (name,), self.vnodes)
+
+    def without_shard(self, name: str) -> "HashRing":
+        if name not in self.shards:
+            raise UnknownName(f"shard {name!r} is not on the ring")
+        return HashRing((s for s in self.shards if s != name), self.vnodes)
+
+    # --------------------------------------------------------------- lookups
+
+    def _walk(self, key: str) -> Iterable[str]:
+        """Shards in ring order starting at ``key``'s point (with repeats)."""
+        start = bisect_right(self._points, stable_hash(key))
+        total = len(self._owners)
+        for offset in range(total):
+            yield self._owners[(start + offset) % total]
+
+    def lookup(self, key: str, healthy: Optional[Set[str]] = None) -> str:
+        """The shard owning ``key``: its clockwise successor on the ring.
+
+        With ``healthy`` given, unhealthy owners are skipped clockwise, so
+        a key's work lands on the nearest healthy shard and returns home
+        as soon as its owner recovers.  Raises
+        :class:`~repro.errors.UnknownName` when no candidate is healthy.
+        """
+        for owner in self._walk(key):
+            if healthy is None or owner in healthy:
+                return owner
+        raise UnknownName(
+            f"no healthy shard for key {key!r}",
+            healthy=sorted(healthy or ()),
+        )
+
+    def preference(self, key: str, n: Optional[int] = None) -> List[str]:
+        """The first ``n`` *distinct* shards clockwise from ``key``."""
+        limit = len(self.shards) if n is None else min(n, len(self.shards))
+        seen: List[str] = []
+        for owner in self._walk(key):
+            if owner not in seen:
+                seen.append(owner)
+                if len(seen) >= limit:
+                    break
+        return seen
+
+    def place(
+        self,
+        tenant: str,
+        job_id: str,
+        spread: int = 2,
+        healthy: Optional[Set[str]] = None,
+    ) -> str:
+        """Place ``(tenant, job_id)`` with per-tenant spread.
+
+        The tenant's anchor preference list (``spread`` distinct shards
+        clockwise from the tenant's point) is its placement domain; the
+        job's hash picks a slot in it.  Unhealthy candidates fall through
+        the rest of the tenant's list first, then the whole ring -- so
+        placement degrades gracefully instead of failing while any shard
+        survives.
+        """
+        if spread < 1:
+            raise InvalidInput(f"spread must be >= 1, got {spread}")
+        anchors = self.preference(f"tenant:{tenant}", n=spread)
+        slot = stable_hash(f"{tenant}/{job_id}") % len(anchors)
+        candidates = anchors[slot:] + anchors[:slot]
+        for shard in candidates:
+            if healthy is None or shard in healthy:
+                return shard
+        return self.lookup(f"{tenant}/{job_id}", healthy=healthy)
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashRing({list(self.shards)}, vnodes={self.vnodes})"

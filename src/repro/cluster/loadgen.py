@@ -1,0 +1,169 @@
+"""Open-loop, heavy-tailed, multi-tenant arrival traces.
+
+The generator models the offered load a production SHMT fleet sees:
+
+* **Heavy-tailed inter-arrivals** -- Pareto(alpha) gaps (inverse-CDF
+  sampled), so bursts arrive in clumps with a long quiet tail instead of
+  the gentle Poisson stream that flatters admission control.
+* **Skewed tenants** -- Zipf(s) popularity, so one or two tenants
+  dominate (the case per-tenant spread and per-tenant admission caps
+  exist for).
+* **Open loop** -- :func:`replay` submits on the trace's schedule and
+  *never waits for results*, so offered load does not shrink when the
+  cluster slows down; backpressure has to do its job or the drill fails.
+
+Everything is a pure function of the :class:`TraceConfig` seed
+(``random.Random``), so the kill-drill can replay an identical trace
+into a disturbed and an undisturbed cluster and compare fingerprints
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.errors import AdmissionRejected, InvalidInput
+from repro.serve.job import JobSpec
+
+#: (qos_class, weight) sampling mix over the trace.
+DEFAULT_QOS_MIX = (("bronze", 6), ("silver", 3), ("gold", 1))
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Deterministic description of one arrival trace."""
+
+    jobs: int = 100
+    tenants: int = 4
+    seed: int = 0
+    kernels: Tuple[str, ...] = ("sobel", "laplacian", "mean_filter", "fft")
+    #: Flat input size (elements) for every job.
+    size: int = 64 * 64
+    #: Mean inter-arrival gap in *trace seconds* (scaled at replay).
+    mean_interarrival: float = 0.002
+    #: Pareto shape; must be > 1 so the mean exists.  1.5 is bursty.
+    pareto_alpha: float = 1.5
+    #: Zipf exponent for tenant popularity (0 = uniform).
+    tenant_zipf_s: float = 1.2
+    qos_mix: Tuple[Tuple[str, int], ...] = DEFAULT_QOS_MIX
+    #: Give every k-th job a deadline (0 = no deadlines).
+    deadline_every: int = 0
+    deadline: float = 5.0
+    job_prefix: str = "trace"
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise InvalidInput(f"jobs must be >= 1, got {self.jobs}")
+        if self.tenants < 1:
+            raise InvalidInput(f"tenants must be >= 1, got {self.tenants}")
+        if self.pareto_alpha <= 1.0:
+            raise InvalidInput(
+                "pareto_alpha must be > 1 (finite mean), got "
+                f"{self.pareto_alpha}"
+            )
+        if self.mean_interarrival < 0:
+            raise InvalidInput("mean_interarrival must be >= 0")
+        if not self.kernels:
+            raise InvalidInput("kernels must be non-empty")
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One trace entry: a job spec and its arrival offset in seconds."""
+
+    at: float
+    spec: JobSpec
+
+
+def _pareto_gap(rng: random.Random, mean: float, alpha: float) -> float:
+    """One Pareto-distributed gap with the requested mean.
+
+    Inverse CDF: ``x = xm * (1 - u) ** (-1 / alpha)`` with scale
+    ``xm = mean * (alpha - 1) / alpha`` so that ``E[x] = mean``.
+    """
+    if mean == 0:
+        return 0.0
+    xm = mean * (alpha - 1.0) / alpha
+    u = rng.random()
+    return xm * (1.0 - u) ** (-1.0 / alpha)
+
+
+def generate_trace(config: TraceConfig) -> List[Arrival]:
+    """The full arrival list for ``config`` (pure function of its seed)."""
+    rng = random.Random(config.seed)
+    tenant_names = [f"tenant-{i}" for i in range(config.tenants)]
+    weights = [
+        1.0 / (rank + 1) ** config.tenant_zipf_s
+        for rank in range(config.tenants)
+    ]
+    qos_names = [q for q, _ in config.qos_mix]
+    qos_weights = [w for _, w in config.qos_mix]
+    arrivals: List[Arrival] = []
+    clock = 0.0
+    for index in range(config.jobs):
+        clock += _pareto_gap(rng, config.mean_interarrival, config.pareto_alpha)
+        tenant = rng.choices(tenant_names, weights=weights, k=1)[0]
+        qos = rng.choices(qos_names, weights=qos_weights, k=1)[0]
+        deadline = (
+            config.deadline
+            if config.deadline_every and (index + 1) % config.deadline_every == 0
+            else None
+        )
+        spec = JobSpec(
+            job_id=f"{config.job_prefix}-{index:06d}",
+            kernel=rng.choice(config.kernels),
+            size=config.size,
+            seed=index,
+            tenant=tenant,
+            qos_class=qos,
+            deadline=deadline,
+        )
+        arrivals.append(Arrival(at=clock, spec=spec))
+    return arrivals
+
+
+@dataclass
+class ReplayStats:
+    """What an open-loop replay offered and what the target refused."""
+
+    submitted: int = 0
+    rejected: int = 0
+    elapsed: float = 0.0
+    per_tenant: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def offered(self) -> int:
+        return self.submitted + self.rejected
+
+
+def replay(
+    submit: Callable[[JobSpec], Any],
+    trace: List[Arrival],
+    time_scale: float = 0.0,
+) -> ReplayStats:
+    """Replay ``trace`` open-loop into ``submit``.
+
+    ``time_scale`` stretches trace time into wall time (0 = flood: every
+    arrival submitted as fast as the GIL allows).  Rejections
+    (:class:`~repro.errors.AdmissionRejected`) are counted, never
+    retried -- shed accounting is the cluster's job, not the client's.
+    """
+    stats = ReplayStats()
+    start = time.monotonic()
+    for arrival in trace:
+        if time_scale > 0:
+            lag = arrival.at * time_scale - (time.monotonic() - start)
+            if lag > 0:
+                time.sleep(lag)
+        try:
+            submit(arrival.spec)
+            stats.submitted += 1
+            tenant = arrival.spec.tenant
+            stats.per_tenant[tenant] = stats.per_tenant.get(tenant, 0) + 1
+        except AdmissionRejected:
+            stats.rejected += 1
+    stats.elapsed = time.monotonic() - start
+    return stats

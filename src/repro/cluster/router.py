@@ -1,0 +1,617 @@
+"""The cluster router: placement, supervision, recovery, migration.
+
+:class:`ClusterRouter` spawns N shard processes (:mod:`repro.cluster.shard`),
+places jobs by consistent hashing on ``(tenant, job_id)`` with per-tenant
+spread (:mod:`repro.cluster.hashring`), and supervises shards via
+heartbeats with deadlines.  Recovery honours one invariant above all
+others: **a journaled job is never executed twice**.
+
+Shard death (missed heartbeat deadline or an exited process) triggers:
+
+1. **Fencing** -- the process is SIGKILLed and joined before its journal
+   is read, so a hung-but-alive shard cannot race the recovery.
+2. **Adoption** -- jobs with a terminal ``job-end`` in the shard's journal
+   are resolved from the journal record (state + fingerprint), not
+   re-executed: the work was committed, the crash merely ate the result
+   message.
+3. **Migration** -- jobs the journal saw start (but not end) move to a
+   healthy shard *with* their journaled blocked set and HLOP results, so
+   the replay is bit-identical (the PR-5 resume invariants, applied
+   cross-process).  Jobs the journal never saw migrate fresh.
+4. **Restart** -- the slot respawns with a new generation and a fresh
+   journal (bounded by ``max_restarts``); the ring never changes, so
+   placement remaps only while the slot is down.
+
+A shard whose breakers force-open is *degraded*: new placements avoid it,
+its queued backlog is evicted and re-placed on healthy shards, and it
+rejoins placement when its heartbeat shows the breakers closed again.
+Running jobs always finish where they run -- only queued (journal-less)
+work migrates from a live shard, which is what makes migration safe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.cluster.hashring import HashRing
+from repro.cluster.rollup import ClusterMetrics
+from repro.cluster.shard import ShardSpec, encode_hlops, shard_main
+from repro.errors import (
+    AdmissionRejected,
+    CheckpointUnavailable,
+    InvalidInput,
+    ServiceStopped,
+    ShardCrashed,
+    UnknownName,
+)
+from repro.faults.plan import FaultKind
+from repro.serve.checkpoint import CheckpointState, JobJournal, load_checkpoint
+from repro.serve.job import JobSpec, JobState
+
+#: Journal terminal states -> job states (the adoption map).
+_JOURNAL_STATES = {
+    "done": JobState.DONE,
+    "failed": JobState.FAILED,
+    "deadline": JobState.DEADLINE,
+    "shed": JobState.SHED,
+    "rejected": JobState.SHED,
+}
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Topology and supervision policy for one cluster."""
+
+    #: Directory holding every shard generation's checkpoint journal.
+    journal_dir: str
+    shards: int = 3
+    shard: ShardSpec = field(default_factory=ShardSpec)
+    #: Virtual nodes per shard on the placement ring.
+    vnodes: int = 64
+    #: Distinct shards one tenant's jobs spread across.
+    tenant_spread: int = 2
+    #: Seconds without a heartbeat before a shard is suspect.
+    heartbeat_deadline: float = 3.0
+    #: Supervision tick (liveness checks, suspect confirmation).
+    supervise_interval: float = 0.05
+    #: Respawn budget per shard slot (0 = never restart).
+    max_restarts: int = 2
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise InvalidInput(f"shards must be >= 1, got {self.shards}")
+        if self.tenant_spread < 1:
+            raise InvalidInput(
+                f"tenant_spread must be >= 1, got {self.tenant_spread}"
+            )
+        if self.heartbeat_deadline <= 0:
+            raise InvalidInput("heartbeat_deadline must be positive")
+
+
+class ClusterJob:
+    """Router-side handle for one submitted job (results by fingerprint;
+    output arrays stay in the shard that computed them)."""
+
+    def __init__(self, spec: JobSpec) -> None:
+        self.spec = spec
+        self.state = JobState.QUEUED
+        self.fingerprint: Optional[str] = None
+        self.makespan: Optional[float] = None
+        self.error_code: str = ""
+        #: Every shard this job was placed on, in order (len > 1 = migrated).
+        self.placements: List[str] = []
+        self.resolved_by: str = ""
+        self._done = threading.Event()
+
+    @property
+    def job_id(self) -> str:
+        return self.spec.job_id
+
+    @property
+    def shard(self) -> Optional[str]:
+        return self.placements[-1] if self.placements else None
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._done.wait(timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ClusterJob({self.spec.job_id}, {self.state.value})"
+
+
+class _ShardHandle:
+    """Router-side bookkeeping for one shard slot's current process."""
+
+    def __init__(self, slot: int, name: str) -> None:
+        self.slot = slot
+        self.name = name
+        self.generation = 0
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.commands: Optional[multiprocessing.Queue] = None
+        self.journal_path: str = ""
+        self.state = "live"  # live | degraded | dead | stopped
+        self.last_seen = 0.0
+        self.suspect_ticks = 0
+        self.restarts = 0
+        self.open_devices: List[str] = []
+
+    @property
+    def routable(self) -> bool:
+        return self.state == "live"
+
+
+class ClusterRouter:
+    """Sharded multi-process front door over N :class:`ShmtService`\\ s."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.metrics = ClusterMetrics()
+        self.jobs: Dict[str, ClusterJob] = {}
+        self._ring = HashRing(
+            [f"shard-{i}" for i in range(config.shards)], vnodes=config.vnodes
+        )
+        self._handles: Dict[str, _ShardHandle] = {}
+        self._assigned: Dict[str, Set[str]] = {}
+        self._ctx = multiprocessing.get_context("spawn")
+        self._events: multiprocessing.Queue = self._ctx.Queue()
+        self._lock = threading.RLock()
+        self._seq = 0
+        self._stopping = False
+        self._shutdown = threading.Event()
+        self._threads: List[threading.Thread] = []
+        os.makedirs(config.journal_dir, exist_ok=True)
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> "ClusterRouter":
+        for slot in range(self.config.shards):
+            handle = _ShardHandle(slot, f"shard-{slot}")
+            self._handles[handle.name] = handle
+            self._assigned[handle.name] = set()
+            self._spawn(handle)
+        for target, name in (
+            (self._event_loop, "cluster-events"),
+            (self._supervise_loop, "cluster-supervisor"),
+        ):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def _spawn(self, handle: _ShardHandle) -> None:
+        handle.generation += 1
+        handle.journal_path = os.path.join(
+            self.config.journal_dir,
+            f"{handle.name}-gen{handle.generation}.jsonl",
+        )
+        handle.commands = self._ctx.Queue()
+        handle.process = self._ctx.Process(
+            target=shard_main,
+            args=(
+                handle.name,
+                handle.generation,
+                handle.journal_path,
+                self.config.shard,
+                handle.commands,
+                self._events,
+            ),
+            name=f"{handle.name}-gen{handle.generation}",
+            daemon=True,
+        )
+        handle.process.start()
+        handle.state = "live"
+        handle.last_seen = time.monotonic()
+        handle.suspect_ticks = 0
+        handle.open_devices = []
+
+    def stop(self, drain: bool = True, timeout: float = 120.0) -> None:
+        """Stop the cluster: drain (or shed) every shard, merge rollups.
+
+        Any job still unresolved after the drain (e.g. its migration
+        target was already stopping) is settled from the shard journals
+        where possible and failed with ``SHARD_CRASHED`` otherwise --
+        stop never leaves a waiter hanging.
+        """
+        with self._lock:
+            self._stopping = True
+            handles = list(self._handles.values())
+        for handle in handles:
+            if handle.state in ("live", "degraded"):
+                try:
+                    handle.commands.put(("stop", drain))
+                except (OSError, ValueError):  # pragma: no cover - queue gone
+                    pass
+        deadline = time.monotonic() + timeout
+        for handle in handles:
+            if handle.process is not None:
+                handle.process.join(max(0.1, deadline - time.monotonic()))
+        # Let the event thread drain final results/stopped messages.
+        settle_deadline = time.monotonic() + 10.0
+        while time.monotonic() < settle_deadline:
+            with self._lock:
+                if all(job.state.terminal for job in self.jobs.values()) and all(
+                    h.state in ("dead", "stopped") or not h.process.is_alive()
+                    for h in self._handles.values()
+                ):
+                    break
+            time.sleep(0.05)
+        self._shutdown.set()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        for handle in handles:
+            if handle.process is not None and handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(5.0)
+        self._settle_unresolved()
+
+    # ------------------------------------------------------------ submission
+
+    def submit(self, spec: JobSpec) -> ClusterJob:
+        """Place one job on the cluster; returns its router handle.
+
+        Raises :class:`ServiceStopped` after stop, :class:`InvalidInput`
+        on a duplicate job id (ids are deduplicated *cluster-wide*, the
+        PR-5 journal-key semantics lifted to the router), and
+        :class:`AdmissionRejected` when no shard is healthy.
+        """
+        with self._lock:
+            if self._stopping:
+                raise ServiceStopped("cluster is stopping; submissions closed")
+            self._seq += 1
+            if not spec.job_id:
+                spec = JobSpec(
+                    **{**spec.to_dict(), "job_id": f"cj-{self._seq:06d}"}
+                )
+            if spec.job_id in self.jobs:
+                raise InvalidInput(
+                    f"duplicate job id {spec.job_id!r}: already known to "
+                    "the cluster",
+                    job_id=spec.job_id,
+                )
+            job = ClusterJob(spec)
+            self.jobs[spec.job_id] = job
+            try:
+                shard = self._place(job, why="hash placement")
+            except AdmissionRejected:
+                del self.jobs[spec.job_id]
+                self.metrics.count(
+                    "cluster_jobs_rejected_total",
+                    tenant=spec.tenant,
+                    reason="no-healthy-shard",
+                )
+                self.metrics.decision(
+                    "reject", "router", "no healthy shard", job_id=spec.job_id
+                )
+                raise
+        self.metrics.count("cluster_jobs_submitted_total", tenant=spec.tenant)
+        return job
+
+    def _healthy(self) -> Set[str]:
+        return {name for name, h in self._handles.items() if h.routable}
+
+    def _place(
+        self,
+        job: ClusterJob,
+        why: str,
+        payload: Optional[tuple] = None,
+    ) -> str:
+        """Pick a healthy shard for ``job`` and send it there.
+
+        ``payload`` overrides the default ``submit`` command (used by
+        migration to carry recovered state).  Caller holds the lock.
+        """
+        healthy = self._healthy()
+        if not healthy:
+            raise AdmissionRejected(
+                "no healthy shard to place on", reason="no-healthy-shard"
+            )
+        try:
+            shard = self._ring.place(
+                job.spec.tenant,
+                job.spec.job_id,
+                spread=self.config.tenant_spread,
+                healthy=healthy,
+            )
+        except UnknownName as error:  # pragma: no cover - healthy is nonempty
+            raise AdmissionRejected(str(error), reason="no-healthy-shard")
+        handle = self._handles[shard]
+        command = payload if payload is not None else (
+            "submit",
+            job.spec.to_dict(),
+        )
+        handle.commands.put(command)
+        job.placements.append(shard)
+        self._assigned[shard].add(job.spec.job_id)
+        self.metrics.decision("place", shard, why, job_id=job.spec.job_id)
+        return shard
+
+    # ------------------------------------------------------------ drill hooks
+
+    def force_open(self, shard: str, device: str) -> None:
+        """Trip one device breaker on one shard (drills, ops runbooks)."""
+        with self._lock:
+            handle = self._handles[shard]
+            handle.commands.put(("force_open", device))
+
+    def shard_pid(self, shard: str) -> Optional[int]:
+        """The shard's current process id (the kill-drill's target)."""
+        with self._lock:
+            process = self._handles[shard].process
+            return process.pid if process is not None else None
+
+    def shard_states(self) -> Dict[str, str]:
+        with self._lock:
+            return {name: h.state for name, h in self._handles.items()}
+
+    def assigned_counts(self) -> Dict[str, int]:
+        with self._lock:
+            return {name: len(ids) for name, ids in self._assigned.items()}
+
+    # ------------------------------------------------------------ event loop
+
+    def _event_loop(self) -> None:
+        while True:
+            try:
+                kind, shard, generation, payload = self._events.get(timeout=0.05)
+            except (queue_module.Empty, OSError, EOFError):
+                if self._shutdown.is_set():
+                    return
+                continue
+            with self._lock:
+                handle = self._handles.get(shard)
+                if handle is None or generation != handle.generation:
+                    # A fenced predecessor's leftover message.  Results are
+                    # still adopted (same determinism, first-resolve wins);
+                    # everything else from a stale generation is noise.
+                    if kind == "result":
+                        self._resolve(payload, via=f"{shard}(stale)")
+                    continue
+                if kind == "hb":
+                    self._on_heartbeat(handle, payload)
+                elif kind == "result":
+                    self._resolve(payload, via=shard)
+                elif kind == "evicted":
+                    self._on_evicted(handle, payload)
+                elif kind == "stopped":
+                    handle.state = "stopped"
+                    self.metrics.merge_shard_snapshot(
+                        handle.name, payload["metrics"]
+                    )
+
+    def _on_heartbeat(self, handle: _ShardHandle, payload: Dict[str, Any]) -> None:
+        handle.last_seen = time.monotonic()
+        handle.suspect_ticks = 0
+        handle.open_devices = list(payload.get("open", []))
+        self.metrics.count("cluster_heartbeats_total", shard=handle.name)
+        self.metrics.gauge(
+            "cluster_shard_depth", payload.get("depth", 0), shard=handle.name
+        )
+        if handle.state == "live" and handle.open_devices:
+            handle.state = "degraded"
+            self.metrics.count(
+                "cluster_shard_degraded_total", shard=handle.name
+            )
+            self.metrics.decision(
+                "degrade",
+                handle.name,
+                f"breakers open: {','.join(handle.open_devices)}",
+            )
+            # Pull the backlog off the degraded shard; the evicted
+            # payload re-places it on healthy shards.
+            handle.commands.put(("evict",))
+        elif handle.state == "degraded" and not handle.open_devices:
+            handle.state = "live"
+            self.metrics.decision("restore", handle.name, "breakers closed")
+
+    def _on_evicted(self, handle: _ShardHandle, payload: Dict[str, Any]) -> None:
+        for spec_dict in payload.get("jobs", []):
+            job_id = spec_dict.get("job_id", "")
+            job = self.jobs.get(job_id)
+            if job is None or job.state.terminal:
+                continue
+            self._assigned[handle.name].discard(job_id)
+            self._migrate(job, source=handle.name, reason="breaker")
+
+    def _migrate(
+        self,
+        job: ClusterJob,
+        source: str,
+        reason: str,
+        journal: Optional[JobJournal] = None,
+    ) -> None:
+        """Re-place one unfinished job on a healthy shard (lock held)."""
+        payload: Optional[tuple] = None
+        if journal is not None and journal.spec is not None:
+            payload = (
+                "submit_recovered",
+                journal.spec.to_dict(),
+                list(journal.blocked),
+                encode_hlops(journal.hlops),
+            )
+        try:
+            target = self._place(
+                job, why=f"migrated off {source} ({reason})", payload=payload
+            )
+        except AdmissionRejected:
+            self._fail(
+                job,
+                ShardCrashed(
+                    f"job {job.spec.job_id} stranded: shard {source} is gone "
+                    "and no healthy shard remains",
+                    shard=source,
+                ),
+            )
+            return
+        self.metrics.count(
+            "cluster_jobs_migrated_total", reason=reason, shard=source
+        )
+        self.metrics.decision(
+            "migrate",
+            target,
+            f"{reason}: {source} -> {target}"
+            + (" with journal state" if payload is not None else ""),
+            job_id=job.spec.job_id,
+        )
+
+    # ----------------------------------------------------------- supervision
+
+    def _supervise_loop(self) -> None:
+        while not self._shutdown.wait(self.config.supervise_interval):
+            with self._lock:
+                suspects = []
+                now = time.monotonic()
+                for handle in self._handles.values():
+                    if handle.state not in ("live", "degraded"):
+                        continue
+                    dead = handle.process is not None and not handle.process.is_alive()
+                    stale = (
+                        now - handle.last_seen > self.config.heartbeat_deadline
+                    )
+                    if dead or stale:
+                        # Two consecutive suspect ticks before recovery:
+                        # gives the event thread one tick to deliver an
+                        # in-flight `stopped` (clean exit) first.
+                        handle.suspect_ticks += 1
+                        if handle.suspect_ticks >= 2:
+                            suspects.append((handle, "exit" if dead else "heartbeat"))
+                    else:
+                        handle.suspect_ticks = 0
+                for handle, cause in suspects:
+                    self._recover_shard(handle, cause)
+
+    def _recover_shard(self, handle: _ShardHandle, cause: str) -> None:
+        """Declare a shard dead; adopt, migrate, restart (lock held)."""
+        handle.state = "dead"
+        self.metrics.count(
+            "cluster_shard_crashes_total",
+            shard=handle.name,
+            kind=FaultKind.SHARD_CRASH.value,
+        )
+        self.metrics.decision(
+            "crash", handle.name, f"declared dead ({cause})",
+            generation=handle.generation,
+        )
+        # Fencing: the journal is only readable once the process cannot
+        # write another record or execute another HLOP.
+        if handle.process is not None:
+            handle.process.kill()
+            handle.process.join(10.0)
+        try:
+            state = load_checkpoint(handle.journal_path)
+        except CheckpointUnavailable:
+            state = CheckpointState()  # died before the journal existed
+        orphans = sorted(self._assigned[handle.name])
+        self._assigned[handle.name] = set()
+        for job_id in orphans:
+            job = self.jobs.get(job_id)
+            if job is None or job.state.terminal:
+                continue
+            journal = state.jobs.get(job_id)
+            if journal is not None and journal.state is not None:
+                # Committed before the crash: adopt, never re-execute.
+                self._resolve(
+                    {
+                        "job_id": job_id,
+                        "tenant": job.spec.tenant,
+                        "state": journal.state,
+                        "fingerprint": journal.fingerprint,
+                        "makespan": journal.makespan,
+                        "error_code": journal.error_code or "",
+                    },
+                    via=f"{handle.name}-journal",
+                )
+                self.metrics.count(
+                    "cluster_jobs_recovered_total", shard=handle.name
+                )
+                self.metrics.decision(
+                    "adopt",
+                    handle.name,
+                    f"journaled terminal state {journal.state!r}",
+                    job_id=job_id,
+                )
+            elif journal is not None and journal.interrupted:
+                self._migrate(job, handle.name, "crash", journal=journal)
+            else:
+                self._migrate(job, handle.name, "crash")
+        if not self._stopping and handle.restarts < self.config.max_restarts:
+            handle.restarts += 1
+            self._spawn(handle)
+            self.metrics.count(
+                "cluster_shard_restarts_total", shard=handle.name
+            )
+            self.metrics.decision(
+                "restart",
+                handle.name,
+                f"generation {handle.generation}, journal "
+                f"{os.path.basename(handle.journal_path)}",
+            )
+
+    # ------------------------------------------------------------ resolution
+
+    def _resolve(self, payload: Dict[str, Any], via: str) -> None:
+        """Settle one job's terminal state (first resolution wins)."""
+        job = self.jobs.get(payload.get("job_id", ""))
+        if job is None or job.state.terminal:
+            return
+        state = _JOURNAL_STATES.get(payload["state"])
+        if state is None:  # pragma: no cover - protocol guard
+            return
+        job.state = state
+        job.fingerprint = payload.get("fingerprint")
+        job.makespan = payload.get("makespan")
+        job.error_code = payload.get("error_code") or ""
+        job.resolved_by = via
+        for assigned in self._assigned.values():
+            assigned.discard(job.spec.job_id)
+        self.metrics.count(
+            f"cluster_jobs_{state.value}_total", tenant=job.spec.tenant
+        )
+        job._done.set()
+
+    def _fail(self, job: ClusterJob, error: ShardCrashed) -> None:
+        job.state = JobState.FAILED
+        job.error_code = error.code
+        job.resolved_by = "router"
+        self.metrics.count(
+            "cluster_jobs_failed_total", tenant=job.spec.tenant
+        )
+        job._done.set()
+
+    def _settle_unresolved(self) -> None:
+        """Post-stop safety net: journals first, SHARD_CRASHED otherwise."""
+        with self._lock:
+            pending = [j for j in self.jobs.values() if not j.state.terminal]
+            for job in pending:
+                settled = False
+                for handle in self._handles.values():
+                    try:
+                        state = load_checkpoint(handle.journal_path)
+                    except (CheckpointUnavailable, Exception):
+                        continue
+                    journal = state.jobs.get(job.spec.job_id)
+                    if journal is not None and journal.state is not None:
+                        self._resolve(
+                            {
+                                "job_id": job.spec.job_id,
+                                "tenant": job.spec.tenant,
+                                "state": journal.state,
+                                "fingerprint": journal.fingerprint,
+                                "makespan": journal.makespan,
+                                "error_code": journal.error_code or "",
+                            },
+                            via=f"{handle.name}-journal(settle)",
+                        )
+                        settled = True
+                        break
+                if not settled:
+                    self._fail(
+                        job,
+                        ShardCrashed(
+                            f"job {job.spec.job_id} unresolved at cluster stop",
+                        ),
+                    )

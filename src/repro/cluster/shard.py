@@ -1,0 +1,229 @@
+"""One cluster shard: a :class:`~repro.serve.service.ShmtService` in its
+own OS process.
+
+The child process (:func:`shard_main`) owns a whole service instance --
+worker threads, admission queue, breakers, and a private checkpoint
+journal -- and speaks to the router over two multiprocessing queues:
+
+* **commands** (router -> shard): ``submit`` / ``submit_recovered`` /
+  ``evict`` / ``force_open`` / ``stop``.
+* **events** (shard -> router, shared by all shards): ``hb`` heartbeats,
+  ``result`` terminal job states, ``evicted`` migration payloads, and a
+  final ``stopped`` carrying the shard's metrics snapshot.
+
+Results stream through the service's ``on_finish`` hook, so the shard
+never polls its own jobs.  Heartbeats carry queue depth, breaker state
+(via :meth:`BreakerBoard.poll`, which advances cooldowns without
+consuming half-open probe slots), and counter totals.  Everything on the
+queues is plain picklable data -- job specs as dicts, arrays in the
+journal's base64 wire form -- because shards are spawned with the
+``spawn`` start method (fork would clone the router's live threads and
+queue locks mid-flight).
+
+The process is fenced by the router before crash recovery: a shard that
+missed its heartbeat deadline is SIGKILLed before its journal is read, so
+a hung-but-alive shard can never double-execute work the router migrates.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import AdmissionRejected, InvalidInput, ReproError
+from repro.faults.plan import FaultPlan
+from repro.serve.admission import AdmissionConfig
+from repro.serve.breaker import BreakerConfig
+from repro.serve.checkpoint import decode_array, encode_array
+from repro.serve.job import Job, JobSpec
+from repro.serve.service import ServiceConfig, ShmtService
+
+#: Counters every heartbeat reports (totals, not per-label series).
+HEARTBEAT_COUNTERS = (
+    "serve_jobs_submitted_total",
+    "serve_jobs_completed_total",
+    "serve_jobs_shed_total",
+    "serve_jobs_rejected_total",
+    "serve_jobs_deadline_cancelled_total",
+    "serve_jobs_failed_total",
+    "serve_jobs_migrated_in_total",
+)
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """The picklable subset of :class:`ServiceConfig` a shard is spawned
+    with (callables like the platform factory stay child-side)."""
+
+    workers: int = 2
+    admission: AdmissionConfig = field(
+        default_factory=lambda: AdmissionConfig(capacity=64, policy="block")
+    )
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    fault_plan: Optional[FaultPlan] = None
+    validate: bool = False
+    runtime_seed: int = 2023
+    #: Seconds between heartbeats.
+    heartbeat_interval: float = 0.05
+
+
+def job_payload(job: Job) -> Dict[str, Any]:
+    """The wire form of one terminal job (no arrays -- fingerprints)."""
+    payload: Dict[str, Any] = {
+        "job_id": job.spec.job_id,
+        "tenant": job.spec.tenant,
+        "state": job.state.value,
+        "error_code": getattr(job.error, "code", "") if job.error else "",
+    }
+    if job.result is not None:
+        payload["fingerprint"] = job.result.fingerprint
+        payload["makespan"] = job.result.makespan
+    return payload
+
+
+def shard_main(
+    name: str,
+    generation: int,
+    journal_path: str,
+    spec: ShardSpec,
+    commands: multiprocessing.Queue,
+    events: multiprocessing.Queue,
+) -> None:
+    """Child-process entrypoint: run one shard until its ``stop``."""
+    reported: set = set()
+    reported_lock = threading.Lock()
+
+    def emit(kind: str, payload: Dict[str, Any]) -> None:
+        events.put((kind, name, generation, payload))
+
+    def report(job: Job) -> None:
+        with reported_lock:
+            if job.spec.job_id in reported:
+                return
+            reported.add(job.spec.job_id)
+        emit("result", job_payload(job))
+
+    service = ShmtService(
+        ServiceConfig(
+            workers=spec.workers,
+            admission=spec.admission,
+            breaker=spec.breaker,
+            checkpoint_path=journal_path,
+            fault_plan=spec.fault_plan,
+            validate=spec.validate,
+            runtime_seed=spec.runtime_seed,
+            on_finish=report,
+        )
+    ).start()
+    device_names = [d.name for d in service.config.platform_factory().devices]
+    hb_stop = threading.Event()
+
+    def heartbeat() -> None:
+        seq = 0
+        while True:
+            states = service.breakers.poll(device_names)
+            counters = {
+                counter: (
+                    service.metrics.get(counter).total()
+                    if service.metrics.get(counter) is not None
+                    else 0.0
+                )
+                for counter in HEARTBEAT_COUNTERS
+            }
+            emit(
+                "hb",
+                {
+                    "seq": seq,
+                    "depth": service.queue.depth(),
+                    "open": sorted(
+                        dev for dev, s in states.items() if s.value == "open"
+                    ),
+                    "counters": counters,
+                },
+            )
+            seq += 1
+            if hb_stop.wait(spec.heartbeat_interval):
+                return
+
+    hb_thread = threading.Thread(target=heartbeat, name=f"{name}-hb", daemon=True)
+    hb_thread.start()
+
+    try:
+        while True:
+            command = commands.get()
+            kind = command[0]
+            if kind == "submit":
+                job_spec = JobSpec.from_dict(command[1])
+                try:
+                    service.submit(job_spec)
+                except AdmissionRejected:
+                    pass  # submit() already finished+reported the job as shed
+                except ReproError as error:
+                    emit(
+                        "result",
+                        {
+                            "job_id": job_spec.job_id,
+                            "tenant": job_spec.tenant,
+                            "state": "failed",
+                            "error_code": error.code,
+                        },
+                    )
+            elif kind == "submit_recovered":
+                job_spec = JobSpec.from_dict(command[1])
+                blocked = command[2]
+                preloaded = {
+                    int(hlop_id): decode_array(record)
+                    for hlop_id, record in command[3].items()
+                }
+                try:
+                    service.submit_recovered(
+                        job_spec, blocked=blocked, preloaded=preloaded
+                    )
+                except ReproError as error:
+                    emit(
+                        "result",
+                        {
+                            "job_id": job_spec.job_id,
+                            "tenant": job_spec.tenant,
+                            "state": "failed",
+                            "error_code": error.code,
+                        },
+                    )
+            elif kind == "evict":
+                evicted = service.evict_queued()
+                emit(
+                    "evicted",
+                    {"jobs": [job.spec.to_dict() for job in evicted]},
+                )
+            elif kind == "force_open":
+                service.breakers.force_open(command[1])
+            elif kind == "stop":
+                drain = command[1]
+                service.stop(drain=drain)
+                if not drain:
+                    # stop(drain=False) sheds the queue; those finishes
+                    # already streamed through report().
+                    pass
+                service.join()
+                break
+            else:  # pragma: no cover - protocol guard
+                raise InvalidInput(f"unknown shard command {kind!r}")
+    finally:
+        hb_stop.set()
+        hb_thread.join(timeout=2.0)
+        # Belt and braces: report any terminal job the callback missed
+        # (it should have caught every one).
+        for job in list(service.jobs.values()):
+            if job.state.terminal:
+                report(job)
+        if service.checkpoint is not None:
+            service.checkpoint.close()
+        emit("stopped", {"metrics": service.metrics.snapshot()})
+
+
+def encode_hlops(hlops: Dict[int, Any]) -> Dict[int, Dict[str, Any]]:
+    """Journal-recovered HLOP arrays -> the queue-safe wire form."""
+    return {int(k): encode_array(v) for k, v in hlops.items()}

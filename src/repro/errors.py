@@ -80,6 +80,21 @@ class CheckpointCorrupt(ReproError):
     code = "CHECKPOINT_CORRUPT"
 
 
+class CheckpointUnavailable(ReproError):
+    """A checkpoint journal could not be opened at all (missing file on
+    load, uncreatable parent directory, permission failure) -- the
+    structured form of the ``OSError`` family at the journal boundary."""
+
+    code = "CHECKPOINT_UNAVAILABLE"
+
+
+class ShardCrashed(ReproError):
+    """A cluster shard process died (missed heartbeats or exited) and the
+    router could not recover or migrate the affected work."""
+
+    code = "SHARD_CRASHED"
+
+
 class DeviceFault(ReproError):
     """A compute backend lost the worker executing a task (crashed
     process, broken pool) -- the structured form of

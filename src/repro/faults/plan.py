@@ -189,6 +189,10 @@ class FaultKind(enum.Enum):
     #: the process pool) -- a *real* fault surfaced by the backend, not an
     #: injected one; recovered through the same retry/re-queue machinery.
     WORKER_CRASH = "worker-crash"
+    #: A whole cluster shard process died (SIGKILL, OOM, missed
+    #: heartbeats); the router recovers its journaled work and migrates
+    #: the rest (:mod:`repro.cluster`).
+    SHARD_CRASH = "shard-crash"
     RETRY = "retry"
     REQUEUE = "requeue"
     DEGRADED = "degraded"

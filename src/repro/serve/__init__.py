@@ -22,6 +22,8 @@ from repro.serve.checkpoint import (
     CheckpointState,
     CheckpointWriter,
     JobJournal,
+    decode_array,
+    encode_array,
     load_checkpoint,
 )
 from repro.serve.job import Job, JobResult, JobSpec, JobState
@@ -45,5 +47,7 @@ __all__ = [
     "JobState",
     "ServiceConfig",
     "ShmtService",
+    "decode_array",
+    "encode_array",
     "load_checkpoint",
 ]

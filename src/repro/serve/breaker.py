@@ -24,7 +24,10 @@ State machine (the classic three states)::
 * **HALF_OPEN** -- the device is admitted again; the HLOPs the next runs
   send it are the probe traffic.  ``close_threshold`` consecutive
   successes close the breaker; a single failure re-opens it and restarts
-  the cooldown.
+  the cooldown.  Admission is an atomic *probe slot*: at most
+  ``half_open_max_probes`` routing queries are admitted before an
+  outcome comes back, so a burst of concurrent workers cannot all pile
+  probe traffic onto a device that has not yet proven itself.
 
 The clock is injectable (``clock=lambda: t``) so tests and the soak
 harness drive the cooldown deterministically; the default is wall time
@@ -59,6 +62,9 @@ class BreakerConfig:
     cooldown: float = 1.0
     #: Consecutive half-open successes that close the breaker.
     close_threshold: int = 2
+    #: Max routing queries admitted per half-open window before an
+    #: attempt outcome is recorded (the atomic probe slot).
+    half_open_max_probes: int = 1
 
     def __post_init__(self) -> None:
         if self.failure_threshold < 1:
@@ -67,6 +73,8 @@ class BreakerConfig:
             raise ValueError("close_threshold must be >= 1")
         if self.cooldown < 0:
             raise ValueError("cooldown must be >= 0")
+        if self.half_open_max_probes < 1:
+            raise ValueError("half_open_max_probes must be >= 1")
 
 
 #: Transition listener: ``(device_name, old_state, new_state)``.
@@ -91,6 +99,7 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._consecutive_successes = 0
         self._opened_at = 0.0
+        self._probes_inflight = 0
 
     def _transition(self, new: BreakerState) -> None:
         old, self.state = self.state, new
@@ -98,11 +107,16 @@ class CircuitBreaker:
             self._opened_at = self._clock()
         self._consecutive_failures = 0
         self._consecutive_successes = 0
+        self._probes_inflight = 0
         if self._listener is not None and old is not new:
             self._listener(self.device, old, new)
 
     def record(self, ok: bool) -> None:
         """Feed one attempt outcome (success or breaker-relevant failure)."""
+        if self.state is BreakerState.HALF_OPEN and self._probes_inflight > 0:
+            # An outcome came back: release one probe slot so the next
+            # routing query may probe again.
+            self._probes_inflight -= 1
         if ok:
             self._consecutive_failures = 0
             if self.state is BreakerState.HALF_OPEN:
@@ -125,14 +139,38 @@ class CircuitBreaker:
 
         An OPEN breaker whose cooldown has elapsed transitions to
         HALF_OPEN here -- admission queries are what discover recovery,
-        so probe traffic starts exactly when routing resumes.
+        so probe traffic starts exactly when routing resumes.  In
+        HALF_OPEN each admission *takes* a probe slot; once
+        ``half_open_max_probes`` are in flight, further queries are
+        refused until :meth:`record` returns an outcome.  The board's
+        lock makes take-or-refuse atomic under concurrent workers.
         """
         if self.state is BreakerState.OPEN:
             if self._clock() - self._opened_at >= self.config.cooldown:
                 self._transition(BreakerState.HALF_OPEN)
-                return True
-            return False
+            else:
+                return False
+        if self.state is BreakerState.HALF_OPEN:
+            if self._probes_inflight >= self.config.half_open_max_probes:
+                return False
+            self._probes_inflight += 1
+            return True
         return True
+
+    def poll(self) -> BreakerState:
+        """Advance OPEN -> HALF_OPEN on cooldown elapse, without taking a
+        probe slot.
+
+        Health *observers* (the cluster shard's heartbeat) use this to
+        discover recovery windows; only :meth:`allows` -- a real routing
+        admission that will produce probe traffic -- may consume a slot.
+        """
+        if (
+            self.state is BreakerState.OPEN
+            and self._clock() - self._opened_at >= self.config.cooldown
+        ):
+            self._transition(BreakerState.HALF_OPEN)
+        return self.state
 
 
 class BreakerBoard:
@@ -182,6 +220,11 @@ class BreakerBoard:
     def states(self) -> Dict[str, BreakerState]:
         with self._lock:
             return {name: b.state for name, b in self._breakers.items()}
+
+    def poll(self, names: Sequence[str]) -> Dict[str, BreakerState]:
+        """Observer query: advance cooldowns, never consume probe slots."""
+        with self._lock:
+            return {name: self._breaker(name).poll() for name in names}
 
     def force_open(self, device: str) -> None:
         """Trip a breaker administratively (tests, drills, ops runbooks)."""

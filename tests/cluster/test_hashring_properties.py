@@ -1,0 +1,104 @@
+"""Hypothesis properties for consistent-hash placement.
+
+The two guarantees the cluster leans on:
+
+* **Balance** -- with enough virtual nodes, no shard owns a grossly
+  disproportionate share of a uniform keyspace.
+* **Minimal remapping** -- adding a shard moves keys only *to* the new
+  shard (~1/N of them); removing a shard moves only the removed shard's
+  keys.  Every key that stays mapped to a surviving shard stays put,
+  which is what keeps a crash from reshuffling the whole cluster.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import HashRing
+
+SHARD_COUNTS = st.integers(min_value=2, max_value=6)
+SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def shard_names(n):
+    return [f"shard-{i}" for i in range(n)]
+
+
+def keys_for(seed, count=400):
+    return [f"key-{seed}-{i}" for i in range(count)]
+
+
+@settings(max_examples=25, deadline=None)
+@given(shards=SHARD_COUNTS, seed=SEEDS)
+def test_load_balance_within_bound(shards, seed):
+    ring = HashRing(shard_names(shards), vnodes=128)
+    keys = keys_for(seed)
+    counts = {name: 0 for name in ring.shards}
+    for key in keys:
+        counts[ring.lookup(key)] += 1
+    expected = len(keys) / shards
+    # Generous bound: 128 vnodes keeps every shard within 3x of fair
+    # share on 400 uniform keys (and nobody starves entirely).
+    assert max(counts.values()) <= 3.0 * expected
+    assert min(counts.values()) > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(shards=SHARD_COUNTS, seed=SEEDS)
+def test_join_remaps_only_to_the_new_shard(shards, seed):
+    ring = HashRing(shard_names(shards), vnodes=64)
+    keys = keys_for(seed)
+    before = {key: ring.lookup(key) for key in keys}
+    grown = ring.with_shard("shard-new")
+    moved = 0
+    for key in keys:
+        after = grown.lookup(key)
+        if after != before[key]:
+            # A key may only change owner by moving to the joiner.
+            assert after == "shard-new"
+            moved += 1
+    # ~1/(N+1) of keys move; allow a wide tolerance around the mean.
+    expected = len(keys) / (shards + 1)
+    assert moved <= 3.0 * expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(shards=SHARD_COUNTS, seed=SEEDS)
+def test_leave_remaps_only_the_removed_shards_keys(shards, seed):
+    ring = HashRing(shard_names(shards), vnodes=64)
+    keys = keys_for(seed)
+    before = {key: ring.lookup(key) for key in keys}
+    removed = ring.shards[0]
+    shrunk = ring.without_shard(removed)
+    for key in keys:
+        after = shrunk.lookup(key)
+        if before[key] == removed:
+            assert after != removed
+        else:
+            # Keys owned by survivors must not move at all.
+            assert after == before[key]
+
+
+@settings(max_examples=25, deadline=None)
+@given(shards=st.integers(min_value=2, max_value=6), seed=SEEDS)
+def test_place_stays_within_tenant_spread(shards, seed):
+    ring = HashRing(shard_names(shards), vnodes=64)
+    tenant = f"tenant-{seed % 7}"
+    spread = min(2, shards)
+    anchors = set(ring.preference(f"tenant:{tenant}", n=spread))
+    for i in range(100):
+        assert ring.place(tenant, f"job-{seed}-{i}", spread=spread) in anchors
+
+
+@settings(max_examples=25, deadline=None)
+@given(shards=SHARD_COUNTS, seed=SEEDS)
+def test_unhealthy_owner_failover_is_consistent(shards, seed):
+    ring = HashRing(shard_names(shards), vnodes=64)
+    keys = keys_for(seed, count=100)
+    down = ring.shards[seed % shards]
+    healthy = set(ring.shards) - {down}
+    for key in keys:
+        owner = ring.lookup(key, healthy=healthy)
+        assert owner != down
+        if ring.lookup(key) != down:
+            # Healthy owners keep their keys under someone else's outage.
+            assert owner == ring.lookup(key)

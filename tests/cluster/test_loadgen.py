@@ -1,0 +1,87 @@
+"""Tests for the heavy-tailed multi-tenant trace generator."""
+
+from collections import Counter
+
+import pytest
+
+from repro.cluster import TraceConfig, generate_trace, replay
+from repro.errors import AdmissionRejected, InvalidInput
+
+
+def test_trace_is_deterministic():
+    config = TraceConfig(jobs=50, seed=9)
+    a = generate_trace(config)
+    b = generate_trace(config)
+    assert [x.spec for x in a] == [x.spec for x in b]
+    assert [x.at for x in a] == [x.at for x in b]
+
+
+def test_trace_changes_with_seed():
+    a = generate_trace(TraceConfig(jobs=50, seed=1))
+    b = generate_trace(TraceConfig(jobs=50, seed=2))
+    assert [x.spec for x in a] != [x.spec for x in b]
+
+
+def test_arrivals_are_monotone_with_unique_ids():
+    trace = generate_trace(TraceConfig(jobs=80, seed=3))
+    times = [x.at for x in trace]
+    assert times == sorted(times)
+    ids = [x.spec.job_id for x in trace]
+    assert len(set(ids)) == len(ids)
+
+
+def test_tenants_are_zipf_skewed():
+    trace = generate_trace(TraceConfig(jobs=400, tenants=4, seed=5))
+    counts = Counter(x.spec.tenant for x in trace)
+    assert set(counts) <= {f"tenant-{i}" for i in range(4)}
+    # Rank-0 tenant must dominate rank-3 under s=1.2.
+    assert counts["tenant-0"] > counts["tenant-3"]
+
+
+def test_interarrival_gaps_are_heavy_tailed():
+    config = TraceConfig(jobs=2000, seed=7, mean_interarrival=0.01)
+    trace = generate_trace(config)
+    gaps = [
+        b.at - a.at for a, b in zip(trace, trace[1:])
+    ]
+    mean = sum(gaps) / len(gaps)
+    # Pareto(1.5): sample mean near the configured mean, max far above it
+    # (a clumpy trace, not a metronome).
+    assert 0.004 < mean < 0.05
+    assert max(gaps) > 5 * mean
+
+
+def test_deadline_every_marks_a_slice():
+    trace = generate_trace(
+        TraceConfig(jobs=30, seed=1, deadline_every=10, deadline=2.5)
+    )
+    with_deadline = [x for x in trace if x.spec.deadline is not None]
+    assert len(with_deadline) == 3
+    assert all(x.spec.deadline == 2.5 for x in with_deadline)
+
+
+def test_config_validation():
+    with pytest.raises(InvalidInput):
+        TraceConfig(jobs=0)
+    with pytest.raises(InvalidInput):
+        TraceConfig(pareto_alpha=1.0)
+    with pytest.raises(InvalidInput):
+        TraceConfig(tenants=0)
+    with pytest.raises(InvalidInput):
+        TraceConfig(kernels=())
+
+
+def test_replay_is_open_loop_and_counts_rejections():
+    trace = generate_trace(TraceConfig(jobs=20, seed=2))
+    seen = []
+
+    def submit(spec):
+        if len(seen) >= 15:
+            raise AdmissionRejected("full")
+        seen.append(spec.job_id)
+
+    stats = replay(submit, trace)
+    assert stats.submitted == 15
+    assert stats.rejected == 5
+    assert stats.offered == 20
+    assert sum(stats.per_tenant.values()) == 15

@@ -1,0 +1,176 @@
+"""Integration tests for the multi-process cluster router.
+
+These spawn real shard processes (the ``spawn`` start method), so each
+test boots a small cluster and keeps job counts low.  The heavyweight
+drills (overload accounting, full kill -9 audit, breaker migration at
+scale) live in ``scripts/cluster_check.py``.
+"""
+
+import os
+import signal
+import time
+from collections import Counter
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterRouter, ShardSpec
+from repro.errors import InvalidInput, ServiceStopped
+from repro.obs.export import validate_records
+from repro.serve import AdmissionConfig, load_checkpoint
+from repro.serve.job import JobSpec, JobState
+
+SMALL = 32 * 32
+
+
+def make_router(tmp_path, shards=2, workers=2, tag="journals"):
+    config = ClusterConfig(
+        journal_dir=str(tmp_path / tag),
+        shards=shards,
+        shard=ShardSpec(
+            workers=workers,
+            admission=AdmissionConfig(capacity=128, policy="block"),
+        ),
+    )
+    return ClusterRouter(config).start()
+
+
+def specs(n, prefix="cj"):
+    kernels = ("sobel", "mean_filter", "laplacian")
+    return [
+        JobSpec(
+            kernel=kernels[i % len(kernels)],
+            size=SMALL,
+            seed=i,
+            tenant=f"tenant-{i % 3}",
+            job_id=f"{prefix}-{i:03d}",
+        )
+        for i in range(n)
+    ]
+
+
+def wait_all(jobs, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    for job in jobs:
+        assert job.wait(max(0.1, deadline - time.monotonic())), job.job_id
+
+
+def test_cluster_runs_jobs_to_done(tmp_path):
+    router = make_router(tmp_path)
+    try:
+        jobs = [router.submit(spec) for spec in specs(6)]
+        wait_all(jobs)
+    finally:
+        router.stop()
+    assert Counter(j.state for j in jobs) == {JobState.DONE: 6}
+    assert all(j.fingerprint for j in jobs)
+    # Placement spread jobs across both shards and journaled every one.
+    placed = {j.shard for j in jobs}
+    assert placed <= {"shard-0", "shard-1"}
+    # Rollup validates against the shared observability schema and
+    # accounts for every job.
+    assert router.metrics.total("cluster_jobs_submitted_total") == 6
+    assert router.metrics.total("cluster_jobs_done_total") == 6
+    assert len(router.metrics.decisions("place")) == 6
+    validate_records(router.metrics.records({"run": "test"}))
+    # Shard snapshots were merged at stop with per-shard labels.
+    assert set(router.metrics.shard_snapshots()) == {"shard-0", "shard-1"}
+
+
+def test_duplicate_ids_and_stopped_cluster_are_refused(tmp_path):
+    router = make_router(tmp_path)
+    try:
+        job = router.submit(specs(1)[0])
+        with pytest.raises(InvalidInput):
+            router.submit(specs(1)[0])
+        wait_all([job])
+    finally:
+        router.stop()
+    with pytest.raises(ServiceStopped):
+        router.submit(specs(2)[1])
+
+
+def test_placement_is_sticky_per_tenant(tmp_path):
+    router = make_router(tmp_path, shards=3)
+    try:
+        jobs = [
+            router.submit(
+                JobSpec(
+                    kernel="sobel",
+                    size=SMALL,
+                    seed=i,
+                    tenant="acme",
+                    job_id=f"sticky-{i:03d}",
+                )
+            )
+            for i in range(8)
+        ]
+        wait_all(jobs)
+    finally:
+        router.stop()
+    # tenant_spread=2: one tenant touches exactly its two anchor shards.
+    assert len({j.placements[0] for j in jobs}) == 2
+
+
+def test_kill_minus_nine_recovers_bit_identically(tmp_path):
+    reference = {}
+    router = make_router(tmp_path, shards=3, tag="ref")
+    try:
+        jobs = [router.submit(spec) for spec in specs(10, prefix="kill")]
+        wait_all(jobs)
+        reference = {j.job_id: j.fingerprint for j in jobs}
+    finally:
+        router.stop()
+    assert all(reference.values())
+
+    router = make_router(tmp_path, shards=3, tag="kill")
+    try:
+        jobs = [router.submit(spec) for spec in specs(10, prefix="kill")]
+        time.sleep(0.2)  # let shards pick up real work
+        counts = router.assigned_counts()
+        victim = max(counts, key=lambda name: counts[name])
+        os.kill(router.shard_pid(victim), signal.SIGKILL)
+        wait_all(jobs)
+    finally:
+        router.stop()
+
+    assert Counter(j.state for j in jobs) == {JobState.DONE: 10}
+    assert {j.job_id: j.fingerprint for j in jobs} == reference
+    assert router.metrics.total("cluster_shard_crashes_total") >= 1
+    assert router.metrics.total("cluster_shard_restarts_total") >= 1
+    # Exactly-once across journals: no job committed `done` twice.
+    journal_dir = tmp_path / "kill"
+    done = Counter()
+    for name in os.listdir(journal_dir):
+        state = load_checkpoint(str(journal_dir / name))
+        for job_id, journal in state.jobs.items():
+            if journal.state == "done":
+                done[job_id] += 1
+    assert not [job_id for job_id, count in done.items() if count > 1]
+
+
+def test_forced_open_breaker_degrades_and_migrates(tmp_path):
+    config = ClusterConfig(
+        journal_dir=str(tmp_path / "breaker"),
+        shards=2,
+        shard=ShardSpec(
+            workers=1,
+            admission=AdmissionConfig(capacity=128, policy="block"),
+        ),
+    )
+    router = ClusterRouter(config).start()
+    try:
+        jobs = [router.submit(spec) for spec in specs(10, prefix="brk")]
+        victim = max(
+            router.assigned_counts().items(), key=lambda kv: kv[1]
+        )[0]
+        router.force_open(victim, "gpu0")
+        wait_all(jobs)
+    finally:
+        router.stop()
+    assert Counter(j.state for j in jobs) == {JobState.DONE: 10}
+    degrades = router.metrics.decisions("degrade")
+    assert any(d["device"] == victim for d in degrades)
+    # The degraded shard's backlog moved; migrated jobs record both
+    # placements on their handle.
+    migrated = [j for j in jobs if len(j.placements) > 1]
+    assert router.metrics.total("cluster_jobs_migrated_total") == len(migrated)

@@ -19,6 +19,7 @@ def make_breaker(events=None, **kwargs):
         failure_threshold=kwargs.pop("failure_threshold", 3),
         cooldown=kwargs.pop("cooldown", 10.0),
         close_threshold=kwargs.pop("close_threshold", 2),
+        half_open_max_probes=kwargs.pop("half_open_max_probes", 1),
     )
     listener = None
     if events is not None:
@@ -126,3 +127,89 @@ def test_config_validation():
         BreakerConfig(close_threshold=0)
     with pytest.raises(ValueError):
         BreakerConfig(cooldown=-1.0)
+
+
+def test_half_open_admits_exactly_one_probe():
+    breaker, clock = make_breaker()
+    for _ in range(3):
+        breaker.record(False)
+    clock.now = 10.1
+    assert breaker.allows()  # takes the probe slot
+    assert breaker.state is BreakerState.HALF_OPEN
+    # Until the probe's outcome is recorded, no second probe is admitted.
+    assert not breaker.allows()
+    assert not breaker.allows()
+    breaker.record(False)  # probe failed -> back to OPEN, slot released
+    assert breaker.state is BreakerState.OPEN
+
+
+def test_half_open_max_probes_is_configurable():
+    breaker, clock = make_breaker(half_open_max_probes=2)
+    for _ in range(3):
+        breaker.record(False)
+    clock.now = 10.1
+    assert breaker.allows()
+    assert breaker.allows()
+    assert not breaker.allows()  # both slots taken
+    breaker.record(True)  # one probe lands, one slot frees
+    assert breaker.allows()
+
+
+def test_half_open_probe_admission_is_atomic_under_threads():
+    """The half-open race: N racing routers may admit only
+    ``half_open_max_probes`` queries before an outcome is recorded."""
+    import threading
+
+    clock = Clock()
+    config = BreakerConfig(failure_threshold=3, cooldown=10.0, close_threshold=2)
+    board = BreakerBoard(config, clock=clock)
+    for _ in range(3):
+        board.record("gpu0", False)
+    assert board.state("gpu0") is BreakerState.OPEN
+    clock.now = 10.1
+
+    admitted = []
+    barrier = threading.Barrier(16)
+
+    def race():
+        barrier.wait()
+        # blocked() returns the refused set; an empty set means this
+        # thread's query was admitted as the probe.
+        if not board.blocked(["gpu0"]):
+            admitted.append(1)
+
+    threads = [threading.Thread(target=race) for _ in range(16)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(admitted) == 1
+    assert board.state("gpu0") is BreakerState.HALF_OPEN
+
+
+def test_poll_advances_cooldown_without_consuming_probe_slot():
+    breaker, clock = make_breaker()
+    for _ in range(3):
+        breaker.record(False)
+    clock.now = 10.1
+    # An observer (heartbeat) polling must not eat the probe slot ...
+    assert breaker.poll() is BreakerState.HALF_OPEN
+    assert breaker.poll() is BreakerState.HALF_OPEN
+    # ... so real routing traffic still gets its probe.
+    assert breaker.allows()
+    breaker.record(True)
+    breaker.record(True)
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_board_poll_reports_states_without_probing():
+    clock = Clock()
+    board = BreakerBoard(BreakerConfig(cooldown=5.0), clock=clock)
+    for _ in range(3):
+        board.record("tpu0", False)
+    states = board.poll(["cpu0", "tpu0"])
+    assert states["cpu0"] is BreakerState.CLOSED
+    assert states["tpu0"] is BreakerState.OPEN
+    clock.now = 5.1
+    assert board.poll(["tpu0"])["tpu0"] is BreakerState.HALF_OPEN
+    assert board.blocked(["tpu0"]) == set()  # probe slot still available

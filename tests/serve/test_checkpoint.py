@@ -149,3 +149,55 @@ def test_job_end_rejects_non_terminal_state(tmp_path):
     with pytest.raises(ValueError):
         writer.job_end("j1", "running")
     writer.close()
+
+
+def test_writer_accepts_pathlib_path_and_creates_parents(tmp_path):
+    path = tmp_path / "deep" / "nested" / "dirs" / "journal.jsonl"
+    writer = CheckpointWriter(path)  # pathlib.Path, parents missing
+    writer.job_start(SPEC, blocked=[])
+    writer.job_end("j1", "done", fingerprint="abc")
+    writer.close()
+    assert path.exists()
+    state = load_checkpoint(path)  # pathlib.Path accepted here too
+    assert state.jobs["j1"].state == "done"
+
+
+def test_writer_unopenable_path_raises_checkpoint_unavailable(tmp_path):
+    from repro.errors import CheckpointUnavailable
+
+    blocker = tmp_path / "blocker"
+    blocker.write_text("a file, not a directory\n")
+    with pytest.raises(CheckpointUnavailable) as info:
+        CheckpointWriter(blocker / "journal.jsonl")
+    assert info.value.code == "CHECKPOINT_UNAVAILABLE"
+    assert "journal" in str(info.value)
+
+
+def test_load_missing_journal_raises_checkpoint_unavailable(tmp_path):
+    from repro.errors import CheckpointUnavailable
+
+    with pytest.raises(CheckpointUnavailable) as info:
+        load_checkpoint(tmp_path / "never-written.jsonl")
+    assert info.value.code == "CHECKPOINT_UNAVAILABLE"
+
+
+def test_encode_decode_array_round_trip():
+    from repro.serve import decode_array, encode_array
+
+    array = np.linspace(0.0, 1.0, 12, dtype=np.float64).reshape(3, 4)
+    record = encode_array(array)
+    assert set(record) >= {"dtype", "shape", "data", "fingerprint"}
+    json.dumps(record)  # queue/journal wire form must be JSON-clean
+    decoded = decode_array(record)
+    np.testing.assert_array_equal(decoded, array)
+    assert decoded.dtype == array.dtype
+
+
+def test_decode_array_audits_fingerprint():
+    from repro.errors import CheckpointCorrupt
+    from repro.serve import decode_array, encode_array
+
+    record = encode_array(np.ones(4, dtype=np.float32))
+    record["fingerprint"] = "0" * len(record["fingerprint"])
+    with pytest.raises(CheckpointCorrupt):
+        decode_array(record)

@@ -221,3 +221,40 @@ def test_serve_resume_skips_already_journaled_jobs(tmp_path, capsys):
     assert "skipping 2 queued job(s) already journaled" in out
     # Nothing was resubmitted: the completed work is not recomputed.
     assert f"{'serve_jobs_submitted_total':40s} 0" in out
+
+
+def test_cluster_bad_shards_names_the_flag(capsys):
+    assert main(["cluster", "--shards", "0"]) == 2
+    assert "--shards" in capsys.readouterr().out
+
+
+def test_cluster_bad_spread_names_the_flag(capsys):
+    assert main(["cluster", "--spread", "0"]) == 2
+    assert "--spread" in capsys.readouterr().out
+
+
+def test_cluster_command_runs_a_small_trace(tmp_path, capsys):
+    metrics = tmp_path / "rollup.jsonl"
+    code = main(
+        [
+            "cluster",
+            "--shards", "2",
+            "--jobs", "4",
+            "--side", "32",
+            "--journal-dir", str(tmp_path / "journals"),
+            "--metrics", str(metrics),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "done=4" in out
+    assert metrics.exists()
+    from repro.obs.export import validate_records
+    import json as _json
+
+    records = [
+        _json.loads(line)
+        for line in metrics.read_text().splitlines()
+        if line.strip()
+    ]
+    validate_records(records)
