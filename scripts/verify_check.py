@@ -7,12 +7,15 @@ The quick suite (what CI runs) asserts, in order:
    outputs per kernel (see :mod:`repro.verify.differential`).
 2. **Shuffle invariance** -- the quantized path's output is independent of
    HLOP execution order.
-3. **Clean validated sweep** -- every registered policy runs every kernel
+3. **Fuse equivalence** -- runs with the fusion/batching pass enabled are
+   bit-identical (outputs *and* makespans) to unfused runs, across exact
+   policies and the mixed-platform quantized path.
+4. **Clean validated sweep** -- every registered policy runs every kernel
    of the differential grid under full invariant checking
    (``RuntimeConfig(validate=True)``), fault-free and under the chaos
    fault plan, without a single violation.
-4. **Fuzzer smoke** -- a seeded fuzzing session finds no failures.
-5. **Fixture self-test** -- each seeded invariant-violation fixture
+5. **Fuzzer smoke** -- a seeded fuzzing session finds no failures.
+6. **Fixture self-test** -- each seeded invariant-violation fixture
    (double-aggregate, clock step back, overlapping tile, poisoned cache
    entry) is actually *caught* by the checker.  A fixture slipping through
    silently means the checker rotted.
@@ -55,6 +58,7 @@ from repro.core import runtime as runtime_module
 from repro.exec.cache import CacheIntegrityError, result_cache
 from repro.verify.differential import (
     DEFAULT_KERNELS,
+    check_fuse_equivalence,
     check_policy_equivalence,
     check_shuffle_invariance,
 )
@@ -277,6 +281,9 @@ def main() -> int:
 
     print("verify check: quantized-path shuffle invariance")
     failures += check_shuffle_invariance()
+
+    print("verify check: fused-vs-unfused differential equivalence")
+    failures += check_fuse_equivalence()
 
     print(
         f"verify check: clean validated sweep "

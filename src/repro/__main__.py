@@ -100,6 +100,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache=args.cache,
         validate=args.validate,
+        fuse=args.fuse,
     )
     baseline_runtime = SHMTRuntime(
         platform_for("gpu-baseline"), make_scheduler("gpu-baseline"), config
@@ -219,6 +220,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             tenant_cap=args.tenant_cap,
         ),
         validate=args.validate,
+        fuse=args.fuse,
     )
     jobs = []
     import os
@@ -329,6 +331,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 capacity=args.capacity, policy=args.admission
             ),
             validate=args.validate,
+            fuse=args.fuse,
         ),
     )
     trace = generate_trace(
@@ -477,6 +480,11 @@ def main(argv=None) -> int:
     serve_parser.add_argument(
         "--validate", action="store_true", help="run the invariant checker in every job"
     )
+    serve_parser.add_argument(
+        "--fuse",
+        action="store_true",
+        help="enable the HLOP fusion/batching pass in every job's run",
+    )
     serve_parser.set_defaults(handler=_cmd_serve)
 
     cluster_parser = sub.add_parser(
@@ -513,6 +521,11 @@ def main(argv=None) -> int:
     )
     cluster_parser.add_argument(
         "--validate", action="store_true", help="run the invariant checker in every job"
+    )
+    cluster_parser.add_argument(
+        "--fuse",
+        action="store_true",
+        help="enable the HLOP fusion/batching pass in every shard's jobs",
     )
     cluster_parser.set_defaults(handler=_cmd_cluster)
 

@@ -65,6 +65,8 @@ class ShardSpec:
     breaker: BreakerConfig = field(default_factory=BreakerConfig)
     fault_plan: Optional[FaultPlan] = None
     validate: bool = False
+    #: Enable the HLOP fusion/batching pass in every job's run.
+    fuse: bool = False
     runtime_seed: int = 2023
     #: Seconds between heartbeats.
     heartbeat_interval: float = 0.05
@@ -114,6 +116,7 @@ def shard_main(
             checkpoint_path=journal_path,
             fault_plan=spec.fault_plan,
             validate=spec.validate,
+            fuse=spec.fuse,
             runtime_seed=spec.runtime_seed,
             on_finish=report,
         )

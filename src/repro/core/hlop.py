@@ -68,6 +68,11 @@ class HLOP:
     #: suppresses further fault injection on this HLOP so the recovery
     #: path terminates.
     exact_recompute: bool = False
+    #: True when this HLOP's numeric work was submitted as part of a fused
+    #: chain (see :mod:`repro.exec.fuse`) -- either as the chain leader or
+    #: as a looked-ahead member whose submission was elided.  Purely
+    #: informational: timing, results, and scheduling are unaffected.
+    fused: bool = False
     #: Watchdog timeouts observed across all attempts.  Each timeout
     #: doubles the next attempt's deadline (progressive escalation), so a
     #: run whose only surviving device is slow degrades to slow progress

@@ -53,7 +53,8 @@ from repro.devices.platform import Platform
 from repro.errors import DeadlineExceeded, DeviceFault, InvalidInput
 from repro.exec.backends import ResolvedHandle, TaskHandle, make_backend
 from repro.exec.cache import CacheIntegrityError, result_cache
-from repro.exec.task import ComputeTask
+from repro.exec.fuse import FusingBackend
+from repro.exec.task import ComputeTask, fingerprint_value
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
 from repro.kernels.common import replicate_pad
@@ -138,6 +139,16 @@ class RuntimeConfig:
     backend: str = "serial"
     #: Worker count for the pool backends (``None`` = cpu_count-derived).
     jobs: Optional[int] = None
+    #: Fuse runs of compatible HLOPs into single backend submissions and
+    #: batch same-kernel HLOPs (across concurrent calls) into vectorized
+    #: evaluations (see :mod:`repro.exec.fuse`).  Per-HLOP service times
+    #: and completion events are untouched, and fused numerics are
+    #: bit-identical to unfused ones (pinned by
+    #: :func:`repro.verify.differential.check_fuse_equivalence`), so this
+    #: only changes wall-clock, never results or timelines.  Automatically
+    #: suspended for runs with an active fault plan, where per-attempt
+    #: injection decisions must stay interleaved with submissions.
+    fuse: bool = False
     #: Consult/populate the process-wide content-addressed result cache
     #: (:func:`repro.exec.cache.result_cache`).  Hits are bit-identical to
     #: recomputing, so this only changes wall-clock, never results.
@@ -205,6 +216,14 @@ class _CallUnit:
     plan: Plan
     hlops: List[HLOP]
     total_items: int
+    #: ``"blk1:<data-fp>:halo=..."`` when the call's input is frozen --
+    #: block cache keys are then derived from (input fingerprint, slice
+    #: bounds) instead of hashing every block's bytes.  ``None`` falls
+    #: back to content hashing.
+    block_key_prefix: Optional[str] = None
+    #: ``fingerprint_value(host_context)`` computed once per call ("" =
+    #: unfingerprintable, so tasks are uncacheable).
+    ctx_key: Optional[str] = None
     dispatch_seconds: float = 0.0
     ready_time: float = 0.0
     finish_time: float = 0.0
@@ -237,6 +256,7 @@ class SHMTRuntime:
             jobs=self.config.jobs,
             cache=result_cache() if self.config.cache else None,
             validate=self.config.validate,
+            fuse=self.config.fuse,
         )
 
     # ------------------------------------------------------------------ public
@@ -345,16 +365,24 @@ class SHMTRuntime:
                     max_accuracy_rank=plan.max_accuracy_ranks[idx],
                 )
             )
+        data_fp = call.data_fingerprint()
+        halo = spec.halo if padded is not data else 0
+        host_context = call.resolve_context()
+        ctx_key = fingerprint_value(host_context)
         unit = _CallUnit(
             index=index,
             call=call,
             spec=spec,
             calibration=calibration,
-            host_context=call.resolve_context(),
+            host_context=host_context,
             padded_input=padded,
             plan=plan,
             hlops=hlops,
             total_items=total_items,
+            block_key_prefix=(
+                f"blk1:{data_fp}:halo={halo!r}" if data_fp is not None else None
+            ),
+            ctx_key=ctx_key if ctx_key is not None else "",
         )
         return unit, next_hlop_id + len(partitions)
 
@@ -448,6 +476,31 @@ class _BatchRun:
         self.fault_events: List[FaultEvent] = []
         self.retry_count = 0
         self.requeue_count = 0
+        #: Fusion pass (see :mod:`repro.exec.fuse`): active only when the
+        #: config asks for it, the backend actually fuses, and no fault
+        #: plan is live -- injected faults need per-attempt submission
+        #: interleaving that chain lookahead would reorder.
+        backend = runtime.backend
+        self._fuse = (
+            runtime.config.fuse
+            and self.faults is None
+            and isinstance(backend, FusingBackend)
+        )
+        #: Handles pre-computed by an earlier chain, keyed by hlop_id.
+        #: Consumed when the member HLOP starts; discarded (and recomputed
+        #: fresh) if a steal or re-queue moved it to another device, since
+        #: the prefused result is bound to the device it was submitted on.
+        self._prefused: Dict[int, "tuple[str, TaskHandle]"] = {}
+        if isinstance(backend, FusingBackend):
+            backend.on_unit = (
+                (
+                    lambda size: self.obs.count(
+                        "fuse_batched_submissions_total", 1
+                    )
+                )
+                if self._fuse and self.obs.enabled
+                else None
+            )
 
     def _unit_of(self, hlop: HLOP) -> _CallUnit:
         return self._hlop_units[hlop.hlop_id]
@@ -911,7 +964,7 @@ class _BatchRun:
             # corruption verdict stays at submission (same injector call
             # order as the inline runtime); the poisoning itself needs the
             # result, so it applies at the join.
-            handle = self._submit_numeric(device, hlop, unit)
+            handle = self._submit_numeric(state, hlop, unit)
             corrupt = inject and self.faults.corrupts(
                 device.name, hlop.hlop_id, hlop.attempts
             )
@@ -956,7 +1009,7 @@ class _BatchRun:
         )
 
     def _submit_numeric(
-        self, device: Device, hlop: HLOP, unit: _CallUnit
+        self, state: _DeviceState, hlop: HLOP, unit: _CallUnit
     ) -> TaskHandle:
         """Hand the HLOP's numeric execution to the compute backend.
 
@@ -964,7 +1017,15 @@ class _BatchRun:
         the padded input, and any stochastic component (the NPU residual)
         derives from the explicit per-HLOP seed, so results are identical
         whichever backend -- or cache -- serves them.
+
+        With fusion active this is also where chains form: the starting
+        HLOP plus the compatible run behind it in the device queue go to
+        the backend as one group, and the ride-along members' handles are
+        parked in :attr:`_prefused` until each member starts.  Timing is
+        untouched -- every member still gets its own service time and
+        completion event.
         """
+        device = state.device
         if self.control is not None:
             # Checkpoint resume: a journaled result stands in for the
             # computation.  Timing is untouched (service times are model
@@ -972,13 +1033,63 @@ class _BatchRun:
             stored = self.control.stored_result(hlop.hlop_id)
             if stored is not None:
                 return ResolvedHandle(stored, cached=True)
+        if not self._fuse:
+            return self.runtime.backend.submit(self._build_task(device, hlop, unit))
+        prefused = self._prefused.pop(hlop.hlop_id, None)
+        if prefused is not None:
+            submitted_on, handle = prefused
+            if submitted_on == device.name:
+                return handle
+            # A steal or re-queue moved the HLOP since its chain formed:
+            # the prefused result belongs to the old device's numeric
+            # path.  Drop it and compute fresh on the actual device.
+        chain: List[HLOP] = [hlop]
+        max_chain = self.runtime.backend.config.max_chain
+        for candidate in state.queue:
+            if len(chain) >= max_chain:
+                break
+            if candidate.hlop_id in self._prefused:
+                continue
+            if (
+                self.control is not None
+                and self.control.stored_result(candidate.hlop_id) is not None
+            ):
+                continue
+            if not self._device_eligible(device, candidate):
+                continue
+            chain.append(candidate)
+        tasks = [
+            self._build_task(device, member, self._unit_of(member))
+            for member in chain
+        ]
+        handles = self.runtime.backend.submit_group(tasks)
+        if len(chain) > 1:
+            for member, member_handle in zip(chain[1:], handles[1:]):
+                member.fused = True
+                self._prefused[member.hlop_id] = (device.name, member_handle)
+            hlop.fused = True
+            if self.obs.enabled:
+                self.obs.count("fuse_chains_formed_total", 1, device=device.name)
+                self.obs.count(
+                    "fuse_hlops_elided_total", len(chain) - 1, device=device.name
+                )
+        return handles[0]
+
+    def _build_task(
+        self, device: Device, hlop: HLOP, unit: _CallUnit
+    ) -> ComputeTask:
         block = hlop.partition.input_block(unit.padded_input)
         seed = (self.runtime.config.seed * 1_000_003 + hlop.hlop_id) % (2**31 - 1)
-        task = ComputeTask(
+        prefix = unit.block_key_prefix
+        return ComputeTask(
             device=device,
             compute=unit.spec.compute,
             block=block,
+            block_fingerprint=(
+                f"{prefix}:{hlop.partition.in_slices!r}" if prefix else None
+            ),
             ctx=unit.host_context,
+            ctx_fingerprint=unit.ctx_key,
             error_scale=unit.calibration.npu_error_scale,
             seed=seed,
             channel_axis=unit.spec.channel_axis,
@@ -987,7 +1098,6 @@ class _BatchRun:
             kernel=unit.spec.name,
             hlop_id=hlop.hlop_id,
         )
-        return self.runtime.backend.submit(task)
 
     def _on_complete(
         self,

@@ -107,6 +107,26 @@ class VOPCall:
         except KeyError:
             return get_kernel(self.opcode)
 
+    def data_fingerprint(self) -> Optional[str]:
+        """Cached content fingerprint of ``data``, or ``None``.
+
+        Memoized only for read-only arrays (in-place mutation cannot
+        invalidate the memo, because writing raises); a writeable ``data``
+        returns ``None`` and callers fall back to hashing actual bytes.
+        The memo is keyed by object identity, so rebinding ``data`` to a
+        different (read-only) array recomputes.
+        """
+        if self.data.flags.writeable:
+            return None
+        cached = getattr(self, "_data_fp", None)
+        if cached is not None and cached[0] is self.data:
+            return cached[1]
+        from repro.exec.task import fingerprint_array
+
+        fp = fingerprint_array(self.data)
+        self._data_fp = (self.data, fp)
+        return fp
+
     def resolve_context(self) -> Any:
         """The host context for this call: explicit override or kernel default.
 

@@ -106,6 +106,47 @@ class Device(abc.ABC):
                 it over the NPU surrogate.
         """
 
+    def execute_numeric_batch(
+        self,
+        compute: ComputeFn,
+        blocks: "list[np.ndarray]",
+        ctx: Any,
+        *,
+        error_scale: float = 0.0,
+        seeds: Optional["list[Optional[int]]"] = None,
+        channel_axis: Optional[int] = None,
+        quantize_output: bool = True,
+        tensor_compute: Optional[ComputeFn] = None,
+        batch_invariant: bool = False,
+        arena: Any = None,
+    ) -> "list[np.ndarray]":
+        """Run one kernel over several same-kernel blocks in one call.
+
+        The contract is strict bit-identity: the returned list must equal
+        ``[self.execute_numeric(compute, b, ...) for b in blocks]`` bitwise,
+        whatever internal vectorization the device uses.  The base
+        implementation is that loop; subclasses may vectorize when
+        ``batch_invariant`` marks the kernel safe to evaluate stacked
+        (see :mod:`repro.exec.fuse`).  ``arena`` is an optional scratch
+        buffer pool with ``acquire(shape, dtype)``/``release(buf)``.
+        """
+        del batch_invariant, arena
+        if seeds is None:
+            seeds = [None] * len(blocks)
+        return [
+            self.execute_numeric(
+                compute,
+                block,
+                ctx,
+                error_scale=error_scale,
+                seed=seed,
+                channel_axis=channel_axis,
+                quantize_output=quantize_output,
+                tensor_compute=tensor_compute,
+            )
+            for block, seed in zip(blocks, seeds)
+        ]
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name} ({self.precision})>"
 
@@ -129,3 +170,50 @@ class ExactDevice(Device):
         del error_scale, seed, channel_axis, quantize_output, tensor_compute
         block32 = np.asarray(block, dtype=self.precision.dtype)
         return np.asarray(compute(block32, ctx), dtype=np.float32)
+
+    def execute_numeric_batch(
+        self,
+        compute: ComputeFn,
+        blocks: "list[np.ndarray]",
+        ctx: Any,
+        *,
+        error_scale: float = 0.0,
+        seeds: Optional["list[Optional[int]]"] = None,
+        channel_axis: Optional[int] = None,
+        quantize_output: bool = True,
+        tensor_compute: Optional[ComputeFn] = None,
+        batch_invariant: bool = False,
+        arena: Any = None,
+    ) -> "list[np.ndarray]":
+        # The exact path is a dtype cast, the kernel, and a float32 cast --
+        # all element-wise per member -- so a batch-invariant kernel can
+        # evaluate the whole stack in one numpy expression.  Each returned
+        # member is a view of the stacked output (zero-copy scatter-back).
+        if (
+            not batch_invariant
+            or len(blocks) < 2
+            or any(block.shape != blocks[0].shape for block in blocks[1:])
+        ):
+            return super().execute_numeric_batch(
+                compute,
+                blocks,
+                ctx,
+                error_scale=error_scale,
+                seeds=seeds,
+                channel_axis=channel_axis,
+                quantize_output=quantize_output,
+                tensor_compute=tensor_compute,
+            )
+        dtype = self.precision.dtype
+        shape = (len(blocks),) + blocks[0].shape
+        scratch = arena.acquire(shape, dtype) if arena is not None else None
+        stack = np.stack(
+            [np.asarray(block, dtype=dtype) for block in blocks], out=scratch
+        )
+        out = np.asarray(compute(stack, ctx), dtype=np.float32)
+        if scratch is not None and not np.shares_memory(out, scratch):
+            # Safe to recycle only when the kernel allocated a fresh output
+            # (they all do today); an identity-style kernel would otherwise
+            # hand back views of a buffer about to be reused.
+            arena.release(scratch)
+        return [out[index] for index in range(len(blocks))]

@@ -9,7 +9,7 @@ import numpy as np
 from repro.devices.base import ComputeFn, Device
 from repro.devices.memory import TPU_DEVICE_MEMORY_BYTES
 from repro.devices.precision import INT8
-from repro.kernels.npu import npu_execute
+from repro.kernels.npu import npu_execute, npu_execute_batch
 
 
 class EdgeTPUDevice(Device):
@@ -68,5 +68,54 @@ class EdgeTPUDevice(Device):
             error_scale=error_scale,
             seed=seed,
             channel_axis=channel_axis,
+            quantize_output=quantize_output,
+        )
+
+    def execute_numeric_batch(
+        self,
+        compute: ComputeFn,
+        blocks: "list[np.ndarray]",
+        ctx: Any,
+        *,
+        error_scale: float = 0.0,
+        seeds: Optional["list[Optional[int]]"] = None,
+        channel_axis: Optional[int] = None,
+        quantize_output: bool = True,
+        tensor_compute: Optional[ComputeFn] = None,
+        batch_invariant: bool = False,
+        arena: Any = None,
+    ) -> "list[np.ndarray]":
+        # One vectorized NPU pass when the quantization semantics line up
+        # exactly with the per-block path: members become quantization
+        # channels (round_trip_affine_channels is pinned bit-identical to
+        # the per-member round trip), so this is legal only without a
+        # kernel channel axis.  The matmul mode and channelled or
+        # non-invariant kernels fall back to the per-member loop.
+        del arena
+        usable = (
+            batch_invariant
+            and channel_axis is None
+            and len(blocks) >= 2
+            and not (self.mode == "matmul" and tensor_compute is not None)
+            and blocks[0].size > 0
+            and all(block.shape == blocks[0].shape for block in blocks[1:])
+        )
+        if not usable:
+            return super().execute_numeric_batch(
+                compute,
+                blocks,
+                ctx,
+                error_scale=error_scale,
+                seeds=seeds,
+                channel_axis=channel_axis,
+                quantize_output=quantize_output,
+                tensor_compute=tensor_compute,
+            )
+        return npu_execute_batch(
+            compute,
+            blocks,
+            ctx,
+            error_scale=error_scale,
+            seeds=seeds,
             quantize_output=quantize_output,
         )

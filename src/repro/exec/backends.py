@@ -140,6 +140,17 @@ class ExecBackend(abc.ABC):
     def submit(self, task: ComputeTask) -> TaskHandle:
         """Start (or resolve) ``task``; never blocks on the computation."""
 
+    def submit_group(self, tasks: List[ComputeTask]) -> List[TaskHandle]:
+        """Submit several tasks at once, returning one handle per task.
+
+        The base implementation submits them independently; the fusion
+        layer (:class:`repro.exec.fuse.FusingBackend`) overrides this to
+        evaluate compatible members in one batched backend submission.
+        Handle semantics are identical to ``submit``: cache hits resolve
+        immediately with ``cached=True`` and results join lazily.
+        """
+        return [self.submit(task) for task in tasks]
+
     def _lookup(self, key: Optional[str]) -> Optional[np.ndarray]:
         """Consult the cache (verifying the hit's fingerprint if validating)."""
         if self.cache is None:
@@ -244,16 +255,35 @@ class PoolBackend(ExecBackend):
         hit = self._lookup(key)
         if hit is not None:
             return ResolvedHandle(hit, cached=True)
-        if key is not None:
-            with self._inflight_lock:
-                pending = self._inflight.get(key)
-                if pending is not None:
-                    return self._handle(pending, task)
-                future = self._dispatch(task, key)
-                self._inflight[key] = future
-            future.add_done_callback(lambda _f, k=key: self._forget(k))
-            return self._handle(future, task)
-        return self._handle(self._dispatch(task, None), task)
+        if key is None:
+            return self._handle(self._dispatch(task, None), task)
+        # Reservation pattern: the critical section only gets-or-inserts a
+        # placeholder future, so dispatch -- which can run the whole kernel
+        # inline on this thread when the pool is unusable -- never happens
+        # under the lock.  Before this, one slow inline task serialized
+        # every concurrent submit behind ``_inflight_lock``.
+        placeholder: Optional["Future[np.ndarray]"] = None
+        with self._inflight_lock:
+            pending = self._inflight.get(key)
+            if pending is None:
+                placeholder = Future()
+                self._inflight[key] = placeholder
+        if placeholder is None:
+            if self.cache is not None:
+                self.cache.stats.inflight_joins += 1
+            return self._handle(pending, task)
+        placeholder.add_done_callback(lambda _f, k=key: self._forget(k))
+        dispatched = self._dispatch(task, key)
+
+        def _settle(done: "Future[np.ndarray]") -> None:
+            error = done.exception()
+            if error is not None:
+                placeholder.set_exception(error)
+            else:
+                placeholder.set_result(done.result())
+
+        dispatched.add_done_callback(_settle)
+        return self._handle(placeholder, task)
 
     def _handle(self, future: "Future[np.ndarray]", task: ComputeTask) -> FutureHandle:
         describe = f"{task.kernel or 'task'}/hlop{task.hlop_id} on {task.device.name}"
@@ -328,12 +358,23 @@ def make_backend(
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     validate: bool = False,
+    fuse: bool = False,
 ) -> ExecBackend:
-    """Instantiate a backend by name (``serial``, ``pool``, ``process``)."""
+    """Instantiate a backend by name (``serial``, ``pool``, ``process``).
+
+    ``fuse=True`` wraps the backend in the fusion/batching pass
+    (:class:`repro.exec.fuse.FusingBackend`): grouped submissions coalesce
+    into batched evaluations; results stay bit-identical.
+    """
     try:
         factory = _BACKENDS[name]
     except KeyError:
         raise UnknownName(
             f"unknown backend {name!r}; known: {backend_names()}"
         ) from None
-    return factory(jobs, cache, validate)
+    backend = factory(jobs, cache, validate)
+    if fuse:
+        from repro.exec.fuse import FusingBackend
+
+        backend = FusingBackend(backend)
+    return backend

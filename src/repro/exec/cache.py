@@ -61,6 +61,12 @@ class CacheStats:
     current_bytes: int = 0
     #: Bytes of output arrays served from cache instead of recomputed.
     hit_bytes: int = 0
+    #: Submissions that joined an identical task already in flight instead
+    #: of computing or consulting the cache again.  A join is neither a
+    #: ``hit`` (the result was not resident yet) nor a ``miss`` (nothing
+    #: was recomputed); without this counter the dedup'd work is invisible
+    #: and ``hit_rate`` understates how much compute the cache layer saved.
+    inflight_joins: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -75,6 +81,7 @@ class CacheStats:
             "evictions": self.evictions,
             "current_bytes": self.current_bytes,
             "hit_bytes": self.hit_bytes,
+            "inflight_joins": self.inflight_joins,
             "hit_rate": self.hit_rate,
         }
 

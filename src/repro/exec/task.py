@@ -105,6 +105,17 @@ class ComputeTask:
     compute: ComputeFn
     block: np.ndarray
     ctx: Any
+    #: Precomputed content identity of ``block`` (e.g. derived from the
+    #: call input's fingerprint plus the partition's slice bounds).  When
+    #: set, ``cache_key`` uses it instead of hashing the block's bytes;
+    #: the producer is responsible for it being a pure function of the
+    #: block's content.
+    block_fingerprint: Optional[str] = None
+    #: Precomputed ``fingerprint_value(ctx)``: ``None`` means "compute it
+    #: here"; the empty string means "known unfingerprintable" (the task
+    #: is uncacheable).  Sibling HLOPs share one host context, so the
+    #: producer computes this once per call instead of once per task.
+    ctx_fingerprint: Optional[str] = None
     error_scale: float = 0.0
     seed: Optional[int] = None
     channel_axis: Optional[int] = None
@@ -141,7 +152,10 @@ class ComputeTask:
         compute_id = _callable_identity(self.compute)
         if compute_id is None:
             return None
-        ctx_id = fingerprint_value(self.ctx)
+        if self.ctx_fingerprint is not None:
+            ctx_id = self.ctx_fingerprint or None
+        else:
+            ctx_id = fingerprint_value(self.ctx)
         if ctx_id is None:
             return None
         device = self.device
@@ -171,5 +185,5 @@ class ComputeTask:
                 ]
             )
         path.append(ctx_id)
-        path.append(fingerprint_array(self.block))
+        path.append(self.block_fingerprint or fingerprint_array(self.block))
         return "|".join(path)

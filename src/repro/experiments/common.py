@@ -137,9 +137,8 @@ class ExperimentContext:
         if self.settings.runtime_config.cache:
             ctx_id = fingerprint_value(host_context)
             if ctx_id is not None:
-                key = "|".join(
-                    ["reference", spec.name, ctx_id, fingerprint_array(call.data)]
-                )
+                data_fp = call.data_fingerprint() or fingerprint_array(call.data)
+                key = "|".join(["reference", spec.name, ctx_id, data_fp])
             cache = result_cache()
             hit = cache.get(key)
             if hit is not None:

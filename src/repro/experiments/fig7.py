@@ -18,7 +18,7 @@ from repro.experiments.common import (
     ExperimentSettings,
     FigureResult,
 )
-from repro.metrics.mape import mape_percent
+from repro.metrics.mape import MAPEReference, mape_percent
 
 
 def run(
@@ -27,12 +27,15 @@ def run(
 ) -> FigureResult:
     ctx = ctx or ExperimentContext(settings)
     kernels = list(ctx.settings.kernels)
+    # One shared FP64 reference serves every policy of the sweep, so the
+    # reference-side MAPE fields are precomputed once per kernel.
+    references = {kernel: MAPEReference(ctx.reference(kernel)) for kernel in kernels}
     series = {}
     for policy in QUALITY_POLICIES:
         values = []
         for kernel in kernels:
             report = ctx.run(kernel, policy)
-            values.append(mape_percent(ctx.reference(kernel), report.output))
+            values.append(mape_percent(references[kernel], report.output))
         series[policy] = values
     result = FigureResult(
         name="Figure 7: MAPE (%) vs FP64 reference",

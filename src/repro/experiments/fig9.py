@@ -24,7 +24,7 @@ from repro.experiments.common import (
     FigureResult,
     platform_for,
 )
-from repro.metrics.mape import mape_percent
+from repro.metrics.mape import MAPEReference, mape_percent
 
 DEFAULT_EXPONENTS = (-15, -14, -13, -12, -11, -10, -9, -8)
 
@@ -39,6 +39,9 @@ def run(
     kernels = list(ctx.settings.kernels)
     speedup_series: Dict[str, List[float]] = {}
     mape_series: Dict[str, List[float]] = {}
+    # The reference is fixed across the sampling-rate sweep; precompute
+    # its MAPE fields once per kernel.
+    references = {kernel: MAPEReference(ctx.reference(kernel)) for kernel in kernels}
     for exponent in exponents:
         rate = 2.0**exponent
         scheduler = QAWS(policy="topk", sampler="striding", sampling_rate=rate)
@@ -52,7 +55,7 @@ def run(
             report = runtime.execute(ctx.call(kernel))
             baseline = ctx.run(kernel, "gpu-baseline")
             speedups.append(report.speedup_over(baseline))
-            mapes.append(mape_percent(ctx.reference(kernel), report.output))
+            mapes.append(mape_percent(references[kernel], report.output))
         speedup_series[label] = speedups
         mape_series[label] = mapes
     speedup_result = FigureResult(

@@ -138,6 +138,7 @@ def apply_performance_args(
         jobs=args.jobs,
         cache=args.cache,
         validate=args.validate,
+        fuse=args.fuse,
     )
     return settings
 
@@ -161,6 +162,13 @@ def add_performance_args(parser: argparse.ArgumentParser) -> None:
         "--cache",
         action="store_true",
         help="enable the content-addressed cross-run result cache",
+    )
+    parser.add_argument(
+        "--fuse",
+        action="store_true",
+        help="fuse compatible HLOP runs into single backend submissions "
+        "and batch same-kernel work across concurrent calls "
+        "(repro.exec.fuse); results stay bit-identical",
     )
     parser.add_argument(
         "--validate",

@@ -20,20 +20,24 @@ def replicate_pad(grid: np.ndarray, halo: int) -> np.ndarray:
 
 
 def conv3x3(block: np.ndarray, kernel: np.ndarray) -> np.ndarray:
-    """Valid-mode 3x3 convolution on a halo-padded 2D block.
+    """Valid-mode 3x3 convolution on the last two axes of a halo-padded block.
 
-    ``block`` has shape (h + 2, w + 2); the result has shape (h, w).
-    Implemented as an explicit 9-term sum so it vectorizes in any dtype.
+    ``block`` has shape (..., h + 2, w + 2); the result has shape
+    (..., h, w).  Leading axes batch independent blocks: each batch slice
+    of the output is bit-identical to convolving that slice alone, because
+    every term is an element-wise multiply-add with no cross-slice
+    reduction.  Implemented as an explicit 9-term sum so it vectorizes in
+    any dtype.
     """
-    if block.ndim != 2:
-        raise ValueError("conv3x3 expects a 2D block")
+    if block.ndim < 2:
+        raise ValueError("conv3x3 expects a block with at least 2 dimensions")
     if kernel.shape != (3, 3):
         raise ValueError("kernel must be 3x3")
-    h, w = block.shape[0] - 2, block.shape[1] - 2
-    out = np.zeros((h, w), dtype=block.dtype)
+    h, w = block.shape[-2] - 2, block.shape[-1] - 2
+    out = np.zeros(block.shape[:-2] + (h, w), dtype=block.dtype)
     for dr in range(3):
         for dc in range(3):
-            out += kernel[dr, dc] * block[dr : dr + h, dc : dc + w]
+            out += kernel[dr, dc] * block[..., dr : dr + h, dc : dc + w]
     return out
 
 

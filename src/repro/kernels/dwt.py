@@ -114,14 +114,21 @@ def idwt97(coeffs: np.ndarray) -> np.ndarray:
 
 
 def fdwt97(image: np.ndarray, _ctx: Any = None) -> np.ndarray:
-    """Block-wise 2D forward CDF 9/7 transform of a (H, W) image."""
-    height, width = image.shape
+    """Block-wise 2D forward CDF 9/7 transform of a (..., H, W) image.
+
+    Leading axes batch independent images; the lifting steps are all
+    last-two-axes operations, so each batch slice is bit-identical to
+    transforming it alone (the fusion pass relies on this).
+    """
+    height, width = image.shape[-2:]
     if height % BLOCK or width % BLOCK:
         raise ValueError(f"image {image.shape} must tile into {BLOCK}x{BLOCK} blocks")
     out = np.empty_like(image)
     for r in range(0, height, BLOCK):
         for c in range(0, width, BLOCK):
-            out[r : r + BLOCK, c : c + BLOCK] = fdwt97_block(image[r : r + BLOCK, c : c + BLOCK])
+            out[..., r : r + BLOCK, c : c + BLOCK] = fdwt97_block(
+                image[..., r : r + BLOCK, c : c + BLOCK]
+            )
     return out
 
 
@@ -137,6 +144,7 @@ SPEC = register_kernel(
         tile_multiple=BLOCK,
         reference=_reference,
         compute=fdwt97,
+        batch_invariant=True,
         description="block-based CDF 9/7 forward wavelet transform",
     )
 )

@@ -71,6 +71,7 @@ SPEC = register_kernel(
         model=ParallelModel.ROWS,
         reference=_reference,
         compute=fft_magnitude,
+        batch_invariant=True,
         description="row-batched radix-2 FFT magnitude spectrum",
     )
 )

@@ -48,6 +48,7 @@ SPEC = register_kernel(
         reference=_reference,
         compute=laplacian,
         tensor_compute=_tensor_laplacian,
+        batch_invariant=True,
         description="3x3 Laplacian edge filter",
     )
 )

@@ -36,6 +36,7 @@ SPEC = register_kernel(
         reference=_reference,
         compute=mean_filter,
         tensor_compute=_tensor_mean,
+        batch_invariant=True,
         description="3x3 mean (box) smoothing filter",
     )
 )

@@ -71,6 +71,52 @@ def npu_execute(
     return out
 
 
+def npu_execute_batch(
+    compute: ComputeFn,
+    blocks: "list[np.ndarray]",
+    ctx: Any,
+    *,
+    error_scale: float = 0.0,
+    seeds: Optional["list[Optional[int]]"] = None,
+    quantize_output: bool = True,
+) -> "list[np.ndarray]":
+    """Vectorized :func:`npu_execute` over same-shape blocks (no channel axis).
+
+    The stacked members are treated as quantization *channels*:
+    :func:`round_trip_affine_channels` is pinned bit-identical to round-
+    tripping each member alone, so every member's input quantization --
+    and, symmetrically, its output re-quantization -- matches the
+    single-block path exactly.  ``compute`` must be batch-invariant
+    (:attr:`repro.kernels.registry.KernelSpec.batch_invariant`); the
+    per-member approximation residual still runs member-by-member because
+    each member draws from its own seeded generator.
+
+    The result list is bitwise equal to
+    ``[npu_execute(compute, b, ctx, ..., seed=s) for b, s in zip(blocks, seeds)]``.
+    """
+    if seeds is None:
+        seeds = [None] * len(blocks)
+    if len(seeds) != len(blocks):
+        raise ValueError("npu_execute_batch needs one seed per block")
+    stack = np.stack([np.asarray(block, dtype=np.float32) for block in blocks])
+    quantized_in = round_trip_affine_channels(
+        stack, bits=8, clip_percentile=CALIBRATION_PERCENTILE
+    )
+    out = np.asarray(compute(quantized_in, ctx), dtype=np.float32)
+    members = []
+    for index, seed in enumerate(seeds):
+        member = out[index]
+        if error_scale > 0.0 and member.size:
+            member = member + _approximation_residual(member, error_scale, seed, None)
+        members.append(member)
+    if quantize_output:
+        requantized = round_trip_affine_channels(
+            np.stack(members), bits=8, clip_percentile=CALIBRATION_PERCENTILE
+        )
+        members = [requantized[index] for index in range(len(members))]
+    return members
+
+
 #: TFLite-style calibration percentile: the quantization grid is sized for
 #: the bulk of the data; outliers saturate.  This is what links partition
 #: criticality (wide value distributions) to large, *localized* NPU error.

@@ -76,6 +76,14 @@ class KernelSpec:
     #: accumulation (see kernels/tensorizer.py).  Used by the Edge TPU's
     #: "matmul" mode instead of the NPU surrogate.
     tensor_compute: Optional[ComputeFn] = None
+    #: The compute function accepts a stacked (batch, ...) input of
+    #: same-shape blocks and returns the stacked outputs, with each batch
+    #: slice **bit-identical** to computing that block alone.  Only set
+    #: after the kernel passes the bitwise batch-invariance pin test
+    #: (tests/kernels/test_batch_invariance.py); the fusion pass
+    #: (:mod:`repro.exec.fuse`) vectorizes only flagged kernels and falls
+    #: back to a per-member loop for the rest.
+    batch_invariant: bool = False
     description: str = ""
 
     def __post_init__(self) -> None:

@@ -25,8 +25,13 @@ from repro.kernels.tensorizer import scan_tc
 
 
 def scan_chunk(chunk: np.ndarray, _ctx: Any = None) -> np.ndarray:
-    """Inclusive prefix sum of one chunk (chunk-local, offset applied at merge)."""
-    return np.cumsum(chunk.astype(np.float64)).astype(chunk.dtype)
+    """Inclusive prefix sum of one chunk (chunk-local, offset applied at merge).
+
+    The sum runs along the last axis only, so a stacked (batch, n) input
+    scans each chunk independently -- bit-identical to scanning the 1D
+    chunks one at a time (the fusion pass relies on this).
+    """
+    return np.cumsum(chunk.astype(np.float64), axis=-1).astype(chunk.dtype)
 
 
 def scan_chunk_tc(chunk: np.ndarray, _ctx: Any = None) -> np.ndarray:
@@ -64,6 +69,7 @@ SPEC = register_kernel(
         reference=_reference,
         compute=scan_chunk,
         tensor_compute=scan_chunk_tc,
+        batch_invariant=True,
         output_shape=_output_shape,
         description="inclusive prefix sum via two-phase parallel scan",
     )

@@ -54,6 +54,7 @@ SPEC = register_kernel(
         reference=_reference,
         compute=sobel,
         tensor_compute=_tensor_sobel,
+        batch_invariant=True,
         description="Sobel 3x3 gradient-magnitude edge detector",
     )
 )

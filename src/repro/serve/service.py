@@ -79,6 +79,11 @@ class ServiceConfig:
     fault_plan: Optional[FaultPlan] = None
     #: Run the invariant checker inside every job's run.
     validate: bool = False
+    #: Enable the HLOP fusion/batching pass (:mod:`repro.exec.fuse`) in
+    #: every job's run.  Results stay bit-identical (the runtime suspends
+    #: fusion automatically when a chaos plan is active), so this only
+    #: changes wall-clock throughput.
+    fuse: bool = False
     #: Runtime seed shared by every run (job-specific randomness comes
     #: from the spec's workload seed; this one drives scheduling RNG).
     runtime_seed: int = 2023
@@ -387,6 +392,7 @@ class ShmtService:
                     control=control,
                     fault_plan=self.config.fault_plan,
                     validate=self.config.validate,
+                    fuse=self.config.fuse,
                 ),
             )
             call = generate(spec.kernel, size=spec.size, seed=spec.seed)

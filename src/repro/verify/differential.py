@@ -16,6 +16,14 @@ bugs single-run assertions cannot see:
   HLOPs in shuffled order must therefore reassemble to the bit-identical
   output.  Divergence means order leaked into the numerics (shared RNG
   state, in-place block mutation).
+* :func:`check_fuse_equivalence` -- the fusion/batching pass
+  (:mod:`repro.exec.fuse`) changes *how* HLOP numerics are dispatched
+  (chained submissions, stacked evaluation), never *what* they compute.
+  Every kernel under every policy -- exact policies and the
+  quantized-path QAWS policy on the mixed platform -- must produce
+  bit-identical outputs and bit-identical makespans with fusion on and
+  off.  Divergence means a batched evaluation broke the
+  batch-invariance contract or fusion leaked into the DES timeline.
 
 Both return a list of human-readable failure strings (empty = pass), so
 ``scripts/verify_check.py`` can aggregate them across a sweep.
@@ -110,6 +118,62 @@ def check_policy_equivalence(
                     "elements differ from the gpu-baseline reference "
                     "(exact policies must be bit-identical)"
                 )
+    return failures
+
+
+def check_fuse_equivalence(
+    kernels: Sequence[Tuple[str, object]] = DEFAULT_KERNELS,
+    seed: int = 7,
+    partition: Optional[PartitionConfig] = None,
+    backends: Sequence[str] = ("serial", "pool"),
+) -> List[str]:
+    """Fused runs must be bit-identical to unfused runs, timelines included.
+
+    Covers every exact policy on :func:`exact_platform` plus ``QAWS-TS``
+    on the mixed Jetson platform, so the EdgeTPU's batched quantization
+    path (:func:`repro.kernels.npu.npu_execute_batch`) is exercised, not
+    just the exact stacked path.
+    """
+    from repro.devices.platform import jetson_nano_platform
+
+    partition = partition or PartitionConfig(target_partitions=16)
+    base = RuntimeConfig(partition=partition, seed=seed)
+    sweeps: List[Tuple[str, Platform]] = [
+        (policy, gpu_only_platform() if policy == "gpu-baseline" else exact_platform())
+        for policy in EXACT_POLICIES
+    ]
+    sweeps.append(("QAWS-TS", jetson_nano_platform()))
+    failures: List[str] = []
+    for kernel, size in kernels:
+        for policy, platform in sweeps:
+            call = generate(kernel, size=size, seed=seed)
+            plain = SHMTRuntime(platform, make_scheduler(policy), base).execute(call)
+            for backend in backends:
+                fused_config = RuntimeConfig(
+                    partition=partition,
+                    seed=seed,
+                    backend=backend,
+                    jobs=2,
+                    fuse=True,
+                )
+                fused = SHMTRuntime(
+                    platform, make_scheduler(policy), fused_config
+                ).execute(generate(kernel, size=size, seed=seed))
+                where = f"{kernel}/{policy}/{backend}+fuse"
+                if not np.array_equal(fused.output, plain.output):
+                    diverging = int(
+                        np.count_nonzero(fused.output != plain.output)
+                    )
+                    failures.append(
+                        f"{where}: {diverging} of {fused.output.size} output "
+                        "elements differ from the unfused run (fusion must "
+                        "be bit-identical)"
+                    )
+                if fused.makespan != plain.makespan:
+                    failures.append(
+                        f"{where}: makespan {fused.makespan} != unfused "
+                        f"{plain.makespan} (fusion leaked into the timeline)"
+                    )
     return failures
 
 

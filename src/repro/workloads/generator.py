@@ -233,7 +233,12 @@ def generate(kernel_name: str, size: Optional[Size] = None, seed: int = 0) -> VO
         raise UnknownName(
             f"no workload generator for {kernel_name!r}; known: {sorted(_GENERATORS)}"
         ) from None
-    return factory(size=size, seed=seed)
+    call = factory(size=size, seed=seed)
+    # Generated inputs are immutable by contract; freezing them lets the
+    # result cache memoize one content fingerprint per workload instead of
+    # re-hashing every partition block of every run (VOPCall.data_fingerprint).
+    call.data.setflags(write=False)
+    return call
 
 
 def workload_names():

@@ -1,0 +1,96 @@
+"""Runtime-level fusion equivalence (PR 7).
+
+The backend-level contracts live in ``tests/exec/test_fuse.py``; these
+tests pin the end-to-end promise through ``SHMTRuntime``: with
+``RuntimeConfig(fuse=True)`` the reports are bit-identical to an unfused
+run -- outputs *and* makespans -- while the fusion pass demonstrably
+coalesces dispatch (counters move).  Fusion must also stand down when a
+fault plan is active, where per-attempt injection has to stay
+interleaved with submissions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import PartitionConfig
+from repro.core.runtime import RuntimeConfig, SHMTRuntime
+from repro.core.schedulers.base import make_scheduler
+from repro.devices.platform import jetson_nano_platform
+from repro.exec.fuse import fuse_stats, reset_fuse_stats
+from repro.faults import FaultPlan, TransientFaults
+from repro.workloads.generator import generate
+
+SMALL = PartitionConfig(target_partitions=16, page_bytes=1024)
+
+
+def _config(**overrides) -> RuntimeConfig:
+    base = dict(partition=SMALL)
+    base.update(overrides)
+    return RuntimeConfig(**base)
+
+
+def _runtime(policy="QAWS-TS", **overrides) -> SHMTRuntime:
+    return SHMTRuntime(
+        jetson_nano_platform(), make_scheduler(policy), _config(**overrides)
+    )
+
+
+def _calls(kernels=("sobel", "sobel", "laplacian", "mean_filter")):
+    return [
+        generate(kernel, size=(96, 96), seed=7 + i)
+        for i, kernel in enumerate(kernels)
+    ]
+
+
+@pytest.mark.parametrize("policy", ["QAWS-TS", "work-stealing", "oracle"])
+def test_single_run_bit_identical_with_fusion(policy):
+    call = generate("sobel", size=(128, 128), seed=3)
+    plain = _runtime(policy).execute(call)
+    fused = _runtime(policy, fuse=True).execute(call)
+    np.testing.assert_array_equal(plain.output, fused.output)
+    assert plain.makespan == fused.makespan
+    assert plain.energy.total_joules == fused.energy.total_joules
+
+
+def test_batch_bit_identical_with_fusion_and_chains_form():
+    """Cross-job same-kernel work fuses, and nothing observable changes."""
+    plain = _runtime().execute_batch(_calls())
+    reset_fuse_stats()
+    fused = _runtime(fuse=True).execute_batch(_calls())
+    assert fuse_stats().chains_formed > 0, "fusion pass never engaged"
+    assert plain.makespan == fused.makespan
+    for before, after in zip(plain.reports, fused.reports):
+        np.testing.assert_array_equal(before.output, after.output)
+        assert before.makespan == after.makespan
+
+
+def test_observed_fused_run_counts_fusion():
+    reset_fuse_stats()
+    report = _runtime(fuse=True, observe=True).execute_batch(_calls())
+    metrics = report.reports[0].metrics
+    assert metrics is not None
+    assert metrics.counter_total("fuse_chains_formed_total") > 0
+    assert metrics.counter_total("fuse_hlops_elided_total") > 0
+    assert metrics.counter_total("fuse_batched_submissions_total") > 0
+
+
+def test_observed_unfused_run_has_no_fusion_counters():
+    report = _runtime(observe=True).execute_batch(_calls())
+    metrics = report.reports[0].metrics
+    assert metrics is not None
+    assert metrics.counter_total("fuse_chains_formed_total") == 0.0
+
+
+def test_fusion_stands_down_under_fault_plan():
+    """With a live fault plan the fused config must take the exact unfused
+    path: injection is per attempt and must interleave with submissions."""
+    plan = FaultPlan(transient=(TransientFaults("tpu0", probability=0.9),))
+    plain = _runtime(fault_plan=plan).execute(generate("sobel", size=(96, 96), seed=5))
+    reset_fuse_stats()
+    fused = _runtime(fault_plan=plan, fuse=True).execute(
+        generate("sobel", size=(96, 96), seed=5)
+    )
+    assert fuse_stats().chains_formed == 0
+    np.testing.assert_array_equal(plain.output, fused.output)
+    assert plain.makespan == fused.makespan
+    assert plain.trace.count("fault:transient") == fused.trace.count("fault:transient")

@@ -28,7 +28,7 @@ def test_srad_iterations_despeckle(gpu_runtime):
 
 
 def test_hotspot_iterations_cool_toward_ambient(gpu_runtime):
-    stack = generate("hotspot", size=(128, 128), seed=2).data
+    stack = generate("hotspot", size=(128, 128), seed=2).data.copy()
     stack[1] = 0.0  # no power: temperatures must relax toward ambient (80)
     start_gap = float(np.abs(stack[0] - 80.0).mean())
     result = run_iterative(gpu_runtime, "parabolic_PDE", stack, steps=8)

@@ -333,7 +333,11 @@ def test_execute_rejects_mutated_empty_input(sobel_call):
 
 
 def test_execute_rejects_mutated_nonfinite_input(sobel_call):
-    sobel_call.data[3, 3] = np.nan
+    # Generated inputs are frozen, so "mutation" means rebinding ``data``
+    # (the attribute-replacement pattern ``_validate_call`` re-checks for).
+    poisoned = sobel_call.data.copy()
+    poisoned[3, 3] = np.nan
+    sobel_call.data = poisoned
     with pytest.raises(ValueError, match="NaN or infinity"):
         _runtime().execute(sobel_call)
 

@@ -1,0 +1,132 @@
+"""Bitwise pins for ``Device.execute_numeric_batch``.
+
+The fusion pass depends on one contract: a batched execution returns
+exactly the arrays the per-block ``execute_numeric`` loop would have,
+bit for bit, on every device path -- the exact stacked path, the NPU
+vectorized path, the matmul mode, and every fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devices.cpu import CPUDevice
+from repro.devices.edgetpu import EdgeTPUDevice
+from repro.devices.gpu import GPUDevice
+from repro.kernels.registry import get_kernel
+
+BATCH_KERNELS = ("sobel", "laplacian", "mean_filter", "fft", "dwt", "scan")
+
+
+def _blocks_for(name, rng, count=4):
+    if name in ("sobel", "laplacian", "mean_filter"):
+        shape = (34, 34)
+    elif name == "dwt":
+        shape = (64, 64)
+    elif name == "fft":
+        shape = (4, 64)
+    elif name == "scan":
+        shape = (128,)
+    else:
+        shape = (32, 32)
+    return [(rng.standard_normal(shape) * 5.0).astype(np.float32) for _ in range(count)]
+
+
+def _run_both(device, spec, blocks, seeds, batch_invariant, ctx=None):
+    batched = device.execute_numeric_batch(
+        spec.compute,
+        blocks,
+        ctx,
+        error_scale=spec.calibration.npu_error_scale,
+        seeds=seeds,
+        channel_axis=spec.channel_axis,
+        quantize_output=not spec.reduces,
+        tensor_compute=spec.tensor_compute,
+        batch_invariant=batch_invariant,
+    )
+    singles = [
+        device.execute_numeric(
+            spec.compute,
+            block,
+            ctx,
+            error_scale=spec.calibration.npu_error_scale,
+            seed=seed,
+            channel_axis=spec.channel_axis,
+            quantize_output=not spec.reduces,
+            tensor_compute=spec.tensor_compute,
+        )
+        for block, seed in zip(blocks, seeds)
+    ]
+    return batched, singles
+
+
+@pytest.mark.parametrize("device", [GPUDevice("gpu0"), CPUDevice("cpu0")], ids=lambda d: d.name)
+@pytest.mark.parametrize("kernel", BATCH_KERNELS)
+def test_exact_stacked_batch_bit_identical(device, kernel):
+    spec = get_kernel(kernel)
+    rng = np.random.default_rng(7)
+    blocks = _blocks_for(kernel, rng)
+    seeds = list(range(100, 100 + len(blocks)))
+    batched, singles = _run_both(device, spec, blocks, seeds, spec.batch_invariant)
+    assert len(batched) == len(singles)
+    for got, want in zip(batched, singles):
+        assert got.dtype == want.dtype
+        assert np.array_equal(got, want)
+
+
+@pytest.mark.parametrize("mode", ["npu", "matmul"])
+@pytest.mark.parametrize("kernel", BATCH_KERNELS)
+def test_edgetpu_batch_bit_identical(mode, kernel):
+    spec = get_kernel(kernel)
+    rng = np.random.default_rng(11)
+    blocks = _blocks_for(kernel, rng)
+    seeds = list(range(900, 900 + len(blocks)))
+    device = EdgeTPUDevice("tpu0", mode=mode)
+    batched, singles = _run_both(device, spec, blocks, seeds, spec.batch_invariant)
+    for got, want in zip(batched, singles):
+        assert np.array_equal(got, want)
+
+
+@pytest.mark.parametrize("kernel", ["blackscholes", "hotspot", "srad", "dct8x8"])
+def test_non_invariant_kernels_loop_fallback(kernel):
+    # Unflagged kernels must route through the per-member loop and still
+    # match, on both the exact and approximate device.
+    spec = get_kernel(kernel)
+    rng = np.random.default_rng(3)
+    if kernel == "blackscholes":
+        blocks = [np.abs(rng.standard_normal((5, 64))).astype(np.float32) + 0.5 for _ in range(3)]
+    elif kernel == "hotspot":
+        blocks = [rng.standard_normal((2, 16, 16)).astype(np.float32) for _ in range(3)]
+    else:
+        blocks = [rng.standard_normal((32, 32)).astype(np.float32) for _ in range(3)]
+    seeds = [5, 6, 7]
+    ctx = spec.make_context(np.abs(blocks[0]) + 0.5)
+    for device in (GPUDevice("gpu0"), EdgeTPUDevice("tpu0")):
+        batched, singles = _run_both(
+            device, spec, blocks, seeds, spec.batch_invariant, ctx=ctx
+        )
+        for got, want in zip(batched, singles):
+            assert np.array_equal(got, want)
+
+
+def test_mixed_shapes_fall_back_bit_identical():
+    spec = get_kernel("sobel")
+    rng = np.random.default_rng(19)
+    blocks = [
+        rng.standard_normal((34, 34)).astype(np.float32),
+        rng.standard_normal((18, 34)).astype(np.float32),
+    ]
+    for device in (GPUDevice("gpu0"), EdgeTPUDevice("tpu0")):
+        batched, singles = _run_both(device, spec, blocks, [1, 2], True)
+        for got, want in zip(batched, singles):
+            assert np.array_equal(got, want)
+
+
+def test_single_member_batch_matches():
+    spec = get_kernel("fft")
+    rng = np.random.default_rng(23)
+    blocks = [rng.standard_normal((4, 64)).astype(np.float32)]
+    device = EdgeTPUDevice("tpu0")
+    batched, singles = _run_both(device, spec, blocks, [17], True)
+    assert np.array_equal(batched[0], singles[0])

@@ -1,0 +1,196 @@
+"""Failure-path coverage for the pool/process backends.
+
+Three paths the happy-path suites never touch:
+
+* a shared pool that is already broken at submission time (retry once on
+  a fresh pool before falling back inline);
+* a submission the executor rejects outright (unpicklable task /
+  torn-down pool): transparent inline fallback, no eviction;
+* :func:`repro.exec.backends._evict_broken_executor` must only tear down
+  a pool that reports itself broken -- a healthy replacement installed by
+  another thread stays untouched.
+
+Plus the regression test for the submit-under-lock bug: a slow inline
+task must not serialize unrelated concurrent submits behind
+``_inflight_lock``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+import repro.exec.backends as backends
+from repro.devices.gpu import GPUDevice
+from repro.exec.backends import PoolBackend, _evict_broken_executor
+from repro.exec.cache import ResultCache
+from repro.exec.task import ComputeTask
+
+JOBS = 7  # a worker count no other test shares, so _EXECUTORS stays clean
+
+
+@pytest.fixture(autouse=True)
+def _clean_executor_slot():
+    backends._EXECUTORS.pop(("thread", JOBS), None)
+    yield
+    executor = backends._EXECUTORS.pop(("thread", JOBS), None)
+    if isinstance(executor, ThreadPoolExecutor):
+        executor.shutdown(wait=False)
+
+
+class _BrokenPool:
+    _broken = True
+
+    def submit(self, fn, *args):
+        raise BrokenExecutor("pool died earlier")
+
+    def shutdown(self, wait=True):
+        pass
+
+
+class _RejectingPool:
+    _broken = False
+
+    def __init__(self):
+        self.rejections = 0
+
+    def submit(self, fn, *args):
+        self.rejections += 1
+        raise TypeError("cannot pickle task")
+
+    def shutdown(self, wait=True):  # pragma: no cover - not evicted
+        pass
+
+
+def _double(block: np.ndarray, _ctx=None) -> np.ndarray:
+    return block * 2.0
+
+
+_GATE = threading.Event()
+_STARTED = threading.Event()
+
+
+def _gated(block: np.ndarray, _ctx=None) -> np.ndarray:
+    _STARTED.set()
+    assert _GATE.wait(timeout=30.0)
+    return block + 1.0
+
+
+def _task(compute, value, hlop_id=0):
+    block = np.full((4, 4), value, dtype=np.float32)
+    return ComputeTask(
+        device=GPUDevice("gpu0"),
+        compute=compute,
+        block=block,
+        ctx=None,
+        kernel="t",
+        hlop_id=hlop_id,
+    )
+
+
+def test_broken_pool_retries_on_fresh_pool():
+    backends._EXECUTORS[("thread", JOBS)] = _BrokenPool()
+    backend = PoolBackend(jobs=JOBS)
+    result = backend.submit(_task(_double, 3.0)).result()
+    assert np.array_equal(result, np.full((4, 4), 6.0, dtype=np.float32))
+    # The broken pool was evicted and replaced by a real one.
+    replacement = backends._EXECUTORS.get(("thread", JOBS))
+    assert isinstance(replacement, ThreadPoolExecutor)
+
+
+def test_rejected_submission_falls_back_inline_without_eviction():
+    stub = _RejectingPool()
+    backends._EXECUTORS[("thread", JOBS)] = stub
+    backend = PoolBackend(jobs=JOBS)
+    result = backend.submit(_task(_double, 2.0)).result()
+    assert np.array_equal(result, np.full((4, 4), 4.0, dtype=np.float32))
+    assert stub.rejections == 1
+    # A non-broken pool is never evicted for a rejected task.
+    assert backends._EXECUTORS.get(("thread", JOBS)) is stub
+
+
+def test_evict_broken_executor_spares_healthy_replacement():
+    broken = _BrokenPool()
+    backends._EXECUTORS[("thread", JOBS)] = broken
+    _evict_broken_executor("thread", JOBS)
+    assert ("thread", JOBS) not in backends._EXECUTORS
+    # A healthy pool under the same key must survive an eviction request
+    # (by the time a failed future is joined, another caller may already
+    # have replaced the pool).
+    healthy = _RejectingPool()
+    backends._EXECUTORS[("thread", JOBS)] = healthy
+    _evict_broken_executor("thread", JOBS)
+    assert backends._EXECUTORS.get(("thread", JOBS)) is healthy
+
+
+def test_slow_inline_task_does_not_block_unrelated_submit():
+    """Regression: dispatch used to run under ``_inflight_lock``.
+
+    Force the inline fallback (the executor rejects every submission), let
+    one submit run a kernel that blocks until released, and require that a
+    concurrent submit of an unrelated task completes while the first is
+    still executing."""
+    backends._EXECUTORS[("thread", JOBS)] = _RejectingPool()
+    backend = PoolBackend(jobs=JOBS, cache=ResultCache())
+    _GATE.clear()
+    _STARTED.clear()
+
+    slow_done = []
+
+    def _slow_submit():
+        slow_done.append(backend.submit(_task(_gated, 1.0, hlop_id=1)).result())
+
+    slow = threading.Thread(target=_slow_submit)
+    slow.start()
+    try:
+        assert _STARTED.wait(timeout=10.0), "slow inline task never started"
+        start = time.monotonic()
+        fast = backend.submit(_task(_double, 5.0, hlop_id=2))
+        elapsed = time.monotonic() - start
+        result = fast.result()
+        assert np.array_equal(result, np.full((4, 4), 10.0, dtype=np.float32))
+        # The slow task is still parked inside its inline execution; before
+        # the reservation-pattern fix this submit blocked on the lock until
+        # the gate opened.
+        assert not _GATE.is_set() and slow.is_alive()
+        assert elapsed < 5.0
+    finally:
+        _GATE.set()
+        slow.join(timeout=30.0)
+    assert slow_done and np.array_equal(
+        slow_done[0], np.full((4, 4), 2.0, dtype=np.float32)
+    )
+
+
+def test_inflight_join_counts_once_and_returns_same_result():
+    backends._EXECUTORS[("thread", JOBS)] = _RejectingPool()
+    backend = PoolBackend(jobs=JOBS, cache=ResultCache())
+    _GATE.clear()
+    _STARTED.clear()
+    results = []
+
+    def _submit():
+        results.append(backend.submit(_task(_gated, 7.0, hlop_id=3)).result())
+
+    first = threading.Thread(target=_submit)
+    first.start()
+    try:
+        assert _STARTED.wait(timeout=10.0)
+        # Identical task while the first is in flight: joins the pending
+        # future -- no second computation, counted as an in-flight join.
+        second = threading.Thread(target=_submit)
+        second.start()
+        deadline = time.monotonic() + 5.0
+        while backend.cache.stats.inflight_joins < 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert backend.cache.stats.inflight_joins == 1
+    finally:
+        _GATE.set()
+        first.join(timeout=30.0)
+        second.join(timeout=30.0)
+    assert len(results) == 2
+    assert np.array_equal(results[0], results[1])

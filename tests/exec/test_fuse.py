@@ -1,0 +1,186 @@
+"""Tests for the fusion/batching pass (:mod:`repro.exec.fuse`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devices.edgetpu import EdgeTPUDevice
+from repro.devices.gpu import GPUDevice
+from repro.exec.backends import SerialBackend, make_backend
+from repro.exec.cache import ResultCache
+from repro.exec.fuse import (
+    BufferArena,
+    FusingBackend,
+    arena,
+    fuse_stats,
+    reset_fuse_stats,
+)
+from repro.exec.task import ComputeTask
+from repro.kernels.registry import get_kernel
+
+
+@pytest.fixture(autouse=True)
+def _fresh_stats():
+    reset_fuse_stats()
+    yield
+    reset_fuse_stats()
+
+
+def _tasks(device, kernel="sobel", count=6, seed0=100, rng_seed=0, blocks=None):
+    spec = get_kernel(kernel)
+    rng = np.random.default_rng(rng_seed)
+    if blocks is None:
+        shape = {"sobel": (34, 34), "fft": (4, 64), "scan": (128,)}.get(kernel, (32, 32))
+        blocks = [rng.standard_normal(shape).astype(np.float32) for _ in range(count)]
+    return [
+        ComputeTask(
+            device=device,
+            compute=spec.compute,
+            block=block,
+            ctx=None,
+            error_scale=spec.calibration.npu_error_scale,
+            seed=seed0 + index,
+            channel_axis=spec.channel_axis,
+            quantize_output=not spec.reduces,
+            tensor_compute=spec.tensor_compute,
+            kernel=kernel,
+            hlop_id=index,
+        )
+        for index, block in enumerate(blocks)
+    ]
+
+
+@pytest.mark.parametrize("inner", ["serial", "pool"])
+@pytest.mark.parametrize("kernel", ["sobel", "fft", "scan", "dct8x8"])
+@pytest.mark.parametrize("device_factory", [lambda: GPUDevice("gpu0"), lambda: EdgeTPUDevice("tpu0")])
+def test_group_results_bit_identical_to_unfused(inner, kernel, device_factory):
+    device = device_factory()
+    fused = make_backend(inner, jobs=2, cache=None, fuse=True)
+    plain = SerialBackend()
+    got = [h.result() for h in fused.submit_group(_tasks(device, kernel))]
+    want = [plain.submit(t).result() for t in _tasks(device, kernel)]
+    for g, w in zip(got, want):
+        assert np.array_equal(g, w)
+
+
+def test_fused_results_interoperate_with_unfused_cache():
+    cache = ResultCache()
+    device = GPUDevice("gpu0")
+    fused = make_backend("serial", cache=cache, fuse=True)
+    handles = fused.submit_group(_tasks(device))
+    results = [h.result() for h in handles]
+    assert all(not h.cached for h in handles)
+    # A plain serial backend on the same cache must hit on every member.
+    plain = SerialBackend(cache)
+    for task, want in zip(_tasks(device), results):
+        handle = plain.submit(task)
+        assert handle.cached
+        assert np.array_equal(handle.result(), want)
+
+
+def test_second_fused_group_hits_cache():
+    cache = ResultCache()
+    device = GPUDevice("gpu0")
+    fused = make_backend("serial", cache=cache, fuse=True)
+    [h.result() for h in fused.submit_group(_tasks(device))]
+    again = fused.submit_group(_tasks(device))
+    assert all(h.cached for h in again)
+
+
+def test_duplicate_members_dedup_and_count_inflight_joins():
+    cache = ResultCache()
+    device = GPUDevice("gpu0")
+    fused = make_backend("pool", jobs=2, cache=cache, fuse=True)
+    tasks = _tasks(device, count=4)
+    # Duplicate the first block under a different hlop: exact-device keys
+    # ignore the seed, so both members share one cache key.
+    twin = ComputeTask(
+        device=device,
+        compute=tasks[0].compute,
+        block=tasks[0].block,
+        ctx=None,
+        error_scale=tasks[0].error_scale,
+        seed=999,
+        channel_axis=tasks[0].channel_axis,
+        quantize_output=tasks[0].quantize_output,
+        tensor_compute=tasks[0].tensor_compute,
+        kernel="sobel",
+        hlop_id=99,
+    )
+    handles = fused.submit_group(tasks + [twin])
+    results = [h.result() for h in handles]
+    assert cache.stats.inflight_joins == 1
+    assert np.array_equal(results[0], results[-1])
+
+
+def test_incompatible_members_split_into_units():
+    gpu = GPUDevice("gpu0")
+    tpu = EdgeTPUDevice("tpu0")
+    fused = make_backend("serial", fuse=True)
+    mixed = _tasks(gpu, count=3) + _tasks(tpu, count=3)
+    got = [h.result() for h in fused.submit_group(mixed)]
+    want = [SerialBackend().submit(t).result() for t in mixed]
+    for g, w in zip(got, want):
+        assert np.array_equal(g, w)
+    stats = fuse_stats()
+    assert stats.batched_submissions == 2
+
+
+def test_counters_account_for_chain_and_unit_sizes():
+    device = GPUDevice("gpu0")
+    fused = make_backend("serial", fuse=True)
+    [h.result() for h in fused.submit_group(_tasks(device, count=5))]
+    stats = fuse_stats()
+    assert stats.chains_formed == 1
+    assert stats.batched_submissions == 1
+    assert stats.batched_tasks == 5
+    assert stats.hlops_elided == 4
+    assert stats.vectorized_tasks == 5
+
+
+def test_non_invariant_kernel_fuses_dispatch_without_vectorizing():
+    device = GPUDevice("gpu0")
+    fused = make_backend("serial", fuse=True)
+    [h.result() for h in fused.submit_group(_tasks(device, kernel="dct8x8", count=3))]
+    stats = fuse_stats()
+    assert stats.batched_submissions == 1
+    assert stats.vectorized_tasks == 0
+
+
+def test_single_task_group_delegates_to_inner():
+    device = GPUDevice("gpu0")
+    fused = make_backend("serial", fuse=True)
+    [handle] = fused.submit_group(_tasks(device, count=1))
+    assert np.array_equal(
+        handle.result(), SerialBackend().submit(_tasks(device, count=1)[0]).result()
+    )
+    assert fuse_stats().batched_submissions == 0
+
+
+def test_arena_recycles_staging_buffers():
+    pool = BufferArena(buffers_per_shape=2)
+    first = pool.acquire((4, 8), np.float32)
+    pool.release(first)
+    second = pool.acquire((4, 8), np.float32)
+    assert second is first
+    assert pool.reuses == 1
+    assert pool.allocations == 1
+    # Different shapes never alias.
+    other = pool.acquire((2, 2), np.float32)
+    assert other.shape == (2, 2)
+
+
+def test_global_arena_sees_reuse_across_groups():
+    device = GPUDevice("gpu0")
+    fused = make_backend("serial", fuse=True)
+    before = arena().as_dict()["reuses"]
+    [h.result() for h in fused.submit_group(_tasks(device, count=4, rng_seed=1))]
+    [h.result() for h in fused.submit_group(_tasks(device, count=4, rng_seed=2))]
+    assert arena().as_dict()["reuses"] > before
+
+
+def test_backend_name_marks_fusion():
+    assert make_backend("pool", fuse=True).name == "pool+fuse"
+    assert isinstance(make_backend("serial", fuse=True), FusingBackend)
+    assert make_backend("serial").name == "serial"

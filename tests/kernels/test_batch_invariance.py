@@ -1,0 +1,85 @@
+"""Bitwise pin tests for the ``KernelSpec.batch_invariant`` flag.
+
+The fusion pass (:mod:`repro.exec.fuse`) stacks same-shape partition
+blocks and evaluates a flagged kernel's ``compute`` once on the whole
+stack.  That is only legal if every batch slice of the stacked output is
+**bit-identical** to computing that block alone -- the property these
+tests pin for every flagged kernel, on realistic partition shapes and in
+both float32 (device path) and float64 (reference path) dtypes.
+
+A kernel must never carry the flag without passing here: a tolerance
+would let fused runs drift from unfused ones, breaking the differential
+harness guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels.registry import all_kernels, get_kernel
+
+
+def _blocks_for(spec, rng, count=5):
+    """Realistic same-shape partition blocks for one kernel."""
+    if spec.name in ("sobel", "laplacian", "mean_filter"):
+        # TILE kernels with halo=1: blocks are (h+2, w+2) padded tiles.
+        shape = (34, 66)
+    elif spec.name == "dwt":
+        shape = (64, 128)  # tile_multiple=64
+    elif spec.name == "fft":
+        shape = (8, 64)  # ROWS model: row blocks, power-of-two length
+    elif spec.name == "scan":
+        shape = (257,)  # VECTOR model: 1D chunks
+    else:
+        shape = (32, 32)
+    return [rng.standard_normal(shape).astype(np.float32) * 3.0 for _ in range(count)]
+
+
+def _flagged_specs():
+    return [spec for spec in all_kernels() if spec.batch_invariant]
+
+
+def test_flag_is_set_on_the_expected_kernels():
+    flagged = sorted(spec.name for spec in _flagged_specs())
+    assert flagged == ["dwt", "fft", "laplacian", "mean_filter", "scan", "sobel"]
+
+
+@pytest.mark.parametrize("spec", _flagged_specs(), ids=lambda s: s.name)
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_stacked_compute_is_bit_identical_per_member(spec, dtype):
+    rng = np.random.default_rng(42)
+    blocks = [b.astype(dtype) for b in _blocks_for(spec, rng)]
+    ctx = None
+    stacked = spec.compute(np.stack(blocks), ctx)
+    assert stacked.shape[0] == len(blocks)
+    for index, block in enumerate(blocks):
+        single = spec.compute(block, ctx)
+        assert stacked[index].shape == single.shape, spec.name
+        assert np.array_equal(stacked[index], single), (
+            f"{spec.name}: batch slice {index} diverges from the single-block "
+            "result -- the kernel must not carry batch_invariant=True"
+        )
+
+
+def test_unflagged_kernels_stay_unflagged_without_proof():
+    # Kernels whose compute reduces, reshapes strictly in 2D, or mixes
+    # axes are evaluated member-by-member by the fusion pass; this pins
+    # that we did not flag one by accident.
+    for name in ("histogram", "srad", "hotspot", "blackscholes", "dct8x8"):
+        assert get_kernel(name).batch_invariant is False
+
+
+def test_scan_chunk_keeps_1d_semantics():
+    # The axis=-1 rewrite must not change the 1D result.
+    spec = get_kernel("scan")
+    chunk = np.arange(17, dtype=np.float32)
+    out = spec.compute(chunk, None)
+    assert np.array_equal(out, np.cumsum(chunk.astype(np.float64)).astype(np.float32))
+
+
+def test_conv3x3_still_rejects_sub_2d():
+    from repro.kernels.common import conv3x3
+
+    with pytest.raises(ValueError):
+        conv3x3(np.zeros(5, dtype=np.float32), np.zeros((3, 3)))

@@ -117,3 +117,17 @@ def test_nan_propagates_even_with_zero_epsilon_and_zero_reference():
     ref = np.array([0.0])
     measured = np.array([np.nan])
     assert np.isnan(mape(ref, measured, epsilon=0.0))
+
+
+def test_mape_reference_precompute_bit_identical(rng):
+    from repro.metrics.mape import MAPEReference, mape
+
+    reference = rng.normal(size=256) * 10
+    stats = MAPEReference(reference)
+    for scale in (0.0, 0.01, 1.0):
+        measured = reference + rng.normal(size=256) * scale
+        assert mape(stats, measured) == mape(reference, measured)
+    # Explicit epsilons are honored through the precomputed path too.
+    measured = reference + 0.5
+    assert mape(stats, measured, epsilon=0.25) == mape(reference, measured, epsilon=0.25)
+    assert mape(stats, measured, epsilon=0.0) == mape(reference, measured, epsilon=0.0)

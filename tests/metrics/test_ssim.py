@@ -64,3 +64,39 @@ def test_shape_mismatch_rejected():
 def test_requires_2d():
     with pytest.raises(ValueError):
         ssim(np.zeros(16), np.zeros(16))
+
+
+# ------------------------------------------------- precompute / batch paths
+
+
+def test_ssim_reference_precompute_bit_identical(rng):
+    from repro.metrics.ssim import SSIMReference
+
+    reference = rng.normal(size=(64, 64)) * 30 + 100
+    measured = reference + rng.normal(size=(64, 64))
+    stats = SSIMReference(reference)
+    assert ssim(stats, measured) == ssim(reference, measured)
+    # The precomputed stats are reusable across comparisons.
+    other = reference + rng.normal(size=(64, 64)) * 5
+    assert ssim(stats, other) == ssim(reference, other)
+
+
+def test_ssim_many_matches_individual_calls_bitwise(rng):
+    from repro.metrics.ssim import SSIMReference, ssim_many
+
+    reference = rng.normal(size=(48, 56)) * 20 + 50
+    measured = [reference + rng.normal(size=reference.shape) * s
+                for s in (0.0, 0.3, 1.0, 7.0)]
+    batch = ssim_many(reference, measured)
+    assert batch == [ssim(reference, m) for m in measured]
+    assert ssim_many(SSIMReference(reference), measured) == batch
+
+
+def test_ssim_many_edge_cases(rng):
+    from repro.metrics.ssim import ssim_many
+
+    assert ssim_many(rng.normal(size=(8, 8)), []) == []
+    flat = np.zeros((8, 8))
+    assert ssim_many(flat, [flat, flat + 1.0]) == [1.0, 0.0]
+    with pytest.raises(ValueError, match="shape mismatch"):
+        ssim_many(np.zeros((4, 4)), [np.zeros((4, 5))])
