@@ -43,13 +43,18 @@ class HLOP:
     #: means any device.  0 pins the HLOP to the exact class (CPU/GPU).
     max_accuracy_rank: Optional[int] = None
     status: HLOPStatus = HLOPStatus.PENDING
-    #: Simulated time the HLOP entered its current queue (for transfer
-    #: prefetch modelling).
+    #: Simulated time the HLOP entered its *current* queue (for transfer
+    #: prefetch modelling).  Only ever set through :meth:`mark_queued` so
+    #: steals, retries, and migrations reset it -- a moved HLOP must not
+    #: charge its new queue for time spent waiting in an old one.
     enqueue_time: float = 0.0
     #: Filled in at completion.
     device_name: Optional[str] = None
     start_time: Optional[float] = None
     finish_time: Optional[float] = None
+    #: Total simulated seconds this HLOP spent between entering a device
+    #: queue and its compute starting, summed over *all* attempts (each
+    #: attempt's wait is measured from the latest :meth:`mark_queued`).
     transfer_wait: float = 0.0
     result: Optional[np.ndarray] = field(default=None, repr=False)
     steals: int = 0
@@ -97,6 +102,18 @@ class HLOP:
     def allows_rank(self, accuracy_rank: int) -> bool:
         """Can a device with this accuracy rank execute the HLOP?"""
         return self.max_accuracy_rank is None or accuracy_rank <= self.max_accuracy_rank
+
+    def mark_queued(self, time: float) -> None:
+        """(Re-)enter a device queue at simulated ``time``.
+
+        Every path that places an HLOP on a queue -- plan dispatch, steal,
+        eligibility bounce, retry re-delivery, cross-device migration --
+        goes through here, so the queue-entry clock always reflects the
+        *current* queue and per-attempt transfer waits never inherit time
+        accrued on a previous device.
+        """
+        self.status = HLOPStatus.QUEUED
+        self.enqueue_time = time
 
     def mark_done(self, device_name: str, start: float, finish: float, result: np.ndarray) -> None:
         self.status = HLOPStatus.DONE

@@ -1,0 +1,356 @@
+"""Wall-clock overlap driver: interleave many simulated jobs on one thread.
+
+The sequential runtime finishes one job's event loop before starting the
+next, so backend workers idle whenever the single live job is in a host
+(transfer/aggregation) phase -- the stall class the paper's section 4.4
+pipelining baseline hides *within* one job, generalized here *across*
+jobs.  The :class:`OverlapDriver` holds several prepared runs
+(:meth:`SHMTRuntime.prepare_batch`) and pumps their engines event by
+event: when a job's next event is a completion whose compute handle has
+not resolved yet, the driver parks that job and advances another instead
+of blocking, so transfers, backend compute, and aggregation of
+*different* jobs overlap in wall time.
+
+Two invariants make this safe:
+
+* **Per-job timelines are untouched.**  Each job owns its engine, trace,
+  rng stream, and recorder; the driver only chooses *when in wall time*
+  an event fires, never *which* event fires next within a job.  Outputs
+  and per-job makespans are therefore bit-identical to sequential
+  execution (pinned by
+  :func:`repro.verify.differential.check_overlap_equivalence`).
+* **Readiness is advisory.**  ``handle.ready()`` only defers a join; the
+  completion event eventually fires and joins the handle exactly as the
+  sequential loop would, so fault handling (worker crashes surface at
+  the join) and validation hooks see the same world.
+
+With fusion active the driver also routes backend submissions through a
+:class:`SubmissionBatcher`: jobs' fused groups are deferred and released
+together once every live job is blocked, so the
+:class:`~repro.exec.fuse.FusingBackend` sees cross-job queues and stacks
+deeper vectorized batches than any single job could offer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, wait as wait_futures
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exec.backends import TaskHandle
+
+#: Default cap on jobs simultaneously in flight.  Enough depth for the
+#: fusion pass to stack cross-job batches, small enough that per-job
+#: working sets (padded inputs, partition plans) stay bounded.
+DEFAULT_WINDOW = 8
+
+
+@dataclass
+class OverlapStats:
+    """Wall-clock counters for one driver invocation."""
+
+    jobs: int = 0
+    peak_in_flight: int = 0
+    events_stepped: int = 0
+    #: Times every in-flight job was blocked and the driver slept on
+    #: backend futures instead of spinning.
+    blocked_waits: int = 0
+    #: Deferred-submission releases (cross-job batching opportunities).
+    flushes: int = 0
+    flushed_tasks: int = 0
+    #: Blocked handles joined inline because nothing was waitable (serial
+    #: backend); the join itself performs the compute, so this is
+    #: progress, not a stall.
+    inline_joins: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "jobs": self.jobs,
+            "peak_in_flight": self.peak_in_flight,
+            "events_stepped": self.events_stepped,
+            "blocked_waits": self.blocked_waits,
+            "flushes": self.flushes,
+            "flushed_tasks": self.flushed_tasks,
+            "inline_joins": self.inline_joins,
+        }
+
+
+class _DeferredHandle(TaskHandle):
+    """A handle for a submission the batcher has not released yet.
+
+    Not ready until the batcher flushes and binds the backend's real
+    handle; a direct :meth:`result` call (nothing else runnable, or a
+    caller outside the driver) forces the flush, so the handle can never
+    deadlock its owner.
+    """
+
+    __slots__ = ("_batcher", "_inner")
+
+    def __init__(self, batcher: "SubmissionBatcher") -> None:
+        super().__init__()
+        self._batcher = batcher
+        self._inner: Optional[TaskHandle] = None
+
+    def _bind(self, inner: TaskHandle) -> None:
+        self._inner = inner
+        self.cached = inner.cached
+
+    def result(self) -> np.ndarray:
+        if self._inner is None:
+            self._batcher.flush()
+        return self._inner.result()
+
+    def ready(self) -> bool:
+        return self._inner is not None and self._inner.ready()
+
+    def waitable(self):
+        return None if self._inner is None else self._inner.waitable()
+
+
+class _BoundBatcher:
+    """A :class:`SubmissionBatcher` pre-bound to one run's backend, so
+    the runtime's submission site needs no knowledge of the driver."""
+
+    __slots__ = ("_batcher", "_backend")
+
+    def __init__(self, batcher: "SubmissionBatcher", backend: Any) -> None:
+        self._batcher = batcher
+        self._backend = backend
+
+    def submit_group(self, tasks: Sequence[Any]) -> List[TaskHandle]:
+        return self._batcher.defer(self._backend, tasks)
+
+
+class SubmissionBatcher:
+    """Defers backend submissions so concurrent jobs' tasks flush together.
+
+    Each job's fused groups are buffered as they are produced; when the
+    driver finds every live job blocked, one :meth:`flush` hands the
+    whole buffer -- grouped per backend -- to ``backend.submit_group`` in
+    a single call, which is where :class:`~repro.exec.fuse.FusingBackend`
+    forms its compatibility groups.  Deferral only moves submissions
+    later in *wall* time; simulated completion events already carry each
+    task's service time, so timelines and results are unchanged.
+    """
+
+    def __init__(self) -> None:
+        #: (backend, task, deferred handle), in submission order.
+        self._buffer: List[Tuple[Any, Any, _DeferredHandle]] = []
+        self.stats: Optional[OverlapStats] = None
+
+    def bind(self, backend: Any) -> _BoundBatcher:
+        return _BoundBatcher(self, backend)
+
+    def defer(self, backend: Any, tasks: Sequence[Any]) -> List[TaskHandle]:
+        handles: List[TaskHandle] = []
+        for task in tasks:
+            handle = _DeferredHandle(self)
+            self._buffer.append((backend, task, handle))
+            handles.append(handle)
+        return handles
+
+    def flush(self) -> bool:
+        """Release every deferred submission; ``True`` if any were held."""
+        if not self._buffer:
+            return False
+        buffered, self._buffer = self._buffer, []
+        groups: Dict[int, Tuple[Any, List[Any], List[_DeferredHandle]]] = {}
+        for backend, task, handle in buffered:
+            entry = groups.get(id(backend))
+            if entry is None:
+                entry = groups[id(backend)] = (backend, [], [])
+            entry[1].append(task)
+            entry[2].append(handle)
+        for backend, tasks, handles in groups.values():
+            for deferred, inner in zip(handles, backend.submit_group(tasks)):
+                deferred._bind(inner)
+        if self.stats is not None:
+            self.stats.flushes += 1
+            self.stats.flushed_tasks += len(buffered)
+        return True
+
+
+@dataclass
+class OverlapJob:
+    """One unit of work for the driver: a thunk producing a prepared run.
+
+    ``prepare`` is called on the driver thread at admission (so at most
+    ``window`` jobs hold planning state at once) and must return a
+    :class:`repro.core.runtime._BatchRun`-shaped object exposing
+    ``begin()``, ``finish()``, ``engine``, ``runtime``, ``batcher``, and
+    ``_fuse``.  Exactly one of ``report``/``error`` is set afterwards,
+    except for jobs abandoned after a fatal error (``aborted``).
+    """
+
+    key: Any
+    prepare: Callable[[], Any]
+    #: Called on the driver thread the moment this job settles (report or
+    #: error set) -- the serving layer finishes/streams jobs here instead
+    #: of waiting for the whole window to drain.
+    on_done: Optional[Callable[["OverlapJob"], None]] = None
+    run: Any = field(default=None, repr=False)
+    report: Any = field(default=None, repr=False)
+    error: Optional[BaseException] = None
+    #: True when a fatal error on a *sibling* stopped the driver before
+    #: this job could finish; the job is left unsettled on purpose.
+    aborted: bool = False
+    finished: bool = False
+    #: The unready handle this job is currently parked on.
+    blocker: Optional[TaskHandle] = field(default=None, repr=False)
+
+
+class OverlapDriver:
+    """Single-threaded scheduler interleaving many jobs' event loops."""
+
+    def __init__(
+        self,
+        window: Optional[int] = None,
+        fatal: Tuple[type, ...] = (),
+        batcher: Optional[SubmissionBatcher] = None,
+    ) -> None:
+        self.window = window if window is not None else DEFAULT_WINDOW
+        if self.window < 1:
+            raise ValueError(f"overlap window must be >= 1, got {self.window}")
+        #: Exception types that abort the whole window (e.g. the serving
+        #: layer's kill signal); anything else fails only its own job.
+        self.fatal = fatal
+        self.batcher = batcher if batcher is not None else SubmissionBatcher()
+        self.stats = OverlapStats()
+        self.batcher.stats = self.stats
+
+    # ------------------------------------------------------------------ drive
+
+    def drive(self, jobs: Sequence[OverlapJob]) -> OverlapStats:
+        """Run ``jobs`` to completion, overlapping their wall-clock time.
+
+        Jobs are admitted in order up to the window and each is pumped
+        until it blocks on an unready compute handle.  When every live
+        job is blocked the driver first releases deferred submissions
+        (cross-job batches), then sleeps on the blockers' futures.  A
+        fatal error stops everything: unfinished siblings are marked
+        ``aborted`` and the error re-raised here.
+        """
+        self.stats.jobs += len(jobs)
+        pending = deque(jobs)
+        active: List[OverlapJob] = []
+        fatal_error: Optional[BaseException] = None
+        while pending or active:
+            progressed = False
+            while pending and len(active) < self.window:
+                job = pending.popleft()
+                progressed = True
+                if self._start(job):
+                    active.append(job)
+                elif isinstance(job.error, self.fatal):
+                    fatal_error = job.error
+                    break
+            self.stats.peak_in_flight = max(self.stats.peak_in_flight, len(active))
+            if fatal_error is None:
+                for job in list(active):
+                    progressed = self._pump(job) or progressed
+                    if job.finished or job.error is not None:
+                        active.remove(job)
+                        self._settle(job)
+                        if isinstance(job.error, self.fatal):
+                            fatal_error = job.error
+                            break
+            if fatal_error is not None:
+                for job in active:
+                    job.aborted = True
+                for job in pending:
+                    job.aborted = True
+                raise fatal_error
+            if progressed or not active:
+                continue
+            # Every in-flight job is parked on an unready handle.  Release
+            # any deferred submissions first -- this is the moment the
+            # fusion pass sees all jobs' queues at once -- then sleep on
+            # the blockers' futures until one resolves.
+            if self.batcher.flush():
+                continue
+            waitables = [
+                w
+                for job in active
+                if job.blocker is not None
+                for w in (job.blocker.waitable(),)
+                if w is not None
+            ]
+            if waitables:
+                self.stats.blocked_waits += 1
+                wait_futures(waitables, return_when=FIRST_COMPLETED)
+            else:
+                # Nothing waitable (serial/inline backend): join one
+                # blocker on this thread -- the join *is* the compute, so
+                # this guarantees progress.
+                self.stats.inline_joins += 1
+                try:
+                    active[0].blocker.result()
+                except BaseException:
+                    # The owning job's completion event joins the same
+                    # handle and turns this into a per-job failure there.
+                    pass
+        return self.stats
+
+    # ---------------------------------------------------------------- phases
+
+    def _start(self, job: OverlapJob) -> bool:
+        try:
+            job.run = job.prepare()
+            if getattr(job.run, "_fuse", False):
+                # Route fused submissions through the shared batcher so
+                # groups from different jobs flush -- and batch -- together.
+                job.run.batcher = self.batcher.bind(job.run.runtime.backend)
+            job.run.begin()
+        except BaseException as error:  # noqa: BLE001 - per-job isolation
+            job.error = error
+            self._settle(job)
+            return False
+        return True
+
+    def _pump(self, job: OverlapJob) -> bool:
+        """Advance one job until it blocks, finishes, or fails.
+
+        Within the job this is exactly the sequential run loop: events
+        fire in (time, seq) order via :meth:`Engine.step`.  The only
+        deviation is *pausing* before a completion event whose handle is
+        not ready -- the event still fires, later, with identical
+        simulated time and ordering.
+        """
+        run = job.run
+        engine = run.engine
+        deadline = run.runtime.config.deadline
+        stepped = False
+        try:
+            while True:
+                event = engine.peek()
+                if event is None or (deadline is not None and event.time > deadline):
+                    self._finish(job)
+                    return True
+                handle = event.payload
+                if handle is not None and not handle.ready():
+                    job.blocker = handle
+                    return stepped
+                job.blocker = None
+                engine.step()
+                self.stats.events_stepped += 1
+                stepped = True
+        except BaseException as error:  # noqa: BLE001 - per-job isolation
+            job.error = error
+            return True
+
+    def _finish(self, job: OverlapJob) -> None:
+        run = job.run
+        deadline = run.runtime.config.deadline
+        if deadline is not None:
+            # Advance the virtual clock to the budget (no events <= the
+            # deadline remain), matching the sequential run(until=...).
+            run.engine.run(until=deadline)
+        job.report = run.finish()
+        job.finished = True
+
+    def _settle(self, job: OverlapJob) -> None:
+        if job.on_done is not None:
+            job.on_done(job)

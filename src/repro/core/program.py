@@ -110,7 +110,13 @@ class Program:
         outputs: Dict[str, np.ndarray] = {}
         for level in self.levels():
             calls = [self._call_for(step, outputs) for step in level]
-            batch = runtime.execute_batch(calls)
+            # A level models *simulated* device sharing: its calls contend
+            # on one engine's queues, and that contention is the result
+            # (Figure 1's utilization picture).  Pin the shared-engine
+            # path, bypassing execute_batch's wall-clock overlap mode --
+            # the overlap driver runs each call on a private timeline,
+            # which would erase the contention the level measures.
+            batch = runtime.prepare_batch(calls).execute()
             for step, report in zip(level, batch.reports):
                 reports[step.name] = report
                 outputs[step.name] = report.output

@@ -153,6 +153,17 @@ class RuntimeConfig:
     #: (:func:`repro.exec.cache.result_cache`).  Hits are bit-identical to
     #: recomputing, so this only changes wall-clock, never results.
     cache: bool = False
+    #: Drive a multi-call batch as independent *jobs* on one wall-clock
+    #: driver (see :mod:`repro.core.overlap`): each call keeps its own
+    #: virtual clock, trace, rng stream, and hlop-id space -- outputs and
+    #: per-job makespans are bit-identical to running the calls
+    #: back-to-back (pinned by
+    #: :func:`repro.verify.differential.check_overlap_equivalence`) --
+    #: while host dispatch, backend compute, and aggregation of
+    #: *different* jobs interleave in wall time.  Pool/process workers see
+    #: many jobs' tasks in flight at once, and with ``fuse`` the fusion
+    #: pass batches across jobs through the driver's submission batcher.
+    overlap: bool = False
     #: Run the :mod:`repro.verify` invariant checker over this run: HLOP
     #: conservation, tiling coverage, clock monotonicity, span containment
     #: and per-device serialization, queue conservation across steals, the
@@ -246,12 +257,16 @@ class SHMTRuntime:
         platform: Platform,
         scheduler: Scheduler,
         config: Optional[RuntimeConfig] = None,
+        backend: Optional[Any] = None,
     ) -> None:
         self.platform = platform
         self.scheduler = scheduler
         self.config = config or RuntimeConfig()
-        #: Compute backend for HLOP numerics (see :mod:`repro.exec`).
-        self.backend = make_backend(
+        #: Compute backend for HLOP numerics (see :mod:`repro.exec`).  An
+        #: explicit ``backend`` lets several runtimes share one (the
+        #: overlap driver batches cross-runtime submissions through it);
+        #: results are backend-independent, so sharing is semantics-free.
+        self.backend = backend if backend is not None else make_backend(
             self.config.backend,
             jobs=self.config.jobs,
             cache=result_cache() if self.config.cache else None,
@@ -272,6 +287,19 @@ class SHMTRuntime:
         across calls, and the host's partition/dispatch work for later
         calls overlaps with device execution of earlier ones (the paper's
         Figure 1 execution picture).
+        """
+        if not calls:
+            raise InvalidInput("execute_batch needs at least one call")
+        if self.config.overlap and len(calls) > 1:
+            return self._execute_overlapped(calls)
+        return self.prepare_batch(calls).execute()
+
+    def prepare_batch(self, calls: Sequence[VOPCall]) -> "_BatchRun":
+        """Validate, plan, and stage ``calls`` without running the engine.
+
+        ``prepare_batch(calls).execute()`` is exactly ``execute_batch``;
+        the split exists so the overlap driver (:mod:`repro.core.overlap`)
+        can interleave several prepared runs' event loops on one thread.
         """
         if not calls:
             raise InvalidInput("execute_batch needs at least one call")
@@ -296,10 +324,37 @@ class SHMTRuntime:
             )
             units.append(unit)
         check = RunChecker(recorder=obs) if self.config.validate else None
-        run = _BatchRun(
+        return _BatchRun(
             runtime=self, units=units, devices=devices, obs=obs, check=check
         )
-        return run.execute()
+
+    def _execute_overlapped(self, calls: Sequence[VOPCall]) -> BatchReport:
+        """Run each call as its own job on the wall-clock overlap driver.
+
+        Each call gets a full private run (engine, trace, rng, recorder,
+        checker, hlop ids from zero), so its simulated timeline -- and
+        therefore its output and makespan -- is exactly what
+        ``execute_batch([call])`` produces.  Only *wall-clock* dispatch
+        interleaves: while one job waits on backend compute, the driver
+        advances another, and deferred submissions batch across jobs.
+        """
+        from repro.core.overlap import OverlapDriver, OverlapJob
+
+        for index, call in enumerate(calls):
+            self._validate_call(index, call)
+        jobs = [
+            OverlapJob(key=index, prepare=(lambda c=call: self.prepare_batch([c])))
+            for index, call in enumerate(calls)
+        ]
+        OverlapDriver().drive(jobs)
+        for job in jobs:
+            # Sequential semantics for failures: the earliest call's error
+            # wins (back-to-back execution would have raised it first).
+            if job.error is not None:
+                raise job.error
+        return merge_job_reports(
+            [job.report for job in jobs], self.platform.energy_model
+        )
 
     # ----------------------------------------------------------------- helpers
 
@@ -312,6 +367,11 @@ class SHMTRuntime:
         as kernel faults or quality anomalies mid-run.
         """
         data = np.asarray(call.data)
+        # A read-only array cannot be mutated through any reference, so one
+        # successful scan covers every later run of the same call object.
+        frozen = isinstance(data, np.ndarray) and not data.flags.writeable
+        if frozen and getattr(call, "_finite_checked", None) is data:
+            return
         where = f"call {index} ({call.label})"
         if data.size == 0:
             raise InvalidInput(
@@ -323,6 +383,8 @@ class SHMTRuntime:
                 "inputs (non-finite values would poison quantization calibration)",
                 call=index,
             )
+        if frozen:
+            call._finite_checked = data
 
     def _build_unit(
         self,
@@ -337,7 +399,7 @@ class SHMTRuntime:
         calibration = spec.calibration
         data = call.data
         partitions = plan_partitions(spec, data.shape, self.config.partition)
-        padded = self._padded_input(spec, data)
+        padded = self._padded_input(spec, call)
         total_items = sum(p.n_items for p in partitions)
         ctx = PlanContext(
             spec=spec,
@@ -368,7 +430,15 @@ class SHMTRuntime:
         data_fp = call.data_fingerprint()
         halo = spec.halo if padded is not data else 0
         host_context = call.resolve_context()
-        ctx_key = fingerprint_value(host_context)
+        # The fingerprint is a pure function of the context's content;
+        # memoize per (call, context object) so repeated runs of the same
+        # memoized call hash it once.
+        memo = getattr(call, "_ctx_key_memo", None)
+        if memo is not None and memo[0] is host_context:
+            ctx_key = memo[1]
+        else:
+            ctx_key = fingerprint_value(host_context)
+            call._ctx_key_memo = (host_context, ctx_key)
         unit = _CallUnit(
             index=index,
             call=call,
@@ -386,10 +456,24 @@ class SHMTRuntime:
         )
         return unit, next_hlop_id + len(partitions)
 
-    def _padded_input(self, spec: KernelSpec, data: np.ndarray) -> np.ndarray:
-        if spec.model is ParallelModel.TILE and spec.halo:
-            return replicate_pad(data, spec.halo)
-        return data
+    def _padded_input(self, spec: KernelSpec, call: VOPCall) -> np.ndarray:
+        data = call.data
+        if spec.model is not ParallelModel.TILE or not spec.halo:
+            return data
+        if self.config.cache:
+            # Every run of the same input re-pads it identically; share
+            # the (frozen) pad through the result cache.  Downstream only
+            # ever slices read-only views out of it, same as any cached
+            # block, so freezing is safe.
+            fp = call.data_fingerprint()
+            if fp is not None:
+                key = f"pad1:{fp}:halo={spec.halo}"
+                cache = result_cache()
+                hit = cache.get(key)
+                if hit is not None:
+                    return hit
+                return cache.put(key, replicate_pad(data, spec.halo))
+        return replicate_pad(data, spec.halo)
 
     def _validate_plan(
         self, plan: Plan, partitions: List[Partition], devices: List[Device]
@@ -418,6 +502,50 @@ class SHMTRuntime:
         reference_baseline = calibration.baseline_time(REFERENCE_ITEM_COUNT)
         fixed_per_hlop = fixed_share * x * reference_baseline / REFERENCE_HLOP_COUNT
         return per_element_total + fixed_per_hlop * n_hlops
+
+
+def merge_job_reports(reports: List[BatchReport], energy_model) -> BatchReport:
+    """Combine per-job :class:`BatchReport`\\ s of an overlapped run.
+
+    Per-job artifacts (outputs, makespans, metrics, traces) pass through
+    untouched.  The batch-level view takes the *max* makespan -- the jobs
+    ran concurrently in wall time on independent virtual clocks -- sums
+    active energy, charges platform idle draw over the longest job only
+    (summing per-job idle would double-count the shared platform), and
+    concatenates traces and fault logs.  Per-job fault events keep their
+    local ``unit_id`` (0): call identity in the merged view comes from
+    report order, which follows call order.
+    """
+    makespan = max(report.makespan for report in reports)
+    trace = Trace()
+    per_device: Dict[str, float] = {}
+    active = 0.0
+    for report in reports:
+        trace.spans.extend(report.trace.spans)
+        trace.markers.extend(report.trace.markers)
+        active += report.energy.active_joules
+        for cls, joules in report.energy.per_device_active.items():
+            per_device[cls] = per_device.get(cls, 0.0) + joules
+    energy = EnergyBreakdown(
+        active_joules=active,
+        idle_joules=energy_model.idle_watts * makespan,
+        duration=makespan,
+        per_device_active=per_device,
+    )
+    return BatchReport(
+        reports=[r for report in reports for r in report.reports],
+        makespan=makespan,
+        trace=trace,
+        energy=energy,
+        steal_count=sum(r.steal_count for r in reports),
+        fault_events=sorted(
+            (e for r in reports for e in r.fault_events), key=lambda e: e.time
+        ),
+        retry_count=sum(r.retry_count for r in reports),
+        requeue_count=sum(r.requeue_count for r in reports),
+        degraded=any(r.degraded for r in reports),
+        metrics=None,
+    )
 
 
 class _BatchRun:
@@ -486,6 +614,10 @@ class _BatchRun:
             and self.faults is None
             and isinstance(backend, FusingBackend)
         )
+        #: Cross-job submission batcher (set by the overlap driver when
+        #: this run participates in an overlapped batch with fusion on).
+        #: ``None`` -- the default -- submits straight to the backend.
+        self.batcher: Optional[Any] = None
         #: Handles pre-computed by an earlier chain, keyed by hlop_id.
         #: Consumed when the member HLOP starts; discarded (and recomputed
         #: fresh) if a steal or re-queue moved it to another device, since
@@ -508,6 +640,24 @@ class _BatchRun:
     # ------------------------------------------------------------------- run
 
     def execute(self) -> BatchReport:
+        self.begin()
+        deadline = self.runtime.config.deadline
+        if deadline is None:
+            self.engine.run()
+        else:
+            # Cooperative cancellation: simulate up to the budget, then
+            # audit completion.  Events past the deadline stay unfired, so
+            # a cancelled run never charges work beyond the budget.
+            self.engine.run(until=deadline)
+        return self.finish()
+
+    def begin(self) -> None:
+        """Charge prologues and seed the event heap (no events fire yet).
+
+        ``begin()`` + drain the engine + ``finish()`` is exactly
+        :meth:`execute`; the overlap driver uses the split to pump several
+        runs' engines event-by-event on one thread.
+        """
         host_free = 0.0
         for unit in self.units:
             host_free = self._charge_unit_prologue(unit, host_free)
@@ -522,14 +672,11 @@ class _BatchRun:
                         lambda s=state: self._on_device_death(s),
                         kind=EventKind.DEVICE_DEATH,
                     )
+
+    def finish(self) -> BatchReport:
+        """Audit, aggregate, and report once the event heap is drained."""
         deadline = self.runtime.config.deadline
-        if deadline is None:
-            self.engine.run()
-        else:
-            # Cooperative cancellation: simulate up to the budget, then
-            # audit completion.  Events past the deadline stay unfired, so
-            # a cancelled run never charges work beyond the budget.
-            self.engine.run(until=deadline)
+        if deadline is not None:
             self._check_deadline(deadline)
         self._charge_epilogues()
         report = self._report()
@@ -594,8 +741,7 @@ class _BatchRun:
     def _enqueue_unit(self, unit: _CallUnit) -> None:
         for hlop in unit.hlops:
             state = self.states[unit.plan.assignment[hlop.partition.index]]
-            hlop.status = HLOPStatus.QUEUED
-            hlop.enqueue_time = unit.ready_time
+            hlop.mark_queued(unit.ready_time)
             state.queue.append(hlop)
             if self.check is not None:
                 self.check.on_dispatch(hlop.hlop_id, state.device.name, unit.ready_time)
@@ -688,7 +834,7 @@ class _BatchRun:
             # The device cannot legally run its own queued HLOP (e.g. an
             # over-sized partition for the TPU): bounce it to an exact device.
             fallback = self._fallback_state(state, candidate)
-            candidate.enqueue_time = self.engine.now
+            candidate.mark_queued(self.engine.now)
             fallback.queue.append(candidate)
             self.engine.schedule(
                 0.0, lambda s=fallback: self._try_start(s), kind=EventKind.DISPATCH
@@ -792,7 +938,7 @@ class _BatchRun:
             now = self.engine.now
             for hlop in stolen:
                 hlop.steals += 1
-                hlop.enqueue_time = now
+                hlop.mark_queued(now)
                 self.steal_count += 1
                 self._unit_of(hlop).steal_count += 1
                 if self.obs.enabled:
@@ -860,8 +1006,7 @@ class _BatchRun:
                 true_criticality=parent.true_criticality,
                 max_accuracy_rank=parent.max_accuracy_rank,
             )
-            child.status = HLOPStatus.QUEUED
-            child.enqueue_time = now
+            child.mark_queued(now)
             child.steals = parent.steals + 1
             return child
 
@@ -934,9 +1079,13 @@ class _BatchRun:
             )
             self.obs.phase("transfer", device.name, transfer)
         wait = compute_start - now
-        hlop.transfer_wait = wait
+        # Accumulate across attempts: a retried/migrated HLOP's earlier
+        # waits are real stall time, not state to overwrite.
+        hlop.transfer_wait += wait
         state.wait_seconds += wait
         unit.wait_seconds += wait
+        if self.obs.enabled:
+            self.obs.observe("transfer_wait_seconds", wait, device=device.name)
 
         predicted = device.service_time(unit.calibration, hlop.n_items, now=compute_start)
         service = predicted
@@ -981,6 +1130,10 @@ class _BatchRun:
                     attempt=attempt,
                 ),
                 kind=EventKind.COMPUTE_DONE,
+                # The overlap driver peeks this to see whether the result
+                # has landed before firing the completion event; the
+                # sequential run loop never reads payloads.
+                payload=handle,
             )
         watchdog = None
         if self.faults is not None:
@@ -1035,6 +1188,11 @@ class _BatchRun:
                 return ResolvedHandle(stored, cached=True)
         if not self._fuse:
             return self.runtime.backend.submit(self._build_task(device, hlop, unit))
+        submit_group = (
+            self.batcher.submit_group
+            if self.batcher is not None
+            else self.runtime.backend.submit_group
+        )
         prefused = self._prefused.pop(hlop.hlop_id, None)
         if prefused is not None:
             submitted_on, handle = prefused
@@ -1062,7 +1220,7 @@ class _BatchRun:
             self._build_task(device, member, self._unit_of(member))
             for member in chain
         ]
-        handles = self.runtime.backend.submit_group(tasks)
+        handles = submit_group(tasks)
         if len(chain) > 1:
             for member, member_handle in zip(chain[1:], handles[1:]):
                 member.fused = True
@@ -1427,8 +1585,7 @@ class _BatchRun:
                         f"after {backoff:.6f}s backoff"
                     ),
                 )
-            hlop.status = HLOPStatus.QUEUED
-            hlop.enqueue_time = self.engine.now + backoff
+            hlop.mark_queued(self.engine.now + backoff)
 
             def _deliver(s: _DeviceState = state, h: HLOP = hlop) -> None:
                 if s.dead:
@@ -1522,10 +1679,9 @@ class _BatchRun:
                     unit.calibration, hlop.n_items, now=now
                 ),
             )
-        hlop.status = HLOPStatus.QUEUED
         # Never before the owning call is ready: a queued-but-unready HLOP
         # keeps its future enqueue time through the migration.
-        hlop.enqueue_time = max(now, hlop.enqueue_time if hlop.attempts == 0 else now)
+        hlop.mark_queued(max(now, hlop.enqueue_time if hlop.attempts == 0 else now))
         target.queue.append(hlop)
         self.engine.schedule_at(
             max(now, hlop.enqueue_time),
@@ -1569,6 +1725,24 @@ class _BatchRun:
         metrics = None
         if self.obs.enabled:
             self.obs.gauge("makespan_seconds", batch_makespan)
+            # Per-device occupancy: busy compute time over the batch
+            # makespan.  The before/after of the overlap work is read off
+            # these gauges (docs/performance.md) -- per-job occupancy is
+            # unchanged by overlap (virtual clocks are independent), while
+            # wall-clock backend occupancy rises with jobs in flight.
+            for name, state in self.states.items():
+                self.obs.gauge(
+                    "device_busy_seconds", state.busy_seconds, device=name
+                )
+                self.obs.gauge(
+                    "device_transfer_wait_seconds", state.wait_seconds, device=name
+                )
+                if batch_makespan > 0:
+                    self.obs.gauge(
+                        "device_occupancy",
+                        state.busy_seconds / batch_makespan,
+                        device=name,
+                    )
             self.obs.gauge("steal_count", self.steal_count)
             self.obs.gauge("retry_count", self.retry_count)
             self.obs.gauge("requeue_count", self.requeue_count)

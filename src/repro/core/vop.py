@@ -136,4 +136,16 @@ class VOPCall:
         """
         if self.context is not None:
             return self.context
+        # Memoized for read-only data (same identity rules as
+        # :meth:`data_fingerprint`): the default context is a pure function
+        # of (spec, data), and the sweeps resolve the same frozen call
+        # hundreds of times.  Kernels treat contexts as read-only (task
+        # purity), so sharing one object is safe.
+        if not self.data.flags.writeable:
+            cached = getattr(self, "_resolved_ctx", None)
+            if cached is not None and cached[0] is self.data:
+                return cached[1]
+            resolved = self.spec.make_context(self.data.astype(np.float64))
+            self._resolved_ctx = (self.data, resolved)
+            return resolved
         return self.spec.make_context(self.data.astype(np.float64))

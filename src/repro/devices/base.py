@@ -74,6 +74,18 @@ class Device(abc.ABC):
 
     # ---------------------------------------------------------------- numerics
 
+    def numeric_signature(self) -> tuple:
+        """Everything the numeric path reads off this device instance.
+
+        Two devices with equal signatures produce bit-identical results
+        for the same task, whichever instance runs it -- the fusion pass
+        (:mod:`repro.exec.fuse`) relies on this to batch compatible tasks
+        *across* platform instances (concurrent jobs each build their own
+        platform).  A subclass whose ``execute_numeric`` reads more
+        instance state than the precision path must extend the tuple.
+        """
+        return (type(self).__qualname__, self.device_class, str(self.precision))
+
     @abc.abstractmethod
     def execute_numeric(
         self,

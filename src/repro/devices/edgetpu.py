@@ -9,7 +9,11 @@ import numpy as np
 from repro.devices.base import ComputeFn, Device
 from repro.devices.memory import TPU_DEVICE_MEMORY_BYTES
 from repro.devices.precision import INT8
-from repro.kernels.npu import npu_execute, npu_execute_batch
+from repro.kernels.npu import (
+    npu_execute,
+    npu_execute_batch,
+    npu_execute_batch_per_member,
+)
 
 
 class EdgeTPUDevice(Device):
@@ -43,6 +47,12 @@ class EdgeTPUDevice(Device):
         if mode not in self.MODES:
             raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
         self.mode = mode
+
+    def numeric_signature(self) -> tuple:
+        # The numeric path branches on the operating mode (matrix unit vs
+        # NPU emulation), so same-mode instances are interchangeable but
+        # cross-mode ones are not.
+        return super().numeric_signature() + (self.mode,)
 
     def execute_numeric(
         self,
@@ -89,18 +99,20 @@ class EdgeTPUDevice(Device):
         # exactly with the per-block path: members become quantization
         # channels (round_trip_affine_channels is pinned bit-identical to
         # the per-member round trip), so this is legal only without a
-        # kernel channel axis.  The matmul mode and channelled or
-        # non-invariant kernels fall back to the per-member loop.
+        # kernel channel axis.  Non-invariant kernels keep per-member
+        # model math but still share the channelled quantization round
+        # trips (the calibration percentiles are the expensive part).
+        # The matmul mode and channelled kernels fall back to the
+        # per-member loop.
         del arena
-        usable = (
-            batch_invariant
-            and channel_axis is None
+        stackable = (
+            channel_axis is None
             and len(blocks) >= 2
             and not (self.mode == "matmul" and tensor_compute is not None)
             and blocks[0].size > 0
             and all(block.shape == blocks[0].shape for block in blocks[1:])
         )
-        if not usable:
+        if not stackable:
             return super().execute_numeric_batch(
                 compute,
                 blocks,
@@ -110,6 +122,15 @@ class EdgeTPUDevice(Device):
                 channel_axis=channel_axis,
                 quantize_output=quantize_output,
                 tensor_compute=tensor_compute,
+            )
+        if not batch_invariant:
+            return npu_execute_batch_per_member(
+                compute,
+                blocks,
+                ctx,
+                error_scale=error_scale,
+                seeds=seeds,
+                quantize_output=quantize_output,
             )
         return npu_execute_batch(
             compute,

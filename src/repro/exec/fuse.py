@@ -56,7 +56,27 @@ from repro.exec.backends import (
     _evict_broken_executor,
     _shared_executor,
 )
-from repro.exec.task import ComputeTask
+from repro.exec.task import ComputeTask, _callable_identity
+
+
+def _device_key(device: Any) -> Any:
+    """Content signature of a device's numeric path (identity fallback).
+
+    Object identity would split equal tasks from concurrent jobs into
+    separate units just because each job built its own platform; the
+    signature (see :meth:`repro.devices.base.Device.numeric_signature`)
+    merges them, and :func:`_run_unit` may then execute the whole unit on
+    any one member's device instance.
+    """
+    signature = getattr(device, "numeric_signature", None)
+    return signature() if signature is not None else id(device)
+
+
+def _fn_key(fn: Any) -> Any:
+    """Content identity for a task callable (``None`` stays ``None``)."""
+    if fn is None:
+        return None
+    return _callable_identity(fn) or id(fn)
 
 
 @dataclass(frozen=True)
@@ -232,21 +252,44 @@ class FusingBackend(ExecBackend):
             return [self.inner.submit(tasks[0])]
         handles: List[Optional[TaskHandle]] = [None] * len(tasks)
         groups: Dict[tuple, List[_Member]] = {}
+        # Group-wide key dedup: two tasks with one cache key can sit in
+        # *different* compatibility groups (the same block routed to a CPU
+        # core by one job and the GPU by another shares a key but not a
+        # device signature), so the in-unit dedup below cannot see them.
+        # The duplicate joins the first member's eventual handle instead
+        # of computing the unit twice.
+        pending: Dict[str, int] = {}
+        joined: List[Tuple[int, int]] = []  # (duplicate position, leader position)
         for position, task in enumerate(tasks):
             key = task.cache_key() if self.cache is not None else None
             hit = self._lookup(key)
             if hit is not None:
                 handles[position] = ResolvedHandle(hit, cached=True)
                 continue
+            if key is not None:
+                leader_position = pending.get(key)
+                if leader_position is not None:
+                    joined.append((position, leader_position))
+                    if self.cache is not None:
+                        self.cache.stats.inflight_joins += 1
+                    continue
+                pending[key] = position
+            # Content-based, not object-identity: equal-signature tasks
+            # from *different* platform instances (concurrent jobs under
+            # the overlap driver) land in one unit.  The device signature
+            # pins everything the numeric path reads, so any member's
+            # device may execute the unit; context equality comes from the
+            # content fingerprint when one exists ("" = unfingerprintable
+            # falls back to identity, as do unnamed callables).
             compat = (
-                id(task.device),
+                _device_key(task.device),
                 task.kernel,
-                id(task.compute),
-                id(task.ctx),
+                _fn_key(task.compute),
+                task.ctx_fingerprint or id(task.ctx),
                 task.error_scale,
                 task.channel_axis,
                 task.quantize_output,
-                id(task.tensor_compute),
+                _fn_key(task.tensor_compute),
                 np.shape(task.block),
                 np.asarray(task.block).dtype,
             )
@@ -256,6 +299,8 @@ class FusingBackend(ExecBackend):
         for members in groups.values():
             for start in range(0, len(members), self.config.max_batch):
                 self._dispatch_unit(members[start : start + self.config.max_batch], handles)
+        for position, leader_position in joined:
+            handles[position] = _JoinedHandle(handles[leader_position])
         assert all(handle is not None for handle in handles)
         return handles  # type: ignore[return-value]
 
@@ -372,3 +417,9 @@ class _JoinedHandle(TaskHandle):
 
     def result(self) -> np.ndarray:
         return self._leader.result()
+
+    def ready(self) -> bool:
+        return self._leader.ready()
+
+    def waitable(self):
+        return self._leader.waitable()

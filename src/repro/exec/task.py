@@ -160,11 +160,20 @@ class ComputeTask:
             return None
         device = self.device
         exact = isinstance(device, ExactDevice)
+        # Devices running the stock exact numeric path (a precision cast,
+        # the kernel, a float32 cast) produce bit-identical output for the
+        # same precision whatever their class, so their keys share one
+        # namespace: a block the GPU computed satisfies the same block
+        # routed to a CPU core by another policy.  A subclass overriding
+        # ``execute_numeric`` keeps its own namespace.
+        stock_exact = (
+            exact and type(device).execute_numeric is ExactDevice.execute_numeric
+        )
         path = [
             KEY_VERSION,
             self.kernel,
             compute_id,
-            type(device).__name__,
+            "exact-any" if stock_exact else type(device).__name__,
             device.precision.name,
         ]
         if exact:

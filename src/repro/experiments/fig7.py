@@ -10,7 +10,10 @@ the oracle (1.77%).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Optional
+
+import numpy as np
 
 from repro.experiments.common import (
     QUALITY_POLICIES,
@@ -31,11 +34,26 @@ def run(
     # reference-side MAPE fields are precomputed once per kernel.
     references = {kernel: MAPEReference(ctx.reference(kernel)) for kernel in kernels}
     series = {}
+    # Policies that route identically produce byte-identical outputs; with
+    # result caching enabled, score each distinct output once (hash ~1ms vs
+    # rescore ~3ms).  Cache-off runs score everything independently -- the
+    # memo is part of the caching feature set, not the baseline.
+    dedup = ctx.settings.runtime_config.cache
+    scored: dict = {}
     for policy in QUALITY_POLICIES:
         values = []
         for kernel in kernels:
             report = ctx.run(kernel, policy)
-            values.append(mape_percent(references[kernel], report.output))
+            score = None
+            if dedup:
+                output = np.ascontiguousarray(report.output)
+                key = (kernel, hashlib.blake2b(output.tobytes(), digest_size=16).digest())
+                score = scored.get(key)
+                if score is None:
+                    score = scored[key] = mape_percent(references[kernel], output)
+            if score is None:
+                score = mape_percent(references[kernel], report.output)
+            values.append(score)
         series[policy] = values
     result = FigureResult(
         name="Figure 7: MAPE (%) vs FP64 reference",

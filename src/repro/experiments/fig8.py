@@ -9,8 +9,11 @@ oracle's 0.9957.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import replace
 from typing import Optional
+
+import numpy as np
 
 from repro.experiments.common import (
     QUALITY_POLICIES,
@@ -41,11 +44,27 @@ def run(
     # for far worse locality on small machines.)
     references = {kernel: SSIMReference(ctx.reference(kernel)) for kernel in kernels}
     series = {}
+    # Policies with low NPU traffic often produce byte-identical outputs
+    # (e.g. everything routed to exact devices); with result caching
+    # enabled, score each distinct output once -- hashing costs ~1ms where
+    # a rescore costs ~20ms.  Cache-off runs score everything
+    # independently; the memo is part of the caching feature set.
+    dedup = ctx.settings.runtime_config.cache
+    scored: dict = {}
     for policy in QUALITY_POLICIES:
         values = []
         for kernel in kernels:
             report = ctx.run(kernel, policy)
-            values.append(ssim(references[kernel], report.output))
+            score = None
+            if dedup:
+                output = np.ascontiguousarray(report.output)
+                key = (kernel, hashlib.blake2b(output.tobytes(), digest_size=16).digest())
+                score = scored.get(key)
+                if score is None:
+                    score = scored[key] = ssim(references[kernel], output)
+            if score is None:
+                score = ssim(references[kernel], report.output)
+            values.append(score)
         series[policy] = values
     result = FigureResult(
         name="Figure 8: SSIM vs FP64 reference (image kernels)",

@@ -117,6 +117,54 @@ def npu_execute_batch(
     return members
 
 
+def npu_execute_batch_per_member(
+    compute: ComputeFn,
+    blocks: "list[np.ndarray]",
+    ctx: Any,
+    *,
+    error_scale: float = 0.0,
+    seeds: Optional["list[Optional[int]]"] = None,
+    quantize_output: bool = True,
+) -> "list[np.ndarray]":
+    """Channelled quantization around per-member kernel math.
+
+    For kernels that are *not* batch-invariant the model function must run
+    one member at a time, but both quantization round trips are per-member
+    operations regardless, so the stack still goes through
+    :func:`round_trip_affine_channels` in one pass each way -- the
+    percentile calibration, the expensive part of the surrogate, is paid
+    once per unit instead of once per member.  Bit-identical to the
+    per-member :func:`npu_execute` loop for ``channel_axis=None`` blocks
+    (the channelled round trip is pinned equal to the per-member one, and
+    the kernel sees byte-identical quantized inputs).
+    """
+    if seeds is None:
+        seeds = [None] * len(blocks)
+    if len(seeds) != len(blocks):
+        raise ValueError("npu_execute_batch_per_member needs one seed per block")
+    stack = np.stack([np.asarray(block, dtype=np.float32) for block in blocks])
+    quantized_in = round_trip_affine_channels(
+        stack, bits=8, clip_percentile=CALIBRATION_PERCENTILE
+    )
+    members = []
+    for index, seed in enumerate(seeds):
+        out = np.asarray(compute(quantized_in[index], ctx), dtype=np.float32)
+        if error_scale > 0.0 and out.size:
+            out = out + _approximation_residual(out, error_scale, seed, None)
+        members.append(out)
+    if quantize_output:
+        if members and all(
+            member.shape == members[0].shape and member.size for member in members
+        ):
+            requantized = round_trip_affine_channels(
+                np.stack(members), bits=8, clip_percentile=CALIBRATION_PERCENTILE
+            )
+            members = [requantized[index] for index in range(len(members))]
+        else:
+            members = [_round_trip_channels(member, None) for member in members]
+    return members
+
+
 #: TFLite-style calibration percentile: the quantization grid is sized for
 #: the bulk of the data; outliers saturate.  This is what links partition
 #: criticality (wide value distributions) to large, *localized* NPU error.

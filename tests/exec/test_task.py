@@ -110,12 +110,45 @@ def test_key_varies_with_device_and_compute_and_block(rng):
     block = rng.standard_normal(64).astype(np.float32)
     keys = {
         _task(GPUDevice(), block).cache_key(),
-        _task(CPUDevice(), block).cache_key(),
+        _task(EdgeTPUDevice(), block, seed=1).cache_key(),
         _task(GPUDevice(), block, compute=_triple).cache_key(),
         _task(GPUDevice(), block + 1.0).cache_key(),
     }
     assert None not in keys
     assert len(keys) == 4
+
+
+def test_stock_exact_devices_share_one_key_namespace(rng):
+    """CPU and GPU run the same stock fp32 exact path, so a block computed
+    on either is a valid cache hit for the other -- their keys merge."""
+    block = rng.standard_normal(64).astype(np.float32)
+    cpu = _task(CPUDevice(), block)
+    gpu = _task(GPUDevice(), block)
+    assert cpu.cache_key() == gpu.cache_key()
+    np.testing.assert_array_equal(cpu.run(), gpu.run())
+
+
+def test_exact_key_merge_respects_precision_and_overrides(rng):
+    """The merge only covers interchangeable paths: a different precision
+    or an overridden execute_numeric keeps its own namespace."""
+    from repro.devices.base import ExactDevice
+    from repro.devices.precision import FP16
+
+    block = rng.standard_normal(64).astype(np.float32)
+
+    class HalfDevice(ExactDevice):
+        device_class = "half"
+        precision = FP16
+
+    class CustomDevice(ExactDevice):
+        device_class = "custom"
+
+        def execute_numeric(self, compute, block, ctx, **kwargs):
+            return super().execute_numeric(compute, block, ctx, **kwargs)
+
+    base = _task(GPUDevice(), block).cache_key()
+    assert _task(HalfDevice("half0"), block).cache_key() != base
+    assert _task(CustomDevice("custom0"), block).cache_key() != base
 
 
 def test_unfingerprintable_task_is_uncacheable(rng):

@@ -16,6 +16,7 @@ from repro.kernels.npu import (
     _channel_spreads,
     _round_trip_channels,
     npu_execute,
+    npu_execute_batch_per_member,
 )
 
 
@@ -160,3 +161,68 @@ def test_npu_execute_pinned_end_to_end(rng):
             (exact + residual).astype(np.float32), 0
         )
         np.testing.assert_array_equal(out, expected)
+
+
+@pytest.mark.parametrize("error_scale", [0.0, 0.05])
+@pytest.mark.parametrize("quantize_output", [True, False])
+def test_npu_execute_batch_per_member_bit_identical(rng, error_scale, quantize_output):
+    """The channelled-quantization batch path equals the per-member loop.
+
+    ``npu_execute_batch_per_member`` shares one stacked round trip each way
+    but keeps the kernel math member-by-member, so it must match
+    ``npu_execute`` exactly for every (error_scale, quantize_output) combo
+    -- including a kernel whose output shape differs from its input.
+    """
+
+    def shrink(block, _ctx):
+        # Not batch-invariant as written (reduces the leading axis), which
+        # is exactly the kernel class this path exists for.
+        return (block[::2] + block[1::2]).astype(np.float32)
+
+    blocks = [rng.uniform(-3, 9, (8, 64)).astype(np.float32) for _ in range(5)]
+    seeds = [11, None, 13, 17, 19]
+    batched = npu_execute_batch_per_member(
+        shrink,
+        blocks,
+        None,
+        error_scale=error_scale,
+        seeds=seeds,
+        quantize_output=quantize_output,
+    )
+    for member, block, seed in zip(batched, blocks, seeds):
+        expected = npu_execute(
+            shrink,
+            block,
+            None,
+            error_scale=error_scale,
+            seed=seed,
+            quantize_output=quantize_output,
+        )
+        np.testing.assert_array_equal(member, expected)
+
+
+def test_npu_execute_batch_per_member_mixed_output_shapes(rng):
+    """Members whose outputs end up different shapes fall back to the
+    per-member output round trip and still match the scalar path."""
+
+    def sum_if_negative(block, _ctx):
+        # Output shape depends on the data, so same-shape inputs can
+        # produce mixed-shape outputs within one batch.
+        if float(np.min(block)) < 0.0:
+            return np.sum(block, axis=-1).astype(np.float32)
+        return (block * np.float32(2.0)).astype(np.float32)
+
+    blocks = [
+        rng.uniform(-5, -1, (4, 64)).astype(np.float32),  # reduces
+        rng.uniform(1, 5, (4, 64)).astype(np.float32),  # keeps shape
+    ]
+    batched = npu_execute_batch_per_member(
+        sum_if_negative, blocks, None, error_scale=0.02, seeds=[1, 2]
+    )
+    shapes = {member.shape for member in batched}
+    assert len(shapes) == 2  # the mismatch branch really ran
+    for member, block, seed in zip(batched, blocks, [1, 2]):
+        np.testing.assert_array_equal(
+            member,
+            npu_execute(sum_if_negative, block, None, error_scale=0.02, seed=seed),
+        )
