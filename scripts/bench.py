@@ -13,8 +13,13 @@ representative observed run.  With ``--repeat N`` the legs run as N
 paired rounds and the reported speedups come from the best single
 round, so both ends of every ratio are measured in the same
 machine-speed window (per-round walls are kept in the record under
-``rounds``).  The perf trajectory lives in ``BENCH_pr3.json`` ->
-``BENCH_pr7.json`` -> ``BENCH_pr8.json``.
+``rounds``).  A fifth, *simulated-time* leg (PR 9) runs the DAG
+workloads under every DAG policy and records the best ready-schedule
+makespan ratio over serial step-at-a-time execution
+(``speedup_dag_over_serial``); simulated ratios are deterministic, so
+they are computed once outside the paired rounds.  The perf trajectory
+lives in ``BENCH_pr3.json`` -> ``BENCH_pr7.json`` -> ``BENCH_pr8.json``
+-> ``BENCH_pr9.json``.
 
 Usage::
 
@@ -27,10 +32,12 @@ exits non-zero when
 * the pool+cache leg is slower than the serial leg,
 * the fused leg is slower than the un-fused pool leg (fusion must pay for
   itself),
-* the overlap leg is slower than the serial leg, or
-* any speedup ratio (pool, fuse, overlap -- each over serial) regressed
-  by more than ``--tolerance`` (default 10%) versus the baseline's
-  ratio.  Ratios, not absolute seconds, so the gate is portable across
+* the overlap leg is slower than the serial leg,
+* the best DAG policy fails to beat serial step-at-a-time on simulated
+  makespan, or
+* any speedup ratio (pool, fuse, overlap, dag -- each over serial)
+  regressed by more than ``--tolerance`` (default 10%) versus the
+  baseline's ratio.  Ratios, not absolute seconds, so the gate is portable across
   machines of different speeds.  For gating, each fresh ratio is its own
   best across the paired rounds (still within-round pairings), so a
   single noisy round cannot fail a ratio it was not selected by.  A
@@ -154,6 +161,75 @@ def _run_leg(
     return leg
 
 
+def _dag_leg(args) -> dict:
+    """Simulated DAG scheduling leg: best ready policy vs serial.
+
+    Everything here is simulated time (deterministic in the seed and
+    sizes), so the ratios are exactly reproducible on any machine; only
+    ``wall_seconds`` measures the harness itself.
+    """
+    from repro.core.graph import DAG_POLICIES
+    from repro.workloads.dag import image_pipeline_graph, solver_graph
+
+    config = RuntimeConfig(
+        partition=PartitionConfig(target_partitions=16), seed=args.seed
+    )
+    runtime = SHMTRuntime(
+        jetson_nano_platform(), make_scheduler("QAWS-TS"), config
+    )
+    side = 192 if args.quick else 256
+    graphs = {
+        "image-pipeline": image_pipeline_graph(side=side, seed=args.seed),
+        "solver": solver_graph(side=side // 2, steps=4, seed=args.seed),
+    }
+    start = time.time()
+    workloads = {}
+    ratios = []
+    for name, graph in graphs.items():
+        serial = graph.run(runtime, schedule="serial", policy="step")
+        policies = {}
+        best_policy, best_time = None, float("inf")
+        for policy in DAG_POLICIES:
+            result = graph.run(runtime, schedule="ready", policy=policy)
+            policies[policy] = {
+                "ready_makespan": round(result.total_time, 9),
+                "speedup_over_serial": round(
+                    serial.total_time / max(result.total_time, 1e-12), 4
+                ),
+                "transfers_waived": result.transfers_waived,
+                "fingerprints_derived": result.fingerprints_derived,
+            }
+            if result.total_time < best_time:
+                best_policy, best_time = policy, result.total_time
+        ratio = serial.total_time / max(best_time, 1e-12)
+        ratios.append(ratio)
+        workloads[name] = {
+            "side": side if name == "image-pipeline" else side // 2,
+            "serial_makespan": round(serial.total_time, 9),
+            "best_policy": best_policy,
+            "policies": policies,
+            "speedup_over_serial": round(ratio, 4),
+        }
+    # Geometric mean across workloads: one headline that a single
+    # workload cannot dominate.
+    speedup = float(np.exp(np.mean(np.log(ratios))))
+    wall = time.time() - start
+    print(
+        "  dag (simulated)       "
+        + ", ".join(
+            f"{name}: {w['best_policy']} {w['speedup_over_serial']:.3f}x"
+            for name, w in workloads.items()
+        )
+        + f"  -> {speedup:.3f}x  ({wall:.1f}s)"
+    )
+    return {
+        "simulated": True,
+        "wall_seconds": round(wall, 3),
+        "workloads": workloads,
+        "speedup_dag_over_serial": round(speedup, 4),
+    }
+
+
 def measure(args) -> dict:
     print(f"benchmarking the {'quick ' if args.quick else ''}experiment suite:")
     # Default to the real core count: extra threads on a small box are
@@ -224,15 +300,20 @@ def measure(args) -> dict:
         fuse_backend, True, jobs, args.seed, args.validate, fuse=True
     )
     overlapped["phase_profile"] = fused["phase_profile"]
+    dag = _dag_leg(args)
     print(f"  pool+cache speedup over serial: {best['speedup_pool_over_serial']:.2f}x")
     print(f"  cache+fuse speedup over serial: {best['speedup_fuse_over_serial']:.2f}x")
     print(
         f"  overlap+fuse speedup over serial: "
         f"{best['speedup_overlap_over_serial']:.2f}x"
     )
+    print(
+        f"  dag ready-schedule speedup over serial (simulated): "
+        f"{dag['speedup_dag_over_serial']:.2f}x"
+    )
     return {
         "schema": SCHEMA,
-        "pr": 8,
+        "pr": 9,
         "quick": bool(args.quick),
         "seed": args.seed,
         "repeat": max(1, args.repeat),
@@ -255,6 +336,7 @@ def measure(args) -> dict:
             "pool": pool,
             "fuse": fused,
             "overlap": overlapped,
+            "dag": dag,
         },
         "rounds": [
             {
@@ -268,6 +350,7 @@ def measure(args) -> dict:
         "speedup_pool_over_serial": best["speedup_pool_over_serial"],
         "speedup_fuse_over_serial": best["speedup_fuse_over_serial"],
         "speedup_overlap_over_serial": best["speedup_overlap_over_serial"],
+        "speedup_dag_over_serial": dag["speedup_dag_over_serial"],
     }
 
 
@@ -345,11 +428,18 @@ def check(record: dict, baseline: dict, tolerance: float) -> int:
             f"overlap leg is slower than serial "
             f"(speedup {overlap_speedup:.2f}x < 1.0x)"
         )
+    dag_speedup = record.get("speedup_dag_over_serial")
+    if dag_speedup is not None and dag_speedup < 1.0:
+        failures.append(
+            f"no DAG policy beats serial step-at-a-time on simulated "
+            f"makespan (best {dag_speedup:.2f}x < 1.0x)"
+        )
     checked = []
     for key, fresh in (
         ("speedup_pool_over_serial", speedup),
         ("speedup_fuse_over_serial", fuse_speedup),
         ("speedup_overlap_over_serial", overlap_speedup),
+        ("speedup_dag_over_serial", dag_speedup),
     ):
         base = baseline.get(key)
         if not base or fresh is None:
@@ -357,13 +447,15 @@ def check(record: dict, baseline: dict, tolerance: float) -> int:
         floor = base * (1.0 - tolerance)
         ok = fresh >= floor
         note = ""
-        if not ok:
+        wall_leg = _LEG_FOR_RATIO.get(key)
+        if not ok and wall_leg is not None:
             # Fallback estimator: the paired-round ratios inherit the
             # serial leg's run-to-run drift, so before failing compare
             # the drift-resistant min-wall ratios of both records under
-            # the same tolerance.
-            robust_fresh = _minwall_ratio(record, _LEG_FOR_RATIO[key])
-            robust_base = _minwall_ratio(baseline, _LEG_FOR_RATIO[key])
+            # the same tolerance.  (The simulated DAG ratio has no wall
+            # legs and no drift, so it gets no fallback.)
+            robust_fresh = _minwall_ratio(record, wall_leg)
+            robust_base = _minwall_ratio(baseline, wall_leg)
             if robust_fresh is not None and robust_base:
                 ok = robust_fresh >= robust_base * (1.0 - tolerance)
                 if ok:
@@ -402,7 +494,7 @@ def main() -> int:
                              "per round) and report the best round's ratios; "
                              "pairing keeps both ends of each ratio in the "
                              "same machine-speed window")
-    parser.add_argument("--out", default="BENCH_pr8.json", metavar="PATH",
+    parser.add_argument("--out", default="BENCH_pr9.json", metavar="PATH",
                         help="where to write the fresh record")
     parser.add_argument("--check", metavar="BASELINE.json",
                         help="compare against a recorded baseline and gate")

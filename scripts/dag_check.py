@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""DAG check: schedule/policy equivalence plus a scheduling-win assertion.
+
+The quick suite (what CI runs) asserts, in order:
+
+1. **Schedule/policy equivalence** -- for every DAG policy, the serial
+   and ready-set schedules produce bit-identical per-step outputs, and on
+   the all-exact platform the policies agree with each other (see
+   :func:`repro.verify.differential.check_dag_equivalence`).
+2. **Chaos equivalence** -- the same, with a fault plan killing the GPU
+   while DAG steps are in flight; recovery must requeue identically in
+   both schedules.  The run is audited to confirm the death actually
+   fired and migrated work (a vacuous chaos check counts as failure).
+3. **Scheduling win** -- on the image pipeline, the best DAG policy under
+   the ready schedule must beat serial step-at-a-time on makespan, and
+   every composed timeline must satisfy
+   ``total_time <= sum_of_step_times``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/dag_check.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.graph import DAG_POLICIES
+from repro.core.partition import PartitionConfig
+from repro.core.runtime import RuntimeConfig, SHMTRuntime
+from repro.core.schedulers.base import make_scheduler
+from repro.devices.platform import jetson_nano_platform
+from repro.faults.plan import DeviceDeath, FaultPlan
+from repro.verify.differential import check_dag_equivalence
+from repro.workloads.dag import image_pipeline_graph, solver_graph
+
+#: Early enough that the GPU still holds queued work when it dies.
+CHAOS_PLAN = FaultPlan(deaths=(DeviceDeath("gpu0", at_time=1e-5),))
+
+
+def _runtime(fault_plan=None, seed: int = 7) -> SHMTRuntime:
+    config = RuntimeConfig(
+        partition=PartitionConfig(target_partitions=16),
+        seed=seed,
+        fault_plan=fault_plan,
+    )
+    return SHMTRuntime(jetson_nano_platform(), make_scheduler("QAWS-TS"), config)
+
+
+def chaos_audit(side: int, seed: int) -> list:
+    """The chaos plan must actually fire and migrate work."""
+    failures = []
+    result = image_pipeline_graph(side=side, seed=seed).run(
+        _runtime(fault_plan=CHAOS_PLAN, seed=seed),
+        schedule="ready",
+        policy="partition",
+    )
+    if not all(result.reports[n].fault_events for n in result.order):
+        failures.append(
+            "chaos audit: the device death never fired inside a step run "
+            "(the chaos equivalence check is vacuous)"
+        )
+    if sum(result.reports[n].requeue_count for n in result.order) == 0:
+        failures.append(
+            "chaos audit: no HLOP was requeued off the dead device "
+            "(recovery never engaged)"
+        )
+    if result.fingerprints_derived != 0:
+        failures.append(
+            "chaos audit: provenance fingerprints were derived under an "
+            "active fault plan (unsound: faults may corrupt intermediates)"
+        )
+    return failures
+
+
+def scheduling_win(side: int, seed: int) -> list:
+    """Some DAG policy under the ready schedule must beat serial."""
+    failures = []
+    graphs = (
+        ("image-pipeline", image_pipeline_graph(side=side, seed=seed)),
+        ("solver", solver_graph(side=side, steps=4, seed=seed)),
+    )
+    for name, graph in graphs:
+        runtime = _runtime(seed=seed)
+        serial = graph.run(runtime, schedule="serial", policy="step")
+        best_policy, best_time = None, float("inf")
+        for policy in DAG_POLICIES:
+            result = graph.run(runtime, schedule="ready", policy=policy)
+            if result.total_time > result.sum_of_step_times + 1e-12:
+                failures.append(
+                    f"{name}/{policy}: composed total_time "
+                    f"{result.total_time:.6f}s exceeds sum_of_step_times "
+                    f"{result.sum_of_step_times:.6f}s (timeline accounting bug)"
+                )
+            if result.total_time < best_time:
+                best_policy, best_time = policy, result.total_time
+        if best_time >= serial.total_time:
+            failures.append(
+                f"{name}: no DAG policy beat serial step-at-a-time "
+                f"(best {best_policy} {best_time * 1e3:.3f} ms vs serial "
+                f"{serial.total_time * 1e3:.3f} ms)"
+            )
+        else:
+            print(
+                f"  {name}: {best_policy} ready {best_time * 1e3:.3f} ms vs "
+                f"serial {serial.total_time * 1e3:.3f} ms "
+                f"({serial.total_time / best_time:.3f}x)"
+            )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="the CI suite (also the default)")
+    parser.add_argument("--side", type=int, default=96,
+                        help="equivalence-sweep problem side length")
+    parser.add_argument("--win-side", type=int, default=192,
+                        help="scheduling-win problem side length")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    start = time.time()
+    failures = []
+
+    print("dag check: schedule/policy differential equivalence")
+    failures += check_dag_equivalence(side=args.side, seed=args.seed)
+
+    print("dag check: chaos equivalence (GPU dies mid-DAG)")
+    failures += check_dag_equivalence(
+        side=args.side, seed=args.seed, fault_plan=CHAOS_PLAN
+    )
+    failures += chaos_audit(args.side, args.seed)
+
+    print("dag check: scheduling win (ready DAG vs serial step-at-a-time)")
+    failures += scheduling_win(args.win_side, args.seed)
+
+    wall = time.time() - start
+    if failures:
+        print(f"\ndag check FAILED ({len(failures)} problem(s), {wall:.1f}s):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"dag check ok ({wall:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,8 @@ Commands:
                      sharded multi-process cluster (consistent-hash
                      placement, crash recovery, work migration; see
                      docs/cluster.md).
+* ``dag``         -- run a VOP dependency DAG workload under a DAG
+                     schedule and placement policy (see docs/dag.md).
 
 Every user-input failure exits with code 2 and a one-line message naming
 the offending flag; tracebacks are reserved for bugs.
@@ -400,6 +402,77 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dag(args: argparse.Namespace) -> int:
+    from repro.core.graph import DAG_POLICIES, DAG_SCHEDULES
+    from repro.workloads.dag import dag_workload_names, make_dag_workload
+
+    if args.workload not in dag_workload_names():
+        return _usage_error(
+            "workload",
+            f"unknown DAG workload {args.workload!r}; "
+            f"try: {', '.join(dag_workload_names())}",
+        )
+    if args.policy not in DAG_POLICIES:
+        return _usage_error(
+            "--policy",
+            f"unknown DAG policy {args.policy!r}; known: {', '.join(DAG_POLICIES)}",
+        )
+    if args.schedule not in DAG_SCHEDULES:
+        return _usage_error(
+            "--schedule",
+            f"unknown DAG schedule {args.schedule!r}; "
+            f"known: {', '.join(DAG_SCHEDULES)}",
+        )
+    if args.side is not None and args.side <= 0:
+        return _usage_error("--side", f"must be a positive integer, got {args.side}")
+    if args.scheduler not in scheduler_names():
+        return _usage_error(
+            "--scheduler",
+            f"unknown policy {args.scheduler!r}; known: {', '.join(scheduler_names())}",
+        )
+
+    runtime = SHMTRuntime(
+        platform_for(args.scheduler), make_scheduler(args.scheduler), RuntimeConfig()
+    )
+    graph = make_dag_workload(args.workload, side=args.side, seed=args.seed)
+    serial = graph.run(runtime, schedule="serial", policy="step")
+    result = graph.run(runtime, schedule=args.schedule, policy=args.policy)
+
+    print(
+        f"workload : {args.workload} (seed {args.seed})"
+        + (f" @ {args.side}x{args.side}" if args.side else "")
+    )
+    print(f"schedule : {args.schedule}   dag policy: {args.policy}   "
+          f"intra-VOP: {args.scheduler}")
+    print()
+    print(f"{'step':<10} {'placement':<28} {'start ms':>9} {'finish ms':>10} "
+          f"{'step ms':>8}")
+    for name in result.order:
+        placement = result.placements[name]
+        where = placement.mode + ":" + "+".join(placement.devices)
+        print(
+            f"{name:<10} {where:<28} {result.starts[name] * 1e3:>9.3f} "
+            f"{result.finishes[name] * 1e3:>10.3f} "
+            f"{result.reports[name].makespan * 1e3:>8.3f}"
+        )
+    print()
+    print(f"makespan : {result.total_time * 1e3:.3f} ms "
+          f"(serial step-by-step {serial.total_time * 1e3:.3f} ms, "
+          f"speedup {serial.total_time / result.total_time:.2f}x)")
+    print(f"energy   : {result.total_energy:.4f} J")
+    print(f"critical : {' -> '.join(result.critical_path())}")
+    extras = []
+    if result.transfers_waived:
+        extras.append(f"transfers waived: {result.transfers_waived}")
+    if result.fingerprints_derived:
+        extras.append(f"fingerprints derived: {result.fingerprints_derived}")
+    if result.arena_acquires:
+        extras.append(f"arena staging buffers: {result.arena_acquires}")
+    if extras:
+        print(f"reuse    : {', '.join(extras)}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -547,6 +620,31 @@ def main(argv=None) -> int:
         "overlap driver (default: 1)",
     )
     cluster_parser.set_defaults(handler=_cmd_cluster)
+
+    dag_parser = sub.add_parser(
+        "dag", help="run a VOP dependency DAG workload (docs/dag.md)"
+    )
+    dag_parser.add_argument(
+        "workload", help="DAG workload name: image-pipeline or solver"
+    )
+    dag_parser.add_argument(
+        "--schedule",
+        default="ready",
+        help="DAG schedule: ready (dispatch when inputs resolve) or serial",
+    )
+    dag_parser.add_argument(
+        "--policy",
+        default="mixed",
+        help="DAG placement policy: step, partition, or mixed",
+    )
+    dag_parser.add_argument(
+        "--scheduler",
+        default="QAWS-TS",
+        help="intra-VOP scheduling policy for split steps",
+    )
+    dag_parser.add_argument("--side", type=int, default=None, help="problem side length")
+    dag_parser.add_argument("--seed", type=int, default=0)
+    dag_parser.set_defaults(handler=_cmd_dag)
 
     args = parser.parse_args(argv)
     try:

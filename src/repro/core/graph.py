@@ -1,0 +1,841 @@
+"""VOP dependency DAGs: multi-input steps, ready-set execution, DAG policies.
+
+:mod:`repro.core.program` models the paper's Figure 1 application -- a
+linear chain of VOPs run level by level.  This module generalizes it to a
+real dependency DAG:
+
+* **Multi-input steps.**  A :class:`GraphStep` consumes any number of
+  named upstream outputs and/or literal arrays; a ``combine`` callable
+  maps them to the single input array its VOP expects (the default stacks
+  raveled sources into the ``(k, N)`` layout the binary element-wise VOPs
+  take, so a two-input blend join is the out-of-the-box case).
+* **Ready-set execution.**  ``schedule="ready"`` dispatches a step as
+  soon as its inputs have resolved *and* its devices are free -- no
+  levelized barrier.  A step occupies only the devices its placement
+  names, so independent steps with disjoint placements genuinely overlap
+  on the simulated timeline.  ``schedule="serial"`` is the strict
+  step-at-a-time reference.
+* **Inter-kernel buffer reuse.**  Intermediate outputs are frozen and fed
+  straight to downstream calls: their cache fingerprints are *derived*
+  from provenance (never re-hashed), multi-input staging buffers come
+  from the shared :class:`~repro.exec.fuse.BufferArena`, and a step
+  pinned to the device that produced its input skips the host->device
+  transfer entirely (``resident_on``).
+* **DAG scheduling policies** (:func:`plan_dag`), alongside the runtime's
+  own intra-VOP policy:
+
+  - ``"step"`` -- every step splits across all devices under the
+    runtime's scheduler (the paper's one-VOP-at-a-time view, lifted to a
+    DAG).
+  - ``"partition"`` -- a graph-partition policy in the spirit of Wu et
+    al. (PAPERS.md): devices are cut into rate-balanced groups, and a
+    greedy earliest-finish pass assigns each step to a device-affine
+    group, preferring its producer's group so chains stay resident.
+  - ``"mixed"`` -- mixed-mode DAG scheduling after Rohlin et al.
+    (PAPERS.md): per step, choose *intra-VOP heterogeneous split* (steps
+    with no concurrent peer get the whole platform) or *whole-step /
+    group placement* (concurrent steps get device-affine groups when the
+    calibrated cost model says overlapping beats serializing splits).
+
+Determinism contract: a step's placement is a pure function of (graph
+structure, calibrations, runtime config) -- never of execution order --
+and every step executes as its own single-call run (private engine, rng,
+HLOP ids).  The schedule therefore only composes per-step makespans onto
+the DAG timeline; outputs are bit-identical between ``serial`` and
+``ready`` by construction, and across policies on an all-exact platform
+(see :func:`repro.verify.differential.check_dag_equivalence`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.result import ExecutionReport
+from repro.core.runtime import SHMTRuntime
+from repro.core.schedulers.dag import GroupScheduler
+from repro.core.vop import VOPCall
+from repro.errors import InvalidInput
+from repro.exec.fuse import BufferArena, arena as shared_arena
+from repro.exec.task import fingerprint_array, fingerprint_value
+from repro.kernels.registry import ParallelModel
+
+Source = Union[np.ndarray, str]
+#: Maps the resolved source arrays to the step's single VOP input.
+Combine = Callable[[Sequence[np.ndarray]], np.ndarray]
+
+DAG_POLICIES = ("step", "partition", "mixed")
+DAG_SCHEDULES = ("serial", "ready")
+
+
+@dataclass
+class GraphStep:
+    """One DAG node: a VOP applied to one or more named/literal inputs."""
+
+    name: str
+    opcode: str
+    sources: Tuple[Source, ...]
+    context: Any = None
+    #: ``None`` = identity for one source, stack-of-raveled for several.
+    combine: Optional[Combine] = None
+
+    @property
+    def dep_names(self) -> Tuple[str, ...]:
+        return tuple(s for s in self.sources if isinstance(s, str))
+
+
+@dataclass
+class StepPlacement:
+    """Where one step runs: a full split or a device-affine group."""
+
+    mode: str  # "split" | "group"
+    devices: Tuple[str, ...]
+    why: str = ""
+
+
+@dataclass
+class GraphResult:
+    """Per-step reports plus the composed DAG timeline."""
+
+    reports: Dict[str, ExecutionReport]
+    order: List[str]
+    placements: Dict[str, StepPlacement]
+    starts: Dict[str, float]
+    finishes: Dict[str, float]
+    schedule: str
+    policy: str
+    idle_watts: float = 0.0
+    #: Downstream inputs whose cache fingerprints were derived from
+    #: provenance instead of re-hashing freshly produced bytes.
+    fingerprints_derived: int = 0
+    #: Multi-input staging buffers served by the shared BufferArena.
+    arena_acquires: int = 0
+
+    @property
+    def total_time(self) -> float:
+        """DAG makespan: the latest step finish on the composed timeline."""
+        return max(self.finishes.values()) if self.finishes else 0.0
+
+    @property
+    def sum_of_step_times(self) -> float:
+        return sum(self.reports[name].makespan for name in self.order)
+
+    @property
+    def total_energy(self) -> float:
+        """Active joules of every step plus idle draw over the makespan."""
+        active = sum(
+            self.reports[name].energy.active_joules for name in self.order
+        )
+        return active + self.idle_watts * self.total_time
+
+    @property
+    def transfers_waived(self) -> int:
+        return sum(self.reports[name].transfers_waived for name in self.order)
+
+    @property
+    def degraded(self) -> bool:
+        return any(self.reports[name].degraded for name in self.order)
+
+    def critical_path(self) -> List[str]:
+        """Dependency chain ending at the step that finishes last."""
+        if not self.finishes:
+            return []
+        deps = {name: self._deps.get(name, ()) for name in self.order}
+        current = max(self.order, key=lambda n: self.finishes[n])
+        path = [current]
+        while deps[current]:
+            current = max(deps[current], key=lambda n: self.finishes[n])
+            path.append(current)
+        return list(reversed(path))
+
+    #: Dependency edges, injected by :meth:`Graph.run` for critical_path.
+    _deps: Dict[str, Tuple[str, ...]] = field(default_factory=dict, repr=False)
+
+    def output(self, step_name: Optional[str] = None) -> np.ndarray:
+        name = step_name if step_name is not None else self.order[-1]
+        return self.reports[name].output
+
+
+class _HostTimeline:
+    """Serial host occupancy with gap-filling claims.
+
+    The engine charges host phases (sampling, dispatch, aggregation) on
+    one serial host; later steps' prologues may slot into gaps the host
+    leaves while earlier steps' devices are busy (exactly how
+    ``execute_batch`` charges all prologues before the first epilogue).
+    ``claim`` books the earliest gap that fits and returns its bounds.
+    """
+
+    def __init__(self) -> None:
+        self._busy: List[Tuple[float, float]] = []
+
+    def claim(self, earliest: float, duration: float) -> Tuple[float, float]:
+        if duration <= 0.0:
+            return earliest, earliest
+        start = earliest
+        index = 0
+        for index, (b_start, b_end) in enumerate(self._busy):
+            if start + duration <= b_start:
+                break
+            start = max(start, b_end)
+            index += 1
+        interval = (start, start + duration)
+        self._busy.insert(index, interval)
+        return interval
+
+
+class Graph:
+    """An append-only VOP dependency DAG (acyclic by construction)."""
+
+    def __init__(self) -> None:
+        self._steps: List[GraphStep] = []
+        self._names: set = set()
+
+    def add(
+        self,
+        name: str,
+        opcode: str,
+        sources: Union[Source, Sequence[Source]],
+        context: Any = None,
+        combine: Optional[Combine] = None,
+    ) -> "Graph":
+        """Append a step consuming literal arrays and/or earlier outputs.
+
+        ``sources`` may be a single array/step name or a sequence of
+        them.  References must name *earlier* steps (append-only keeps
+        the graph acyclic); duplicates, unknown references, and
+        self-references are rejected with stable ``INVALID_INPUT``
+        errors.
+        """
+        if name in self._names:
+            raise InvalidInput(f"duplicate step name {name!r}")
+        if isinstance(sources, (str, np.ndarray)):
+            sources = (sources,)
+        sources = tuple(sources)
+        if not sources:
+            raise InvalidInput(f"step {name!r} has no sources")
+        for source in sources:
+            if isinstance(source, str):
+                if not source:
+                    raise InvalidInput(f"step {name!r}: empty source reference")
+                if source == name:
+                    raise InvalidInput(
+                        f"step {name!r} references itself as a source"
+                    )
+                if source not in self._names:
+                    raise InvalidInput(
+                        f"step {name!r} references unknown step {source!r}"
+                    )
+            elif not isinstance(source, np.ndarray):
+                raise InvalidInput(
+                    f"step {name!r}: sources must be arrays or step names, "
+                    f"got {type(source).__name__}"
+                )
+        self._steps.append(
+            GraphStep(
+                name=name,
+                opcode=opcode,
+                sources=sources,
+                context=context,
+                combine=combine,
+            )
+        )
+        self._names.add(name)
+        return self
+
+    @property
+    def steps(self) -> List[GraphStep]:
+        return list(self._steps)
+
+    def levels(self) -> List[List[GraphStep]]:
+        """Dependency levels (steps within a level are independent)."""
+        level_of: Dict[str, int] = {}
+        levels: List[List[GraphStep]] = []
+        for step in self._steps:
+            deps = step.dep_names
+            level = 1 + max((level_of[d] for d in deps), default=-1)
+            level_of[step.name] = level
+            while len(levels) <= level:
+                levels.append([])
+            levels[level].append(step)
+        return levels
+
+    def ancestors(self) -> Dict[str, set]:
+        """Transitive dependency closure per step."""
+        closure: Dict[str, set] = {}
+        for step in self._steps:
+            anc: set = set()
+            for dep in step.dep_names:
+                anc.add(dep)
+                anc |= closure[dep]
+            closure[step.name] = anc
+        return closure
+
+    # ------------------------------------------------------------------- run
+
+    def run(
+        self,
+        runtime: SHMTRuntime,
+        schedule: str = "ready",
+        policy: str = "step",
+        arena: Optional[BufferArena] = None,
+    ) -> GraphResult:
+        """Execute the DAG on ``runtime`` under one schedule and policy.
+
+        Each step runs as its own single-call run on a private simulated
+        timeline (placement decided up front by ``policy``); the DAG
+        schedule then composes those per-step makespans onto one global
+        timeline with per-device occupancy.  ``serial`` chains every
+        step; ``ready`` starts a step at
+        ``max(inputs resolved, its devices free)``.
+        """
+        if not self._steps:
+            raise InvalidInput("graph has no steps")
+        if schedule not in DAG_SCHEDULES:
+            raise InvalidInput(
+                f"unknown DAG schedule {schedule!r}; choose from {DAG_SCHEDULES}"
+            )
+        placements = plan_dag(self, runtime, policy)
+        arena = arena if arena is not None else shared_arena()
+        literals = self._frozen_literals()
+        graph_key = self._graph_key(runtime, policy, literals)
+
+        step_runtimes: Dict[Tuple[str, ...], SHMTRuntime] = {}
+
+        def runtime_for(placement: StepPlacement) -> SHMTRuntime:
+            if placement.mode == "split":
+                return runtime
+            key = placement.devices
+            if key not in step_runtimes:
+                step_runtimes[key] = SHMTRuntime(
+                    runtime.platform,
+                    GroupScheduler(list(key)),
+                    runtime.config,
+                    backend=runtime.backend,
+                )
+            return step_runtimes[key]
+
+        reports: Dict[str, ExecutionReport] = {}
+        outputs: Dict[str, np.ndarray] = {}
+        starts: Dict[str, float] = {}
+        finishes: Dict[str, float] = {}
+        derived = 0
+        acquired = 0
+        serial_clock = 0.0
+        host = _HostTimeline()
+        device_free: Dict[str, float] = {}
+        by_name = {step.name: step for step in self._steps}
+
+        for step in self._steps:
+            arrays = [
+                outputs[s] if isinstance(s, str) else literals[(step.name, i)]
+                for i, s in enumerate(step.sources)
+            ]
+            data, staged = self._combined_input(step, arrays, arena)
+            if staged is not None:
+                acquired += 1
+            call = VOPCall(
+                opcode=step.opcode,
+                data=data,
+                context=step.context,
+                label=step.name,
+            )
+            if call.data is data and not data.flags.writeable:
+                if graph_key is not None:
+                    # The input is a pure function of the graph's literal
+                    # inputs and the run identity -- key it by provenance
+                    # instead of hashing the bytes we just produced.
+                    call.seed_fingerprint(f"dag1:{graph_key}:{step.name}:in")
+                    derived += 1
+            placement = placements[step.name]
+            resident = self._residency(step, by_name, placements)
+            if resident:
+                call.metadata["resident_on"] = resident
+            report = runtime_for(placement).execute(call)
+            reports[step.name] = report
+            out = report.output
+            out.setflags(write=False)
+            outputs[step.name] = out
+
+            dep_ready = max(
+                (finishes[d] for d in step.dep_names), default=0.0
+            )
+            if schedule == "serial":
+                start = serial_clock
+                finish = start + report.makespan
+            else:
+                # Ready-set composition with a serial host resource: the
+                # step's host prologue (sampling + dispatch) runs as soon
+                # as its inputs resolve and a host gap opens, its device
+                # window occupies only its placement's devices, and its
+                # aggregation epilogue takes the host again once the
+                # devices finish.  Host work of one step thereby overlaps
+                # device execution of another -- the same overlap
+                # execute_batch grants calls sharing one engine (later
+                # prologues slot into host gaps left while earlier steps'
+                # devices are still busy).
+                pre = (
+                    report.sampling_seconds
+                    + report.extra_host_seconds
+                    + report.dispatch_seconds / 2.0
+                )
+                post = report.dispatch_seconds / 2.0
+                window = max(report.makespan - pre - post, 0.0)
+                pre_start, pre_end = host.claim(dep_ready, pre)
+                dev_start = max(
+                    pre_end,
+                    max(
+                        (device_free.get(d, 0.0) for d in placement.devices),
+                        default=0.0,
+                    ),
+                )
+                dev_end = dev_start + window
+                _, finish = host.claim(dev_end, post)
+                start = pre_start
+            serial_clock = max(serial_clock, finish)
+            for d in placement.devices:
+                device_free[d] = (
+                    finish if schedule == "serial" else dev_end
+                )
+            starts[step.name] = start
+            finishes[step.name] = finish
+
+            if staged is not None:
+                # The staging buffer's views never outlive the step's run
+                # (task results and cached entries are fresh arrays), so
+                # it can rejoin the arena for the next join.
+                staged.setflags(write=True)
+                arena.release(staged)
+
+        result = GraphResult(
+            reports=reports,
+            order=[s.name for s in self._steps],
+            placements=placements,
+            starts=starts,
+            finishes=finishes,
+            schedule=schedule,
+            policy=policy,
+            idle_watts=runtime.platform.energy_model.idle_watts,
+            fingerprints_derived=derived,
+            arena_acquires=acquired,
+        )
+        result._deps = {s.name: s.dep_names for s in self._steps}
+        return result
+
+    # --------------------------------------------------------------- helpers
+
+    def _frozen_literals(self) -> Dict[Tuple[str, int], np.ndarray]:
+        """Private frozen float32 copies of every literal source."""
+        literals: Dict[Tuple[str, int], np.ndarray] = {}
+        for step in self._steps:
+            for i, source in enumerate(step.sources):
+                if isinstance(source, np.ndarray):
+                    arr = np.array(source, dtype=np.float32)
+                    arr.setflags(write=False)
+                    literals[(step.name, i)] = arr
+        return literals
+
+    def _graph_key(
+        self,
+        runtime: SHMTRuntime,
+        policy: str,
+        literals: Dict[Tuple[str, int], np.ndarray],
+    ) -> Optional[str]:
+        """Provenance fingerprint of the whole run, or ``None``.
+
+        Every intermediate array is a pure deterministic function of
+        (graph structure, literal inputs, contexts, runtime identity,
+        seed, policy), so this key soundly stands in for content hashes
+        of intermediates.  Unfingerprintable contexts or an active fault
+        plan (which may corrupt results) disable derivation -- callers
+        fall back to plain content hashing.
+        """
+        if runtime.platform.fault_plan is not None:
+            return None
+        if runtime.config.fault_plan is not None:
+            return None
+        parts: List[str] = []
+        for step in self._steps:
+            srcs: List[str] = []
+            for i, source in enumerate(step.sources):
+                if isinstance(source, str):
+                    srcs.append(f"ref:{source}")
+                else:
+                    srcs.append(
+                        f"lit:{fingerprint_array(literals[(step.name, i)])}"
+                    )
+            ctx_fp = fingerprint_value(step.context)
+            if ctx_fp is None:
+                return None
+            if step.combine is not None and not getattr(
+                step.combine, "dag_combine_id", None
+            ):
+                # An anonymous combine has no stable identity across
+                # processes; without one the provenance key is unsound.
+                return None
+            combine_id = (
+                getattr(step.combine, "dag_combine_id", "stack-ravel")
+                if len(step.sources) > 1 or step.combine is not None
+                else "identity"
+            )
+            parts.append(
+                f"{step.name}|{step.opcode}|{','.join(srcs)}|{ctx_fp}|{combine_id}"
+            )
+        platform_id = tuple(
+            (d.name, d.device_class, d.accuracy_rank)
+            for d in runtime.platform.devices
+        )
+        identity = fingerprint_value(
+            (
+                "dag-run/v1",
+                tuple(parts),
+                platform_id,
+                runtime.scheduler.name,
+                policy,
+                runtime.config.seed,
+                fingerprint_value(runtime.config.partition),
+            )
+        )
+        return identity
+
+    def _combined_input(
+        self,
+        step: GraphStep,
+        arrays: List[np.ndarray],
+        arena: BufferArena,
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """(VOP input, arena buffer to release after the step or None)."""
+        if step.combine is not None:
+            data = np.ascontiguousarray(
+                step.combine(arrays), dtype=np.float32
+            )
+            data.setflags(write=False)
+            return data, None
+        if len(arrays) == 1:
+            return arrays[0], None
+        # Default join: stack raveled sources into (k, N) -- the layout
+        # the binary element-wise VOPs consume (operand per row).  The
+        # staging buffer comes from the shared arena so back-to-back
+        # joins of the same shape recycle one allocation.
+        n = arrays[0].size
+        for arr in arrays[1:]:
+            if arr.size != n:
+                raise InvalidInput(
+                    f"step {step.name!r}: default combine needs equal-size "
+                    f"sources, got {arrays[0].shape} vs {arr.shape}"
+                )
+        buf = arena.acquire((len(arrays), n), np.float32)
+        if not buf.flags.writeable:
+            buf.setflags(write=True)
+        for row, arr in enumerate(arrays):
+            np.copyto(buf[row], arr.reshape(-1))
+        buf.setflags(write=False)
+        return buf, buf
+
+    def _residency(
+        self,
+        step: GraphStep,
+        by_name: Dict[str, GraphStep],
+        placements: Dict[str, StepPlacement],
+    ) -> Tuple[str, ...]:
+        """Devices already holding this step's input, if any.
+
+        Residency needs an unmodified single-step input (identity
+        combine) produced by a step pinned to *one* device, consumed by
+        a step pinned to that same device: then the intermediate truly
+        never moved, and the input transfer is waived.  Multi-device
+        groups aggregate on the host, and joins rebuild their input on
+        the host, so neither qualifies.
+        """
+        if len(step.sources) != 1 or step.combine is not None:
+            return ()
+        source = step.sources[0]
+        if not isinstance(source, str):
+            return ()
+        mine = placements[step.name]
+        theirs = placements[source]
+        if (
+            mine.mode == "group"
+            and theirs.mode == "group"
+            and len(mine.devices) == 1
+            and mine.devices == theirs.devices
+        ):
+            return mine.devices
+        return ()
+
+
+# ------------------------------------------------------------------ planning
+
+
+def plan_dag(
+    graph: Graph, runtime: SHMTRuntime, policy: str
+) -> Dict[str, StepPlacement]:
+    """Decide each step's placement under one DAG policy.
+
+    Placements are a deterministic function of the graph's structure and
+    the runtime's calibrations/config -- execution order never feeds
+    back, which is what makes serial and ready runs bit-identical.
+    """
+    if policy not in DAG_POLICIES:
+        raise InvalidInput(
+            f"unknown DAG policy {policy!r}; choose from {DAG_POLICIES}"
+        )
+    devices = runtime.scheduler.participating(runtime.platform.devices)
+    all_names = tuple(d.name for d in devices)
+    steps = graph.steps
+    if policy == "step":
+        return {
+            s.name: StepPlacement(
+                mode="split",
+                devices=all_names,
+                why="intra-VOP split on every device",
+            )
+            for s in steps
+        }
+
+    sizes = _planning_sizes(graph)
+    rates = _mean_rates(graph, devices)
+    width = max(len(level) for level in graph.levels())
+    groups = _device_groups(devices, rates, width)
+    grouped = _greedy_group_assignment(graph, runtime, sizes, groups)
+    if policy == "partition":
+        return grouped
+
+    # Mixed mode (Rohlin et al.): per step, choose between intra-VOP
+    # heterogeneous split and whole-step/group placement by predicted
+    # DAG makespan.  Candidates: all-split, fully grouped, and a hybrid
+    # that groups only steps with a concurrent peer; each is costed with
+    # the same host+device composition model the ready schedule uses,
+    # fed by calibrated estimates, and the cheapest plan wins.  Steps
+    # without a concurrent peer never benefit from a group (nothing to
+    # overlap with), so the hybrid keeps them on the full split.
+    closure = graph.ancestors()
+    descendants: Dict[str, set] = {s.name: set() for s in steps}
+    for name, anc in closure.items():
+        for a in anc:
+            descendants[a].add(name)
+    split_all = {
+        s.name: StepPlacement(
+            mode="split",
+            devices=all_names,
+            why="mixed-mode: full intra-VOP split predicted fastest",
+        )
+        for s in steps
+    }
+    hybrid: Dict[str, StepPlacement] = {}
+    for s in steps:
+        has_peer = any(
+            other.name != s.name
+            and other.name not in closure[s.name]
+            and other.name not in descendants[s.name]
+            for other in steps
+        )
+        if has_peer:
+            placement = grouped[s.name]
+            hybrid[s.name] = StepPlacement(
+                mode=placement.mode,
+                devices=placement.devices,
+                why="mixed-mode: concurrent peers overlap on this group",
+            )
+        else:
+            hybrid[s.name] = StepPlacement(
+                mode="split",
+                devices=all_names,
+                why="mixed-mode: no concurrent peer, split is fastest",
+            )
+    candidates = [split_all, hybrid, grouped]
+    predicted = [
+        _predict_makespan(graph, plan, runtime, sizes, devices)
+        for plan in candidates
+    ]
+    # Ties (within 0.1%) go to the most-placed candidate: placements
+    # shed per-step planning work the predictor cannot see (group plans
+    # skip input sampling), so when the model calls it even, the
+    # grouped plan is the better bet.
+    floor = min(predicted)
+    best = max(i for i in range(len(candidates)) if predicted[i] <= floor * 1.001)
+    return candidates[best]
+
+
+def _planning_sizes(graph: Graph) -> Dict[str, Tuple[int, int]]:
+    """Per-step (input_size, output_size) estimates for the cost model.
+
+    Sizes propagate structurally: reductions emit a constant-size
+    result, vector kernels preserve the trailing axis, tile/row kernels
+    preserve the trailing image, and joins sum their source sizes.
+    Estimates only steer placement -- correctness never depends on them.
+    """
+    from repro.core.vop import kernel_for_vop
+
+    sizes: Dict[str, Tuple[int, int]] = {}
+    out_size: Dict[str, int] = {}
+    for step in graph.steps:
+        per_source = [
+            out_size[s] if isinstance(s, str) else int(np.asarray(s).size)
+            for s in step.sources
+        ]
+        in_size = max(1, int(sum(per_source)))
+        spec = kernel_for_vop(step.opcode)
+        if spec.reduces:
+            out = 256
+        elif spec.model is ParallelModel.VECTOR:
+            out = max(per_source) if len(per_source) > 1 else in_size
+        else:
+            out = in_size
+        sizes[step.name] = (in_size, int(out))
+        out_size[step.name] = int(out)
+    return sizes
+
+
+def _mean_rates(graph: Graph, devices) -> Dict[str, float]:
+    """Mean per-class device rate across the graph's kernels."""
+    from repro.core.vop import kernel_for_vop
+
+    classes = {d.device_class for d in devices}
+    specs = {kernel_for_vop(s.opcode).name: kernel_for_vop(s.opcode) for s in graph.steps}
+    rates: Dict[str, float] = {}
+    for cls in classes:
+        values = [
+            spec.calibration.device_rate(cls) for spec in specs.values()
+        ]
+        rates[cls] = float(np.mean(values)) if values else 1.0
+    return rates
+
+
+def _device_groups(devices, rates: Dict[str, float], width: int) -> List[Tuple[str, ...]]:
+    """Cut the devices into ``min(width, n)`` rate-balanced groups."""
+    n_groups = max(1, min(width, len(devices)))
+    ordered = sorted(
+        devices, key=lambda d: (-rates.get(d.device_class, 1.0), d.name)
+    )
+    totals = [0.0] * n_groups
+    members: List[List[str]] = [[] for _ in range(n_groups)]
+    for device in ordered:
+        target = min(range(n_groups), key=lambda i: (totals[i], i))
+        members[target].append(device.name)
+        totals[target] += rates.get(device.device_class, 1.0)
+    return [tuple(group) for group in members if group]
+
+
+def _rate_of(names: Sequence[str], step: GraphStep, graph: Graph, devices) -> float:
+    from repro.core.vop import kernel_for_vop
+
+    cal = kernel_for_vop(step.opcode).calibration
+    by_name = {d.name: d for d in devices}
+    return sum(
+        cal.device_rate(by_name[n].device_class) for n in names if n in by_name
+    )
+
+
+def _group_rate(names: Sequence[str], step: GraphStep, graph: Graph, devices) -> float:
+    return max(_rate_of(names, step, graph, devices), 1e-9)
+
+
+def _predict_seconds(
+    step: GraphStep,
+    sizes: Dict[str, Tuple[int, int]],
+    runtime: SHMTRuntime,
+    rate: float,
+) -> float:
+    """Calibrated step-time estimate on an aggregate ``rate``."""
+    from repro.core.vop import kernel_for_vop
+
+    cal = kernel_for_vop(step.opcode).calibration
+    in_size = sizes[step.name][0]
+    compute = cal.gpu_compute_time(in_size) / max(rate, 1e-9)
+    overhead = runtime.dispatch_overhead(
+        cal, runtime.config.partition.target_partitions, in_size
+    )
+    return compute + overhead
+
+
+def _predict_makespan(
+    graph: Graph,
+    placements: Dict[str, StepPlacement],
+    runtime: SHMTRuntime,
+    sizes: Dict[str, Tuple[int, int]],
+    devices,
+) -> float:
+    """Predicted ready-schedule makespan of one candidate placement.
+
+    Runs the same host+device composition the ready schedule uses, with
+    calibrated estimates standing in for measured step reports: the
+    host phases are the dispatch overhead halves, the device window is
+    compute at the placement's aggregate rate.
+    """
+    from repro.core.vop import kernel_for_vop
+
+    host = _HostTimeline()
+    device_free: Dict[str, float] = {}
+    finishes: Dict[str, float] = {}
+    for step in graph.steps:
+        placement = placements[step.name]
+        cal = kernel_for_vop(step.opcode).calibration
+        in_size = sizes[step.name][0]
+        overhead = runtime.dispatch_overhead(
+            cal, runtime.config.partition.target_partitions, in_size
+        )
+        rate = _group_rate(placement.devices, step, graph, devices)
+        window = cal.gpu_compute_time(in_size) / rate
+        dep_ready = max((finishes[d] for d in step.dep_names), default=0.0)
+        _, pre_end = host.claim(dep_ready, overhead / 2.0)
+        dev_start = max(
+            pre_end,
+            max(
+                (device_free.get(d, 0.0) for d in placement.devices),
+                default=0.0,
+            ),
+        )
+        dev_end = dev_start + window
+        _, finish = host.claim(dev_end, overhead / 2.0)
+        finishes[step.name] = finish
+        for d in placement.devices:
+            device_free[d] = dev_end
+    return max(finishes.values()) if finishes else 0.0
+
+
+def _greedy_group_assignment(
+    graph: Graph,
+    runtime: SHMTRuntime,
+    sizes: Dict[str, Tuple[int, int]],
+    groups: List[Tuple[str, ...]],
+) -> Dict[str, StepPlacement]:
+    """Earliest-finish greedy pass with producer-affinity (Wu et al.).
+
+    Steps are visited in topological (insertion) order; each picks the
+    group minimizing its predicted finish, except that its producer's
+    group wins ties within 10% -- chain affinity keeps intermediates
+    resident on one group and unlocks the transfer waiver.
+    """
+    devices = runtime.scheduler.participating(runtime.platform.devices)
+    group_free = [0.0] * len(groups)
+    finish: Dict[str, float] = {}
+    assigned_group: Dict[str, int] = {}
+    placements: Dict[str, StepPlacement] = {}
+    for step in graph.steps:
+        dep_ready = max((finish[d] for d in step.dep_names), default=0.0)
+        estimates = []
+        for gid, group in enumerate(groups):
+            rate = _group_rate(group, step, graph, devices)
+            t = _predict_seconds(step, sizes, runtime, rate)
+            estimates.append(max(dep_ready, group_free[gid]) + t)
+        best = min(range(len(groups)), key=lambda g: (estimates[g], g))
+        choice = best
+        deps = step.dep_names
+        if deps:
+            producer_groups = {assigned_group[d] for d in deps}
+            if len(producer_groups) == 1:
+                home = next(iter(producer_groups))
+                if estimates[home] <= estimates[best] * 1.10:
+                    choice = home
+        assigned_group[step.name] = choice
+        finish[step.name] = estimates[choice]
+        group_free[choice] = estimates[choice]
+        placements[step.name] = StepPlacement(
+            mode="group",
+            devices=groups[choice],
+            why=f"earliest-finish group {choice} (affinity-aware)",
+        )
+    return placements

@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.result import ExecutionReport
 from repro.core.runtime import SHMTRuntime
 from repro.core.vop import VOPCall
+from repro.errors import InvalidInput
 
 
 @dataclass
@@ -30,22 +31,71 @@ class Step:
 
     def __post_init__(self) -> None:
         if isinstance(self.source, str) and not self.source:
-            raise ValueError(f"step {self.name!r}: empty source reference")
+            raise InvalidInput(f"step {self.name!r}: empty source reference")
 
 
 @dataclass
 class ProgramResult:
-    """Per-step reports plus end-to-end totals."""
+    """Per-step reports plus end-to-end totals.
+
+    ``time_levels`` records which steps shared a concurrent level (one
+    singleton level per step for serial runs): within a level the steps
+    ran on one shared timeline, so the level's elapsed time is the *max*
+    of its step makespans, not their sum.  ``total_time`` is therefore
+    the per-level critical path summed across levels; the old
+    sum-of-makespans figure survives as :attr:`sum_of_step_times` (it
+    still bounds total_time from above and is the right denominator for
+    utilization-style ratios).
+    """
 
     reports: Dict[str, ExecutionReport]
     order: List[str]
+    #: Step names grouped by concurrent level (serial = one per level).
+    time_levels: Optional[List[List[str]]] = None
+    #: Platform idle draw (W), needed to integrate idle energy over the
+    #: critical path instead of over every step's window.
+    idle_watts: float = 0.0
+
+    def _levels(self) -> List[List[str]]:
+        if self.time_levels:
+            return self.time_levels
+        return [[name] for name in self.order]
 
     @property
     def total_time(self) -> float:
+        """End-to-end elapsed time: per-level critical path, summed.
+
+        In a concurrent level every step shares one engine timeline and a
+        step's makespan is its absolute finish time within the level, so
+        the level takes ``max`` -- summing the per-step makespans would
+        double-count the overlap.
+        """
+        return sum(
+            max(self.reports[name].makespan for name in level)
+            for level in self._levels()
+        )
+
+    @property
+    def sum_of_step_times(self) -> float:
+        """Sum of per-step makespans (>= total_time when levels overlap)."""
         return sum(self.reports[name].makespan for name in self.order)
 
     @property
     def total_energy(self) -> float:
+        """Active joules of every step plus idle draw over the critical path.
+
+        Per-step reports attribute idle draw over each step's own window;
+        summing those double-counts idle time wherever steps overlapped
+        in a level.  Integrate idle once over :attr:`total_time` instead.
+        """
+        active = sum(
+            self.reports[name].energy.active_joules for name in self.order
+        )
+        return active + self.idle_watts * self.total_time
+
+    @property
+    def sum_of_step_energy(self) -> float:
+        """Sum of per-step energy totals (the pre-fix figure)."""
         return sum(self.reports[name].energy.total_joules for name in self.order)
 
     def output(self, step_name: Optional[str] = None) -> np.ndarray:
@@ -59,6 +109,10 @@ class Program:
 
     def __init__(self) -> None:
         self._steps: List[Step] = []
+        #: Name-set mirror of ``_steps`` so ``add`` validates in O(1)
+        #: instead of rescanning the whole list per append (O(n^2) for a
+        #: program built step by step).
+        self._names: set = set()
 
     def add(
         self,
@@ -68,11 +122,19 @@ class Program:
         context: Any = None,
     ) -> "Program":
         """Append a step; ``source`` is an array or an earlier step's name."""
-        if any(s.name == name for s in self._steps):
-            raise ValueError(f"duplicate step name {name!r}")
-        if isinstance(source, str) and not any(s.name == source for s in self._steps):
-            raise ValueError(f"step {name!r} references unknown step {source!r}")
+        if name in self._names:
+            raise InvalidInput(f"duplicate step name {name!r}")
+        if isinstance(source, str):
+            if source == name:
+                raise InvalidInput(
+                    f"step {name!r} references itself as its source"
+                )
+            if source not in self._names:
+                raise InvalidInput(
+                    f"step {name!r} references unknown step {source!r}"
+                )
         self._steps.append(Step(name=name, opcode=opcode, source=source, context=context))
+        self._names.add(name)
         return self
 
     @property
@@ -103,11 +165,17 @@ class Program:
             report = runtime.execute(call)
             reports[step.name] = report
             outputs[step.name] = report.output
-        return ProgramResult(reports=reports, order=[s.name for s in self._steps])
+        return ProgramResult(
+            reports=reports,
+            order=[s.name for s in self._steps],
+            time_levels=[[s.name] for s in self._steps],
+            idle_watts=runtime.platform.energy_model.idle_watts,
+        )
 
     def _run_concurrent(self, runtime: SHMTRuntime) -> ProgramResult:
         reports: Dict[str, ExecutionReport] = {}
         outputs: Dict[str, np.ndarray] = {}
+        time_levels: List[List[str]] = []
         for level in self.levels():
             calls = [self._call_for(step, outputs) for step in level]
             # A level models *simulated* device sharing: its calls contend
@@ -116,11 +184,23 @@ class Program:
             # path, bypassing execute_batch's wall-clock overlap mode --
             # the overlap driver runs each call on a private timeline,
             # which would erase the contention the level measures.
+            # Pinning does *not* forfeit the exec-layer optimizations:
+            # prepare_batch().execute() shares one backend across the
+            # level, so with ``fuse=True`` same-device HLOP runs chain
+            # across the level's calls (cross-job batching) and the
+            # result cache's in-flight joins dedupe identical blocks --
+            # both covered by regression tests in tests/core.
             batch = runtime.prepare_batch(calls).execute()
             for step, report in zip(level, batch.reports):
                 reports[step.name] = report
                 outputs[step.name] = report.output
-        return ProgramResult(reports=reports, order=[s.name for s in self._steps])
+            time_levels.append([step.name for step in level])
+        return ProgramResult(
+            reports=reports,
+            order=[s.name for s in self._steps],
+            time_levels=time_levels,
+            idle_watts=runtime.platform.energy_model.idle_watts,
+        )
 
     def _call_for(self, step: Step, outputs: Dict[str, np.ndarray]) -> VOPCall:
         data = outputs[step.source] if isinstance(step.source, str) else step.source

@@ -39,6 +39,9 @@ class ExecutionReport:
     transfer_wait_seconds: float = 0.0
     device_busy_seconds: float = 0.0
     steal_count: int = 0
+    #: Input transfers skipped because the data was already resident on
+    #: the executing device (DAG inter-kernel buffer reuse).
+    transfers_waived: int = 0
     plan_notes: Dict[str, Any] = field(default_factory=dict)
     #: Faults observed (and recovery actions taken) while running this call.
     fault_events: List[FaultEvent] = field(default_factory=list)

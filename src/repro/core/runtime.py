@@ -238,6 +238,13 @@ class _CallUnit:
     dispatch_seconds: float = 0.0
     ready_time: float = 0.0
     finish_time: float = 0.0
+    #: Devices on which the call's input already resides (DAG buffer
+    #: reuse: the producing step ran pinned there, so its output never
+    #: round-tripped through the host).  HLOPs executing on one of these
+    #: devices skip the host->device input transfer; a steal or requeue
+    #: onto any other device pays the normal transfer cost.
+    resident_devices: frozenset = frozenset()
+    transfers_waived: int = 0
     #: Per device-class accounting for this call only.
     items_by_class: Dict[str, int] = field(default_factory=dict)
     busy_by_class: Dict[str, float] = field(default_factory=dict)
@@ -453,6 +460,7 @@ class SHMTRuntime:
                 f"blk1:{data_fp}:halo={halo!r}" if data_fp is not None else None
             ),
             ctx_key=ctx_key if ctx_key is not None else "",
+            resident_devices=frozenset(call.metadata.get("resident_on") or ()),
         )
         return unit, next_hlop_id + len(partitions)
 
@@ -1060,6 +1068,18 @@ class _BatchRun:
         transfer = self.runtime.platform.interconnect.transfer_time(
             unit.calibration, device.device_class, hlop.n_items
         )
+        if transfer > 0 and device.name in unit.resident_devices:
+            # Inter-kernel buffer reuse: the input was produced on this
+            # very device by the upstream DAG step, so there is no
+            # host->device movement to simulate.  Only the declared
+            # resident devices skip it -- stolen/requeued HLOPs landing
+            # elsewhere pay the full transfer.
+            transfer = 0.0
+            unit.transfers_waived += 1
+            if self.obs.enabled:
+                self.obs.count(
+                    "dag_transfers_waived_total", 1, device=device.name
+                )
         if self.runtime.scheduler.overlap_transfers:
             transfer_start = max(hlop.enqueue_time, state.transfer_free)
             transfer_done = transfer_start + transfer
@@ -1794,6 +1814,7 @@ class _BatchRun:
             transfer_wait_seconds=unit.wait_seconds,
             device_busy_seconds=unit.busy_seconds,
             steal_count=unit.steal_count,
+            transfers_waived=unit.transfers_waived,
             plan_notes=dict(unit.plan.notes),
             fault_events=[
                 e for e in self.fault_events if e.unit_id in (None, unit.index)

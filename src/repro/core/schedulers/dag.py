@@ -1,0 +1,99 @@
+"""Placement schedulers for DAG steps (see :mod:`repro.core.graph`).
+
+The DAG policies (graph-partition and mixed-mode) decide *where a whole
+step runs* -- on every device (the normal intra-VOP heterogeneous split)
+or restricted to a device-affine subset.  The restricted choice is
+expressed as a :class:`GroupScheduler`: an ordinary intra-VOP scheduler
+whose plan and steal rules only touch the named device group, so a step
+"pinned" to ``{gpu0}`` really does run whole on the GPU while its DAG
+siblings occupy the remaining devices.
+
+A group scheduler keeps the *same partition plan* as the full-platform
+schedulers (the partition config is runtime state, not scheduler state),
+so on an all-exact platform a pinned step's output is bit-identical to
+its split run: aggregation is partition-index ordered and every exact
+device computes identical float32 blocks.
+
+Fault tolerance is inherited rather than reimplemented:
+:meth:`GroupScheduler.participating` returns the *full* device list, so
+when a group member dies mid-step the engine's requeue-elsewhere path
+may migrate its HLOPs to any surviving eligible device -- the group only
+constrains planning and stealing, never recovery.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.hlop import HLOP
+from repro.core.schedulers.base import Plan, PlanContext, Scheduler
+from repro.devices.base import Device
+from repro.errors import InvalidInput
+
+
+class GroupScheduler(Scheduler):
+    """Split one VOP across a fixed device group, proportional to rate.
+
+    With a single-member group this is whole-step device placement (the
+    "pinned" mode of the mixed-mode DAG scheduler); with a larger group
+    it is an intra-VOP heterogeneous split confined to that group (one
+    device-affine partition of the graph-partition policy).
+
+    Partitions are assigned in contiguous runs, largest-remainder
+    proportional to each member's calibrated rate, so neighbouring
+    blocks stay on one device (the same locality property the static
+    HEFT plan has).  Stealing is legal only *within* the group --
+    otherwise an idle device belonging to a sibling step's group would
+    drain this step's queue and the DAG-level placement would evaporate.
+    """
+
+    overlap_transfers = True
+    charges_runtime_overhead = True
+    steals = True
+
+    def __init__(self, device_names: Sequence[str]) -> None:
+        if not device_names:
+            raise InvalidInput("GroupScheduler needs at least one device name")
+        self.group: tuple = tuple(dict.fromkeys(device_names))
+        self._members = frozenset(self.group)
+        self.name = "dag-group[" + "+".join(self.group) + "]"
+
+    def plan(self, ctx: PlanContext) -> Plan:
+        members = [d for d in ctx.devices if d.name in self._members]
+        if not members:
+            raise InvalidInput(
+                f"{self.name}: none of {sorted(self._members)} is available"
+            )
+        n = len(ctx.partitions)
+        rates = [
+            max(ctx.calibration.device_rate(d.device_class), 1e-12)
+            for d in members
+        ]
+        total_rate = sum(rates)
+        # Largest-remainder apportionment of n partitions over members.
+        shares = [n * r / total_rate for r in rates]
+        counts = [int(s) for s in shares]
+        leftover = n - sum(counts)
+        by_remainder = sorted(
+            range(len(members)),
+            key=lambda i: (shares[i] - counts[i], rates[i]),
+            reverse=True,
+        )
+        for i in by_remainder[:leftover]:
+            counts[i] += 1
+        assignment: List[str] = []
+        for device, count in zip(members, counts):
+            assignment.extend([device.name] * count)
+        return Plan(assignment=assignment, notes={"group": list(self.group)})
+
+    def can_steal(self, thief: Device, victim: Device, hlop: HLOP) -> bool:
+        del victim
+        return thief.name in self._members and hlop.allows_rank(
+            thief.accuracy_rank
+        )
+
+    def participating(self, devices: Sequence[Device]) -> List[Device]:
+        # The whole platform participates: planning and stealing stay
+        # inside the group, but fault recovery (requeue-elsewhere after a
+        # device death) may use any surviving device.
+        return list(devices)

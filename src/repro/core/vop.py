@@ -127,6 +127,24 @@ class VOPCall:
         self._data_fp = (self.data, fp)
         return fp
 
+    def seed_fingerprint(self, fp: str) -> None:
+        """Install a externally-derived fingerprint for frozen ``data``.
+
+        The DAG layer (:mod:`repro.core.graph`) knows an intermediate
+        array's provenance -- it is a pure deterministic function of the
+        graph's literal inputs, the runtime identity, and the seed -- so
+        it can key the array by that provenance instead of hashing the
+        bytes it just produced.  Only read-only data may be seeded (the
+        same mutation-safety rule as the memo in
+        :meth:`data_fingerprint`), and the caller owns the soundness
+        contract: the fingerprint must change whenever the content can.
+        """
+        if self.data.flags.writeable:
+            raise InvalidInput(
+                f"{self.opcode}: cannot seed a fingerprint on writeable data"
+            )
+        self._data_fp = (self.data, fp)
+
     def resolve_context(self) -> Any:
         """The host context for this call: explicit override or kernel default.
 

@@ -24,8 +24,13 @@ bugs single-run assertions cannot see:
   bit-identical outputs and bit-identical makespans with fusion on and
   off.  Divergence means a batched evaluation broke the
   batch-invariance contract or fusion leaked into the DES timeline.
+* :func:`check_dag_equivalence` -- every step of a DAG run executes as
+  its own single-call run, so the DAG schedule (serial vs ready-set) and
+  the DAG policy (step / partition / mixed) must never change a step's
+  bits -- per policy on the mixed platform, and across policies on the
+  all-exact platform.
 
-Both return a list of human-readable failure strings (empty = pass), so
+All return a list of human-readable failure strings (empty = pass), so
 ``scripts/verify_check.py`` can aggregate them across a sweep.
 """
 
@@ -257,6 +262,93 @@ def check_overlap_equivalence(
                     f"{where}: degraded flag {job.degraded} != sequential "
                     f"{reference.degraded}"
                 )
+    return failures
+
+
+def check_dag_equivalence(
+    side: int = 96,
+    seed: int = 7,
+    partition: Optional[PartitionConfig] = None,
+    fault_plan=None,
+    validate: bool = True,
+) -> List[str]:
+    """DAG schedules and policies must never touch step numerics.
+
+    Every step of a DAG run executes as its own single-call run with a
+    placement decided from graph structure alone, so for each policy the
+    ``serial`` and ``ready`` schedules must produce bit-identical
+    per-step outputs -- on the mixed Jetson platform included, where any
+    order leakage would surface through the EdgeTPU residual.  On the
+    all-exact platform the *policies* must agree bitwise too (placement
+    only permutes identical float32 block computations, same argument as
+    :func:`check_policy_equivalence`).  With a chaos ``fault_plan`` the
+    per-policy schedule equivalence must survive mid-DAG device death:
+    the dying step recovers by requeueing identically in both schedules.
+    """
+    from repro.core.graph import DAG_POLICIES
+    from repro.devices.platform import jetson_nano_platform
+    from repro.workloads.dag import image_pipeline_graph, solver_graph
+
+    partition = partition or PartitionConfig(target_partitions=16)
+    config = RuntimeConfig(
+        partition=partition, seed=seed, validate=validate, fault_plan=fault_plan
+    )
+    failures: List[str] = []
+    workloads = (
+        ("image-pipeline", lambda: image_pipeline_graph(side=side, seed=seed)),
+        ("solver", lambda: solver_graph(side=side, steps=3, seed=seed)),
+    )
+    tags = "+faults" if fault_plan is not None else ""
+    for workload, build in workloads:
+        exact_outputs: Dict[str, np.ndarray] = {}
+        exact_origin: Dict[str, str] = {}
+        for policy in DAG_POLICIES:
+            per_schedule = {}
+            for schedule in ("serial", "ready"):
+                runtime = SHMTRuntime(
+                    jetson_nano_platform(), make_scheduler("QAWS-TS"), config
+                )
+                per_schedule[schedule] = build().run(
+                    runtime, schedule=schedule, policy=policy
+                )
+            serial_run = per_schedule["serial"]
+            ready_run = per_schedule["ready"]
+            for name in serial_run.order:
+                a = serial_run.reports[name].output
+                b = ready_run.reports[name].output
+                if not np.array_equal(a, b):
+                    diverging = int(np.count_nonzero(a != b))
+                    failures.append(
+                        f"{workload}/{policy}{tags}: step {name!r}: {diverging} "
+                        f"of {a.size} elements differ between serial and "
+                        "ready-set execution (schedule leaked into numerics)"
+                    )
+            if fault_plan is not None:
+                continue
+            # Cross-policy comparison needs exact devices: DAG policies
+            # place steps on different device subsets, which on the
+            # mixed platform legitimately shifts the approximate path.
+            for schedule in ("serial", "ready"):
+                runtime = SHMTRuntime(
+                    exact_platform(), make_scheduler("work-stealing"), config
+                )
+                result = build().run(runtime, schedule=schedule, policy=policy)
+                for name in result.order:
+                    output = result.reports[name].output
+                    origin = f"{policy}/{schedule}"
+                    if name not in exact_outputs:
+                        exact_outputs[name] = output
+                        exact_origin[name] = origin
+                    elif not np.array_equal(output, exact_outputs[name]):
+                        diverging = int(
+                            np.count_nonzero(output != exact_outputs[name])
+                        )
+                        failures.append(
+                            f"{workload}/{origin}: step {name!r}: {diverging} "
+                            f"of {output.size} elements differ from "
+                            f"{exact_origin[name]} on the all-exact platform "
+                            "(policies must be bit-identical there)"
+                        )
     return failures
 
 

@@ -1,0 +1,95 @@
+"""Concrete DAG workloads for the graph layer (:mod:`repro.core.graph`).
+
+Two shapes the single-VOP benchmarks cannot express:
+
+* :func:`image_pipeline_graph` -- a wide image pipeline: Sobel edges are
+  mean-filtered while an independent Laplacian sharpening branch runs
+  beside them; a two-input **blend join** adds the branches element-wise
+  and a 256-bin histogram reduces the blend.  The branches are uneven
+  (two steps vs one), so ready-set execution genuinely overlaps work a
+  levelized barrier would serialize.
+* :func:`solver_graph` -- the Hotspot iterative solver of
+  :mod:`repro.core.iterative`, unrolled into an explicit chain: every
+  step's temperature output rejoins the fixed power map (a two-input
+  step with a custom combine) to form the next step's input.  A pure
+  chain has no concurrency, which is exactly the case where mixed-mode
+  scheduling should fall back to whole-platform splits.
+
+Both are deterministic in (side, seed), like every generator in
+:mod:`repro.workloads.generator`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.graph import Graph
+from repro.errors import InvalidInput
+from repro.workloads.generator import heterogeneous_field
+
+
+def _hotspot_restack(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """(temperature, power) -> the next Hotspot input stack."""
+    return np.stack([np.asarray(arrays[0]), np.asarray(arrays[1])])
+
+
+#: Stable identity so provenance-derived fingerprints stay sound.
+_hotspot_restack.dag_combine_id = "hotspot-restack/v1"
+
+
+def image_pipeline_graph(side: int = 512, seed: int = 0) -> Graph:
+    """Sobel -> mean-filter alongside Laplacian, blended, then histogram."""
+    rng = np.random.default_rng(seed)
+    img = heterogeneous_field((side, side), rng)
+    graph = Graph()
+    graph.add("edges", "Sobel", img)
+    graph.add("smooth", "Mean_Filter", "edges")
+    graph.add("sharp", "Laplacian", img)
+    graph.add("blend", "add", ("smooth", "sharp"))
+    graph.add("hist", "reduce_hist256", "blend")
+    return graph
+
+
+def solver_graph(side: int = 256, steps: int = 4, seed: int = 0) -> Graph:
+    """The Hotspot time-stepping loop unrolled into an explicit DAG chain."""
+    if steps < 1:
+        raise InvalidInput("solver_graph needs at least one step")
+    rng = np.random.default_rng(seed)
+    temperature = heterogeneous_field((side, side), rng, base_scale=1.0)
+    power = np.abs(heterogeneous_field((side, side), rng, base_scale=0.1))
+    graph = Graph()
+    graph.add("step0", "parabolic_PDE", np.stack([temperature, power]))
+    for k in range(1, steps):
+        graph.add(
+            f"step{k}",
+            "parabolic_PDE",
+            (f"step{k - 1}", power),
+            combine=_hotspot_restack,
+        )
+    return graph
+
+
+DAG_WORKLOADS = {
+    "image-pipeline": image_pipeline_graph,
+    "solver": solver_graph,
+}
+
+
+def dag_workload_names() -> List[str]:
+    return sorted(DAG_WORKLOADS)
+
+
+def make_dag_workload(name: str, side: Optional[int] = None, seed: int = 0) -> Graph:
+    """Build a named DAG workload (see :data:`DAG_WORKLOADS`)."""
+    try:
+        builder = DAG_WORKLOADS[name]
+    except KeyError:
+        raise InvalidInput(
+            f"unknown DAG workload {name!r}; known: {dag_workload_names()}"
+        ) from None
+    kwargs = {"seed": seed}
+    if side is not None:
+        kwargs["side"] = side
+    return builder(**kwargs)

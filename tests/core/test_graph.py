@@ -1,0 +1,299 @@
+"""Unit tests for the VOP dependency-DAG layer (repro.core.graph)."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import (
+    DAG_POLICIES,
+    Graph,
+    GroupScheduler,
+    _HostTimeline,
+    plan_dag,
+)
+from repro.core.iterative import run_iterative
+from repro.core.partition import PartitionConfig
+from repro.core.runtime import RuntimeConfig, SHMTRuntime
+from repro.core.schedulers.base import make_scheduler
+from repro.devices.cpu import CPUDevice
+from repro.devices.gpu import GPUDevice
+from repro.devices.platform import Platform, jetson_nano_platform
+from repro.errors import InvalidInput
+from repro.exec.fuse import BufferArena
+from repro.workloads.dag import image_pipeline_graph, solver_graph
+
+
+@pytest.fixture
+def config():
+    return RuntimeConfig(
+        partition=PartitionConfig(target_partitions=8), seed=11
+    )
+
+
+@pytest.fixture
+def runtime(config):
+    return SHMTRuntime(
+        jetson_nano_platform(), make_scheduler("QAWS-TS"), config
+    )
+
+
+def exact_runtime(config):
+    platform = Platform(
+        devices=[CPUDevice("cpu0"), GPUDevice("gpu0"), GPUDevice("gpu1")]
+    )
+    return SHMTRuntime(platform, make_scheduler("work-stealing"), config)
+
+
+# ------------------------------------------------------------- construction
+
+
+def test_duplicate_step_rejected():
+    graph = Graph().add("a", "Sobel", np.zeros((32, 32)))
+    with pytest.raises(InvalidInput) as info:
+        graph.add("a", "Sobel", np.zeros((32, 32)))
+    assert info.value.code == "INVALID_INPUT"
+
+
+def test_self_reference_rejected():
+    graph = Graph()
+    with pytest.raises(InvalidInput, match="references itself"):
+        graph.add("a", "Sobel", "a")
+
+
+def test_unknown_reference_rejected():
+    with pytest.raises(InvalidInput, match="unknown step"):
+        Graph().add("a", "Sobel", "missing")
+
+
+def test_empty_and_bad_sources_rejected():
+    with pytest.raises(InvalidInput, match="no sources"):
+        Graph().add("a", "Sobel", ())
+    with pytest.raises(InvalidInput, match="empty source"):
+        Graph().add("a", "Sobel", "")
+    with pytest.raises(InvalidInput, match="arrays or step names"):
+        Graph().add("a", "Sobel", [3.0])
+
+
+def test_levels_and_ancestors():
+    graph = image_pipeline_graph(side=32)
+    names = [sorted(s.name for s in level) for level in graph.levels()]
+    assert names == [["edges", "sharp"], ["smooth"], ["blend"], ["hist"]]
+    anc = graph.ancestors()
+    assert anc["hist"] == {"blend", "smooth", "sharp", "edges"}
+    assert anc["edges"] == set()
+
+
+def test_empty_graph_rejected(runtime):
+    with pytest.raises(InvalidInput, match="no steps"):
+        Graph().run(runtime)
+
+
+def test_unknown_schedule_and_policy_rejected(runtime):
+    graph = Graph().add("a", "Sobel", np.zeros((32, 32)))
+    with pytest.raises(InvalidInput, match="unknown DAG schedule"):
+        graph.run(runtime, schedule="warp")
+    with pytest.raises(InvalidInput, match="unknown DAG policy"):
+        graph.run(runtime, policy="oracle")
+
+
+# --------------------------------------------------------------- execution
+
+
+@pytest.mark.parametrize("policy", DAG_POLICIES)
+def test_serial_and_ready_schedules_bit_identical(runtime, policy):
+    """The schedule composes timing only; step numerics never move."""
+    graph = image_pipeline_graph(side=64, seed=3)
+    serial = graph.run(runtime, schedule="serial", policy=policy)
+    ready = graph.run(runtime, schedule="ready", policy=policy)
+    assert serial.order == ready.order
+    for name in serial.order:
+        assert np.array_equal(serial.output(name), ready.output(name)), name
+
+
+def test_ready_never_slower_and_bounded_by_sum(runtime):
+    graph = image_pipeline_graph(side=96, seed=5)
+    serial = graph.run(runtime, schedule="serial", policy="step")
+    ready = graph.run(runtime, schedule="ready", policy="step")
+    assert ready.total_time <= serial.total_time + 1e-12
+    assert ready.total_time <= ready.sum_of_step_times + 1e-12
+    assert serial.total_time == pytest.approx(serial.sum_of_step_times)
+
+
+def test_two_input_blend_join_matches_numpy(runtime):
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((48, 48)).astype(np.float32)
+    b = rng.standard_normal((48, 48)).astype(np.float32)
+    graph = (
+        Graph()
+        .add("left", "Mean_Filter", a)
+        .add("right", "Laplacian", b)
+        .add("blend", "add", ("left", "right"))
+    )
+    result = graph.run(exact_runtime(runtime.config))
+    expected = (
+        result.output("left").reshape(-1) + result.output("right").reshape(-1)
+    )
+    np.testing.assert_array_equal(result.output("blend"), expected)
+
+
+def test_solver_graph_matches_run_iterative(config):
+    """The unrolled DAG chain is the iterative solver, bit for bit."""
+    side, steps, seed = 48, 3, 9
+    graph = solver_graph(side=side, steps=steps, seed=seed)
+    dag = graph.run(exact_runtime(config), schedule="ready", policy="step")
+
+    rng = np.random.default_rng(seed)
+    from repro.workloads.generator import heterogeneous_field
+
+    temperature = heterogeneous_field((side, side), rng, base_scale=1.0)
+    power = np.abs(heterogeneous_field((side, side), rng, base_scale=0.1))
+    iterative = run_iterative(
+        exact_runtime(config),
+        "parabolic_PDE",
+        np.stack([temperature, power]),
+        steps=steps,
+    )
+    np.testing.assert_array_equal(dag.output(f"step{steps - 1}"), iterative.final)
+
+
+def test_graph_timeline_accounting(runtime):
+    result = image_pipeline_graph(side=64).run(runtime, schedule="ready")
+    assert result.total_time == pytest.approx(max(result.finishes.values()))
+    assert result.total_time > 0
+    assert result.total_energy > 0
+    for name in result.order:
+        assert result.starts[name] <= result.finishes[name]
+    # Dependencies are respected on the composed timeline.
+    assert result.finishes["edges"] <= result.starts["smooth"] + 1e-12
+    path = result.critical_path()
+    assert path[-1] == max(result.order, key=lambda n: result.finishes[n])
+
+
+def test_derived_fingerprints_and_arena_staging(runtime):
+    arena = BufferArena()
+    graph = image_pipeline_graph(side=64, seed=2)
+    result = graph.run(runtime, arena=arena)
+    # Every single-source intermediate consumer gets a provenance key
+    # (smooth, hist) plus frozen literal inputs (edges, sharp); only the
+    # arena-staged blend join re-hashes.
+    assert result.fingerprints_derived >= 4
+    assert result.arena_acquires == 1  # the blend join's (2, N) buffer
+    assert arena.as_dict()["pooled_buffers"] >= 1  # released after the step
+    # Same-shape staging on a second run recycles the released buffer.
+    again = graph.run(runtime, arena=arena)
+    assert again.arena_acquires == 1
+    assert arena.as_dict()["reuses"] >= 1
+
+
+def test_fault_plan_disables_fingerprint_derivation(config):
+    from repro.faults.plan import DeviceDeath, FaultPlan
+
+    plan = FaultPlan(deaths=(DeviceDeath("gpu0", at_time=1e-3),))
+    chaos = RuntimeConfig(
+        partition=config.partition, seed=config.seed, fault_plan=plan
+    )
+    result = image_pipeline_graph(side=48).run(exact_runtime(chaos))
+    assert result.fingerprints_derived == 0
+
+
+def test_anonymous_combine_disables_fingerprint_derivation(runtime):
+    graph = (
+        Graph()
+        .add("a", "Sobel", np.zeros((32, 32), dtype=np.float32))
+        .add("b", "Mean_Filter", "a", combine=lambda arrays: arrays[0])
+    )
+    result = graph.run(runtime)
+    assert result.fingerprints_derived == 0
+
+
+# --------------------------------------------------------------- placement
+
+
+def test_plan_dag_step_policy_splits_everywhere(runtime):
+    graph = image_pipeline_graph(side=32)
+    placements = plan_dag(graph, runtime, "step")
+    names = tuple(d.name for d in runtime.platform.devices)
+    for placement in placements.values():
+        assert placement.mode == "split"
+        assert placement.devices == names
+
+
+def test_partition_policy_groups_are_disjoint_and_cover_steps(runtime):
+    graph = image_pipeline_graph(side=32)
+    placements = plan_dag(graph, runtime, "partition")
+    assert set(placements) == {s.name for s in graph.steps}
+    for placement in placements.values():
+        assert placement.mode == "group"
+        assert placement.devices  # never empty
+
+
+def test_mixed_policy_prefers_split_for_pure_chain(config):
+    """A chain has nothing to overlap, so mixed must not pin steps --
+    except when grouping is predicted no slower (it sheds sampling)."""
+    graph = solver_graph(side=32, steps=3)
+    runtime = exact_runtime(config)
+    placements = plan_dag(graph, runtime, "mixed")
+    assert set(placements) == {s.name for s in graph.steps}
+
+
+def test_residency_waives_transfers_for_pinned_chain(config):
+    """A chain pinned to one single-device group keeps its intermediate
+    resident: the consumer's input transfer is waived."""
+    rng = np.random.default_rng(4)
+    img = rng.standard_normal((96, 96)).astype(np.float32)
+    graph = (
+        Graph()
+        .add("a1", "Mean_Filter", img)
+        .add("a2", "Sobel", "a1")
+        .add("b1", "Laplacian", img)
+        .add("b2", "Mean_Filter", "b1")
+    )
+    runtime = exact_runtime(config)
+    placements = plan_dag(graph, runtime, "partition")
+    chained = [
+        name
+        for prev, name in (("a1", "a2"), ("b1", "b2"))
+        if len(placements[name].devices) == 1
+        and placements[name].devices == placements[prev].devices
+    ]
+    assert chained, f"expected a pinned chain, got {placements}"
+    result = graph.run(runtime, policy="partition")
+    assert result.transfers_waived > 0
+    for name in chained:
+        assert result.reports[name].transfers_waived > 0
+    # Waiving the transfer must not change the numerics.
+    split = graph.run(runtime, policy="step")
+    for name in result.order:
+        np.testing.assert_array_equal(result.output(name), split.output(name))
+
+
+def test_group_scheduler_plans_only_group_members(config):
+    from repro.core.vop import VOPCall
+
+    runtime = exact_runtime(config)
+    pinned = SHMTRuntime(runtime.platform, GroupScheduler(["gpu0"]), config)
+    report = pinned.execute(
+        VOPCall("Sobel", np.zeros((64, 64), dtype=np.float32))
+    )
+    assert report.plan_notes.get("group") == ["gpu0"]
+    compute_devices = {
+        s.resource for s in report.trace.spans if s.category == "compute"
+    }
+    assert "gpu0" in compute_devices
+    assert not ({"gpu1", "cpu0"} & compute_devices)
+
+
+def test_group_scheduler_rejects_empty_group():
+    with pytest.raises(InvalidInput):
+        GroupScheduler([])
+
+
+def test_host_timeline_fills_gaps():
+    host = _HostTimeline()
+    assert host.claim(0.0, 10.0) == (0.0, 10.0)
+    assert host.claim(20.0, 5.0) == (20.0, 25.0)
+    # A later claim that fits in the [10, 20] gap books it.
+    assert host.claim(0.0, 8.0) == (10.0, 18.0)
+    # One that does not fit goes after the last interval.
+    assert host.claim(0.0, 4.0) == (25.0, 29.0)
+    # Zero-duration claims never book anything.
+    assert host.claim(1.0, 0.0) == (1.0, 1.0)

@@ -104,6 +104,86 @@ def test_concurrent_run_matches_serial_quality(rng, runtime):
         assert err < 0.5
 
 
+def test_invalid_step_wiring_raises_stable_codes():
+    from repro.errors import InvalidInput
+
+    program = Program().add("a", "Sobel", np.zeros((32, 32)))
+    with pytest.raises(InvalidInput) as dup:
+        program.add("a", "Sobel", np.zeros((32, 32)))
+    assert dup.value.code == "INVALID_INPUT"
+    with pytest.raises(InvalidInput, match="references itself"):
+        program.add("b", "Sobel", "b")
+    with pytest.raises(InvalidInput, match="unknown step"):
+        program.add("c", "Sobel", "missing")
+
+
+def test_concurrent_total_time_is_per_level_critical_path(rng, runtime):
+    """Regression: a 2-wide level used to have its step makespans *summed*
+    into total_time, double-counting the overlap the level measures."""
+    image = (128 + 8 * rng.standard_normal((128, 128))).astype(np.float32)
+    program = (
+        Program()
+        .add("smooth", "Mean_Filter", image)
+        .add("edges", "Sobel", image)
+        .add("coeffs", "DCT8x8", "smooth")
+    )
+    result = program.run(runtime, concurrent=True)
+    level0 = max(result.reports["smooth"].makespan, result.reports["edges"].makespan)
+    level1 = result.reports["coeffs"].makespan
+    assert result.time_levels == [["smooth", "edges"], ["coeffs"]]
+    assert result.total_time == pytest.approx(level0 + level1)
+    assert result.sum_of_step_times == pytest.approx(
+        sum(result.reports[n].makespan for n in result.order)
+    )
+    assert result.total_time < result.sum_of_step_times
+    # Energy: active joules summed, idle integrated once over the
+    # critical path (not once per overlapping step).
+    active = sum(result.reports[n].energy.active_joules for n in result.order)
+    idle_watts = runtime.platform.energy_model.idle_watts
+    assert result.total_energy == pytest.approx(
+        active + idle_watts * result.total_time
+    )
+    assert result.total_energy < result.sum_of_step_energy
+
+
+def test_serial_total_time_unchanged(rng, runtime):
+    image = (128 + rng.standard_normal((96, 96))).astype(np.float32)
+    program = Program().add("a", "Sobel", image).add("b", "Laplacian", "a")
+    result = program.run(runtime)
+    assert result.total_time == pytest.approx(result.sum_of_step_times)
+
+
+def test_concurrent_level_still_fuses_across_steps(rng):
+    """Audit regression: pinning the shared-engine batch path must not
+    forfeit the fusion pass -- same-kernel steps in one level chain."""
+    from repro.exec.fuse import fuse_stats, reset_fuse_stats
+
+    runtime = SHMTRuntime(
+        jetson_nano_platform(),
+        make_scheduler("work-stealing"),
+        RuntimeConfig(
+            partition=PartitionConfig(target_partitions=8, page_bytes=1024),
+            fuse=True,
+            observe=True,
+        ),
+    )
+    image = (128 + 8 * rng.standard_normal((128, 128))).astype(np.float32)
+    other = (64 + 8 * rng.standard_normal((128, 128))).astype(np.float32)
+    program = (
+        Program()
+        .add("left", "Sobel", image)
+        .add("right", "Sobel", other)
+    )
+    reset_fuse_stats()
+    before = fuse_stats().as_dict()["chains_formed"]
+    result = program.run(runtime, concurrent=True)
+    assert fuse_stats().as_dict()["chains_formed"] > before
+    report = result.reports["left"]
+    assert report.metrics is not None
+    assert report.metrics.counter_total("fuse_chains_formed_total") > 0
+    assert report.metrics.counter_total("fuse_hlops_elided_total") > 0
+
+
 def test_concurrent_run_is_faster_with_parallel_branches(rng, runtime):
     image = (128 + 8 * rng.standard_normal((512, 512))).astype(np.float32)
     program = (
