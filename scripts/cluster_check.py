@@ -22,6 +22,13 @@ router exists to absorb, auditing the accounting afterwards:
   decision), evict and migrate its backlog, place nothing on it while
   degraded, and restore it (a ``restore`` decision) once the breaker's
   cooldown lets the device recover.
+* **Stage D -- churn + chaos soak**: the same trace runs calm, then over
+  a seeded lossy transport (drop/duplicate/reorder on every link), then
+  through a full membership soak under that chaos -- two joins, one
+  graceful leave, one kill -9.  Every run must finish every job exactly
+  once with fingerprints bit-identical to the calm run, the chaos-only
+  run must resolve purely through protocol resends (zero crashes), and
+  the cross-journal audit must stay clean across every generation.
 
 Run::
 
@@ -43,6 +50,7 @@ import time
 from collections import Counter
 
 from repro.cluster import (
+    ChaosConfig,
     ClusterConfig,
     ClusterRouter,
     ShardSpec,
@@ -308,6 +316,164 @@ def stage_breaker(artifacts: str, quick: bool) -> None:
     )
 
 
+def audit_exactly_once(journal_dir: str, done_jobs: list) -> None:
+    """Cross-journal audit: every done job committed `done` in exactly
+    one shard journal across *every* generation ever spawned."""
+    done_records: Counter = Counter()
+    for name in sorted(os.listdir(journal_dir)):
+        state = load_checkpoint(os.path.join(journal_dir, name))
+        for job_id, journal in state.jobs.items():
+            if journal.state == "done":
+                done_records[job_id] += 1
+    duplicated = sorted(j for j, c in done_records.items() if c > 1)
+    check(
+        not duplicated,
+        f"no job committed `done` in two journals (duplicates: {duplicated})",
+    )
+    missing = sorted(
+        j.job_id for j in done_jobs if done_records.get(j.job_id, 0) == 0
+    )
+    check(
+        not missing,
+        f"every done job has a journal commit (missing: {missing})",
+    )
+
+
+def stage_churn(artifacts: str, quick: bool) -> None:
+    """Stage D: seeded churn + chaos soak.
+
+    One trace, three runs:
+
+    1. a **calm** run (no churn, no chaos) pins the reference
+       fingerprints;
+    2. a **chaos-only** run (drop + duplicate + reorder on every link, no
+       crashes) must resolve every job through resends alone;
+    3. a **churn soak** under the same chaos: two shards join the running
+       ring, one leaves gracefully, one is SIGKILLed mid-flight -- and
+       the cluster must still finish every job exactly once, bit-identical
+       to the calm run, with a clean cross-journal audit.
+    """
+    n = 40 if quick else 120
+    print(f"stage D: churn + chaos soak ({n} jobs)")
+    trace = generate_trace(TraceConfig(jobs=n, tenants=4, seed=41, size=32 * 32))
+    chaos = ChaosConfig(seed=41, drop=0.08, duplicate=0.08, delay=0.08)
+
+    def build(tag: str, with_chaos: bool) -> ClusterRouter:
+        return ClusterRouter(
+            ClusterConfig(
+                journal_dir=os.path.join(artifacts, tag),
+                shards=3,
+                shard=ShardSpec(
+                    workers=1,
+                    admission=AdmissionConfig(capacity=512, policy="block"),
+                ),
+                chaos=chaos if with_chaos else None,
+            )
+        ).start()
+
+    # 1. Calm reference.
+    router = build("journals_churn_calm", with_chaos=False)
+    replay(router.submit, trace)
+    calm = wait_all(router)
+    router.stop()
+    dump_rollup(router, artifacts, "churn_calm")
+    calm_states = Counter(j.state.value for j in calm)
+    check(
+        calm_states.get("done", 0) == n,
+        f"calm reference completed everything ({dict(calm_states)})",
+    )
+    ref_fp = {j.job_id: j.fingerprint for j in calm}
+
+    # 2. Chaos-only: a faulty transport, but nobody dies.
+    router = build("journals_churn_chaos", with_chaos=True)
+    replay(router.submit, trace)
+    jobs = wait_all(router)
+    router.stop()
+    dump_rollup(router, artifacts, "churn_chaos")
+    states = Counter(j.state.value for j in jobs)
+    check(
+        states.get("done", 0) == n,
+        f"chaos-only run resolved every job ({dict(states)})",
+    )
+    check(
+        router.metrics.total("cluster_shard_crashes_total") == 0,
+        "chaos alone crashed nothing (the protocol absorbed the faults)",
+    )
+    resent = router.metrics.total("transport_resent_total")
+    dropped = router.metrics.total("transport_dropped_total")
+    check(
+        resent > 0,
+        f"the faulty transport forced resends (dropped={dropped:g}, "
+        f"resent={resent:g})",
+    )
+    fp = {j.job_id: j.fingerprint for j in jobs}
+    mismatched = [j for j in ref_fp if fp.get(j) != ref_fp[j]]
+    check(
+        not mismatched,
+        f"chaos-only fingerprints bit-identical to calm "
+        f"({n - len(mismatched)}/{n})",
+    )
+
+    # 3. The soak: churn the membership while chaos eats the wires.
+    router = build("journals_churn_soak", with_chaos=True)
+    replay(router.submit, trace)
+    joined_a = router.add_shard()
+    joined_b = router.add_shard()
+    router.remove_shard("shard-2", drain=True, timeout=120.0)
+    live = [s for s, st in router.shard_states().items() if st == "live"]
+    counts = router.assigned_counts()
+    victim = max(live, key=lambda name: counts.get(name, 0))
+    pid = router.shard_pid(victim)
+    os.kill(pid, signal.SIGKILL)
+    print(
+        f"  joined {joined_a}+{joined_b}, drained shard-2, "
+        f"killed {victim} (pid {pid})"
+    )
+    jobs = wait_all(router)
+    drift = router.rebalance()
+    router.stop()
+    dump_rollup(router, artifacts, "churn_soak")
+
+    states = Counter(j.state.value for j in jobs)
+    check(
+        states.get("done", 0) == n,
+        f"soak finished every job exactly once ({dict(states)})",
+    )
+    check(
+        router.metrics.total("cluster_reshard_joins_total") >= 2,
+        "two shards joined the running ring",
+    )
+    check(
+        len(router.metrics.decisions("leave")) >= 1
+        and len(router.metrics.decisions("retire")) >= 1,
+        "one shard left gracefully and was retired",
+    )
+    check(
+        router.metrics.total("cluster_shard_crashes_total") >= 1,
+        "the SIGKILLed shard was declared dead and recovered",
+    )
+    check(
+        drift["drifted"] <= drift["jobs"],
+        f"rebalance audit ran (drift {drift['drifted']}/{drift['jobs']})",
+    )
+    fp = {j.job_id: j.fingerprint for j in jobs}
+    mismatched = [j for j in ref_fp if fp.get(j) != ref_fp[j]]
+    check(
+        not mismatched,
+        f"soak fingerprints bit-identical to calm ({n - len(mismatched)}/{n})",
+    )
+    audit_exactly_once(
+        os.path.join(artifacts, "journals_churn_soak"),
+        [j for j in jobs if j.state is JobState.DONE],
+    )
+    records = router.metrics.records({"stage": "churn_soak"})
+    try:
+        validate_records(records)
+        check(True, f"soak rollup validates as repro.obs/v1 ({len(records)} records)")
+    except Exception as error:  # noqa: BLE001 - audit boundary
+        check(False, f"soak rollup failed schema validation: {error}")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -328,6 +494,7 @@ def main() -> int:
     stage_overload(artifacts, args.quick)
     stage_kill(artifacts, args.quick)
     stage_breaker(artifacts, args.quick)
+    stage_churn(artifacts, args.quick)
     elapsed = time.monotonic() - started
 
     print(f"\ncluster drill finished in {elapsed:.1f} s")

@@ -315,6 +315,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     import time
 
     from repro.cluster import (
+        ChaosConfig,
         ClusterConfig,
         ClusterRouter,
         ShardSpec,
@@ -325,10 +326,23 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     from repro.serve import AdmissionConfig
 
     journal_dir = args.journal_dir or tempfile.mkdtemp(prefix="repro-cluster-")
+    chaos = None
+    if args.chaos:
+        if not 0.0 <= args.chaos < 1.0:
+            return _usage_error(
+                "--chaos", f"must be a probability in [0, 1), got {args.chaos}"
+            )
+        chaos = ChaosConfig(
+            seed=args.seed,
+            drop=args.chaos,
+            duplicate=args.chaos,
+            delay=args.chaos,
+        )
     config = ClusterConfig(
         journal_dir=journal_dir,
         shards=args.shards,
         tenant_spread=args.spread,
+        chaos=chaos,
         shard=ShardSpec(
             workers=args.workers,
             admission=AdmissionConfig(
@@ -350,6 +364,13 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     router = ClusterRouter(config).start()
     start = time.monotonic()
     stats = replay(router.submit, trace, time_scale=args.time_scale)
+    if args.churn:
+        joined = router.add_shard()
+        print(f"churn     : {joined} joined the running ring")
+        leaver = f"shard-{args.shards - 1}" if args.shards > 1 else joined
+        router.remove_shard(leaver, drain=True, timeout=120.0)
+        print(f"churn     : {leaver} left gracefully "
+              f"(states now {router.shard_states()})")
     if args.kill_shard:
         pid = router.shard_pid(args.kill_shard)
         if pid is None:
@@ -379,6 +400,13 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     print(f"crashes   : {router.metrics.total('cluster_shard_crashes_total'):g} "
           f"(restarts {router.metrics.total('cluster_shard_restarts_total'):g}, "
           f"recovered {router.metrics.total('cluster_jobs_recovered_total'):g})")
+    if args.churn or args.chaos:
+        print(f"membership: joins {router.metrics.total('cluster_reshard_joins_total'):g}, "
+              f"leaves {router.metrics.total('cluster_reshard_leaves_total'):g}, "
+              f"handed off {router.metrics.total('cluster_reshard_handoff_total'):g}")
+        print(f"transport : dropped {router.metrics.total('transport_dropped_total'):g}, "
+              f"duped {router.metrics.total('transport_duped_total'):g}, "
+              f"resent {router.metrics.total('transport_resent_total'):g}")
     print(f"elapsed   : {elapsed:.2f} s wall")
     if args.metrics:
         router.metrics.write_jsonl(
@@ -618,6 +646,20 @@ def main(argv=None) -> int:
         metavar="K",
         help="jobs one shard worker drives concurrently through the "
         "overlap driver (default: 1)",
+    )
+    cluster_parser.add_argument(
+        "--churn",
+        action="store_true",
+        help="exercise elastic membership mid-run: one shard joins the "
+        "running ring, one leaves gracefully",
+    )
+    cluster_parser.add_argument(
+        "--chaos",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="seeded transport chaos: drop/duplicate/delay each message "
+        "with probability P (default: 0 = faithful transport)",
     )
     cluster_parser.set_defaults(handler=_cmd_cluster)
 

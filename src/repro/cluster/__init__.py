@@ -5,11 +5,26 @@ shards behind a :class:`ClusterRouter`: consistent-hash job placement with
 per-tenant spread (:mod:`repro.cluster.hashring`), heartbeat supervision
 with deadlines, crash recovery from per-shard checkpoint journals, and
 cross-shard work migration when a shard dies or its circuit breakers
-force-open.  An open-loop load generator (:mod:`repro.cluster.loadgen`)
+force-open.  Membership is *elastic*: shards join and leave a running
+cluster with minimal key handoff (:meth:`ClusterRouter.add_shard` /
+:meth:`ClusterRouter.remove_shard`), and the router<->shard protocol is
+idempotent over a lossy transport (:mod:`repro.cluster.transport`) --
+seeded chaos (drop/duplicate/delay) changes when messages arrive, never
+what the cluster computes.  A router checkpoint journal
+(:mod:`repro.cluster.checkpoint`) lets a cold standby
+:meth:`ClusterRouter.resume` the whole fleet without re-running finished
+work.  An open-loop load generator (:mod:`repro.cluster.loadgen`)
 replays heavy-tailed multi-tenant arrival traces to prove admission
 control and backpressure hold at cluster scale.  See ``docs/cluster.md``.
 """
 
+from repro.cluster.checkpoint import (
+    MemberRecord,
+    PlacementRecord,
+    RouterCheckpoint,
+    RouterState,
+    load_router_checkpoint,
+)
 from repro.cluster.hashring import HashRing, stable_hash
 from repro.cluster.loadgen import (
     Arrival,
@@ -21,18 +36,33 @@ from repro.cluster.loadgen import (
 from repro.cluster.rollup import ClusterMetrics
 from repro.cluster.router import ClusterConfig, ClusterJob, ClusterRouter
 from repro.cluster.shard import ShardSpec
+from repro.cluster.transport import (
+    ChaosConfig,
+    ReliableOutbox,
+    Transport,
+    TransportStats,
+)
 
 __all__ = [
     "Arrival",
+    "ChaosConfig",
     "ClusterConfig",
     "ClusterJob",
     "ClusterMetrics",
     "ClusterRouter",
     "HashRing",
+    "MemberRecord",
+    "PlacementRecord",
+    "ReliableOutbox",
     "ReplayStats",
+    "RouterCheckpoint",
+    "RouterState",
     "ShardSpec",
     "TraceConfig",
+    "Transport",
+    "TransportStats",
     "generate_trace",
+    "load_router_checkpoint",
     "replay",
     "stable_hash",
 ]

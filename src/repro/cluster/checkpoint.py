@@ -1,0 +1,267 @@
+"""Router checkpoint journal (format ``repro.cluster/v1``) for standby HA.
+
+The per-shard journals (:mod:`repro.serve.checkpoint`) make each shard's
+*work* crash-safe; this journal makes the *router's view* crash-safe:
+which shard slots exist (name, slot, generation, pid, journal path),
+where every job was placed, and which jobs resolved with what state.
+
+A cold standby runs :meth:`ClusterRouter.resume`, which replays this
+journal and takes over:
+
+1. **fence** every recorded live shard pid (``SIGKILL`` -- the standby
+   cannot prove the old router is gone, so it makes its shards be gone);
+2. **adopt** finished work: jobs with a ``resolve`` record here, or a
+   terminal ``job-end`` in their shard's journal, are settled from the
+   records and never re-run;
+3. **migrate** interrupted jobs with their journaled blocked set + HLOP
+   results, queued jobs fresh -- the same fence->adopt->migrate path a
+   single shard crash takes, applied to the whole fleet;
+4. **restart** every membership slot at ``generation + 1`` with a fresh
+   shard journal.
+
+Same durability discipline as the serve journal: append-only JSONL,
+flush + fsync per record, torn final line tolerated and dropped, and a
+non-empty file whose first line is not a ``repro.cluster/v1`` meta record
+is refused rather than extended.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import CheckpointCorrupt, CheckpointUnavailable
+from repro.serve.job import JobSpec
+
+FORMAT = "repro.cluster/v1"
+
+#: Membership events a ``member`` record may carry.
+MEMBER_EVENTS = ("spawn", "retire", "dead")
+
+
+@dataclass
+class MemberRecord:
+    """The latest known state of one shard slot."""
+
+    name: str
+    slot: int
+    generation: int
+    journal_path: str
+    pid: Optional[int] = None
+    event: str = "spawn"
+
+    @property
+    def live(self) -> bool:
+        return self.event == "spawn"
+
+
+@dataclass
+class PlacementRecord:
+    """Where one job was last placed."""
+
+    job_id: str
+    shard: str
+    generation: int
+    spec: Optional[JobSpec] = None
+
+
+@dataclass
+class RouterState:
+    """The replayed router journal."""
+
+    members: Dict[str, MemberRecord] = field(default_factory=dict)
+    placements: Dict[str, PlacementRecord] = field(default_factory=dict)
+    #: job_id -> resolve record (state/fingerprint/makespan/error_code).
+    resolutions: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def pending(self) -> List[PlacementRecord]:
+        """Placed jobs with no resolution, in journal order."""
+        return [
+            p
+            for job_id, p in self.placements.items()
+            if job_id not in self.resolutions
+        ]
+
+
+class RouterCheckpoint:
+    """Append-only ``repro.cluster/v1`` writer; thread-safe, fsync per
+    record (the same crash-loss bound the serve journal gives: at most a
+    torn final line)."""
+
+    def __init__(self, path) -> None:
+        self.path = os.fspath(path)
+        self._lock = threading.Lock()
+        try:
+            directory = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(directory, exist_ok=True)
+            exists = (
+                os.path.exists(self.path) and os.path.getsize(self.path) > 0
+            )
+            if exists:
+                with open(self.path, "r", encoding="utf-8") as handle:
+                    first = handle.readline()
+                try:
+                    meta = json.loads(first)
+                except json.JSONDecodeError:
+                    meta = None
+                if (
+                    not isinstance(meta, dict)
+                    or meta.get("type") != "meta"
+                    or meta.get("format") != FORMAT
+                ):
+                    raise CheckpointCorrupt(
+                        f"refusing to append to {self.path}: first line is "
+                        f"not a {FORMAT!r} meta record",
+                        path=self.path,
+                    )
+            self._file = open(self.path, "a", encoding="utf-8")
+        except OSError as error:
+            raise CheckpointUnavailable(
+                f"cannot open router checkpoint {self.path}: {error}",
+                path=self.path,
+                errno=error.errno,
+            ) from error
+        if not exists:
+            self._append({"type": "meta", "format": FORMAT})
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        with self._lock:
+            if self._file.closed:  # post-stop stragglers are dropped
+                return
+            self._file.write(line + "\n")
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def member(
+        self,
+        name: str,
+        slot: int,
+        generation: int,
+        journal_path: str,
+        pid: Optional[int],
+        event: str = "spawn",
+    ) -> None:
+        if event not in MEMBER_EVENTS:
+            raise ValueError(f"unknown member event {event!r}")
+        self._append(
+            {
+                "type": "member",
+                "name": name,
+                "slot": slot,
+                "generation": generation,
+                "journal_path": journal_path,
+                "pid": pid,
+                "event": event,
+            }
+        )
+
+    def place(self, spec: JobSpec, shard: str, generation: int) -> None:
+        self._append(
+            {
+                "type": "place",
+                "job_id": spec.job_id,
+                "shard": shard,
+                "generation": generation,
+                "spec": spec.to_dict(),
+            }
+        )
+
+    def resolve(
+        self,
+        job_id: str,
+        state: str,
+        fingerprint: Optional[str] = None,
+        makespan: Optional[float] = None,
+        error_code: str = "",
+    ) -> None:
+        self._append(
+            {
+                "type": "resolve",
+                "job_id": job_id,
+                "state": state,
+                "fingerprint": fingerprint,
+                "makespan": makespan,
+                "error_code": error_code,
+            }
+        )
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+
+def load_router_checkpoint(path) -> RouterState:
+    """Replay a router journal; tolerates exactly one torn final line."""
+    path = os.fspath(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = handle.read()
+    except OSError as error:
+        raise CheckpointUnavailable(
+            f"cannot read router checkpoint {path}: {error}",
+            path=path,
+            errno=error.errno,
+        ) from error
+    lines = raw.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    records: List[Dict[str, Any]] = []
+    for index, line in enumerate(lines):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                break
+            raise CheckpointCorrupt(
+                f"undecodable router checkpoint record at line {index + 1}",
+                path=path,
+                line=index + 1,
+            ) from None
+    if not records:
+        raise CheckpointCorrupt(f"router checkpoint {path} is empty", path=path)
+    meta = records[0]
+    if meta.get("type") != "meta" or meta.get("format") != FORMAT:
+        raise CheckpointCorrupt(
+            f"router checkpoint {path} does not declare format {FORMAT!r}",
+            path=path,
+            found=meta.get("format"),
+        )
+    state = RouterState()
+    for index, record in enumerate(records[1:], start=2):
+        kind = record.get("type")
+        if kind == "member":
+            state.members[record["name"]] = MemberRecord(
+                name=record["name"],
+                slot=int(record["slot"]),
+                generation=int(record["generation"]),
+                journal_path=record.get("journal_path", ""),
+                pid=record.get("pid"),
+                event=record.get("event", "spawn"),
+            )
+        elif kind == "place":
+            spec = (
+                JobSpec.from_dict(record["spec"])
+                if record.get("spec")
+                else None
+            )
+            state.placements[record["job_id"]] = PlacementRecord(
+                job_id=record["job_id"],
+                shard=record["shard"],
+                generation=int(record.get("generation", 0)),
+                spec=spec,
+            )
+        elif kind == "resolve":
+            state.resolutions[record["job_id"]] = record
+        else:
+            raise CheckpointCorrupt(
+                f"unknown router checkpoint record type {kind!r} at line "
+                f"{index}",
+                path=path,
+                line=index,
+            )
+    return state

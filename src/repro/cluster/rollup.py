@@ -34,6 +34,10 @@ DECISION_KINDS = (
     "restart",    # a dead shard slot was respawned
     "degrade",    # a shard was removed from placement (breakers open)
     "restore",    # a degraded shard rejoined placement
+    "join",       # a new shard joined the running ring (elastic membership)
+    "leave",      # a shard began leaving the ring (graceful or forced)
+    "retire",     # a leaving/removed shard slot was finally retired
+    "kill",       # stop() escalated to SIGKILL on a straggling shard
 )
 
 

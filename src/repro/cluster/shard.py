@@ -3,22 +3,36 @@ own OS process.
 
 The child process (:func:`shard_main`) owns a whole service instance --
 worker threads, admission queue, breakers, and a private checkpoint
-journal -- and speaks to the router over two multiprocessing queues:
+journal -- and speaks to the router over two multiprocessing queues
+wrapped in the :mod:`repro.cluster.transport` seam:
 
-* **commands** (router -> shard): ``submit`` / ``submit_recovered`` /
-  ``evict`` / ``force_open`` / ``stop``.
-* **events** (shard -> router, shared by all shards): ``hb`` heartbeats,
-  ``result`` terminal job states, ``evicted`` migration payloads, and a
-  final ``stopped`` carrying the shard's metrics snapshot.
+* **commands** (router -> shard): ``(seq, kind, args)`` tuples --
+  ``submit`` / ``submit_recovered`` / ``evict`` / ``force_open`` /
+  ``stop`` / ``ack_event`` / ``wedge``.
+* **events** (shard -> router, shared by all shards): ``(kind, shard,
+  generation, seq, payload)`` -- ``hb`` heartbeats, ``ack`` command
+  acknowledgements, ``result`` terminal job states, ``bounced``
+  submissions that raced a stopping service, ``evicted`` migration
+  payloads, and a final ``stopped`` carrying the shard's metrics
+  snapshot.
+
+The protocol is **idempotent over a lossy transport**: every command
+carries a monotonic sequence number the shard acknowledges (``ack``) and
+deduplicates -- a resent or chaos-duplicated command re-acks but never
+re-executes.  Events the router must not lose (``result``, ``evicted``,
+``bounced``, ``stopped``) sit in a :class:`ReliableOutbox` and are resent
+with backoff by the heartbeat tick until the router's ``ack_event``
+confirms them; heartbeats and acks are fire-and-forget (loss is repaired
+by the next tick or the peer's resend).
 
 Results stream through the service's ``on_finish`` hook, so the shard
 never polls its own jobs.  Heartbeats carry queue depth, breaker state
 (via :meth:`BreakerBoard.poll`, which advances cooldowns without
-consuming half-open probe slots), and counter totals.  Everything on the
-queues is plain picklable data -- job specs as dicts, arrays in the
-journal's base64 wire form -- because shards are spawned with the
-``spawn`` start method (fork would clone the router's live threads and
-queue locks mid-flight).
+consuming half-open probe slots), counter totals, and the event
+transport's fault stats.  Everything on the queues is plain picklable
+data -- job specs as dicts, arrays in the journal's base64 wire form --
+because shards are spawned with the ``spawn`` start method (fork would
+clone the router's live threads and queue locks mid-flight).
 
 The process is fenced by the router before crash recovery: a shard that
 missed its heartbeat deadline is SIGKILLed before its journal is read, so
@@ -33,7 +47,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.errors import AdmissionRejected, InvalidInput, ReproError
+from repro.cluster.transport import ChaosConfig, ReliableOutbox, Transport
+from repro.errors import (
+    AdmissionRejected,
+    InvalidInput,
+    ReproError,
+    ServiceStopped,
+)
 from repro.faults.plan import FaultPlan
 from repro.serve.admission import AdmissionConfig
 from repro.serve.breaker import BreakerConfig
@@ -51,6 +71,10 @@ HEARTBEAT_COUNTERS = (
     "serve_jobs_failed_total",
     "serve_jobs_migrated_in_total",
 )
+
+#: Event kinds the shard tracks in its reliable outbox (resent until the
+#: router acks); ``hb`` and ``ack`` are fire-and-forget.
+RELIABLE_EVENTS = frozenset({"result", "evicted", "bounced", "stopped"})
 
 
 @dataclass(frozen=True)
@@ -73,6 +97,8 @@ class ShardSpec:
     runtime_seed: int = 2023
     #: Seconds between heartbeats.
     heartbeat_interval: float = 0.05
+    #: Resend timer for reliable events awaiting a router ack.
+    ack_timeout: float = 0.25
 
 
 def job_payload(job: Job) -> Dict[str, Any]:
@@ -89,6 +115,62 @@ def job_payload(job: Job) -> Dict[str, Any]:
     return payload
 
 
+class _EventChannel:
+    """The shard's sender half of the event link: sequence numbers, the
+    reliable outbox, and the chaos-wrapped transport."""
+
+    def __init__(
+        self,
+        events: multiprocessing.Queue,
+        shard: str,
+        generation: int,
+        chaos: Optional[ChaosConfig],
+        ack_timeout: float,
+    ) -> None:
+        self.shard = shard
+        self.generation = generation
+        self.transport = Transport(events, chaos=chaos)
+        self.outbox = ReliableOutbox(timeout=ack_timeout)
+        self.resent = 0
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    def emit(self, kind: str, payload: Dict[str, Any]) -> int:
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+            message = (kind, self.shard, self.generation, seq, payload)
+            if kind in RELIABLE_EVENTS:
+                self.outbox.track(seq, message)
+            self.transport.send(message)
+        return seq
+
+    def ack(self, seq: int) -> None:
+        with self._lock:
+            self.outbox.ack(seq)
+
+    def tick(self) -> None:
+        """Resend due unacked events and release held (delayed) traffic."""
+        with self._lock:
+            for message in self.outbox.due():
+                self.resent += 1
+                self.transport.send(message)
+            self.transport.flush()
+
+    def close(self, timeout: float = 2.0) -> None:
+        """Keep resending until the outbox drains (bounded) -- the final
+        ``stopped`` event must survive the transport too."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if self.outbox.empty and self.transport.held == 0:
+                    return
+            self.tick()
+            time.sleep(0.02)
+        with self._lock:
+            self.transport.flush(force=True)
+
+
 def shard_main(
     name: str,
     generation: int,
@@ -96,20 +178,21 @@ def shard_main(
     spec: ShardSpec,
     commands: multiprocessing.Queue,
     events: multiprocessing.Queue,
+    chaos: Optional[ChaosConfig] = None,
 ) -> None:
     """Child-process entrypoint: run one shard until its ``stop``."""
+    channel = _EventChannel(
+        events, name, generation, chaos, ack_timeout=spec.ack_timeout
+    )
     reported: set = set()
     reported_lock = threading.Lock()
-
-    def emit(kind: str, payload: Dict[str, Any]) -> None:
-        events.put((kind, name, generation, payload))
 
     def report(job: Job) -> None:
         with reported_lock:
             if job.spec.job_id in reported:
                 return
             reported.add(job.spec.job_id)
-        emit("result", job_payload(job))
+        channel.emit("result", job_payload(job))
 
     service = ShmtService(
         ServiceConfig(
@@ -131,6 +214,7 @@ def shard_main(
     def heartbeat() -> None:
         seq = 0
         while True:
+            channel.tick()
             states = service.breakers.poll(device_names)
             counters = {
                 counter: (
@@ -140,7 +224,7 @@ def shard_main(
                 )
                 for counter in HEARTBEAT_COUNTERS
             }
-            emit(
+            channel.emit(
                 "hb",
                 {
                     "seq": seq,
@@ -149,6 +233,8 @@ def shard_main(
                         dev for dev, s in states.items() if s.value == "open"
                     ),
                     "counters": counters,
+                    "transport": channel.transport.stats.to_dict()
+                    | {"resent": channel.resent},
                 },
             )
             seq += 1
@@ -158,18 +244,39 @@ def shard_main(
     hb_thread = threading.Thread(target=heartbeat, name=f"{name}-hb", daemon=True)
     hb_thread.start()
 
+    def bounce(spec_dict, blocked=None, hlops=None) -> None:
+        """Hand a submission that raced our shutdown back to the router
+        for re-placement (with any recovered state it carried)."""
+        channel.emit(
+            "bounced",
+            {"spec": spec_dict, "blocked": blocked, "hlops": hlops},
+        )
+
+    seen_commands: set = set()
     try:
         while True:
             command = commands.get()
-            kind = command[0]
-            if kind == "submit":
-                job_spec = JobSpec.from_dict(command[1])
+            seq, kind, args = command
+            if kind != "ack_event":
+                # Ack on receipt (even for duplicates: our earlier ack may
+                # be the message the transport ate); dedup below keeps the
+                # execution exactly-once.
+                channel.emit("ack", {"seq": seq})
+            if seq in seen_commands:
+                continue
+            seen_commands.add(seq)
+            if kind == "ack_event":
+                channel.ack(int(args[0]))
+            elif kind == "submit":
+                job_spec = JobSpec.from_dict(args[0])
                 try:
                     service.submit(job_spec)
                 except AdmissionRejected:
                     pass  # submit() already finished+reported the job as shed
+                except ServiceStopped:
+                    bounce(args[0])
                 except ReproError as error:
-                    emit(
+                    channel.emit(
                         "result",
                         {
                             "job_id": job_spec.job_id,
@@ -179,18 +286,20 @@ def shard_main(
                         },
                     )
             elif kind == "submit_recovered":
-                job_spec = JobSpec.from_dict(command[1])
-                blocked = command[2]
+                job_spec = JobSpec.from_dict(args[0])
+                blocked = args[1]
                 preloaded = {
                     int(hlop_id): decode_array(record)
-                    for hlop_id, record in command[3].items()
+                    for hlop_id, record in args[2].items()
                 }
                 try:
                     service.submit_recovered(
                         job_spec, blocked=blocked, preloaded=preloaded
                     )
+                except ServiceStopped:
+                    bounce(args[0], blocked=blocked, hlops=args[2])
                 except ReproError as error:
-                    emit(
+                    channel.emit(
                         "result",
                         {
                             "job_id": job_spec.job_id,
@@ -200,20 +309,28 @@ def shard_main(
                         },
                     )
             elif kind == "evict":
-                evicted = service.evict_queued()
-                emit(
+                only, reason = args
+                evicted = service.evict_queued(
+                    only=set(only) if only is not None else None
+                )
+                channel.emit(
                     "evicted",
-                    {"jobs": [job.spec.to_dict() for job in evicted]},
+                    {
+                        "jobs": [job.spec.to_dict() for job in evicted],
+                        "reason": reason,
+                    },
                 )
             elif kind == "force_open":
-                service.breakers.force_open(command[1])
+                service.breakers.force_open(args[0])
+            elif kind == "wedge":
+                # Drill hook: the command loop hangs (heartbeats keep
+                # flowing), modelling a shard that is alive but deaf --
+                # the stop-escalation path must SIGKILL it.
+                while True:
+                    time.sleep(60.0)
             elif kind == "stop":
-                drain = command[1]
+                drain = args[0]
                 service.stop(drain=drain)
-                if not drain:
-                    # stop(drain=False) sheds the queue; those finishes
-                    # already streamed through report().
-                    pass
                 service.join()
                 break
             else:  # pragma: no cover - protocol guard
@@ -228,7 +345,11 @@ def shard_main(
                 report(job)
         if service.checkpoint is not None:
             service.checkpoint.close()
-        emit("stopped", {"metrics": service.metrics.snapshot()})
+        channel.emit("stopped", {"metrics": service.metrics.snapshot()})
+        # The outbox keeps resending until the router acks (or the bound
+        # expires); without this, chaos could eat the final events of a
+        # clean shutdown and turn a graceful leave into a fake crash.
+        channel.close(timeout=2.0)
 
 
 def encode_hlops(hlops: Dict[int, Any]) -> Dict[int, Dict[str, Any]]:

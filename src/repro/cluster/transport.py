@@ -1,0 +1,257 @@
+"""The transport seam between router and shards, with seeded chaos.
+
+PR 6's router and shards spoke over raw multiprocessing queues and
+silently assumed the queues never drop, duplicate, delay, or reorder a
+message.  :class:`Transport` makes that assumption an explicit, *testable*
+seam: every message the router sends a shard (and every event a shard
+sends back) goes through a ``Transport``, and an optional seeded
+:class:`ChaosConfig` makes the transport deliberately lossy --
+deterministically, so a churn drill that survived chaos once survives it
+on every rerun.
+
+Faults are applied on the **sender side** (the only place both processes
+can apply them deterministically without a relay process):
+
+* **drop** -- the message is never enqueued;
+* **duplicate** -- the message is enqueued twice (same sequence number,
+  which is what makes receiver-side dedup by seq sound);
+* **delay** -- the message is *held* and released after later sends (or
+  an explicit :meth:`flush`), which on a FIFO queue is exactly a reorder.
+
+Held messages are released by the periodic traffic both directions
+already carry (the router's supervision tick, the shard's heartbeat
+tick), so a delayed message can never be stranded while its sender is
+alive; :meth:`flush` with ``force=True`` drains the holdback at close.
+
+The protocol layer above this seam (sequence numbers, acks, bounded
+resends with backoff, duplicate suppression, gap escalation) lives in
+:mod:`repro.cluster.router` and :mod:`repro.cluster.shard`; the transport
+itself is intentionally dumb -- it loses messages, it never repairs them.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.cluster.hashring import stable_hash
+from repro.errors import InvalidInput
+
+#: Chaos outcomes a transport listener observes (for counters).
+CHAOS_EVENTS = ("dropped", "duplicated", "delayed")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Seeded per-message fault schedule for one transport direction.
+
+    Plain picklable data (it crosses the ``spawn`` boundary to shards).
+    Each message draws drop/duplicate/delay outcomes from a
+    ``random.Random(seed)`` stream, so the fault schedule is a pure
+    function of ``(seed, message index)`` -- the FaultPlan discipline
+    (:mod:`repro.faults.plan`), applied to the wire.
+    """
+
+    seed: int = 0
+    #: Probability a message is silently dropped.
+    drop: float = 0.0
+    #: Probability a message is enqueued twice.
+    duplicate: float = 0.0
+    #: Probability a message is held back (delivered late, out of order).
+    delay: float = 0.0
+    #: Seconds a delayed message is held before it may be released.
+    hold: float = 0.02
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "delay"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise InvalidInput(
+                    f"chaos {name} probability must be in [0, 1), got {value}"
+                )
+        if self.hold < 0:
+            raise InvalidInput(f"chaos hold must be >= 0, got {self.hold}")
+
+    def reseed(self, salt: str) -> "ChaosConfig":
+        """A copy whose stream is independent per ``salt`` (shard name +
+        generation), so every link draws its own deterministic schedule."""
+        return ChaosConfig(
+            seed=stable_hash(f"{self.seed}:{salt}") & 0xFFFFFFFF,
+            drop=self.drop,
+            duplicate=self.duplicate,
+            delay=self.delay,
+            hold=self.hold,
+        )
+
+
+@dataclass
+class TransportStats:
+    """What one transport direction did to its traffic."""
+
+    sent: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "sent": self.sent,
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+        }
+
+
+class Transport:
+    """Sender side of one router<->shard direction.
+
+    Wraps a multiprocessing queue's ``put``; with no chaos it is a
+    transparent passthrough.  ``listener(event)`` (event from
+    :data:`CHAOS_EVENTS`) lets the owner count faults into its metrics.
+    Thread-safe to the same degree the underlying queue is; the holdback
+    list is only touched under the GIL in short critical sections.
+    """
+
+    def __init__(
+        self,
+        queue: Any,
+        chaos: Optional[ChaosConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+        listener: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.queue = queue
+        self.chaos = chaos
+        self.stats = TransportStats()
+        self._clock = clock
+        self._listener = listener
+        self._rng = random.Random(chaos.seed) if chaos is not None else None
+        #: Held (delayed) messages: ``(release_at, message)``.
+        self._held: List[Tuple[float, Any]] = []
+
+    def _note(self, event: str) -> None:
+        if self._listener is not None:
+            try:
+                self._listener(event)
+            except Exception:  # noqa: BLE001 - observer isolation
+                pass
+
+    def _put(self, message: Any) -> None:
+        self.queue.put(message)
+        self.stats.sent += 1
+
+    def send(self, message: Any) -> None:
+        """Send one message, applying the chaos schedule (if any)."""
+        self.flush()
+        chaos = self.chaos
+        if chaos is None:
+            self._put(message)
+            return
+        rng = self._rng
+        drop = rng.random() < chaos.drop
+        duplicate = rng.random() < chaos.duplicate
+        delay = rng.random() < chaos.delay
+        if drop:
+            self.stats.dropped += 1
+            self._note("dropped")
+            return
+        if delay:
+            self.stats.delayed += 1
+            self._note("delayed")
+            self._held.append((self._clock() + chaos.hold, message))
+            return
+        self._put(message)
+        if duplicate:
+            self.stats.duplicated += 1
+            self._note("duplicated")
+            self._put(message)
+
+    def flush(self, force: bool = False) -> int:
+        """Release held messages whose hold elapsed (all, when forced).
+
+        Returns how many were released.  Callers with periodic traffic
+        (supervision/heartbeat ticks) call this every tick so a delayed
+        message is late, never lost.
+        """
+        if not self._held:
+            return 0
+        now = self._clock()
+        due = [m for at, m in self._held if force or at <= now]
+        self._held = [(at, m) for at, m in self._held if not (force or at <= now)]
+        for message in due:
+            self._put(message)
+        return len(due)
+
+    @property
+    def held(self) -> int:
+        return len(self._held)
+
+
+class ReliableOutbox:
+    """Resend bookkeeping for messages that must eventually arrive.
+
+    Both protocol ends keep one: the router for commands awaiting a shard
+    ack, the shard for events (results, evictions, ``stopped``) awaiting
+    a router ack.  The owner calls :meth:`track` on first send,
+    :meth:`ack` when the peer confirms, and :meth:`due` every tick to
+    learn what to resend -- resends back off exponentially (capped) and
+    :meth:`exhausted` reports entries past the attempt budget so the
+    owner can escalate to its suspect/recovery path instead of hanging.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.monotonic,
+        timeout: float = 0.25,
+        max_attempts: int = 8,
+        max_backoff: float = 2.0,
+    ) -> None:
+        self._clock = clock
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.max_backoff = max_backoff
+        #: seq -> [message, attempts, next_resend_at]
+        self._pending: dict = {}
+        self.resent = 0
+
+    def track(self, seq: int, message: Any) -> None:
+        self._pending[seq] = [message, 0, self._clock() + self.timeout]
+
+    def ack(self, seq: int) -> bool:
+        return self._pending.pop(seq, None) is not None
+
+    def due(self) -> List[Any]:
+        """Messages whose resend timer fired; attempts and backoff advance."""
+        now = self._clock()
+        ready = []
+        for entry in self._pending.values():
+            message, attempts, next_at = entry
+            if now >= next_at and attempts < self.max_attempts:
+                entry[1] = attempts + 1
+                backoff = min(
+                    self.timeout * (2.0 ** (attempts + 1)), self.max_backoff
+                )
+                entry[2] = now + backoff
+                ready.append(message)
+                self.resent += 1
+        return ready
+
+    def exhausted(self) -> List[int]:
+        """Seqs past the attempt budget and past their final timer."""
+        now = self._clock()
+        return sorted(
+            seq
+            for seq, (_, attempts, next_at) in self._pending.items()
+            if attempts >= self.max_attempts and now >= next_at
+        )
+
+    def clear(self) -> None:
+        self._pending.clear()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def empty(self) -> bool:
+        return not self._pending

@@ -88,6 +88,15 @@ class CheckpointUnavailable(ReproError):
     code = "CHECKPOINT_UNAVAILABLE"
 
 
+class TransportFailed(ReproError):
+    """A router<->shard link exhausted its resend budget (or its queue
+    broke outright): the peer is unreachable, not merely slow.  The
+    router escalates the shard to its suspect->recover path rather than
+    hanging on a command that will never be acknowledged."""
+
+    code = "TRANSPORT_FAILED"
+
+
 class ShardCrashed(ReproError):
     """A cluster shard process died (missed heartbeats or exited) and the
     router could not recover or migrate the affected work."""

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.errors import AdmissionRejected, ServiceStopped
 from repro.serve.job import Job
@@ -189,10 +189,21 @@ class AdmissionQueue:
             self._not_empty.notify_all()
             self._not_full.notify_all()
 
-    def drain(self) -> List[Job]:
-        """Remove and return every queued job (shutdown accounting)."""
+    def drain(self, only: Optional[Set[str]] = None) -> List[Job]:
+        """Remove and return queued jobs (shutdown/migration accounting).
+
+        With ``only`` given, removes just the queued jobs whose id is in
+        the set -- the cluster's reshard handoff evicts exactly the keys
+        that remapped, not the whole backlog.
+        """
         with self._lock:
-            jobs, self._jobs = self._jobs, []
+            if only is None:
+                jobs, self._jobs = self._jobs, []
+            else:
+                jobs = [j for j in self._jobs if j.spec.job_id in only]
+                self._jobs = [
+                    j for j in self._jobs if j.spec.job_id not in only
+                ]
             self._not_full.notify_all()
             return jobs
 

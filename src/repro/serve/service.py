@@ -316,17 +316,19 @@ class ShmtService:
         self._gauge_depth()
         return job
 
-    def evict_queued(self) -> List[Job]:
-        """Remove and return every queued-not-yet-running job.
+    def evict_queued(self, only: Optional[set] = None) -> List[Job]:
+        """Remove and return queued-not-yet-running jobs.
 
         Migration hook: the cluster router drains a degraded shard's
-        backlog through this and re-places it on healthy shards.  Evicted
-        jobs have no journal footprint (``job-start`` is only written
-        when a run begins) and are forgotten by this service entirely --
-        the caller owns their fate.  Jobs a worker already picked up are
-        not returned; they finish where they run.
+        backlog through this and re-places it on healthy shards; with
+        ``only`` given, just the named jobs leave (the elastic reshard
+        handoff moves exactly the keys that remapped).  Evicted jobs have
+        no journal footprint (``job-start`` is only written when a run
+        begins) and are forgotten by this service entirely -- the caller
+        owns their fate.  Jobs a worker already picked up are not
+        returned; they finish where they run.
         """
-        jobs = self.queue.drain()
+        jobs = self.queue.drain(only=only)
         with self._lock:
             for job in jobs:
                 self.jobs.pop(job.spec.job_id, None)

@@ -1,0 +1,162 @@
+"""Unit tests for the chaos transport seam and the reliable outbox.
+
+No processes here: the transport wraps any object with ``put``, and all
+timing runs on an injected fake clock, so every schedule is exact.
+"""
+
+import pytest
+
+from repro.cluster.transport import ChaosConfig, ReliableOutbox, Transport
+from repro.errors import InvalidInput
+
+
+class FakeQueue:
+    def __init__(self):
+        self.items = []
+
+    def put(self, message):
+        self.items.append(message)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def test_chaos_config_validates_probabilities():
+    with pytest.raises(InvalidInput):
+        ChaosConfig(drop=1.0)
+    with pytest.raises(InvalidInput):
+        ChaosConfig(duplicate=-0.1)
+    with pytest.raises(InvalidInput):
+        ChaosConfig(hold=-1.0)
+
+
+def test_chaos_reseed_is_deterministic_and_independent():
+    base = ChaosConfig(seed=7, drop=0.2)
+    assert base.reseed("shard-0:1:cmd") == base.reseed("shard-0:1:cmd")
+    assert base.reseed("shard-0:1:cmd") != base.reseed("shard-0:2:cmd")
+    # Fault probabilities survive the reseed; only the stream moves.
+    assert base.reseed("x").drop == base.drop
+
+
+def test_transport_without_chaos_is_transparent():
+    queue = FakeQueue()
+    transport = Transport(queue)
+    for i in range(5):
+        transport.send(("msg", i))
+    assert queue.items == [("msg", i) for i in range(5)]
+    assert transport.stats.to_dict() == {
+        "sent": 5,
+        "dropped": 0,
+        "duplicated": 0,
+        "delayed": 0,
+    }
+
+
+def test_chaos_schedule_is_a_pure_function_of_the_seed():
+    def run():
+        queue = FakeQueue()
+        transport = Transport(
+            queue,
+            chaos=ChaosConfig(seed=13, drop=0.2, duplicate=0.2, delay=0.2),
+            clock=FakeClock(),
+        )
+        for i in range(100):
+            transport.send(i)
+        transport.flush(force=True)
+        return queue.items, transport.stats.to_dict()
+
+    first_items, first_stats = run()
+    second_items, second_stats = run()
+    assert first_items == second_items
+    assert first_stats == second_stats
+    assert first_stats["dropped"] > 0
+    assert first_stats["duplicated"] > 0
+    assert first_stats["delayed"] > 0
+
+
+def test_duplicates_carry_the_same_message():
+    # Receiver-side dedup by sequence number is only sound if a chaos
+    # duplicate is byte-for-byte the original message.
+    queue = FakeQueue()
+    transport = Transport(
+        queue, chaos=ChaosConfig(seed=3, duplicate=0.5), clock=FakeClock()
+    )
+    for i in range(50):
+        transport.send(("seq", i))
+    assert transport.stats.duplicated > 0
+    seen = {}
+    for message in queue.items:
+        seen[message] = seen.get(message, 0) + 1
+    assert all(count in (1, 2) for count in seen.values())
+    assert set(seen) == {("seq", i) for i in range(50)}
+
+
+def test_delayed_messages_are_held_then_released():
+    clock = FakeClock()
+    queue = FakeQueue()
+    transport = Transport(
+        queue, chaos=ChaosConfig(seed=1, delay=0.99, hold=1.0), clock=clock
+    )
+    transport.send("late")
+    assert queue.items == [] and transport.held == 1
+    assert transport.flush() == 0  # hold has not elapsed
+    clock.advance(1.1)
+    assert transport.flush() == 1
+    assert queue.items == ["late"] and transport.held == 0
+
+
+def test_force_flush_drains_the_holdback():
+    clock = FakeClock()
+    queue = FakeQueue()
+    transport = Transport(
+        queue, chaos=ChaosConfig(seed=1, delay=0.99, hold=60.0), clock=clock
+    )
+    for i in range(4):
+        transport.send(i)
+    held = transport.held
+    assert held > 0
+    assert transport.flush(force=True) == held
+    assert transport.held == 0
+
+
+def test_outbox_resends_with_backoff_then_exhausts():
+    clock = FakeClock()
+    outbox = ReliableOutbox(
+        clock=clock, timeout=0.25, max_attempts=3, max_backoff=2.0
+    )
+    outbox.track(1, "cmd")
+    assert outbox.due() == []  # timer has not fired yet
+    clock.advance(0.25)
+    assert outbox.due() == ["cmd"]  # attempt 1; next in 0.5
+    assert outbox.due() == []
+    clock.advance(0.5)
+    assert outbox.due() == ["cmd"]  # attempt 2; next in 1.0
+    clock.advance(1.0)
+    assert outbox.due() == ["cmd"]  # attempt 3: budget spent
+    assert outbox.exhausted() == []  # final timer still pending
+    clock.advance(2.0)
+    assert outbox.due() == []  # never resends past the budget
+    assert outbox.exhausted() == [1]
+    assert outbox.resent == 3 and len(outbox) == 1
+
+
+def test_outbox_ack_stops_the_resend_loop():
+    clock = FakeClock()
+    outbox = ReliableOutbox(clock=clock, timeout=0.25)
+    outbox.track(1, "a")
+    outbox.track(2, "b")
+    assert outbox.ack(1) is True
+    assert outbox.ack(1) is False  # idempotent
+    clock.advance(10.0)
+    assert outbox.due() == ["b"]
+    assert not outbox.empty
+    assert outbox.ack(2) is True
+    assert outbox.empty and outbox.exhausted() == []
